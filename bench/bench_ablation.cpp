@@ -1,0 +1,124 @@
+// Ablation studies over the design knobs DESIGN.md §5 calls out:
+//   1. amalgamation fill budget (the paper raises it to 12% for GPUs),
+//   2. panel-split width (task granularity),
+//   3. GPU offload flop threshold,
+//   4. streams per GPU,
+//   5. subtree merging (the paper's future-work granularity knob),
+//   6. native static mapping (list scheduling vs proportional mapping),
+//   7. StarPU scheduling policy (eager vs dmda).
+// One mid-sized SPD surrogate, simulated Mirage node.
+#include "bench_common.hpp"
+
+using namespace spx;
+using namespace spx::bench;
+
+namespace {
+
+Analysis analyze_with(const CscMatrix<real_t>& a, double fill,
+                      index_t width) {
+  AnalysisOptions opts;
+  opts.symbolic.amalgamation.fill_ratio = fill;
+  opts.symbolic.max_panel_width = width;
+  return analyze(a, opts);
+}
+
+double gf(const Analysis& an, const SimRunConfig& cfg) {
+  return simulate_run(an, Factorization::LLT, cfg).gflops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  cli.check_unknown();
+
+  const auto a =
+      build_surrogate_d(surrogate_by_name("Flan"), scale);
+  std::printf("Ablations on the Flan surrogate (n=%d)\n\n", a.ncols());
+
+  // 1+2: analysis knobs (fill x width), CPU-only and 3-GPU runs.
+  std::printf(
+      "1/2. amalgamation fill & panel width (parsec; GFlop/s cpu12 / "
+      "12c+3GPUx3s)\n");
+  print_rule(74);
+  std::printf("%6s %6s | %9s %9s %9s | %9s %9s\n", "fill", "width",
+              "panels", "nnzL(M)", "GFlop", "cpu12", "gpu3");
+  print_rule(74);
+  for (const double fill : {0.0, 0.06, 0.12, 0.25}) {
+    for (const index_t width : {64, 128, 256}) {
+      const Analysis an = analyze_with(a, fill, width);
+      SimRunConfig cpu;
+      cpu.scheduler = "parsec";
+      SimRunConfig gpu = cpu;
+      gpu.gpus = 3;
+      gpu.streams_per_gpu = 3;
+      std::printf("%6.2f %6d | %9d %9.1f %9.1f | %9.1f %9.1f\n", fill,
+                  width, an.structure.num_panels(),
+                  an.structure.nnz_factor / 1e6,
+                  an.total_flops(Factorization::LLT) / 1e9, gf(an, cpu),
+                  gf(an, gpu));
+    }
+  }
+  print_rule(74);
+
+  const Analysis an = analyze_with(a, 0.12, 128);
+
+  // 3: offload threshold.
+  std::printf("\n3. GPU offload threshold (parsec, 12c + 1 GPU, 3 "
+              "streams)\n");
+  for (const double thr : {2e4, 2e5, 2e6, 2e7}) {
+    SimRunConfig cfg;
+    cfg.scheduler = "parsec";
+    cfg.gpus = 1;
+    cfg.streams_per_gpu = 3;
+    cfg.gpu_min_flops = thr;
+    const RunStats st = simulate_run(an, Factorization::LLT, cfg);
+    std::printf("  threshold %7.0e flops -> %7.1f GFlop/s (%5d gpu "
+                "tasks, %.2f GB H2D)\n",
+                thr, st.gflops, (int)st.tasks_gpu, st.bytes_h2d / 1e9);
+  }
+
+  // 4: streams per GPU.
+  std::printf("\n4. streams per GPU (parsec, 12c + 3 GPUs)\n");
+  for (const int s : {1, 2, 3}) {
+    SimRunConfig cfg;
+    cfg.scheduler = "parsec";
+    cfg.gpus = 3;
+    cfg.streams_per_gpu = s;
+    std::printf("  %d stream(s) -> %7.1f GFlop/s\n", s,
+                gf(an, cfg));
+  }
+
+  // 5: subtree merging (paper future work: bigger tasks at the bottom of
+  // the elimination tree to cut scheduler overhead).
+  std::printf("\n5. subtree merge threshold (parsec, 12 cores; paper "
+              "future work)\n");
+  for (const double merge : {0.0, 1e-4, 1e-3, 1e-2}) {
+    SimRunConfig cfg;
+    cfg.scheduler = "parsec";
+    cfg.subtree_merge_seconds = merge;
+    std::printf("  merge %7.0es -> %7.1f GFlop/s\n", merge, gf(an, cfg));
+  }
+
+  // 6: native static mapping strategy.
+  std::printf("\n6. native static mapping (12 cores)\n");
+  for (const char* sched : {"native", "native-prop"}) {
+    SimRunConfig cfg;
+    cfg.scheduler = sched;
+    std::printf("  %-12s -> %7.1f GFlop/s\n", sched, gf(an, cfg));
+  }
+
+  // 7: StarPU policy.
+  std::printf("\n7. StarPU policy (12 cores, 0 and 2 GPUs)\n");
+  for (const char* pol : {"starpu-eager", "starpu"}) {
+    for (const int g : {0, 2}) {
+      SimRunConfig cfg;
+      cfg.scheduler = pol;
+      cfg.gpus = g;
+      std::printf("  %-14s %d GPU -> %7.1f GFlop/s\n", pol, g,
+                  gf(an, cfg));
+    }
+  }
+  return 0;
+}

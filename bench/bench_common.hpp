@@ -1,0 +1,72 @@
+// Shared plumbing for the paper-reproduction benches: builds the nine
+// surrogate matrices, runs the analysis phase once per matrix, and
+// provides the table-printing helpers every bench uses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/analysis.hpp"
+#include "core/sim_runner.hpp"
+#include "mat/surrogates.hpp"
+
+namespace spx::bench {
+
+struct BenchMatrix {
+  SurrogateSpec spec;
+  Analysis analysis;
+  size_type n = 0;
+  size_type nnza = 0;
+  double gflop = 0.0;  ///< factorization flops of the surrogate, in GFlop
+
+  bool complex_arith() const { return spec.prec == Precision::Z; }
+};
+
+/// Builds + analyzes the surrogates (optionally filtered by name).  The
+/// analysis uses the paper's settings: nested dissection, 12% amalgamation
+/// fill, 128-wide panel splitting.
+inline std::vector<BenchMatrix> load_matrices(double scale,
+                                              const std::string& only = "") {
+  std::vector<BenchMatrix> out;
+  AnalysisOptions opts;
+  opts.symbolic.amalgamation.fill_ratio = 0.12;  // paper §V
+  opts.symbolic.max_panel_width = 128;
+  for (const SurrogateSpec& spec : paper_surrogates()) {
+    if (!only.empty() && spec.name != only) continue;
+    BenchMatrix m;
+    m.spec = spec;
+    Timer t;
+    if (spec.prec == Precision::D) {
+      const auto a = build_surrogate_d(spec, scale);
+      m.analysis = analyze(a, opts);
+      m.n = a.ncols();
+      m.nnza = a.nnz();
+    } else {
+      const auto a = build_surrogate_z(spec, scale);
+      m.analysis = analyze(a, opts);
+      m.n = a.ncols();
+      m.nnza = a.nnz();
+    }
+    m.gflop = m.analysis.total_flops(spec.method) / 1e9;
+    std::fprintf(stderr, "[bench] %-10s analyzed in %5.1fs (%.1f GFlop)\n",
+                 spec.name.c_str(), t.elapsed(), m.gflop);
+    out.push_back(std::move(m));
+  }
+  SPX_CHECK_ARG(!out.empty(), "no matrix matched --matrix " + only);
+  return out;
+}
+
+/// Label "name(P, METHOD)" as the paper's figures use.
+inline std::string label(const SurrogateSpec& s) {
+  return s.name + "(" + to_string(s.prec) + "," + to_string(s.method) + ")";
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace spx::bench

@@ -1,0 +1,69 @@
+// Distributed fan-in study (the paper's future work, §VI).
+//
+// Strong scaling of the factorization over 1..8 simulated cluster nodes
+// (each a 12-core Mirage-class node), comparing the fan-in communication
+// scheme (aggregate local contributions, one message per (node, target
+// panel)) against eager fan-out (one message per remote update).  The
+// paper's prediction -- "by locally accumulating the updates until the
+// last updates to the supernode are available, we trade bandwidth for
+// latency" -- shows up as: far fewer messages, slightly more bytes per
+// message, and better scaling once the network saturates.
+#include "bench_common.hpp"
+#include "dist/fanin_sim.hpp"
+#include "sim/cost_model.hpp"
+
+using namespace spx;
+using namespace spx::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  const std::string only = cli.get("matrix", "");
+  cli.check_unknown();
+
+  std::vector<BenchMatrix> matrices;
+  for (const char* name : {"Flan", "Serena"}) {
+    if (!only.empty() && only != name) continue;
+    auto m = load_matrices(scale, name);
+    matrices.push_back(std::move(m.front()));
+  }
+  SPX_CHECK_ARG(!matrices.empty(), "no matrix selected");
+
+  std::printf("Distributed fan-in vs fan-out (simulated cluster of 12-core "
+              "nodes)\n");
+  print_rule(108);
+  std::printf("%-14s %5s | %9s %9s %8s %9s | %9s %9s %8s %9s\n", "matrix",
+              "nodes", "fanin GF", "msgs", "GB", "nic%", "fanout GF",
+              "msgs", "GB", "nic%");
+  print_rule(108);
+
+  for (const BenchMatrix& m : matrices) {
+    sim::CostModel::Options mopts;
+    mopts.complex_arith = m.complex_arith();
+    mopts.task_overhead = 2e-6;
+    sim::CostModel model(sim::mirage(), m.analysis.structure, m.spec.method,
+                         mopts);
+    for (const index_t nodes : {1, 2, 4, 8}) {
+      dist::ClusterSpec cluster;
+      cluster.num_nodes = nodes;
+      const auto fi = dist::simulate_distributed(
+          m.analysis.structure, m.spec.method, model, cluster,
+          dist::CommMode::FanIn);
+      const auto fo = dist::simulate_distributed(
+          m.analysis.structure, m.spec.method, model, cluster,
+          dist::CommMode::FanOut);
+      std::printf(
+          "%-14s %5d | %9.1f %9lld %8.2f %8.1f%% | %9.1f %9lld %8.2f "
+          "%8.1f%%\n",
+          m.spec.name.c_str(), nodes, fi.gflops,
+          static_cast<long long>(fi.messages), fi.bytes_sent / 1e9,
+          100.0 * fi.comm_busy_max, fo.gflops,
+          static_cast<long long>(fo.messages), fo.bytes_sent / 1e9,
+          100.0 * fo.comm_busy_max);
+    }
+    print_rule(108);
+  }
+  std::printf("fan-in sends one aggregated message per (node, target); "
+              "fan-out one per remote update.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduction of Figure 3: multi-stream DGEMM kernel study.
+//
+// The paper benchmarks C = C - A*B^T with A (M x K), B (N x K), N = K =
+// 128, for three kernel implementations -- cuBLAS, the auto-tuned ASTRA
+// kernel (~ -15%), and the sparse adaptation of ASTRA that scatters into a
+// gapped destination panel twice as tall as the update (blocks of ~200
+// rows) -- each with 1, 2 or 3 CUDA streams; 100 calls are distributed
+// round-robin over the streams.  We replay exactly that experiment on the
+// simulated Fermi M2070: per-kernel times/demands from the occupancy +
+// roofline model, stream overlap from the shared-capacity device engine.
+//
+// Expected shape: one stream is always worst; a second stream helps
+// everywhere (a lot below M~1000); a third only below M~1000; the sparse
+// kernel sits below ASTRA and degrades as the destination panel grows
+// taller.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device_engine.hpp"
+#include "sim/platform.hpp"
+
+using namespace spx;
+using sim::DeviceEngine;
+using sim::GpuGemmVariant;
+
+namespace {
+
+/// Replays `calls` identical kernels round-robin over `streams` streams
+/// and returns the aggregate GFlop/s.
+double replay(const sim::PlatformSpec& spec, double m, double n, double k,
+              GpuGemmVariant variant, double gap, int streams, int calls) {
+  const double dur = sim::gpu_gemm_seconds(spec, m, n, k, variant, gap);
+  const double demand = sim::gpu_gemm_demand(spec, m, n);
+  DeviceEngine dev(streams);
+  std::vector<int> remaining(streams, 0);
+  for (int c = 0; c < calls; ++c) remaining[c % streams]++;
+  double now = 0.0;
+  // Fill all streams, then replace each finishing kernel with the next.
+  for (int s = 0; s < streams; ++s) {
+    if (remaining[s] > 0) {
+      dev.start(s, now, dur, demand);
+      remaining[s]--;
+    }
+  }
+  while (true) {
+    const auto [slot, t] = dev.next_completion();
+    if (slot < 0) break;
+    now = t;
+    dev.finish(slot, now);
+    if (remaining[slot] > 0) {
+      dev.start(slot, now, dur, demand);
+      remaining[slot]--;
+    }
+  }
+  return calls * flops_gemm(m, n, k) / now / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int calls = static_cast<int>(cli.get_int("calls", 100));
+  const double gap = cli.get_double("gap", 2.0);  // panel twice as tall
+  cli.check_unknown();
+
+  const sim::PlatformSpec spec = sim::mirage();
+  const double n = 128, k = 128;
+
+  std::printf(
+      "Figure 3: DGEMM kernel GFlop/s vs M (N=K=128, simulated M2070, %d "
+      "calls round-robin)\n",
+      calls);
+  std::printf("cuBLAS square-matrix peak: %.0f GFlop/s\n\n",
+              spec.gpu_peak_gflops);
+  std::printf("%6s |", "M");
+  for (const char* impl : {"cublas", "astra", "sparse"}) {
+    for (int s = 1; s <= 3; ++s) std::printf(" %6s-%d", impl, s);
+    std::printf(" |");
+  }
+  std::printf("\n");
+  for (int i = 0; i < 7 + 3 * 28; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  const double ms[] = {128,  256,  384,  512,  768,  1000, 1500,
+                       2000, 3000, 4000, 5000, 6000, 8000, 10000};
+  for (const double m : ms) {
+    std::printf("%6.0f |", m);
+    const GpuGemmVariant variants[] = {GpuGemmVariant::Cublas,
+                                       GpuGemmVariant::Astra,
+                                       GpuGemmVariant::Sparse};
+    for (const GpuGemmVariant v : variants) {
+      const double g = v == GpuGemmVariant::Sparse ? gap : 1.0;
+      for (int s = 1; s <= 3; ++s) {
+        std::printf(" %8.1f", replay(spec, m, n, k, v, g, s, calls));
+      }
+      std::printf(" |");
+    }
+    std::printf("\n");
+  }
+
+  // The paper's accompanying observation: the sparse kernel degrades as
+  // the destination panel gets taller (flops per byte drops).
+  std::printf("\nsparse kernel (1 stream, M=4000) vs destination panel "
+              "height ratio:\n");
+  for (const double g : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    std::printf("  gap %.1fx -> %7.1f GFlop/s\n", g,
+                replay(spec, 4000, n, k, GpuGemmVariant::Sparse, g, 1,
+                       calls));
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduction of Figure 4: GPU scaling study.
+//
+// GFlop/s of the factorization with twelve CPU cores plus zero to three
+// GPUs of the simulated Mirage node:
+//   * native PASTIX (CPU-only) as the reference bar;
+//   * StarPU-like runs (a CPU worker is removed per GPU, single stream,
+//     transfer prefetch);
+//   * PaRSEC-like runs with 1 stream and with 3 streams per GPU.
+// Expected shape (paper §V-C): both runtimes get significant speedup from
+// GPUs and scale over 1..3 devices; PaRSEC's 3-stream mode beats its
+// 1-stream mode (small kernels overlap); afshell10 is too small to
+// benefit.
+#include "bench_common.hpp"
+
+using namespace spx;
+using namespace spx::bench;
+
+namespace {
+
+double run(const BenchMatrix& m, const std::string& sched, int gpus,
+           int streams) {
+  SimRunConfig cfg;
+  cfg.scheduler = sched;
+  cfg.cores = 12;
+  cfg.gpus = gpus;
+  cfg.streams_per_gpu = streams;
+  cfg.complex_arith = m.complex_arith();
+  return simulate_run(m.analysis, m.spec.method, cfg).gflops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  const std::string only = cli.get("matrix", "");
+  cli.check_unknown();
+
+  const auto matrices = load_matrices(scale, only);
+
+  std::printf(
+      "Figure 4: GFlop/s with 12 cores + 0..3 GPUs (simulated Mirage "
+      "node)\n");
+  print_rule(118);
+  std::printf("%-22s %8s |", "matrix", "PASTIX");
+  for (int g = 0; g <= 3; ++g) std::printf(" %7s%d", "SPU g", g);
+  std::printf(" |");
+  for (int g = 0; g <= 3; ++g) std::printf(" %6s%d", "P1s g", g);
+  std::printf(" |");
+  for (int g = 1; g <= 3; ++g) std::printf(" %6s%d", "P3s g", g);
+  std::printf("\n");
+  print_rule(118);
+
+  for (const BenchMatrix& m : matrices) {
+    std::printf("%-22s %8.1f |", label(m.spec).c_str(),
+                run(m, "native", 0, 1));
+    for (int g = 0; g <= 3; ++g) std::printf(" %8.1f", run(m, "starpu", g, 1));
+    std::printf(" |");
+    for (int g = 0; g <= 3; ++g) std::printf(" %7.1f", run(m, "parsec", g, 1));
+    std::printf(" |");
+    for (int g = 1; g <= 3; ++g) std::printf(" %7.1f", run(m, "parsec", g, 3));
+    std::printf("\n");
+  }
+  print_rule(118);
+  std::printf(
+      "columns: PASTIX = native CPU reference; SPU gN = StarPU-like with N "
+      "GPUs;\nP1s/P3s gN = PaRSEC-like with N GPUs and 1 or 3 streams per "
+      "GPU\n");
+  return 0;
+}

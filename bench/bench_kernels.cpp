@@ -1,0 +1,164 @@
+// Microbenchmarks of the real host kernels (google-benchmark): the dense
+// BLAS substrate, the two sparse-update code paths, and the end-to-end
+// sequential factorization.  These are the numbers a host calibration
+// would feed into the simulator's CPU model.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/analysis.hpp"
+#include "core/sequential.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/scatter.hpp"
+#include "mat/generators.hpp"
+
+namespace spx {
+namespace {
+namespace k = kernels;
+
+void BM_GemmNT(benchmark::State& state) {
+  const index_t m = static_cast<index_t>(state.range(0));
+  const index_t n = 128, kk = 128;
+  Rng rng(1);
+  std::vector<real_t> a(static_cast<std::size_t>(m) * kk),
+      b(static_cast<std::size_t>(n) * kk), c(static_cast<std::size_t>(m) * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    k::gemm_nt<real_t>(m, n, kk, -1.0, a.data(), m, b.data(), n, 1.0,
+                       c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_gemm(m, n, kk) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256)->Arg(1024)->Iterations(20);
+
+void BM_GemmNTComplex(benchmark::State& state) {
+  const index_t m = static_cast<index_t>(state.range(0));
+  const index_t n = 64, kk = 64;
+  Rng rng(2);
+  std::vector<complex_t> a(static_cast<std::size_t>(m) * kk),
+      b(static_cast<std::size_t>(n) * kk), c(static_cast<std::size_t>(m) * n);
+  for (auto& v : a) v = rng.scalar<complex_t>();
+  for (auto& v : b) v = rng.scalar<complex_t>();
+  for (auto _ : state) {
+    k::gemm_nt<complex_t>(m, n, kk, complex_t(-1.0), a.data(), m, b.data(),
+                          n, complex_t(1.0), c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNTComplex)->Arg(256)->Iterations(20);
+
+void BM_Potrf(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  Rng rng(3);
+  std::vector<real_t> base(static_cast<std::size_t>(n) * n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      base[i + static_cast<std::size_t>(j) * n] =
+          (i == j) ? n + 1.0 : 0.5 * rng.uniform(-1, 1);
+    }
+  }
+  for (auto _ : state) {
+    auto a = base;
+    k::potrf<real_t>(n, a.data(), n);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256)->Iterations(20);
+
+void BM_TrsmRLT(benchmark::State& state) {
+  const index_t m = static_cast<index_t>(state.range(0)), n = 128;
+  Rng rng(4);
+  std::vector<real_t> l(static_cast<std::size_t>(n) * n),
+      x(static_cast<std::size_t>(m) * n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      l[i + static_cast<std::size_t>(j) * n] =
+          (i == j) ? n + 1.0 : rng.uniform(-1, 1);
+    }
+  }
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    k::trsm_right_lower_trans<real_t>(m, n, l.data(), n, x.data(), m, false);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_TrsmRLT)->Arg(256)->Arg(1024)->Iterations(20);
+
+// The two sparse-update code paths of the paper (§V-B): contiguous GEMM +
+// scatter (CPU kernel) vs segmented GEMM straight into the gapped panel
+// (the GPU kernel's structure).
+struct UpdateFixture {
+  Analysis an = analyze(gen::grid3d_laplacian(14, 14, 14));
+  FactorData<real_t> f{an.structure, Factorization::LLT};
+  index_t src = -1;
+  index_t edge = -1;
+
+  UpdateFixture() {
+    // Pick the heaviest update edge.
+    double best = -1;
+    for (index_t p = 0; p < an.structure.num_panels(); ++p) {
+      for (index_t e = 0;
+           e < static_cast<index_t>(an.structure.targets[p].size()); ++e) {
+        const double fl = an.structure.update_task_flops(
+            p, an.structure.targets[p][e], Factorization::LLT);
+        if (fl > best) {
+          best = fl;
+          src = p;
+          edge = e;
+        }
+      }
+    }
+    Rng rng(5);
+    for (auto& v : std::span<real_t>(f.panel_l(0),
+                                     (std::size_t)an.structure.factor_entries)) {
+      v = rng.uniform(-0.1, 0.1);
+    }
+  }
+};
+
+void BM_UpdateTempBuffer(benchmark::State& state) {
+  static UpdateFixture fx;
+  Workspace<real_t> ws;
+  for (auto _ : state) {
+    apply_update(fx.f, fx.src, fx.an.structure.targets[fx.src][fx.edge],
+                 UpdateVariant::TempBuffer, ws);
+    benchmark::DoNotOptimize(fx.f.panel_l(0));
+  }
+}
+BENCHMARK(BM_UpdateTempBuffer)->Iterations(50);
+
+void BM_UpdateDirect(benchmark::State& state) {
+  static UpdateFixture fx;
+  Workspace<real_t> ws;
+  for (auto _ : state) {
+    apply_update(fx.f, fx.src, fx.an.structure.targets[fx.src][fx.edge],
+                 UpdateVariant::Direct, ws);
+    benchmark::DoNotOptimize(fx.f.panel_l(0));
+  }
+}
+BENCHMARK(BM_UpdateDirect)->Iterations(50);
+
+void BM_SequentialCholesky(benchmark::State& state) {
+  const auto a = gen::grid3d_laplacian(10, 10, 10);
+  const Analysis an = analyze(a);
+  const auto ap = permute_symmetric(a, an.perm);
+  for (auto _ : state) {
+    FactorData<real_t> f(an.structure, Factorization::LLT);
+    f.initialize(ap);
+    factorize_sequential(f);
+    benchmark::DoNotOptimize(f.panel_l(0));
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      an.total_flops(Factorization::LLT) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialCholesky)->Iterations(3);
+
+}  // namespace
+}  // namespace spx
+
+BENCHMARK_MAIN();

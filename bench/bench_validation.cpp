@@ -1,0 +1,68 @@
+// Simulator validation: real execution vs simulated prediction on THIS
+// host.
+//
+// The paper-scale figures run on a *simulated* Mirage node (DESIGN.md §2).
+// This bench backs that methodology: it calibrates the host's kernel
+// rates, points the simulator at the calibrated spec, and compares
+// predicted factorization times against real single-worker runs of the
+// same schedules.  Agreement within a few tens of percent across matrices
+// and factorization kinds is what makes the simulated scaling studies
+// trustworthy.
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "sim/calibration.hpp"
+
+using namespace spx;
+using namespace spx::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.15);
+  cli.check_unknown();
+
+  sim::CalibrationReport rep;
+  sim::PlatformSpec host = sim::calibrate_host(&rep);
+  std::printf("host calibration: gemm %.2f GFlop/s (large) / %.2f (small), "
+              "potrf %.2f, stream %.2f GB/s -> half_dim %.1f\n\n",
+              rep.gemm_large_gflops, rep.gemm_small_gflops,
+              rep.potrf_gflops, rep.stream_bw / 1e9, host.cpu_half_dim);
+
+  std::printf("%-22s %-10s | %9s %9s %7s\n", "matrix", "kind", "real(s)",
+              "sim(s)", "ratio");
+  print_rule(66);
+  double worst = 1.0;
+  for (const SurrogateSpec& spec : paper_surrogates()) {
+    if (spec.prec != Precision::D) continue;  // keep the run short
+    const auto a = build_surrogate_d(spec, scale);
+    AnalysisOptions aopts;
+    aopts.symbolic.amalgamation.fill_ratio = 0.12;
+    aopts.symbolic.max_panel_width = 128;
+
+    // Real single-worker run through the PaRSEC-like runtime.
+    SolverOptions sopts;
+    sopts.runtime = RuntimeKind::Parsec;
+    sopts.num_threads = 1;
+    sopts.analysis = aopts;
+    Solver<double> solver(sopts);
+    solver.factorize(a, spec.method);
+    const double real_s = solver.last_factorization_stats().makespan;
+
+    // Simulated prediction on the calibrated host platform.
+    SimRunConfig cfg;
+    cfg.scheduler = "parsec";
+    cfg.cores = 1;
+    cfg.platform = host;
+    const double sim_s =
+        simulate_run(solver.analysis(), spec.method, cfg).makespan;
+
+    const double ratio = real_s / sim_s;
+    worst = std::max(worst, std::max(ratio, 1.0 / ratio));
+    std::printf("%-22s %-10s | %9.3f %9.3f %6.2fx\n", label(spec).c_str(),
+                to_string(spec.method), real_s, sim_s, ratio);
+  }
+  print_rule(66);
+  std::printf("worst real/sim discrepancy: %.2fx %s\n", worst,
+              worst < 2.0 ? "(model validated within 2x)"
+                          : "(model drift: recalibrate?)");
+  return 0;
+}

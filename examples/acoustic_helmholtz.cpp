@@ -1,0 +1,62 @@
+// Frequency-domain acoustics: complex-symmetric LDL^T (Z arithmetic).
+//
+// This is the pmlDF workload of the paper: a Helmholtz operator with an
+// absorbing PML layer gives a complex *symmetric* (not Hermitian) matrix,
+// factorized as L D L^T over std::complex<double> with plain transposes.
+// Solves a point-source problem at a few frequencies, reusing the symbolic
+// analysis across factorizations (the pattern does not change).
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/solver.hpp"
+#include "mat/generators.hpp"
+
+using namespace spx;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const index_t n = static_cast<index_t>(cli.get_int("n", 24));
+  cli.check_unknown();
+
+  SolverOptions options;
+  options.runtime = RuntimeKind::Parsec;
+  Solver<complex_t> solver(options);
+
+  const index_t center = (n / 2 * n + n / 2) * n + n / 2;
+  bool analyzed = false;
+  for (const double k : {0.3, 0.6, 0.9}) {
+    const CscMatrix<complex_t> a = gen::helmholtz3d(n, n, n, k);
+    if (!analyzed) {
+      // One symbolic analysis serves all frequencies (same pattern).
+      solver.analyze(a);
+      std::printf("n=%d^3 complex dofs, nnzL=%lld (analysis reused across "
+                  "frequencies)\n\n",
+                  n,
+                  static_cast<long long>(
+                      solver.analysis().structure.nnz_factor));
+      analyzed = true;
+    }
+    Timer t;
+    solver.factorize(a, Factorization::LDLT);
+    std::vector<complex_t> p(a.ncols(), complex_t(0));
+    p[center] = complex_t(1.0, 0.0);  // point source
+    solver.solve(p);
+
+    // Field amplitude decays away from the source through the lossy
+    // medium; check the residual by recomputing A*p.
+    std::vector<complex_t> ap(a.ncols());
+    a.multiply(p, ap);
+    double resid = 0.0;
+    for (index_t i = 0; i < a.ncols(); ++i) {
+      const complex_t want = i == center ? complex_t(1) : complex_t(0);
+      resid = std::max(resid, std::abs(ap[i] - want));
+    }
+    std::printf("wavenumber %.1f: |p(src)|=%.4f, residual=%.2e, "
+                "factor+solve %.3fs\n",
+                k, std::abs(p[center]), resid, t.elapsed());
+    if (resid > 1e-8) return 1;
+  }
+  return 0;
+}

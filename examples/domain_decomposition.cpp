@@ -1,0 +1,67 @@
+// Domain decomposition via Schur complements.
+//
+// Splits a 2D plate into two halves along a vertical interface, condenses
+// each half onto the interface unknowns with a partial factorization,
+// solves the small dense interface system, and recovers both interiors --
+// the classic substructuring workflow the Schur API supports.  Here the
+// whole plate is one matrix and the "subdomain" is simulated by letting
+// the interface set be the middle grid column, so the result can be
+// validated against a plain direct solve of the same system.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/schur.hpp"
+#include "core/solver.hpp"
+#include "kernels/dense.hpp"
+#include "mat/generators.hpp"
+
+using namespace spx;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const index_t nx = static_cast<index_t>(cli.get_int("nx", 60));
+  cli.check_unknown();
+
+  const CscMatrix<double> a = gen::grid2d_laplacian(nx, nx);
+  // Interface: the middle grid column (nx unknowns).
+  std::vector<index_t> iface;
+  for (index_t y = 0; y < nx; ++y) iface.push_back(y * nx + nx / 2);
+  std::printf("plate %dx%d: %d unknowns, interface of %zu\n", nx, nx,
+              a.ncols(), iface.size());
+
+  Timer t;
+  SchurComplement<double> sc;
+  sc.compute(a, iface, Factorization::LLT);
+  std::printf("partial factorization (interiors condensed): %.3fs\n",
+              t.elapsed());
+
+  // Load: unit heat source everywhere.
+  std::vector<double> b(a.ncols(), 1.0);
+
+  // Interface system: S x2 = b2 - A21 A11^{-1} b1, dense k x k.
+  auto s = sc.schur_matrix();
+  auto x2 = sc.condense_rhs(b);
+  const index_t k = sc.schur_size();
+  kernels::potrf<double>(k, s.data(), k);
+  kernels::trsv_lower<double>(k, s.data(), k, false, x2.data());
+  kernels::trsv_lower_trans<double>(k, s.data(), k, false, x2.data());
+  std::printf("dense interface solve: %d x %d SPD system\n", k, k);
+
+  const std::vector<double> x = sc.expand_solution(b, x2);
+
+  // Validate against the plain direct solver.
+  Solver<double> direct;
+  std::vector<double> xref = b;
+  direct.factorize(a, Factorization::LLT);
+  direct.solve(xref);
+  double err = 0.0, peak = 0.0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(x[i] - xref[i]));
+    peak = std::max(peak, x[i]);
+  }
+  std::printf("peak temperature %.4f; |x_dd - x_direct|_inf = %.2e\n",
+              peak, err);
+  return err < 1e-8 ? 0 : 1;
+}

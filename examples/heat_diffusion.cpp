@@ -1,0 +1,79 @@
+// Implicit heat diffusion: one analyze + factorize, many solves.
+//
+// Backward-Euler time stepping of u_t = alpha * Laplace(u) on a 2D plate
+// with a hot spot: every step solves (I + alpha*dt*A) u^{k+1} = u^k with
+// the SAME matrix, which is the classic workload sparse direct solvers
+// win: the O(n^1.5) factorization is paid once and each step is a cheap
+// pair of triangular solves.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/solver.hpp"
+#include "mat/triplets.hpp"
+
+using namespace spx;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const index_t nx = static_cast<index_t>(cli.get_int("nx", 120));
+  const int steps = static_cast<int>(cli.get_int("steps", 50));
+  const double alpha_dt = cli.get_double("alpha-dt", 0.25);
+  cli.check_unknown();
+
+  // System matrix I + alpha*dt*A (A = 5-point Laplacian, grid spacing 1).
+  const index_t n = nx * nx;
+  Triplets<double> t(n, n);
+  for (index_t y = 0; y < nx; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t c = y * nx + x;
+      t.add(c, c, 1.0 + 4.0 * alpha_dt);
+      if (x + 1 < nx) t.add_sym(c + 1, c, -alpha_dt);
+      if (y + 1 < nx) t.add_sym(c + nx, c, -alpha_dt);
+    }
+  }
+  const CscMatrix<double> a = t.to_csc();
+
+  SolverOptions options;
+  options.runtime = RuntimeKind::Parsec;
+  Solver<double> solver(options);
+  Timer setup;
+  solver.factorize(a, Factorization::LLT);
+  const double setup_time = setup.elapsed();
+
+  // Initial condition: a hot square in the center.
+  std::vector<double> u(n, 0.0);
+  for (index_t y = 2 * nx / 5; y < 3 * nx / 5; ++y) {
+    for (index_t x = 2 * nx / 5; x < 3 * nx / 5; ++x) {
+      u[y * nx + x] = 100.0;
+    }
+  }
+  auto total_heat = [&] {
+    double s = 0.0;
+    for (const double v : u) s += v;
+    return s;
+  };
+
+  const double heat0 = total_heat();
+  Timer stepping;
+  for (int step = 1; step <= steps; ++step) {
+    solver.solve(u);  // u <- (I + alpha*dt*A)^{-1} u
+    if (step % 10 == 0) {
+      double umax = 0.0;
+      for (const double v : u) umax = std::max(umax, v);
+      std::printf("step %3d: peak temperature %7.3f, total heat %.1f\n",
+                  step, umax, total_heat());
+    }
+  }
+  const double step_time = stepping.elapsed() / steps;
+
+  // Sanity: homogeneous Neumann-free interior diffusion conserves heat up
+  // to boundary losses; it must never grow.
+  std::printf("\nheat: initial %.1f, final %.1f (boundary losses only)\n",
+              heat0, total_heat());
+  std::printf("factorize once: %.3fs; per-step solve: %.4fs (%.0fx "
+              "cheaper)\n",
+              setup_time, step_time, setup_time / step_time);
+  return total_heat() <= heat0 * (1 + 1e-9) ? 0 : 1;
+}

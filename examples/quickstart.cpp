@@ -1,0 +1,67 @@
+// Quickstart: solve a sparse SPD system with the task-based solver.
+//
+//   $ ./quickstart [--n 40] [--runtime parsec|starpu|native|sequential]
+//
+// Builds a 3D Poisson problem, factorizes it with the selected task
+// runtime, solves against a manufactured right-hand side, and reports the
+// residual -- the whole public API in ~60 lines.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/solver.hpp"
+#include "mat/generators.hpp"
+
+using namespace spx;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const index_t n = static_cast<index_t>(cli.get_int("n", 40));
+  const std::string runtime = cli.get("runtime", "parsec");
+  cli.check_unknown();
+
+  // 1. Build a sparse matrix (7-point Laplacian on an n^3 grid).
+  const CscMatrix<double> a = gen::grid3d_laplacian(n, n, n);
+  std::printf("matrix: %d unknowns, %lld nonzeros\n", a.ncols(),
+              static_cast<long long>(a.nnz()));
+
+  // 2. Configure the solver.
+  SolverOptions options;
+  if (runtime == "parsec") {
+    options.runtime = RuntimeKind::Parsec;
+  } else if (runtime == "starpu") {
+    options.runtime = RuntimeKind::Starpu;
+  } else if (runtime == "native") {
+    options.runtime = RuntimeKind::Native;
+  } else {
+    options.runtime = RuntimeKind::Sequential;
+  }
+  Solver<double> solver(options);
+
+  // 3. Analyze (ordering + symbolic factorization) and factorize.
+  solver.analyze(a);
+  const auto& st = solver.analysis().structure;
+  std::printf("analysis: %d panels, %lld update tasks, nnz(L)=%lld "
+              "(%.1fx fill)\n",
+              st.num_panels(),
+              static_cast<long long>(st.num_update_tasks()),
+              static_cast<long long>(st.nnz_factor),
+              double(st.nnz_factor) / double(a.nnz()));
+  solver.factorize(a, Factorization::LLT);
+  std::printf("factorize[%s]: %.3fs (%.2f GFlop/s)\n", runtime.c_str(),
+              solver.last_factorization_stats().makespan,
+              solver.last_factorization_stats().gflops);
+
+  // 4. Solve A x = b for a manufactured solution x* = 1.
+  std::vector<double> xstar(a.ncols(), 1.0), b(a.ncols());
+  a.multiply(xstar, b);
+  std::vector<double> x = b;
+  solver.solve(x);
+
+  double err = 0.0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(x[i] - 1.0));
+  }
+  std::printf("max |x - x*| = %.3e\n", err);
+  return err < 1e-8 ? 0 : 1;
+}

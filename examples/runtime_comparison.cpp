@@ -1,0 +1,88 @@
+// Runtime comparison: the paper's experiment in miniature.
+//
+// Factorizes one matrix under all four execution modes with real threads
+// (numerically identical results), then replays the same schedule on the
+// simulated 12-core / 3-GPU Mirage node -- the configuration the paper's
+// Figures 2 and 4 evaluate.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/sim_runner.hpp"
+#include "core/solver.hpp"
+#include "mat/surrogates.hpp"
+#include "runtime/flop_costs.hpp"
+#include "runtime/parsec_scheduler.hpp"
+#include "runtime/real_driver.hpp"
+#include "runtime/trace.hpp"
+
+using namespace spx;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string name = cli.get("matrix", "Flan");
+  const double scale = cli.get_double("scale", 0.25);
+  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const std::string trace_path = cli.get("trace", "");
+  cli.check_unknown();
+
+  const SurrogateSpec& spec = surrogate_by_name(name);
+  SPX_CHECK_ARG(spec.prec == Precision::D,
+                "this example uses the real-precision surrogates");
+  const CscMatrix<double> a = build_surrogate_d(spec, scale);
+  std::printf("%s surrogate at scale %.2f: %d unknowns\n\n", name.c_str(),
+              scale, a.ncols());
+
+  std::printf("--- real execution on this host (%d threads) ---\n",
+              threads);
+  for (const RuntimeKind rt :
+       {RuntimeKind::Sequential, RuntimeKind::Native, RuntimeKind::Starpu,
+        RuntimeKind::Parsec}) {
+    SolverOptions options;
+    options.runtime = rt;
+    options.num_threads = threads;
+    Solver<double> solver(options);
+    solver.factorize(a, spec.method);
+    const RunStats& st = solver.last_factorization_stats();
+    std::printf("  %-10s %7.3fs  %6.2f GFlop/s\n", to_string(rt),
+                st.makespan, st.gflops);
+  }
+
+  if (!trace_path.empty()) {
+    // Gantt trace of one real parsec run: open the file in
+    // chrome://tracing or Perfetto.
+    const Analysis tan = analyze(a);
+    FactorData<double> f(tan.structure, spec.method);
+    f.initialize(permute_symmetric(a, tan.perm));
+    TaskTable table(tan.structure, spec.method);
+    Machine machine(threads);
+    FlopCosts costs(table);
+    ParsecScheduler sched(table, machine, costs);
+    TraceRecorder trace;
+    RealDriverOptions dopts;
+    dopts.trace = &trace;
+    execute_real(sched, machine, f, dopts);
+    trace.write_chrome_json_file(trace_path);
+    std::printf("\nwrote %zu task events to %s (open in chrome://tracing)\n",
+                trace.num_events(), trace_path.c_str());
+  }
+
+  std::printf("\n--- simulated Mirage node (12 cores, + GPUs) ---\n");
+  AnalysisOptions aopts;
+  aopts.symbolic.amalgamation.fill_ratio = 0.12;
+  const Analysis an = analyze(a, aopts);
+  for (const char* sched : {"native", "starpu", "parsec"}) {
+    SimRunConfig cfg;
+    cfg.scheduler = sched;
+    const RunStats cpu = simulate_run(an, spec.method, cfg);
+    std::printf("  %-10s cpu12: %6.2f GFlop/s", sched, cpu.gflops);
+    if (std::string(sched) != "native") {
+      cfg.gpus = 3;
+      cfg.streams_per_gpu = std::string(sched) == "parsec" ? 3 : 1;
+      const RunStats gpu = simulate_run(an, spec.method, cfg);
+      std::printf("   +3 GPUs: %6.2f GFlop/s (%.2f GB over PCIe)",
+                  gpu.gflops, (gpu.bytes_h2d + gpu.bytes_d2h) / 1e9);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Structural mechanics: 3D elasticity with LDL^T and iterative refinement.
+//
+// The audi/Geo1438/Serena matrices of the paper come from this domain.
+// Assembles a 3D linear-elasticity surrogate (3 dofs per node), factorizes
+// with LDL^T (the kind used for Serena), solves a gravity-load case, and
+// refines to near machine precision, reporting per-runtime statistics.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "mat/generators.hpp"
+
+using namespace spx;
+
+namespace {
+
+double residual_inf(const CscMatrix<double>& a,
+                    const std::vector<double>& x,
+                    const std::vector<double>& b) {
+  std::vector<double> ax(b.size());
+  a.multiply(x, ax);
+  double r = 0.0, bn = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    r = std::max(r, std::abs(ax[i] - b[i]));
+    bn = std::max(bn, std::abs(b[i]));
+  }
+  return r / bn;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const index_t nodes = static_cast<index_t>(cli.get_int("nodes", 16));
+  cli.check_unknown();
+
+  const CscMatrix<double> k = gen::elasticity3d(nodes, nodes, nodes);
+  std::printf("stiffness matrix: %d dofs (%d^3 nodes x 3), %lld nnz\n\n",
+              k.ncols(), nodes, static_cast<long long>(k.nnz()));
+
+  // Gravity load: -z force on every node.
+  std::vector<double> f(k.ncols(), 0.0);
+  for (index_t node = 0; node < k.ncols() / 3; ++node) {
+    f[3 * node + 2] = -9.81;
+  }
+
+  for (const RuntimeKind rt : {RuntimeKind::Native, RuntimeKind::Starpu,
+                               RuntimeKind::Parsec}) {
+    SolverOptions options;
+    options.runtime = rt;
+    Solver<double> solver(options);
+    solver.factorize(k, Factorization::LDLT);
+    const RunStats& st = solver.last_factorization_stats();
+
+    std::vector<double> u(k.ncols());
+    const int iters = solver.solve_refine(k, f, u, 1e-13);
+
+    double max_def = 0.0;
+    for (const double v : u) max_def = std::max(max_def, std::abs(v));
+    std::printf(
+        "%-8s factorize %.3fs (%5.2f GFlop/s, %d tasks), refine iters=%d, "
+        "residual=%.2e, peak deflection=%.4f\n",
+        to_string(rt), st.makespan, st.gflops,
+        static_cast<int>(st.tasks_cpu + st.tasks_gpu), iters,
+        residual_inf(k, u, f), max_def);
+  }
+  return 0;
+}

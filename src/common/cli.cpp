@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace spx {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    SPX_CHECK_ARG(arg.rfind("--", 0) == 0, "options must start with --: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";  // boolean flag
+    }
+  }
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) {
+  seen_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+long Cli::get_int(const std::string& name, long def) {
+  const std::string v = get(name, std::to_string(def));
+  return std::strtol(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  const std::string v = get(name, std::to_string(def));
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name) {
+  return get(name, "0") != "0";
+}
+
+void Cli::check_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (seen_.find(name) == seen_.end()) {
+      throw InvalidArgument("unknown option --" + name);
+    }
+  }
+}
+
+}  // namespace spx

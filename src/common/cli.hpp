@@ -1,0 +1,35 @@
+// Tiny command-line option parser shared by the examples and benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms.
+// Unknown options raise InvalidArgument so typos in bench scripts fail loud.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spx {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Declares an option with a default; returns the parsed value.
+  std::string get(const std::string& name, const std::string& def);
+  long get_int(const std::string& name, long def);
+  double get_double(const std::string& name, double def);
+  bool get_flag(const std::string& name);
+
+  /// Call after all get() calls: throws on options that were passed but
+  /// never declared.
+  void check_unknown() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> seen_;
+};
+
+}  // namespace spx

@@ -1,0 +1,53 @@
+// Error handling utilities for the spx library.
+//
+// We favour exceptions for unrecoverable misuse (bad arguments, inconsistent
+// structures) and SPX_ASSERT for internal invariants.  Hot kernels use
+// SPX_DEBUG_ASSERT which compiles away in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace spx {
+
+/// Exception thrown on invalid user input (bad matrix, bad options, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when a numerical factorization breaks down
+/// (non-positive pivot in Cholesky, zero pivot in static-pivoting LU, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Exception thrown on internal inconsistency (a bug in spx itself).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "spx assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace spx
+
+#define SPX_ASSERT(expr) \
+  ((expr) ? (void)0 : ::spx::assert_fail(#expr, __FILE__, __LINE__))
+
+#ifndef NDEBUG
+#define SPX_DEBUG_ASSERT(expr) SPX_ASSERT(expr)
+#else
+#define SPX_DEBUG_ASSERT(expr) ((void)0)
+#endif
+
+#define SPX_CHECK_ARG(expr, msg) \
+  ((expr) ? (void)0 : throw ::spx::InvalidArgument(msg))

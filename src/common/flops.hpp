@@ -1,0 +1,43 @@
+// Floating-point operation counts for the factorization kernels.
+//
+// These counts serve two purposes: (1) reporting GFlop/s the same way the
+// paper does (Table I's Flop column divided by factorization time), and
+// (2) feeding the simulated-platform cost models.  Counts follow the usual
+// LAPACK conventions and count *operations in the working precision*, i.e.
+// a complex multiply-add counts as one multiply + one add, exactly like the
+// paper's per-matrix Flop column (which is why Z matrices show lower
+// "GFlop/s" on the same hardware).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace spx {
+
+/// C(MxN) -= A(MxK) * B(KxN)^T : 2*M*N*K ops.
+inline double flops_gemm(double m, double n, double k) {
+  return 2.0 * m * n * k;
+}
+
+/// Triangular solve with M RHS columns against an NxN triangle.
+inline double flops_trsm(double n, double m) { return m * n * n; }
+
+/// Cholesky of an NxN block: n^3/3 + n^2/2 + n/6.
+inline double flops_potrf(double n) {
+  return n * n * n / 3.0 + n * n / 2.0 + n / 6.0;
+}
+
+/// LDL^T of an NxN block: ~n^3/3.
+inline double flops_ldlt(double n) {
+  return n * n * n / 3.0 + n * n;
+}
+
+/// LU (no pivoting) of an NxN block: 2n^3/3 - n^2/2.
+inline double flops_getrf(double n) {
+  return 2.0 * n * n * n / 3.0 + n * n / 2.0;
+}
+
+/// Column-scaling used by the LDL^T update (W = L * D): one multiply per
+/// entry.
+inline double flops_scale(double m, double n) { return m * n; }
+
+}  // namespace spx

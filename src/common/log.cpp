@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spx {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("SPX_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel>& level_slot() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Debug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { level_slot().store(level); }
+
+LogLevel log_level() { return level_slot().load(); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[spx %s] ", tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fprintf(stderr, "\n");
+  va_end(args);
+}
+
+}  // namespace spx

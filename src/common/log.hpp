@@ -1,0 +1,20 @@
+// Minimal leveled logging to stderr, controlled by SPX_LOG_LEVEL env var or
+// spx::set_log_level().  Library code logs sparingly; the drivers log task
+// traces at Debug level which the runtime tests consume.
+#pragma once
+
+#include <cstdarg>
+
+namespace spx {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; drops the message when `level` is above the
+/// configured verbosity.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace spx

@@ -1,0 +1,25 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace spx {
+
+/// Monotonic wall-clock timer with seconds resolution as double.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace spx

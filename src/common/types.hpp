@@ -1,0 +1,90 @@
+// Fundamental scalar/index types shared across the library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <type_traits>
+
+namespace spx {
+
+/// Index type used for matrix dimensions and sparse structures.  Sparse
+/// direct solvers routinely exceed 2^31 nonzeros in L, so row/column
+/// *pointer* arrays use 64 bits while index arrays stay at 32 bits
+/// (all paper matrices have < 2^31 rows).
+using index_t = std::int32_t;
+using size_type = std::int64_t;
+
+using real_t = double;
+using complex_t = std::complex<double>;
+
+/// Single-precision scalar used by the mixed-precision path (factor in
+/// float, refine in double).
+using real32_t = float;
+
+/// True for the scalar types the solver supports.
+template <typename T>
+inline constexpr bool is_supported_scalar_v =
+    std::is_same_v<T, real_t> || std::is_same_v<T, complex_t> ||
+    std::is_same_v<T, real32_t>;
+
+/// Maps a scalar type to its real magnitude type.
+template <typename T>
+struct real_of {
+  using type = T;
+};
+template <typename T>
+struct real_of<std::complex<T>> {
+  using type = T;
+};
+template <typename T>
+using real_of_t = typename real_of<T>::type;
+
+template <typename T>
+inline constexpr bool is_complex_v = !std::is_same_v<T, real_of_t<T>>;
+
+/// Magnitude of a scalar (|x|) as its real type.
+template <typename T>
+real_of_t<T> magnitude(T x) {
+  if constexpr (is_complex_v<T>) {
+    return std::abs(x);
+  } else {
+    return x < T(0) ? -x : x;
+  }
+}
+
+/// Precision tag used in reports (paper's Table I "Prec" column).
+enum class Precision { D, Z };
+
+template <typename T>
+constexpr Precision precision_of() {
+  if constexpr (is_complex_v<T>) {
+    return Precision::Z;
+  } else {
+    return Precision::D;
+  }
+}
+
+inline const char* to_string(Precision p) {
+  return p == Precision::D ? "D" : "Z";
+}
+
+/// Factorization kinds supported by the solver (paper §III).
+enum class Factorization {
+  LLT,   ///< Cholesky, symmetric positive definite
+  LDLT,  ///< LDL^T, symmetric (possibly indefinite, complex-symmetric)
+  LU     ///< LU with static pivoting, general matrices
+};
+
+inline const char* to_string(Factorization f) {
+  switch (f) {
+    case Factorization::LLT:
+      return "LLT";
+    case Factorization::LDLT:
+      return "LDLT";
+    case Factorization::LU:
+      return "LU";
+  }
+  return "?";
+}
+
+}  // namespace spx

@@ -1,0 +1,81 @@
+#include "core/analysis.hpp"
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "symbolic/amalgamation.hpp"
+
+namespace spx {
+
+Analysis analyze_ordered(const Graph& g, Ordering ord,
+                         const AnalysisOptions& opts, index_t schur_tail) {
+  Timer timer;
+  const index_t n = g.num_vertices();
+
+  // Postorder the elimination tree so subtrees (and hence supernodes) are
+  // contiguous.  (With a Schur tail, the trailing clique is the top chain
+  // of the tree and postorder keeps it a suffix: children are visited in
+  // ascending order, so the chain child of each clique column comes last.)
+  Graph g1 = permute_graph(g, ord);
+  {
+    const std::vector<index_t> parent = elimination_tree(g1);
+    const Ordering post =
+        Ordering::from_new_to_old(tree_postorder(parent));
+    ord = compose(ord, post);
+    g1 = permute_graph(g1, post);
+  }
+
+  const std::vector<index_t> parent = elimination_tree(g1);
+  const std::vector<index_t> post = tree_postorder(parent);
+  const std::vector<index_t> counts =
+      cholesky_col_counts(g1, parent, post);
+
+  SupernodePartition part = find_fundamental_supernodes(parent, counts);
+  SupernodeForest forest = supernodal_symbolic(g1, parent, part);
+  AmalgamationOptions aopts = opts.symbolic.amalgamation;
+  if (schur_tail > 0) {
+    // The Schur block must stay exactly the trailing columns: give it its
+    // own supernode and refuse merges into it.
+    force_partition_boundary(part, forest, n - schur_tail);
+    aopts.protect_tail = schur_tail;
+  }
+  AmalgamationResult amal = amalgamate(part, forest, aopts);
+
+  Analysis an;
+  an.perm = compose(ord, amal.renumber);
+  an.amalgamation_fill = amal.extra_fill;
+  an.structure = build_structure(amal.part, amal.forest,
+                                 opts.symbolic.max_panel_width);
+  an.nnz_a = 2 * g.num_edges() + n;
+  logf(LogLevel::Info,
+       "analysis: n=%d panels=%d nnzL=%lld (+%.1f%% amalgamated) "
+       "updates=%lld in %.2fs",
+       n, an.structure.num_panels(),
+       static_cast<long long>(an.structure.nnz_factor),
+       100.0 * static_cast<double>(amal.extra_fill) /
+           static_cast<double>(amal.nnz_before > 0 ? amal.nnz_before : 1),
+       static_cast<long long>(an.structure.num_update_tasks()),
+       timer.elapsed());
+  return an;
+}
+
+Analysis analyze_pattern(const Graph& g, const AnalysisOptions& opts) {
+  const index_t n = g.num_vertices();
+  Ordering ord;
+  switch (opts.ordering) {
+    case OrderingMethod::NestedDissection:
+      ord = nested_dissection(g, opts.nd);
+      break;
+    case OrderingMethod::MinimumDegree:
+      ord = minimum_degree(g);
+      break;
+    case OrderingMethod::RCM:
+      ord = reverse_cuthill_mckee(g);
+      break;
+    case OrderingMethod::Natural:
+      ord = Ordering::identity(n);
+      break;
+  }
+  return analyze_ordered(g, std::move(ord), opts, 0);
+}
+
+}  // namespace spx

@@ -1,0 +1,57 @@
+// The analysis phase: ordering + symbolic factorization + amalgamation +
+// panel splitting.  Runs once per matrix pattern; its output (an
+// Analysis) is shared by every factorization kind, runtime, and platform
+// -- exactly PASTIX's "analyze" step, which can be reused across numerical
+// factorizations thanks to static pivoting (paper §III).
+#pragma once
+
+#include "graph/orderings.hpp"
+#include "graph/permute_graph.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/structure.hpp"
+
+namespace spx {
+
+enum class OrderingMethod { NestedDissection, MinimumDegree, RCM, Natural };
+
+struct AnalysisOptions {
+  OrderingMethod ordering = OrderingMethod::NestedDissection;
+  NestedDissectionOptions nd;
+  SymbolicOptions symbolic;
+};
+
+struct Analysis {
+  /// Combined permutation: fill-reducing ordering, etree postorder, and
+  /// amalgamation renumbering.
+  Ordering perm;
+  SymbolicStructure structure;
+  /// nnz of the (symmetrized) input pattern including the diagonal.
+  size_type nnz_a = 0;
+  /// Extra explicit zeros accepted by amalgamation.
+  size_type amalgamation_fill = 0;
+
+  double total_flops(Factorization kind) const {
+    return structure.total_flops(kind);
+  }
+};
+
+/// Analyzes a symmetric pattern given as a Graph.
+Analysis analyze_pattern(const Graph& g, const AnalysisOptions& opts = {});
+
+/// Pipeline entry with a caller-supplied fill-reducing ordering; when
+/// `schur_tail` > 0 the last `schur_tail` columns of `ord` are kept as a
+/// contiguous, unmerged trailing block (Schur complement support; the
+/// caller must have made them a clique in `g`).
+Analysis analyze_ordered(const Graph& g, Ordering ord,
+                         const AnalysisOptions& opts, index_t schur_tail);
+
+/// Convenience: symmetrizes the matrix pattern and analyzes it.
+template <typename T>
+Analysis analyze(const CscMatrix<T>& a, const AnalysisOptions& opts = {}) {
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
+  Analysis an = analyze_pattern(Graph::from_pattern(a), opts);
+  an.nnz_a = a.nnz();
+  return an;
+}
+
+}  // namespace spx

@@ -1,0 +1,195 @@
+#include "core/codelets.hpp"
+
+#include <algorithm>
+
+#include "kernels/dense.hpp"
+
+namespace spx {
+namespace k = kernels;
+
+template <typename T>
+void factor_panel(FactorData<T>& f, index_t p) {
+  const SymbolicStructure& st = f.structure();
+  const Panel& panel = st.panels[p];
+  const index_t w = panel.width();
+  const index_t below = panel.nrows_below();
+  const index_t ld = panel.nrows;
+  T* diag = f.panel_l(p);
+  T* l21 = diag + w;
+
+  switch (f.kind()) {
+    case Factorization::LLT:
+      k::potrf(w, diag, ld);
+      if (below > 0) {
+        k::trsm_right_lower_trans(below, w, diag, ld, l21, ld, false);
+      }
+      break;
+    case Factorization::LDLT: {
+      k::ldlt(w, diag, ld);
+      T* d = f.panel_d(p);
+      for (index_t j = 0; j < w; ++j) {
+        d[j] = diag[j + static_cast<std::size_t>(j) * ld];
+      }
+      if (below > 0) {
+        k::trsm_right_lower_trans(below, w, diag, ld, l21, ld, true);
+        k::scale_cols_inv(below, w, l21, ld, d);
+      }
+      break;
+    }
+    case Factorization::LU: {
+      k::getrf_nopiv(w, diag, ld);
+      if (below > 0) {
+        // L21 := A21 * U11^{-1}
+        k::trsm_right_upper(below, w, diag, ld, l21, ld);
+        // U21' := A12^T * L11^{-T} (unit diagonal)
+        T* u21 = f.panel_u(p) + w;
+        k::trsm_right_lower_trans(below, w, diag, ld, u21, ld, true);
+      }
+      break;
+    }
+  }
+}
+
+template <typename T>
+void prescale_ldlt(const FactorData<T>& f, index_t p, Workspace<T>& ws) {
+  SPX_DEBUG_ASSERT(f.kind() == Factorization::LDLT);
+  const Panel& panel = f.structure().panels[p];
+  const index_t w = panel.width();
+  const index_t below = panel.nrows_below();
+  const index_t ld = panel.nrows;
+  ws.scaled.resize(static_cast<std::size_t>(ld) * w);
+  if (below > 0) {
+    // scaled(w: , :) = L21 * diag(D); keep full-panel leading dimension so
+    // block pointers line up with the L storage.
+    k::scale_cols(below, w, f.panel_l(p) + w, ld, f.panel_d(p),
+                  ws.scaled.data() + w, ld);
+  }
+}
+
+namespace {
+
+/// Runs one GEMM of an update (rows [first_offset, nrows) of the source
+/// against block b) into the destination using the chosen path.
+template <typename T>
+void update_gemm(const Panel& sp, const Panel& dp, const Block& blk,
+                 index_t first_offset, const T* a, const T* b, index_t ld,
+                 index_t ldb, T* dst, UpdateVariant variant,
+                 const std::vector<k::RowSegment>& segs, Workspace<T>& ws) {
+  const index_t m = sp.nrows - first_offset;
+  const index_t n = blk.height();
+  const index_t kk = sp.width();
+  const index_t dst_col = blk.row_begin - dp.col_begin;
+  if (m <= 0 || n <= 0) return;
+  if (variant == UpdateVariant::TempBuffer) {
+    ws.w.resize(static_cast<std::size_t>(m) * n);
+    k::gemm_nt(m, n, kk, T(1), a, ld, b, ldb, T(0), ws.w.data(), m);
+    k::scatter_sub(segs, n, ws.w.data(), m, dst, dp.nrows, dst_col);
+  } else {
+    k::gemm_nt_gapped(segs, n, kk, T(-1), a, ld, b, ldb, dst, dp.nrows,
+                      dst_col);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void apply_update(FactorData<T>& f, index_t src, const UpdateEdge& e,
+                  UpdateVariant variant, Workspace<T>& ws,
+                  const T* prescaled) {
+  const SymbolicStructure& st = f.structure();
+  const Panel& sp = st.panels[src];
+  const Panel& dp = st.panels[e.dst];
+  const index_t w = sp.width();
+  const index_t ld = sp.nrows;
+  const index_t first_off = sp.blocks[e.first_block].offset;
+
+  switch (f.kind()) {
+    case Factorization::LLT: {
+      const T* l = f.panel_l(src);
+      T* dst = f.panel_l(e.dst);
+      for (index_t bi = e.first_block; bi < e.last_block; ++bi) {
+        const Block& blk = sp.blocks[bi];
+        // Trapezoid: rows from this block down, columns = this block.
+        const auto segs = k::build_row_segments(sp, blk.offset, dp);
+        update_gemm(sp, dp, blk, blk.offset, l + blk.offset,
+                    l + blk.offset, ld, ld, dst, variant, segs, ws);
+      }
+      break;
+    }
+    case Factorization::LDLT: {
+      const T* l = f.panel_l(src);
+      T* dst = f.panel_l(e.dst);
+      for (index_t bi = e.first_block; bi < e.last_block; ++bi) {
+        const Block& blk = sp.blocks[bi];
+        const auto segs = k::build_row_segments(sp, blk.offset, dp);
+        const T* b;
+        index_t ldb;
+        if (prescaled != nullptr) {
+          // Native path: blocks of the shared prescaled panel buffer.
+          b = prescaled + blk.offset;
+          ldb = ld;
+        } else {
+          // Generic-runtime path: rescale this block now (the fused,
+          // slower LDL^T update kernel).
+          ws.scaled.resize(static_cast<std::size_t>(blk.height()) * w);
+          k::scale_cols(blk.height(), w, l + blk.offset, ld, f.panel_d(src),
+                        ws.scaled.data(), blk.height());
+          b = ws.scaled.data();
+          ldb = blk.height();
+        }
+        update_gemm(sp, dp, blk, blk.offset, l + blk.offset, b, ld, ldb,
+                    dst, variant, segs, ws);
+      }
+      break;
+    }
+    case Factorization::LU: {
+      const T* l = f.panel_l(src);
+      const T* u = f.panel_u(src);
+      // L side: rows from the first facing block down; the columns of the
+      // target it touches include its own diagonal block (both triangles,
+      // since U11 of the target lives there).
+      const auto lsegs = k::build_row_segments(sp, first_off, dp);
+      for (index_t bi = e.first_block; bi < e.last_block; ++bi) {
+        const Block& blk = sp.blocks[bi];
+        update_gemm(sp, dp, blk, first_off, l + first_off, u + blk.offset,
+                    ld, ld, f.panel_l(e.dst), variant, lsegs, ws);
+      }
+      // U side: rows strictly past the facing blocks (those correspond to
+      // columns beyond the target panel, i.e. its U^T part).
+      const index_t last_off = e.last_block < static_cast<index_t>(sp.blocks.size())
+                                   ? sp.blocks[e.last_block].offset
+                                   : sp.nrows;
+      if (last_off < sp.nrows) {
+        const auto usegs = k::build_row_segments(sp, last_off, dp);
+        for (index_t bi = e.first_block; bi < e.last_block; ++bi) {
+          const Block& blk = sp.blocks[bi];
+          update_gemm(sp, dp, blk, last_off, u + last_off, l + blk.offset,
+                      ld, ld, f.panel_u(e.dst), variant, usegs, ws);
+        }
+      }
+      break;
+    }
+  }
+}
+
+template void factor_panel<real_t>(FactorData<real_t>&, index_t);
+template void factor_panel<complex_t>(FactorData<complex_t>&, index_t);
+template void prescale_ldlt<real_t>(const FactorData<real_t>&, index_t,
+                                    Workspace<real_t>&);
+template void prescale_ldlt<complex_t>(const FactorData<complex_t>&,
+                                       index_t, Workspace<complex_t>&);
+template void apply_update<real_t>(FactorData<real_t>&, index_t,
+                                   const UpdateEdge&, UpdateVariant,
+                                   Workspace<real_t>&, const real_t*);
+template void apply_update<complex_t>(FactorData<complex_t>&, index_t,
+                                      const UpdateEdge&, UpdateVariant,
+                                      Workspace<complex_t>&,
+                                      const complex_t*);
+template void factor_panel<real32_t>(FactorData<real32_t>&, index_t);
+template void prescale_ldlt<real32_t>(const FactorData<real32_t>&, index_t,
+                                      Workspace<real32_t>&);
+template void apply_update<real32_t>(FactorData<real32_t>&, index_t,
+                                     const UpdateEdge&, UpdateVariant,
+                                     Workspace<real32_t>&, const real32_t*);
+
+}  // namespace spx

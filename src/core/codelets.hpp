@@ -1,0 +1,79 @@
+// Task bodies ("codelets" in StarPU terminology) executed by the runtimes.
+//
+// Two task kinds, exactly the paper's decomposition (§V):
+//   * factor_panel  -- diagonal block factorization + TRSM on the
+//     off-diagonal blocks of one panel;
+//   * apply_update  -- the GEMM update from one panel onto one facing
+//     panel (one task per (source, target) panel couple).
+//
+// apply_update has two code paths mirroring the paper's CPU and GPU
+// kernels: TempBuffer computes the outer product into a contiguous
+// per-worker buffer and scatters it (the CPU path, which keeps the vendor
+// GEMM shape), and Direct accumulates straight into the gapped target
+// panel (the modified-ASTRA GPU path, no extra device memory).
+//
+// For LDL^T, the update needs D-scaled source blocks.  The native
+// scheduler's fused 1D task prescales the whole panel once into a scratch
+// reused by all its updates; the generic runtimes cannot share that buffer
+// across tasks (its life span would be unbounded -- paper §V-A), so each
+// update rescales its block: that is the "less efficient kernel that
+// performs the full LDL^T operation at each update".
+#pragma once
+
+#include "core/factor_data.hpp"
+#include "kernels/scatter.hpp"
+
+namespace spx {
+
+enum class UpdateVariant {
+  TempBuffer,  ///< CPU path: contiguous GEMM + scatter
+  Direct       ///< GPU path: segmented GEMM into the gapped panel
+};
+
+/// Per-worker scratch (grown lazily, never shrunk).
+template <typename T>
+struct Workspace {
+  std::vector<T> w;        ///< outer-product buffer (TempBuffer path)
+  std::vector<T> scaled;   ///< D-scaled source block (LDL^T)
+};
+
+/// Factorizes the diagonal block of panel p and solves its off-diagonal
+/// blocks.  Throws NumericalError on breakdown.
+template <typename T>
+void factor_panel(FactorData<T>& f, index_t p);
+
+/// Prescales panel p's below-diagonal rows by D into ws.scaled
+/// (full-panel layout, leading dimension panel.nrows).  Native-scheduler
+/// LDL^T path; the result is passed to apply_update as `prescaled`.
+template <typename T>
+void prescale_ldlt(const FactorData<T>& f, index_t p, Workspace<T>& ws);
+
+/// Applies the update along edge e of panel src onto panel e.dst.
+/// `prescaled` (optional) is the prescale_ldlt buffer; when null the
+/// LDL^T path rescales per block (the generic-runtime behaviour).
+/// NOT thread-safe on the target panel: callers serialize updates into
+/// the same destination (the runtimes do this via commute access mode or
+/// per-panel locks).
+template <typename T>
+void apply_update(FactorData<T>& f, index_t src, const UpdateEdge& e,
+                  UpdateVariant variant, Workspace<T>& ws,
+                  const T* prescaled = nullptr);
+
+extern template void factor_panel<real_t>(FactorData<real_t>&, index_t);
+extern template void factor_panel<complex_t>(FactorData<complex_t>&,
+                                             index_t);
+extern template void prescale_ldlt<real_t>(const FactorData<real_t>&,
+                                           index_t, Workspace<real_t>&);
+extern template void prescale_ldlt<complex_t>(const FactorData<complex_t>&,
+                                              index_t,
+                                              Workspace<complex_t>&);
+extern template void apply_update<real_t>(FactorData<real_t>&, index_t,
+                                          const UpdateEdge&, UpdateVariant,
+                                          Workspace<real_t>&, const real_t*);
+extern template void apply_update<complex_t>(FactorData<complex_t>&,
+                                             index_t, const UpdateEdge&,
+                                             UpdateVariant,
+                                             Workspace<complex_t>&,
+                                             const complex_t*);
+
+}  // namespace spx

@@ -1,0 +1,100 @@
+// Numerical storage of the factors, organized by panel.
+//
+// A panel is stored as a dense column-major (nrows x width) matrix: the
+// diagonal block (full square; LU keeps U11 in its upper triangle) on top
+// of the stacked off-diagonal blocks.  For LU a second array of identical
+// shape holds U^T (so the U-side update has the exact same kernel shape as
+// the L side).  LDL^T keeps D in a separate vector.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "mat/csc.hpp"
+#include "symbolic/structure.hpp"
+
+namespace spx {
+
+template <typename T>
+class FactorData {
+ public:
+  FactorData() = default;
+  FactorData(const SymbolicStructure& st, Factorization kind)
+      : st_(&st), kind_(kind) {
+    lval_.assign(static_cast<std::size_t>(st.factor_entries), T(0));
+    if (kind == Factorization::LU) {
+      uval_.assign(static_cast<std::size_t>(st.factor_entries), T(0));
+    }
+    if (kind == Factorization::LDLT) {
+      dval_.assign(static_cast<std::size_t>(st.num_cols()), T(0));
+    }
+  }
+
+  const SymbolicStructure& structure() const { return *st_; }
+  Factorization kind() const { return kind_; }
+
+  T* panel_l(index_t p) {
+    return lval_.data() + st_->panels[p].storage_offset;
+  }
+  const T* panel_l(index_t p) const {
+    return lval_.data() + st_->panels[p].storage_offset;
+  }
+  T* panel_u(index_t p) {
+    SPX_DEBUG_ASSERT(kind_ == Factorization::LU);
+    return uval_.data() + st_->panels[p].storage_offset;
+  }
+  const T* panel_u(index_t p) const {
+    return uval_.data() + st_->panels[p].storage_offset;
+  }
+  /// LDL^T diagonal for the columns of panel p.
+  T* panel_d(index_t p) { return dval_.data() + st_->panels[p].col_begin; }
+  const T* panel_d(index_t p) const {
+    return dval_.data() + st_->panels[p].col_begin;
+  }
+
+  std::size_t bytes() const {
+    return (lval_.size() + uval_.size() + dval_.size()) * sizeof(T);
+  }
+
+  /// Fills the panels from the *permuted* matrix: the lower triangle goes
+  /// to L; for LU the upper triangle goes to U^T panels and the diagonal
+  /// block keeps its upper part in L (it becomes U11 after getrf).
+  void initialize(const CscMatrix<T>& a_perm);
+
+  /// Zeroes all values (so a FactorData can be refilled and refactored).
+  void reset() {
+    std::fill(lval_.begin(), lval_.end(), T(0));
+    std::fill(uval_.begin(), uval_.end(), T(0));
+    std::fill(dval_.begin(), dval_.end(), T(0));
+  }
+
+  /// Storage row of global row `r` inside panel `p`; r must be in the
+  /// panel's structure.  Binary search over blocks.
+  index_t row_position(index_t p, index_t r) const {
+    const auto& blocks = st_->panels[p].blocks;
+    std::size_t lo = 0, hi = blocks.size();
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (blocks[mid].row_begin <= r) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    SPX_DEBUG_ASSERT(blocks[lo].row_begin <= r && r < blocks[lo].row_end);
+    return blocks[lo].offset + (r - blocks[lo].row_begin);
+  }
+
+ private:
+  const SymbolicStructure* st_ = nullptr;
+  Factorization kind_ = Factorization::LLT;
+  std::vector<T> lval_;
+  std::vector<T> uval_;
+  std::vector<T> dval_;
+};
+
+extern template class FactorData<real_t>;
+extern template class FactorData<complex_t>;
+extern template class FactorData<real32_t>;
+
+}  // namespace spx

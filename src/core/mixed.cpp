@@ -1,0 +1,89 @@
+#include "core/mixed.hpp"
+
+#include <cmath>
+
+#include "core/sequential.hpp"
+#include "core/solve.hpp"
+
+namespace spx {
+namespace {
+
+CscMatrix<real32_t> cast_to_float(const CscMatrix<real_t>& a) {
+  std::vector<real32_t> values(a.values().begin(), a.values().end());
+  return CscMatrix<real32_t>(
+      a.nrows(), a.ncols(),
+      std::vector<size_type>(a.colptr().begin(), a.colptr().end()),
+      std::vector<index_t>(a.rowind().begin(), a.rowind().end()),
+      std::move(values));
+}
+
+}  // namespace
+
+void MixedPrecisionSolver::factorize(const CscMatrix<real_t>& a,
+                                     Factorization kind) {
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
+  analysis_ = analyze(a, options_);
+  a_ = std::make_unique<CscMatrix<real_t>>(a);
+  const CscMatrix<real32_t> af =
+      permute_symmetric(cast_to_float(a), analysis_->perm);
+  factors_ =
+      std::make_unique<FactorData<real32_t>>(analysis_->structure, kind);
+  factors_->initialize(af);
+  factorize_sequential(*factors_);
+}
+
+MixedSolveReport MixedPrecisionSolver::solve(std::span<const real_t> b,
+                                             std::span<real_t> x,
+                                             double tol,
+                                             int max_iter) const {
+  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  const index_t n = analysis_->perm.size();
+  SPX_CHECK_ARG(static_cast<index_t>(b.size()) == n &&
+                    static_cast<index_t>(x.size()) == n,
+                "size mismatch");
+
+  // One preconditioner application: y = P^{-1} r through the float
+  // factors (cast down, permute, solve, cast back).
+  std::vector<real32_t> rf(static_cast<std::size_t>(n));
+  std::vector<real32_t> pf(static_cast<std::size_t>(n));
+  const auto precondition = [&](const std::vector<real_t>& r,
+                                std::vector<real_t>& y) {
+    for (index_t i = 0; i < n; ++i) {
+      rf[i] = static_cast<real32_t>(r[i]);
+    }
+    permute_vector<real32_t>(analysis_->perm, rf, pf);
+    solve_permuted(*factors_, std::span<real32_t>(pf));
+    unpermute_vector<real32_t>(analysis_->perm, pf, rf);
+    for (index_t i = 0; i < n; ++i) {
+      y[i] = static_cast<real_t>(rf[i]);
+    }
+  };
+
+  double bnorm = 0.0;
+  for (const real_t v : b) bnorm = std::max(bnorm, std::abs(v));
+  if (bnorm == 0.0) bnorm = 1.0;
+
+  std::fill(x.begin(), x.end(), real_t(0));
+  std::vector<real_t> r(b.begin(), b.end());
+  std::vector<real_t> dx(static_cast<std::size_t>(n));
+  MixedSolveReport report;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    precondition(r, dx);
+    for (index_t i = 0; i < n; ++i) x[i] += dx[i];
+    a_->multiply(std::span<const real_t>(x.data(), x.size()), r);
+    double rnorm = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      r[i] = b[i] - r[i];
+      rnorm = std::max(rnorm, std::abs(r[i]));
+    }
+    report.iterations = iter;
+    report.residual = rnorm / bnorm;
+    if (report.residual <= tol) {
+      report.converged = true;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace spx

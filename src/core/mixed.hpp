@@ -1,0 +1,56 @@
+// Mixed-precision solver: single-precision factorization with
+// double-precision iterative refinement.
+//
+// The factorization is done entirely in float -- half the memory, half the
+// memory traffic, and on real accelerators a large rate advantage -- and
+// its triangular solves serve as the preconditioner of a double-precision
+// refinement loop.  For reasonably conditioned systems this recovers full
+// double accuracy in a handful of sweeps, the classic
+// Langou/Buttari-style mixed-precision scheme production solvers
+// (including PaStiX) offer.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/analysis.hpp"
+#include "core/codelets.hpp"
+#include "core/factor_data.hpp"
+
+namespace spx {
+
+struct MixedSolveReport {
+  int iterations = 0;        ///< refinement sweeps used
+  double residual = 0.0;     ///< final relative residual (inf norm)
+  bool converged = false;
+};
+
+class MixedPrecisionSolver {
+ public:
+  MixedPrecisionSolver() = default;
+  explicit MixedPrecisionSolver(AnalysisOptions options)
+      : options_(std::move(options)) {}
+
+  /// Analyzes the double-precision matrix and factorizes its float cast.
+  /// Keeps a reference copy of `a` internally for refinement residuals.
+  void factorize(const CscMatrix<real_t>& a, Factorization kind);
+
+  /// Solves A x = b to (near) double accuracy via refinement; `x` is
+  /// output-only.  Throws when factorize() has not run.
+  MixedSolveReport solve(std::span<const real_t> b, std::span<real_t> x,
+                         double tol = 1e-12, int max_iter = 30) const;
+
+  bool factorized() const { return factors_ != nullptr; }
+  /// Bytes of the single-precision factors (half of a double run).
+  std::size_t factor_bytes() const {
+    return factors_ ? factors_->bytes() : 0;
+  }
+
+ private:
+  AnalysisOptions options_;
+  std::optional<Analysis> analysis_;
+  std::unique_ptr<FactorData<real32_t>> factors_;
+  std::unique_ptr<CscMatrix<real_t>> a_;
+};
+
+}  // namespace spx

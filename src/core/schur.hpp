@@ -1,0 +1,76 @@
+// Schur complement / partial factorization.
+//
+// Factors only the "interior" unknowns of A and leaves the caller's
+// "interface" set unfactored: on completion the trailing panels hold the
+// dense Schur complement S = A22 - A21 * A11^{-1} * A12.  This is the
+// building block of (PaStiX-style) domain-decomposition workflows: each
+// subdomain condenses onto its interface, the small dense interface system
+// is solved by any means, and the interiors are recovered by
+// back-substitution.
+//
+// Workflow:
+//   SchurComplement<double> sc;
+//   sc.compute(A, interface_ids, Factorization::LLT);
+//   auto S = sc.schur_matrix();            // dense k x k, column-major
+//   auto bhat = sc.condense_rhs(b);        // b2 - A21 A11^{-1} b1
+//   ... solve S * x2 = bhat externally ...
+//   auto x = sc.expand_solution(b, x2);    // recover interior x1
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/factor_data.hpp"
+
+namespace spx {
+
+template <typename T>
+class SchurComplement {
+ public:
+  SchurComplement() = default;
+  explicit SchurComplement(AnalysisOptions options)
+      : options_(std::move(options)) {}
+
+  /// Orders interior unknowns with nested dissection, pins the interface
+  /// set last, and runs the partial factorization.
+  void compute(const CscMatrix<T>& a, std::span<const index_t> interface_ids,
+               Factorization kind);
+
+  index_t schur_size() const { return k_; }
+  index_t interior_size() const { return n_ - k_; }
+
+  /// Dense k x k Schur complement, column-major, in the order of the
+  /// `interface_ids` passed to compute().  Symmetric kinds return the full
+  /// (mirrored) matrix.
+  std::vector<T> schur_matrix() const;
+
+  /// Condensed right-hand side for the interface system:
+  /// bhat = b2 - A21 * A11^{-1} * b1 (ordered like `interface_ids`).
+  std::vector<T> condense_rhs(std::span<const T> b) const;
+
+  /// Completes the solve given the interface solution x2 (ordered like
+  /// `interface_ids`): returns the full-length x with the interior
+  /// recovered by back-substitution.
+  std::vector<T> expand_solution(std::span<const T> b,
+                                 std::span<const T> x2) const;
+
+ private:
+  /// Partial forward pass on the permuted vector (interior panels only).
+  void forward_interior(std::span<T> px) const;
+
+  AnalysisOptions options_;
+  std::optional<Analysis> analysis_;
+  std::unique_ptr<FactorData<T>> factors_;
+  Factorization kind_ = Factorization::LLT;
+  index_t n_ = 0;
+  index_t k_ = 0;
+  index_t first_schur_panel_ = 0;
+};
+
+extern template class SchurComplement<real_t>;
+extern template class SchurComplement<complex_t>;
+
+}  // namespace spx

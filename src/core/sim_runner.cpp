@@ -1,0 +1,70 @@
+#include "core/sim_runner.hpp"
+
+#include "runtime/native_scheduler.hpp"
+#include "runtime/parsec_scheduler.hpp"
+#include "runtime/starpu_scheduler.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/sim_driver.hpp"
+
+namespace spx {
+
+RunStats simulate_run(const Analysis& an, Factorization kind,
+                      const SimRunConfig& config) {
+  const SymbolicStructure& st = an.structure;
+  TaskTable table(st, kind);
+  const double flops = st.total_flops(kind);
+
+  sim::CostModel::Options mopts;
+  mopts.complex_arith = config.complex_arith;
+
+  if (config.scheduler == "native" || config.scheduler == "native-prop") {
+    SPX_CHECK_ARG(config.gpus == 0, "native scheduler is CPU-only");
+    mopts.ldlt = sim::LdltStrategy::Prescaled;
+    mopts.task_overhead = config.overhead_native;
+    sim::CostModel model(config.platform, st, kind, mopts);
+    Machine machine(config.cores);
+    NativeOptions nopts;
+    if (config.scheduler == "native-prop") {
+      nopts.mapping = NativeOptions::Mapping::Proportional;
+    }
+    NativeScheduler sched(table, machine, model, nopts);
+    return sim::simulate(sched, machine, table, model, flops);
+  }
+  if (config.scheduler == "starpu" || config.scheduler == "starpu-eager") {
+    mopts.ldlt = sim::LdltStrategy::Fused;
+    mopts.task_overhead = config.overhead_starpu;
+    sim::CostModel model(config.platform, st, kind, mopts);
+    // One CPU worker is dedicated to (removed per) each GPU (paper §V-C);
+    // StarPU drives each device with a single stream.
+    Machine machine(std::max(1, config.cores - config.gpus), config.gpus,
+                    1);
+    StarpuOptions sopts;
+    sopts.policy = config.scheduler == "starpu-eager"
+                       ? StarpuOptions::Policy::Eager
+                       : StarpuOptions::Policy::Dmda;
+    sopts.gpu_min_flops = config.gpu_min_flops;
+    DataDirectory directory(st, kind, config.complex_arith ? 16 : 8,
+                            config.gpus);
+    StarpuScheduler sched(table, machine, model, sopts, &directory);
+    sim::SimOptions so;
+    so.prefetch = true;
+    so.directory = &directory;  // dmda estimates see true placement
+    return sim::simulate(sched, machine, table, model, flops, so);
+  }
+  if (config.scheduler == "parsec") {
+    mopts.ldlt = sim::LdltStrategy::Fused;
+    mopts.task_overhead = config.overhead_parsec;
+    sim::CostModel model(config.platform, st, kind, mopts);
+    Machine machine(config.cores, config.gpus, config.streams_per_gpu);
+    ParsecOptions popts;
+    popts.gpu_min_flops = config.gpu_min_flops;
+    popts.subtree_merge_seconds = config.subtree_merge_seconds;
+    ParsecScheduler sched(table, machine, model, popts);
+    sim::SimOptions so;
+    so.prefetch = false;  // PaRSEC overlaps via streams instead
+    return sim::simulate(sched, machine, table, model, flops, so);
+  }
+  throw InvalidArgument("unknown scheduler: " + config.scheduler);
+}
+
+}  // namespace spx

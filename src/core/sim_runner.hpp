@@ -1,0 +1,41 @@
+// One-call wrapper to run a factorization schedule on the simulated
+// platform: builds the machine shape, cost model, and scheduler for a
+// given configuration and returns the simulated statistics.  This is the
+// engine behind the Figure 2 / Figure 4 reproductions.
+#pragma once
+
+#include <string>
+
+#include "core/analysis.hpp"
+#include "runtime/run_stats.hpp"
+#include "sim/platform.hpp"
+
+namespace spx {
+
+struct SimRunConfig {
+  /// "native" | "native-prop" | "starpu" | "starpu-eager" | "parsec"
+  std::string scheduler = "parsec";
+  int cores = 12;
+  int gpus = 0;
+  int streams_per_gpu = 1;
+  bool complex_arith = false;
+  /// Updates below this flop count stay on CPUs.
+  double gpu_min_flops = 2e6;
+  /// PaRSEC subtree merging threshold in seconds (0 = off); the paper's
+  /// future-work granularity knob.
+  double subtree_merge_seconds = 0.0;
+  sim::PlatformSpec platform;
+
+  /// Per-runtime task overheads (seconds): the native static scheduler has
+  /// nearly none, PaRSEC's distributed release is light, StarPU's central
+  /// hub heavier (paper §IV discussion).
+  double overhead_native = 5e-7;
+  double overhead_parsec = 2e-6;
+  double overhead_starpu = 5e-6;
+};
+
+/// Simulates one factorization; `an` must outlive the call.
+RunStats simulate_run(const Analysis& an, Factorization kind,
+                      const SimRunConfig& config);
+
+}  // namespace spx

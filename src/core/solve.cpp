@@ -1,0 +1,195 @@
+#include "core/solve.hpp"
+
+#include <algorithm>
+
+#include "kernels/dense.hpp"
+
+namespace spx {
+namespace k = kernels;
+
+template <typename T>
+void solve_forward(const FactorData<T>& f, std::span<T> x,
+                   index_t panel_limit) {
+  const SymbolicStructure& st = f.structure();
+  const bool unit = f.kind() != Factorization::LLT;
+  const index_t np =
+      panel_limit < 0 ? st.num_panels() : std::min(panel_limit,
+                                                   st.num_panels());
+  for (index_t p = 0; p < np; ++p) {
+    const Panel& panel = st.panels[p];
+    const index_t w = panel.width();
+    const index_t ld = panel.nrows;
+    const T* l = f.panel_l(p);
+    T* xp = x.data() + panel.col_begin;
+    k::trsv_lower(w, l, ld, unit, xp);
+    // Scatter the panel's contribution to later rows.
+    for (std::size_t b = 1; b < panel.blocks.size(); ++b) {
+      const Block& blk = panel.blocks[b];
+      k::gemv_sub(blk.height(), w, l + blk.offset, ld, xp,
+                  x.data() + blk.row_begin);
+    }
+  }
+}
+
+template <typename T>
+void solve_diagonal(const FactorData<T>& f, std::span<T> x,
+                    index_t panel_limit) {
+  SPX_CHECK_ARG(f.kind() == Factorization::LDLT, "LDLT only");
+  const SymbolicStructure& st = f.structure();
+  const index_t np =
+      panel_limit < 0 ? st.num_panels() : std::min(panel_limit,
+                                                   st.num_panels());
+  for (index_t p = 0; p < np; ++p) {
+    const Panel& panel = st.panels[p];
+    const T* d = f.panel_d(p);
+    for (index_t j = 0; j < panel.width(); ++j) {
+      x[panel.col_begin + j] /= d[j];
+    }
+  }
+}
+
+template <typename T>
+void solve_backward(const FactorData<T>& f, std::span<T> x,
+                    index_t panel_limit) {
+  const SymbolicStructure& st = f.structure();
+  const index_t np =
+      panel_limit < 0 ? st.num_panels() : std::min(panel_limit,
+                                                   st.num_panels());
+  for (index_t p = np - 1; p >= 0; --p) {
+    const Panel& panel = st.panels[p];
+    const index_t w = panel.width();
+    const index_t ld = panel.nrows;
+    T* xp = x.data() + panel.col_begin;
+    if (f.kind() == Factorization::LU) {
+      // Gather U12 * x_later from the U^T panel, then solve U11.
+      const T* u = f.panel_u(p);
+      for (std::size_t b = 1; b < panel.blocks.size(); ++b) {
+        const Block& blk = panel.blocks[b];
+        k::gemv_trans_sub(blk.height(), w, u + blk.offset, ld,
+                          x.data() + blk.row_begin, xp);
+      }
+      k::trsv_upper(w, f.panel_l(p), ld, xp);
+    } else {
+      const bool unit = f.kind() == Factorization::LDLT;
+      const T* l = f.panel_l(p);
+      for (std::size_t b = 1; b < panel.blocks.size(); ++b) {
+        const Block& blk = panel.blocks[b];
+        // x_cols -= L21_block^T * x_rows
+        const T* lb = l + blk.offset;
+        const T* xr = x.data() + blk.row_begin;
+        for (index_t j = 0; j < w; ++j) {
+          T acc = T(0);
+          const T* col = lb + static_cast<std::size_t>(j) * ld;
+          for (index_t r = 0; r < blk.height(); ++r) acc += col[r] * xr[r];
+          xp[j] -= acc;
+        }
+      }
+      k::trsv_lower_trans(w, l, ld, unit, xp);
+    }
+  }
+}
+
+template <typename T>
+void solve_permuted(const FactorData<T>& f, std::span<T> x) {
+  solve_forward(f, x);
+  if (f.kind() == Factorization::LDLT) solve_diagonal(f, x);
+  solve_backward(f, x);
+}
+
+template <typename T>
+void solve_forward_multi(const FactorData<T>& f, T* x, index_t nrhs,
+                         index_t ldx) {
+  const SymbolicStructure& st = f.structure();
+  const bool unit = f.kind() != Factorization::LLT;
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    const Panel& panel = st.panels[p];
+    const index_t w = panel.width();
+    const index_t ld = panel.nrows;
+    const T* l = f.panel_l(p);
+    T* xp = x + panel.col_begin;
+    k::trsm_left_lower(w, nrhs, l, ld, unit, xp, ldx);
+    for (std::size_t b = 1; b < panel.blocks.size(); ++b) {
+      const Block& blk = panel.blocks[b];
+      // X(rows of block, :) -= L_block * X(panel cols, :)
+      k::gemm_nn(blk.height(), nrhs, w, T(-1), l + blk.offset, ld, xp, ldx,
+                 T(1), x + blk.row_begin, ldx);
+    }
+  }
+}
+
+template <typename T>
+void solve_diagonal_multi(const FactorData<T>& f, T* x, index_t nrhs,
+                          index_t ldx) {
+  SPX_CHECK_ARG(f.kind() == Factorization::LDLT, "LDLT only");
+  const SymbolicStructure& st = f.structure();
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    const Panel& panel = st.panels[p];
+    const T* d = f.panel_d(p);
+    for (index_t c = 0; c < nrhs; ++c) {
+      T* col = x + panel.col_begin + static_cast<std::size_t>(c) * ldx;
+      for (index_t j = 0; j < panel.width(); ++j) col[j] /= d[j];
+    }
+  }
+}
+
+template <typename T>
+void solve_backward_multi(const FactorData<T>& f, T* x, index_t nrhs,
+                          index_t ldx) {
+  const SymbolicStructure& st = f.structure();
+  for (index_t p = st.num_panels() - 1; p >= 0; --p) {
+    const Panel& panel = st.panels[p];
+    const index_t w = panel.width();
+    const index_t ld = panel.nrows;
+    T* xp = x + panel.col_begin;
+    if (f.kind() == Factorization::LU) {
+      const T* u = f.panel_u(p);
+      for (std::size_t b = 1; b < panel.blocks.size(); ++b) {
+        const Block& blk = panel.blocks[b];
+        // X(cols, :) -= U'_block^T * X(rows of block, :)
+        k::gemm_tn(w, nrhs, blk.height(), T(-1), u + blk.offset, ld,
+                   x + blk.row_begin, ldx, T(1), xp, ldx);
+      }
+      k::trsm_left_upper(w, nrhs, f.panel_l(p), ld, xp, ldx);
+    } else {
+      const bool unit = f.kind() == Factorization::LDLT;
+      const T* l = f.panel_l(p);
+      for (std::size_t b = 1; b < panel.blocks.size(); ++b) {
+        const Block& blk = panel.blocks[b];
+        k::gemm_tn(w, nrhs, blk.height(), T(-1), l + blk.offset, ld,
+                   x + blk.row_begin, ldx, T(1), xp, ldx);
+      }
+      k::trsm_left_lower_trans(w, nrhs, l, ld, unit, xp, ldx);
+    }
+  }
+}
+
+template <typename T>
+void solve_permuted_multi(const FactorData<T>& f, T* x, index_t nrhs,
+                          index_t ldx) {
+  solve_forward_multi(f, x, nrhs, ldx);
+  if (f.kind() == Factorization::LDLT) solve_diagonal_multi(f, x, nrhs, ldx);
+  solve_backward_multi(f, x, nrhs, ldx);
+}
+
+#define SPX_INSTANTIATE_SOLVE(T)                                   \
+  template void solve_forward<T>(const FactorData<T>&, std::span<T>,       \
+                                 index_t);                                 \
+  template void solve_diagonal<T>(const FactorData<T>&, std::span<T>,      \
+                                  index_t);                                \
+  template void solve_backward<T>(const FactorData<T>&, std::span<T>,      \
+                                  index_t);                                \
+  template void solve_permuted<T>(const FactorData<T>&, std::span<T>);      \
+  template void solve_forward_multi<T>(const FactorData<T>&, T*, index_t,  \
+                                       index_t);                           \
+  template void solve_diagonal_multi<T>(const FactorData<T>&, T*, index_t, \
+                                        index_t);                          \
+  template void solve_backward_multi<T>(const FactorData<T>&, T*, index_t, \
+                                        index_t);                          \
+  template void solve_permuted_multi<T>(const FactorData<T>&, T*, index_t, \
+                                        index_t);
+
+SPX_INSTANTIATE_SOLVE(real_t)
+SPX_INSTANTIATE_SOLVE(complex_t)
+SPX_INSTANTIATE_SOLVE(real32_t)
+
+}  // namespace spx

@@ -1,0 +1,163 @@
+#include "core/solver.hpp"
+
+#include <thread>
+
+#include "common/timer.hpp"
+#include "core/sequential.hpp"
+#include "runtime/flop_costs.hpp"
+#include "runtime/native_scheduler.hpp"
+#include "runtime/real_driver.hpp"
+
+namespace spx {
+
+const char* to_string(RuntimeKind k) {
+  switch (k) {
+    case RuntimeKind::Sequential:
+      return "sequential";
+    case RuntimeKind::Native:
+      return "native";
+    case RuntimeKind::Starpu:
+      return "starpu";
+    case RuntimeKind::Parsec:
+      return "parsec";
+  }
+  return "?";
+}
+
+template <typename T>
+void Solver<T>::analyze(const CscMatrix<T>& a) {
+  analysis_ = spx::analyze(a, options_.analysis);
+  factors_.reset();
+}
+
+template <typename T>
+void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
+  if (!analyzed() || analysis_->perm.size() != a.ncols()) analyze(a);
+  if constexpr (!is_complex_v<T>) {
+    SPX_CHECK_ARG(kind == Factorization::LLT || kind == Factorization::LDLT ||
+                      kind == Factorization::LU,
+                  "unknown factorization");
+  } else {
+    SPX_CHECK_ARG(kind != Factorization::LLT,
+                  "complex matrices use LDLT (symmetric) or LU");
+  }
+  kind_ = kind;
+  const CscMatrix<T> ap = permute_symmetric(a, analysis_->perm);
+  factors_ = std::make_unique<FactorData<T>>(analysis_->structure, kind);
+  factors_->initialize(ap);
+
+  Timer wall;
+  if (options_.runtime == RuntimeKind::Sequential) {
+    factorize_sequential(*factors_, options_.cpu_variant, false);
+    stats_ = RunStats{};
+    stats_.makespan = wall.elapsed();
+    stats_.tasks_cpu = analysis_->structure.num_panels();
+  } else {
+    int threads = options_.num_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads <= 0) threads = 1;
+    }
+    TaskTable table(analysis_->structure, kind);
+    RealDriverOptions dopts;
+    dopts.cpu_variant = options_.cpu_variant;
+    switch (options_.runtime) {
+      case RuntimeKind::Native: {
+        Machine machine(threads);
+        FlopCosts costs(table);
+        NativeScheduler sched(table, machine, costs);
+        dopts.fused_ldlt = false;  // native prescales per panel
+        stats_ = execute_real(sched, machine, *factors_, dopts);
+        break;
+      }
+      case RuntimeKind::Starpu: {
+        // StarPU dedicates a CPU worker per (emulated) GPU stream.
+        const int cpus = std::max(1, threads - options_.num_gpu_streams);
+        Machine machine(cpus, options_.num_gpu_streams > 0 ? 1 : 0,
+                        std::max(1, options_.num_gpu_streams));
+        FlopCosts costs(table);
+        StarpuScheduler sched(table, machine, costs, options_.starpu);
+        dopts.fused_ldlt = true;
+        stats_ = execute_real(sched, machine, *factors_, dopts);
+        break;
+      }
+      case RuntimeKind::Parsec: {
+        Machine machine(threads, options_.num_gpu_streams > 0 ? 1 : 0,
+                        std::max(1, options_.num_gpu_streams));
+        FlopCosts costs(table);
+        ParsecScheduler sched(table, machine, costs, options_.parsec);
+        dopts.fused_ldlt = true;
+        stats_ = execute_real(sched, machine, *factors_, dopts);
+        break;
+      }
+      case RuntimeKind::Sequential:
+        break;  // handled above
+    }
+  }
+  stats_.gflops = analysis_->structure.total_flops(kind) /
+                  std::max(1e-12, stats_.makespan) / 1e9;
+}
+
+template <typename T>
+void Solver<T>::solve(std::span<T> b) const {
+  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  SPX_CHECK_ARG(static_cast<index_t>(b.size()) == analysis_->perm.size(),
+                "rhs size mismatch");
+  std::vector<T> pb(b.size());
+  permute_vector<T>(analysis_->perm, b, pb);
+  solve_permuted(*factors_, std::span<T>(pb));
+  unpermute_vector<T>(analysis_->perm, pb, b);
+}
+
+template <typename T>
+void Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
+  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  const index_t n = analysis_->perm.size();
+  SPX_CHECK_ARG(static_cast<index_t>(b.size()) == n * nrhs,
+                "rhs block size mismatch");
+  std::vector<T> pb(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    permute_vector<T>(analysis_->perm,
+                      std::span<const T>(b.data() + std::size_t(c) * n, n),
+                      std::span<T>(pb.data() + std::size_t(c) * n, n));
+  }
+  solve_permuted_multi(*factors_, pb.data(), nrhs, n);
+  for (index_t c = 0; c < nrhs; ++c) {
+    unpermute_vector<T>(analysis_->perm,
+                        std::span<const T>(pb.data() + std::size_t(c) * n, n),
+                        std::span<T>(b.data() + std::size_t(c) * n, n));
+  }
+}
+
+template <typename T>
+int Solver<T>::solve_refine(const CscMatrix<T>& a, std::span<const T> b,
+                            std::span<T> x, double tol,
+                            int max_iter) const {
+  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  const std::size_t n = b.size();
+  std::copy(b.begin(), b.end(), x.begin());
+  solve(x);
+  std::vector<T> residual(n), correction(n);
+  double bnorm = 0.0;
+  for (const T& v : b) bnorm = std::max(bnorm, (double)magnitude<T>(v));
+  if (bnorm == 0.0) bnorm = 1.0;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    a.multiply(std::span<const T>(x.data(), n), residual);
+    double rnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = b[i] - residual[i];
+      rnorm = std::max(rnorm, (double)magnitude<T>(residual[i]));
+    }
+    if (rnorm / bnorm <= tol) return iter - 1;
+    std::copy(residual.begin(), residual.end(), correction.begin());
+    solve(correction);
+    for (std::size_t i = 0; i < n; ++i) x[i] += correction[i];
+  }
+  return max_iter;
+}
+
+template class Solver<real_t>;
+template class Solver<complex_t>;
+
+}  // namespace spx

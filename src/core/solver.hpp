@@ -1,0 +1,100 @@
+// Public solver facade: the PASTIX-style analyze / factorize / solve /
+// refine workflow with a selectable task runtime.
+//
+//   spx::Solver<double> solver;
+//   solver.options().runtime = spx::RuntimeKind::Parsec;
+//   solver.analyze(A);
+//   solver.factorize(A, spx::Factorization::LLT);
+//   std::vector<double> x = b;
+//   solver.solve(x);              // x <- A^{-1} b
+//
+// The analyze step (ordering + symbolic factorization) is reusable across
+// factorizations of matrices with the same pattern -- static pivoting
+// makes the structure value-independent (paper §III).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/analysis.hpp"
+#include "core/codelets.hpp"
+#include "core/factor_data.hpp"
+#include "core/solve.hpp"
+#include "runtime/parsec_scheduler.hpp"
+#include "runtime/run_stats.hpp"
+#include "runtime/starpu_scheduler.hpp"
+
+namespace spx {
+
+enum class RuntimeKind {
+  Sequential,  ///< plain right-looking loop, no scheduler
+  Native,      ///< PASTIX static schedule + work stealing (1D tasks)
+  Starpu,      ///< StarPU-like: implicit deps + central model scheduler
+  Parsec       ///< PaRSEC-like: compact DAG + locality work stealing
+};
+
+const char* to_string(RuntimeKind k);
+
+struct SolverOptions {
+  AnalysisOptions analysis;
+  RuntimeKind runtime = RuntimeKind::Native;
+  /// Worker threads for the task runtimes (0 = hardware concurrency).
+  int num_threads = 0;
+  /// Emulated GPU-stream workers appended to the CPU workers (exercises
+  /// the device code path; real offload is studied in the simulator).
+  int num_gpu_streams = 0;
+  StarpuOptions starpu;
+  ParsecOptions parsec;
+  UpdateVariant cpu_variant = UpdateVariant::TempBuffer;
+};
+
+template <typename T>
+class Solver {
+ public:
+  Solver() = default;
+  explicit Solver(SolverOptions options) : options_(std::move(options)) {}
+
+  SolverOptions& options() { return options_; }
+  const SolverOptions& options() const { return options_; }
+
+  /// Ordering + symbolic factorization of the pattern of `a`.
+  void analyze(const CscMatrix<T>& a);
+
+  /// Numerical factorization; calls analyze() first when needed.
+  /// Throws NumericalError on breakdown (static pivoting, no recovery).
+  void factorize(const CscMatrix<T>& a, Factorization kind);
+
+  /// In-place solve of A x = b using the current factors.
+  void solve(std::span<T> b) const;
+
+  /// In-place multi-RHS solve: `b` holds nrhs column-major right-hand
+  /// sides of length n (leading dimension n).
+  void solve_multi(std::span<T> b, index_t nrhs) const;
+
+  /// Iterative refinement: improves x (starting from a direct solve) until
+  /// the relative residual drops below `tol`; returns iterations used.
+  int solve_refine(const CscMatrix<T>& a, std::span<const T> b,
+                   std::span<T> x, double tol = 1e-12,
+                   int max_iter = 10) const;
+
+  bool analyzed() const { return analysis_.has_value(); }
+  bool factorized() const { return factors_ != nullptr; }
+  const Analysis& analysis() const {
+    SPX_CHECK_ARG(analyzed(), "analyze() has not run");
+    return *analysis_;
+  }
+  const RunStats& last_factorization_stats() const { return stats_; }
+  Factorization factorization_kind() const { return kind_; }
+
+ private:
+  SolverOptions options_;
+  std::optional<Analysis> analysis_;
+  std::unique_ptr<FactorData<T>> factors_;
+  Factorization kind_ = Factorization::LLT;
+  RunStats stats_;
+};
+
+extern template class Solver<real_t>;
+extern template class Solver<complex_t>;
+
+}  // namespace spx

@@ -1,0 +1,264 @@
+#include "dist/fanin_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+#include "runtime/task.hpp"
+
+namespace spx::dist {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Work unit inside a node: a factor, a local/remote update, or the
+/// application of a received contribution block.
+struct Unit {
+  enum Kind { Factor, Update, Apply } kind;
+  index_t panel = -1;   ///< source panel (Factor/Update), target (Apply)
+  index_t edge = -1;    ///< Update only
+  index_t from_node = -1;  ///< Apply only
+  double priority = 0.0;
+  double duration = 0.0;
+};
+
+struct UnitLess {
+  bool operator()(const Unit& a, const Unit& b) const {
+    return a.priority < b.priority;
+  }
+};
+
+struct Message {
+  index_t dest_node;
+  Unit apply;       ///< the Apply unit to enqueue on arrival
+  double bytes;
+};
+
+}  // namespace
+
+DistStats simulate_distributed(const SymbolicStructure& st,
+                               Factorization kind,
+                               const sim::CostModel& model,
+                               const ClusterSpec& cluster, CommMode mode) {
+  const index_t np = st.num_panels();
+  const index_t nn = cluster.num_nodes;
+  const double scalar_bytes = model.options().complex_arith ? 16.0 : 8.0;
+  const int arrays = kind == Factorization::LU ? 2 : 1;
+
+  const Mapping map = proportional_mapping(st, model, nn);
+
+  // Bottom levels as priorities.
+  TaskTable table(st, kind);
+  const std::vector<double> level = table.bottom_levels(model);
+
+  // --- precompute the contribution bookkeeping -------------------------
+  // in_need[p]: local updates + remote contributions (groups or edges).
+  std::vector<index_t> in_need(static_cast<std::size_t>(np), 0);
+  // Fan-in groups: (source node, target panel) -> {#updates remaining,
+  // aggregated bytes}.
+  std::map<std::pair<index_t, index_t>, std::pair<index_t, double>> groups;
+  for (index_t q = 0; q < np; ++q) {
+    for (index_t e = 0; e < static_cast<index_t>(st.targets[q].size());
+         ++e) {
+      const index_t t = st.targets[q][e].dst;
+      if (map.owner[q] == map.owner[t]) {
+        in_need[t]++;
+        continue;
+      }
+      // Written area of the update (contribution block size).
+      const UpdateEdge& edge = st.targets[q][e];
+      double written = 0.0;
+      const Panel& sp = st.panels[q];
+      for (index_t b = edge.first_block; b < edge.last_block; ++b) {
+        const double m = sp.nrows - sp.blocks[b].offset;
+        written += m * sp.blocks[b].height();
+      }
+      written *= scalar_bytes * arrays;
+      if (mode == CommMode::FanOut) {
+        in_need[t]++;  // one Apply per remote update
+      } else {
+        auto& g = groups[{map.owner[q], t}];
+        if (g.first == 0) in_need[t]++;  // first member creates the group
+        g.first++;
+        g.second += written;
+      }
+      if (mode == CommMode::FanOut) {
+        // stash per-edge bytes in the groups map too, keyed uniquely.
+        groups[{q * np + e, -1 - t}] = {1, written};
+      }
+    }
+  }
+  // Cap aggregated fan-in blocks at the full panel size (the buffer is at
+  // most one panel image).
+  if (mode == CommMode::FanIn) {
+    for (auto& [key, g] : groups) {
+      const double panel_bytes =
+          static_cast<double>(st.panels[key.second].nrows) *
+          st.panels[key.second].width() * scalar_bytes * arrays;
+      g.second = std::min(g.second, panel_bytes);
+    }
+  }
+
+  // --- DES state ---------------------------------------------------------
+  std::vector<std::priority_queue<Unit, std::vector<Unit>, UnitLess>> ready(
+      static_cast<std::size_t>(nn));
+  std::vector<int> idle_cores(static_cast<std::size_t>(nn),
+                              cluster.cores_per_node);
+  struct Completion {
+    double time;
+    index_t node;
+    Unit unit;
+    bool operator>(const Completion& o) const { return time > o.time; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      events;
+  std::vector<double> nic_busy_until(static_cast<std::size_t>(nn), 0.0);
+  std::vector<double> nic_busy_total(static_cast<std::size_t>(nn), 0.0);
+  struct Arrival {
+    double time;
+    Message msg;
+    bool operator>(const Arrival& o) const { return time > o.time; }
+  };
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      arrivals;
+
+  DistStats stats;
+  double now = 0.0;
+  index_t factored = 0;
+
+  auto push_ready = [&](index_t node, Unit u) { ready[node].push(u); };
+
+  auto factor_unit = [&](index_t p) {
+    Unit u;
+    u.kind = Unit::Factor;
+    u.panel = p;
+    u.priority = level[table.id_of({TaskKind::Panel, p, -1})];
+    u.duration = model.panel_seconds(p, ResourceKind::Cpu);
+    return u;
+  };
+
+  // Seed: leaves.
+  for (index_t p = 0; p < np; ++p) {
+    if (in_need[p] == 0) push_ready(map.owner[p], factor_unit(p));
+  }
+
+  auto send = [&](index_t from, Message msg) {
+    const double start = std::max(now, nic_busy_until[from]);
+    const double xfer = msg.bytes / cluster.net_bandwidth;
+    nic_busy_until[from] = start + xfer;
+    nic_busy_total[from] += xfer;
+    arrivals.push({start + xfer + cluster.net_latency, std::move(msg)});
+    stats.messages++;
+    stats.bytes_sent += msg.bytes;
+  };
+
+  auto on_contribution_done = [&](index_t t) {
+    if (--in_need[t] == 0) push_ready(map.owner[t], factor_unit(t));
+  };
+
+  auto complete = [&](index_t node, const Unit& u) {
+    switch (u.kind) {
+      case Unit::Factor: {
+        ++factored;
+        for (index_t e = 0;
+             e < static_cast<index_t>(st.targets[u.panel].size()); ++e) {
+          Unit up;
+          up.kind = Unit::Update;
+          up.panel = u.panel;
+          up.edge = e;
+          up.priority = level[table.id_of({TaskKind::Update, u.panel, e})];
+          up.duration =
+              model.update_seconds(u.panel, e, ResourceKind::Cpu);
+          push_ready(node, up);
+        }
+        break;
+      }
+      case Unit::Update: {
+        const index_t t = st.targets[u.panel][u.edge].dst;
+        if (map.owner[t] == node) {
+          on_contribution_done(t);
+          break;
+        }
+        if (mode == CommMode::FanOut) {
+          const auto it = groups.find({u.panel * np + u.edge, -1 - t});
+          SPX_ASSERT(it != groups.end());
+          Message msg;
+          msg.dest_node = map.owner[t];
+          msg.bytes = it->second.second;
+          msg.apply.kind = Unit::Apply;
+          msg.apply.panel = t;
+          msg.apply.from_node = node;
+          msg.apply.priority = level[t] + 1.0;  // urgent: unblocks factor
+          msg.apply.duration =
+              msg.bytes / model.spec().cpu_mem_bw + 1e-6;
+          send(node, std::move(msg));
+        } else {
+          auto& g = groups[{node, t}];
+          if (--g.first == 0) {
+            Message msg;
+            msg.dest_node = map.owner[t];
+            msg.bytes = g.second;
+            msg.apply.kind = Unit::Apply;
+            msg.apply.panel = t;
+            msg.apply.from_node = node;
+            msg.apply.priority = level[t] + 1.0;
+            msg.apply.duration =
+                msg.bytes / model.spec().cpu_mem_bw + 1e-6;
+            send(node, std::move(msg));
+          }
+        }
+        break;
+      }
+      case Unit::Apply:
+        on_contribution_done(u.panel);
+        break;
+    }
+  };
+
+  auto dispatch = [&] {
+    for (index_t n = 0; n < nn; ++n) {
+      while (idle_cores[n] > 0 && !ready[n].empty()) {
+        const Unit u = ready[n].top();
+        ready[n].pop();
+        --idle_cores[n];
+        events.push({now + u.duration, n, u});
+      }
+    }
+  };
+
+  dispatch();
+  while (factored < np) {
+    const double t_event = events.empty() ? kInf : events.top().time;
+    const double t_arrival = arrivals.empty() ? kInf : arrivals.top().time;
+    if (t_event == kInf && t_arrival == kInf) {
+      throw InternalError("distributed simulation deadlock");
+    }
+    now = std::min(t_event, t_arrival);
+    while (!events.empty() && events.top().time <= now + 1e-15) {
+      const Completion c = events.top();
+      events.pop();
+      ++idle_cores[c.node];
+      complete(c.node, c.unit);
+    }
+    while (!arrivals.empty() && arrivals.top().time <= now + 1e-15) {
+      const Arrival a = arrivals.top();
+      arrivals.pop();
+      push_ready(a.msg.dest_node, a.msg.apply);
+    }
+    dispatch();
+  }
+
+  stats.makespan = now;
+  stats.gflops = st.total_flops(kind) / now / 1e9;
+  stats.imbalance = map.imbalance();
+  for (index_t n = 0; n < nn; ++n) {
+    stats.comm_busy_max =
+        std::max(stats.comm_busy_max, nic_busy_total[n] / now);
+  }
+  return stats;
+}
+
+}  // namespace spx::dist

@@ -1,0 +1,94 @@
+#include "dist/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spx::dist {
+Mapping proportional_mapping(const SymbolicStructure& st,
+                             const TaskCosts& costs, index_t num_nodes) {
+  SPX_CHECK_ARG(num_nodes > 0, "need at least one node");
+  const index_t np = st.num_panels();
+  Mapping map;
+  map.num_nodes = num_nodes;
+  map.owner.assign(static_cast<std::size_t>(np), 0);
+  map.node_work.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  if (np == 0) return map;
+
+  // Panel tree (parent = lowest updated panel) + subtree work.
+  std::vector<index_t> parent(static_cast<std::size_t>(np), -1);
+  std::vector<double> work(static_cast<std::size_t>(np));
+  for (index_t p = 0; p < np; ++p) {
+    double d = costs.panel_seconds(p, ResourceKind::Cpu);
+    for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
+         ++e) {
+      d += costs.update_seconds(p, e, ResourceKind::Cpu);
+    }
+    work[p] = d;
+    if (!st.targets[p].empty()) parent[p] = st.targets[p].front().dst;
+  }
+  std::vector<double> subtree = work;
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(np));
+  for (index_t p = 0; p < np; ++p) {
+    if (parent[p] != -1) {
+      subtree[parent[p]] += subtree[p];
+      children[parent[p]].push_back(p);
+    }
+  }
+
+  // Chunking: maximal subtrees whose work stays below a fraction of the
+  // fair per-node share become atomic chunks (whole subtree on one node --
+  // all their updates stay local).  Chunks are packed onto nodes with the
+  // classic LPT greedy (heaviest first onto the least-loaded node);
+  // panels above the chunk cut are assigned least-loaded in topological
+  // order (they are the shared top of the tree and talk to every node
+  // regardless).
+  double total = 0.0;
+  for (index_t p = 0; p < np; ++p) {
+    if (parent[p] == -1) total += subtree[p];
+  }
+  const double chunk_limit =
+      total / (8.0 * static_cast<double>(num_nodes));
+
+  std::vector<index_t> chunk_roots;
+  std::vector<char> in_chunk(static_cast<std::size_t>(np), 0);
+  for (index_t p = 0; p < np; ++p) {
+    const bool fits = subtree[p] <= chunk_limit;
+    const bool parent_fits =
+        parent[p] != -1 && subtree[parent[p]] <= chunk_limit;
+    if (fits && !parent_fits) chunk_roots.push_back(p);
+  }
+  std::sort(chunk_roots.begin(), chunk_roots.end(),
+            [&](index_t a, index_t b) { return subtree[a] > subtree[b]; });
+
+  auto least_loaded = [&] {
+    index_t best = 0;
+    for (index_t n = 1; n < num_nodes; ++n) {
+      if (map.node_work[n] < map.node_work[best]) best = n;
+    }
+    return best;
+  };
+
+  std::vector<index_t> stack;
+  for (const index_t root : chunk_roots) {
+    const index_t node = least_loaded();
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      in_chunk[v] = 1;
+      map.owner[v] = node;
+      map.node_work[node] += work[v];
+      for (const index_t c : children[v]) stack.push_back(c);
+    }
+  }
+  // Top panels (above the cut), in topological = ascending order.
+  for (index_t p = 0; p < np; ++p) {
+    if (in_chunk[p]) continue;
+    const index_t node = least_loaded();
+    map.owner[p] = node;
+    map.node_work[node] += work[p];
+  }
+  return map;
+}
+
+}  // namespace spx::dist

@@ -1,0 +1,44 @@
+// Proportional mapping of the panel elimination forest onto cluster nodes.
+//
+// The classic PaStiX/scotch strategy: walk the supernode tree from the
+// roots, assigning each subtree a *set* of candidate nodes sized
+// proportionally to its work; once a subtree's candidate set shrinks to a
+// single node, every panel in it is owned by that node (perfect locality
+// for the bottom of the tree).  Panels near the top, whose subtrees span
+// several nodes, are distributed round-robin among their candidates.
+//
+// Used by the distributed fan-in simulation (dist/fanin_sim.hpp) and as an
+// alternative static-mapping strategy for the shared-memory native
+// scheduler.
+#pragma once
+
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace spx::dist {
+
+struct Mapping {
+  /// Owner node of each panel, in [0, num_nodes).
+  std::vector<index_t> owner;
+  index_t num_nodes = 0;
+  /// Estimated per-node work (seconds of 1D CPU time).
+  std::vector<double> node_work;
+
+  double imbalance() const {
+    double mx = 0.0, total = 0.0;
+    for (const double w : node_work) {
+      mx = std::max(mx, w);
+      total += w;
+    }
+    const double avg = total / static_cast<double>(node_work.size());
+    return avg > 0 ? mx / avg : 1.0;
+  }
+};
+
+/// Maps panels onto `num_nodes` nodes proportionally to subtree work
+/// (1D task time from `costs`).
+Mapping proportional_mapping(const SymbolicStructure& st,
+                             const TaskCosts& costs, index_t num_nodes);
+
+}  // namespace spx::dist

@@ -1,0 +1,53 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace spx {
+
+Graph::Graph(index_t n, std::vector<size_type> ptr, std::vector<index_t> adj)
+    : n_(n), ptr_(std::move(ptr)), adj_(std::move(adj)) {
+  SPX_CHECK_ARG(static_cast<index_t>(ptr_.size()) == n_ + 1,
+                "graph ptr size must be n+1");
+  SPX_CHECK_ARG(ptr_.back() == static_cast<size_type>(adj_.size()),
+                "graph ptr/adj mismatch");
+}
+
+Graph Graph::induced_subgraph(std::span<const index_t> vertices,
+                              std::vector<index_t>& local_of) const {
+  const index_t m = static_cast<index_t>(vertices.size());
+  local_of.assign(static_cast<std::size_t>(n_), index_t(-1));
+  for (index_t k = 0; k < m; ++k) {
+    SPX_DEBUG_ASSERT(vertices[k] >= 0 && vertices[k] < n_);
+    local_of[vertices[k]] = k;
+  }
+  std::vector<size_type> ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<index_t> adj;
+  adj.reserve(vertices.size() * 4);
+  for (index_t k = 0; k < m; ++k) {
+    for (const index_t u : neighbors(vertices[k])) {
+      if (local_of[u] >= 0) adj.push_back(local_of[u]);
+    }
+    ptr[k + 1] = static_cast<size_type>(adj.size());
+  }
+  for (index_t k = 0; k < m; ++k) {
+    std::sort(adj.begin() + ptr[k], adj.begin() + ptr[k + 1]);
+  }
+  return Graph(m, std::move(ptr), std::move(adj));
+}
+
+bool Graph::validate() const {
+  for (index_t v = 0; v < n_; ++v) {
+    const auto nb = neighbors(v);
+    for (std::size_t k = 0; k < nb.size(); ++k) {
+      const index_t u = nb[k];
+      if (u < 0 || u >= n_ || u == v) return false;
+      if (k > 0 && nb[k - 1] >= u) return false;  // sorted + unique
+      // Symmetry: v must appear in u's list.
+      const auto nu = neighbors(u);
+      if (!std::binary_search(nu.begin(), nu.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spx

@@ -1,0 +1,102 @@
+// Undirected adjacency graph of a sparse matrix pattern.
+//
+// Orderings operate on the symmetrized pattern of A (pattern of A + A^T
+// without the diagonal), which is exactly what PASTIX does: it always
+// works on a structurally symmetric problem (paper §III).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "mat/csc.hpp"
+
+namespace spx {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from CSR/CSC-style arrays; adjacency must be symmetric,
+  /// diagonal-free, sorted per vertex.
+  Graph(index_t n, std::vector<size_type> ptr, std::vector<index_t> adj);
+
+  /// Symmetrized pattern of a square matrix, diagonal dropped.
+  template <typename T>
+  static Graph from_pattern(const CscMatrix<T>& a);
+
+  index_t num_vertices() const { return n_; }
+  size_type num_edges() const {
+    return static_cast<size_type>(adj_.size()) / 2;
+  }
+
+  std::span<const index_t> neighbors(index_t v) const {
+    return {adj_.data() + ptr_[v],
+            static_cast<std::size_t>(ptr_[v + 1] - ptr_[v])};
+  }
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr_[v + 1] - ptr_[v]);
+  }
+
+  /// Induced subgraph on `vertices` (must be unique).  `local_of` maps a
+  /// global vertex id to its index in `vertices` (or -1); scratch sized n.
+  Graph induced_subgraph(std::span<const index_t> vertices,
+                         std::vector<index_t>& local_of_scratch) const;
+
+  /// True when the adjacency structure is a valid undirected simple graph.
+  bool validate() const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<size_type> ptr_;
+  std::vector<index_t> adj_;
+};
+
+template <typename T>
+Graph Graph::from_pattern(const CscMatrix<T>& a) {
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "pattern graph needs square matrix");
+  const index_t n = a.ncols();
+  // Count union of pattern(A) and pattern(A^T) per vertex, minus diagonal.
+  std::vector<size_type> count(static_cast<std::size_t>(n) + 1, 0);
+  const auto colptr = a.colptr();
+  const auto rowind = a.rowind();
+  for (index_t j = 0; j < n; ++j) {
+    for (size_type p = colptr[j]; p < colptr[j + 1]; ++p) {
+      const index_t i = rowind[p];
+      if (i == j) continue;
+      count[static_cast<std::size_t>(i) + 1]++;
+      count[static_cast<std::size_t>(j) + 1]++;
+    }
+  }
+  std::vector<size_type> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t v = 0; v < n; ++v) ptr[v + 1] = ptr[v] + count[v + 1];
+  std::vector<index_t> adj(static_cast<std::size_t>(ptr[n]));
+  std::vector<size_type> next(ptr.begin(), ptr.end() - 1);
+  for (index_t j = 0; j < n; ++j) {
+    for (size_type p = colptr[j]; p < colptr[j + 1]; ++p) {
+      const index_t i = rowind[p];
+      if (i == j) continue;
+      adj[next[i]++] = j;
+      adj[next[j]++] = i;
+    }
+  }
+  // Sort and unique each adjacency list (duplicates from symmetric entries
+  // present on both sides).
+  std::vector<size_type> outptr(static_cast<std::size_t>(n) + 1, 0);
+  size_type w = 0;
+  for (index_t v = 0; v < n; ++v) {
+    const size_type b = ptr[v], e = next[v];
+    std::sort(adj.begin() + b, adj.begin() + e);
+    for (size_type p = b; p < e; ++p) {
+      if (w > outptr[v] && adj[w - 1] == adj[p]) continue;
+      adj[w++] = adj[p];
+    }
+    outptr[v + 1] = w;
+  }
+  adj.resize(static_cast<std::size_t>(w));
+  return Graph(n, std::move(outptr), std::move(adj));
+}
+
+}  // namespace spx

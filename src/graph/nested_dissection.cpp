@@ -1,0 +1,301 @@
+// Nested dissection ordering.
+//
+// Recursive strategy (SCOTCH-like in spirit, simplified):
+//   1. Bisect the (sub)graph with a BFS level-set split from a
+//      pseudo-peripheral vertex, balancing the two halves.
+//   2. Refine the *edge* cut with Fiduccia--Mattheyses passes under a
+//      balance constraint.
+//   3. Turn the edge separator into a vertex separator by greedily picking
+//      cut-edge endpoints (approximate minimum vertex cover).
+//   4. Recurse on the two parts; order = [part0, part1, separator], so
+//      separators land at the end and become the top supernodes of the
+//      elimination tree -- the big panels the paper offloads to GPUs.
+// Leaves are ordered with minimum degree.
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/rng.hpp"
+#include "graph/orderings.hpp"
+
+namespace spx {
+namespace {
+
+struct Bisection {
+  std::vector<index_t> part0;
+  std::vector<index_t> part1;
+  std::vector<index_t> separator;
+};
+
+/// BFS level-balanced initial split: grows part 0 from a pseudo-peripheral
+/// vertex until it holds half of the component.
+std::vector<char> initial_split(const Graph& g, Rng& rng) {
+  const index_t n = g.num_vertices();
+  std::vector<char> side(static_cast<std::size_t>(n), 1);
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  index_t assigned0 = 0;
+  const index_t target0 = n / 2;
+
+  // Multiple components: fill part 0 component by component.
+  index_t seed = static_cast<index_t>(rng.next_below(
+      static_cast<std::uint64_t>(n)));
+  for (index_t tries = 0; tries < n && assigned0 < target0; ++tries) {
+    while (visited[seed]) seed = (seed + 1) % n;
+    // Pseudo-peripheral walk inside this component.
+    index_t start = seed;
+    {
+      std::vector<index_t> dist(static_cast<std::size_t>(n), -1);
+      for (int iter = 0; iter < 4; ++iter) {
+        std::fill(dist.begin(), dist.end(), -1);
+        std::queue<index_t> q;
+        q.push(start);
+        dist[start] = 0;
+        index_t far = start;
+        while (!q.empty()) {
+          const index_t v = q.front();
+          q.pop();
+          far = v;
+          for (const index_t u : g.neighbors(v)) {
+            if (dist[u] < 0 && !visited[u]) {
+              dist[u] = dist[v] + 1;
+              q.push(u);
+            }
+          }
+        }
+        if (far == start) break;
+        start = far;
+      }
+    }
+    // BFS from `start`, assigning to part 0 until the target is reached.
+    std::queue<index_t> q;
+    q.push(start);
+    visited[start] = 1;
+    while (!q.empty() && assigned0 < target0) {
+      const index_t v = q.front();
+      q.pop();
+      side[v] = 0;
+      ++assigned0;
+      for (const index_t u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          q.push(u);
+        }
+      }
+    }
+    // Mark the rest of this component visited (stays in part 1).
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      for (const index_t u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return side;
+}
+
+/// One Fiduccia--Mattheyses pass over the edge cut: vertices move between
+/// sides by decreasing gain, each vertex at most once per pass, respecting
+/// the balance constraint; the best prefix of moves is kept.  Uses gain
+/// buckets with lazy deletion, so a pass costs O(V + E).
+bool fm_pass(const Graph& g, std::vector<char>& side, index_t min_part,
+             std::vector<index_t>& gain, std::vector<char>& locked) {
+  const index_t n = g.num_vertices();
+  std::fill(locked.begin(), locked.end(), 0);
+  index_t count0 = 0;
+  index_t maxdeg = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (side[v] == 0) ++count0;
+    maxdeg = std::max(maxdeg, g.degree(v));
+  }
+  // gain(v) = (cut edges incident to v) - (internal edges incident to v),
+  // i.e. the cut reduction if v switched sides.  Range [-maxdeg, maxdeg].
+  // Only *boundary* vertices (those with at least one cut edge) are worth
+  // moving, which keeps the buckets small on good initial splits.
+  const index_t offset = maxdeg;
+  std::vector<std::vector<index_t>> buckets(
+      static_cast<std::size_t>(2 * maxdeg + 1));
+  index_t max_gain = -offset - 1;  // nothing inserted yet
+  auto push = [&](index_t v) {
+    buckets[gain[v] + offset].push_back(v);
+    max_gain = std::max(max_gain, gain[v]);
+  };
+  for (index_t v = 0; v < n; ++v) {
+    index_t gv = 0;
+    bool boundary = false;
+    for (const index_t u : g.neighbors(v)) {
+      if (side[u] != side[v]) {
+        ++gv;
+        boundary = true;
+      } else {
+        --gv;
+      }
+    }
+    gain[v] = gv;
+    if (boundary) push(v);
+  }
+
+  struct Move {
+    index_t vertex;
+    index_t cut_delta;
+  };
+  std::vector<Move> moves;
+  index_t cut_delta = 0, best_delta = 0;
+  std::size_t best_prefix = 0;
+
+  while (max_gain >= 0) {  // only improving or neutral moves
+    auto& bucket = buckets[max_gain + offset];
+    if (bucket.empty()) {
+      --max_gain;
+      continue;
+    }
+    const index_t v = bucket.back();
+    bucket.pop_back();
+    if (locked[v] || gain[v] != max_gain) continue;  // stale entry
+    const index_t from_count = side[v] == 0 ? count0 : n - count0;
+    if (from_count - 1 < min_part) continue;  // would break balance
+    locked[v] = 1;
+    cut_delta -= gain[v];
+    count0 += side[v] == 0 ? -1 : 1;
+    side[v] ^= 1;
+    for (const index_t u : g.neighbors(v)) {
+      // Flipping v changes the (u,v) edge status: newly cut edges raise
+      // u's gain by 2, newly internal ones lower it by 2.
+      gain[u] += (side[u] != side[v]) ? 2 : -2;
+      if (!locked[u]) push(u);
+    }
+    moves.push_back({v, cut_delta});
+    if (cut_delta < best_delta) {
+      best_delta = cut_delta;
+      best_prefix = moves.size();
+    }
+  }
+  // Roll back past the best prefix.
+  for (std::size_t k = moves.size(); k > best_prefix; --k) {
+    side[moves[k - 1].vertex] ^= 1;
+  }
+  return best_delta < 0;
+}
+
+/// Extracts a vertex separator from the refined edge cut: greedy vertex
+/// cover of cut edges, preferring endpoints covering more cut edges and,
+/// on ties, the larger side.
+Bisection to_vertex_separator(const Graph& g, const std::vector<char>& side) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> cutdeg(static_cast<std::size_t>(n), 0);
+  index_t count0 = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (side[v] == 0) ++count0;
+    for (const index_t u : g.neighbors(v)) {
+      if (side[u] != side[v]) ++cutdeg[v];
+    }
+  }
+  std::vector<char> in_sep(static_cast<std::size_t>(n), 0);
+  // Order boundary vertices by decreasing cut degree and sweep.
+  std::vector<index_t> boundary;
+  for (index_t v = 0; v < n; ++v) {
+    if (cutdeg[v] > 0) boundary.push_back(v);
+  }
+  std::sort(boundary.begin(), boundary.end(), [&](index_t a, index_t b) {
+    return cutdeg[a] > cutdeg[b] || (cutdeg[a] == cutdeg[b] && a < b);
+  });
+  for (const index_t v : boundary) {
+    if (in_sep[v]) continue;
+    bool uncovered = false;
+    for (const index_t u : g.neighbors(v)) {
+      if (side[u] != side[v] && !in_sep[u]) {
+        uncovered = true;
+        break;
+      }
+    }
+    if (uncovered) in_sep[v] = 1;
+  }
+  Bisection b;
+  for (index_t v = 0; v < n; ++v) {
+    if (in_sep[v]) {
+      b.separator.push_back(v);
+    } else if (side[v] == 0) {
+      b.part0.push_back(v);
+    } else {
+      b.part1.push_back(v);
+    }
+  }
+  return b;
+}
+
+void dissect(const Graph& g, std::span<const index_t> global_ids,
+             const NestedDissectionOptions& opts, Rng& rng,
+             std::vector<index_t>& scratch_local_of,
+             std::vector<index_t>& order_out) {
+  const index_t n = g.num_vertices();
+  if (n <= opts.leaf_size) {
+    const Ordering leaf = minimum_degree(g);
+    for (index_t k = 0; k < n; ++k) {
+      order_out.push_back(global_ids[leaf.new_to_old[k]]);
+    }
+    return;
+  }
+
+  std::vector<char> side = initial_split(g, rng);
+  {
+    std::vector<index_t> gain(static_cast<std::size_t>(n));
+    std::vector<char> locked(static_cast<std::size_t>(n));
+    const index_t min_part = static_cast<index_t>(
+        (0.5 - opts.balance_slack) * static_cast<double>(n));
+    for (int pass = 0; pass < opts.fm_passes; ++pass) {
+      if (!fm_pass(g, side, std::max<index_t>(1, min_part), gain, locked)) {
+        break;
+      }
+    }
+  }
+  Bisection b = to_vertex_separator(g, side);
+  if (b.part0.empty() || b.part1.empty()) {
+    // Degenerate split (e.g. complete graph): fall back to minimum degree.
+    const Ordering leaf = minimum_degree(g);
+    for (index_t k = 0; k < n; ++k) {
+      order_out.push_back(global_ids[leaf.new_to_old[k]]);
+    }
+    return;
+  }
+
+  for (const auto* part : {&b.part0, &b.part1}) {
+    std::vector<index_t> sub_globals(part->size());
+    for (std::size_t k = 0; k < part->size(); ++k) {
+      sub_globals[k] = global_ids[(*part)[k]];
+    }
+    const Graph sub = g.induced_subgraph(*part, scratch_local_of);
+    dissect(sub, sub_globals, opts, rng, scratch_local_of, order_out);
+  }
+  // Separator last; ordered with minimum degree on its induced subgraph to
+  // reduce fill inside the top supernode's coupling.
+  {
+    const Graph sep = g.induced_subgraph(b.separator, scratch_local_of);
+    const Ordering so = minimum_degree(sep);
+    for (index_t k = 0; k < static_cast<index_t>(b.separator.size()); ++k) {
+      order_out.push_back(global_ids[b.separator[so.new_to_old[k]]]);
+    }
+  }
+}
+
+}  // namespace
+
+Ordering nested_dissection(const Graph& g,
+                           const NestedDissectionOptions& opts) {
+  SPX_CHECK_ARG(opts.leaf_size > 0, "leaf_size must be positive");
+  SPX_CHECK_ARG(opts.balance_slack > 0.0 && opts.balance_slack < 0.5,
+                "balance_slack must be in (0, 0.5)");
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), index_t(0));
+  std::vector<index_t> scratch;
+  Rng rng(opts.seed);
+  dissect(g, ids, opts, rng, scratch, order);
+  return Ordering::from_new_to_old(std::move(order));
+}
+
+}  // namespace spx

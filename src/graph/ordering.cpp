@@ -1,0 +1,121 @@
+#include "graph/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace spx {
+
+Ordering Ordering::identity(index_t n) {
+  Ordering ord;
+  ord.new_to_old.resize(static_cast<std::size_t>(n));
+  std::iota(ord.new_to_old.begin(), ord.new_to_old.end(), index_t(0));
+  ord.old_to_new = ord.new_to_old;
+  return ord;
+}
+
+Ordering Ordering::from_new_to_old(std::vector<index_t> new_to_old) {
+  const index_t n = static_cast<index_t>(new_to_old.size());
+  Ordering ord;
+  ord.new_to_old = std::move(new_to_old);
+  ord.old_to_new.assign(static_cast<std::size_t>(n), index_t(-1));
+  for (index_t k = 0; k < n; ++k) {
+    const index_t old = ord.new_to_old[k];
+    SPX_CHECK_ARG(old >= 0 && old < n && ord.old_to_new[old] == -1,
+                  "not a permutation");
+    ord.old_to_new[old] = k;
+  }
+  return ord;
+}
+
+bool Ordering::validate() const {
+  const index_t n = size();
+  if (static_cast<index_t>(old_to_new.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t old = new_to_old[k];
+    if (old < 0 || old >= n || seen[old]) return false;
+    seen[old] = true;
+    if (old_to_new[old] != k) return false;
+  }
+  return true;
+}
+
+template <typename T>
+CscMatrix<T> permute_symmetric(const CscMatrix<T>& a, const Ordering& ord) {
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
+  SPX_CHECK_ARG(ord.size() == a.ncols(), "ordering size mismatch");
+  const index_t n = a.ncols();
+  std::vector<size_type> bptr(static_cast<std::size_t>(n) + 1, 0);
+  const auto colptr = a.colptr();
+  for (index_t jnew = 0; jnew < n; ++jnew) {
+    const index_t jold = ord.new_to_old[jnew];
+    bptr[jnew + 1] = bptr[jnew] + (colptr[jold + 1] - colptr[jold]);
+  }
+  std::vector<index_t> bind(static_cast<std::size_t>(bptr[n]));
+  std::vector<T> bval(static_cast<std::size_t>(bptr[n]));
+  for (index_t jnew = 0; jnew < n; ++jnew) {
+    const index_t jold = ord.new_to_old[jnew];
+    const auto rows = a.col_rows(jold);
+    const auto vals = a.col_values(jold);
+    // Gather the permuted (row, value) pairs and sort by new row index.
+    const size_type base = bptr[jnew];
+    std::vector<std::pair<index_t, T>> entries(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      entries[k] = {ord.old_to_new[rows[k]], vals[k]};
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      bind[base + static_cast<size_type>(k)] = entries[k].first;
+      bval[base + static_cast<size_type>(k)] = entries[k].second;
+    }
+  }
+  return CscMatrix<T>(n, n, std::move(bptr), std::move(bind),
+                      std::move(bval));
+}
+
+template <typename T>
+void permute_vector(const Ordering& ord, std::span<const T> in,
+                    std::span<T> out) {
+  SPX_CHECK_ARG(in.size() == out.size() &&
+                    static_cast<index_t>(in.size()) == ord.size(),
+                "size mismatch");
+  for (index_t i = 0; i < ord.size(); ++i) out[ord.old_to_new[i]] = in[i];
+}
+
+template <typename T>
+void unpermute_vector(const Ordering& ord, std::span<const T> in,
+                      std::span<T> out) {
+  SPX_CHECK_ARG(in.size() == out.size() &&
+                    static_cast<index_t>(in.size()) == ord.size(),
+                "size mismatch");
+  for (index_t i = 0; i < ord.size(); ++i) out[i] = in[ord.old_to_new[i]];
+}
+
+template CscMatrix<real_t> permute_symmetric(const CscMatrix<real_t>&,
+                                             const Ordering&);
+template CscMatrix<complex_t> permute_symmetric(const CscMatrix<complex_t>&,
+                                                const Ordering&);
+template void permute_vector<real_t>(const Ordering&, std::span<const real_t>,
+                                     std::span<real_t>);
+template void permute_vector<complex_t>(const Ordering&,
+                                        std::span<const complex_t>,
+                                        std::span<complex_t>);
+template void unpermute_vector<real_t>(const Ordering&,
+                                       std::span<const real_t>,
+                                       std::span<real_t>);
+template void unpermute_vector<complex_t>(const Ordering&,
+                                          std::span<const complex_t>,
+                                          std::span<complex_t>);
+template CscMatrix<real32_t> permute_symmetric(const CscMatrix<real32_t>&,
+                                               const Ordering&);
+template void permute_vector<real32_t>(const Ordering&,
+                                       std::span<const real32_t>,
+                                       std::span<real32_t>);
+template void unpermute_vector<real32_t>(const Ordering&,
+                                         std::span<const real32_t>,
+                                         std::span<real32_t>);
+
+}  // namespace spx

@@ -1,0 +1,47 @@
+// Permutation container shared by all orderings.
+//
+// Conventions (explicit names to avoid the classic perm/invp confusion):
+//   new_to_old[k] = original index of the row/column placed at position k,
+//   old_to_new[i] = position of original index i in the permuted matrix.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mat/csc.hpp"
+
+namespace spx {
+
+struct Ordering {
+  std::vector<index_t> new_to_old;
+  std::vector<index_t> old_to_new;
+
+  static Ordering identity(index_t n);
+
+  /// Builds from a new_to_old vector, deriving the inverse; throws if it is
+  /// not a permutation.
+  static Ordering from_new_to_old(std::vector<index_t> new_to_old);
+
+  index_t size() const { return static_cast<index_t>(new_to_old.size()); }
+
+  /// True iff this is a valid permutation pair.
+  bool validate() const;
+};
+
+/// Symmetric permutation of a square matrix: B = P A P^T with
+/// B(old_to_new[i], old_to_new[j]) = A(i, j).
+template <typename T>
+CscMatrix<T> permute_symmetric(const CscMatrix<T>& a, const Ordering& ord);
+
+/// Permutes a vector into the new ordering: out[old_to_new[i]] = in[i].
+template <typename T>
+void permute_vector(const Ordering& ord, std::span<const T> in,
+                    std::span<T> out);
+
+/// Inverse of permute_vector: out[i] = in[old_to_new[i]].
+template <typename T>
+void unpermute_vector(const Ordering& ord, std::span<const T> in,
+                      std::span<T> out);
+
+}  // namespace spx

@@ -1,0 +1,45 @@
+// Fill-reducing ordering algorithms.
+//
+// The paper uses SCOTCH's nested dissection; we provide our own nested
+// dissection (recursive bisection with Fiduccia--Mattheyses refinement and
+// minimum-degree leaf ordering) plus RCM and quotient-graph minimum degree
+// as baselines.  Nested dissection is what produces the large top-of-tree
+// supernodes the GPU experiments rely on.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/ordering.hpp"
+
+namespace spx {
+
+/// Reverse Cuthill--McKee: bandwidth-reducing BFS ordering.  Not a great
+/// fill reducer, kept as a baseline and for banded-solver style use.
+Ordering reverse_cuthill_mckee(const Graph& g);
+
+/// Quotient-graph minimum-degree ordering with element absorption and mass
+/// elimination of indistinguishable vertices (AMD-style external degree
+/// approximation).
+Ordering minimum_degree(const Graph& g);
+
+struct NestedDissectionOptions {
+  /// Subgraphs at or below this size are ordered with minimum degree.
+  index_t leaf_size = 96;
+  /// Maximum allowed imbalance of a bisection: each part holds at least
+  /// (0.5 - balance_slack) of the vertices.
+  double balance_slack = 0.15;
+  /// Number of Fiduccia--Mattheyses refinement passes per bisection.
+  int fm_passes = 8;
+  /// RNG seed for tie-breaking / start-vertex sampling.
+  std::uint64_t seed = 42;
+};
+
+/// Nested dissection ordering: separators are ordered last (they become the
+/// top supernodes of the elimination tree).
+Ordering nested_dissection(const Graph& g,
+                           const NestedDissectionOptions& opts = {});
+
+/// Counts fill-in of a Cholesky factorization under the given ordering
+/// (sum of column counts).  Exposed for ordering-quality tests.
+size_type cholesky_fill(const Graph& g, const Ordering& ord);
+
+}  // namespace spx

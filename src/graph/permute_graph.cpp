@@ -1,0 +1,25 @@
+#include "graph/permute_graph.hpp"
+
+#include <algorithm>
+
+namespace spx {
+
+Graph permute_graph(const Graph& g, const Ordering& ord) {
+  SPX_CHECK_ARG(ord.size() == g.num_vertices(), "ordering size mismatch");
+  const index_t n = g.num_vertices();
+  std::vector<size_type> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t k = 0; k < n; ++k) {
+    ptr[k + 1] = ptr[k] + g.degree(ord.new_to_old[k]);
+  }
+  std::vector<index_t> adj(static_cast<std::size_t>(ptr[n]));
+  for (index_t k = 0; k < n; ++k) {
+    size_type w = ptr[k];
+    for (const index_t u : g.neighbors(ord.new_to_old[k])) {
+      adj[w++] = ord.old_to_new[u];
+    }
+    std::sort(adj.begin() + ptr[k], adj.begin() + w);
+  }
+  return Graph(n, std::move(ptr), std::move(adj));
+}
+
+}  // namespace spx

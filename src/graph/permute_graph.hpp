@@ -1,0 +1,12 @@
+// Relabels a graph's vertices by an ordering.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/ordering.hpp"
+
+namespace spx {
+
+/// Returns the graph whose vertex k is ord.new_to_old[k] of `g`.
+Graph permute_graph(const Graph& g, const Ordering& ord);
+
+}  // namespace spx

@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <queue>
+
+#include "graph/orderings.hpp"
+
+namespace spx {
+namespace {
+
+/// BFS from `start`, returns the vertices of the component in BFS order and
+/// the index of a vertex in the last level with minimal degree (a
+/// pseudo-peripheral candidate).
+index_t bfs_component(const Graph& g, index_t start,
+                      std::vector<index_t>& order,
+                      std::vector<index_t>& level,
+                      std::vector<char>& visited) {
+  order.clear();
+  std::queue<index_t> q;
+  q.push(start);
+  visited[start] = 1;
+  level[start] = 0;
+  index_t last = start;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    order.push_back(v);
+    last = v;
+    for (const index_t u : g.neighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        level[u] = level[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  // Among the deepest level, pick the minimum-degree vertex.
+  const index_t depth = level[last];
+  index_t best = last;
+  for (auto it = order.rbegin(); it != order.rend() && level[*it] == depth;
+       ++it) {
+    if (g.degree(*it) < g.degree(best)) best = *it;
+  }
+  return best;
+}
+
+index_t pseudo_peripheral(const Graph& g, index_t start,
+                          std::vector<index_t>& scratch_order,
+                          std::vector<index_t>& level) {
+  std::vector<char> visited(static_cast<std::size_t>(g.num_vertices()), 0);
+  index_t v = start;
+  index_t prev_depth = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    std::fill(visited.begin(), visited.end(), 0);
+    const index_t far = bfs_component(g, v, scratch_order, level, visited);
+    const index_t depth = level[scratch_order.back()];
+    if (depth <= prev_depth) break;
+    prev_depth = depth;
+    v = far;
+  }
+  return v;
+}
+
+}  // namespace
+
+Ordering reverse_cuthill_mckee(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> level(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> comp;
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    // Restrict pseudo-peripheral search to this component.
+    const index_t start = pseudo_peripheral(g, seed, comp, level);
+
+    // Cuthill--McKee BFS: visit neighbours in increasing-degree order.
+    std::vector<index_t> frontier{start};
+    visited[start] = 1;
+    const std::size_t comp_begin = order.size();
+    order.push_back(start);
+    std::size_t head = comp_begin;
+    while (head < order.size()) {
+      const index_t v = order[head++];
+      frontier.clear();
+      for (const index_t u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          frontier.push_back(u);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end(),
+                [&](index_t a, index_t b) {
+                  return g.degree(a) < g.degree(b) || (g.degree(a) == g.degree(b) && a < b);
+                });
+      order.insert(order.end(), frontier.begin(), frontier.end());
+    }
+    // Reverse this component's ordering.
+    std::reverse(order.begin() + static_cast<std::ptrdiff_t>(comp_begin),
+                 order.end());
+  }
+  return Ordering::from_new_to_old(std::move(order));
+}
+
+size_type cholesky_fill(const Graph& g, const Ordering& ord) {
+  // Column counts via the standard symbolic elimination sweep with reach
+  // sets; O(|L|) using the "parent pointer" shortcut would be better but
+  // this exact version is only used by tests on moderate sizes.
+  const index_t n = g.num_vertices();
+  std::vector<std::vector<index_t>> struct_of(static_cast<std::size_t>(n));
+  std::vector<index_t> first_parent(static_cast<std::size_t>(n), -1);
+  size_type total = 0;
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  for (index_t k = 0; k < n; ++k) {
+    // Column k of L (in the permuted matrix) contains the permuted
+    // neighbours below k plus the structures of children columns.
+    std::vector<index_t> rows;
+    const index_t vk = ord.new_to_old[k];
+    mark[k] = 1;
+    std::vector<index_t> touched{k};
+    for (const index_t u : g.neighbors(vk)) {
+      const index_t j = ord.old_to_new[u];
+      if (j > k && !mark[j]) {
+        mark[j] = 1;
+        touched.push_back(j);
+        rows.push_back(j);
+      }
+    }
+    // Merge children structures (children = columns whose first below-diag
+    // entry is k).
+    for (index_t c = 0; c < k; ++c) {
+      if (first_parent[c] != k) continue;
+      for (const index_t r : struct_of[c]) {
+        if (r > k && !mark[r]) {
+          mark[r] = 1;
+          touched.push_back(r);
+          rows.push_back(r);
+        }
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    if (!rows.empty()) first_parent[k] = rows.front();
+    total += static_cast<size_type>(rows.size()) + 1;  // +1 diagonal
+    struct_of[k] = std::move(rows);
+    for (const index_t v : touched) mark[v] = 0;
+  }
+  return total;
+}
+
+}  // namespace spx

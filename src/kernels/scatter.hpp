@@ -1,0 +1,65 @@
+// Row-mapping ("gap") machinery for sparse panel updates.
+//
+// An update task computes W = A_trailing * B^T where A_trailing is the
+// trailing rows of the source panel and scatters W into the facing panel,
+// whose stored rows are a *superset* arranged with gaps.  The paper's GPU
+// kernel (modified ASTRA GEMM) computes directly into the gapped C; the
+// CPU kernel computes into a contiguous buffer and dispatches.  Both paths
+// are implemented here on top of a precomputed segment map.
+#pragma once
+
+#include <vector>
+
+#include "kernels/dense.hpp"
+#include "symbolic/structure.hpp"
+
+namespace spx::kernels {
+
+/// One contiguous run of rows: `len` source rows starting at W row
+/// `src_offset` land at target storage rows starting at `dst_offset`.
+struct RowSegment {
+  index_t src_offset;
+  index_t dst_offset;
+  index_t len;
+};
+
+/// Maps the trailing rows of `src` (storage rows [first_offset,
+/// src.nrows)) onto storage rows of `dst`.  Every trailing source row is
+/// guaranteed by the symbolic structure to exist in dst.
+std::vector<RowSegment> build_row_segments(const Panel& src,
+                                           index_t first_offset,
+                                           const Panel& dst);
+
+/// c_dst(:, dst_col + j) -= w(:, j) for the mapped rows: the CPU
+/// "compute-then-dispatch" path.
+template <typename T>
+void scatter_sub(const std::vector<RowSegment>& segs, index_t ncols,
+                 const T* w, index_t ldw, T* dst, index_t lddst,
+                 index_t dst_col) {
+  for (index_t j = 0; j < ncols; ++j) {
+    const T* wcol = w + static_cast<std::size_t>(j) * ldw;
+    T* dcol = dst + static_cast<std::size_t>(dst_col + j) * lddst;
+    for (const RowSegment& s : segs) {
+      const T* ws = wcol + s.src_offset;
+      T* ds = dcol + s.dst_offset;
+      for (index_t r = 0; r < s.len; ++r) ds[r] -= ws[r];
+    }
+  }
+}
+
+/// Buffer-free path (the paper's modified-ASTRA GPU kernel): one GEMM per
+/// contiguous segment, accumulating straight into the gapped target.
+/// `a` addresses the *full* source panel column (leading dimension lda);
+/// segment src offsets are relative to a + seg.src_offset rows.
+template <typename T>
+void gemm_nt_gapped(const std::vector<RowSegment>& segs, index_t n,
+                    index_t k, T alpha, const T* a, index_t lda, const T* b,
+                    index_t ldb, T* dst, index_t lddst, index_t dst_col) {
+  for (const RowSegment& s : segs) {
+    gemm_nt(s.len, n, k, alpha, a + s.src_offset, lda, b, ldb, T(1),
+            dst + s.dst_offset + static_cast<std::size_t>(dst_col) * lddst,
+            lddst);
+  }
+}
+
+}  // namespace spx::kernels

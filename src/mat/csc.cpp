@@ -1,0 +1,9 @@
+#include "mat/csc.hpp"
+
+namespace spx {
+
+template class CscMatrix<real_t>;
+template class CscMatrix<complex_t>;
+template class CscMatrix<real32_t>;
+
+}  // namespace spx

@@ -1,0 +1,143 @@
+// Compressed-sparse-column matrix container.
+//
+// CSC is the native layout of supernodal solvers: a panel is a set of
+// contiguous columns.  Row indices within a column are kept sorted; the
+// container is immutable after construction (build through Triplets or the
+// generators).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace spx {
+
+template <typename T>
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Takes ownership of a fully-formed CSC structure.  `colptr` has n+1
+  /// entries; row indices must be sorted and unique within each column.
+  CscMatrix(index_t nrows, index_t ncols, std::vector<size_type> colptr,
+            std::vector<index_t> rowind, std::vector<T> values)
+      : nrows_(nrows),
+        ncols_(ncols),
+        colptr_(std::move(colptr)),
+        rowind_(std::move(rowind)),
+        values_(std::move(values)) {
+    SPX_CHECK_ARG(static_cast<index_t>(colptr_.size()) == ncols_ + 1,
+                  "colptr size must be ncols+1");
+    SPX_CHECK_ARG(colptr_.back() == static_cast<size_type>(rowind_.size()),
+                  "colptr/rowind mismatch");
+    SPX_CHECK_ARG(rowind_.size() == values_.size(),
+                  "rowind/values mismatch");
+    for (index_t j = 0; j < ncols_; ++j) {
+      for (size_type p = colptr_[j] + 1; p < colptr_[j + 1]; ++p) {
+        SPX_CHECK_ARG(rowind_[p - 1] < rowind_[p],
+                      "row indices must be sorted and unique");
+      }
+    }
+  }
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  size_type nnz() const { return static_cast<size_type>(rowind_.size()); }
+
+  std::span<const size_type> colptr() const { return colptr_; }
+  std::span<const index_t> rowind() const { return rowind_; }
+  std::span<const T> values() const { return values_; }
+  std::span<T> values_mut() { return values_; }
+
+  /// Row indices of column j.
+  std::span<const index_t> col_rows(index_t j) const {
+    return {rowind_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+  /// Values of column j.
+  std::span<const T> col_values(index_t j) const {
+    return {values_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+
+  /// y = A*x (for residual checks; not performance-critical).
+  void multiply(std::span<const T> x, std::span<T> y) const {
+    SPX_CHECK_ARG(static_cast<index_t>(x.size()) == ncols_, "x size");
+    SPX_CHECK_ARG(static_cast<index_t>(y.size()) == nrows_, "y size");
+    std::fill(y.begin(), y.end(), T(0));
+    for (index_t j = 0; j < ncols_; ++j) {
+      const T xj = x[j];
+      for (size_type p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+        y[rowind_[p]] += values_[p] * xj;
+      }
+    }
+  }
+
+  /// Entry lookup by binary search; returns 0 when the entry is not stored.
+  T at(index_t i, index_t j) const {
+    const auto rows = col_rows(j);
+    const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+    if (it == rows.end() || *it != i) return T(0);
+    return values_[colptr_[j] + (it - rows.begin())];
+  }
+
+  /// True when the *pattern and values* are symmetric (A == A^T).  Used by
+  /// tests and by Solver input validation for LLT/LDLT.
+  bool is_symmetric(real_of_t<T> tol = 0) const;
+
+  /// Transposed copy.
+  CscMatrix<T> transposed() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<size_type> colptr_;
+  std::vector<index_t> rowind_;
+  std::vector<T> values_;
+};
+
+template <typename T>
+CscMatrix<T> CscMatrix<T>::transposed() const {
+  std::vector<size_type> tptr(static_cast<std::size_t>(nrows_) + 1, 0);
+  for (const index_t r : rowind_) tptr[static_cast<std::size_t>(r) + 1]++;
+  for (index_t i = 0; i < nrows_; ++i) tptr[i + 1] += tptr[i];
+  std::vector<index_t> tind(rowind_.size());
+  std::vector<T> tval(values_.size());
+  std::vector<size_type> next(tptr.begin(), tptr.end() - 1);
+  for (index_t j = 0; j < ncols_; ++j) {
+    for (size_type p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+      const size_type q = next[rowind_[p]]++;
+      tind[q] = j;
+      tval[q] = values_[p];
+    }
+  }
+  return CscMatrix<T>(ncols_, nrows_, std::move(tptr), std::move(tind),
+                      std::move(tval));
+}
+
+template <typename T>
+bool CscMatrix<T>::is_symmetric(real_of_t<T> tol) const {
+  if (nrows_ != ncols_) return false;
+  const CscMatrix<T> t = transposed();
+  if (t.nnz() != nnz()) return false;
+  for (index_t j = 0; j < ncols_; ++j) {
+    const auto ra = col_rows(j);
+    const auto rb = t.col_rows(j);
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      if (ra[k] != rb[k]) return false;
+      if (magnitude<T>(col_values(j)[k] - t.col_values(j)[k]) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+extern template class CscMatrix<real_t>;
+extern template class CscMatrix<complex_t>;
+extern template class CscMatrix<real32_t>;
+
+}  // namespace spx

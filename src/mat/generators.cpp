@@ -1,0 +1,265 @@
+#include "mat/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mat/triplets.hpp"
+
+namespace spx::gen {
+namespace {
+
+index_t idx2(index_t nx, index_t x, index_t y) { return y * nx + x; }
+
+index_t idx3(index_t nx, index_t ny, index_t x, index_t y, index_t z) {
+  return (z * ny + y) * nx + x;
+}
+
+}  // namespace
+
+CscMatrix<real_t> grid2d_laplacian(index_t nx, index_t ny) {
+  SPX_CHECK_ARG(nx > 0 && ny > 0, "grid dims must be positive");
+  const index_t n = nx * ny;
+  Triplets<real_t> t(n, n);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t c = idx2(nx, x, y);
+      t.add(c, c, 4.0);
+      if (x + 1 < nx) t.add_sym(idx2(nx, x + 1, y), c, -1.0);
+      if (y + 1 < ny) t.add_sym(idx2(nx, x, y + 1), c, -1.0);
+    }
+  }
+  return t.to_csc();
+}
+
+CscMatrix<real_t> grid3d_laplacian(index_t nx, index_t ny, index_t nz) {
+  SPX_CHECK_ARG(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+  const index_t n = nx * ny * nz;
+  Triplets<real_t> t(n, n);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t c = idx3(nx, ny, x, y, z);
+        t.add(c, c, 6.0);
+        if (x + 1 < nx) t.add_sym(idx3(nx, ny, x + 1, y, z), c, -1.0);
+        if (y + 1 < ny) t.add_sym(idx3(nx, ny, x, y + 1, z), c, -1.0);
+        if (z + 1 < nz) t.add_sym(idx3(nx, ny, x, y, z + 1), c, -1.0);
+      }
+    }
+  }
+  return t.to_csc();
+}
+
+CscMatrix<real_t> elasticity3d(index_t nx, index_t ny, index_t nz) {
+  SPX_CHECK_ARG(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+  const index_t nodes = nx * ny * nz;
+  const index_t n = 3 * nodes;
+  Triplets<real_t> t(n, n);
+  // Vector Laplacian per displacement component plus a weak coupling term
+  // between components of neighbouring nodes (mimics the (lambda+mu)
+  // grad-div coupling of isotropic elasticity).  Diagonal block kept
+  // strongly dominant so LL^T succeeds without pivoting, like real
+  // stiffness matrices.
+  const real_t couple = 0.25;
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t node = idx3(nx, ny, x, y, z);
+        for (int d = 0; d < 3; ++d) {
+          const index_t c = 3 * node + d;
+          t.add(c, c, 12.0);
+          // Intra-node coupling between the three components.
+          for (int e = d + 1; e < 3; ++e) {
+            t.add_sym(3 * node + e, c, couple);
+          }
+        }
+        const index_t nbrs[3] = {
+            x + 1 < nx ? idx3(nx, ny, x + 1, y, z) : index_t(-1),
+            y + 1 < ny ? idx3(nx, ny, x, y + 1, z) : index_t(-1),
+            z + 1 < nz ? idx3(nx, ny, x, y, z + 1) : index_t(-1)};
+        for (const index_t nb : nbrs) {
+          if (nb < 0) continue;
+          for (int d = 0; d < 3; ++d) {
+            t.add_sym(3 * nb + d, 3 * node + d, -1.0);
+            // Cross-component neighbour coupling.
+            t.add_sym(3 * nb + (d + 1) % 3, 3 * node + d, -couple);
+          }
+        }
+      }
+    }
+  }
+  return t.to_csc();
+}
+
+CscMatrix<complex_t> helmholtz3d(index_t nx, index_t ny, index_t nz,
+                                 double wavenumber) {
+  SPX_CHECK_ARG(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+  const index_t n = nx * ny * nz;
+  Triplets<complex_t> t(n, n);
+  // (−Δ − k² + i·damping) with a PML-like absorbing layer near the domain
+  // boundary: the imaginary shift grows toward the boundary.  The matrix is
+  // complex symmetric (equal to its plain transpose), the case the paper's
+  // pmlDF matrix exercises with Z LDL^T.
+  const index_t pml = std::max<index_t>(2, nx / 10);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t c = idx3(nx, ny, x, y, z);
+        const index_t db = std::min(
+            {x, y, z, nx - 1 - x, ny - 1 - y, nz - 1 - z});
+        const double damping =
+            db < pml ? 0.8 * double(pml - db) / double(pml) : 0.0;
+        t.add(c, c, complex_t(6.0 - wavenumber * wavenumber, 2.0 + damping));
+        if (x + 1 < nx) t.add_sym(idx3(nx, ny, x + 1, y, z), c, -1.0);
+        if (y + 1 < ny) t.add_sym(idx3(nx, ny, x, y + 1, z), c, -1.0);
+        if (z + 1 < nz) t.add_sym(idx3(nx, ny, x, y, z + 1), c, -1.0);
+      }
+    }
+  }
+  return t.to_csc();
+}
+
+CscMatrix<complex_t> filter3d(index_t nx, index_t ny, index_t nz) {
+  SPX_CHECK_ARG(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+  const index_t n = nx * ny * nz;
+  Triplets<complex_t> t(n, n);
+  // Helmholtz-like operator plus a skew (direction-dependent) term making
+  // the matrix unsymmetric in values while structurally symmetric --
+  // exactly what PASTIX's A+A^T analysis assumes.
+  const complex_t skew(0.3, 0.1);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t c = idx3(nx, ny, x, y, z);
+        t.add(c, c, complex_t(6.5, 1.5));
+        if (x + 1 < nx) {
+          const index_t r = idx3(nx, ny, x + 1, y, z);
+          t.add(r, c, complex_t(-1.0) + skew);
+          t.add(c, r, complex_t(-1.0) - skew);
+        }
+        if (y + 1 < ny) {
+          const index_t r = idx3(nx, ny, x, y + 1, z);
+          t.add(r, c, complex_t(-1.0) + skew);
+          t.add(c, r, complex_t(-1.0) - skew);
+        }
+        if (z + 1 < nz) {
+          const index_t r = idx3(nx, ny, x, y, z + 1);
+          t.add(r, c, complex_t(-1.0) + skew);
+          t.add(c, r, complex_t(-1.0) - skew);
+        }
+      }
+    }
+  }
+  return t.to_csc();
+}
+
+CscMatrix<real_t> convection_diffusion3d(index_t nx, index_t ny, index_t nz,
+                                         double peclet) {
+  SPX_CHECK_ARG(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+  const index_t n = nx * ny * nz;
+  Triplets<real_t> t(n, n);
+  // Central diffusion + upwinded convection along x: diag stays dominant,
+  // so no-pivot LU is stable.
+  const real_t h = 1.0 / double(nx + 1);
+  const real_t conv = peclet * h;  // cell Peclet number
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t c = idx3(nx, ny, x, y, z);
+        t.add(c, c, 6.0 + conv);
+        if (x + 1 < nx) {
+          const index_t r = idx3(nx, ny, x + 1, y, z);
+          t.add(r, c, -1.0 - conv);  // downstream
+          t.add(c, r, -1.0);         // upstream
+        }
+        if (y + 1 < ny) t.add_sym(idx3(nx, ny, x, y + 1, z), c, -1.0);
+        if (z + 1 < nz) t.add_sym(idx3(nx, ny, x, y, z + 1), c, -1.0);
+      }
+    }
+  }
+  return t.to_csc();
+}
+
+CscMatrix<real_t> random_spd(index_t n, double density, Rng& rng) {
+  SPX_CHECK_ARG(n > 0 && density >= 0.0 && density <= 1.0, "bad args");
+  Triplets<real_t> t(n, n);
+  std::vector<real_t> rowsum(n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (rng.next_double() < density) {
+        const real_t v = rng.uniform(-1.0, 1.0);
+        t.add_sym(i, j, v);
+        rowsum[i] += std::abs(v);
+        rowsum[j] += std::abs(v);
+      }
+    }
+  }
+  // Strict diagonal dominance => SPD.
+  for (index_t j = 0; j < n; ++j) t.add(j, j, rowsum[j] + 1.0);
+  return t.to_csc();
+}
+
+CscMatrix<real_t> random_sym_indefinite(index_t n, double density, Rng& rng) {
+  SPX_CHECK_ARG(n > 0 && density >= 0.0 && density <= 1.0, "bad args");
+  Triplets<real_t> t(n, n);
+  std::vector<real_t> rowsum(n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (rng.next_double() < density) {
+        const real_t v = rng.uniform(-1.0, 1.0);
+        t.add_sym(i, j, v);
+        rowsum[i] += std::abs(v);
+        rowsum[j] += std::abs(v);
+      }
+    }
+  }
+  // Diagonally dominant in magnitude but with alternating signs: the
+  // matrix is symmetric indefinite while static-pivot LDL^T stays stable.
+  for (index_t j = 0; j < n; ++j) {
+    const real_t sign = (j % 2 == 0) ? 1.0 : -1.0;
+    t.add(j, j, sign * (rowsum[j] + 1.0));
+  }
+  return t.to_csc();
+}
+
+CscMatrix<real_t> random_unsym(index_t n, double density, Rng& rng) {
+  SPX_CHECK_ARG(n > 0 && density >= 0.0 && density <= 1.0, "bad args");
+  Triplets<real_t> t(n, n);
+  std::vector<real_t> rowsum(n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (rng.next_double() < density) {
+        // Structurally symmetric, different values on each side.
+        const real_t a = rng.uniform(-1.0, 1.0);
+        const real_t b = rng.uniform(-1.0, 1.0);
+        t.add(i, j, a);
+        t.add(j, i, b);
+        rowsum[i] += std::abs(a);
+        rowsum[j] += std::abs(b);
+      }
+    }
+  }
+  for (index_t j = 0; j < n; ++j) t.add(j, j, rowsum[j] + 1.0);
+  return t.to_csc();
+}
+
+CscMatrix<complex_t> random_complex_sym(index_t n, double density, Rng& rng) {
+  SPX_CHECK_ARG(n > 0 && density >= 0.0 && density <= 1.0, "bad args");
+  Triplets<complex_t> t(n, n);
+  std::vector<real_t> rowsum(n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (rng.next_double() < density) {
+        const complex_t v = rng.scalar<complex_t>();
+        t.add_sym(i, j, v);
+        rowsum[i] += std::abs(v);
+        rowsum[j] += std::abs(v);
+      }
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    t.add(j, j, complex_t(rowsum[j] + 1.0, 0.5));
+  }
+  return t.to_csc();
+}
+
+}  // namespace spx::gen

@@ -1,0 +1,58 @@
+// Synthetic problem generators.
+//
+// The paper evaluates on nine University of Florida matrices spanning 2D/3D
+// discretizations, real and complex arithmetic, and the three factorization
+// kinds.  Those files are not redistributable here, so the generators below
+// produce the classic model problems from the same application domains
+// (structural mechanics, electromagnetics, fluid dynamics); the surrogate
+// registry (surrogates.hpp) maps each paper matrix to one of these.
+#pragma once
+
+#include "common/rng.hpp"
+#include "mat/csc.hpp"
+
+namespace spx::gen {
+
+/// 5-point Laplacian on an nx-by-ny grid (SPD, 2D shell/sheet problems).
+CscMatrix<real_t> grid2d_laplacian(index_t nx, index_t ny);
+
+/// 7-point Laplacian on an nx*ny*nz grid (SPD, 3D volume problems).
+CscMatrix<real_t> grid3d_laplacian(index_t nx, index_t ny, index_t nz);
+
+/// 3D linear elasticity surrogate: 3 dofs per grid node, vector Laplacian
+/// with inter-component coupling; SPD, ~81 nnz/row like FEM stiffness
+/// matrices (audi/Geo1438-like).
+CscMatrix<real_t> elasticity3d(index_t nx, index_t ny, index_t nz);
+
+/// Complex-symmetric (NOT Hermitian) Helmholtz problem with an absorbing
+/// PML-like complex shift: 7-point stencil, complex symmetric => LDL^T in Z
+/// arithmetic (pmlDF-like).
+CscMatrix<complex_t> helmholtz3d(index_t nx, index_t ny, index_t nz,
+                                 double wavenumber = 0.6);
+
+/// Complex unsymmetric frequency-domain filter surrogate: Helmholtz plus a
+/// skew convection-like term (FilterV2-like, Z LU).
+CscMatrix<complex_t> filter3d(index_t nx, index_t ny, index_t nz);
+
+/// Real unsymmetric convection-diffusion (upwind) on a 3D grid; pattern of
+/// A is unsymmetric in values but structurally symmetric (MHD/HOOK-like,
+/// D LU).
+CscMatrix<real_t> convection_diffusion3d(index_t nx, index_t ny, index_t nz,
+                                         double peclet = 10.0);
+
+/// Dense-ish random symmetric positive definite matrix of order n with
+/// given off-diagonal density; used by property tests (small n only).
+CscMatrix<real_t> random_spd(index_t n, double density, Rng& rng);
+
+/// Random symmetric *indefinite* matrix (diagonally dominated in magnitude
+/// so static-pivoting LDL^T is stable); property tests.
+CscMatrix<real_t> random_sym_indefinite(index_t n, double density, Rng& rng);
+
+/// Random structurally-symmetric unsymmetric matrix, diagonally dominant
+/// (static-pivoting LU safe); property tests.
+CscMatrix<real_t> random_unsym(index_t n, double density, Rng& rng);
+
+/// Random complex symmetric diagonally-dominant matrix; property tests.
+CscMatrix<complex_t> random_complex_sym(index_t n, double density, Rng& rng);
+
+}  // namespace spx::gen

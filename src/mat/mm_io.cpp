@@ -1,0 +1,133 @@
+#include "mat/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "mat/triplets.hpp"
+
+namespace spx {
+namespace {
+
+struct MmHeader {
+  bool complex_field = false;
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+MmHeader parse_header(const std::string& line) {
+  std::istringstream ss(line);
+  std::string banner, object, format, field, symmetry;
+  ss >> banner >> object >> format >> field >> symmetry;
+  SPX_CHECK_ARG(banner == "%%MatrixMarket", "not a MatrixMarket file");
+  SPX_CHECK_ARG(object == "matrix" && format == "coordinate",
+                "only coordinate matrices are supported");
+  MmHeader h;
+  h.complex_field = (field == "complex");
+  h.pattern = (field == "pattern");
+  h.symmetric = (symmetry == "symmetric");
+  h.skew = (symmetry == "skew-symmetric");
+  SPX_CHECK_ARG(symmetry != "hermitian",
+                "hermitian MatrixMarket files are not supported");
+  return h;
+}
+
+template <typename T>
+T read_value(std::istringstream& ss, const MmHeader& h) {
+  if (h.pattern) return T(1);
+  double re = 0.0, im = 0.0;
+  ss >> re;
+  if (h.complex_field) ss >> im;
+  if constexpr (is_complex_v<T>) {
+    return T(re, im);
+  } else {
+    SPX_CHECK_ARG(!h.complex_field,
+                  "complex file read into a real matrix");
+    return T(re);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+CscMatrix<T> read_matrix_market(std::istream& in) {
+  std::string line;
+  SPX_CHECK_ARG(static_cast<bool>(std::getline(in, line)), "empty stream");
+  const MmHeader h = parse_header(line);
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long nrows = 0, ncols = 0, nz = 0;
+  dims >> nrows >> ncols >> nz;
+  SPX_CHECK_ARG(nrows > 0 && ncols > 0 && nz >= 0, "bad size line");
+
+  Triplets<T> t(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  for (long k = 0; k < nz; ++k) {
+    SPX_CHECK_ARG(static_cast<bool>(std::getline(in, line)),
+                  "truncated MatrixMarket file");
+    std::istringstream ss(line);
+    long i = 0, j = 0;
+    ss >> i >> j;
+    const T v = read_value<T>(ss, h);
+    t.add(static_cast<index_t>(i - 1), static_cast<index_t>(j - 1), v);
+    if ((h.symmetric || h.skew) && i != j) {
+      t.add(static_cast<index_t>(j - 1), static_cast<index_t>(i - 1),
+            h.skew ? -v : v);
+    }
+  }
+  return t.to_csc();
+}
+
+template <typename T>
+CscMatrix<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  SPX_CHECK_ARG(in.good(), "cannot open " + path);
+  return read_matrix_market<T>(in);
+}
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const CscMatrix<T>& a) {
+  out << "%%MatrixMarket matrix coordinate "
+      << (is_complex_v<T> ? "complex" : "real") << " general\n";
+  out << a.nrows() << " " << a.ncols() << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      out << (rows[k] + 1) << " " << (j + 1) << " ";
+      if constexpr (is_complex_v<T>) {
+        out << vals[k].real() << " " << vals[k].imag() << "\n";
+      } else {
+        out << vals[k] << "\n";
+      }
+    }
+  }
+}
+
+template <typename T>
+void write_matrix_market_file(const std::string& path,
+                              const CscMatrix<T>& a) {
+  std::ofstream out(path);
+  SPX_CHECK_ARG(out.good(), "cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+template CscMatrix<real_t> read_matrix_market<real_t>(std::istream&);
+template CscMatrix<complex_t> read_matrix_market<complex_t>(std::istream&);
+template CscMatrix<real_t> read_matrix_market_file<real_t>(
+    const std::string&);
+template CscMatrix<complex_t> read_matrix_market_file<complex_t>(
+    const std::string&);
+template void write_matrix_market<real_t>(std::ostream&,
+                                          const CscMatrix<real_t>&);
+template void write_matrix_market<complex_t>(std::ostream&,
+                                             const CscMatrix<complex_t>&);
+template void write_matrix_market_file<real_t>(const std::string&,
+                                               const CscMatrix<real_t>&);
+template void write_matrix_market_file<complex_t>(const std::string&,
+                                                  const CscMatrix<complex_t>&);
+
+}  // namespace spx

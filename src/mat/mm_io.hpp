@@ -1,0 +1,27 @@
+// MatrixMarket coordinate-format reader/writer.
+//
+// Lets users bring the actual University of Florida matrices (audi, Flan,
+// Serena, ...) when they have them; the benches fall back to the synthetic
+// surrogates otherwise.  Supports real/complex, general/symmetric headers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mat/csc.hpp"
+
+namespace spx {
+
+template <typename T>
+CscMatrix<T> read_matrix_market(std::istream& in);
+
+template <typename T>
+CscMatrix<T> read_matrix_market_file(const std::string& path);
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const CscMatrix<T>& a);
+
+template <typename T>
+void write_matrix_market_file(const std::string& path, const CscMatrix<T>& a);
+
+}  // namespace spx

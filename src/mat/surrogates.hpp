@@ -1,0 +1,51 @@
+// Surrogates for the paper's nine University of Florida matrices.
+//
+// The UF files (audi, Flan, Serena, ...) are not redistributable, so each
+// paper matrix is mapped onto a synthetic generator from the same
+// application domain, matched on: precision (D/Z), factorization kind
+// (LL^T / LDL^T / LU), dimensionality (2D shell vs 3D volume), and the
+// paper's *relative* flop ranking (Table I's last column), at 1/100 flop
+// scale by default so the full evaluation runs on one host.  Pass a scale
+// factor > 1 to grow them toward paper size.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mat/generators.hpp"
+
+namespace spx {
+
+struct SurrogateSpec {
+  std::string name;        ///< paper matrix name
+  Precision prec;
+  Factorization method;
+  /// Table I reference values (paper's hardware/dataset).
+  double paper_size;
+  double paper_nnza;
+  double paper_nnzl;
+  double paper_tflop;
+  /// Generator and base grid dimension.
+  enum class Gen { Grid2D, Grid3D, Elasticity, Helmholtz, Filter, ConvDiff };
+  Gen gen;
+  index_t base_dim;
+};
+
+/// The nine matrices of Table I, in the paper's order.
+const std::vector<SurrogateSpec>& paper_surrogates();
+
+/// Look up a surrogate by (case-insensitive) paper name.
+const SurrogateSpec& surrogate_by_name(const std::string& name);
+
+/// Materializes a real-precision surrogate; requires spec.prec == D.
+CscMatrix<real_t> build_surrogate_d(const SurrogateSpec& spec,
+                                    double scale = 1.0);
+/// Materializes a complex-precision surrogate; requires spec.prec == Z.
+CscMatrix<complex_t> build_surrogate_z(const SurrogateSpec& spec,
+                                       double scale = 1.0);
+
+/// Grid edge after applying a volume scale factor.
+index_t scaled_dim(const SurrogateSpec& spec, double scale);
+
+}  // namespace spx

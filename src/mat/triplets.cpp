@@ -1,0 +1,60 @@
+#include "mat/triplets.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spx {
+
+template <typename T>
+CscMatrix<T> Triplets<T>::to_csc() const {
+  const std::size_t nz = rows_.size();
+  // Counting sort by column, then sort each column's entries by row and
+  // collapse duplicates.  O(nnz log nnz_col), cache-friendly.
+  std::vector<size_type> colptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  for (const index_t c : cols_) colptr[static_cast<std::size_t>(c) + 1]++;
+  for (index_t j = 0; j < ncols_; ++j) colptr[j + 1] += colptr[j];
+
+  std::vector<index_t> rowind(nz);
+  std::vector<T> values(nz);
+  {
+    std::vector<size_type> next(colptr.begin(), colptr.end() - 1);
+    for (std::size_t k = 0; k < nz; ++k) {
+      const size_type p = next[cols_[k]]++;
+      rowind[p] = rows_[k];
+      values[p] = vals_[k];
+    }
+  }
+
+  // Sort within columns and merge duplicates in place.
+  std::vector<size_type> outptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  size_type w = 0;
+  std::vector<std::pair<index_t, T>> colbuf;
+  for (index_t j = 0; j < ncols_; ++j) {
+    colbuf.clear();
+    for (size_type p = colptr[j]; p < colptr[j + 1]; ++p) {
+      colbuf.emplace_back(rowind[p], values[p]);
+    }
+    std::sort(colbuf.begin(), colbuf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < colbuf.size(); ++k) {
+      if (w > outptr[j] && rowind[w - 1] == colbuf[k].first) {
+        values[w - 1] += colbuf[k].second;
+      } else {
+        rowind[w] = colbuf[k].first;
+        values[w] = colbuf[k].second;
+        ++w;
+      }
+    }
+    outptr[j + 1] = w;
+  }
+  rowind.resize(w);
+  values.resize(w);
+  return CscMatrix<T>(nrows_, ncols_, std::move(outptr), std::move(rowind),
+                      std::move(values));
+}
+
+template class Triplets<real_t>;
+template class Triplets<complex_t>;
+template class Triplets<real32_t>;
+
+}  // namespace spx

@@ -1,0 +1,48 @@
+// Coordinate-format assembly buffer: accumulate (i, j, v) entries in any
+// order (duplicates sum, as in FEM assembly) and convert to CSC.
+#pragma once
+
+#include <vector>
+
+#include "mat/csc.hpp"
+
+namespace spx {
+
+template <typename T>
+class Triplets {
+ public:
+  Triplets(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  void add(index_t i, index_t j, T v) {
+    SPX_DEBUG_ASSERT(i >= 0 && i < nrows_ && j >= 0 && j < ncols_);
+    rows_.push_back(i);
+    cols_.push_back(j);
+    vals_.push_back(v);
+  }
+
+  /// Adds both (i,j,v) and (j,i,v); the diagonal is added once.
+  void add_sym(index_t i, index_t j, T v) {
+    add(i, j, v);
+    if (i != j) add(j, i, v);
+  }
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  size_type size() const { return static_cast<size_type>(rows_.size()); }
+
+  /// Converts to CSC, summing duplicate entries.
+  CscMatrix<T> to_csc() const;
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  std::vector<index_t> rows_;
+  std::vector<index_t> cols_;
+  std::vector<T> vals_;
+};
+
+extern template class Triplets<real_t>;
+extern template class Triplets<complex_t>;
+extern template class Triplets<real32_t>;
+
+}  // namespace spx

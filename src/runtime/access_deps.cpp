@@ -1,0 +1,58 @@
+#include "runtime/access_deps.hpp"
+
+#include <algorithm>
+
+namespace spx {
+
+ImplicitDeps::ImplicitDeps(index_t num_handles, index_t num_tasks)
+    : handles_(static_cast<std::size_t>(num_handles)),
+      in_count_(static_cast<std::size_t>(num_tasks), 0),
+      successors_(static_cast<std::size_t>(num_tasks)) {}
+
+void ImplicitDeps::add_edge(index_t from, index_t to) {
+  SPX_DEBUG_ASSERT(from != to);
+  auto& succ = successors_[from];
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+  succ.push_back(to);
+  in_count_[to]++;
+}
+
+void ImplicitDeps::submit(index_t task, std::span<const Access> accesses) {
+  for (const Access& a : accesses) {
+    HandleState& h = handles_[a.handle];
+    switch (a.mode) {
+      case AccessMode::Read:
+        for (const index_t w : h.writers) add_edge(w, task);
+        h.readers.push_back(task);
+        h.commute_open = false;  // a reader closes the commute group
+        break;
+      case AccessMode::Write:
+      case AccessMode::ReadWrite:
+        for (const index_t w : h.writers) add_edge(w, task);
+        for (const index_t r : h.readers) add_edge(r, task);
+        h.writers.assign(1, task);
+        h.readers.clear();
+        h.commute_open = false;
+        break;
+      case AccessMode::CommuteRW:
+        if (h.commute_open) {
+          // Join the open group: same predecessors as the other members,
+          // no edges among members.
+          for (const index_t d : h.group_deps) add_edge(d, task);
+          h.writers.push_back(task);
+        } else {
+          // Start a new group after the current writers/readers.
+          h.group_deps.clear();
+          for (const index_t w : h.writers) h.group_deps.push_back(w);
+          for (const index_t r : h.readers) h.group_deps.push_back(r);
+          for (const index_t d : h.group_deps) add_edge(d, task);
+          h.writers.assign(1, task);
+          h.readers.clear();
+          h.commute_open = true;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace spx

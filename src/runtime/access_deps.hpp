@@ -1,0 +1,60 @@
+// Implicit dependency inference from data-access modes.
+//
+// This is the StarPU submission model (paper §IV): the application submits
+// tasks in plain sequential order, each declaring how it accesses which
+// data handles, and the runtime infers the dependency graph that preserves
+// sequential consistency per handle.  CommuteRW is StarPU's commutative
+// write: members of a commute group do not depend on each other but must
+// be mutually excluded on the handle at execution time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace spx {
+
+enum class AccessMode : std::uint8_t { Read, Write, ReadWrite, CommuteRW };
+
+struct Access {
+  index_t handle;
+  AccessMode mode;
+};
+
+class ImplicitDeps {
+ public:
+  ImplicitDeps(index_t num_handles, index_t num_tasks);
+
+  /// Submits the next task (ids must be submitted in increasing order is
+  /// not required, but each id exactly once).
+  void submit(index_t task, std::span<const Access> accesses);
+
+  /// Number of predecessor tasks of each task.
+  const std::vector<index_t>& in_count() const { return in_count_; }
+  /// Successor lists (deduplicated).
+  const std::vector<std::vector<index_t>>& successors() const {
+    return successors_;
+  }
+
+ private:
+  void add_edge(index_t from, index_t to);
+
+  struct HandleState {
+    /// Tasks forming the last write event (one writer, or an open commute
+    /// group).
+    std::vector<index_t> writers;
+    /// Readers since that write event.
+    std::vector<index_t> readers;
+    /// Predecessors each new commute-group member must depend on.
+    std::vector<index_t> group_deps;
+    bool commute_open = false;
+  };
+
+  std::vector<HandleState> handles_;
+  std::vector<index_t> in_count_;
+  std::vector<std::vector<index_t>> successors_;
+};
+
+}  // namespace spx

@@ -1,0 +1,64 @@
+#include "runtime/dag_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace spx {
+
+DagStats dag_stats(const SymbolicStructure& st, const TaskCosts& costs,
+                   Decomposition decomposition) {
+  const index_t np = st.num_panels();
+  DagStats stats;
+
+  if (decomposition == Decomposition::TwoLevel) {
+    // level[p] = longest chain ending at factor(p)'s completion.
+    std::vector<double> level(static_cast<std::size_t>(np), 0.0);
+    for (index_t p = 0; p < np; ++p) {
+      const double fp = costs.panel_seconds(p, ResourceKind::Cpu);
+      stats.total_work += fp;
+      level[p] += fp;
+      stats.critical_path = std::max(stats.critical_path, level[p]);
+      stats.num_tasks += 1 + static_cast<index_t>(st.targets[p].size());
+      for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
+           ++e) {
+        const double ue = costs.update_seconds(p, e, ResourceKind::Cpu);
+        stats.total_work += ue;
+        const index_t dst = st.targets[p][e].dst;
+        level[dst] = std::max(level[dst], level[p] + ue);
+      }
+    }
+    return stats;
+  }
+
+  // Coarse 1D durations: initialize with the panel task first (a second
+  // pass attributes updates, which may land on later panels).
+  std::vector<double> duration(static_cast<std::size_t>(np), 0.0);
+  for (index_t p = 0; p < np; ++p) {
+    duration[p] = costs.panel_seconds(p, ResourceKind::Cpu);
+  }
+  for (index_t p = 0; p < np; ++p) {
+    for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
+         ++e) {
+      const double ue = costs.update_seconds(p, e, ResourceKind::Cpu);
+      // Right-looking: the update belongs to the *source* task; left-
+      // looking: to the *target* task.
+      duration[decomposition == Decomposition::OneDRight
+                   ? p
+                   : st.targets[p][e].dst] += ue;
+    }
+  }
+  // In both coarse forms, task(p) precedes task(t) for every edge p -> t.
+  std::vector<double> level(static_cast<std::size_t>(np), 0.0);
+  for (index_t p = 0; p < np; ++p) {
+    level[p] += duration[p];
+    stats.total_work += duration[p];
+    stats.critical_path = std::max(stats.critical_path, level[p]);
+    for (const UpdateEdge& e : st.targets[p]) {
+      level[e.dst] = std::max(level[e.dst], level[p]);
+    }
+  }
+  stats.num_tasks = np;
+  return stats;
+}
+
+}  // namespace spx

@@ -1,0 +1,29 @@
+// DAG statistics: total work, critical paths, and average parallelism of
+// the three task decompositions the paper discusses in §III/§V:
+//   * the fine two-level decomposition (panel task + per-couple updates)
+//     used by the generic runtimes,
+//   * coarse 1D right-looking tasks (factor + all *outgoing* updates),
+//   * coarse 1D left-looking tasks (all *incoming* updates + factor).
+// These numbers quantify why the paper splits tasks ("the critical path
+// of the algorithm can be reduced") and what left- vs right-looking trade.
+#pragma once
+
+#include "runtime/task.hpp"
+
+namespace spx {
+
+struct DagStats {
+  double total_work = 0.0;        ///< sum of task durations (seconds)
+  double critical_path = 0.0;     ///< longest dependency chain (seconds)
+  double avg_parallelism() const {
+    return critical_path > 0 ? total_work / critical_path : 0.0;
+  }
+  index_t num_tasks = 0;
+};
+
+enum class Decomposition { TwoLevel, OneDRight, OneDLeft };
+
+DagStats dag_stats(const SymbolicStructure& st, const TaskCosts& costs,
+                   Decomposition decomposition);
+
+}  // namespace spx

@@ -1,0 +1,92 @@
+// Coherence directory for panel data across memory spaces.
+//
+// One entry per panel handle; locations are the host plus each GPU.  The
+// protocol is MSI-like: a write invalidates every other copy, reads
+// replicate.  The execution drivers own the authoritative instance (the
+// simulator turns bytes_to_fetch into DMA-engine events; the real driver
+// turns them into memcpys into per-device buffer pools), and model-based
+// schedulers (dmda) read it to estimate transfer penalties.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "symbolic/structure.hpp"
+
+namespace spx {
+
+class DataDirectory {
+ public:
+  static constexpr int kHost = -1;
+
+  DataDirectory(const SymbolicStructure& st, Factorization kind,
+                std::size_t scalar_bytes, int num_gpus)
+      : st_(&st), num_gpus_(num_gpus) {
+    const int arrays = (kind == Factorization::LU) ? 2 : 1;
+    bytes_.resize(static_cast<std::size_t>(st.num_panels()));
+    for (index_t p = 0; p < st.num_panels(); ++p) {
+      bytes_[p] = static_cast<double>(st.panels[p].nrows) *
+                  st.panels[p].width() * scalar_bytes * arrays;
+    }
+    reset();
+  }
+
+  void reset() {
+    // Everything starts valid on the host only.
+    valid_.assign(bytes_.size(), 1u);
+  }
+
+  int num_gpus() const { return num_gpus_; }
+  double panel_bytes(index_t p) const { return bytes_[p]; }
+
+  bool valid_on(index_t p, int loc) const {
+    return (valid_[p] >> bit(loc)) & 1u;
+  }
+
+  /// Bytes that must move for panel p to be readable at `loc`.
+  double bytes_to_fetch(index_t p, int loc) const {
+    return valid_on(p, loc) ? 0.0 : bytes_[p];
+  }
+
+  /// Records that a copy of p now exists at `loc` (after a transfer).
+  void add_copy(index_t p, int loc) { valid_[p] |= 1u << bit(loc); }
+
+  /// Records a write to p at `loc`: all other copies become invalid.
+  void note_write(index_t p, int loc) { valid_[p] = 1u << bit(loc); }
+
+  /// Drops the copy at `loc` (LRU eviction); another valid copy must
+  /// exist elsewhere.
+  void drop_copy(index_t p, int loc) {
+    valid_[p] &= ~(1u << bit(loc));
+    SPX_ASSERT(valid_[p] != 0 && "evicted the last copy of a panel");
+  }
+
+  /// A location currently holding a valid copy (preferring the host).
+  int source_of(index_t p) const {
+    if (valid_on(p, kHost)) return kHost;
+    for (int g = 0; g < num_gpus_; ++g) {
+      if (valid_on(p, g)) return g;
+    }
+    SPX_ASSERT(false && "panel has no valid copy");
+    return kHost;
+  }
+
+  /// Total bytes resident on a GPU (for memory-pressure accounting).
+  double resident_bytes(int gpu) const {
+    double total = 0.0;
+    for (std::size_t p = 0; p < bytes_.size(); ++p) {
+      if (valid_on(static_cast<index_t>(p), gpu)) total += bytes_[p];
+    }
+    return total;
+  }
+
+ private:
+  static unsigned bit(int loc) { return static_cast<unsigned>(loc + 1); }
+
+  const SymbolicStructure* st_;
+  int num_gpus_;
+  std::vector<double> bytes_;
+  std::vector<std::uint32_t> valid_;
+};
+
+}  // namespace spx

@@ -1,0 +1,40 @@
+// Flop-proportional cost oracle for real (non-simulated) execution:
+// schedulers only need *relative* task weights for priorities, static
+// mapping, and HEFT placement; an assumed sustained rate is enough.
+#pragma once
+
+#include "runtime/task.hpp"
+
+namespace spx {
+
+class FlopCosts : public TaskCosts {
+ public:
+  /// `cpu_gflops`: assumed sustained CPU rate; `gpu_speedup`: how much
+  /// faster a GPU runs a large update (only ratios matter).
+  explicit FlopCosts(const TaskTable& table, double cpu_gflops = 5.0,
+                     double gpu_speedup = 8.0, double pcie_gbps = 6.0)
+      : table_(&table),
+        cpu_rate_(cpu_gflops * 1e9),
+        gpu_rate_(cpu_gflops * gpu_speedup * 1e9),
+        pcie_rate_(pcie_gbps * 1e9) {}
+
+  double panel_seconds(index_t p, ResourceKind /*kind*/) const override {
+    return table_->flops({TaskKind::Panel, p, -1}) / cpu_rate_;
+  }
+  double update_seconds(index_t p, index_t edge,
+                        ResourceKind kind) const override {
+    const double f = table_->flops({TaskKind::Update, p, edge});
+    return f / (kind == ResourceKind::Cpu ? cpu_rate_ : gpu_rate_);
+  }
+  double transfer_seconds(double bytes) const override {
+    return bytes / pcie_rate_;
+  }
+
+ private:
+  const TaskTable* table_;
+  double cpu_rate_;
+  double gpu_rate_;
+  double pcie_rate_;
+};
+
+}  // namespace spx

@@ -1,0 +1,56 @@
+// Resource enumeration shared by schedulers and drivers.
+//
+// Resources are: CPU workers first, then one resource per GPU *stream*
+// (PaRSEC-style multi-stream devices expose several concurrent kernel
+// slots; StarPU-style single-stream devices expose one).  The StarPU
+// convention of dedicating one CPU core per GPU (paper §V-C: "when a GPU
+// is used, a CPU worker is removed") is expressed by constructing the
+// Machine with fewer CPU workers.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/task.hpp"
+
+namespace spx {
+
+struct Resource {
+  ResourceKind kind = ResourceKind::Cpu;
+  int gpu = -1;     ///< device index for GpuStream resources
+  int stream = -1;  ///< stream index within the device
+};
+
+class Machine {
+ public:
+  Machine(int num_cpus, int num_gpus = 0, int streams_per_gpu = 1)
+      : num_cpus_(num_cpus),
+        num_gpus_(num_gpus),
+        streams_per_gpu_(streams_per_gpu) {
+    SPX_CHECK_ARG(num_cpus >= 0 && num_gpus >= 0 && streams_per_gpu >= 1,
+                  "bad machine shape");
+    SPX_CHECK_ARG(num_cpus + num_gpus > 0, "machine needs a resource");
+    for (int c = 0; c < num_cpus; ++c) {
+      resources_.push_back({ResourceKind::Cpu, -1, -1});
+    }
+    for (int g = 0; g < num_gpus; ++g) {
+      for (int s = 0; s < streams_per_gpu; ++s) {
+        resources_.push_back({ResourceKind::GpuStream, g, s});
+      }
+    }
+  }
+
+  int num_cpus() const { return num_cpus_; }
+  int num_gpus() const { return num_gpus_; }
+  int streams_per_gpu() const { return streams_per_gpu_; }
+  int num_resources() const { return static_cast<int>(resources_.size()); }
+  const Resource& resource(int r) const { return resources_[r]; }
+
+ private:
+  int num_cpus_;
+  int num_gpus_;
+  int streams_per_gpu_;
+  std::vector<Resource> resources_;
+};
+
+}  // namespace spx

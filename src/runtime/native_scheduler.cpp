@@ -1,0 +1,211 @@
+#include "runtime/native_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "dist/mapping.hpp"
+
+namespace spx {
+
+NativeScheduler::NativeScheduler(const TaskTable& table,
+                                 const Machine& machine,
+                                 const TaskCosts& costs,
+                                 NativeOptions options)
+    : table_(&table),
+      machine_(&machine),
+      costs_(&costs),
+      options_(options) {
+  SPX_CHECK_ARG(machine.num_gpus() == 0,
+                "the native PASTIX scheduler is CPU-only");
+  compute_static_schedule();
+  reset();
+}
+
+void NativeScheduler::compute_static_schedule() {
+  const SymbolicStructure& st = table_->structure();
+  const index_t np = table_->num_panels();
+  const int nw = machine_->num_cpus();
+
+  if (options_.mapping == NativeOptions::Mapping::Proportional) {
+    // Proportional subtree mapping: per-worker queues in ascending panel
+    // order (the subtree-local topological order).
+    const dist::Mapping map =
+        dist::proportional_mapping(st, *costs_, nw);
+    static_queue_.assign(static_cast<std::size_t>(nw), {});
+    for (index_t p = 0; p < np; ++p) {
+      static_queue_[map.owner[p]].push_back(p);
+    }
+    static_makespan_ = 0.0;
+    for (const double w : map.node_work) {
+      static_makespan_ = std::max(static_makespan_, w);
+    }
+    return;
+  }
+
+  // 1D task duration: panel task + all its updates (the analyze-phase
+  // cost model works at 1D granularity, like PASTIX's).
+  std::vector<double> duration(static_cast<std::size_t>(np));
+  for (index_t p = 0; p < np; ++p) {
+    double d = costs_->panel_seconds(p, ResourceKind::Cpu);
+    for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
+         ++e) {
+      d += costs_->update_seconds(p, e, ResourceKind::Cpu);
+    }
+    duration[p] = d;
+  }
+  // Bottom levels on the 1D DAG for priority.
+  std::vector<double> level(static_cast<std::size_t>(np), 0.0);
+  for (index_t p = np - 1; p >= 0; --p) {
+    double succ = 0.0;
+    for (const UpdateEdge& e : st.targets[p]) {
+      succ = std::max(succ, level[e.dst]);
+    }
+    level[p] = duration[p] + succ;
+  }
+
+  // List scheduling: repeatedly map the highest-priority ready task onto
+  // the worker where it can start first.
+  std::vector<index_t> remaining = st.in_degree;
+  std::vector<double> ready_time(static_cast<std::size_t>(np), 0.0);
+  std::vector<double> avail(static_cast<std::size_t>(nw), 0.0);
+  struct Cand {
+    double level;
+    index_t panel;
+    bool operator<(const Cand& o) const {
+      return level < o.level || (level == o.level && panel < o.panel);
+    }
+  };
+  std::priority_queue<Cand> ready;
+  for (index_t p = 0; p < np; ++p) {
+    if (remaining[p] == 0) ready.push({level[p], p});
+  }
+  static_queue_.assign(static_cast<std::size_t>(nw), {});
+  static_makespan_ = 0.0;
+  index_t scheduled = 0;
+  while (!ready.empty()) {
+    const index_t p = ready.top().panel;
+    ready.pop();
+    ++scheduled;
+    int best = 0;
+    double best_start = std::max(avail[0], ready_time[p]);
+    for (int w = 1; w < nw; ++w) {
+      const double s = std::max(avail[w], ready_time[p]);
+      if (s < best_start) {
+        best_start = s;
+        best = w;
+      }
+    }
+    const double finish = best_start + duration[p];
+    avail[best] = finish;
+    static_makespan_ = std::max(static_makespan_, finish);
+    static_queue_[best].push_back(p);
+    for (const UpdateEdge& e : st.targets[p]) {
+      ready_time[e.dst] = std::max(ready_time[e.dst], finish);
+      if (--remaining[e.dst] == 0) ready.push({level[e.dst], e.dst});
+    }
+  }
+  SPX_ASSERT(scheduled == np);
+}
+
+void NativeScheduler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SymbolicStructure& st = table_->structure();
+  const index_t np = table_->num_panels();
+  remaining_in_ = st.in_degree;
+  head_.assign(static_queue_.size(), 0);
+  factor_taken_.assign(static_cast<std::size_t>(np), 0);
+  factor_done_.assign(static_cast<std::size_t>(np), 0);
+  pending_edges_.assign(static_cast<std::size_t>(np), {});
+  for (index_t p = 0; p < np; ++p) {
+    auto& edges = pending_edges_[p];
+    edges.resize(st.targets[p].size());
+    for (index_t e = 0; e < static_cast<index_t>(edges.size()); ++e) {
+      edges[e] = e;
+    }
+  }
+  target_busy_.assign(static_cast<std::size_t>(np), 0);
+  completed_ = 0;
+  steals_ = 0;
+}
+
+bool NativeScheduler::pop_from(int w, Task* out) {
+  const SymbolicStructure& st = table_->structure();
+  auto& q = static_queue_[w];
+  // Advance past fully-dispatched panels.
+  while (head_[w] < q.size()) {
+    const index_t p = q[head_[w]];
+    if (factor_done_[p] && pending_edges_[p].empty()) {
+      ++head_[w];
+    } else {
+      break;
+    }
+  }
+  for (std::size_t i = head_[w]; i < q.size(); ++i) {
+    const index_t p = q[i];
+    if (!factor_done_[p]) {
+      if (!factor_taken_[p] && remaining_in_[p] == 0) {
+        factor_taken_[p] = 1;
+        *out = {TaskKind::Panel, p, -1};
+        return true;
+      }
+      continue;  // factor pending elsewhere or not ready yet
+    }
+    // Factor done: dispatch the first update whose target is free.
+    auto& edges = pending_edges_[p];
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const index_t e = edges[k];
+      const index_t dst = st.targets[p][e].dst;
+      if (target_busy_[dst]) continue;
+      target_busy_[dst] = 1;
+      edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(k));
+      *out = {TaskKind::Update, p, e};
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NativeScheduler::try_pop(int resource, Task* out) {
+  SPX_DEBUG_ASSERT(machine_->resource(resource).kind == ResourceKind::Cpu);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pop_from(resource, out)) return true;
+  // Steal from the worker with the most unconsumed panels.
+  std::vector<int> victims;
+  for (int w = 0; w < static_cast<int>(static_queue_.size()); ++w) {
+    if (w != resource && head_[w] < static_queue_[w].size()) {
+      victims.push_back(w);
+    }
+  }
+  std::sort(victims.begin(), victims.end(), [&](int a, int b) {
+    return static_queue_[a].size() - head_[a] >
+           static_queue_[b].size() - head_[b];
+  });
+  for (const int v : victims) {
+    if (pop_from(v, out)) {
+      ++steals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void NativeScheduler::on_complete(const Task& task, int /*resource*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SymbolicStructure& st = table_->structure();
+  if (task.kind == TaskKind::Panel) {
+    factor_done_[task.panel] = 1;
+  } else {
+    const index_t dst = st.targets[task.panel][task.edge].dst;
+    target_busy_[dst] = 0;
+    --remaining_in_[dst];
+    SPX_DEBUG_ASSERT(remaining_in_[dst] >= 0);
+  }
+  ++completed_;
+}
+
+bool NativeScheduler::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ == table_->num_tasks();
+}
+
+}  // namespace spx

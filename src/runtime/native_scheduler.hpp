@@ -1,0 +1,80 @@
+// The native PASTIX-style scheduler.
+//
+// PASTIX's historical unit is the 1D task -- one panel's factorization
+// plus all the updates it generates -- mapped by a *static* cost-model
+// schedule computed during the analyze phase, refined at execution time by
+// work stealing (the dynamic scheduler of Faverge & Ramet, the paper's
+// ref [1]).  The multicore refinement the paper describes in §V
+// ("dynamically splits update tasks, so that the critical path of the
+// algorithm can be reduced") releases each update as its own unit: a
+// panel's factor and updates still run back-to-back on their assigned
+// worker (preserving the LDL^T prescale-buffer locality that makes native
+// LDL^T faster than the generic runtimes), but successors are released as
+// soon as *their* update lands, not when the whole 1D task ends, and idle
+// workers can steal individual units.
+//
+// CPU-only by design: the paper uses native PASTIX as the CPU reference
+// and never drives GPUs with it.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "runtime/scheduler.hpp"
+
+namespace spx {
+
+struct NativeOptions {
+  /// Static mapping strategy of the analyze phase: cost-model list
+  /// scheduling (earliest completion, the default) or PASTIX's classic
+  /// proportional subtree mapping (better locality, see dist/mapping.hpp).
+  enum class Mapping { ListSchedule, Proportional };
+  Mapping mapping = Mapping::ListSchedule;
+};
+
+class NativeScheduler : public Scheduler {
+ public:
+  NativeScheduler(const TaskTable& table, const Machine& machine,
+                  const TaskCosts& costs, NativeOptions options = {});
+
+  void reset() override;
+  bool try_pop(int resource, Task* out) override;
+  void on_complete(const Task& task, int resource) override;
+  bool finished() const override;
+  std::string name() const override { return "native"; }
+
+  /// Estimated makespan of the static schedule (analyze-phase estimate,
+  /// at 1D-task granularity).
+  double static_makespan() const { return static_makespan_; }
+  /// Units executed by a worker other than the statically assigned one.
+  index_t steal_count() const { return steals_; }
+
+ private:
+  void compute_static_schedule();
+  /// Finds a dispatchable unit in worker w's static queue; returns false
+  /// when none.  Caller holds the lock.
+  bool pop_from(int w, Task* out);
+
+  const TaskTable* table_;
+  const Machine* machine_;
+  const TaskCosts* costs_;
+  NativeOptions options_;
+
+  /// Static assignment: per-worker ordered panel list.
+  std::vector<std::vector<index_t>> static_queue_;
+  double static_makespan_ = 0.0;
+
+  mutable std::mutex mutex_;
+  std::vector<std::size_t> head_;           ///< consumed prefix per worker
+  std::vector<index_t> remaining_in_;       ///< pending updates into panel
+  std::vector<char> factor_taken_;
+  std::vector<char> factor_done_;
+  /// Update edges of each panel not yet dispatched.
+  std::vector<std::vector<index_t>> pending_edges_;
+  /// Commute exclusion on update targets.
+  std::vector<char> target_busy_;
+  index_t completed_ = 0;
+  index_t steals_ = 0;
+};
+
+}  // namespace spx

@@ -1,0 +1,217 @@
+#include "runtime/parsec_scheduler.hpp"
+
+#include <algorithm>
+
+namespace spx {
+
+ParsecScheduler::ParsecScheduler(const TaskTable& table,
+                                 const Machine& machine,
+                                 const TaskCosts& costs,
+                                 ParsecOptions options)
+    : table_(&table),
+      machine_(&machine),
+      costs_(&costs),
+      options_(options) {
+  groups_ = merge_subtrees(table.structure(), costs,
+                           options.subtree_merge_seconds);
+  priority_ = table.bottom_levels(costs);
+  reset();
+}
+
+void ParsecScheduler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SymbolicStructure& st = table_->structure();
+  remaining_in_ = st.in_degree;
+  local_.assign(std::max(1, machine_->num_cpus()), {});
+  gpu_queue_.assign(std::max(0, machine_->num_gpus()), {});
+  gpu_backlog_.assign(std::max(0, machine_->num_gpus()), 0.0);
+  target_busy_.assign(static_cast<std::size_t>(table_->num_panels()), 0);
+  waiting_.assign(static_cast<std::size_t>(table_->num_panels()), {});
+  completed_ = 0;
+  steals_ = 0;
+  total_tasks_ = table_->num_tasks();
+  // Seed: leaves of the elimination forest -- or whole merged subtrees --
+  // spread round-robin (PaRSEC's initial distribution of ready tasks).
+  int w = 0;
+  for (index_t p = 0; p < table_->num_panels(); ++p) {
+    if (groups_.grouped(p)) {
+      // Complete subtrees have no external predecessors: the group task is
+      // ready immediately; members are never scheduled individually.
+      if (groups_.is_root(p)) {
+        local_[w % local_.size()].push_back({TaskKind::Subtree, p, -1});
+        ++w;
+      }
+    } else if (remaining_in_[p] == 0) {
+      local_[w % local_.size()].push_back({TaskKind::Panel, p, -1});
+      ++w;
+    }
+  }
+}
+
+bool ParsecScheduler::gpu_eligible(const Task& t) const {
+  return machine_->num_gpus() > 0 && t.kind == TaskKind::Update &&
+         table_->flops(t) >= options_.gpu_min_flops;
+}
+
+void ParsecScheduler::push_local(const Task& t, int worker) {
+  const int nw = static_cast<int>(local_.size());
+  local_[worker >= 0 && worker < nw ? worker : 0].push_back(t);
+}
+
+void ParsecScheduler::push_gpu(const Task& t) {
+  // Least-backlogged device (PaRSEC balances devices by pending work).
+  int best = 0;
+  for (int g = 1; g < static_cast<int>(gpu_queue_.size()); ++g) {
+    if (gpu_backlog_[g] < gpu_backlog_[best]) best = g;
+  }
+  auto cmp = [&](const Task& a, const Task& b) {
+    return priority_[table_->id_of(a)] < priority_[table_->id_of(b)];
+  };
+  gpu_queue_[best].push_back(t);
+  std::push_heap(gpu_queue_[best].begin(), gpu_queue_[best].end(), cmp);
+  gpu_backlog_[best] += table_->flops(t);
+}
+
+bool ParsecScheduler::acquire_target(const Task& t, int resource) {
+  if (t.kind != TaskKind::Update) return true;
+  const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
+  if (target_busy_[dst]) {
+    waiting_[dst].emplace_back(t, resource);
+    return false;
+  }
+  target_busy_[dst] = 1;
+  return true;
+}
+
+bool ParsecScheduler::try_pop(int resource, Task* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Resource& res = machine_->resource(resource);
+  if (res.kind == ResourceKind::GpuStream) {
+    auto& q = gpu_queue_[res.gpu];
+    auto cmp = [&](const Task& a, const Task& b) {
+      return priority_[table_->id_of(a)] < priority_[table_->id_of(b)];
+    };
+    while (!q.empty()) {
+      std::pop_heap(q.begin(), q.end(), cmp);
+      const Task t = q.back();
+      q.pop_back();
+      gpu_backlog_[res.gpu] -= table_->flops(t);
+      if (acquire_target(t, resource)) {
+        *out = t;
+        return true;
+      }
+    }
+    return false;
+  }
+  // CPU worker: LIFO from own deque (data reuse), then steal FIFO from the
+  // most loaded peer, then help the GPU queues.
+  auto& own = local_[resource];
+  while (!own.empty()) {
+    const Task t = own.back();
+    own.pop_back();
+    if (acquire_target(t, resource)) {
+      *out = t;
+      return true;
+    }
+  }
+  while (true) {
+    int victim = -1;
+    std::size_t most = 0;
+    for (int w = 0; w < static_cast<int>(local_.size()); ++w) {
+      if (w == resource) continue;
+      if (local_[w].size() > most) {
+        most = local_[w].size();
+        victim = w;
+      }
+    }
+    if (victim < 0) break;
+    const Task t = local_[victim].front();
+    local_[victim].pop_front();
+    ++steals_;
+    if (acquire_target(t, resource)) {
+      *out = t;
+      return true;
+    }
+  }
+  // Help drain GPU backlogs when otherwise idle (all tasks have CPU
+  // implementations).
+  for (auto& q : gpu_queue_) {
+    auto cmp = [&](const Task& a, const Task& b) {
+      return priority_[table_->id_of(a)] < priority_[table_->id_of(b)];
+    };
+    while (!q.empty()) {
+      std::pop_heap(q.begin(), q.end(), cmp);
+      const Task t = q.back();
+      q.pop_back();
+      gpu_backlog_[&q - gpu_queue_.data()] -= table_->flops(t);
+      if (acquire_target(t, resource)) {
+        *out = t;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ParsecScheduler::on_complete(const Task& task, int resource) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SymbolicStructure& st = table_->structure();
+  const Resource& res = machine_->resource(resource);
+  const int local_worker = res.kind == ResourceKind::Cpu ? resource : 0;
+
+  if (task.kind == TaskKind::Subtree) {
+    // The group task already applied every member's updates (internal and
+    // external); release the external dependencies in one sweep.
+    for (const index_t m : groups_.members[task.panel]) {
+      for (const UpdateEdge& e : st.targets[m]) {
+        if (groups_.root_of[e.dst] == task.panel) continue;  // internal
+        if (--remaining_in_[e.dst] == 0) {
+          push_local({TaskKind::Panel, e.dst, -1}, local_worker);
+        }
+      }
+    }
+    completed_ += groups_.units(st, task.panel);
+    return;
+  }
+  if (task.kind == TaskKind::Panel) {
+    // Local, stateless release: the worker that factored the panel
+    // instantiates this panel's update tasks on its own queue (or the
+    // device queues), touching nothing global.
+    for (index_t e = 0;
+         e < static_cast<index_t>(st.targets[task.panel].size()); ++e) {
+      const Task u{TaskKind::Update, task.panel, e};
+      if (gpu_eligible(u)) {
+        push_gpu(u);
+      } else {
+        push_local(u, local_worker);
+      }
+    }
+  } else {
+    const index_t dst = st.targets[task.panel][task.edge].dst;
+    target_busy_[dst] = 0;
+    auto& wait = waiting_[dst];
+    if (!wait.empty()) {
+      // Wake deferred commute tasks on the queues of the workers that had
+      // claimed them.
+      for (auto& [t, r] : wait) {
+        if (machine_->resource(r).kind == ResourceKind::GpuStream) {
+          push_gpu(t);
+        } else {
+          push_local(t, r);
+        }
+      }
+      wait.clear();
+    }
+    if (--remaining_in_[dst] == 0) {
+      push_local({TaskKind::Panel, dst, -1}, local_worker);
+    }
+  }
+  ++completed_;
+}
+
+bool ParsecScheduler::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ == total_tasks_;
+}
+
+}  // namespace spx

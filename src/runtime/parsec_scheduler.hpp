@@ -1,0 +1,82 @@
+// The PaRSEC-like runtime (paper §IV).
+//
+// Characteristics reproduced from PaRSEC's parameterized task graph:
+//   * NO materialized task list: tasks exist only when they become ready.
+//     Dependencies are resolved locally from the compact symbolic
+//     structure (counters per panel), exactly the "concise representation"
+//     /"stateless exploration" the paper describes -- contrast with the
+//     StarPU scheduler, which builds the full graph at submission;
+//   * data-reuse scheduling: a completed task pushes its successors onto
+//     the *local* worker's deque (the panel it just touched is hot in that
+//     worker's cache); workers pop LIFO locally and steal FIFO from the
+//     most loaded peer;
+//   * GPUs are managed cooperatively (no dedicated CPU worker is removed)
+//     and expose multiple streams, each an independent kernel slot --
+//     small sparse kernels overlap on the device (paper §V-B/C);
+//   * GPU work selection by a flop threshold plus least-loaded device
+//     queueing.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/subtree_merge.hpp"
+
+namespace spx {
+
+struct ParsecOptions {
+  /// Updates below this many flops never go to a GPU.
+  double gpu_min_flops = 2e6;
+  /// Merge complete bottom subtrees whose sequential work is below this
+  /// many seconds into single tasks (0 disables).  Paper future work:
+  /// "merging leaves or subtrees together yields bigger, more
+  /// computationally intensive tasks".
+  double subtree_merge_seconds = 0.0;
+};
+
+class ParsecScheduler : public Scheduler {
+ public:
+  ParsecScheduler(const TaskTable& table, const Machine& machine,
+                  const TaskCosts& costs, ParsecOptions options = {});
+
+  void reset() override;
+  bool try_pop(int resource, Task* out) override;
+  void on_complete(const Task& task, int resource) override;
+  bool finished() const override;
+  std::string name() const override { return "parsec"; }
+
+  index_t steal_count() const { return steals_; }
+  const SubtreeGroups* subtree_groups() const override {
+    return groups_.num_groups > 0 ? &groups_ : nullptr;
+  }
+
+ private:
+  bool gpu_eligible(const Task& t) const;
+  void push_local(const Task& t, int worker);
+  void push_gpu(const Task& t);
+  bool acquire_target(const Task& t, int resource);
+
+  const TaskTable* table_;
+  const Machine* machine_;
+  const TaskCosts* costs_;
+  ParsecOptions options_;
+  SubtreeGroups groups_;
+  std::vector<double> priority_;
+
+  mutable std::mutex mutex_;
+  std::vector<index_t> remaining_in_;
+  /// Per-CPU-worker local deques (LIFO pop for cache reuse, FIFO steal).
+  std::vector<std::deque<Task>> local_;
+  /// Per-GPU queues (max-priority heaps) and pending-flops accounting.
+  std::vector<std::vector<Task>> gpu_queue_;
+  std::vector<double> gpu_backlog_;
+  /// Commute exclusion on update targets.
+  std::vector<char> target_busy_;
+  std::vector<std::vector<std::pair<Task, int>>> waiting_;
+  index_t completed_ = 0;
+  index_t total_tasks_ = 0;
+  index_t steals_ = 0;
+};
+
+}  // namespace spx

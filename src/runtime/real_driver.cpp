@@ -1,0 +1,177 @@
+#include "runtime/real_driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/codelets.hpp"
+
+namespace spx {
+namespace {
+
+template <typename T>
+class RealRun {
+ public:
+  RealRun(Scheduler& sched, const Machine& machine, FactorData<T>& f,
+          const RealDriverOptions& options)
+      : sched_(sched), machine_(machine), f_(f), options_(options) {
+    panel_locks_ = std::make_unique<std::mutex[]>(
+        static_cast<std::size_t>(f.structure().num_panels()));
+  }
+
+  RunStats run() {
+    sched_.reset();
+    const int nr = machine_.num_resources();
+    stats_.busy.assign(nr, 0.0);
+    run_clock_.reset();
+    Timer wall;
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(static_cast<std::size_t>(nr));
+      for (int r = 0; r < nr; ++r) {
+        workers.emplace_back([this, r] { worker_loop(r); });
+      }
+    }
+    stats_.makespan = wall.elapsed();
+    stats_.tasks_cpu = tasks_cpu_.load();
+    stats_.tasks_gpu = tasks_gpu_.load();
+    if (error_) std::rethrow_exception(error_);
+    return stats_;
+  }
+
+ private:
+  void worker_loop(int r) {
+    Workspace<T> ws, prescale_ws;
+    while (!aborted_.load(std::memory_order_relaxed)) {
+      Task t;
+      bool got = false;
+      try {
+        got = sched_.try_pop(r, &t);
+      } catch (...) {
+        record_error();
+        break;
+      }
+      if (!got) {
+        if (sched_.finished()) break;
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait_for(lock, std::chrono::microseconds(200));
+        continue;
+      }
+      const double t0 = run_clock_.elapsed();
+      Timer timer;
+      try {
+        execute(t, r, ws, prescale_ws);
+      } catch (...) {
+        record_error();
+        break;
+      }
+      stats_.busy[r] += timer.elapsed();
+      if (options_.trace != nullptr) {
+        options_.trace->record(r, t, t0, run_clock_.elapsed());
+      }
+      sched_.on_complete(t, r);
+      wake_cv_.notify_all();
+    }
+    wake_cv_.notify_all();
+  }
+
+  void execute(const Task& t, int r, Workspace<T>& ws,
+               Workspace<T>& prescale_ws) {
+    const Resource& res = machine_.resource(r);
+    const UpdateVariant variant = res.kind == ResourceKind::GpuStream
+                                      ? UpdateVariant::Direct
+                                      : options_.cpu_variant;
+    const SymbolicStructure& st = f_.structure();
+    if (t.kind == TaskKind::Subtree) {
+      // Merged bottom subtree: factor + updates of every member, in
+      // order.  The per-panel locks protect the external targets against
+      // concurrent generic update tasks.
+      for (const index_t m : sched_.subtree_groups()->members[t.panel]) {
+        factor_panel(f_, m);
+        const T* prescaled = nullptr;
+        if (f_.kind() == Factorization::LDLT && !st.targets[m].empty()) {
+          // Inside a merged task the prescale buffer is task-local, so
+          // the fast native-style LDLT path applies.
+          prescale_ldlt(f_, m, prescale_ws);
+          prescaled = prescale_ws.scaled.data();
+        }
+        for (const UpdateEdge& e : st.targets[m]) {
+          std::lock_guard<std::mutex> lock(panel_locks_[e.dst]);
+          apply_update(f_, m, e, variant, ws, prescaled);
+        }
+      }
+      tasks_cpu_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (t.kind == TaskKind::Panel) {
+      factor_panel(f_, t.panel);
+      tasks_cpu_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const UpdateEdge& e = st.targets[t.panel][t.edge];
+    const T* prescaled = nullptr;
+    if (f_.kind() == Factorization::LDLT && !options_.fused_ldlt) {
+      // Reuse of a cross-task prescale buffer is impossible here (the
+      // buffer's life span is one task); fall back to prescaling for this
+      // task only -- equivalent arithmetic, same cost as fused.
+      prescale_ldlt(f_, t.panel, prescale_ws);
+      prescaled = prescale_ws.scaled.data();
+    }
+    // Per-panel lock: the schedulers' commute gating already serializes
+    // generic updates into one target, but merged subtree tasks write
+    // their external targets outside that protocol.
+    std::lock_guard<std::mutex> lock(panel_locks_[e.dst]);
+    apply_update(f_, t.panel, e, variant, ws, prescaled);
+    if (res.kind == ResourceKind::GpuStream) {
+      tasks_gpu_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      tasks_cpu_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void record_error() {
+    bool expected = false;
+    if (aborted_.compare_exchange_strong(expected, true)) {
+      error_ = std::current_exception();
+    }
+    wake_cv_.notify_all();
+  }
+
+  Scheduler& sched_;
+  const Machine& machine_;
+  FactorData<T>& f_;
+  RealDriverOptions options_;
+  std::unique_ptr<std::mutex[]> panel_locks_;
+  Timer run_clock_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<index_t> tasks_cpu_{0};
+  std::atomic<index_t> tasks_gpu_{0};
+  std::exception_ptr error_;
+  RunStats stats_;
+};
+
+}  // namespace
+
+template <typename T>
+RunStats execute_real(Scheduler& scheduler, const Machine& machine,
+                      FactorData<T>& f, const RealDriverOptions& options) {
+  RealRun<T> run(scheduler, machine, f, options);
+  return run.run();
+}
+
+template RunStats execute_real<real_t>(Scheduler&, const Machine&,
+                                       FactorData<real_t>&,
+                                       const RealDriverOptions&);
+template RunStats execute_real<complex_t>(Scheduler&, const Machine&,
+                                          FactorData<complex_t>&,
+                                          const RealDriverOptions&);
+
+}  // namespace spx

@@ -1,0 +1,46 @@
+// Real (threaded) execution driver.
+//
+// Runs a Scheduler with actual worker threads executing the numerical
+// codelets on the factor data.  GPU-stream resources are emulated by
+// ordinary threads running the buffer-free (Direct) update kernel -- the
+// code path a device would run -- against unified memory; the transfer
+// machinery is exercised by the simulator instead (DESIGN.md §2).
+//
+// Thread-safety contract: the generic schedulers serialize updates into
+// the same panel via their commute gating; the native scheduler's fused
+// 1D tasks update many panels, so this driver takes a per-panel lock
+// around each scatter exactly like PASTIX's shared-memory code does.
+#pragma once
+
+#include "core/codelets.hpp"
+#include "runtime/run_stats.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace.hpp"
+
+namespace spx {
+
+struct RealDriverOptions {
+  /// Update kernel path for CPU workers (GPU streams always use Direct).
+  UpdateVariant cpu_variant = UpdateVariant::TempBuffer;
+  /// Generic-runtime LDL^T (per-update rescale).  The native scheduler's
+  /// fused tasks always prescale, regardless of this flag.
+  bool fused_ldlt = true;
+  /// Optional trace sink (wall-clock times relative to run start).
+  TraceRecorder* trace = nullptr;
+};
+
+/// Factorizes `f` in place under `scheduler`; spawns one thread per
+/// machine resource.  Rethrows the first codelet exception.
+template <typename T>
+RunStats execute_real(Scheduler& scheduler, const Machine& machine,
+                      FactorData<T>& f,
+                      const RealDriverOptions& options = {});
+
+extern template RunStats execute_real<real_t>(Scheduler&, const Machine&,
+                                              FactorData<real_t>&,
+                                              const RealDriverOptions&);
+extern template RunStats execute_real<complex_t>(Scheduler&, const Machine&,
+                                                 FactorData<complex_t>&,
+                                                 const RealDriverOptions&);
+
+}  // namespace spx

@@ -1,0 +1,31 @@
+// Execution statistics shared by the simulated and real drivers.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spx {
+
+struct RunStats {
+  double makespan = 0.0;        ///< seconds (virtual for the simulator)
+  double gflops = 0.0;          ///< total factorization flops / makespan
+  std::vector<double> busy;     ///< per-resource busy seconds
+  double bytes_h2d = 0.0;       ///< host-to-device transfer volume
+  double bytes_d2h = 0.0;
+  index_t tasks_cpu = 0;
+  index_t tasks_gpu = 0;
+  index_t cache_hits = 0;       ///< cache-model hits (simulator only)
+  index_t cache_queries = 0;
+  index_t gpu_evictions = 0;    ///< LRU evictions under device memory
+                                ///< pressure (simulator only)
+
+  double busy_fraction() const {
+    if (busy.empty() || makespan <= 0) return 0.0;
+    double total = 0.0;
+    for (const double b : busy) total += b;
+    return total / (makespan * static_cast<double>(busy.size()));
+  }
+};
+
+}  // namespace spx

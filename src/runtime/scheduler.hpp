@@ -1,0 +1,50 @@
+// Scheduler interface shared by the three runtimes.
+//
+// A scheduler is a passive state machine driven by an execution driver:
+// the real driver calls it from worker threads (schedulers are internally
+// synchronized); the discrete-event simulator calls it from its event
+// loop.  This split is what lets the *same* scheduling logic run both for
+// real and under the simulated Mirage platform.
+#pragma once
+
+#include <string>
+
+#include "runtime/machine.hpp"
+#include "runtime/subtree_merge.hpp"
+#include "runtime/task.hpp"
+
+namespace spx {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Re-initializes all dependency state and seeds the initial ready set.
+  virtual void reset() = 0;
+
+  /// Asks for work for `resource`.  Returns false when nothing is
+  /// currently runnable there (more work may appear after completions).
+  virtual bool try_pop(int resource, Task* out) = 0;
+
+  /// Reports completion of a task previously popped by `resource`;
+  /// releases dependencies and may make new tasks runnable.
+  virtual void on_complete(const Task& task, int resource) = 0;
+
+  /// True when every task has completed.
+  virtual bool finished() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Queued-but-not-started task on `resource` whose data the driver may
+  /// prefetch (StarPU's transfer prefetch); each task returned once.
+  virtual bool peek_prefetch(int /*resource*/, Task* /*out*/) {
+    return false;
+  }
+
+  /// Subtree grouping used by this scheduler, when it emits
+  /// TaskKind::Subtree tasks (drivers need the member lists to execute
+  /// them); null otherwise.
+  virtual const SubtreeGroups* subtree_groups() const { return nullptr; }
+};
+
+}  // namespace spx

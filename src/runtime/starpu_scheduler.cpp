@@ -1,0 +1,229 @@
+#include "runtime/starpu_scheduler.hpp"
+
+#include <algorithm>
+
+namespace spx {
+namespace {
+
+/// Pops the highest-priority entry of a vector organized as a max-heap by
+/// priority value.
+index_t heap_pop(std::vector<index_t>& heap,
+                 const std::vector<double>& prio) {
+  auto cmp = [&](index_t a, index_t b) { return prio[a] < prio[b]; };
+  std::pop_heap(heap.begin(), heap.end(), cmp);
+  const index_t id = heap.back();
+  heap.pop_back();
+  return id;
+}
+
+void heap_push(std::vector<index_t>& heap, const std::vector<double>& prio,
+               index_t id) {
+  auto cmp = [&](index_t a, index_t b) { return prio[a] < prio[b]; };
+  heap.push_back(id);
+  std::push_heap(heap.begin(), heap.end(), cmp);
+}
+
+}  // namespace
+
+StarpuScheduler::StarpuScheduler(const TaskTable& table,
+                                 const Machine& machine,
+                                 const TaskCosts& costs,
+                                 StarpuOptions options,
+                                 const DataDirectory* directory)
+    : table_(&table),
+      machine_(&machine),
+      costs_(&costs),
+      options_(options),
+      directory_(directory),
+      deps_(table.structure().num_panels(), table.num_tasks()) {
+  // --- Submission loop (the StarPU programming model): for each panel,
+  // submit its factorization (RW on the panel) followed by its updates
+  // (R source, commutative-RW target).  Dependencies are *inferred*.
+  const SymbolicStructure& st = table.structure();
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    const Access factor_acc[] = {{p, AccessMode::ReadWrite}};
+    deps_.submit(table.id_of({TaskKind::Panel, p, -1}), factor_acc);
+    for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
+         ++e) {
+      const Access upd_acc[] = {{p, AccessMode::Read},
+                                {st.targets[p][e].dst,
+                                 AccessMode::CommuteRW}};
+      deps_.submit(table.id_of({TaskKind::Update, p, e}), upd_acc);
+    }
+  }
+  priority_ = table.bottom_levels(costs);
+  reset();
+}
+
+void StarpuScheduler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  remaining_ = deps_.in_count();
+  eager_any_.clear();
+  eager_gpu_.clear();
+  dmda_queue_.assign(machine_->num_resources(), {});
+  est_avail_.assign(machine_->num_resources(), 0.0);
+  prefetch_done_.assign(static_cast<std::size_t>(table_->num_tasks()), 0);
+  target_busy_.assign(static_cast<std::size_t>(table_->num_panels()), 0);
+  waiting_.assign(static_cast<std::size_t>(table_->num_panels()), {});
+  assigned_.assign(static_cast<std::size_t>(table_->num_tasks()), -1);
+  completed_ = 0;
+  for (index_t id = 0; id < table_->num_tasks(); ++id) {
+    if (remaining_[id] == 0) enqueue_ready(id);
+  }
+}
+
+bool StarpuScheduler::gpu_eligible(index_t id) const {
+  if (machine_->num_gpus() == 0) return false;
+  const Task t = table_->task_of(id);
+  // Panel factorizations stay on CPUs (paper §V-B: "we decide not to
+  // offload the tasks that factorize and update the panel").
+  if (t.kind != TaskKind::Update) return false;
+  return table_->flops(t) >= options_.gpu_min_flops;
+}
+
+void StarpuScheduler::enqueue_ready(index_t id) {
+  // Caller holds the lock.
+  if (options_.policy == StarpuOptions::Policy::Eager) {
+    heap_push(gpu_eligible(id) ? eager_gpu_ : eager_any_, priority_, id);
+    return;
+  }
+  // dmda: minimum estimated completion time across eligible resources.
+  const Task t = table_->task_of(id);
+  int best = -1;
+  double best_finish = 0.0;
+  for (int r = 0; r < machine_->num_resources(); ++r) {
+    const Resource& res = machine_->resource(r);
+    double exec, transfer = 0.0;
+    if (res.kind == ResourceKind::Cpu) {
+      exec = t.kind == TaskKind::Panel
+                 ? costs_->panel_seconds(t.panel, ResourceKind::Cpu)
+                 : costs_->update_seconds(t.panel, t.edge,
+                                          ResourceKind::Cpu);
+      if (directory_ != nullptr && t.kind == TaskKind::Update) {
+        const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
+        transfer = costs_->transfer_seconds(
+            directory_->bytes_to_fetch(t.panel, DataDirectory::kHost) +
+            directory_->bytes_to_fetch(dst, DataDirectory::kHost));
+      }
+    } else {
+      if (!gpu_eligible(id)) continue;
+      exec = costs_->update_seconds(t.panel, t.edge,
+                                    ResourceKind::GpuStream);
+      if (directory_ != nullptr) {
+        const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
+        transfer = costs_->transfer_seconds(
+            directory_->bytes_to_fetch(t.panel, res.gpu) +
+            directory_->bytes_to_fetch(dst, res.gpu));
+      }
+    }
+    const double finish = est_avail_[r] + transfer + exec;
+    if (best < 0 || finish < best_finish) {
+      best = r;
+      best_finish = finish;
+    }
+  }
+  SPX_ASSERT(best >= 0);
+  est_avail_[best] = best_finish;
+  assigned_[id] = best;
+  dmda_queue_[best].push_back(id);
+}
+
+bool StarpuScheduler::runnable_now(index_t id) {
+  const Task t = table_->task_of(id);
+  if (t.kind != TaskKind::Update) return true;
+  const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
+  if (target_busy_[dst]) {
+    waiting_[dst].push_back(id);
+    return false;
+  }
+  target_busy_[dst] = 1;
+  return true;
+}
+
+bool StarpuScheduler::try_pop(int resource, Task* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Resource& res = machine_->resource(resource);
+  if (options_.policy == StarpuOptions::Policy::Eager) {
+    // CPU workers draw from both queues (by priority); GPU streams only
+    // from the GPU-eligible queue.
+    while (true) {
+      std::vector<index_t>* q;
+      if (res.kind == ResourceKind::Cpu) {
+        if (!eager_any_.empty() && !eager_gpu_.empty()) {
+          q = priority_[eager_any_.front()] >= priority_[eager_gpu_.front()]
+                  ? &eager_any_
+                  : &eager_gpu_;
+        } else if (!eager_any_.empty()) {
+          q = &eager_any_;
+        } else if (!eager_gpu_.empty()) {
+          q = &eager_gpu_;
+        } else {
+          return false;
+        }
+      } else {
+        if (eager_gpu_.empty()) return false;
+        q = &eager_gpu_;
+      }
+      const index_t id = heap_pop(*q, priority_);
+      if (runnable_now(id)) {
+        *out = table_->task_of(id);
+        return true;
+      }
+    }
+  }
+  auto& q = dmda_queue_[resource];
+  while (!q.empty()) {
+    const index_t id = q.front();
+    q.pop_front();
+    if (runnable_now(id)) {
+      *out = table_->task_of(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StarpuScheduler::peek_prefetch(int resource, Task* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.policy != StarpuOptions::Policy::Dmda) return false;
+  for (const index_t id : dmda_queue_[resource]) {
+    if (!prefetch_done_[id]) {
+      prefetch_done_[id] = 1;
+      *out = table_->task_of(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+void StarpuScheduler::on_complete(const Task& task, int /*resource*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t id = table_->id_of(task);
+  if (task.kind == TaskKind::Update) {
+    const index_t dst = table_->structure().targets[task.panel][task.edge].dst;
+    target_busy_[dst] = 0;
+    if (!waiting_[dst].empty()) {
+      // Re-enqueue deferred commute tasks; the next pop re-checks the
+      // busy flag.
+      for (const index_t w : waiting_[dst]) {
+        if (options_.policy == StarpuOptions::Policy::Eager) {
+          heap_push(gpu_eligible(w) ? eager_gpu_ : eager_any_, priority_, w);
+        } else {
+          dmda_queue_[assigned_[w]].push_front(w);
+        }
+      }
+      waiting_[dst].clear();
+    }
+  }
+  for (const index_t succ : deps_.successors()[id]) {
+    if (--remaining_[succ] == 0) enqueue_ready(succ);
+  }
+  ++completed_;
+}
+
+bool StarpuScheduler::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ == table_->num_tasks();
+}
+
+}  // namespace spx

@@ -1,0 +1,84 @@
+#include "runtime/subtree_merge.hpp"
+
+#include <algorithm>
+
+namespace spx {
+namespace {
+
+/// Sequential 1D work of a panel: factor + all its updates on a CPU.
+double panel_1d_seconds(const SymbolicStructure& st, const TaskCosts& costs,
+                        index_t p) {
+  double d = costs.panel_seconds(p, ResourceKind::Cpu);
+  for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size()); ++e) {
+    d += costs.update_seconds(p, e, ResourceKind::Cpu);
+  }
+  return d;
+}
+
+}  // namespace
+
+SubtreeGroups merge_subtrees(const SymbolicStructure& st,
+                             const TaskCosts& costs, double max_seconds) {
+  const index_t np = st.num_panels();
+  SubtreeGroups groups;
+  groups.root_of.resize(static_cast<std::size_t>(np));
+  groups.members.assign(static_cast<std::size_t>(np), {});
+  for (index_t p = 0; p < np; ++p) groups.root_of[p] = p;
+  if (max_seconds <= 0.0 || np == 0) return groups;
+
+  // Panel tree: parent = lowest panel this one updates.  Its subtrees are
+  // exactly the DAG-predecessor closures (verified below), because update
+  // targets always lie on the ancestor chain.
+  std::vector<index_t> parent(static_cast<std::size_t>(np), -1);
+  for (index_t p = 0; p < np; ++p) {
+    if (!st.targets[p].empty()) parent[p] = st.targets[p].front().dst;
+  }
+  // Subtree work, bottom-up (panels are topologically ordered by id).
+  std::vector<double> work(static_cast<std::size_t>(np));
+  for (index_t p = 0; p < np; ++p) {
+    work[p] = panel_1d_seconds(st, costs, p);
+  }
+  for (index_t p = 0; p < np; ++p) {
+    if (parent[p] != -1) work[parent[p]] += work[p];
+  }
+
+  // Maximal roots: subtree fits the budget, parent's does not.
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(np));
+  for (index_t p = 0; p < np; ++p) {
+    if (parent[p] != -1) children[parent[p]].push_back(p);
+  }
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < np; ++root) {
+    if (work[root] > max_seconds) continue;
+    if (parent[root] != -1 && work[parent[root]] <= max_seconds) continue;
+    // Collect the subtree in ascending order (== topological order).
+    std::vector<index_t> members;
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      members.push_back(v);
+      for (const index_t c : children[v]) stack.push_back(c);
+    }
+    if (members.size() < 2) continue;  // nothing to merge
+    std::sort(members.begin(), members.end());
+    for (const index_t m : members) groups.root_of[m] = root;
+    groups.members[root] = std::move(members);
+    groups.num_groups++;
+  }
+
+  // Completeness check: no update edge may enter a group from outside
+  // (otherwise the one-shot group task would violate a dependency).
+  for (index_t p = 0; p < np; ++p) {
+    for (const UpdateEdge& e : st.targets[p]) {
+      const index_t dr = groups.root_of[e.dst];
+      if (!groups.members[dr].empty()) {
+        SPX_ASSERT(groups.root_of[p] == dr &&
+                   "incomplete subtree group: external edge enters group");
+      }
+    }
+  }
+  return groups;
+}
+
+}  // namespace spx

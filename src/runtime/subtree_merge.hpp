@@ -1,0 +1,50 @@
+// Subtree merging: the paper's first future-work item ("in order to
+// minimize the scheduler overhead, we plan to increase the granularity of
+// the tasks at the bottom of the elimination tree.  Merging leaves or
+// subtrees together yields bigger, more computationally intensive tasks").
+//
+// A *complete* subtree of the panel DAG has no incoming update edges from
+// outside (contributions only flow toward ancestors), so it can execute as
+// one sequential task with zero synchronization: factor + updates of every
+// member in topological order, releasing external dependencies once at the
+// end.  We greedily form maximal complete subtrees whose estimated
+// sequential work stays below a threshold; panels above the cut stay at
+// normal granularity.
+#pragma once
+
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace spx {
+
+struct SubtreeGroups {
+  /// Group root of each panel; == the panel itself when ungrouped or when
+  /// it is the root of its group.
+  std::vector<index_t> root_of;
+  /// For each group root: the member panels in ascending (= topological)
+  /// order, root included last.  Empty for ungrouped panels.
+  std::vector<std::vector<index_t>> members;
+  /// Number of multi-panel groups formed.
+  index_t num_groups = 0;
+
+  bool grouped(index_t p) const { return !members[root_of[p]].empty(); }
+  bool is_root(index_t p) const { return root_of[p] == p; }
+
+  /// Logical task units covered by the group rooted at `root` (panel tasks
+  /// + update tasks of all members): completion accounting.
+  index_t units(const SymbolicStructure& st, index_t root) const {
+    index_t u = 0;
+    for (const index_t m : members[root]) {
+      u += 1 + static_cast<index_t>(st.targets[m].size());
+    }
+    return u;
+  }
+};
+
+/// Forms complete-subtree groups whose sequential CPU time is at most
+/// `max_seconds`; single-panel subtrees are left ungrouped (no benefit).
+SubtreeGroups merge_subtrees(const SymbolicStructure& st,
+                             const TaskCosts& costs, double max_seconds);
+
+}  // namespace spx

@@ -1,0 +1,51 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace spx {
+namespace {
+
+const char* kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::Panel:
+      return "panel";
+    case TaskKind::Update:
+      return "update";
+    case TaskKind::Subtree:
+      return "subtree";
+  }
+  return "?";
+}
+
+void write_event(std::ostream& out, const TraceRecorder::Event& e,
+                 const char* row_prefix, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\": \"" << kind_name(e.kind) << " p" << e.panel;
+  if (e.edge >= 0) out << " e" << e.edge;
+  out << "\", \"cat\": \"" << kind_name(e.kind)
+      << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": \"" << row_prefix
+      << e.resource << "\", \"ts\": " << e.start * 1e6
+      << ", \"dur\": " << (e.end - e.start) * 1e6 << "}";
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& e : events_) write_event(out, e, "worker-", first);
+  for (const Event& e : transfers_) write_event(out, e, "dma-", first);
+  out << "\n]}\n";
+}
+
+void TraceRecorder::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  SPX_CHECK_ARG(out.good(), "cannot open trace file " + path);
+  write_chrome_json(out);
+}
+
+}  // namespace spx

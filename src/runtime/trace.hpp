@@ -1,0 +1,70 @@
+// Execution trace recording (both drivers) and chrome-tracing export.
+//
+// StarPU and PaRSEC ship Paje/FxT tracing for post-mortem Gantt analysis;
+// this is the equivalent here.  Both drivers can record every task's
+// (resource, kind, panel, start, end); the JSON export loads directly into
+// chrome://tracing or Perfetto, one row per resource.
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace spx {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    int resource;
+    TaskKind kind;
+    index_t panel;
+    index_t edge;
+    double start;  ///< seconds (virtual for the simulator, wall otherwise)
+    double end;
+  };
+
+  void record(int resource, const Task& task, double start, double end) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back({resource, task.kind, task.panel, task.edge, start,
+                       end});
+  }
+
+  /// Also usable for transfer events (resource = DMA engine row).
+  void record_transfer(int gpu, index_t panel, double start, double end) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    transfers_.push_back({gpu, TaskKind::Update, panel, -1, start, end});
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    transfers_.clear();
+  }
+
+  std::size_t num_events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+  std::size_t num_transfers() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return transfers_.size();
+  }
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  /// Chrome-tracing "traceEvents" JSON (complete events, microseconds).
+  void write_chrome_json(std::ostream& out) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::vector<Event> transfers_;
+};
+
+}  // namespace spx

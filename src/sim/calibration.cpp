@@ -1,0 +1,96 @@
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "kernels/dense.hpp"
+
+namespace spx::sim {
+namespace {
+
+/// Best-of-`repeat` wall time of `fn` in seconds.
+template <typename Fn>
+double best_seconds(int repeat, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < repeat; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.elapsed());
+  }
+  return best;
+}
+
+double gemm_gflops(index_t m, index_t n, index_t k, int repeat) {
+  Rng rng(1234);
+  std::vector<real_t> a(static_cast<std::size_t>(m) * k);
+  std::vector<real_t> b(static_cast<std::size_t>(n) * k);
+  std::vector<real_t> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const double secs = best_seconds(repeat, [&] {
+    kernels::gemm_nt<real_t>(m, n, k, -1.0, a.data(), m, b.data(), n, 1.0,
+                             c.data(), m);
+  });
+  return flops_gemm(m, n, k) / secs / 1e9;
+}
+
+}  // namespace
+
+PlatformSpec calibrate_host(CalibrationReport* report, int repeat) {
+  CalibrationReport rep;
+  // Asymptotic and small-size GEMM rates.
+  rep.gemm_large_gflops = gemm_gflops(384, 384, 384, repeat);
+  rep.gemm_small_gflops = gemm_gflops(24, 24, 24, repeat * 16);
+
+  // Streaming bandwidth (triad on an array far larger than caches).
+  {
+    const std::size_t n = 16 << 20;  // 128 MiB per array
+    std::vector<real_t> a(n, 1.0), b(n, 2.0);
+    const double secs = best_seconds(repeat, [&] {
+      for (std::size_t i = 0; i < n; ++i) b[i] = a[i] * 0.5 + b[i];
+    });
+    rep.stream_bw = 3.0 * 8.0 * static_cast<double>(n) / secs;
+  }
+
+  // Panel kernel (POTRF) rate.
+  {
+    const index_t n = 192;
+    Rng rng(77);
+    std::vector<real_t> base(static_cast<std::size_t>(n) * n);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        base[i + static_cast<std::size_t>(j) * n] =
+            i == j ? 2.0 * n : rng.uniform(-1, 1);
+      }
+    }
+    std::vector<real_t> work;
+    const double secs = best_seconds(repeat, [&] {
+      work = base;
+      kernels::potrf<real_t>(n, work.data(), n);
+    });
+    rep.potrf_gflops = flops_potrf(n) / secs / 1e9;
+  }
+
+  PlatformSpec spec;
+  spec.max_cores = 1;  // calibration is single-threaded; caller may scale
+  spec.max_gpus = 0;
+  // Fold the measured asymptote into peak * efficiency, then fit the
+  // efficiency knee from the small-size ratio:
+  //   rate(d)/rate(inf) = (d/(d+h))^3  =>  h = d * (ratio^{-1/3} - 1).
+  spec.cpu_efficiency = 0.98;
+  spec.cpu_peak_gflops = rep.gemm_large_gflops / spec.cpu_efficiency;
+  const double ratio =
+      std::clamp(rep.gemm_small_gflops / rep.gemm_large_gflops, 0.05, 0.98);
+  spec.cpu_half_dim = 24.0 * (std::pow(ratio, -1.0 / 3.0) - 1.0);
+  spec.cpu_mem_bw = rep.stream_bw;
+  spec.cpu_panel_efficiency =
+      std::clamp(rep.potrf_gflops / rep.gemm_large_gflops, 0.1, 1.0);
+  if (report != nullptr) *report = rep;
+  return spec;
+}
+
+}  // namespace spx::sim

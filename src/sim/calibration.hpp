@@ -1,0 +1,26 @@
+// Host calibration: measures this machine's kernel rates and produces a
+// PlatformSpec describing it, so the discrete-event simulator can be
+// validated against *real* runs on the host (bench_validation).  This is
+// the same procedure one would use to retarget the simulator at new
+// hardware: measure a large GEMM (asymptotic rate), a small GEMM (the
+// efficiency knee), a streaming triad (memory bandwidth), and a POTRF
+// (panel-kernel efficiency).
+#pragma once
+
+#include "sim/platform.hpp"
+
+namespace spx::sim {
+
+struct CalibrationReport {
+  double gemm_large_gflops = 0.0;
+  double gemm_small_gflops = 0.0;
+  double potrf_gflops = 0.0;
+  double stream_bw = 0.0;  ///< bytes/s
+};
+
+/// Measures the host and returns a CPU-only PlatformSpec (max_gpus = 0).
+/// `repeat` controls measurement time (higher = steadier numbers).
+PlatformSpec calibrate_host(CalibrationReport* report = nullptr,
+                            int repeat = 3);
+
+}  // namespace spx::sim

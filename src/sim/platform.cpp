@@ -1,0 +1,14 @@
+#include "sim/platform.hpp"
+
+namespace spx::sim {
+
+PlatformSpec mirage() { return PlatformSpec{}; }
+
+PlatformSpec testbox() {
+  PlatformSpec s;
+  s.max_cores = 2;
+  s.max_gpus = 1;
+  return s;
+}
+
+}  // namespace spx::sim

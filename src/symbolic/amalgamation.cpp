@@ -1,0 +1,184 @@
+#include "symbolic/amalgamation.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace spx {
+namespace {
+
+// For a parent-child pair in the supernode forest the merged row structure
+// is exactly the parent's (rows(c) \ cols(p) is a subset of rows(p)), so a
+// merge costs:
+//   extra = w_c * (w_p + |rows(p)| - |rows(c)|)  >= 0
+// extra explicit zeros and needs no set arithmetic at all.
+size_type merge_cost(size_type wc, size_type rc, size_type wp,
+                     size_type rp) {
+  return wc * (wp + rp - rc);
+}
+
+}  // namespace
+
+AmalgamationResult amalgamate(const SupernodePartition& part,
+                              const SupernodeForest& forest,
+                              const AmalgamationOptions& opts) {
+  const index_t nsn = part.count();
+  const index_t n =
+      nsn == 0 ? 0 : part.first_col[static_cast<std::size_t>(nsn)];
+
+  // Mutable merge state.
+  std::vector<size_type> width(static_cast<std::size_t>(nsn));
+  std::vector<size_type> nrows(static_cast<std::size_t>(nsn));
+  std::vector<index_t> parent = forest.parent;
+  std::vector<char> alive(static_cast<std::size_t>(nsn), 1);
+  // Members of each alive root, ascending original supernode id.
+  std::vector<std::vector<index_t>> members(static_cast<std::size_t>(nsn));
+  for (index_t s = 0; s < nsn; ++s) {
+    width[s] = part.width(s);
+    nrows[s] = static_cast<size_type>(forest.rows[s].size());
+    members[s] = {s};
+  }
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(nsn));
+  for (index_t s = 0; s < nsn; ++s) {
+    if (parent[s] != -1) children[parent[s]].push_back(s);
+  }
+
+  AmalgamationResult res;
+  res.nnz_before = supernodal_nnz(part, forest);
+
+  // Supernodes overlapping the protected tail accept no merges (their
+  // column set must stay exactly the caller's Schur block).
+  const index_t protect_from =
+      opts.protect_tail > 0 ? n - opts.protect_tail : n;
+  const auto protected_parent = [&](index_t c) {
+    const index_t p = parent[c];
+    return p != -1 && part.first_col[p + 1] > protect_from;
+  };
+
+  auto do_merge = [&](index_t c) {
+    const index_t p = parent[c];
+    SPX_DEBUG_ASSERT(p != -1 && alive[c] && alive[p]);
+    res.extra_fill += merge_cost(width[c], nrows[c], width[p], nrows[p]);
+    width[p] += width[c];
+    alive[c] = 0;
+    // Splice members keeping ascending id order (all of c's ids < p's
+    // first id is NOT guaranteed after chained merges, so do a real merge).
+    std::vector<index_t> merged;
+    merged.reserve(members[c].size() + members[p].size());
+    std::merge(members[c].begin(), members[c].end(), members[p].begin(),
+               members[p].end(), std::back_inserter(merged));
+    members[p] = std::move(merged);
+    members[c].clear();
+    for (const index_t gc : children[c]) {
+      parent[gc] = p;
+      children[p].push_back(gc);
+    }
+    children[c].clear();
+    children[p].erase(
+        std::remove(children[p].begin(), children[p].end(), c),
+        children[p].end());
+  };
+
+  // Phase 1: unconditional merges of too-narrow supernodes, bottom-up.
+  // (Ascending id order is bottom-up because supernodes are postordered.)
+  for (index_t s = 0; s < nsn; ++s) {
+    if (alive[s] && parent[s] != -1 && !protected_parent(s) &&
+        width[s] < static_cast<size_type>(opts.min_width)) {
+      do_merge(s);
+    }
+  }
+
+  // Phase 2: budgeted merges, cheapest extra fill first, lazy-stale queue.
+  if (opts.fill_ratio > 0.0) {
+    const size_type budget = static_cast<size_type>(
+        opts.fill_ratio * static_cast<double>(res.nnz_before));
+    struct Cand {
+      size_type cost;
+      index_t child;
+      bool operator>(const Cand& o) const { return cost > o.cost; }
+    };
+    std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> pq;
+    auto push_candidate = [&](index_t c) {
+      if (!alive[c] || parent[c] == -1 || protected_parent(c)) return;
+      const index_t p = parent[c];
+      pq.push({merge_cost(width[c], nrows[c], width[p], nrows[p]), c});
+    };
+    for (index_t s = 0; s < nsn; ++s) push_candidate(s);
+    while (!pq.empty()) {
+      const Cand cand = pq.top();
+      pq.pop();
+      const index_t c = cand.child;
+      if (!alive[c] || parent[c] == -1 || protected_parent(c)) continue;
+      const index_t p = parent[c];
+      const size_type cost = merge_cost(width[c], nrows[c], width[p],
+                                        nrows[p]);
+      if (cost != cand.cost) {  // stale: parent grew since insertion
+        pq.push({cost, c});
+        continue;
+      }
+      if (res.extra_fill + cost > budget) break;
+      // Remember p's children before the merge mutates them.
+      const std::vector<index_t> siblings = children[p];
+      do_merge(c);
+      // Costs of p's remaining children changed; refresh lazily.
+      for (const index_t sib : siblings) {
+        if (sib != c) push_candidate(sib);
+      }
+      push_candidate(p);
+    }
+  }
+
+  // Renumber: emit alive supernodes in ascending id order (topological:
+  // a root's id exceeds all of its descendants' ids), columns of members
+  // in ascending order.
+  std::vector<index_t> new_to_old;
+  new_to_old.reserve(static_cast<std::size_t>(n));
+  res.part.first_col.push_back(0);
+  std::vector<index_t> alive_rank(static_cast<std::size_t>(nsn), -1);
+  index_t nalive = 0;
+  for (index_t s = 0; s < nsn; ++s) {
+    if (!alive[s]) continue;
+    alive_rank[s] = nalive++;
+    for (const index_t m : members[s]) {
+      for (index_t j = part.first_col[m]; j < part.first_col[m + 1]; ++j) {
+        new_to_old.push_back(j);
+      }
+    }
+    res.part.first_col.push_back(static_cast<index_t>(new_to_old.size()));
+  }
+  res.renumber = Ordering::from_new_to_old(std::move(new_to_old));
+
+  res.part.sn_of_col.resize(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < nalive; ++s) {
+    for (index_t j = res.part.first_col[s]; j < res.part.first_col[s + 1];
+         ++j) {
+      res.part.sn_of_col[j] = s;
+    }
+  }
+
+  // Rebuild forest in the new numbering.  Row structure of a merged
+  // supernode is its root's (see merge_cost comment); remap + resort.
+  res.forest.parent.assign(static_cast<std::size_t>(nalive), -1);
+  res.forest.rows.resize(static_cast<std::size_t>(nalive));
+  for (index_t s = 0; s < nsn; ++s) {
+    if (!alive[s]) continue;
+    const index_t ns = alive_rank[s];
+    if (parent[s] != -1) {
+      SPX_DEBUG_ASSERT(alive[parent[s]]);
+      res.forest.parent[ns] = alive_rank[parent[s]];
+    }
+    std::vector<index_t> rows;
+    rows.reserve(forest.rows[s].size());
+    for (const index_t r : forest.rows[s]) {
+      rows.push_back(res.renumber.old_to_new[r]);
+    }
+    std::sort(rows.begin(), rows.end());
+    res.forest.rows[ns] = std::move(rows);
+  }
+  res.nnz_after = supernodal_nnz(res.part, res.forest);
+  SPX_ASSERT(res.nnz_after == res.nnz_before + res.extra_fill);
+  return res;
+}
+
+}  // namespace spx

@@ -1,0 +1,136 @@
+#include "symbolic/etree.hpp"
+
+#include <algorithm>
+
+#include "graph/ordering.hpp"
+
+namespace spx {
+
+std::vector<index_t> elimination_tree(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    for (const index_t i : g.neighbors(k)) {
+      if (i >= k) continue;  // only below-diagonal entries A(k, i), i < k
+      // Walk up from i, compressing paths onto k.
+      index_t j = i;
+      while (ancestor[j] != -1 && ancestor[j] != k) {
+        const index_t next = ancestor[j];
+        ancestor[j] = k;
+        j = next;
+      }
+      if (ancestor[j] == -1) {
+        ancestor[j] = k;
+        parent[j] = k;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // Build child lists (reversed iteration keeps children in ascending
+  // order, giving a deterministic postorder).
+  std::vector<index_t> first_child(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next_sibling(static_cast<std::size_t>(n), -1);
+  for (index_t v = n - 1; v >= 0; --v) {
+    const index_t p = parent[v];
+    if (p != -1) {
+      next_sibling[v] = first_child[p];
+      first_child[p] = v;
+    }
+  }
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < n; ++root) {
+    if (parent[root] != -1) continue;
+    // Iterative DFS: descend into the next unvisited child, emit a vertex
+    // once its child list is exhausted.
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t c = first_child[v];
+      if (c != -1) {
+        first_child[v] = next_sibling[c];  // consume child c
+        stack.push_back(c);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  return post;
+}
+
+std::vector<index_t> cholesky_col_counts(const Graph& g,
+                                         const std::vector<index_t>& parent,
+                                         const std::vector<index_t>& post) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> delta(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> first(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> maxfirst(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> prevleaf(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) ancestor[v] = v;
+
+  // first[j] = postorder index of j's first descendant.
+  for (index_t k = 0; k < n; ++k) {
+    index_t j = post[k];
+    delta[j] = (first[j] == -1) ? 1 : 0;  // leaf of the etree
+    for (; j != -1 && first[j] == -1; j = parent[j]) first[j] = k;
+  }
+
+  auto find_root = [&](index_t s) {
+    index_t q = s;
+    while (q != ancestor[q]) q = ancestor[q];
+    // Path compression.
+    while (s != q) {
+      const index_t next = ancestor[s];
+      ancestor[s] = q;
+      s = next;
+    }
+    return q;
+  };
+
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[k];
+    if (parent[j] != -1) delta[parent[j]]--;  // j is not a leaf of parent
+    for (const index_t i : g.neighbors(j)) {
+      // Consider A(i, j) with i > j: j is in row subtree of i.
+      if (i <= j) continue;
+      if (first[j] <= maxfirst[i]) continue;  // j not a new leaf for row i
+      maxfirst[i] = first[j];
+      const index_t jprev = prevleaf[i];
+      prevleaf[i] = j;
+      if (jprev == -1) {
+        delta[j]++;  // first leaf of row subtree i
+      } else {
+        delta[j]++;
+        delta[find_root(jprev)]--;  // least common ancestor correction
+      }
+    }
+    if (parent[j] != -1) ancestor[j] = parent[j];
+  }
+  // Accumulate deltas up the tree to get the counts.
+  std::vector<index_t> counts = delta;
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[k];
+    if (parent[j] != -1) counts[parent[j]] += counts[j];
+  }
+  return counts;
+}
+
+Ordering compose(const Ordering& inner, const Ordering& outer) {
+  SPX_CHECK_ARG(inner.size() == outer.size(), "ordering sizes differ");
+  const index_t n = inner.size();
+  std::vector<index_t> new_to_old(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    new_to_old[k] = inner.new_to_old[outer.new_to_old[k]];
+  }
+  return Ordering::from_new_to_old(std::move(new_to_old));
+}
+
+}  // namespace spx

@@ -1,0 +1,35 @@
+// Elimination tree and column counts of the Cholesky factor.
+//
+// All routines operate on the *permuted* symmetric pattern (a Graph whose
+// vertex k is the k-th pivot).  The elimination tree drives everything in
+// a supernodal solver: supernode detection, the task DAG, and the
+// contribution edges between panels (paper §III).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ordering.hpp"
+
+namespace spx {
+
+/// Liu's elimination-tree algorithm with path compression.
+/// parent[k] = -1 for roots.  O(nnz * alpha(n)).
+std::vector<index_t> elimination_tree(const Graph& g);
+
+/// Postorder of the forest; children visited before parents, subtrees
+/// contiguous.  Returns post[k] = k-th vertex in postorder.
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent);
+
+/// Column counts of L (including the diagonal) via the Gilbert--Ng--Peyton
+/// skeleton algorithm, O(nnz * alpha(n)).  `parent` and `post` must come
+/// from the two functions above on the same graph.
+std::vector<index_t> cholesky_col_counts(const Graph& g,
+                                         const std::vector<index_t>& parent,
+                                         const std::vector<index_t>& post);
+
+/// Composes two orderings: first apply `inner`, then `outer` on the result.
+/// combined.old_to_new[i] = outer.old_to_new[inner.old_to_new[i]].
+Ordering compose(const Ordering& inner, const Ordering& outer);
+
+}  // namespace spx

@@ -1,0 +1,102 @@
+// Block symbolic structure: the final product of the analysis phase.
+//
+// Each supernode is split vertically into one or more *panels* (paper §III:
+// "supernodes of the higher levels are split vertically prior to the
+// factorization to limit the task granularity and create more
+// parallelism").  A panel stores a dense tall-and-skinny column-major
+// matrix: its diagonal block followed by its off-diagonal blocks.  Blocks
+// are maximal row intervals that do not cross a facing panel's boundary,
+// which is what allows an update task to target exactly one panel.
+//
+// The structure also carries the task-DAG adjacency (per-panel target
+// lists) used by all three runtimes, and the per-task flop counts used for
+// GFlop/s reporting and the simulation cost models.
+#pragma once
+
+#include <vector>
+
+#include "common/flops.hpp"
+#include "common/types.hpp"
+#include "symbolic/amalgamation.hpp"
+
+namespace spx {
+
+struct Block {
+  index_t row_begin;      ///< first (permuted) row of the block
+  index_t row_end;        ///< one past the last row
+  index_t facing_panel;   ///< panel owning those rows (self for diagonal)
+  index_t offset;         ///< row offset of this block inside the panel
+
+  index_t height() const { return row_end - row_begin; }
+};
+
+struct Panel {
+  index_t col_begin;   ///< first (permuted) column
+  index_t col_end;     ///< one past the last column
+  index_t supernode;   ///< owning supernode (pre-split)
+  size_type storage_offset;  ///< offset into the factor value array
+  index_t nrows;       ///< total rows = sum of block heights
+  /// blocks[0] is the diagonal block; the rest are below-diagonal, sorted
+  /// by row_begin.
+  std::vector<Block> blocks;
+
+  index_t width() const { return col_end - col_begin; }
+  /// Rows strictly below the diagonal block.
+  index_t nrows_below() const { return nrows - width(); }
+};
+
+/// An edge of the panel DAG: "panel src updates panel dst".
+struct UpdateEdge {
+  index_t dst;          ///< target panel
+  index_t first_block;  ///< first off-diagonal block of src facing dst
+  index_t last_block;   ///< one past the last such block
+};
+
+struct SymbolicOptions {
+  AmalgamationOptions amalgamation;
+  /// Panels wider than this are split into ceil(w / max_panel_width)
+  /// near-equal slices.  0 disables splitting.
+  index_t max_panel_width = 128;
+};
+
+class SymbolicStructure {
+ public:
+  std::vector<Panel> panels;
+  /// Panel owning each column (size n).
+  std::vector<index_t> panel_of_col;
+  /// Out-edges of each panel, sorted by dst; edge (p -> dst) covers the
+  /// contiguous run of p's blocks facing dst.
+  std::vector<std::vector<UpdateEdge>> targets;
+  /// Number of incoming update edges per panel.
+  std::vector<index_t> in_degree;
+  /// Total L storage in scalars (sum over panels of nrows * width).
+  size_type factor_entries = 0;
+  /// nnz(L) counting the diagonal block as a lower triangle (the value the
+  /// paper's Table I reports as nnz_L).
+  size_type nnz_factor = 0;
+
+  index_t num_panels() const { return static_cast<index_t>(panels.size()); }
+  index_t num_cols() const {
+    return static_cast<index_t>(panel_of_col.size());
+  }
+  size_type num_update_tasks() const;
+
+  /// Flops of the panel task (diag factorization + TRSM) under a given
+  /// factorization kind.
+  double panel_task_flops(index_t p, Factorization kind) const;
+  /// Flops of the update task along edge e of panel p.
+  double update_task_flops(index_t p, const UpdateEdge& e,
+                           Factorization kind) const;
+  /// Total factorization flops (the paper's Table I "Flop" column).
+  double total_flops(Factorization kind) const;
+
+  /// Structural sanity checks (tests call this on every pipeline output).
+  void validate() const;
+};
+
+/// Builds the block structure from an amalgamated supernode partition.
+SymbolicStructure build_structure(const SupernodePartition& part,
+                                  const SupernodeForest& forest,
+                                  index_t max_panel_width);
+
+}  // namespace spx

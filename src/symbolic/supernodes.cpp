@@ -1,0 +1,146 @@
+#include "symbolic/supernodes.hpp"
+
+#include <algorithm>
+
+namespace spx {
+
+SupernodePartition find_fundamental_supernodes(
+    const std::vector<index_t>& parent, const std::vector<index_t>& counts) {
+  const index_t n = static_cast<index_t>(parent.size());
+  SupernodePartition part;
+  part.sn_of_col.resize(static_cast<std::size_t>(n));
+  // Count children: a column with more than one child cannot extend its
+  // predecessor's supernode (the structure merge makes it non-fundamental).
+  std::vector<index_t> nchild(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    if (parent[j] != -1) nchild[parent[j]]++;
+  }
+  part.first_col.push_back(0);
+  for (index_t j = 0; j < n; ++j) {
+    const bool starts_new =
+        j == 0 || parent[j - 1] != j || counts[j - 1] != counts[j] + 1 ||
+        nchild[j] > 1;
+    if (starts_new && j > 0) part.first_col.push_back(j);
+    part.sn_of_col[j] = static_cast<index_t>(part.first_col.size()) - 1;
+  }
+  part.first_col.push_back(n);
+  return part;
+}
+
+SupernodeForest supernodal_symbolic(const Graph& g,
+                                    const std::vector<index_t>& parent,
+                                    const SupernodePartition& part) {
+  const index_t nsn = part.count();
+  const index_t n = g.num_vertices();
+  SupernodeForest forest;
+  forest.parent.assign(static_cast<std::size_t>(nsn), -1);
+  forest.rows.resize(static_cast<std::size_t>(nsn));
+
+  for (index_t s = 0; s < nsn; ++s) {
+    const index_t last = part.first_col[s + 1] - 1;
+    if (parent[last] != -1) forest.parent[s] = part.sn_of_col[parent[last]];
+  }
+
+  // Children lists in ascending order (supernodes are postordered since
+  // the columns are).
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(nsn));
+  for (index_t s = 0; s < nsn; ++s) {
+    if (forest.parent[s] != -1) children[forest.parent[s]].push_back(s);
+  }
+
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> touched;
+  for (index_t s = 0; s < nsn; ++s) {
+    const index_t last = part.first_col[s + 1] - 1;
+    touched.clear();
+    // Pattern of A below the supernode, over all its columns.
+    for (index_t j = part.first_col[s]; j <= last; ++j) {
+      for (const index_t i : g.neighbors(j)) {
+        if (i > last && !mark[i]) {
+          mark[i] = 1;
+          touched.push_back(i);
+        }
+      }
+    }
+    // Children contributions: rows(c) beyond this supernode's columns.
+    for (const index_t c : children[s]) {
+      for (const index_t i : forest.rows[c]) {
+        if (i > last && !mark[i]) {
+          mark[i] = 1;
+          touched.push_back(i);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    forest.rows[s] = touched;
+    for (const index_t i : touched) mark[i] = 0;
+  }
+  return forest;
+}
+
+void force_partition_boundary(SupernodePartition& part,
+                              SupernodeForest& forest, index_t col) {
+  const index_t nsn = part.count();
+  const index_t n = nsn == 0 ? 0 : part.first_col.back();
+  if (col <= 0 || col >= n) return;
+  const index_t s = part.sn_of_col[col];
+  if (part.first_col[s] == col) return;  // boundary already exists
+
+  // Split supernode s at `col` into s (left) and s+1 (right).
+  const index_t split_end = part.first_col[s + 1];
+  part.first_col.insert(part.first_col.begin() + s + 1, col);
+  for (index_t j = col; j < split_end; ++j) part.sn_of_col[j] = s + 1;
+  for (index_t j = split_end; j < n; ++j) part.sn_of_col[j]++;
+
+  // Right half keeps the old rows; left half additionally sees the right
+  // half's columns as below-diagonal rows.
+  std::vector<index_t> left_rows;
+  for (index_t r = col; r < split_end; ++r) left_rows.push_back(r);
+  left_rows.insert(left_rows.end(), forest.rows[s].begin(),
+                   forest.rows[s].end());
+  forest.rows.insert(forest.rows.begin() + s + 1, forest.rows[s]);
+  forest.rows[s] = std::move(left_rows);
+
+  // Parents: ids >= s+1 shift by one; children of the old s re-attach by
+  // the supernode that owns their parent column (their first row).
+  std::vector<index_t> parent(static_cast<std::size_t>(nsn) + 1);
+  for (index_t t = 0; t < nsn + 1; ++t) {
+    index_t old_parent;
+    if (t < s) {
+      old_parent = forest.parent[t];
+    } else if (t == s) {
+      parent[t] = s + 1;  // left half's parent column is `col`
+      continue;
+    } else {
+      old_parent = forest.parent[t - 1];
+    }
+    if (old_parent == -1) {
+      parent[t] = -1;
+    } else if (old_parent < s) {
+      parent[t] = old_parent;
+    } else if (old_parent > s) {
+      parent[t] = old_parent + 1;
+    } else {
+      // Was a child of the split supernode: re-resolve via its parent
+      // column (the smallest row of its structure, already in the new
+      // forest.rows position t).
+      SPX_ASSERT(!forest.rows[t].empty());
+      const index_t pcol = forest.rows[t][0];
+      parent[t] = part.sn_of_col[pcol];
+    }
+  }
+  forest.parent = std::move(parent);
+}
+
+size_type supernodal_nnz(const SupernodePartition& part,
+                         const SupernodeForest& forest) {
+  size_type nnz = 0;
+  for (index_t s = 0; s < part.count(); ++s) {
+    const size_type w = part.width(s);
+    nnz += w * (w + 1) / 2;
+    nnz += w * static_cast<size_type>(forest.rows[s].size());
+  }
+  return nnz;
+}
+
+}  // namespace spx

@@ -1,0 +1,60 @@
+// Fundamental supernode detection and supernodal row structures.
+//
+// A supernode is a maximal set of contiguous columns with identical
+// below-diagonal row structure; it becomes a "panel" -- the tall & skinny
+// dense matrix that is the unit of data in the task DAG (paper §III).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spx {
+
+struct SupernodePartition {
+  /// first_col[s]..first_col[s+1]-1 are the columns of supernode s
+  /// (in the postordered permuted index space).
+  std::vector<index_t> first_col;  // size num_supernodes + 1
+  /// Supernode id owning each column.
+  std::vector<index_t> sn_of_col;
+
+  index_t count() const {
+    return static_cast<index_t>(first_col.size()) - 1;
+  }
+  index_t width(index_t s) const { return first_col[s + 1] - first_col[s]; }
+};
+
+/// Splits the postordered columns into fundamental supernodes:
+/// column j joins j-1's supernode iff parent(j-1) == j and
+/// colcount(j-1) == colcount(j) + 1.
+SupernodePartition find_fundamental_supernodes(
+    const std::vector<index_t>& parent, const std::vector<index_t>& counts);
+
+struct SupernodeForest {
+  /// parent supernode (-1 for roots): supernode of parent(last column).
+  std::vector<index_t> parent;
+  /// Below-diagonal row structure of each supernode (sorted, strictly
+  /// greater than the supernode's last column).  The defining supernodal
+  /// property: all columns of the supernode share this structure.
+  std::vector<std::vector<index_t>> rows;
+};
+
+/// Computes the supernode tree and per-supernode row structures by merging
+/// children structures bottom-up (the supernodal symbolic factorization).
+/// `g` is the postordered permuted pattern.
+SupernodeForest supernodal_symbolic(const Graph& g,
+                                    const std::vector<index_t>& parent,
+                                    const SupernodePartition& part);
+
+/// nnz(L) implied by a partition + row structures (diagonal blocks counted
+/// as full lower triangles, off-diagonal rows dense across the width).
+size_type supernodal_nnz(const SupernodePartition& part,
+                         const SupernodeForest& forest);
+
+/// Splits the supernode containing `col` so that a supernode boundary
+/// falls exactly at `col` (no-op when one already does).  Used to keep a
+/// Schur block from fusing with interior columns.
+void force_partition_boundary(SupernodePartition& part,
+                              SupernodeForest& forest, index_t col);
+
+}  // namespace spx

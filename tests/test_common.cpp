@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace spx {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, ComplexScalarHasBothParts) {
+  Rng r(5);
+  const complex_t z = r.scalar<complex_t>();
+  EXPECT_NE(z.imag(), 0.0);
+}
+
+TEST(Types, MagnitudeRealAndComplex) {
+  EXPECT_EQ(magnitude(-3.0), 3.0);
+  EXPECT_DOUBLE_EQ(magnitude(complex_t(3.0, 4.0)), 5.0);
+}
+
+TEST(Types, PrecisionTags) {
+  EXPECT_EQ(precision_of<real_t>(), Precision::D);
+  EXPECT_EQ(precision_of<complex_t>(), Precision::Z);
+  EXPECT_STREQ(to_string(Precision::Z), "Z");
+}
+
+TEST(Flops, GemmCount) { EXPECT_EQ(flops_gemm(10, 20, 30), 12000.0); }
+
+TEST(Flops, PotrfLeadingTerm) {
+  EXPECT_NEAR(flops_potrf(300), 300.0 * 300 * 300 / 3, 50000);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=x", "--flag"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("beta", ""), "x");
+  EXPECT_TRUE(cli.get_flag("flag"));
+  EXPECT_EQ(cli.get_double("gamma", 2.5), 2.5);
+  EXPECT_NO_THROW(cli.check_unknown());
+}
+
+TEST(Cli, RejectsUnknown) {
+  const char* argv[] = {"prog", "--oops", "1"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW(cli.check_unknown(), InvalidArgument);
+}
+
+TEST(Cli, RejectsPositional) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spx

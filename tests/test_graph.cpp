@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/orderings.hpp"
+#include "graph/permute_graph.hpp"
+#include "mat/generators.hpp"
+#include "mat/triplets.hpp"
+
+namespace spx {
+namespace {
+
+Graph grid_graph(index_t nx, index_t ny) {
+  return Graph::from_pattern(gen::grid2d_laplacian(nx, ny));
+}
+
+TEST(Graph, FromPatternDropsDiagonalAndSymmetrizes) {
+  Triplets<real_t> t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(2, 0, 5.0);  // only one side present
+  t.add(1, 1, 1.0);
+  const Graph g = Graph::from_pattern(t.to_csc());
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.neighbors(0)[0], 2);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, GridDegrees) {
+  const Graph g = grid_graph(4, 4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(5), 4);   // interior
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, InducedSubgraph) {
+  const Graph g = grid_graph(3, 3);
+  std::vector<index_t> verts{0, 1, 3, 4};
+  std::vector<index_t> scratch;
+  const Graph sub = g.induced_subgraph(verts, scratch);
+  EXPECT_EQ(sub.num_vertices(), 4);
+  EXPECT_EQ(sub.num_edges(), 4);  // the 2x2 corner of the grid
+  EXPECT_TRUE(sub.validate());
+}
+
+TEST(Ordering, IdentityAndValidate) {
+  const Ordering ord = Ordering::identity(5);
+  EXPECT_TRUE(ord.validate());
+  EXPECT_EQ(ord.new_to_old[3], 3);
+}
+
+TEST(Ordering, FromNewToOldRejectsNonPermutation) {
+  EXPECT_THROW(Ordering::from_new_to_old({0, 0, 1}), InvalidArgument);
+  EXPECT_THROW(Ordering::from_new_to_old({0, 3}), InvalidArgument);
+}
+
+TEST(Ordering, PermuteSymmetricPreservesEntries) {
+  Rng rng(4);
+  const auto a = gen::random_spd(12, 0.3, rng);
+  const Ordering ord = reverse_cuthill_mckee(Graph::from_pattern(a));
+  const auto b = permute_symmetric(a, ord);
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      EXPECT_DOUBLE_EQ(b.at(ord.old_to_new[i], ord.old_to_new[j]),
+                       a.at(i, j));
+    }
+  }
+}
+
+TEST(Ordering, VectorPermutationRoundTrip) {
+  const Ordering ord = Ordering::from_new_to_old({2, 0, 1});
+  std::vector<real_t> v{10, 20, 30}, p(3), u(3);
+  permute_vector<real_t>(ord, v, p);
+  EXPECT_DOUBLE_EQ(p[0], 30.0);  // new 0 holds old 2
+  unpermute_vector<real_t>(ord, p, u);
+  EXPECT_EQ(u, v);
+}
+
+TEST(Rcm, ValidPermutationOnGrid) {
+  const Graph g = grid_graph(8, 8);
+  const Ordering ord = reverse_cuthill_mckee(g);
+  EXPECT_TRUE(ord.validate());
+}
+
+TEST(Rcm, ReducesBandwidthVsNatural) {
+  // A long thin grid ordered column-major has bandwidth nx*ny-ish on the
+  // wrong axis; RCM should do no worse than the natural ordering.
+  const Graph g = grid_graph(30, 3);
+  const Ordering rcm = reverse_cuthill_mckee(g);
+  auto bandwidth = [&](const Ordering& ord) {
+    index_t bw = 0;
+    for (index_t v = 0; v < g.num_vertices(); ++v) {
+      for (const index_t u : g.neighbors(v)) {
+        bw = std::max(bw, std::abs(ord.old_to_new[v] - ord.old_to_new[u]));
+      }
+    }
+    return bw;
+  };
+  EXPECT_LE(bandwidth(rcm), bandwidth(Ordering::identity(g.num_vertices())));
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two disjoint paths: 0-1-2 and 3-4.
+  Triplets<real_t> t(5, 5);
+  t.add_sym(1, 0, 1.0);
+  t.add_sym(2, 1, 1.0);
+  t.add_sym(4, 3, 1.0);
+  for (index_t i = 0; i < 5; ++i) t.add(i, i, 1.0);
+  const Ordering ord = reverse_cuthill_mckee(Graph::from_pattern(t.to_csc()));
+  EXPECT_TRUE(ord.validate());
+}
+
+TEST(MinimumDegree, ValidPermutation) {
+  const Graph g = grid_graph(10, 10);
+  const Ordering ord = minimum_degree(g);
+  EXPECT_TRUE(ord.validate());
+}
+
+TEST(MinimumDegree, BeatsNaturalFillOnGrid) {
+  const Graph g = grid_graph(12, 12);
+  const size_type md = cholesky_fill(g, minimum_degree(g));
+  const size_type nat = cholesky_fill(g, Ordering::identity(g.num_vertices()));
+  EXPECT_LT(md, nat);
+}
+
+TEST(NestedDissection, ValidPermutation) {
+  const Graph g = grid_graph(20, 20);
+  const Ordering ord = nested_dissection(g);
+  EXPECT_TRUE(ord.validate());
+}
+
+TEST(NestedDissection, BeatsRcmFillOnGrid) {
+  const Graph g = grid_graph(24, 24);
+  const size_type nd = cholesky_fill(g, nested_dissection(g));
+  const size_type rcm = cholesky_fill(g, reverse_cuthill_mckee(g));
+  EXPECT_LT(nd, rcm);
+}
+
+TEST(NestedDissection, DeterministicForFixedSeed) {
+  const Graph g = grid_graph(15, 15);
+  NestedDissectionOptions opts;
+  opts.seed = 7;
+  const Ordering a = nested_dissection(g, opts);
+  const Ordering b = nested_dissection(g, opts);
+  EXPECT_EQ(a.new_to_old, b.new_to_old);
+}
+
+TEST(NestedDissection, HandlesDisconnectedGraph) {
+  Triplets<real_t> t(200, 200);
+  for (index_t i = 0; i < 100; i += 1) t.add(i, i, 1.0);
+  // Component 1: a path on [0,100); component 2: a path on [100,200).
+  for (index_t i = 0; i + 1 < 100; ++i) t.add_sym(i + 1, i, -1.0);
+  for (index_t i = 100; i + 1 < 200; ++i) t.add_sym(i + 1, i, -1.0);
+  const Ordering ord = nested_dissection(Graph::from_pattern(t.to_csc()));
+  EXPECT_TRUE(ord.validate());
+}
+
+TEST(NestedDissection, TinyGraphFallsBackToLeafOrdering) {
+  const Graph g = grid_graph(3, 2);
+  NestedDissectionOptions opts;
+  opts.leaf_size = 96;
+  const Ordering ord = nested_dissection(g, opts);
+  EXPECT_TRUE(ord.validate());
+}
+
+TEST(PermuteGraph, PreservesStructure) {
+  const Graph g = grid_graph(6, 6);
+  const Ordering ord = reverse_cuthill_mckee(g);
+  const Graph pg = permute_graph(g, ord);
+  EXPECT_TRUE(pg.validate());
+  EXPECT_EQ(pg.num_edges(), g.num_edges());
+  // Edge (u,v) in g <=> (old_to_new[u], old_to_new[v]) in pg.
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    for (const index_t u : g.neighbors(v)) {
+      const auto nb = pg.neighbors(ord.old_to_new[v]);
+      EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(),
+                                     ord.old_to_new[u]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spx

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mat/generators.hpp"
+#include "mat/mm_io.hpp"
+#include "mat/surrogates.hpp"
+#include "mat/triplets.hpp"
+
+namespace spx {
+namespace {
+
+TEST(Triplets, SumsDuplicates) {
+  Triplets<real_t> t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 1, 5.0);
+  const auto a = t.to_csc();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(Triplets, SortsRowsWithinColumns) {
+  Triplets<real_t> t(4, 2);
+  t.add(3, 0, 1.0);
+  t.add(1, 0, 2.0);
+  t.add(2, 0, 3.0);
+  const auto a = t.to_csc();
+  const auto rows = a.col_rows(0);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0] < rows[1] && rows[1] < rows[2]);
+}
+
+TEST(Csc, RejectsBadStructure) {
+  // colptr not matching rowind size.
+  EXPECT_THROW(CscMatrix<real_t>(2, 2, {0, 1, 3}, {0}, {1.0}),
+               InvalidArgument);
+  // unsorted rows.
+  EXPECT_THROW(CscMatrix<real_t>(2, 1, {0, 2}, {1, 0}, {1.0, 2.0}),
+               InvalidArgument);
+}
+
+TEST(Csc, MultiplyMatchesManual) {
+  // [[2,1],[0,3]] * [1,2] = [4,6]
+  Triplets<real_t> t(2, 2);
+  t.add(0, 0, 2.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 1, 3.0);
+  const auto a = t.to_csc();
+  std::vector<real_t> x{1.0, 2.0}, y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Csc, TransposeInvolution) {
+  Rng rng(1);
+  const auto a = gen::random_unsym(20, 0.2, rng);
+  const auto att = a.transposed().transposed();
+  EXPECT_EQ(att.nnz(), a.nnz());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      EXPECT_EQ(att.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(Generators, Grid2dIsSymmetricLaplacian) {
+  const auto a = gen::grid2d_laplacian(5, 4);
+  EXPECT_EQ(a.nrows(), 20);
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(5, 0), -1.0);  // +y neighbour at nx=5
+}
+
+TEST(Generators, Grid3dStencilSize) {
+  const auto a = gen::grid3d_laplacian(4, 4, 4);
+  EXPECT_EQ(a.nrows(), 64);
+  EXPECT_TRUE(a.is_symmetric());
+  // Interior vertex has 7 entries in its column.
+  const index_t c = (1 * 4 + 1) * 4 + 1;
+  EXPECT_EQ(static_cast<int>(a.col_rows(c).size()), 7);
+}
+
+TEST(Generators, ElasticityIsSymmetricWithThreeDof) {
+  const auto a = gen::elasticity3d(3, 3, 3);
+  EXPECT_EQ(a.nrows(), 81);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(Generators, HelmholtzIsComplexSymmetricNotHermitian) {
+  const auto a = gen::helmholtz3d(4, 4, 4);
+  EXPECT_TRUE(a.is_symmetric());  // plain-transpose symmetric
+  // Diagonal has nonzero imaginary part => not Hermitian.
+  EXPECT_NE(a.at(0, 0).imag(), 0.0);
+}
+
+TEST(Generators, FilterIsStructurallySymmetricValueUnsym) {
+  const auto a = gen::filter3d(3, 3, 3);
+  EXPECT_FALSE(a.is_symmetric());
+  // Structural symmetry: pattern of A equals pattern of A^T.
+  const auto at = a.transposed();
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto ra = a.col_rows(j);
+    const auto rb = at.col_rows(j);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t kk = 0; kk < ra.size(); ++kk) EXPECT_EQ(ra[kk], rb[kk]);
+  }
+}
+
+TEST(Generators, ConvectionDiffusionUnsymmetric) {
+  const auto a = gen::convection_diffusion3d(4, 4, 4, 50.0);
+  EXPECT_FALSE(a.is_symmetric());
+  // Diagonal dominance (stability for no-pivot LU).
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    double off = 0.0;
+    for (std::size_t kk = 0; kk < a.col_rows(j).size(); ++kk) {
+      const index_t r = a.col_rows(j)[kk];
+      if (r != j) off += std::abs(a.col_values(j)[kk]);
+    }
+    EXPECT_GE(a.at(j, j), off - 1e-12);
+  }
+}
+
+TEST(Generators, RandomSpdIsSymmetric) {
+  Rng rng(9);
+  const auto a = gen::random_spd(30, 0.2, rng);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(MmIo, RoundTripReal) {
+  Rng rng(2);
+  const auto a = gen::random_unsym(15, 0.3, rng);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market<real_t>(ss);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      EXPECT_DOUBLE_EQ(b.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(MmIo, RoundTripComplex) {
+  Rng rng(3);
+  const auto a = gen::random_complex_sym(10, 0.3, rng);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market<complex_t>(ss);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  EXPECT_EQ(b.at(3, 2), a.at(3, 2));
+}
+
+TEST(MmIo, ReadsSymmetricHeader) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 3 5.0\n";
+  std::stringstream ss(text);
+  const auto a = read_matrix_market<real_t>(ss);
+  EXPECT_EQ(a.nnz(), 4);  // mirrored off-diagonal
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+}
+
+TEST(MmIo, RejectsGarbage) {
+  std::stringstream ss("not a matrix\n");
+  EXPECT_THROW(read_matrix_market<real_t>(ss), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spx
+
+// ---- Table-I surrogate registry ----------------------------------------
+
+namespace spx {
+namespace {
+
+TEST(Surrogates, RegistryHasNineInPaperOrder) {
+  const auto& specs = paper_surrogates();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs.front().name, "afshell10");
+  EXPECT_EQ(specs.back().name, "Serena");
+  // Paper flop column is ascending.
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GE(specs[i].paper_tflop, specs[i - 1].paper_tflop);
+  }
+  int d = 0, z = 0;
+  for (const auto& s : specs) (s.prec == Precision::D ? d : z)++;
+  EXPECT_EQ(d, 7);
+  EXPECT_EQ(z, 2);
+}
+
+TEST(Surrogates, LookupIsCaseInsensitive) {
+  EXPECT_EQ(surrogate_by_name("serena").name, "Serena");
+  EXPECT_EQ(surrogate_by_name("HOOK").name, "HOOK");
+  EXPECT_THROW(surrogate_by_name("nope"), InvalidArgument);
+}
+
+TEST(Surrogates, ScaleGrowsUnknownsProportionally) {
+  const SurrogateSpec& flan = surrogate_by_name("Flan");   // 3D
+  const SurrogateSpec& af = surrogate_by_name("afshell10");  // 2D
+  // Volume scaling: x8 flops ~ x2 linear dimension in 3D, x? in 2D.
+  EXPECT_EQ(scaled_dim(flan, 8.0), 2 * scaled_dim(flan, 1.0));
+  EXPECT_EQ(scaled_dim(af, 4.0), 2 * scaled_dim(af, 1.0));
+  EXPECT_GE(scaled_dim(flan, 1e-9), 4);  // floor guards tiny scales
+}
+
+TEST(Surrogates, PrecisionGuards) {
+  EXPECT_THROW(build_surrogate_z(surrogate_by_name("Flan"), 0.1),
+               InvalidArgument);
+  EXPECT_THROW(build_surrogate_d(surrogate_by_name("pmlDF"), 0.1),
+               InvalidArgument);
+  const auto a = build_surrogate_d(surrogate_by_name("audi"), 0.02);
+  EXPECT_EQ(a.ncols() % 3, 0);  // elasticity: 3 dofs per node
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+}  // namespace
+}  // namespace spx

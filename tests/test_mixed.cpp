@@ -1,0 +1,84 @@
+// Mixed-precision (float factorization + double refinement) tests.
+#include <gtest/gtest.h>
+
+#include "core/mixed.hpp"
+#include "core/solver.hpp"
+#include "mat/generators.hpp"
+
+namespace spx {
+namespace {
+
+TEST(MixedPrecision, ConvergesToDoubleAccuracy) {
+  const auto a = gen::grid3d_laplacian(7, 7, 7);
+  MixedPrecisionSolver solver;
+  solver.factorize(a, Factorization::LLT);
+  Rng rng(500);
+  std::vector<real_t> xstar(a.ncols()), b(a.ncols()), x(a.ncols());
+  for (auto& v : xstar) v = rng.uniform(-1, 1);
+  a.multiply(xstar, b);
+  const MixedSolveReport rep = solver.solve(b, x, 1e-12);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_LE(rep.residual, 1e-12);
+  EXPECT_GE(rep.iterations, 2);   // float alone cannot reach 1e-12
+  EXPECT_LE(rep.iterations, 10);  // but refinement converges fast
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(x[i] - xstar[i]));
+  }
+  EXPECT_LT(err, 1e-10);
+}
+
+TEST(MixedPrecision, SingleSweepMatchesFloatAccuracyOnly) {
+  const auto a = gen::grid2d_laplacian(15, 15);
+  MixedPrecisionSolver solver;
+  solver.factorize(a, Factorization::LLT);
+  Rng rng(501);
+  std::vector<real_t> xstar(a.ncols()), b(a.ncols()), x(a.ncols());
+  for (auto& v : xstar) v = rng.uniform(-1, 1);
+  a.multiply(xstar, b);
+  const MixedSolveReport rep = solver.solve(b, x, 1e-30, 1);
+  EXPECT_FALSE(rep.converged);
+  // A single float-precision solve lands around 1e-5..1e-7 relative.
+  EXPECT_LT(rep.residual, 1e-3);
+  EXPECT_GT(rep.residual, 1e-12);
+}
+
+TEST(MixedPrecision, WorksForLdltAndLu) {
+  Rng rng(502);
+  {
+    const auto a = gen::random_sym_indefinite(120, 0.05, rng);
+    MixedPrecisionSolver solver;
+    solver.factorize(a, Factorization::LDLT);
+    std::vector<real_t> b(a.ncols(), 1.0), x(a.ncols());
+    EXPECT_TRUE(solver.solve(b, x, 1e-11).converged);
+  }
+  {
+    const auto a = gen::convection_diffusion3d(5, 5, 5, 10.0);
+    MixedPrecisionSolver solver;
+    solver.factorize(a, Factorization::LU);
+    std::vector<real_t> b(a.ncols(), 1.0), x(a.ncols());
+    EXPECT_TRUE(solver.solve(b, x, 1e-11).converged);
+  }
+}
+
+TEST(MixedPrecision, UsesHalfTheFactorMemory) {
+  const auto a = gen::grid3d_laplacian(6, 6, 6);
+  MixedPrecisionSolver mixed;
+  mixed.factorize(a, Factorization::LLT);
+  Solver<real_t> full;
+  full.factorize(a, Factorization::LLT);
+  // Same structure, half the scalar width (FactorData::bytes covers L).
+  const Analysis an = analyze(a);
+  const std::size_t expect_float =
+      static_cast<std::size_t>(an.structure.factor_entries) * sizeof(float);
+  EXPECT_EQ(mixed.factor_bytes(), expect_float);
+}
+
+TEST(MixedPrecision, ThrowsWithoutFactorize) {
+  MixedPrecisionSolver solver;
+  std::vector<real_t> b(4, 1.0), x(4);
+  EXPECT_THROW(solver.solve(b, x), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spx

@@ -1,0 +1,593 @@
+// Scheduler and real-driver tests: dependency correctness, implicit
+// dependency inference, commute exclusion, and end-to-end numerical
+// factorization through every runtime with multiple worker threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/sequential.hpp"
+#include "core/solve.hpp"
+#include "core/solver.hpp"
+#include "mat/generators.hpp"
+#include "runtime/access_deps.hpp"
+#include "runtime/flop_costs.hpp"
+#include "runtime/native_scheduler.hpp"
+#include "runtime/parsec_scheduler.hpp"
+#include "runtime/real_driver.hpp"
+#include "runtime/starpu_scheduler.hpp"
+#include "test_support.hpp"
+
+namespace spx {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// ---------- ImplicitDeps (StarPU submission semantics) -----------------
+
+TEST(ImplicitDeps, ReadAfterWrite) {
+  ImplicitDeps deps(1, 3);
+  const Access w[] = {{0, AccessMode::Write}};
+  const Access r[] = {{0, AccessMode::Read}};
+  deps.submit(0, w);
+  deps.submit(1, r);
+  deps.submit(2, r);
+  EXPECT_EQ(deps.in_count()[0], 0);
+  EXPECT_EQ(deps.in_count()[1], 1);
+  EXPECT_EQ(deps.in_count()[2], 1);
+  EXPECT_EQ(deps.successors()[0].size(), 2u);
+}
+
+TEST(ImplicitDeps, WriteAfterReadersWaitsForAll) {
+  ImplicitDeps deps(1, 4);
+  const Access w[] = {{0, AccessMode::Write}};
+  const Access r[] = {{0, AccessMode::Read}};
+  deps.submit(0, w);
+  deps.submit(1, r);
+  deps.submit(2, r);
+  deps.submit(3, w);
+  // Writer 0 plus both readers (no transitive reduction, like StarPU).
+  EXPECT_EQ(deps.in_count()[3], 3);
+}
+
+TEST(ImplicitDeps, CommuteGroupMembersIndependent) {
+  ImplicitDeps deps(1, 5);
+  const Access w[] = {{0, AccessMode::Write}};
+  const Access c[] = {{0, AccessMode::CommuteRW}};
+  deps.submit(0, w);
+  deps.submit(1, c);
+  deps.submit(2, c);
+  deps.submit(3, c);
+  deps.submit(4, w);
+  // Each commute member depends only on the initial writer...
+  EXPECT_EQ(deps.in_count()[1], 1);
+  EXPECT_EQ(deps.in_count()[2], 1);
+  EXPECT_EQ(deps.in_count()[3], 1);
+  // ...and the closing writer on all three members.
+  EXPECT_EQ(deps.in_count()[4], 3);
+}
+
+TEST(ImplicitDeps, ReadClosesCommuteGroup) {
+  ImplicitDeps deps(1, 4);
+  const Access c[] = {{0, AccessMode::CommuteRW}};
+  const Access r[] = {{0, AccessMode::Read}};
+  deps.submit(0, c);
+  deps.submit(1, r);   // reads the group's result
+  deps.submit(2, c);   // new group: must wait for the reader
+  deps.submit(3, c);   // same new group
+  EXPECT_EQ(deps.in_count()[1], 1);
+  EXPECT_EQ(deps.in_count()[2], 2);  // group member 0 + reader 1
+  EXPECT_EQ(deps.in_count()[3], 2);
+}
+
+TEST(ImplicitDeps, MatchesStructureCountersOnRealDag) {
+  // The inferred graph must give factor(p) exactly in_degree[p]
+  // predecessors-via-updates and each update exactly one (its source
+  // factor) plus possibly none from the commute group.
+  const Analysis an = analyze(gen::grid3d_laplacian(5, 5, 5));
+  const SymbolicStructure& st = an.structure;
+  TaskTable table(st, Factorization::LLT);
+  Machine machine(2);
+  FlopCosts costs(table);
+  StarpuScheduler sched(table, machine, costs);
+  const auto& in = sched.deps().in_count();
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    EXPECT_EQ(in[table.id_of({TaskKind::Panel, p, -1})], st.in_degree[p])
+        << "panel " << p;
+    for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
+         ++e) {
+      // update (p,e) waits for factor(p) and, transitively through the
+      // commute group, nothing else.
+      EXPECT_EQ(in[table.id_of({TaskKind::Update, p, e})], 1);
+    }
+  }
+}
+
+// ---------- generic scheduler executor (sanity harness) -----------------
+
+// Executes a scheduler single-threaded in a loop, recording order, and
+// verifies dependency safety invariants on the fly.
+void drive_and_check(Scheduler& sched, const TaskTable& table,
+                     int num_resources = 4) {
+  const SymbolicStructure& st = table.structure();
+  sched.reset();
+  std::vector<char> factor_done(st.num_panels(), 0);
+  std::vector<index_t> updates_in(st.num_panels(), 0);
+  index_t executed = 0;
+  while (!sched.finished()) {
+    // Pop a batch (one task per "worker") before completing anything: this
+    // also checks mutual exclusion of concurrent updates into one panel.
+    std::vector<std::pair<Task, int>> batch;
+    std::vector<char> dst_in_flight(st.num_panels(), 0);
+    for (int r = 0; r < num_resources; ++r) {
+      Task t;
+      if (!sched.try_pop(r, &t)) continue;
+      if (t.kind == TaskKind::Update) {
+        const index_t dst = st.targets[t.panel][t.edge].dst;
+        ASSERT_FALSE(dst_in_flight[dst])
+            << "two concurrent updates into panel " << dst;
+        dst_in_flight[dst] = 1;
+      }
+      batch.emplace_back(t, r);
+    }
+    ASSERT_FALSE(batch.empty()) << "scheduler stalled with work remaining";
+    for (const auto& [t, r] : batch) {
+      ++executed;
+      if (t.kind == TaskKind::Subtree) {
+        const SubtreeGroups& g = *sched.subtree_groups();
+        for (const index_t m : g.members[t.panel]) {
+          ASSERT_FALSE(factor_done[m]);
+          factor_done[m] = 1;
+          executed += static_cast<index_t>(st.targets[m].size());
+          for (const UpdateEdge& e : st.targets[m]) updates_in[e.dst]++;
+        }
+        // The outer ++executed counted one unit; add the other members'.
+        executed += static_cast<index_t>(g.members[t.panel].size()) - 1;
+      } else if (t.kind == TaskKind::Panel) {
+        ASSERT_FALSE(factor_done[t.panel]);
+        ASSERT_EQ(updates_in[t.panel], st.in_degree[t.panel])
+            << "factor ran before all updates arrived";
+        factor_done[t.panel] = 1;
+      } else {
+        ASSERT_TRUE(factor_done[t.panel]);
+        updates_in[st.targets[t.panel][t.edge].dst]++;
+      }
+      sched.on_complete(t, r);
+    }
+  }
+  EXPECT_EQ(executed, table.num_tasks());
+}
+
+TEST(Schedulers, NativeRespectsDependencies) {
+  const Analysis an = analyze(gen::grid2d_laplacian(17, 17));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(4);
+  FlopCosts costs(table);
+  NativeScheduler sched(table, machine, costs);
+  drive_and_check(sched, table);
+}
+
+TEST(Schedulers, StarpuDmdaRespectsDependencies) {
+  const Analysis an = analyze(gen::grid2d_laplacian(17, 17));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(4);
+  FlopCosts costs(table);
+  StarpuScheduler sched(table, machine, costs);
+  drive_and_check(sched, table);
+}
+
+TEST(Schedulers, StarpuEagerRespectsDependencies) {
+  const Analysis an = analyze(gen::grid2d_laplacian(17, 17));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(4);
+  FlopCosts costs(table);
+  StarpuOptions opts;
+  opts.policy = StarpuOptions::Policy::Eager;
+  StarpuScheduler sched(table, machine, costs, opts);
+  drive_and_check(sched, table);
+}
+
+TEST(Schedulers, ParsecRespectsDependencies) {
+  const Analysis an = analyze(gen::grid2d_laplacian(17, 17));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(4);
+  FlopCosts costs(table);
+  ParsecScheduler sched(table, machine, costs);
+  drive_and_check(sched, table);
+}
+
+TEST(Schedulers, ResetAllowsRerun) {
+  const Analysis an = analyze(gen::grid2d_laplacian(9, 9));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(2);
+  FlopCosts costs(table);
+  ParsecScheduler sched(table, machine, costs);
+  drive_and_check(sched, table, 2);
+  drive_and_check(sched, table, 2);  // must work twice
+}
+
+TEST(TaskTable, IdRoundTrip) {
+  const Analysis an = analyze(gen::grid2d_laplacian(11, 11));
+  TaskTable table(an.structure, Factorization::LU);
+  for (index_t id = 0; id < table.num_tasks(); ++id) {
+    EXPECT_EQ(table.id_of(table.task_of(id)), id);
+  }
+}
+
+TEST(TaskTable, BottomLevelsDecreaseTowardRoot) {
+  const Analysis an = analyze(gen::grid2d_laplacian(11, 11));
+  TaskTable table(an.structure, Factorization::LLT);
+  FlopCosts costs(table);
+  const auto levels = table.bottom_levels(costs);
+  const SymbolicStructure& st = an.structure;
+  // A panel's level strictly exceeds any of its targets' levels.
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    for (const UpdateEdge& e : st.targets[p]) {
+      EXPECT_GT(levels[p], levels[e.dst]);
+    }
+  }
+}
+
+// ---------- end-to-end numerical factorization through the runtimes ----
+
+struct RtCase {
+  RuntimeKind runtime;
+  int threads;
+  int gpu_streams;
+};
+
+class RuntimeNumerics : public ::testing::TestWithParam<RtCase> {};
+
+TEST_P(RuntimeNumerics, CholeskyResidual) {
+  const RtCase c = GetParam();
+  SolverOptions opts;
+  opts.runtime = c.runtime;
+  opts.num_threads = c.threads;
+  opts.num_gpu_streams = c.gpu_streams;
+  Solver<real_t> solver(opts);
+  const auto a = gen::grid3d_laplacian(6, 6, 6);
+  solver.factorize(a, Factorization::LLT);
+  Rng rng(77);
+  std::vector<real_t> x(a.ncols()), b(a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.multiply(x, b);
+  std::vector<real_t> got = b;
+  solver.solve(got);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(got[i] - x[i]));
+  }
+  EXPECT_LT(err, kTol);
+}
+
+TEST_P(RuntimeNumerics, LdltResidual) {
+  const RtCase c = GetParam();
+  if (c.runtime == RuntimeKind::Native && c.gpu_streams > 0) GTEST_SKIP();
+  SolverOptions opts;
+  opts.runtime = c.runtime;
+  opts.num_threads = c.threads;
+  opts.num_gpu_streams = c.gpu_streams;
+  Solver<real_t> solver(opts);
+  Rng rng(79);
+  const auto a = gen::random_sym_indefinite(150, 0.04, rng);
+  solver.factorize(a, Factorization::LDLT);
+  std::vector<real_t> x(a.ncols()), b(a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.multiply(x, b);
+  std::vector<real_t> got = b;
+  solver.solve(got);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(got[i] - x[i]));
+  }
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST_P(RuntimeNumerics, LuResidual) {
+  const RtCase c = GetParam();
+  SolverOptions opts;
+  opts.runtime = c.runtime;
+  opts.num_threads = c.threads;
+  opts.num_gpu_streams = c.gpu_streams;
+  Solver<real_t> solver(opts);
+  const auto a = gen::convection_diffusion3d(6, 6, 5, 12.0);
+  solver.factorize(a, Factorization::LU);
+  Rng rng(81);
+  std::vector<real_t> x(a.ncols()), b(a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.multiply(x, b);
+  std::vector<real_t> got = b;
+  solver.solve(got);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(got[i] - x[i]));
+  }
+  EXPECT_LT(err, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, RuntimeNumerics,
+    ::testing::Values(RtCase{RuntimeKind::Sequential, 1, 0},
+                      RtCase{RuntimeKind::Native, 1, 0},
+                      RtCase{RuntimeKind::Native, 4, 0},
+                      RtCase{RuntimeKind::Starpu, 4, 0},
+                      RtCase{RuntimeKind::Starpu, 4, 2},
+                      RtCase{RuntimeKind::Parsec, 4, 0},
+                      RtCase{RuntimeKind::Parsec, 4, 2}),
+    [](const auto& info) {
+      const RtCase& c = info.param;
+      return std::string(to_string(c.runtime)) + "_t" +
+             std::to_string(c.threads) + "_g" +
+             std::to_string(c.gpu_streams);
+    });
+
+TEST(RuntimeNumerics, ComplexLdltThroughParsec) {
+  SolverOptions opts;
+  opts.runtime = RuntimeKind::Parsec;
+  opts.num_threads = 3;
+  Solver<complex_t> solver(opts);
+  const auto a = gen::helmholtz3d(6, 6, 5);
+  solver.factorize(a, Factorization::LDLT);
+  Rng rng(83);
+  std::vector<complex_t> x(a.ncols()), b(a.ncols());
+  for (auto& v : x) v = rng.scalar<complex_t>();
+  a.multiply(x, b);
+  std::vector<complex_t> got = b;
+  solver.solve(got);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, (double)std::abs(got[i] - x[i]));
+  }
+  EXPECT_LT(err, kTol);
+}
+
+TEST(RuntimeNumerics, RuntimesProduceSameFactorsAsSequential) {
+  const auto a = gen::grid3d_laplacian(5, 5, 5);
+  const Analysis an = analyze(a);
+  const auto ap = permute_symmetric(a, an.perm);
+
+  FactorData<real_t> ref(an.structure, Factorization::LLT);
+  ref.initialize(ap);
+  factorize_sequential(ref);
+
+  for (const RuntimeKind rt :
+       {RuntimeKind::Native, RuntimeKind::Starpu, RuntimeKind::Parsec}) {
+    FactorData<real_t> f(an.structure, Factorization::LLT);
+    f.initialize(ap);
+    TaskTable table(an.structure, Factorization::LLT);
+    Machine machine(4);
+    FlopCosts costs(table);
+    std::unique_ptr<Scheduler> sched;
+    if (rt == RuntimeKind::Native) {
+      sched = std::make_unique<NativeScheduler>(table, machine, costs);
+    } else if (rt == RuntimeKind::Starpu) {
+      sched = std::make_unique<StarpuScheduler>(table, machine, costs);
+    } else {
+      sched = std::make_unique<ParsecScheduler>(table, machine, costs);
+    }
+    execute_real(*sched, machine, f);
+    for (index_t p = 0; p < an.structure.num_panels(); ++p) {
+      const Panel& panel = an.structure.panels[p];
+      const real_t* l1 = ref.panel_l(p);
+      const real_t* l2 = f.panel_l(p);
+      for (index_t j = 0; j < panel.width(); ++j) {
+        for (index_t i = j; i < panel.nrows; ++i) {
+          EXPECT_NEAR(l1[i + (std::size_t)j * panel.nrows],
+                      l2[i + (std::size_t)j * panel.nrows], 1e-10)
+              << to_string(rt) << " panel " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(RuntimeNumerics, RefinementConverges) {
+  SolverOptions opts;
+  opts.runtime = RuntimeKind::Parsec;
+  opts.num_threads = 2;
+  Solver<real_t> solver(opts);
+  const auto a = gen::grid2d_laplacian(20, 20);
+  solver.factorize(a, Factorization::LLT);
+  Rng rng(85);
+  std::vector<real_t> x(a.ncols()), b(a.ncols()), got(a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.multiply(x, b);
+  const int iters = solver.solve_refine(a, b, got, 1e-14);
+  EXPECT_LE(iters, 3);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(got[i] - x[i]));
+  }
+  EXPECT_LT(err, 1e-11);
+}
+
+TEST(Solver, ThrowsWithoutFactorize) {
+  Solver<real_t> solver;
+  std::vector<real_t> b(4, 1.0);
+  EXPECT_THROW(solver.solve(b), InvalidArgument);
+}
+
+TEST(Solver, RejectsComplexCholesky) {
+  Solver<complex_t> solver;
+  const auto a = gen::helmholtz3d(3, 3, 3);
+  EXPECT_THROW(solver.factorize(a, Factorization::LLT), InvalidArgument);
+}
+
+TEST(Solver, PropagatesNumericalErrorFromThreads) {
+  SolverOptions opts;
+  opts.runtime = RuntimeKind::Parsec;
+  opts.num_threads = 3;
+  Solver<real_t> solver(opts);
+  // Indefinite matrix through Cholesky must throw, not hang or crash.
+  Rng rng(87);
+  const auto a = gen::random_sym_indefinite(80, 0.05, rng);
+  EXPECT_THROW(solver.factorize(a, Factorization::LLT), NumericalError);
+}
+
+}  // namespace
+}  // namespace spx
+
+// ---------- subtree merging (paper future work) -------------------------
+
+namespace spx {
+namespace {
+
+TEST(SubtreeMerge, ZeroThresholdGroupsNothing) {
+  const Analysis an = analyze(gen::grid2d_laplacian(15, 15));
+  TaskTable table(an.structure, Factorization::LLT);
+  FlopCosts costs(table);
+  const SubtreeGroups g = merge_subtrees(an.structure, costs, 0.0);
+  EXPECT_EQ(g.num_groups, 0);
+  for (index_t p = 0; p < an.structure.num_panels(); ++p) {
+    EXPECT_FALSE(g.grouped(p));
+  }
+}
+
+TEST(SubtreeMerge, GroupsAreCompleteSubtreesAndDisjoint) {
+  const Analysis an = analyze(gen::grid3d_laplacian(9, 9, 9));
+  TaskTable table(an.structure, Factorization::LLT);
+  FlopCosts costs(table);
+  const SubtreeGroups g = merge_subtrees(an.structure, costs, 1e-3);
+  ASSERT_GT(g.num_groups, 0);
+  const SymbolicStructure& st = an.structure;
+  index_t grouped_panels = 0;
+  for (index_t root = 0; root < st.num_panels(); ++root) {
+    if (g.members[root].empty()) continue;
+    EXPECT_EQ(g.root_of[root], root);
+    for (const index_t m : g.members[root]) {
+      EXPECT_EQ(g.root_of[m], root);
+      ++grouped_panels;
+      // No update edge may enter the group from outside (checked also by
+      // the builder's internal assertion; verify independently here).
+    }
+  }
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    for (const UpdateEdge& e : st.targets[p]) {
+      if (g.grouped(e.dst)) {
+        EXPECT_EQ(g.root_of[p], g.root_of[e.dst])
+            << "external edge enters group at panel " << e.dst;
+      }
+    }
+  }
+  EXPECT_GT(grouped_panels, 0);
+}
+
+TEST(SubtreeMerge, LargerThresholdGroupsMore) {
+  const Analysis an = analyze(gen::grid3d_laplacian(9, 9, 9));
+  TaskTable table(an.structure, Factorization::LLT);
+  FlopCosts costs(table);
+  index_t small_grouped = 0, big_grouped = 0;
+  const SubtreeGroups gs = merge_subtrees(an.structure, costs, 1e-4);
+  const SubtreeGroups gb = merge_subtrees(an.structure, costs, 1e-1);
+  for (index_t p = 0; p < an.structure.num_panels(); ++p) {
+    small_grouped += gs.grouped(p) ? 1 : 0;
+    big_grouped += gb.grouped(p) ? 1 : 0;
+  }
+  EXPECT_GE(big_grouped, small_grouped);
+}
+
+TEST(SubtreeMerge, ParsecSchedulerInvariantsWithGroups) {
+  const Analysis an = analyze(gen::grid2d_laplacian(17, 17));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(4);
+  FlopCosts costs(table);
+  ParsecOptions opts;
+  opts.subtree_merge_seconds = 1e-3;
+  ParsecScheduler sched(table, machine, costs, opts);
+  ASSERT_NE(sched.subtree_groups(), nullptr);
+  drive_and_check(sched, table);
+}
+
+TEST(SubtreeMerge, NumericalResultUnchanged) {
+  const auto a = gen::grid3d_laplacian(7, 7, 7);
+  for (const double merge : {0.0, 1e-3, 1e-1}) {
+    SolverOptions opts;
+    opts.runtime = RuntimeKind::Parsec;
+    opts.num_threads = 3;
+    opts.parsec.subtree_merge_seconds = merge;
+    Solver<real_t> solver(opts);
+    solver.factorize(a, Factorization::LLT);
+    Rng rng(91);
+    std::vector<real_t> x(a.ncols()), b(a.ncols());
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    a.multiply(x, b);
+    std::vector<real_t> got = b;
+    solver.solve(got);
+    double err = 0;
+    for (index_t i = 0; i < a.ncols(); ++i) {
+      err = std::max(err, std::abs(got[i] - x[i]));
+    }
+    EXPECT_LT(err, 1e-9) << "merge threshold " << merge;
+  }
+}
+
+TEST(SubtreeMerge, LdltWithGroupsStaysCorrect) {
+  Rng rng(93);
+  const auto a = gen::random_sym_indefinite(150, 0.04, rng);
+  SolverOptions opts;
+  opts.runtime = RuntimeKind::Parsec;
+  opts.num_threads = 3;
+  opts.parsec.subtree_merge_seconds = 1e-2;
+  Solver<real_t> solver(opts);
+  solver.factorize(a, Factorization::LDLT);
+  std::vector<real_t> x(a.ncols()), b(a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.multiply(x, b);
+  std::vector<real_t> got = b;
+  solver.solve(got);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(got[i] - x[i]));
+  }
+  EXPECT_LT(err, 1e-7);
+}
+
+}  // namespace
+}  // namespace spx
+
+// ---------- proportional static mapping (native option) -----------------
+
+namespace spx {
+namespace {
+
+TEST(NativeMapping, ProportionalRespectsDependencies) {
+  const Analysis an = analyze(gen::grid2d_laplacian(17, 17));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(4);
+  FlopCosts costs(table);
+  NativeOptions opts;
+  opts.mapping = NativeOptions::Mapping::Proportional;
+  NativeScheduler sched(table, machine, costs, opts);
+  drive_and_check(sched, table);
+}
+
+TEST(NativeMapping, ProportionalSolvesNumerically) {
+  const auto a = gen::grid3d_laplacian(6, 6, 6);
+  const Analysis an = analyze(a);
+  FactorData<real_t> f(an.structure, Factorization::LLT);
+  f.initialize(permute_symmetric(a, an.perm));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(3);
+  FlopCosts costs(table);
+  NativeOptions opts;
+  opts.mapping = NativeOptions::Mapping::Proportional;
+  NativeScheduler sched(table, machine, costs, opts);
+  RealDriverOptions dopts;
+  dopts.fused_ldlt = false;
+  execute_real(sched, machine, f, dopts);
+  Rng rng(95);
+  std::vector<real_t> x(a.ncols()), b(a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.multiply(x, b);
+  std::vector<real_t> pb(b.size()), out(b.size());
+  permute_vector<real_t>(an.perm, b, pb);
+  solve_permuted(f, std::span<real_t>(pb));
+  unpermute_vector<real_t>(an.perm, pb, out);
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(out[i] - x[i]));
+  }
+  EXPECT_LT(err, 1e-9);
+}
+
+}  // namespace
+}  // namespace spx

@@ -1,0 +1,197 @@
+// Schur complement / partial factorization tests against dense oracles.
+#include <gtest/gtest.h>
+
+#include "core/schur.hpp"
+#include "core/solver.hpp"
+#include "kernels/dense.hpp"
+#include "mat/generators.hpp"
+
+namespace spx {
+namespace {
+
+// Dense oracle: S = A22 - A21 * inv(A11) * A12 via dense LU.
+std::vector<real_t> dense_schur(const CscMatrix<real_t>& a,
+                                std::span<const index_t> iface) {
+  const index_t n = a.ncols();
+  const index_t k = static_cast<index_t>(iface.size());
+  const index_t m = n - k;
+  std::vector<char> is_if(n, 0);
+  for (const index_t i : iface) is_if[i] = 1;
+  std::vector<index_t> interior;
+  for (index_t i = 0; i < n; ++i) {
+    if (!is_if[i]) interior.push_back(i);
+  }
+  // Dense blocks.
+  std::vector<real_t> a11(static_cast<std::size_t>(m) * m, 0.0);
+  std::vector<real_t> a12(static_cast<std::size_t>(m) * k, 0.0);
+  std::vector<real_t> a21(static_cast<std::size_t>(k) * m, 0.0);
+  std::vector<real_t> s(static_cast<std::size_t>(k) * k, 0.0);
+  for (index_t j = 0; j < m; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      a11[i + static_cast<std::size_t>(j) * m] =
+          a.at(interior[i], interior[j]);
+    }
+    for (index_t i = 0; i < k; ++i) {
+      a21[i + static_cast<std::size_t>(j) * k] = a.at(iface[i], interior[j]);
+    }
+  }
+  for (index_t j = 0; j < k; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      a12[i + static_cast<std::size_t>(j) * m] = a.at(interior[i], iface[j]);
+    }
+    for (index_t i = 0; i < k; ++i) {
+      s[i + static_cast<std::size_t>(j) * k] = a.at(iface[i], iface[j]);
+    }
+  }
+  // X = inv(A11) * A12 by LU solves.
+  kernels::getrf_nopiv<real_t>(m, a11.data(), m);
+  kernels::trsm_left_lower_unit<real_t>(m, k, a11.data(), m, a12.data(), m);
+  kernels::trsm_left_upper<real_t>(m, k, a11.data(), m, a12.data(), m);
+  // S -= A21 * X.
+  kernels::gemm_nn<real_t>(k, k, m, -1.0, a21.data(), k, a12.data(), m, 1.0,
+                           s.data(), k);
+  return s;
+}
+
+std::vector<index_t> pick_interface(index_t n, index_t k, Rng& rng) {
+  std::vector<char> used(n, 0);
+  std::vector<index_t> iface;
+  while (static_cast<index_t>(iface.size()) < k) {
+    const index_t i = static_cast<index_t>(rng.next_below(n));
+    if (!used[i]) {
+      used[i] = 1;
+      iface.push_back(i);
+    }
+  }
+  return iface;
+}
+
+TEST(Schur, MatchesDenseOracleSpd) {
+  Rng rng(600);
+  const auto a = gen::random_spd(60, 0.1, rng);
+  const auto iface = pick_interface(60, 7, rng);
+  SchurComplement<real_t> sc;
+  sc.compute(a, iface, Factorization::LLT);
+  const auto got = sc.schur_matrix();
+  const auto want = dense_schur(a, iface);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << "entry " << i;
+  }
+}
+
+TEST(Schur, MatchesDenseOracleLdlt) {
+  Rng rng(601);
+  const auto a = gen::random_sym_indefinite(70, 0.08, rng);
+  const auto iface = pick_interface(70, 6, rng);
+  SchurComplement<real_t> sc;
+  sc.compute(a, iface, Factorization::LDLT);
+  const auto got = sc.schur_matrix();
+  const auto want = dense_schur(a, iface);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-8) << "entry " << i;
+  }
+}
+
+TEST(Schur, MatchesDenseOracleLu) {
+  Rng rng(602);
+  const auto a = gen::random_unsym(60, 0.1, rng);
+  const auto iface = pick_interface(60, 8, rng);
+  SchurComplement<real_t> sc;
+  sc.compute(a, iface, Factorization::LU);
+  const auto got = sc.schur_matrix();
+  const auto want = dense_schur(a, iface);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-8) << "entry " << i;
+  }
+}
+
+TEST(Schur, CondensedSolveMatchesDirect) {
+  // Full workflow: condense, solve the k x k system densely, expand; the
+  // result must match the plain direct solve.
+  const auto a = gen::grid2d_laplacian(12, 12);
+  Rng rng(603);
+  const auto iface = pick_interface(a.ncols(), 10, rng);
+  SchurComplement<real_t> sc;
+  sc.compute(a, iface, Factorization::LLT);
+
+  std::vector<real_t> xstar(a.ncols()), b(a.ncols());
+  for (auto& v : xstar) v = rng.uniform(-1, 1);
+  a.multiply(xstar, b);
+
+  auto s = sc.schur_matrix();
+  auto bhat = sc.condense_rhs(b);
+  // Dense solve of S x2 = bhat.
+  const index_t k = sc.schur_size();
+  kernels::getrf_nopiv<real_t>(k, s.data(), k);
+  kernels::trsv_lower<real_t>(k, s.data(), k, true, bhat.data());
+  kernels::trsv_upper<real_t>(k, s.data(), k, bhat.data());
+  const auto x = sc.expand_solution(b, bhat);
+
+  double err = 0;
+  for (index_t i = 0; i < a.ncols(); ++i) {
+    err = std::max(err, std::abs(x[i] - xstar[i]));
+  }
+  EXPECT_LT(err, 1e-9);
+}
+
+TEST(Schur, CondensedSolveLdltAndLu) {
+  Rng rng(604);
+  {
+    const auto a = gen::random_sym_indefinite(80, 0.06, rng);
+    const auto iface = pick_interface(80, 9, rng);
+    SchurComplement<real_t> sc;
+    sc.compute(a, iface, Factorization::LDLT);
+    std::vector<real_t> xstar(a.ncols()), b(a.ncols());
+    for (auto& v : xstar) v = rng.uniform(-1, 1);
+    a.multiply(xstar, b);
+    auto s = sc.schur_matrix();
+    auto bhat = sc.condense_rhs(b);
+    const index_t k = sc.schur_size();
+    kernels::getrf_nopiv<real_t>(k, s.data(), k);
+    kernels::trsv_lower<real_t>(k, s.data(), k, true, bhat.data());
+    kernels::trsv_upper<real_t>(k, s.data(), k, bhat.data());
+    const auto x = sc.expand_solution(b, bhat);
+    double err = 0;
+    for (index_t i = 0; i < a.ncols(); ++i) {
+      err = std::max(err, std::abs(x[i] - xstar[i]));
+    }
+    EXPECT_LT(err, 1e-8);
+  }
+  {
+    const auto a = gen::convection_diffusion3d(4, 4, 4, 8.0);
+    const auto iface = pick_interface(a.ncols(), 5, rng);
+    SchurComplement<real_t> sc;
+    sc.compute(a, iface, Factorization::LU);
+    std::vector<real_t> xstar(a.ncols()), b(a.ncols());
+    for (auto& v : xstar) v = rng.uniform(-1, 1);
+    a.multiply(xstar, b);
+    auto s = sc.schur_matrix();
+    auto bhat = sc.condense_rhs(b);
+    const index_t k = sc.schur_size();
+    kernels::getrf_nopiv<real_t>(k, s.data(), k);
+    kernels::trsv_lower<real_t>(k, s.data(), k, true, bhat.data());
+    kernels::trsv_upper<real_t>(k, s.data(), k, bhat.data());
+    const auto x = sc.expand_solution(b, bhat);
+    double err = 0;
+    for (index_t i = 0; i < a.ncols(); ++i) {
+      err = std::max(err, std::abs(x[i] - xstar[i]));
+    }
+    EXPECT_LT(err, 1e-8);
+  }
+}
+
+TEST(Schur, RejectsBadInterfaceSets) {
+  const auto a = gen::grid2d_laplacian(5, 5);
+  SchurComplement<real_t> sc;
+  std::vector<index_t> dup{1, 1};
+  EXPECT_THROW(sc.compute(a, dup, Factorization::LLT), InvalidArgument);
+  std::vector<index_t> oob{1, 99};
+  EXPECT_THROW(sc.compute(a, oob, Factorization::LLT), InvalidArgument);
+  std::vector<index_t> all(a.ncols());
+  for (index_t i = 0; i < a.ncols(); ++i) all[i] = i;
+  EXPECT_THROW(sc.compute(a, all, Factorization::LLT), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spx

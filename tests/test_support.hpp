@@ -1,0 +1,60 @@
+// Shared helpers for the spx test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/analysis.hpp"
+#include "core/factor_data.hpp"
+#include "core/solve.hpp"
+#include "graph/ordering.hpp"
+#include "mat/csc.hpp"
+
+namespace spx::test {
+
+/// Relative residual ||Ax - b|| / ||b|| (inf-norm).
+template <typename T>
+double relative_residual(const CscMatrix<T>& a, std::span<const T> x,
+                         std::span<const T> b) {
+  std::vector<T> ax(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, ax);
+  double rnorm = 0.0, bnorm = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    rnorm = std::max(rnorm, static_cast<double>(magnitude<T>(ax[i] - b[i])));
+    bnorm = std::max(bnorm, static_cast<double>(magnitude<T>(b[i])));
+  }
+  return bnorm > 0 ? rnorm / bnorm : rnorm;
+}
+
+/// End-to-end solve through a caller-supplied factorization routine:
+/// analyze, permute, initialize, factorize (via `factorize`), solve, and
+/// return the relative residual against a random RHS.
+template <typename T, typename FactorizeFn>
+double solve_residual(const CscMatrix<T>& a, Factorization kind,
+                      FactorizeFn&& factorize,
+                      const AnalysisOptions& opts = {}) {
+  const Analysis an = analyze(a, opts);
+  an.structure.validate();
+  const CscMatrix<T> ap = permute_symmetric(a, an.perm);
+  FactorData<T> f(an.structure, kind);
+  f.initialize(ap);
+  factorize(f);
+
+  Rng rng(12345);
+  const index_t n = a.ncols();
+  std::vector<T> xref(static_cast<std::size_t>(n));
+  for (auto& v : xref) v = rng.scalar<T>();
+  std::vector<T> b(static_cast<std::size_t>(n));
+  a.multiply(xref, b);
+
+  std::vector<T> pb(static_cast<std::size_t>(n));
+  permute_vector<T>(an.perm, b, pb);
+  solve_permuted(f, std::span<T>(pb));
+  std::vector<T> x(static_cast<std::size_t>(n));
+  unpermute_vector<T>(an.perm, pb, x);
+  return relative_residual<T>(a, x, b);
+}
+
+}  // namespace spx::test

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/analysis.hpp"
+#include "mat/generators.hpp"
+#include "symbolic/amalgamation.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spx {
+namespace {
+
+// Dense-symbolic oracle: column structures of L by naive elimination.
+std::vector<std::vector<index_t>> naive_symbolic(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<std::vector<char>> lower(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (index_t j = 0; j < n; ++j) {
+    for (const index_t i : g.neighbors(j)) {
+      if (i > j) lower[j][i] = 1;
+    }
+  }
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = k + 1; i < n; ++i) {
+      if (!lower[k][i]) continue;
+      for (index_t j = i + 1; j < n; ++j) {
+        if (lower[k][j]) lower[i][j] = 1;  // fill
+      }
+    }
+  }
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (lower[j][i]) cols[j].push_back(i);
+    }
+  }
+  return cols;
+}
+
+// Oracle etree: parent(j) = min row index of L column j below diagonal.
+std::vector<index_t> naive_etree(const Graph& g) {
+  const auto cols = naive_symbolic(g);
+  std::vector<index_t> parent(cols.size(), -1);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (!cols[j].empty()) parent[j] = cols[j].front();
+  }
+  return parent;
+}
+
+TEST(Etree, MatchesNaiveOnGrid) {
+  const Graph g = Graph::from_pattern(gen::grid2d_laplacian(5, 5));
+  EXPECT_EQ(elimination_tree(g), naive_etree(g));
+}
+
+TEST(Etree, MatchesNaiveOnRandom) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = gen::random_spd(25, 0.15, rng);
+    const Graph g = Graph::from_pattern(a);
+    EXPECT_EQ(elimination_tree(g), naive_etree(g)) << "trial " << trial;
+  }
+}
+
+TEST(Etree, PostorderIsValid) {
+  const Graph g = Graph::from_pattern(gen::grid2d_laplacian(8, 8));
+  const auto parent = elimination_tree(g);
+  const auto post = tree_postorder(parent);
+  const index_t n = g.num_vertices();
+  ASSERT_EQ(static_cast<index_t>(post.size()), n);
+  // Permutation + every child appears before its parent.
+  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    ASSERT_EQ(pos[post[k]], -1);
+    pos[post[k]] = k;
+  }
+  for (index_t v = 0; v < n; ++v) {
+    if (parent[v] != -1) EXPECT_LT(pos[v], pos[parent[v]]);
+  }
+}
+
+TEST(ColCounts, MatchNaiveSymbolic) {
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto a = gen::random_spd(30, 0.12, rng);
+    Graph g = Graph::from_pattern(a);
+    // Postorder first (the counts routine requires it only for the etree
+    // invariants, but the pipeline always postorders, so test that path).
+    auto parent = elimination_tree(g);
+    const Ordering post = Ordering::from_new_to_old(tree_postorder(parent));
+    g = permute_graph(g, post);
+    parent = elimination_tree(g);
+    const auto postorder = tree_postorder(parent);
+    const auto counts = cholesky_col_counts(g, parent, postorder);
+    const auto oracle = naive_symbolic(g);
+    for (std::size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_EQ(counts[j], static_cast<index_t>(oracle[j].size()) + 1)
+          << "col " << j << " trial " << trial;
+    }
+  }
+}
+
+TEST(Supernodes, PartitionCoversAllColumns) {
+  const Graph g0 = Graph::from_pattern(gen::grid3d_laplacian(6, 6, 6));
+  Graph g = permute_graph(g0, nested_dissection(g0));
+  auto parent = elimination_tree(g);
+  const Ordering post = Ordering::from_new_to_old(tree_postorder(parent));
+  g = permute_graph(g, post);
+  parent = elimination_tree(g);
+  const auto postorder = tree_postorder(parent);
+  const auto counts = cholesky_col_counts(g, parent, postorder);
+  const auto part = find_fundamental_supernodes(parent, counts);
+  EXPECT_EQ(part.first_col.front(), 0);
+  EXPECT_EQ(part.first_col.back(), g.num_vertices());
+  for (index_t s = 0; s < part.count(); ++s) {
+    EXPECT_GT(part.width(s), 0);
+    for (index_t j = part.first_col[s]; j < part.first_col[s + 1]; ++j) {
+      EXPECT_EQ(part.sn_of_col[j], s);
+    }
+  }
+}
+
+TEST(Supernodes, RowStructureMatchesNaive) {
+  Rng rng(17);
+  const auto a = gen::random_spd(40, 0.1, rng);
+  Graph g = Graph::from_pattern(a);
+  auto parent = elimination_tree(g);
+  const Ordering post = Ordering::from_new_to_old(tree_postorder(parent));
+  g = permute_graph(g, post);
+  parent = elimination_tree(g);
+  const auto postorder = tree_postorder(parent);
+  const auto counts = cholesky_col_counts(g, parent, postorder);
+  const auto part = find_fundamental_supernodes(parent, counts);
+  const auto forest = supernodal_symbolic(g, parent, part);
+  const auto oracle = naive_symbolic(g);
+  for (index_t s = 0; s < part.count(); ++s) {
+    // The supernode's row set must equal the first column's structure
+    // beyond the supernode (fundamental supernode property).
+    const index_t j0 = part.first_col[s];
+    const index_t last = part.first_col[s + 1] - 1;
+    std::vector<index_t> expect;
+    for (const index_t r : oracle[j0]) {
+      if (r > last) expect.push_back(r);
+    }
+    EXPECT_EQ(forest.rows[s], expect) << "supernode " << s;
+  }
+}
+
+TEST(Amalgamation, ZeroBudgetKeepsStructure) {
+  const Graph g0 = Graph::from_pattern(gen::grid2d_laplacian(12, 12));
+  Graph g = permute_graph(g0, nested_dissection(g0));
+  auto parent = elimination_tree(g);
+  const Ordering post = Ordering::from_new_to_old(tree_postorder(parent));
+  g = permute_graph(g, post);
+  parent = elimination_tree(g);
+  const auto postorder = tree_postorder(parent);
+  const auto counts = cholesky_col_counts(g, parent, postorder);
+  const auto part = find_fundamental_supernodes(parent, counts);
+  const auto forest = supernodal_symbolic(g, parent, part);
+  AmalgamationOptions opts;
+  opts.fill_ratio = 0.0;
+  opts.min_width = 0;
+  const auto res = amalgamate(part, forest, opts);
+  EXPECT_EQ(res.extra_fill, 0);
+  EXPECT_EQ(res.nnz_after, res.nnz_before);
+  EXPECT_EQ(res.part.count(), part.count());
+}
+
+TEST(Amalgamation, FillGrowsWithBudgetAndPanelCountShrinks) {
+  const Graph g0 = Graph::from_pattern(gen::grid3d_laplacian(8, 8, 8));
+  Graph g = permute_graph(g0, nested_dissection(g0));
+  auto parent = elimination_tree(g);
+  const Ordering post = Ordering::from_new_to_old(tree_postorder(parent));
+  g = permute_graph(g, post);
+  parent = elimination_tree(g);
+  const auto postorder = tree_postorder(parent);
+  const auto counts = cholesky_col_counts(g, parent, postorder);
+  const auto part = find_fundamental_supernodes(parent, counts);
+  const auto forest = supernodal_symbolic(g, parent, part);
+
+  AmalgamationOptions small, big;
+  small.fill_ratio = 0.02;
+  big.fill_ratio = 0.25;
+  small.min_width = big.min_width = 0;
+  const auto rs = amalgamate(part, forest, small);
+  const auto rb = amalgamate(part, forest, big);
+  EXPECT_LE(rs.extra_fill, rb.extra_fill);
+  EXPECT_GE(rs.part.count(), rb.part.count());
+  EXPECT_LE(static_cast<double>(rs.extra_fill),
+            0.02 * static_cast<double>(rs.nnz_before) + 1);
+}
+
+TEST(Amalgamation, RenumberIsConsistent) {
+  const Graph g0 = Graph::from_pattern(gen::grid2d_laplacian(15, 15));
+  Graph g = permute_graph(g0, nested_dissection(g0));
+  auto parent = elimination_tree(g);
+  const Ordering post = Ordering::from_new_to_old(tree_postorder(parent));
+  g = permute_graph(g, post);
+  parent = elimination_tree(g);
+  const auto postorder = tree_postorder(parent);
+  const auto counts = cholesky_col_counts(g, parent, postorder);
+  const auto part = find_fundamental_supernodes(parent, counts);
+  const auto forest = supernodal_symbolic(g, parent, part);
+  const auto res = amalgamate(part, forest, {});
+  EXPECT_TRUE(res.renumber.validate());
+  // Rows of each supernode point strictly beyond its columns.
+  for (index_t s = 0; s < res.part.count(); ++s) {
+    for (const index_t r : res.forest.rows[s]) {
+      EXPECT_GE(r, res.part.first_col[s + 1]);
+    }
+  }
+}
+
+TEST(Structure, ValidatesOnVariousProblems) {
+  {
+    const Analysis an = analyze(gen::grid2d_laplacian(20, 20));
+    an.structure.validate();
+  }
+  {
+    const Analysis an = analyze(gen::grid3d_laplacian(7, 7, 7));
+    an.structure.validate();
+  }
+  {
+    Rng rng(23);
+    const Analysis an = analyze(gen::random_spd(60, 0.1, rng));
+    an.structure.validate();
+  }
+}
+
+TEST(Structure, PanelSplittingBoundsWidth) {
+  AnalysisOptions opts;
+  opts.symbolic.max_panel_width = 16;
+  const Analysis an = analyze(gen::grid3d_laplacian(8, 8, 8), opts);
+  an.structure.validate();
+  for (const Panel& p : an.structure.panels) {
+    EXPECT_LE(p.width(), 16);
+  }
+}
+
+TEST(Structure, NoSplittingWhenDisabled) {
+  AnalysisOptions wide, narrow;
+  wide.symbolic.max_panel_width = 0;
+  narrow.symbolic.max_panel_width = 8;
+  const auto a = gen::grid3d_laplacian(6, 6, 6);
+  const Analysis aw = analyze(a, wide);
+  const Analysis an = analyze(a, narrow);
+  EXPECT_LE(aw.structure.num_panels(), an.structure.num_panels());
+}
+
+TEST(Structure, FlopCountsArePositiveAndOrdered) {
+  const Analysis an = analyze(gen::grid3d_laplacian(6, 6, 6));
+  const double llt = an.total_flops(Factorization::LLT);
+  const double ldlt = an.total_flops(Factorization::LDLT);
+  const double lu = an.total_flops(Factorization::LU);
+  EXPECT_GT(llt, 0.0);
+  EXPECT_GT(ldlt, llt * 0.9);  // LDLT ~ LLT plus scaling
+  EXPECT_GT(lu, 1.8 * llt);    // LU about twice the symmetric cost
+}
+
+TEST(Structure, InDegreeMatchesEdges) {
+  const Analysis an = analyze(gen::grid2d_laplacian(18, 18));
+  const auto& st = an.structure;
+  std::vector<index_t> indeg(st.num_panels(), 0);
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    for (const auto& e : st.targets[p]) indeg[e.dst]++;
+  }
+  for (index_t p = 0; p < st.num_panels(); ++p) {
+    EXPECT_EQ(indeg[p], st.in_degree[p]);
+  }
+}
+
+TEST(Compose, AppliesInnerThenOuter) {
+  const Ordering inner = Ordering::from_new_to_old({1, 2, 0});
+  const Ordering outer = Ordering::from_new_to_old({2, 0, 1});
+  const Ordering c = compose(inner, outer);
+  // new position k holds inner.new_to_old[outer.new_to_old[k]]
+  EXPECT_EQ(c.new_to_old[0], inner.new_to_old[2]);
+  EXPECT_TRUE(c.validate());
+}
+
+}  // namespace
+}  // namespace spx

@@ -1,0 +1,119 @@
+// Trace-recording tests: coverage, ordering, JSON export, and agreement
+// between recorded busy time and driver statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sim_runner.hpp"
+#include "core/solver.hpp"
+#include "mat/generators.hpp"
+#include "runtime/flop_costs.hpp"
+#include "runtime/parsec_scheduler.hpp"
+#include "runtime/real_driver.hpp"
+#include "runtime/trace.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/sim_driver.hpp"
+
+namespace spx {
+namespace {
+
+TEST(Trace, SimRecordsEveryTask) {
+  const Analysis an = analyze(gen::grid2d_laplacian(14, 14));
+  TaskTable table(an.structure, Factorization::LLT);
+  sim::CostModel model(sim::mirage(), an.structure, Factorization::LLT, {});
+  Machine machine(4);
+  ParsecScheduler sched(table, machine, model);
+  TraceRecorder trace;
+  sim::SimOptions opts;
+  opts.trace = &trace;
+  const RunStats st = sim::simulate(sched, machine, table, model,
+                                    an.total_flops(Factorization::LLT),
+                                    opts);
+  EXPECT_EQ(trace.num_events(),
+            static_cast<std::size_t>(table.num_tasks()));
+  // Events on a resource must not overlap, and busy time must match.
+  std::vector<double> busy(machine.num_resources(), 0.0);
+  std::vector<double> last_end(machine.num_resources(), 0.0);
+  auto events = trace.events();
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  for (const auto& e : events) {
+    ASSERT_GE(e.start, last_end[e.resource] - 1e-12);
+    ASSERT_LE(e.end, st.makespan + 1e-12);
+    last_end[e.resource] = e.end;
+    busy[e.resource] += e.end - e.start;
+  }
+  for (int r = 0; r < machine.num_resources(); ++r) {
+    EXPECT_NEAR(busy[r], st.busy[r], 1e-9);
+  }
+}
+
+TEST(Trace, SimRecordsTransfersWithGpus) {
+  const Analysis an = analyze(gen::grid3d_laplacian(10, 10, 10));
+  TaskTable table(an.structure, Factorization::LLT);
+  sim::CostModel::Options mo;
+  sim::CostModel model(sim::mirage(), an.structure, Factorization::LLT, mo);
+  Machine machine(4, 1, 2);
+  ParsecOptions popts;
+  popts.gpu_min_flops = 1e5;
+  ParsecScheduler sched(table, machine, model, popts);
+  TraceRecorder trace;
+  sim::SimOptions opts;
+  opts.trace = &trace;
+  opts.prefetch = false;
+  sim::simulate(sched, machine, table, model,
+                an.total_flops(Factorization::LLT), opts);
+  EXPECT_GT(trace.num_transfers(), 0u);
+}
+
+TEST(Trace, RealDriverRecords) {
+  const auto a = gen::grid2d_laplacian(12, 12);
+  const Analysis an = analyze(a);
+  FactorData<real_t> f(an.structure, Factorization::LLT);
+  f.initialize(permute_symmetric(a, an.perm));
+  TaskTable table(an.structure, Factorization::LLT);
+  Machine machine(3);
+  FlopCosts costs(table);
+  ParsecScheduler sched(table, machine, costs);
+  TraceRecorder trace;
+  RealDriverOptions opts;
+  opts.trace = &trace;
+  execute_real(sched, machine, f, opts);
+  EXPECT_EQ(trace.num_events(),
+            static_cast<std::size_t>(table.num_tasks()));
+}
+
+TEST(Trace, ChromeJsonWellFormed) {
+  const Analysis an = analyze(gen::grid2d_laplacian(8, 8));
+  TaskTable table(an.structure, Factorization::LLT);
+  sim::CostModel model(sim::mirage(), an.structure, Factorization::LLT, {});
+  Machine machine(2);
+  ParsecScheduler sched(table, machine, model);
+  TraceRecorder trace;
+  sim::SimOptions opts;
+  opts.trace = &trace;
+  sim::simulate(sched, machine, table, model, 1e9, opts);
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Balanced braces and one record per event.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(json.begin(), json.end(), '\n')) -
+                3,  // header + footer lines
+            trace.num_events() - 1);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder trace;
+  trace.record(0, {TaskKind::Panel, 3, -1}, 0.0, 1.0);
+  EXPECT_EQ(trace.num_events(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.num_events(), 0u);
+}
+
+}  // namespace
+}  // namespace spx
