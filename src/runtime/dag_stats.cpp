@@ -10,22 +10,40 @@ DagStats dag_stats(const SymbolicStructure& st, const TaskCosts& costs,
   const index_t np = st.num_panels();
   DagStats stats;
 
+  // Unit-depth wavefront widths: hop_level[p] is the hop depth of
+  // factor(p); updates sit one hop deeper and their targets two.  The
+  // widest level bounds the instantaneous ready-set size.
+  std::vector<index_t> width;
+  auto count_at = [&width](index_t lvl) {
+    if (lvl >= static_cast<index_t>(width.size())) {
+      width.resize(static_cast<std::size_t>(lvl) + 1, 0);
+    }
+    ++width[static_cast<std::size_t>(lvl)];
+  };
+
   if (decomposition == Decomposition::TwoLevel) {
     // level[p] = longest chain ending at factor(p)'s completion.
     std::vector<double> level(static_cast<std::size_t>(np), 0.0);
+    std::vector<index_t> hop_level(static_cast<std::size_t>(np), 0);
     for (index_t p = 0; p < np; ++p) {
       const double fp = costs.panel_seconds(p, ResourceKind::Cpu);
       stats.total_work += fp;
       level[p] += fp;
       stats.critical_path = std::max(stats.critical_path, level[p]);
       stats.num_tasks += 1 + static_cast<index_t>(st.targets[p].size());
+      count_at(hop_level[p]);
       for (index_t e = 0; e < static_cast<index_t>(st.targets[p].size());
            ++e) {
         const double ue = costs.update_seconds(p, e, ResourceKind::Cpu);
         stats.total_work += ue;
         const index_t dst = st.targets[p][e].dst;
         level[dst] = std::max(level[dst], level[p] + ue);
+        count_at(hop_level[p] + 1);
+        hop_level[dst] = std::max(hop_level[dst], hop_level[p] + 2);
       }
+    }
+    for (const index_t w : width) {
+      stats.peak_width = std::max(stats.peak_width, w);
     }
     return stats;
   }
@@ -49,15 +67,21 @@ DagStats dag_stats(const SymbolicStructure& st, const TaskCosts& costs,
   }
   // In both coarse forms, task(p) precedes task(t) for every edge p -> t.
   std::vector<double> level(static_cast<std::size_t>(np), 0.0);
+  std::vector<index_t> hop_level(static_cast<std::size_t>(np), 0);
   for (index_t p = 0; p < np; ++p) {
     level[p] += duration[p];
     stats.total_work += duration[p];
     stats.critical_path = std::max(stats.critical_path, level[p]);
+    count_at(hop_level[p]);
     for (const UpdateEdge& e : st.targets[p]) {
       level[e.dst] = std::max(level[e.dst], level[p]);
+      hop_level[e.dst] = std::max(hop_level[e.dst], hop_level[p] + 1);
     }
   }
   stats.num_tasks = np;
+  for (const index_t w : width) {
+    stats.peak_width = std::max(stats.peak_width, w);
+  }
   return stats;
 }
 

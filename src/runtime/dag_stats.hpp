@@ -19,6 +19,10 @@ struct DagStats {
     return critical_path > 0 ? total_work / critical_path : 0.0;
   }
   index_t num_tasks = 0;
+  /// Widest unit-depth wavefront of the DAG: an upper bound on how many
+  /// tasks can ever be ready simultaneously, i.e. on scheduler queue
+  /// depth (context for the contention counters in RunStats).
+  index_t peak_width = 0;
 };
 
 enum class Decomposition { TwoLevel, OneDRight, OneDLeft };

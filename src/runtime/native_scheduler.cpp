@@ -18,6 +18,13 @@ NativeScheduler::NativeScheduler(const TaskTable& table,
   SPX_CHECK_ARG(machine.num_gpus() == 0,
                 "the native PASTIX scheduler is CPU-only");
   compute_static_schedule();
+  const auto np = static_cast<std::size_t>(table.num_panels());
+  shards_ = std::make_unique<Shard[]>(static_queue_.size());
+  remaining_in_.configure(np);
+  factor_taken_ = std::make_unique<std::atomic<char>[]>(np);
+  factor_done_ = std::make_unique<std::atomic<char>[]>(np);
+  target_busy_ = std::make_unique<std::atomic<char>[]>(np);
+  counters_.configure(machine.num_resources());
   reset();
 }
 
@@ -108,13 +115,21 @@ void NativeScheduler::compute_static_schedule() {
 }
 
 void NativeScheduler::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Reset runs while the scheduler is quiescent (no workers attached).
   const SymbolicStructure& st = table_->structure();
   const index_t np = table_->num_panels();
-  remaining_in_ = st.in_degree;
-  head_.assign(static_queue_.size(), 0);
-  factor_taken_.assign(static_cast<std::size_t>(np), 0);
-  factor_done_.assign(static_cast<std::size_t>(np), 0);
+  remaining_in_.assign(st.in_degree);
+  for (std::size_t w = 0; w < static_queue_.size(); ++w) {
+    shards_[w].head = 0;
+    shards_[w].unconsumed.store(
+        static_cast<index_t>(static_queue_[w].size()),
+        std::memory_order_relaxed);
+  }
+  for (index_t p = 0; p < np; ++p) {
+    factor_taken_[p].store(0, std::memory_order_relaxed);
+    factor_done_[p].store(0, std::memory_order_relaxed);
+    target_busy_[p].store(0, std::memory_order_relaxed);
+  }
   pending_edges_.assign(static_cast<std::size_t>(np), {});
   for (index_t p = 0; p < np; ++p) {
     auto& edges = pending_edges_[p];
@@ -123,28 +138,32 @@ void NativeScheduler::reset() {
       edges[e] = e;
     }
   }
-  target_busy_.assign(static_cast<std::size_t>(np), 0);
-  completed_ = 0;
-  steals_ = 0;
+  completed_.store(0, std::memory_order_relaxed);
+  counters_.clear();
 }
 
 bool NativeScheduler::pop_from(int w, Task* out) {
   const SymbolicStructure& st = table_->structure();
-  auto& q = static_queue_[w];
+  Shard& shard = shards_[w];
+  auto& q = static_queue_[static_cast<std::size_t>(w)];
   // Advance past fully-dispatched panels.
-  while (head_[w] < q.size()) {
-    const index_t p = q[head_[w]];
-    if (factor_done_[p] && pending_edges_[p].empty()) {
-      ++head_[w];
+  while (shard.head < q.size()) {
+    const index_t p = q[shard.head];
+    if (factor_done_[p].load(std::memory_order_acquire) &&
+        pending_edges_[p].empty()) {
+      ++shard.head;
+      shard.unconsumed.fetch_sub(1, std::memory_order_relaxed);
     } else {
       break;
     }
   }
-  for (std::size_t i = head_[w]; i < q.size(); ++i) {
+  for (std::size_t i = shard.head; i < q.size(); ++i) {
     const index_t p = q[i];
-    if (!factor_done_[p]) {
-      if (!factor_taken_[p] && remaining_in_[p] == 0) {
-        factor_taken_[p] = 1;
+    if (!factor_done_[p].load(std::memory_order_acquire)) {
+      // The acquire load on remaining_in_ orders the predecessor updates'
+      // writes to the panel data before the factor kernel reads them.
+      if (remaining_in_.load(static_cast<std::size_t>(p)) == 0 &&
+          !factor_taken_[p].exchange(1, std::memory_order_acq_rel)) {
         *out = {TaskKind::Panel, p, -1};
         return true;
       }
@@ -155,8 +174,9 @@ bool NativeScheduler::pop_from(int w, Task* out) {
     for (std::size_t k = 0; k < edges.size(); ++k) {
       const index_t e = edges[k];
       const index_t dst = st.targets[p][e].dst;
-      if (target_busy_[dst]) continue;
-      target_busy_[dst] = 1;
+      if (target_busy_[dst].exchange(1, std::memory_order_acq_rel)) {
+        continue;  // another update currently owns dst
+      }
       edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(k));
       *out = {TaskKind::Update, p, e};
       return true;
@@ -167,22 +187,34 @@ bool NativeScheduler::pop_from(int w, Task* out) {
 
 bool NativeScheduler::try_pop(int resource, Task* out) {
   SPX_DEBUG_ASSERT(machine_->resource(resource).kind == ResourceKind::Cpu);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (pop_from(resource, out)) return true;
-  // Steal from the worker with the most unconsumed panels.
-  std::vector<int> victims;
-  for (int w = 0; w < static_cast<int>(static_queue_.size()); ++w) {
-    if (w != resource && head_[w] < static_queue_[w].size()) {
-      victims.push_back(w);
+  WorkerCounters& c = counters_.at(resource);
+  const int nw = static_cast<int>(static_queue_.size());
+  const int self = resource >= 0 && resource < nw ? resource : 0;
+  c.depth_sum += static_cast<double>(
+      shards_[self].unconsumed.load(std::memory_order_relaxed));
+  ++c.depth_samples;
+  {
+    TimedLock lock(shards_[self].m, c.lock_wait);
+    if (pop_from(self, out)) {
+      ++c.pops;
+      return true;
     }
   }
-  std::sort(victims.begin(), victims.end(), [&](int a, int b) {
-    return static_queue_[a].size() - head_[a] >
-           static_queue_[b].size() - head_[b];
-  });
-  for (const int v : victims) {
-    if (pop_from(v, out)) {
-      ++steals_;
+  // Steal from the worker with the most unconsumed panels; the backlog
+  // hints are atomics, so only the chosen victim's shard gets locked.
+  std::vector<StealVictim> victims;
+  for (int w = 0; w < nw; ++w) {
+    if (w == self) continue;
+    const index_t rem =
+        shards_[w].unconsumed.load(std::memory_order_relaxed);
+    if (rem > 0) victims.push_back({rem, w});
+  }
+  sort_steal_victims(victims);
+  for (const StealVictim& v : victims) {
+    TimedLock lock(shards_[v.worker].m, c.lock_wait);
+    if (pop_from(v.worker, out)) {
+      ++c.steals;
+      ++c.pops;
       return true;
     }
   }
@@ -190,22 +222,27 @@ bool NativeScheduler::try_pop(int resource, Task* out) {
 }
 
 void NativeScheduler::on_complete(const Task& task, int /*resource*/) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const SymbolicStructure& st = table_->structure();
+  // Entirely lock-free local release: publish the factor (release store)
+  // or clear the commute claim and drop the dependency counter.  Workers
+  // rediscover dispatchable units by scanning under their own shard lock.
   if (task.kind == TaskKind::Panel) {
-    factor_done_[task.panel] = 1;
+    factor_done_[task.panel].store(1, std::memory_order_release);
   } else {
-    const index_t dst = st.targets[task.panel][task.edge].dst;
-    target_busy_[dst] = 0;
-    --remaining_in_[dst];
-    SPX_DEBUG_ASSERT(remaining_in_[dst] >= 0);
+    const index_t dst =
+        table_->structure().targets[task.panel][task.edge].dst;
+    target_busy_[dst].store(0, std::memory_order_release);
+    remaining_in_.release_one(static_cast<std::size_t>(dst));
   }
-  ++completed_;
+  completed_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool NativeScheduler::finished() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return completed_ == table_->num_tasks();
+  return completed_.load(std::memory_order_acquire) == table_->num_tasks();
+}
+
+index_t NativeScheduler::steal_count() const {
+  const ContentionStats c = counters_.snapshot();
+  return c.total_steals();
 }
 
 }  // namespace spx

@@ -15,12 +15,20 @@
 //
 // CPU-only by design: the paper uses native PASTIX as the CPU reference
 // and never drives GPUs with it.
+//
+// Concurrency: each worker's static queue is a shard with its own lock
+// (stealing locks only the victim's shard); dependency counters, factor
+// state, and commute claims are atomics, so on_complete is entirely
+// lock-free.  Victim selection reads per-shard atomic backlog hints and
+// orders candidates with sort_steal_victims (signed, deterministic).
 #pragma once
 
-#include <deque>
+#include <atomic>
+#include <memory>
 #include <mutex>
 
 #include "runtime/scheduler.hpp"
+#include "runtime/worker_queues.hpp"
 
 namespace spx {
 
@@ -47,12 +55,22 @@ class NativeScheduler : public Scheduler {
   /// at 1D-task granularity).
   double static_makespan() const { return static_makespan_; }
   /// Units executed by a worker other than the statically assigned one.
-  index_t steal_count() const { return steals_; }
+  index_t steal_count() const;
+  ContentionStats contention() const override { return counters_.snapshot(); }
 
  private:
+  /// A worker's view of its static queue.  head/pending_edges_ of the
+  /// panels in this queue are guarded by m; unconsumed is a lock-free
+  /// backlog hint for steal-victim selection.
+  struct alignas(64) Shard {
+    std::mutex m;
+    std::size_t head = 0;               ///< consumed prefix of the queue
+    std::atomic<index_t> unconsumed{0}; ///< panels at or past head
+  };
+
   void compute_static_schedule();
   /// Finds a dispatchable unit in worker w's static queue; returns false
-  /// when none.  Caller holds the lock.
+  /// when none.  Caller holds shard w's lock.
   bool pop_from(int w, Task* out);
 
   const TaskTable* table_;
@@ -64,17 +82,17 @@ class NativeScheduler : public Scheduler {
   std::vector<std::vector<index_t>> static_queue_;
   double static_makespan_ = 0.0;
 
-  mutable std::mutex mutex_;
-  std::vector<std::size_t> head_;           ///< consumed prefix per worker
-  std::vector<index_t> remaining_in_;       ///< pending updates into panel
-  std::vector<char> factor_taken_;
-  std::vector<char> factor_done_;
-  /// Update edges of each panel not yet dispatched.
+  std::unique_ptr<Shard[]> shards_;
+  AtomicCounters remaining_in_;            ///< pending updates into panel
+  std::unique_ptr<std::atomic<char>[]> factor_taken_;
+  std::unique_ptr<std::atomic<char>[]> factor_done_;
+  /// Update edges of each panel not yet dispatched (guarded by the shard
+  /// lock of the panel's statically assigned worker).
   std::vector<std::vector<index_t>> pending_edges_;
   /// Commute exclusion on update targets.
-  std::vector<char> target_busy_;
-  index_t completed_ = 0;
-  index_t steals_ = 0;
+  std::unique_ptr<std::atomic<char>[]> target_busy_;
+  std::atomic<index_t> completed_{0};
+  CounterBank counters_;
 };
 
 }  // namespace spx

@@ -15,34 +15,41 @@ ParsecScheduler::ParsecScheduler(const TaskTable& table,
   groups_ = merge_subtrees(table.structure(), costs,
                            options.subtree_merge_seconds);
   priority_ = table.bottom_levels(costs);
+  const index_t np = table.num_panels();
+  remaining_in_.configure(static_cast<std::size_t>(np));
+  local_.configure(machine.num_cpus());
+  commute_.configure(np);
+  counters_.configure(machine.num_resources());
   reset();
 }
 
 void ParsecScheduler::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Reset runs while the scheduler is quiescent (no workers attached).
   const SymbolicStructure& st = table_->structure();
-  remaining_in_ = st.in_degree;
-  local_.assign(std::max(1, machine_->num_cpus()), {});
+  remaining_in_.assign(st.in_degree);
+  local_.clear();
+  commute_.clear();
   gpu_queue_.assign(std::max(0, machine_->num_gpus()), {});
   gpu_backlog_.assign(std::max(0, machine_->num_gpus()), 0.0);
-  target_busy_.assign(static_cast<std::size_t>(table_->num_panels()), 0);
-  waiting_.assign(static_cast<std::size_t>(table_->num_panels()), {});
-  completed_ = 0;
-  steals_ = 0;
+  completed_.store(0, std::memory_order_relaxed);
   total_tasks_ = table_->num_tasks();
+  counters_.clear();
   // Seed: leaves of the elimination forest -- or whole merged subtrees --
   // spread round-robin (PaRSEC's initial distribution of ready tasks).
+  double ignored_wait = 0.0;
   int w = 0;
   for (index_t p = 0; p < table_->num_panels(); ++p) {
     if (groups_.grouped(p)) {
       // Complete subtrees have no external predecessors: the group task is
       // ready immediately; members are never scheduled individually.
       if (groups_.is_root(p)) {
-        local_[w % local_.size()].push_back({TaskKind::Subtree, p, -1});
+        local_.push(w % local_.num_shards(), {TaskKind::Subtree, p, -1},
+                    ignored_wait);
         ++w;
       }
-    } else if (remaining_in_[p] == 0) {
-      local_[w % local_.size()].push_back({TaskKind::Panel, p, -1});
+    } else if (remaining_in_.load(static_cast<std::size_t>(p)) == 0) {
+      local_.push(w % local_.num_shards(), {TaskKind::Panel, p, -1},
+                  ignored_wait);
       ++w;
     }
   }
@@ -53,12 +60,8 @@ bool ParsecScheduler::gpu_eligible(const Task& t) const {
          table_->flops(t) >= options_.gpu_min_flops;
 }
 
-void ParsecScheduler::push_local(const Task& t, int worker) {
-  const int nw = static_cast<int>(local_.size());
-  local_[worker >= 0 && worker < nw ? worker : 0].push_back(t);
-}
-
-void ParsecScheduler::push_gpu(const Task& t) {
+void ParsecScheduler::push_gpu(const Task& t, double& lock_wait) {
+  TimedLock lock(gpu_mutex_, lock_wait);
   // Least-backlogged device (PaRSEC balances devices by pending work).
   int best = 0;
   for (int g = 1; g < static_cast<int>(gpu_queue_.size()); ++g) {
@@ -72,80 +75,74 @@ void ParsecScheduler::push_gpu(const Task& t) {
   gpu_backlog_[best] += table_->flops(t);
 }
 
-bool ParsecScheduler::acquire_target(const Task& t, int resource) {
-  if (t.kind != TaskKind::Update) return true;
-  const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
-  if (target_busy_[dst]) {
-    waiting_[dst].emplace_back(t, resource);
-    return false;
-  }
-  target_busy_[dst] = 1;
+bool ParsecScheduler::pop_gpu(int gpu, Task* out, double& lock_wait) {
+  TimedLock lock(gpu_mutex_, lock_wait);
+  auto& q = gpu_queue_[gpu];
+  if (q.empty()) return false;
+  auto cmp = [&](const Task& a, const Task& b) {
+    return priority_[table_->id_of(a)] < priority_[table_->id_of(b)];
+  };
+  std::pop_heap(q.begin(), q.end(), cmp);
+  *out = q.back();
+  q.pop_back();
+  gpu_backlog_[gpu] -= table_->flops(*out);
   return true;
 }
 
+bool ParsecScheduler::acquire_target(const Task& t, int resource,
+                                     double& lock_wait) {
+  if (t.kind != TaskKind::Update) return true;
+  const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
+  return commute_.acquire(dst, t, resource, lock_wait);
+}
+
 bool ParsecScheduler::try_pop(int resource, Task* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerCounters& c = counters_.at(resource);
   const Resource& res = machine_->resource(resource);
+  Task t;
   if (res.kind == ResourceKind::GpuStream) {
-    auto& q = gpu_queue_[res.gpu];
-    auto cmp = [&](const Task& a, const Task& b) {
-      return priority_[table_->id_of(a)] < priority_[table_->id_of(b)];
-    };
-    while (!q.empty()) {
-      std::pop_heap(q.begin(), q.end(), cmp);
-      const Task t = q.back();
-      q.pop_back();
-      gpu_backlog_[res.gpu] -= table_->flops(t);
-      if (acquire_target(t, resource)) {
+    while (pop_gpu(res.gpu, &t, c.lock_wait)) {
+      if (acquire_target(t, resource, c.lock_wait)) {
         *out = t;
+        ++c.pops;
         return true;
       }
     }
     return false;
   }
   // CPU worker: LIFO from own deque (data reuse), then steal FIFO from the
-  // most loaded peer, then help the GPU queues.
-  auto& own = local_[resource];
-  while (!own.empty()) {
-    const Task t = own.back();
-    own.pop_back();
-    if (acquire_target(t, resource)) {
+  // most loaded peer, then help the GPU queues.  Each pop holds only the
+  // one shard lock involved; commute acquisition happens after the shard
+  // lock is dropped, so no two scheduler locks are ever held together.
+  c.depth_sum += static_cast<double>(local_.approx_size(resource));
+  ++c.depth_samples;
+  while (local_.pop_lifo(resource, &t, c.lock_wait)) {
+    if (acquire_target(t, resource, c.lock_wait)) {
       *out = t;
+      ++c.pops;
       return true;
     }
   }
   while (true) {
-    int victim = -1;
-    std::size_t most = 0;
-    for (int w = 0; w < static_cast<int>(local_.size()); ++w) {
-      if (w == resource) continue;
-      if (local_[w].size() > most) {
-        most = local_[w].size();
-        victim = w;
-      }
-    }
+    const int victim = local_.most_loaded(resource);
     if (victim < 0) break;
-    const Task t = local_[victim].front();
-    local_[victim].pop_front();
-    ++steals_;
-    if (acquire_target(t, resource)) {
+    // A failed pop refreshes the victim's published size, so a stale
+    // nonzero estimate cannot loop forever.
+    if (!local_.pop_fifo(victim, &t, c.lock_wait)) continue;
+    ++c.steals;
+    if (acquire_target(t, resource, c.lock_wait)) {
       *out = t;
+      ++c.pops;
       return true;
     }
   }
   // Help drain GPU backlogs when otherwise idle (all tasks have CPU
   // implementations).
-  for (auto& q : gpu_queue_) {
-    auto cmp = [&](const Task& a, const Task& b) {
-      return priority_[table_->id_of(a)] < priority_[table_->id_of(b)];
-    };
-    while (!q.empty()) {
-      std::pop_heap(q.begin(), q.end(), cmp);
-      const Task t = q.back();
-      q.pop_back();
-      gpu_backlog_[&q - gpu_queue_.data()] -= table_->flops(t);
-      if (acquire_target(t, resource)) {
+  for (int g = 0; g < static_cast<int>(gpu_queue_.size()); ++g) {
+    while (pop_gpu(g, &t, c.lock_wait)) {
+      if (acquire_target(t, resource, c.lock_wait)) {
         *out = t;
+        ++c.pops;
         return true;
       }
     }
@@ -154,7 +151,7 @@ bool ParsecScheduler::try_pop(int resource, Task* out) {
 }
 
 void ParsecScheduler::on_complete(const Task& task, int resource) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerCounters& c = counters_.at(resource);
   const SymbolicStructure& st = table_->structure();
   const Resource& res = machine_->resource(resource);
   const int local_worker = res.kind == ResourceKind::Cpu ? resource : 0;
@@ -165,12 +162,14 @@ void ParsecScheduler::on_complete(const Task& task, int resource) {
     for (const index_t m : groups_.members[task.panel]) {
       for (const UpdateEdge& e : st.targets[m]) {
         if (groups_.root_of[e.dst] == task.panel) continue;  // internal
-        if (--remaining_in_[e.dst] == 0) {
-          push_local({TaskKind::Panel, e.dst, -1}, local_worker);
+        if (remaining_in_.release_one(static_cast<std::size_t>(e.dst))) {
+          local_.push(local_worker, {TaskKind::Panel, e.dst, -1},
+                      c.lock_wait);
         }
       }
     }
-    completed_ += groups_.units(st, task.panel);
+    completed_.fetch_add(groups_.units(st, task.panel),
+                         std::memory_order_acq_rel);
     return;
   }
   if (task.kind == TaskKind::Panel) {
@@ -181,37 +180,36 @@ void ParsecScheduler::on_complete(const Task& task, int resource) {
          e < static_cast<index_t>(st.targets[task.panel].size()); ++e) {
       const Task u{TaskKind::Update, task.panel, e};
       if (gpu_eligible(u)) {
-        push_gpu(u);
+        push_gpu(u, c.lock_wait);
       } else {
-        push_local(u, local_worker);
+        local_.push(local_worker, u, c.lock_wait);
       }
     }
   } else {
     const index_t dst = st.targets[task.panel][task.edge].dst;
-    target_busy_[dst] = 0;
-    auto& wait = waiting_[dst];
-    if (!wait.empty()) {
-      // Wake deferred commute tasks on the queues of the workers that had
-      // claimed them.
-      for (auto& [t, r] : wait) {
-        if (machine_->resource(r).kind == ResourceKind::GpuStream) {
-          push_gpu(t);
-        } else {
-          push_local(t, r);
-        }
+    // Wake deferred commute tasks on the queues of the workers that had
+    // claimed them.
+    for (auto& [t, r] : commute_.release(dst, c.lock_wait)) {
+      if (machine_->resource(r).kind == ResourceKind::GpuStream) {
+        push_gpu(t, c.lock_wait);
+      } else {
+        local_.push(r, t, c.lock_wait);
       }
-      wait.clear();
     }
-    if (--remaining_in_[dst] == 0) {
-      push_local({TaskKind::Panel, dst, -1}, local_worker);
+    if (remaining_in_.release_one(static_cast<std::size_t>(dst))) {
+      local_.push(local_worker, {TaskKind::Panel, dst, -1}, c.lock_wait);
     }
   }
-  ++completed_;
+  completed_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool ParsecScheduler::finished() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return completed_ == total_tasks_;
+  return completed_.load(std::memory_order_acquire) == total_tasks_;
+}
+
+index_t ParsecScheduler::steal_count() const {
+  const ContentionStats c = counters_.snapshot();
+  return c.total_steals();
 }
 
 }  // namespace spx

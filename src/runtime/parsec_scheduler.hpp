@@ -15,13 +15,22 @@
 //     small sparse kernels overlap on the device (paper §V-B/C);
 //   * GPU work selection by a flop threshold plus least-loaded device
 //     queueing.
+//
+// Concurrency: the scheduler is sharded.  Each CPU worker owns a deque
+// shard with its own lock; dependency counters are atomics released with
+// fetch_sub; commute exclusion on update targets goes through striped
+// locks.  on_complete touches only the completing worker's shard (plus
+// the released successors' stripe/shard), never a global lock -- the
+// "local dependency release" that §IV credits for PaRSEC's scalability.
+// Only the device queues share one small mutex.
 #pragma once
 
-#include <deque>
+#include <atomic>
 #include <mutex>
 
 #include "runtime/scheduler.hpp"
 #include "runtime/subtree_merge.hpp"
+#include "runtime/worker_queues.hpp"
 
 namespace spx {
 
@@ -46,16 +55,19 @@ class ParsecScheduler : public Scheduler {
   bool finished() const override;
   std::string name() const override { return "parsec"; }
 
-  index_t steal_count() const { return steals_; }
+  index_t steal_count() const;
   const SubtreeGroups* subtree_groups() const override {
     return groups_.num_groups > 0 ? &groups_ : nullptr;
   }
+  ContentionStats contention() const override { return counters_.snapshot(); }
 
  private:
   bool gpu_eligible(const Task& t) const;
-  void push_local(const Task& t, int worker);
-  void push_gpu(const Task& t);
-  bool acquire_target(const Task& t, int resource);
+  void push_gpu(const Task& t, double& lock_wait);
+  bool pop_gpu(int gpu, Task* out, double& lock_wait);
+  /// Claims the commute lock on an update's target (parks the task when
+  /// busy); non-update tasks always pass.
+  bool acquire_target(const Task& t, int resource, double& lock_wait);
 
   const TaskTable* table_;
   const Machine* machine_;
@@ -64,19 +76,18 @@ class ParsecScheduler : public Scheduler {
   SubtreeGroups groups_;
   std::vector<double> priority_;
 
-  mutable std::mutex mutex_;
-  std::vector<index_t> remaining_in_;
+  AtomicCounters remaining_in_;
   /// Per-CPU-worker local deques (LIFO pop for cache reuse, FIFO steal).
-  std::vector<std::deque<Task>> local_;
+  ShardedTaskDeque local_;
+  /// Commute exclusion on update targets.
+  CommuteStripes commute_;
   /// Per-GPU queues (max-priority heaps) and pending-flops accounting.
+  mutable std::mutex gpu_mutex_;
   std::vector<std::vector<Task>> gpu_queue_;
   std::vector<double> gpu_backlog_;
-  /// Commute exclusion on update targets.
-  std::vector<char> target_busy_;
-  std::vector<std::vector<std::pair<Task, int>>> waiting_;
-  index_t completed_ = 0;
+  std::atomic<index_t> completed_{0};
   index_t total_tasks_ = 0;
-  index_t steals_ = 0;
+  CounterBank counters_;
 };
 
 }  // namespace spx

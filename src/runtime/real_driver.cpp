@@ -1,8 +1,8 @@
 #include "runtime/real_driver.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -11,6 +11,7 @@
 
 #include "common/timer.hpp"
 #include "core/codelets.hpp"
+#include "runtime/worker_queues.hpp"
 
 namespace spx {
 namespace {
@@ -29,6 +30,8 @@ class RealRun {
     sched_.reset();
     const int nr = machine_.num_resources();
     stats_.busy.assign(nr, 0.0);
+    idle_wait_.assign(static_cast<std::size_t>(nr), 0.0);
+    lock_wait_.assign(static_cast<std::size_t>(nr), 0.0);
     run_clock_.reset();
     Timer wall;
     {
@@ -41,14 +44,34 @@ class RealRun {
     stats_.makespan = wall.elapsed();
     stats_.tasks_cpu = tasks_cpu_.load();
     stats_.tasks_gpu = tasks_gpu_.load();
+    // Contention observability: scheduler-side counters plus the driver's
+    // own idle waits and per-panel lock waits, merged per resource.
+    ContentionStats c = sched_.contention();
+    const auto n = static_cast<std::size_t>(nr);
+    c.lock_wait.resize(n, 0.0);
+    c.steals.resize(n, 0);
+    c.pops.resize(n, 0);
+    c.depth_samples.resize(n, 0);
+    c.depth_sum.resize(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) c.lock_wait[r] += lock_wait_[r];
+    c.idle_wait = idle_wait_;
+    stats_.contention = std::move(c);
     if (error_) std::rethrow_exception(error_);
     return stats_;
   }
 
  private:
+  // Idle protocol (eventcount): a worker snapshots the generation counter
+  // *before* its failed try_pop, then waits until the generation moves.
+  // Every completion bumps the generation, so a task that became runnable
+  // between the failed pop and the wait flips the predicate -- no lost
+  // wakeups and no timed-poll latency floor.  The completion fast path
+  // skips the mutex entirely when no worker is parked; the Dekker-style
+  // seq_cst ordering between generation_ and sleepers_ makes that safe.
   void worker_loop(int r) {
     Workspace<T> ws, prescale_ws;
-    while (!aborted_.load(std::memory_order_relaxed)) {
+    while (!aborted_.load(std::memory_order_acquire)) {
+      const std::uint64_t gen = generation_.load();
       Task t;
       bool got = false;
       try {
@@ -59,8 +82,17 @@ class RealRun {
       }
       if (!got) {
         if (sched_.finished()) break;
-        std::unique_lock<std::mutex> lock(wake_mutex_);
-        wake_cv_.wait_for(lock, std::chrono::microseconds(200));
+        Timer idle;
+        {
+          std::unique_lock<std::mutex> lock(wake_mutex_);
+          sleepers_.fetch_add(1);
+          wake_cv_.wait(lock, [&] {
+            return generation_.load() != gen ||
+                   aborted_.load(std::memory_order_relaxed);
+          });
+          sleepers_.fetch_sub(1);
+        }
+        idle_wait_[static_cast<std::size_t>(r)] += idle.elapsed();
         continue;
       }
       const double t0 = run_clock_.elapsed();
@@ -75,9 +107,25 @@ class RealRun {
       if (options_.trace != nullptr) {
         options_.trace->record(r, t, t0, run_clock_.elapsed());
       }
-      sched_.on_complete(t, r);
-      wake_cv_.notify_all();
+      try {
+        sched_.on_complete(t, r);
+      } catch (...) {
+        record_error();
+        break;
+      }
+      bump_generation();
     }
+    // A worker exiting (finish or error) may be what lets the others
+    // observe the end state; wake them unconditionally.
+    bump_generation();
+  }
+
+  void bump_generation() {
+    generation_.fetch_add(1);  // seq_cst, ordered against sleepers_
+    if (sleepers_.load() == 0) return;
+    // Serialize with a parked (or parking) waiter's predicate check so
+    // the notify cannot slip between its check and its sleep.
+    { std::lock_guard<std::mutex> lock(wake_mutex_); }
     wake_cv_.notify_all();
   }
 
@@ -88,6 +136,7 @@ class RealRun {
                                       ? UpdateVariant::Direct
                                       : options_.cpu_variant;
     const SymbolicStructure& st = f_.structure();
+    double& lock_wait = lock_wait_[static_cast<std::size_t>(r)];
     if (t.kind == TaskKind::Subtree) {
       // Merged bottom subtree: factor + updates of every member, in
       // order.  The per-panel locks protect the external targets against
@@ -102,7 +151,7 @@ class RealRun {
           prescaled = prescale_ws.scaled.data();
         }
         for (const UpdateEdge& e : st.targets[m]) {
-          std::lock_guard<std::mutex> lock(panel_locks_[e.dst]);
+          TimedLock lock(panel_locks_[e.dst], lock_wait);
           apply_update(f_, m, e, variant, ws, prescaled);
         }
       }
@@ -126,7 +175,7 @@ class RealRun {
     // Per-panel lock: the schedulers' commute gating already serializes
     // generic updates into one target, but merged subtree tasks write
     // their external targets outside that protocol.
-    std::lock_guard<std::mutex> lock(panel_locks_[e.dst]);
+    TimedLock lock(panel_locks_[e.dst], lock_wait);
     apply_update(f_, t.panel, e, variant, ws, prescaled);
     if (res.kind == ResourceKind::GpuStream) {
       tasks_gpu_.fetch_add(1, std::memory_order_relaxed);
@@ -140,7 +189,7 @@ class RealRun {
     if (aborted_.compare_exchange_strong(expected, true)) {
       error_ = std::current_exception();
     }
-    wake_cv_.notify_all();
+    bump_generation();
   }
 
   Scheduler& sched_;
@@ -151,9 +200,13 @@ class RealRun {
   Timer run_clock_;
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> sleepers_{0};
   std::atomic<bool> aborted_{false};
   std::atomic<index_t> tasks_cpu_{0};
   std::atomic<index_t> tasks_gpu_{0};
+  std::vector<double> idle_wait_;  ///< per-resource, owner-thread written
+  std::vector<double> lock_wait_;  ///< per-resource panel-lock waits
   std::exception_ptr error_;
   RunStats stats_;
 };

@@ -7,6 +7,52 @@
 
 namespace spx {
 
+/// Per-worker contention counters from a real execution: where worker
+/// time goes besides compute.  Vectors are indexed by resource id; any of
+/// them may be empty when the producing scheduler or driver does not
+/// measure that quantity.
+struct ContentionStats {
+  std::vector<double> lock_wait;      ///< seconds blocked on scheduler locks
+  std::vector<double> idle_wait;      ///< seconds parked waiting for work
+  std::vector<index_t> steals;        ///< tasks taken from another worker
+  std::vector<index_t> pops;          ///< successful try_pop calls
+  std::vector<index_t> depth_samples; ///< queue-depth sample count
+  std::vector<double> depth_sum;      ///< sum of sampled own-queue depths
+
+  double total_lock_wait() const { return sum(lock_wait); }
+  double total_idle_wait() const { return sum(idle_wait); }
+  index_t total_steals() const { return sum_i(steals); }
+  index_t total_pops() const { return sum_i(pops); }
+  double avg_queue_depth() const {
+    const double n = static_cast<double>(sum_i(depth_samples));
+    return n > 0 ? sum(depth_sum) / n : 0.0;
+  }
+  /// Fraction of total worker-seconds spent blocked on scheduler locks.
+  double lock_wait_share(double makespan) const {
+    return share(total_lock_wait(), makespan, lock_wait.size());
+  }
+  /// Fraction of total worker-seconds spent parked with no runnable task.
+  double idle_share(double makespan) const {
+    return share(total_idle_wait(), makespan, idle_wait.size());
+  }
+
+ private:
+  static double sum(const std::vector<double>& v) {
+    double total = 0.0;
+    for (const double x : v) total += x;
+    return total;
+  }
+  static index_t sum_i(const std::vector<index_t>& v) {
+    index_t total = 0;
+    for (const index_t x : v) total += x;
+    return total;
+  }
+  static double share(double total, double makespan, std::size_t workers) {
+    if (makespan <= 0 || workers == 0) return 0.0;
+    return total / (makespan * static_cast<double>(workers));
+  }
+};
+
 struct RunStats {
   double makespan = 0.0;        ///< seconds (virtual for the simulator)
   double gflops = 0.0;          ///< total factorization flops / makespan
@@ -19,6 +65,7 @@ struct RunStats {
   index_t cache_queries = 0;
   index_t gpu_evictions = 0;    ///< LRU evictions under device memory
                                 ///< pressure (simulator only)
+  ContentionStats contention;   ///< lock/idle/steal counters (real driver)
 
   double busy_fraction() const {
     if (busy.empty() || makespan <= 0) return 0.0;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "runtime/machine.hpp"
+#include "runtime/run_stats.hpp"
 #include "runtime/subtree_merge.hpp"
 #include "runtime/task.hpp"
 
@@ -45,6 +46,11 @@ class Scheduler {
   /// TaskKind::Subtree tasks (drivers need the member lists to execute
   /// them); null otherwise.
   virtual const SubtreeGroups* subtree_groups() const { return nullptr; }
+
+  /// Per-worker contention counters accumulated since the last reset().
+  /// Only meaningful when the scheduler is quiescent (workers joined);
+  /// schedulers that do not measure contention return empty vectors.
+  virtual ContentionStats contention() const { return {}; }
 };
 
 }  // namespace spx

@@ -1,0 +1,83 @@
+// Global-mutex serialization wrapper around any Scheduler.
+//
+// Every try_pop / on_complete / peek_prefetch / finished goes through one
+// lock, reproducing the pre-sharding runtime layer.  It exists as a
+// *measurable baseline*: bench_fig2_cpu_scaling runs each scheduler both
+// bare and wrapped, and the difference in per-worker lock-wait share is
+// the contention the sharded design removed.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/worker_queues.hpp"
+
+namespace spx {
+
+class SerializedScheduler : public Scheduler {
+ public:
+  SerializedScheduler(Scheduler& inner, int num_resources)
+      : inner_(&inner) {
+    counters_.configure(num_resources);
+  }
+
+  void reset() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->reset();
+    counters_.clear();
+  }
+
+  bool try_pop(int resource, Task* out) override {
+    WorkerCounters& c = counters_.at(resource);
+    TimedLock lock(mutex_, c.lock_wait);
+    const bool got = inner_->try_pop(resource, out);
+    if (got) ++c.pops;
+    return got;
+  }
+
+  void on_complete(const Task& task, int resource) override {
+    TimedLock lock(mutex_, counters_.at(resource).lock_wait);
+    inner_->on_complete(task, resource);
+  }
+
+  bool finished() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->finished();
+  }
+
+  std::string name() const override {
+    return inner_->name() + "+globallock";
+  }
+
+  bool peek_prefetch(int resource, Task* out) override {
+    TimedLock lock(mutex_, counters_.at(resource).lock_wait);
+    return inner_->peek_prefetch(resource, out);
+  }
+
+  const SubtreeGroups* subtree_groups() const override {
+    return inner_->subtree_groups();
+  }
+
+  ContentionStats contention() const override {
+    // Inner waits (uncontended under the global lock) plus the wrapper's
+    // own blocking, which is where the serialization cost shows up.
+    ContentionStats c = inner_->contention();
+    const ContentionStats mine = counters_.snapshot();
+    if (c.lock_wait.size() < mine.lock_wait.size()) {
+      c.lock_wait.resize(mine.lock_wait.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < mine.lock_wait.size(); ++i) {
+      c.lock_wait[i] += mine.lock_wait[i];
+    }
+    if (c.pops.empty()) c.pops = mine.pops;
+    return c;
+  }
+
+ private:
+  Scheduler* inner_;
+  mutable std::mutex mutex_;
+  CounterBank counters_;
+};
+
+}  // namespace spx

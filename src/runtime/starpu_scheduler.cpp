@@ -1,6 +1,7 @@
 #include "runtime/starpu_scheduler.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace spx {
 namespace {
@@ -52,23 +53,32 @@ StarpuScheduler::StarpuScheduler(const TaskTable& table,
     }
   }
   priority_ = table.bottom_levels(costs);
+  remaining_.configure(static_cast<std::size_t>(table.num_tasks()));
+  dmda_ = std::make_unique<ResourceQueue[]>(
+      static_cast<std::size_t>(machine.num_resources()));
+  commute_.configure(table.num_panels());
+  counters_.configure(machine.num_resources());
   reset();
 }
 
 void StarpuScheduler::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  remaining_ = deps_.in_count();
+  // Reset runs while the scheduler is quiescent (no workers attached).
+  remaining_.assign(deps_.in_count());
   eager_any_.clear();
   eager_gpu_.clear();
-  dmda_queue_.assign(machine_->num_resources(), {});
+  for (int r = 0; r < machine_->num_resources(); ++r) {
+    dmda_[r].q.clear();
+  }
   est_avail_.assign(machine_->num_resources(), 0.0);
   prefetch_done_.assign(static_cast<std::size_t>(table_->num_tasks()), 0);
-  target_busy_.assign(static_cast<std::size_t>(table_->num_panels()), 0);
-  waiting_.assign(static_cast<std::size_t>(table_->num_panels()), {});
+  commute_.clear();
   assigned_.assign(static_cast<std::size_t>(table_->num_tasks()), -1);
-  completed_ = 0;
+  completed_.store(0, std::memory_order_relaxed);
+  counters_.clear();
+  double ignored_wait = 0.0;
+  const std::vector<index_t>& in = deps_.in_count();
   for (index_t id = 0; id < table_->num_tasks(); ++id) {
-    if (remaining_[id] == 0) enqueue_ready(id);
+    if (in[id] == 0) enqueue_ready(id, ignored_wait);
   }
 }
 
@@ -81,112 +91,140 @@ bool StarpuScheduler::gpu_eligible(index_t id) const {
   return table_->flops(t) >= options_.gpu_min_flops;
 }
 
-void StarpuScheduler::enqueue_ready(index_t id) {
-  // Caller holds the lock.
+void StarpuScheduler::enqueue_ready(index_t id, double& lock_wait) {
   if (options_.policy == StarpuOptions::Policy::Eager) {
+    TimedLock lock(central_mutex_, lock_wait);
     heap_push(gpu_eligible(id) ? eager_gpu_ : eager_any_, priority_, id);
     return;
   }
   // dmda: minimum estimated completion time across eligible resources.
   const Task t = table_->task_of(id);
   int best = -1;
-  double best_finish = 0.0;
-  for (int r = 0; r < machine_->num_resources(); ++r) {
-    const Resource& res = machine_->resource(r);
-    double exec, transfer = 0.0;
-    if (res.kind == ResourceKind::Cpu) {
-      exec = t.kind == TaskKind::Panel
-                 ? costs_->panel_seconds(t.panel, ResourceKind::Cpu)
-                 : costs_->update_seconds(t.panel, t.edge,
-                                          ResourceKind::Cpu);
-      if (directory_ != nullptr && t.kind == TaskKind::Update) {
-        const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
-        transfer = costs_->transfer_seconds(
-            directory_->bytes_to_fetch(t.panel, DataDirectory::kHost) +
-            directory_->bytes_to_fetch(dst, DataDirectory::kHost));
+  {
+    TimedLock lock(placement_mutex_, lock_wait);
+    double best_finish = 0.0;
+    for (int r = 0; r < machine_->num_resources(); ++r) {
+      const Resource& res = machine_->resource(r);
+      double exec, transfer = 0.0;
+      if (res.kind == ResourceKind::Cpu) {
+        exec = t.kind == TaskKind::Panel
+                   ? costs_->panel_seconds(t.panel, ResourceKind::Cpu)
+                   : costs_->update_seconds(t.panel, t.edge,
+                                            ResourceKind::Cpu);
+        if (directory_ != nullptr && t.kind == TaskKind::Update) {
+          const index_t dst =
+              table_->structure().targets[t.panel][t.edge].dst;
+          transfer = costs_->transfer_seconds(
+              directory_->bytes_to_fetch(t.panel, DataDirectory::kHost) +
+              directory_->bytes_to_fetch(dst, DataDirectory::kHost));
+        }
+      } else {
+        if (!gpu_eligible(id)) continue;
+        exec = costs_->update_seconds(t.panel, t.edge,
+                                      ResourceKind::GpuStream);
+        if (directory_ != nullptr) {
+          const index_t dst =
+              table_->structure().targets[t.panel][t.edge].dst;
+          transfer = costs_->transfer_seconds(
+              directory_->bytes_to_fetch(t.panel, res.gpu) +
+              directory_->bytes_to_fetch(dst, res.gpu));
+        }
       }
-    } else {
-      if (!gpu_eligible(id)) continue;
-      exec = costs_->update_seconds(t.panel, t.edge,
-                                    ResourceKind::GpuStream);
-      if (directory_ != nullptr) {
-        const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
-        transfer = costs_->transfer_seconds(
-            directory_->bytes_to_fetch(t.panel, res.gpu) +
-            directory_->bytes_to_fetch(dst, res.gpu));
+      const double finish = est_avail_[r] + transfer + exec;
+      if (best < 0 || finish < best_finish) {
+        best = r;
+        best_finish = finish;
       }
     }
-    const double finish = est_avail_[r] + transfer + exec;
-    if (best < 0 || finish < best_finish) {
-      best = r;
-      best_finish = finish;
-    }
+    SPX_ASSERT(best >= 0);
+    est_avail_[best] = best_finish;
+    assigned_[id] = best;
   }
-  SPX_ASSERT(best >= 0);
-  est_avail_[best] = best_finish;
-  assigned_[id] = best;
-  dmda_queue_[best].push_back(id);
+  TimedLock lock(dmda_[best].m, lock_wait);
+  dmda_[best].q.push_back(id);
 }
 
-bool StarpuScheduler::runnable_now(index_t id) {
+bool StarpuScheduler::runnable_now(index_t id, int resource,
+                                   double& lock_wait) {
   const Task t = table_->task_of(id);
   if (t.kind != TaskKind::Update) return true;
   const index_t dst = table_->structure().targets[t.panel][t.edge].dst;
-  if (target_busy_[dst]) {
-    waiting_[dst].push_back(id);
-    return false;
-  }
-  target_busy_[dst] = 1;
-  return true;
+  return commute_.acquire(dst, t, resource, lock_wait);
 }
 
 bool StarpuScheduler::try_pop(int resource, Task* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerCounters& c = counters_.at(resource);
   const Resource& res = machine_->resource(resource);
+  bool sampled = false;
   if (options_.policy == StarpuOptions::Policy::Eager) {
     // CPU workers draw from both queues (by priority); GPU streams only
-    // from the GPU-eligible queue.
+    // from the GPU-eligible queue.  The heap pop happens under the
+    // central lock; commute acquisition after it is dropped.
     while (true) {
-      std::vector<index_t>* q;
-      if (res.kind == ResourceKind::Cpu) {
-        if (!eager_any_.empty() && !eager_gpu_.empty()) {
-          q = priority_[eager_any_.front()] >= priority_[eager_gpu_.front()]
-                  ? &eager_any_
-                  : &eager_gpu_;
-        } else if (!eager_any_.empty()) {
-          q = &eager_any_;
-        } else if (!eager_gpu_.empty()) {
-          q = &eager_gpu_;
-        } else {
-          return false;
+      index_t id;
+      {
+        TimedLock lock(central_mutex_, c.lock_wait);
+        if (!sampled) {
+          c.depth_sum +=
+              static_cast<double>(eager_any_.size() + eager_gpu_.size());
+          ++c.depth_samples;
+          sampled = true;
         }
-      } else {
-        if (eager_gpu_.empty()) return false;
-        q = &eager_gpu_;
+        std::vector<index_t>* q;
+        if (res.kind == ResourceKind::Cpu) {
+          if (!eager_any_.empty() && !eager_gpu_.empty()) {
+            q = priority_[eager_any_.front()] >=
+                        priority_[eager_gpu_.front()]
+                    ? &eager_any_
+                    : &eager_gpu_;
+          } else if (!eager_any_.empty()) {
+            q = &eager_any_;
+          } else if (!eager_gpu_.empty()) {
+            q = &eager_gpu_;
+          } else {
+            return false;
+          }
+        } else {
+          if (eager_gpu_.empty()) return false;
+          q = &eager_gpu_;
+        }
+        id = heap_pop(*q, priority_);
       }
-      const index_t id = heap_pop(*q, priority_);
-      if (runnable_now(id)) {
+      if (runnable_now(id, resource, c.lock_wait)) {
         *out = table_->task_of(id);
+        ++c.pops;
         return true;
       }
     }
   }
-  auto& q = dmda_queue_[resource];
-  while (!q.empty()) {
-    const index_t id = q.front();
-    q.pop_front();
-    if (runnable_now(id)) {
+  ResourceQueue& rq = dmda_[resource];
+  while (true) {
+    index_t id;
+    {
+      TimedLock lock(rq.m, c.lock_wait);
+      if (!sampled) {
+        c.depth_sum += static_cast<double>(rq.q.size());
+        ++c.depth_samples;
+        sampled = true;
+      }
+      if (rq.q.empty()) return false;
+      id = rq.q.front();
+      rq.q.pop_front();
+    }
+    if (runnable_now(id, resource, c.lock_wait)) {
       *out = table_->task_of(id);
+      ++c.pops;
       return true;
     }
   }
-  return false;
 }
 
 bool StarpuScheduler::peek_prefetch(int resource, Task* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (options_.policy != StarpuOptions::Policy::Dmda) return false;
-  for (const index_t id : dmda_queue_[resource]) {
+  WorkerCounters& c = counters_.at(resource);
+  ResourceQueue& rq = dmda_[resource];
+  TimedLock lock(rq.m, c.lock_wait);
+  for (const index_t id : rq.q) {
     if (!prefetch_done_[id]) {
       prefetch_done_[id] = 1;
       *out = table_->task_of(id);
@@ -196,34 +234,66 @@ bool StarpuScheduler::peek_prefetch(int resource, Task* out) {
   return false;
 }
 
-void StarpuScheduler::on_complete(const Task& task, int /*resource*/) {
-  std::lock_guard<std::mutex> lock(mutex_);
+void StarpuScheduler::on_complete(const Task& task, int resource) {
+  WorkerCounters& c = counters_.at(resource);
   const index_t id = table_->id_of(task);
   if (task.kind == TaskKind::Update) {
-    const index_t dst = table_->structure().targets[task.panel][task.edge].dst;
-    target_busy_[dst] = 0;
-    if (!waiting_[dst].empty()) {
-      // Re-enqueue deferred commute tasks; the next pop re-checks the
-      // busy flag.
-      for (const index_t w : waiting_[dst]) {
-        if (options_.policy == StarpuOptions::Policy::Eager) {
-          heap_push(gpu_eligible(w) ? eager_gpu_ : eager_any_, priority_, w);
-        } else {
-          dmda_queue_[assigned_[w]].push_front(w);
+    const index_t dst =
+        table_->structure().targets[task.panel][task.edge].dst;
+    std::vector<std::pair<Task, int>> parked =
+        commute_.release(dst, c.lock_wait);
+    if (!parked.empty()) {
+      if (options_.policy == StarpuOptions::Policy::Eager) {
+        TimedLock lock(central_mutex_, c.lock_wait);
+        for (const auto& [t, r] : parked) {
+          const index_t w = table_->id_of(t);
+          heap_push(gpu_eligible(w) ? eager_gpu_ : eager_any_, priority_,
+                    w);
+        }
+      } else {
+        // Re-insert deferred tasks at the front of their assigned queues
+        // (they were dmda-placed first and must not fall behind newer
+        // work), grouped per resource and in descending priority so the
+        // dmda completion-time order is preserved -- a plain push_front
+        // loop would reverse it.
+        std::sort(parked.begin(), parked.end(),
+                  [&](const std::pair<Task, int>& a,
+                      const std::pair<Task, int>& b) {
+                    const index_t ia = table_->id_of(a.first);
+                    const index_t ib = table_->id_of(b.first);
+                    if (assigned_[ia] != assigned_[ib]) {
+                      return assigned_[ia] < assigned_[ib];
+                    }
+                    if (priority_[ia] != priority_[ib]) {
+                      return priority_[ia] > priority_[ib];
+                    }
+                    return ia < ib;
+                  });
+        std::size_t i = 0;
+        while (i < parked.size()) {
+          const int r = assigned_[table_->id_of(parked[i].first)];
+          std::vector<index_t> ids;
+          while (i < parked.size() &&
+                 assigned_[table_->id_of(parked[i].first)] == r) {
+            ids.push_back(table_->id_of(parked[i].first));
+            ++i;
+          }
+          TimedLock lock(dmda_[r].m, c.lock_wait);
+          dmda_[r].q.insert(dmda_[r].q.begin(), ids.begin(), ids.end());
         }
       }
-      waiting_[dst].clear();
     }
   }
   for (const index_t succ : deps_.successors()[id]) {
-    if (--remaining_[succ] == 0) enqueue_ready(succ);
+    if (remaining_.release_one(static_cast<std::size_t>(succ))) {
+      enqueue_ready(succ, c.lock_wait);
+    }
   }
-  ++completed_;
+  completed_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool StarpuScheduler::finished() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return completed_ == table_->num_tasks();
+  return completed_.load(std::memory_order_acquire) == table_->num_tasks();
 }
 
 }  // namespace spx

@@ -16,14 +16,23 @@
 //   * no data-reuse policy on CPUs -- the paper attributes StarPU's
 //     multicore gap to exactly this, and the simulator's cache model sees
 //     the effect because placement here ignores locality.
+//
+// Concurrency: dependency counters are atomics; each dmda per-resource
+// queue has its own lock; placement (est_avail_) and the eager heaps keep
+// small dedicated mutexes -- dmda placement stays centralized by design
+// (that *is* the StarPU model the paper measures), but completion no
+// longer serializes against every other worker's pop.
 #pragma once
 
+#include <atomic>
 #include <deque>
+#include <memory>
 #include <mutex>
 
 #include "runtime/access_deps.hpp"
 #include "runtime/data_directory.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/worker_queues.hpp"
 
 namespace spx {
 
@@ -55,11 +64,20 @@ class StarpuScheduler : public Scheduler {
   bool peek_prefetch(int resource, Task* out) override;
 
   const ImplicitDeps& deps() const { return deps_; }
+  ContentionStats contention() const override { return counters_.snapshot(); }
 
  private:
+  /// A dmda per-resource FIFO; also guards prefetch_done_ of the ids it
+  /// holds (an id lives in exactly one queue).
+  struct alignas(64) ResourceQueue {
+    std::mutex m;
+    std::deque<index_t> q;
+  };
+
   bool gpu_eligible(index_t id) const;
-  void enqueue_ready(index_t id);
-  bool runnable_now(index_t id);  // commute gating; marks busy on success
+  void enqueue_ready(index_t id, double& lock_wait);
+  /// Commute gating: claims the update's target or parks the task.
+  bool runnable_now(index_t id, int resource, double& lock_wait);
 
   const TaskTable* table_;
   const Machine* machine_;
@@ -70,20 +88,22 @@ class StarpuScheduler : public Scheduler {
   ImplicitDeps deps_;
   std::vector<double> priority_;
 
-  mutable std::mutex mutex_;
-  std::vector<index_t> remaining_;
-  // Eager: two central queues (max-priority first).
+  AtomicCounters remaining_;
+  // Eager: two central queues (max-priority first) under one mutex.
+  std::mutex central_mutex_;
   std::vector<index_t> eager_any_;
   std::vector<index_t> eager_gpu_;
-  // Dmda: per-resource FIFO queues + availability estimates.
-  std::vector<std::deque<index_t>> dmda_queue_;
+  // Dmda: per-resource FIFO queues; placement estimates under their own
+  // mutex (HEFT placement is centralized by design).
+  std::unique_ptr<ResourceQueue[]> dmda_;
+  std::mutex placement_mutex_;
   std::vector<double> est_avail_;
   std::vector<char> prefetch_done_;
-  // Commute exclusion.
-  std::vector<char> target_busy_;
-  std::vector<std::vector<index_t>> waiting_;
-  std::vector<int> assigned_;  // dmda resource of deferred tasks
-  index_t completed_ = 0;
+  // Commute exclusion on update targets.
+  CommuteStripes commute_;
+  std::vector<int> assigned_;  // dmda resource of each task, set once
+  std::atomic<index_t> completed_{0};
+  CounterBank counters_;
 };
 
 }  // namespace spx

@@ -1,10 +1,49 @@
 #include "runtime/trace.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
+#include <ios>
+#include <ostream>
 
 #include "common/error.hpp"
 
 namespace spx {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 namespace {
 
 const char* kind_name(TaskKind k) {
@@ -23,11 +62,14 @@ void write_event(std::ostream& out, const TraceRecorder::Event& e,
                  const char* row_prefix, bool& first) {
   if (!first) out << ",\n";
   first = false;
-  out << "  {\"name\": \"" << kind_name(e.kind) << " p" << e.panel;
-  if (e.edge >= 0) out << " e" << e.edge;
-  out << "\", \"cat\": \"" << kind_name(e.kind)
-      << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": \"" << row_prefix
-      << e.resource << "\", \"ts\": " << e.start * 1e6
+  std::string name = std::string(kind_name(e.kind)) + " p" +
+                     std::to_string(e.panel);
+  if (e.edge >= 0) name += " e" + std::to_string(e.edge);
+  const std::string tid = row_prefix + std::to_string(e.resource);
+  out << "  {\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+      << json_escape(kind_name(e.kind))
+      << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": \"" << json_escape(tid)
+      << "\", \"ts\": " << e.start * 1e6
       << ", \"dur\": " << (e.end - e.start) * 1e6 << "}";
 }
 
@@ -35,11 +77,19 @@ void write_event(std::ostream& out, const TraceRecorder::Event& e,
 
 void TraceRecorder::write_chrome_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Fixed-point microseconds with three decimals (nanosecond resolution):
+  // the default 6-significant-digit float formatting rounds ts to whole
+  // milliseconds once a run passes the one-second mark.
+  const std::ios_base::fmtflags flags = out.flags();
+  const std::streamsize precision = out.precision();
+  out << std::fixed << std::setprecision(3);
   out << "{\"traceEvents\": [\n";
   bool first = true;
   for (const Event& e : events_) write_event(out, e, "worker-", first);
   for (const Event& e : transfers_) write_event(out, e, "dma-", first);
   out << "\n]}\n";
+  out.flags(flags);
+  out.precision(precision);
 }
 
 void TraceRecorder::write_chrome_json_file(const std::string& path) const {

@@ -9,11 +9,16 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/task.hpp"
 
 namespace spx {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// and control characters).
+std::string json_escape(std::string_view s);
 
 class TraceRecorder {
  public:

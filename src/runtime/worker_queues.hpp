@@ -1,0 +1,297 @@
+// Sharded runtime-layer primitives shared by the three schedulers and the
+// real execution driver.
+//
+// The original runtime layer funneled every try_pop / on_complete through
+// one global std::mutex per scheduler, which caps scaling by lock
+// convoying well before 12 cores (the paper's §IV point: PaRSEC's *local*
+// dependency release is what wins on many-small-task matrices).  This
+// header provides the building blocks of the sharded design:
+//
+//   * TimedLock        -- mutex guard that charges blocked time to a
+//                         per-worker accumulator (cheap when uncontended);
+//   * CounterBank      -- cache-line-padded per-worker contention counters
+//                         (lock-wait, steals, pops, queue-depth samples);
+//   * AtomicCounters   -- dependency counters released with fetch_sub, so
+//                         on_complete never takes a global lock;
+//   * ShardedTaskDeque -- per-worker ready deques, each with its own lock
+//                         (LIFO local pop, FIFO steal from the most loaded
+//                         shard);
+//   * CommuteStripes   -- striped commute-exclusion gate on update targets
+//                         with deferred-task parking under the stripe lock.
+//
+// Counter slots are written only by the owning worker and read quiescently
+// (after the driver joined its workers), so they need no atomics.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "runtime/run_stats.hpp"
+#include "runtime/task.hpp"
+
+namespace spx {
+
+/// Locks `m` for the current scope, adding any time spent blocked to
+/// `wait_acc`.  The clock is only read when a try_lock fails, so the
+/// uncontended fast path costs one atomic exchange.
+class TimedLock {
+ public:
+  TimedLock(std::mutex& m, double& wait_acc) : m_(m) {
+    if (!m_.try_lock()) {
+      Timer blocked;
+      m_.lock();
+      wait_acc += blocked.elapsed();
+    }
+  }
+  ~TimedLock() { m_.unlock(); }
+  TimedLock(const TimedLock&) = delete;
+  TimedLock& operator=(const TimedLock&) = delete;
+
+ private:
+  std::mutex& m_;
+};
+
+/// Per-worker contention counters, padded to a cache line so concurrent
+/// workers never write the same line.
+struct alignas(64) WorkerCounters {
+  double lock_wait = 0.0;     ///< seconds blocked acquiring scheduler locks
+  double depth_sum = 0.0;     ///< sum of sampled own-queue depths
+  index_t steals = 0;         ///< tasks taken from another worker's shard
+  index_t pops = 0;           ///< successful try_pop calls
+  index_t depth_samples = 0;  ///< number of queue-depth samples
+};
+
+class CounterBank {
+ public:
+  void configure(int num_workers) {
+    slots_.assign(static_cast<std::size_t>(std::max(1, num_workers)),
+                  WorkerCounters{});
+  }
+  void clear() {
+    for (WorkerCounters& s : slots_) s = WorkerCounters{};
+  }
+  WorkerCounters& at(int worker) {
+    const int n = static_cast<int>(slots_.size());
+    return slots_[static_cast<std::size_t>(worker >= 0 && worker < n
+                                               ? worker
+                                               : 0)];
+  }
+  ContentionStats snapshot() const {
+    ContentionStats out;
+    const std::size_t n = slots_.size();
+    out.lock_wait.resize(n);
+    out.steals.resize(n);
+    out.pops.resize(n);
+    out.depth_samples.resize(n);
+    out.depth_sum.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.lock_wait[i] = slots_[i].lock_wait;
+      out.steals[i] = slots_[i].steals;
+      out.pops[i] = slots_[i].pops;
+      out.depth_samples[i] = slots_[i].depth_samples;
+      out.depth_sum[i] = slots_[i].depth_sum;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<WorkerCounters> slots_;
+};
+
+/// Fixed-capacity array of atomic dependency counters.  Capacity is set
+/// once at construction; values are rewritten by reset() while the
+/// scheduler is quiescent.
+class AtomicCounters {
+ public:
+  void configure(std::size_t n) {
+    n_ = n;
+    v_ = std::make_unique<std::atomic<index_t>[]>(n);
+  }
+  void assign(const std::vector<index_t>& src) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      v_[i].store(i < src.size() ? src[i] : 0, std::memory_order_relaxed);
+    }
+  }
+  index_t load(std::size_t i) const {
+    return v_[i].load(std::memory_order_acquire);
+  }
+  /// Releases one dependency of `i`; true when it was the last one (the
+  /// fetch_sub is acq_rel, so the releaser's writes are visible to whoever
+  /// observes the counter at zero).
+  bool release_one(std::size_t i) {
+    return v_[i].fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<index_t>[]> v_;
+  std::size_t n_ = 0;
+};
+
+/// Per-worker ready-task deques, one lock per shard: a worker pops LIFO
+/// from its own shard (cache reuse) and steals FIFO from the most loaded
+/// peer.  Approximate sizes are kept in atomics so victim selection never
+/// locks a shard it will not pop from.
+class ShardedTaskDeque {
+ public:
+  void configure(int num_shards) {
+    count_ = std::max(1, num_shards);
+    shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(count_));
+  }
+  int num_shards() const { return count_; }
+
+  /// Reset-time clearing (quiescent).
+  void clear() {
+    for (int s = 0; s < count_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].m);
+      shards_[s].q.clear();
+      shards_[s].size.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void push(int shard, const Task& t, double& lock_wait) {
+    Shard& s = shards_[clamp(shard)];
+    TimedLock lock(s.m, lock_wait);
+    s.q.push_back(t);
+    s.size.store(s.q.size(), std::memory_order_release);
+  }
+
+  bool pop_lifo(int shard, Task* out, double& lock_wait) {
+    Shard& s = shards_[clamp(shard)];
+    TimedLock lock(s.m, lock_wait);
+    if (s.q.empty()) {
+      s.size.store(0, std::memory_order_release);
+      return false;
+    }
+    *out = s.q.back();
+    s.q.pop_back();
+    s.size.store(s.q.size(), std::memory_order_release);
+    return true;
+  }
+
+  bool pop_fifo(int shard, Task* out, double& lock_wait) {
+    Shard& s = shards_[clamp(shard)];
+    TimedLock lock(s.m, lock_wait);
+    if (s.q.empty()) {
+      s.size.store(0, std::memory_order_release);
+      return false;
+    }
+    *out = s.q.front();
+    s.q.pop_front();
+    s.size.store(s.q.size(), std::memory_order_release);
+    return true;
+  }
+
+  std::size_t approx_size(int shard) const {
+    return shards_[clamp(shard)].size.load(std::memory_order_relaxed);
+  }
+
+  /// Most loaded shard other than `self` (ties break toward the lower
+  /// index so steal order is deterministic); -1 when all appear empty.
+  int most_loaded(int self) const {
+    int best = -1;
+    std::ptrdiff_t most = 0;
+    for (int w = 0; w < count_; ++w) {
+      if (w == self) continue;
+      const auto sz = static_cast<std::ptrdiff_t>(approx_size(w));
+      if (sz > most) {
+        most = sz;
+        best = w;
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex m;
+    std::deque<Task> q;
+    std::atomic<std::size_t> size{0};
+  };
+
+  int clamp(int s) const { return s >= 0 && s < count_ ? s : 0; }
+
+  std::unique_ptr<Shard[]> shards_;
+  int count_ = 0;
+};
+
+/// Striped commute-exclusion gate on update targets.  acquire() claims the
+/// destination panel or parks the task under the stripe lock; release()
+/// clears the claim and hands the parked tasks back to the caller for
+/// re-enqueueing.  Because parking and draining happen under the same
+/// stripe lock, a task parked concurrently with a release is always picked
+/// up by either that release or the next one.
+class CommuteStripes {
+ public:
+  void configure(index_t num_panels) {
+    busy_.assign(static_cast<std::size_t>(num_panels), 0);
+    waiting_.assign(static_cast<std::size_t>(num_panels), {});
+  }
+  /// Reset-time clearing (quiescent).
+  void clear() {
+    std::fill(busy_.begin(), busy_.end(), 0);
+    for (auto& w : waiting_) w.clear();
+  }
+
+  /// True when `dst` was free and is now claimed by the caller; false when
+  /// busy, in which case (task, resource) was parked for the matching
+  /// release().
+  bool acquire(index_t dst, const Task& t, int resource, double& lock_wait) {
+    TimedLock lock(stripe(dst), lock_wait);
+    if (busy_[static_cast<std::size_t>(dst)]) {
+      waiting_[static_cast<std::size_t>(dst)].emplace_back(t, resource);
+      return false;
+    }
+    busy_[static_cast<std::size_t>(dst)] = 1;
+    return true;
+  }
+
+  /// Clears the claim on `dst` and returns the parked (task, resource)
+  /// pairs, in arrival order.
+  std::vector<std::pair<Task, int>> release(index_t dst, double& lock_wait) {
+    TimedLock lock(stripe(dst), lock_wait);
+    busy_[static_cast<std::size_t>(dst)] = 0;
+    return std::exchange(waiting_[static_cast<std::size_t>(dst)], {});
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  struct alignas(64) Stripe {
+    std::mutex m;
+  };
+
+  std::mutex& stripe(index_t p) {
+    return stripes_[static_cast<std::size_t>(p) % kStripes].m;
+  }
+
+  Stripe stripes_[kStripes];
+  std::vector<char> busy_;
+  std::vector<std::vector<std::pair<Task, int>>> waiting_;
+};
+
+/// A steal candidate of the native scheduler's victim ordering.
+struct StealVictim {
+  index_t remaining;  ///< undispatched panels left in the victim's queue
+  int worker;
+};
+
+/// Steal order: most remaining work first, ties broken toward the lower
+/// worker index.  Signed comparison throughout -- the historical
+/// comparator subtracted unsigned size()/head values, which wrapped and
+/// made the order platform-dependent.
+inline void sort_steal_victims(std::vector<StealVictim>& victims) {
+  std::sort(victims.begin(), victims.end(),
+            [](const StealVictim& a, const StealVictim& b) {
+              if (a.remaining != b.remaining) {
+                return a.remaining > b.remaining;
+              }
+              return a.worker < b.worker;
+            });
+}
+
+}  // namespace spx

@@ -4,17 +4,23 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <thread>
 
+#include "core/analysis.hpp"
 #include "core/sequential.hpp"
 #include "core/solve.hpp"
 #include "core/solver.hpp"
 #include "mat/generators.hpp"
 #include "runtime/access_deps.hpp"
+#include "runtime/dag_stats.hpp"
 #include "runtime/flop_costs.hpp"
 #include "runtime/native_scheduler.hpp"
 #include "runtime/parsec_scheduler.hpp"
 #include "runtime/real_driver.hpp"
+#include "runtime/serialized_scheduler.hpp"
 #include "runtime/starpu_scheduler.hpp"
+#include "runtime/worker_queues.hpp"
 #include "test_support.hpp"
 
 namespace spx {
@@ -587,6 +593,311 @@ TEST(NativeMapping, ProportionalSolvesNumerically) {
     err = std::max(err, std::abs(out[i] - x[i]));
   }
   EXPECT_LT(err, 1e-9);
+}
+
+}  // namespace
+}  // namespace spx
+
+// ---------- sharded-runtime regression and stress coverage ---------------
+
+namespace spx {
+namespace {
+
+TEST(StealOrder, VictimOrderingIsSignedAndDeterministic) {
+  // Historical bug: the native steal comparator subtracted unsigned
+  // size()/head values; this pins the intended order -- most remaining
+  // work first, lower worker index on ties.
+  std::vector<StealVictim> v = {{5, 3}, {7, 1}, {5, 0}, {2, 2}};
+  sort_steal_victims(v);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].worker, 1);
+  EXPECT_EQ(v[1].worker, 0);
+  EXPECT_EQ(v[2].worker, 3);
+  EXPECT_EQ(v[3].worker, 2);
+}
+
+/// Fan-in structure: three width-1 panels (off-diagonal heights h0 < h2 <
+/// h1) all updating one wide panel 3.  Distinct heights give the updates
+/// distinct bottom-level priorities: u1 > u2 > u0.
+SymbolicStructure fan_in_structure() {
+  SymbolicStructure st;
+  const index_t heights[3] = {2, 6, 4};
+  size_type storage = 0, nnz = 0;
+  for (index_t p = 0; p < 3; ++p) {
+    Panel panel;
+    panel.supernode = p;
+    panel.col_begin = p;
+    panel.col_end = p + 1;
+    panel.nrows = 1 + heights[p];
+    panel.storage_offset = storage;
+    panel.blocks.push_back({p, p + 1, p, 0});
+    panel.blocks.push_back({3, 3 + heights[p], 3, 1});
+    storage += static_cast<size_type>(panel.nrows);
+    nnz += 1 + static_cast<size_type>(heights[p]);
+    st.panels.push_back(panel);
+    st.targets.push_back({{3, 1, 2}});
+    st.in_degree.push_back(0);
+    st.panel_of_col.push_back(p);
+  }
+  Panel wide;
+  wide.supernode = 3;
+  wide.col_begin = 3;
+  wide.col_end = 11;
+  wide.nrows = 8;
+  wide.storage_offset = storage;
+  wide.blocks.push_back({3, 11, 3, 0});
+  storage += 64;
+  nnz += 36;
+  st.panels.push_back(wide);
+  st.targets.push_back({});
+  st.in_degree.push_back(3);
+  for (index_t j = 3; j < 11; ++j) st.panel_of_col.push_back(3);
+  st.factor_entries = storage;
+  st.nnz_factor = nnz;
+  st.validate();
+  return st;
+}
+
+TEST(StarpuDmda, DeferredCommuteTasksReinsertedInPriorityOrder) {
+  // Regression: deferred commute tasks used to be re-enqueued with a
+  // push_front loop, which reversed the dmda completion-time order when
+  // several updates were parked on the same target panel.
+  const SymbolicStructure st = fan_in_structure();
+  TaskTable table(st, Factorization::LLT);
+  Machine machine(1);
+  FlopCosts costs(table);
+  StarpuScheduler sched(table, machine, costs);  // dmda policy
+
+  const std::vector<double> prio = table.bottom_levels(costs);
+  const index_t u0 = table.id_of({TaskKind::Update, 0, 0});
+  const index_t u1 = table.id_of({TaskKind::Update, 1, 0});
+  const index_t u2 = table.id_of({TaskKind::Update, 2, 0});
+  ASSERT_GT(prio[u1], prio[u2]);
+  ASSERT_GT(prio[u2], prio[u0]);
+
+  Task t;
+  for (index_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(sched.try_pop(0, &t));
+    ASSERT_EQ(t.kind, TaskKind::Panel);
+    sched.on_complete(t, 0);
+  }
+  // u0 claims panel 3; u1 and u2 arrive while it is busy and are parked.
+  ASSERT_TRUE(sched.try_pop(0, &t));
+  ASSERT_EQ(t.kind, TaskKind::Update);
+  ASSERT_EQ(t.panel, 0);
+  Task parked_probe;
+  ASSERT_FALSE(sched.try_pop(0, &parked_probe));
+  sched.on_complete(t, 0);
+  // The release must hand back the higher-priority u1 before u2.
+  ASSERT_TRUE(sched.try_pop(0, &t));
+  EXPECT_EQ(t.kind, TaskKind::Update);
+  EXPECT_EQ(t.panel, 1);
+  sched.on_complete(t, 0);
+  ASSERT_TRUE(sched.try_pop(0, &t));
+  EXPECT_EQ(t.kind, TaskKind::Update);
+  EXPECT_EQ(t.panel, 2);
+  sched.on_complete(t, 0);
+  ASSERT_TRUE(sched.try_pop(0, &t));
+  EXPECT_EQ(t.kind, TaskKind::Panel);
+  EXPECT_EQ(t.panel, 3);
+  sched.on_complete(t, 0);
+  EXPECT_TRUE(sched.finished());
+}
+
+TEST(DagWidth, FanInPeakWidth) {
+  const SymbolicStructure st = fan_in_structure();
+  TaskTable table(st, Factorization::LLT);
+  FlopCosts costs(table);
+  const DagStats s = dag_stats(st, costs, Decomposition::TwoLevel);
+  // Levels: three factors, then three updates, then the wide factor.
+  EXPECT_EQ(s.peak_width, 3);
+  EXPECT_EQ(s.num_tasks, 7);
+}
+
+// ---------- multi-threaded stress (satellite: max hardware threads) ------
+
+/// Delegating wrapper recording, per worker thread, the result of its
+/// *last* finished() call -- a worker leaving the driver loop early (with
+/// work remaining) shows up as a false entry.
+class FinishObserver : public Scheduler {
+ public:
+  explicit FinishObserver(Scheduler& inner) : inner_(&inner) {}
+  void reset() override { inner_->reset(); }
+  bool try_pop(int r, Task* out) override { return inner_->try_pop(r, out); }
+  void on_complete(const Task& t, int r) override {
+    inner_->on_complete(t, r);
+  }
+  bool finished() const override {
+    const bool f = inner_->finished();
+    std::lock_guard<std::mutex> lock(m_);
+    last_seen_[std::this_thread::get_id()] = f;
+    return f;
+  }
+  std::string name() const override { return inner_->name(); }
+  bool peek_prefetch(int r, Task* out) override {
+    return inner_->peek_prefetch(r, out);
+  }
+  const SubtreeGroups* subtree_groups() const override {
+    return inner_->subtree_groups();
+  }
+  ContentionStats contention() const override {
+    return inner_->contention();
+  }
+  std::size_t observed_threads() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return last_seen_.size();
+  }
+  bool every_exit_saw_finished() const {
+    std::lock_guard<std::mutex> lock(m_);
+    if (last_seen_.empty()) return false;
+    for (const auto& [tid, f] : last_seen_) {
+      if (!f) return false;
+    }
+    return true;
+  }
+
+ private:
+  Scheduler* inner_;
+  mutable std::mutex m_;
+  mutable std::map<std::thread::id, bool> last_seen_;
+};
+
+int stress_threads() {
+  return std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+struct StressCase {
+  CscMatrix<real_t> a;
+  Analysis an;
+  index_t expected_tasks = 0;
+};
+
+/// ~500-panel surrogate: 12^3 Laplacian with narrow panels so the task
+/// graph is wide and the tasks small (the contention-sensitive regime).
+const StressCase& stress_case() {
+  static const StressCase c = [] {
+    StressCase s{gen::grid3d_laplacian(12, 12, 12), {}, 0};
+    AnalysisOptions opts;
+    opts.symbolic.max_panel_width = 4;
+    s.an = analyze(s.a, opts);
+    s.expected_tasks =
+        s.an.structure.num_panels() +
+        static_cast<index_t>(s.an.structure.num_update_tasks());
+    return s;
+  }();
+  return c;
+}
+
+/// Runs `sched` through execute_real with every machine resource and
+/// verifies: all workers exit only after finished(), every task executed
+/// exactly once (task counts), contention counters are populated, and the
+/// factor solves the original system.
+void stress_run(Scheduler& sched, const Machine& machine,
+                index_t expected_tasks) {
+  const StressCase& sc = stress_case();
+  ASSERT_GE(sc.an.structure.num_panels(), 450);
+  FinishObserver obs(sched);
+  FactorData<real_t> f(sc.an.structure, Factorization::LLT);
+  f.initialize(permute_symmetric(sc.a, sc.an.perm));
+  RealDriverOptions dopts;
+  dopts.fused_ldlt = false;
+  const RunStats stats = execute_real(obs, machine, f, dopts);
+  const auto nr = static_cast<std::size_t>(machine.num_resources());
+  EXPECT_EQ(obs.observed_threads(), nr);
+  EXPECT_TRUE(obs.every_exit_saw_finished())
+      << "a worker exited the driver loop before finished()";
+  if (expected_tasks > 0) {
+    EXPECT_EQ(stats.tasks_cpu + stats.tasks_gpu, expected_tasks);
+    EXPECT_EQ(stats.contention.total_pops(), expected_tasks);
+  }
+  EXPECT_EQ(stats.contention.idle_wait.size(), nr);
+  EXPECT_EQ(stats.contention.lock_wait.size(), nr);
+  EXPECT_GT(stats.makespan, 0.0);
+  // Numerical round trip through the threaded factorization.
+  Rng rng(7);
+  std::vector<real_t> x(sc.a.ncols()), b(sc.a.ncols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  sc.a.multiply(x, b);
+  std::vector<real_t> pb(b.size()), out(b.size());
+  permute_vector<real_t>(sc.an.perm, b, pb);
+  solve_permuted(f, std::span<real_t>(pb));
+  unpermute_vector<real_t>(sc.an.perm, pb, out);
+  double err = 0;
+  for (index_t i = 0; i < sc.a.ncols(); ++i) {
+    err = std::max(err, std::abs(out[i] - x[i]));
+  }
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST(RuntimeStress, NativeMaxThreads) {
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads());
+  FlopCosts costs(table);
+  NativeScheduler sched(table, machine, costs);
+  stress_run(sched, machine, sc.expected_tasks);
+}
+
+TEST(RuntimeStress, StarpuDmdaMaxThreads) {
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads());
+  FlopCosts costs(table);
+  StarpuScheduler sched(table, machine, costs);
+  stress_run(sched, machine, sc.expected_tasks);
+}
+
+TEST(RuntimeStress, StarpuEagerMaxThreads) {
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads());
+  FlopCosts costs(table);
+  StarpuOptions opts;
+  opts.policy = StarpuOptions::Policy::Eager;
+  StarpuScheduler sched(table, machine, costs, opts);
+  stress_run(sched, machine, sc.expected_tasks);
+}
+
+TEST(RuntimeStress, ParsecMaxThreads) {
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads());
+  FlopCosts costs(table);
+  ParsecScheduler sched(table, machine, costs);
+  stress_run(sched, machine, sc.expected_tasks);
+}
+
+TEST(RuntimeStress, ParsecMergedSubtreesMaxThreads) {
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads());
+  FlopCosts costs(table);
+  ParsecOptions opts;
+  opts.subtree_merge_seconds = 1e-3;
+  ParsecScheduler sched(table, machine, costs, opts);
+  stress_run(sched, machine, /*expected_tasks=*/0);  // merged: fewer pops
+}
+
+TEST(RuntimeStress, ParsecGpuStreamsMaxThreads) {
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads(), 1, 2);
+  FlopCosts costs(table);
+  ParsecOptions opts;
+  opts.gpu_min_flops = 1e4;  // push real work through the stream workers
+  ParsecScheduler sched(table, machine, costs, opts);
+  stress_run(sched, machine, sc.expected_tasks);
+}
+
+TEST(RuntimeStress, SerializedBaselineMatchesNative) {
+  // The global-lock baseline wrapper must be behaviorally transparent.
+  const StressCase& sc = stress_case();
+  TaskTable table(sc.an.structure, Factorization::LLT);
+  Machine machine(stress_threads());
+  FlopCosts costs(table);
+  NativeScheduler inner(table, machine, costs);
+  SerializedScheduler sched(inner, machine.num_resources());
+  stress_run(sched, machine, sc.expected_tasks);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 // between recorded busy time and driver statistics.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "core/sim_runner.hpp"
 #include "core/solver.hpp"
@@ -113,6 +116,209 @@ TEST(Trace, ClearResets) {
   EXPECT_EQ(trace.num_events(), 1u);
   trace.clear();
   EXPECT_EQ(trace.num_events(), 0u);
+}
+
+TEST(Trace, JsonEscape) {
+  EXPECT_EQ(json_escape("plain p12 e3"), "plain p12 e3");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny\tz\r"), "x\\ny\\tz\\r");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+TEST(Trace, JsonKeepsSubMicrosecondPrecisionPastOneSecond) {
+  // Regression: default 6-significant-digit float formatting rounded ts
+  // to whole milliseconds once start exceeded ~1 s.
+  TraceRecorder trace;
+  trace.record(0, {TaskKind::Panel, 1, -1}, 2.0000005, 2.0000015);
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ts\": 2000000.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\": 1.000"), std::string::npos) << json;
+  // Stream formatting state must be restored after export.
+  std::ostringstream probe;
+  trace.write_chrome_json(probe);
+  probe << 0.5;
+  EXPECT_NE(probe.str().find("0.5"), std::string::npos);
+  EXPECT_EQ(probe.str().find("0.500000"), std::string::npos);
+}
+
+// Minimal JSON reader (objects, arrays, strings with escapes, numbers,
+// literals) -- enough to prove the export round-trips through a real
+// parser instead of eyeballing substrings.
+class MiniJsonReader {
+ public:
+  explicit MiniJsonReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse() {
+    skip_ws();
+    const bool ok = value();
+    skip_ws();
+    return ok && p_ == end_;
+  }
+  int events() const { return events_; }
+  const std::vector<double>& ts_values() const { return ts_; }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\r' ||
+                         *p_ == '\t')) {
+      ++p_;
+    }
+  }
+  bool value() {
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string(nullptr);
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number(nullptr);
+    }
+  }
+  bool object() {
+    ++p_;  // {
+    ++events_;
+    skip_ws();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (p_ >= end_ || *p_ != ':') return false;
+      ++p_;
+      skip_ws();
+      if (key == "ts") {
+        double v = 0;
+        if (!number(&v)) return false;
+        ts_.push_back(v);
+      } else if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      break;
+    }
+    if (p_ >= end_ || *p_ != '}') return false;
+    ++p_;
+    return true;
+  }
+  bool array() {
+    ++p_;  // [
+    skip_ws();
+    if (p_ < end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        skip_ws();
+        continue;
+      }
+      break;
+    }
+    if (p_ >= end_ || *p_ != ']') return false;
+    ++p_;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+        if (*p_ == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ >= end_ || !std::isxdigit(static_cast<unsigned char>(
+                                  *p_))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(*p_) ==
+                   std::string::npos) {
+          return false;
+        }
+        ++p_;
+        continue;
+      }
+      if (static_cast<unsigned char>(*p_) < 0x20) return false;  // raw ctl
+      if (out != nullptr) out->push_back(*p_);
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    ++p_;
+    return true;
+  }
+  bool number(double* out) {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                         *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                         *p_ == '-' || *p_ == '+')) {
+      digits = true;
+      ++p_;
+    }
+    if (!digits) return false;
+    if (out != nullptr) *out = std::strtod(start, nullptr);
+    return true;
+  }
+  bool literal(const char* lit) {
+    for (const char* c = lit; *c != '\0'; ++c, ++p_) {
+      if (p_ >= end_ || *p_ != *c) return false;
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  int events_ = 0;
+  std::vector<double> ts_;
+};
+
+TEST(Trace, ChromeJsonRoundTripsThroughParser) {
+  TraceRecorder trace;
+  // Names include every escaped class via the panel/edge digits plus the
+  // long-run timestamps that used to lose precision.
+  trace.record(0, {TaskKind::Panel, 7, -1}, 0.25, 0.5);
+  trace.record(1, {TaskKind::Update, 7, 2}, 1.0000005, 1.25);
+  trace.record(0, {TaskKind::Subtree, 3, -1}, 3.5, 4.75);
+  trace.record_transfer(0, 9, 0.125, 0.375);
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();  // keep alive: reader holds pointers
+  MiniJsonReader reader(json);
+  ASSERT_TRUE(reader.parse()) << json;
+  // Outer object + one object per event and transfer.
+  EXPECT_EQ(reader.events(), 5);
+  ASSERT_EQ(reader.ts_values().size(), 4u);
+  EXPECT_NEAR(reader.ts_values()[0], 0.25 * 1e6, 1e-6);
+  EXPECT_NEAR(reader.ts_values()[1], 1.0000005 * 1e6, 1e-3);
+  EXPECT_NEAR(reader.ts_values()[2], 3.5 * 1e6, 1e-6);
+  EXPECT_NEAR(reader.ts_values()[3], 0.125 * 1e6, 1e-6);
 }
 
 }  // namespace
