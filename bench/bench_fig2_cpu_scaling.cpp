@@ -18,9 +18,11 @@
 // workers oversubscribe the hardware cores).
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "perfmodel/perf_model.hpp"
 #include "core/factor_data.hpp"
 #include "graph/ordering.hpp"
 #include "mat/generators.hpp"
@@ -157,7 +159,19 @@ int main(int argc, char** argv) {
       "threads",
       std::max(4, static_cast<int>(std::thread::hardware_concurrency()))));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
+  // Calibrated model: grounds the simulated CPU task times in measured
+  // rates (the scaling *shape* is scheduler-driven either way).
+  const std::string perf_model_file = cli.get("perf-model", "");
   cli.check_unknown();
+
+  std::optional<perfmodel::PerfModel> measured;
+  if (!perf_model_file.empty()) {
+    std::string err;
+    measured = perfmodel::PerfModel::load(perf_model_file, &err);
+    if (!measured) {
+      std::fprintf(stderr, "perf model skipped: %s\n", err.c_str());
+    }
+  }
 
   const auto matrices = load_matrices(scale, only);
   const int core_counts[] = {1, 3, 6, 9, 12};
@@ -181,6 +195,7 @@ int main(int argc, char** argv) {
         cfg.scheduler = sched;
         cfg.cores = c;
         cfg.complex_arith = m.complex_arith();
+        if (measured && !m.complex_arith()) cfg.perf_model = &*measured;
         const RunStats st = simulate_run(m.analysis, m.spec.method, cfg);
         std::printf(" %9.2f", st.gflops);
         if (c == core_counts[0]) first = st.gflops;

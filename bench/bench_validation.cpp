@@ -8,8 +8,11 @@
 // same schedules.  Agreement within a few tens of percent across matrices
 // and factorization kinds is what makes the simulated scaling studies
 // trustworthy.
+#include <optional>
+
 #include "bench_common.hpp"
 #include "core/solver.hpp"
+#include "perfmodel/perf_model.hpp"
 #include "sim/calibration.hpp"
 
 using namespace spx;
@@ -18,7 +21,20 @@ using namespace spx::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.15);
+  // Calibrated per-kernel model (bench_calibration output): replaces the
+  // simulator's analytic CPU roofline with measured task times, which
+  // tightens the real/sim agreement this bench quantifies.
+  const std::string perf_model = cli.get("perf-model", "");
   cli.check_unknown();
+
+  std::optional<perfmodel::PerfModel> measured;
+  if (!perf_model.empty()) {
+    std::string err;
+    measured = perfmodel::PerfModel::load(perf_model, &err);
+    if (!measured) {
+      std::fprintf(stderr, "perf model skipped: %s\n", err.c_str());
+    }
+  }
 
   sim::CalibrationReport rep;
   sim::PlatformSpec host = sim::calibrate_host(&rep);
@@ -52,6 +68,7 @@ int main(int argc, char** argv) {
     cfg.scheduler = "parsec";
     cfg.cores = 1;
     cfg.platform = host;
+    if (measured) cfg.perf_model = &*measured;
     const double sim_s =
         simulate_run(solver.analysis(), spec.method, cfg).makespan;
 

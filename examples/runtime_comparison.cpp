@@ -5,11 +5,13 @@
 // simulated 12-core / 3-GPU Mirage node -- the configuration the paper's
 // Figures 2 and 4 evaluate.
 #include <cstdio>
+#include <optional>
 
 #include "common/cli.hpp"
 #include "core/sim_runner.hpp"
 #include "core/solver.hpp"
 #include "mat/surrogates.hpp"
+#include "perfmodel/perf_model.hpp"
 #include "runtime/flop_costs.hpp"
 #include "runtime/parsec_scheduler.hpp"
 #include "runtime/real_driver.hpp"
@@ -23,6 +25,9 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.25);
   const int threads = static_cast<int>(cli.get_int("threads", 4));
   const std::string trace_path = cli.get("trace", "");
+  // Calibrated model (bench_calibration output): drives dmda/HEFT ranking
+  // in the real runs and grounds the simulated CPU side in measured rates.
+  const std::string perf_model = cli.get("perf-model", "");
   cli.check_unknown();
 
   const SurrogateSpec& spec = surrogate_by_name(name);
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
     SolverOptions options;
     options.runtime = rt;
     options.num_threads = threads;
+    options.perf_model_file = perf_model;
     Solver<double> solver(options);
     solver.factorize(a, spec.method);
     const RunStats& st = solver.last_factorization_stats();
@@ -67,12 +73,19 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n--- simulated Mirage node (12 cores, + GPUs) ---\n");
+  std::optional<perfmodel::PerfModel> measured;
+  if (!perf_model.empty()) {
+    std::string err;
+    measured = perfmodel::PerfModel::load(perf_model, &err);
+    if (!measured) std::fprintf(stderr, "perf model skipped: %s\n", err.c_str());
+  }
   AnalysisOptions aopts;
   aopts.symbolic.amalgamation.fill_ratio = 0.12;
   const Analysis an = analyze(a, aopts);
   for (const char* sched : {"native", "starpu", "parsec"}) {
     SimRunConfig cfg;
     cfg.scheduler = sched;
+    if (measured) cfg.perf_model = &*measured;
     const RunStats cpu = simulate_run(an, spec.method, cfg);
     std::printf("  %-10s cpu12: %6.2f GFlop/s", sched, cpu.gflops);
     if (std::string(sched) != "native") {

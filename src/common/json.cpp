@@ -1,0 +1,371 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spx::json {
+namespace {
+
+[[noreturn]] void fail_at(std::size_t pos, const std::string& what) {
+  throw InvalidArgument("json parse error at byte " + std::to_string(pos) +
+                        ": " + what);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail_at(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail_at(pos_, "bad literal");
+      return Value(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail_at(pos_, "bad literal");
+      return Value(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail_at(pos_, "bad literal");
+      return Value();
+    }
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code > 0x7f) {
+            fail_at(pos_, "unsupported \\u escape (ASCII only)");
+          }
+          out.push_back(static_cast<char>(code));
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail_at(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (num.empty() || end != num.c_str() + num.size()) {
+      fail_at(start, "bad number");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; model files never contain them by construction.
+    out += "0";
+    return;
+  }
+  char buf[40];
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::fabs(d) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  out += buf;
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool Value::as_bool() const {
+  SPX_CHECK_ARG(kind_ == Kind::Bool, "json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  SPX_CHECK_ARG(kind_ == Kind::Number, "json: not a number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  SPX_CHECK_ARG(kind_ == Kind::String, "json: not a string");
+  return str_;
+}
+
+std::size_t Value::size() const {
+  SPX_CHECK_ARG(kind_ == Kind::Array, "json: not an array");
+  return arr_.size();
+}
+
+const Value& Value::at(std::size_t i) const {
+  SPX_CHECK_ARG(kind_ == Kind::Array, "json: not an array");
+  SPX_CHECK_ARG(i < arr_.size(), "json: array index out of range");
+  return arr_[i];
+}
+
+void Value::push_back(Value v) {
+  SPX_CHECK_ARG(kind_ == Kind::Array, "json: not an array");
+  arr_.push_back(std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  SPX_CHECK_ARG(kind_ == Kind::Object, "json: not an object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  SPX_CHECK_ARG(v != nullptr, "json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+void Value::set(std::string key, Value v) {
+  SPX_CHECK_ARG(kind_ == Kind::Object, "json: not an object");
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  SPX_CHECK_ARG(kind_ == Kind::Object, "json: not an object");
+  return obj_;
+}
+
+double Value::number_or(std::string_view key, double def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind_ == Kind::Number ? v->num_ : def;
+}
+
+std::string Value::string_or(std::string_view key, std::string def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind_ == Kind::String ? v->str_ : def;
+}
+
+void Value::dump_to(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::Number:
+      dump_number(out, num_);
+      return;
+    case Kind::String:
+      dump_string(out, str_);
+      return;
+    case Kind::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        indent(out, depth + 1);
+        arr_[i].dump_to(out, depth + 1);
+        if (i + 1 < arr_.size()) out += ",";
+        out += "\n";
+      }
+      indent(out, depth);
+      out += "]";
+      return;
+    }
+    case Kind::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        indent(out, depth + 1);
+        dump_string(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.dump_to(out, depth + 1);
+        if (i + 1 < obj_.size()) out += ",";
+        out += "\n";
+      }
+      indent(out, depth);
+      out += "}";
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += "\n";
+  return out;
+}
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace spx::json

@@ -1,0 +1,79 @@
+// Minimal JSON value, parser and writer.
+//
+// Just enough JSON for the library's structured on-disk artifacts (the
+// perfmodel files under models/, see docs/PERF_MODELS.md): objects keep
+// insertion order, numbers are doubles serialized with %.17g so they
+// round-trip bit-exactly, and the parser rejects trailing garbage.  Not a
+// general-purpose JSON library -- no \uXXXX escapes beyond ASCII, no
+// comments, inputs are trusted local files.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spx::json {
+
+/// A parsed JSON value.  Accessors throw InvalidArgument on kind
+/// mismatches so schema violations in model files fail loud, not with
+/// default-constructed garbage.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::Number), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  /// Named constructors for the container kinds.
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Scalar accessors; throw InvalidArgument when the kind differs.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access: element count and index (throws when not an array).
+  std::size_t size() const;
+  const Value& at(std::size_t i) const;
+  void push_back(Value v);
+
+  /// Object access: `find` returns null when absent, `at` throws.
+  const Value* find(std::string_view key) const;
+  const Value& at(std::string_view key) const;
+  void set(std::string key, Value v);
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Convenience typed getters with defaults (object kind only).
+  double number_or(std::string_view key, double def) const;
+  std::string string_or(std::string_view key, std::string def) const;
+
+  /// Serializes with 2-space indentation (stable, diff-friendly).
+  std::string dump() const;
+
+  /// Parses `text`, requiring it to be a single complete JSON document.
+  /// Throws InvalidArgument with a byte offset on malformed input.
+  static Value parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+}  // namespace spx::json

@@ -16,6 +16,7 @@ RunStats simulate_run(const Analysis& an, Factorization kind,
 
   sim::CostModel::Options mopts;
   mopts.complex_arith = config.complex_arith;
+  mopts.measured = config.perf_model;
 
   if (config.scheduler == "native" || config.scheduler == "native-prop") {
     SPX_CHECK_ARG(config.gpus == 0, "native scheduler is CPU-only");

@@ -10,6 +10,10 @@
 #include "runtime/run_stats.hpp"
 #include "sim/platform.hpp"
 
+namespace spx::perfmodel {
+class PerfModel;
+}  // namespace spx::perfmodel
+
 namespace spx {
 
 struct SimRunConfig {
@@ -25,6 +29,10 @@ struct SimRunConfig {
   /// future-work granularity knob.
   double subtree_merge_seconds = 0.0;
   sim::PlatformSpec platform;
+  /// Optional calibrated model grounding the simulated CPU side in rates
+  /// measured on a real host (sim::CostModel::Options::measured); must
+  /// outlive the simulate_run call.  Null = fully analytic platform.
+  const perfmodel::PerfModel* perf_model = nullptr;
 
   /// Per-runtime task overheads (seconds): the native static scheduler has
   /// nearly none, PaRSEC's distributed release is light, StarPU's central

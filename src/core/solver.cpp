@@ -2,8 +2,10 @@
 
 #include <thread>
 
+#include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/sequential.hpp"
+#include "perfmodel/calibrated_costs.hpp"
 #include "runtime/flop_costs.hpp"
 #include "runtime/native_scheduler.hpp"
 #include "runtime/real_driver.hpp"
@@ -22,6 +24,30 @@ const char* to_string(RuntimeKind k) {
       return "parsec";
   }
   return "?";
+}
+
+// Loads options_.perf_model_file once per distinct path; a failed load
+// warns and leaves perf_model_ null so factorize() degrades to FlopCosts.
+// The loaded model is kept across factorizations: online refinement
+// accumulates history that sharpens the *next* run's predictions.
+template <typename T>
+void Solver<T>::load_perf_model() {
+  if (options_.perf_model_file == perf_model_loaded_from_) return;
+  perf_model_.reset();
+  perf_model_loaded_from_ = options_.perf_model_file;
+  if (options_.perf_model_file.empty()) return;
+  std::string error;
+  std::optional<perfmodel::PerfModel> loaded =
+      perfmodel::PerfModel::load(options_.perf_model_file, &error);
+  if (!loaded) {
+    logf(LogLevel::Warn,
+         "perf model '%s' unusable (%s); falling back to flop costs",
+         options_.perf_model_file.c_str(), error.c_str());
+    return;
+  }
+  perf_model_ = std::make_shared<perfmodel::PerfModel>(std::move(*loaded));
+  logf(LogLevel::Info, "loaded perf model '%s' (host '%s')",
+       options_.perf_model_file.c_str(), perf_model_->host().c_str());
 }
 
 template <typename T>
@@ -62,11 +88,31 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
     TaskTable table(analysis_->structure, kind);
     RealDriverOptions dopts;
     dopts.cpu_variant = options_.cpu_variant;
+    // Cost oracle: calibrated model when configured and loadable, flop
+    // proportionality otherwise.  The calibrated path also attaches the
+    // model-error probe and (optionally) the online-refinement observer.
+    load_perf_model();
+    std::unique_ptr<TaskCosts> costs;
+    std::unique_ptr<perfmodel::ModelRefiner> refiner;
+    if (perf_model_ != nullptr) {
+      auto calibrated =
+          std::make_unique<perfmodel::CalibratedCosts>(table, *perf_model_);
+      logf(LogLevel::Debug, "perf model coverage: %.0f%% of task queries",
+           100.0 * calibrated->coverage());
+      dopts.error_model = calibrated.get();
+      if (options_.refine_perf_model) {
+        refiner =
+            std::make_unique<perfmodel::ModelRefiner>(*perf_model_, table);
+        dopts.observer = refiner.get();
+      }
+      costs = std::move(calibrated);
+    } else {
+      costs = std::make_unique<FlopCosts>(table);
+    }
     switch (options_.runtime) {
       case RuntimeKind::Native: {
         Machine machine(threads);
-        FlopCosts costs(table);
-        NativeScheduler sched(table, machine, costs);
+        NativeScheduler sched(table, machine, *costs);
         dopts.fused_ldlt = false;  // native prescales per panel
         stats_ = execute_real(sched, machine, *factors_, dopts);
         break;
@@ -76,8 +122,7 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
         const int cpus = std::max(1, threads - options_.num_gpu_streams);
         Machine machine(cpus, options_.num_gpu_streams > 0 ? 1 : 0,
                         std::max(1, options_.num_gpu_streams));
-        FlopCosts costs(table);
-        StarpuScheduler sched(table, machine, costs, options_.starpu);
+        StarpuScheduler sched(table, machine, *costs, options_.starpu);
         dopts.fused_ldlt = true;
         stats_ = execute_real(sched, machine, *factors_, dopts);
         break;
@@ -85,8 +130,7 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
       case RuntimeKind::Parsec: {
         Machine machine(threads, options_.num_gpu_streams > 0 ? 1 : 0,
                         std::max(1, options_.num_gpu_streams));
-        FlopCosts costs(table);
-        ParsecScheduler sched(table, machine, costs, options_.parsec);
+        ParsecScheduler sched(table, machine, *costs, options_.parsec);
         dopts.fused_ldlt = true;
         stats_ = execute_real(sched, machine, *factors_, dopts);
         break;

@@ -24,6 +24,10 @@
 #include "runtime/run_stats.hpp"
 #include "runtime/starpu_scheduler.hpp"
 
+namespace spx::perfmodel {
+class PerfModel;
+}  // namespace spx::perfmodel
+
 namespace spx {
 
 enum class RuntimeKind {
@@ -46,6 +50,14 @@ struct SolverOptions {
   StarpuOptions starpu;
   ParsecOptions parsec;
   UpdateVariant cpu_variant = UpdateVariant::TempBuffer;
+  /// Calibrated performance-model file (models/*.json, produced by
+  /// bench_calibration; see docs/PERF_MODELS.md).  Empty = flop oracle.
+  /// A missing or corrupt file logs a warning and degrades to FlopCosts;
+  /// it never fails the factorization.
+  std::string perf_model_file;
+  /// Feed measured task durations back into the loaded model's history
+  /// layer (online refinement; affects the *next* factorize()).
+  bool refine_perf_model = true;
 };
 
 template <typename T>
@@ -86,12 +98,22 @@ class Solver {
   const RunStats& last_factorization_stats() const { return stats_; }
   Factorization factorization_kind() const { return kind_; }
 
+  /// The loaded (and online-refined) performance model, or nullptr when
+  /// none is configured / the file failed to load.  Loaded lazily by the
+  /// first factorize() after perf_model_file is set.
+  perfmodel::PerfModel* perf_model() { return perf_model_.get(); }
+  const perfmodel::PerfModel* perf_model() const { return perf_model_.get(); }
+
  private:
+  void load_perf_model();
+
   SolverOptions options_;
   std::optional<Analysis> analysis_;
   std::unique_ptr<FactorData<T>> factors_;
   Factorization kind_ = Factorization::LLT;
   RunStats stats_;
+  std::shared_ptr<perfmodel::PerfModel> perf_model_;
+  std::string perf_model_loaded_from_;  ///< file behind perf_model_
 };
 
 extern template class Solver<real_t>;

@@ -1,0 +1,389 @@
+#include "perfmodel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/flops.hpp"
+#include "common/json.hpp"
+
+namespace spx::perfmodel {
+
+const char* to_string(KernelClass c) {
+  switch (c) {
+    case KernelClass::Potrf: return "potrf";
+    case KernelClass::Ldlt: return "ldlt";
+    case KernelClass::Getrf: return "getrf";
+    case KernelClass::TrsmPanel: return "trsm_panel";
+    case KernelClass::GemmNt: return "gemm_nt";
+    case KernelClass::GemmNtGapped: return "gemm_nt_gapped";
+    case KernelClass::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+const char* to_string(TaskClass c) {
+  switch (c) {
+    case TaskClass::PanelLlt: return "panel_llt";
+    case TaskClass::PanelLdlt: return "panel_ldlt";
+    case TaskClass::PanelLu: return "panel_lu";
+    case TaskClass::Update: return "update";
+  }
+  return "?";
+}
+
+bool kernel_class_from_string(std::string_view s, KernelClass* out) {
+  for (int i = 0; i < kNumKernelClasses; ++i) {
+    const auto c = static_cast<KernelClass>(i);
+    if (s == to_string(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool task_class_from_string(std::string_view s, TaskClass* out) {
+  for (int i = 0; i < kNumTaskClasses; ++i) {
+    const auto c = static_cast<TaskClass>(i);
+    if (s == to_string(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+TaskClass task_class_of(Factorization kind, TaskKind task) {
+  if (task == TaskKind::Update) return TaskClass::Update;
+  switch (kind) {
+    case Factorization::LLT: return TaskClass::PanelLlt;
+    case Factorization::LDLT: return TaskClass::PanelLdlt;
+    case Factorization::LU: return TaskClass::PanelLu;
+  }
+  return TaskClass::PanelLlt;
+}
+
+// Small-dimension penalty of the effective-work key (see kernel_work):
+// each dimension d contributes a factor (d + h) / d to the work per flop,
+// the same saturating efficiency form as the simulator's CPU roofline.
+// 24 is in the range the host calibration of sim/calibration.cpp finds
+// for cpu_half_dim on common x86 parts.
+constexpr double kEffHalfDim = 12.0;
+
+double eff_penalty(double d) { return (d + kEffHalfDim) / std::max(1.0, d); }
+
+double kernel_work(KernelClass c, const KernelShape& s) {
+  // The compute classes are keyed by *effective* work: flops inflated by
+  // a small-dimension penalty per participating dimension.  Two shapes
+  // with equal effective work then take approximately equal time, which is
+  // what a 1-D table needs -- a thin-block GEMM (n = 4) and a cube GEMM of
+  // equal raw flops differ by an order of magnitude in rate, and sparse
+  // update tasks are full of thin blocks.  Effective work is strictly
+  // increasing in every dimension (for GemmNt it collapses to
+  // 2(m+h)(n+h)(k+h)), so time monotonicity in m, n, k survives the
+  // KernelTable clamp.  Scatter stays in plain bytes: it is
+  // bandwidth-bound at any shape.
+  switch (c) {
+    case KernelClass::Potrf:
+      return flops_potrf(s.n) * eff_penalty(s.n) * eff_penalty(s.n) *
+             eff_penalty(s.n);
+    case KernelClass::Ldlt:
+      return flops_ldlt(s.n) * eff_penalty(s.n) * eff_penalty(s.n) *
+             eff_penalty(s.n);
+    case KernelClass::Getrf:
+      return flops_getrf(s.n) * eff_penalty(s.n) * eff_penalty(s.n) *
+             eff_penalty(s.n);
+    case KernelClass::TrsmPanel:
+      return flops_trsm(s.n, s.m) * eff_penalty(s.m) * eff_penalty(s.n) *
+             eff_penalty(s.n);
+    case KernelClass::GemmNt:
+    case KernelClass::GemmNtGapped:
+      return flops_gemm(s.m, s.n, s.k) * eff_penalty(s.m) *
+             eff_penalty(s.n) * eff_penalty(s.k);
+    case KernelClass::Scatter:
+      // Read the buffer, read and write the destination column: three
+      // 8-byte accesses per scattered entry.
+      return 24.0 * s.m * s.n;
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// KernelTable
+
+void KernelTable::add(const CalPoint& p) {
+  SPX_CHECK_ARG(p.work > 0.0 && p.rate > 0.0,
+                "perfmodel: calibration point needs positive work and rate");
+  points_.push_back(p);
+}
+
+void KernelTable::fit() {
+  std::sort(points_.begin(), points_.end(),
+            [](const CalPoint& a, const CalPoint& b) {
+              return a.work < b.work;
+            });
+  // Merge duplicate work values (keep the higher-confidence rate).
+  std::vector<CalPoint> merged;
+  for (const CalPoint& p : points_) {
+    if (!merged.empty() && merged.back().work == p.work) {
+      if (p.samples > merged.back().samples) merged.back() = p;
+      continue;
+    }
+    merged.push_back(p);
+  }
+  points_ = std::move(merged);
+  // Monotonicity clamp: between adjacent points the rate may not grow
+  // faster than the work, so predicted time never *decreases* as a task
+  // gets bigger inside a segment (see header).
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double cap =
+        points_[i - 1].rate * (points_[i].work / points_[i - 1].work);
+    points_[i].rate = std::min(points_[i].rate, cap);
+  }
+}
+
+double KernelTable::seconds(double work) const {
+  SPX_DEBUG_ASSERT(!points_.empty());
+  if (work <= 0.0) return 0.0;
+  if (work <= points_.front().work) return work / points_.front().rate;
+  if (work >= points_.back().work) return work / points_.back().rate;
+  // Bracketing segment by work, then log-log interpolation of the rate.
+  std::size_t hi = 1;
+  while (points_[hi].work < work) ++hi;
+  const CalPoint& a = points_[hi - 1];
+  const CalPoint& b = points_[hi];
+  const double t = (std::log(work) - std::log(a.work)) /
+                   (std::log(b.work) - std::log(a.work));
+  const double rate =
+      std::exp((1.0 - t) * std::log(a.rate) + t * std::log(b.rate));
+  return work / rate;
+}
+
+// ---------------------------------------------------------------------------
+// PerfModel
+
+PerfModel::PerfModel(const PerfModel& other) { *this = other; }
+
+PerfModel& PerfModel::operator=(const PerfModel& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(history_mutex_, other.history_mutex_);
+  host_ = other.host_;
+  for (int c = 0; c < kNumKernelClasses; ++c) {
+    for (int k = 0; k < 2; ++k) tables_[c][k] = other.tables_[c][k];
+  }
+  history_ = other.history_;
+  return *this;
+}
+
+int PerfModel::resource_slot(ResourceKind kind) {
+  return kind == ResourceKind::Cpu ? 0 : 1;
+}
+
+void PerfModel::set_table(KernelClass c, ResourceKind kind,
+                          KernelTable table) {
+  tables_[static_cast<int>(c)][resource_slot(kind)] = std::move(table);
+}
+
+const KernelTable* PerfModel::table(KernelClass c, ResourceKind kind) const {
+  const KernelTable& t = tables_[static_cast<int>(c)][resource_slot(kind)];
+  return t.empty() ? nullptr : &t;
+}
+
+bool PerfModel::kernel_seconds(KernelClass c, ResourceKind kind,
+                               const KernelShape& shape, double* out) const {
+  const KernelTable* t = table(c, kind);
+  if (t == nullptr) return false;
+  *out = t->seconds(kernel_work(c, shape));
+  return true;
+}
+
+void PerfModel::observe(TaskClass c, ResourceKind kind, double flops,
+                        double seconds) {
+  if (flops <= 0.0 || seconds <= 0.0) return;
+  const HistoryKey key{static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(resource_slot(kind)),
+                       std::ilogb(flops)};
+  const double rate = flops / seconds;
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  HistoryEntry& e = history_[key];
+  // Saturating running mean: fully averaged history below the cap, then a
+  // slow exponential forgetting so the model tracks machine drift.
+  e.weight = std::min(e.weight + 1.0, 64.0);
+  e.rate += (rate - e.rate) / e.weight;
+}
+
+bool PerfModel::history_seconds(TaskClass c, ResourceKind kind, double flops,
+                                double* out, double min_samples) const {
+  if (flops <= 0.0) return false;
+  const HistoryKey key{static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(resource_slot(kind)),
+                       std::ilogb(flops)};
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  const auto it = history_.find(key);
+  if (it == history_.end() || it->second.weight < min_samples) return false;
+  *out = flops / it->second.rate;
+  return true;
+}
+
+std::size_t PerfModel::num_history_buckets() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return history_.size();
+}
+
+namespace {
+
+const char* kind_name(int slot) { return slot == 0 ? "cpu" : "gpu_stream"; }
+
+bool kind_from_name(std::string_view s, ResourceKind* out) {
+  if (s == "cpu") {
+    *out = ResourceKind::Cpu;
+    return true;
+  }
+  if (s == "gpu_stream") {
+    *out = ResourceKind::GpuStream;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string PerfModel::to_json() const {
+  json::Value root = json::Value::object();
+  root.set("spx_perf_model_version",
+           json::Value(static_cast<double>(kSchemaVersion)));
+  root.set("host", json::Value(host_));
+  json::Value kernels = json::Value::array();
+  for (int c = 0; c < kNumKernelClasses; ++c) {
+    for (int slot = 0; slot < 2; ++slot) {
+      const KernelTable& t = tables_[c][slot];
+      if (t.empty()) continue;
+      json::Value entry = json::Value::object();
+      entry.set("kernel",
+                json::Value(std::string(
+                    to_string(static_cast<KernelClass>(c)))));
+      entry.set("resource", json::Value(std::string(kind_name(slot))));
+      json::Value points = json::Value::array();
+      for (const CalPoint& p : t.points()) {
+        json::Value jp = json::Value::object();
+        jp.set("m", json::Value(p.shape.m));
+        jp.set("n", json::Value(p.shape.n));
+        jp.set("k", json::Value(p.shape.k));
+        jp.set("work", json::Value(p.work));
+        jp.set("rate", json::Value(p.rate));
+        jp.set("samples", json::Value(static_cast<double>(p.samples)));
+        points.push_back(std::move(jp));
+      }
+      entry.set("points", std::move(points));
+      kernels.push_back(std::move(entry));
+    }
+  }
+  root.set("kernels", std::move(kernels));
+  json::Value history = json::Value::array();
+  {
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    for (const auto& [key, e] : history_) {
+      json::Value jh = json::Value::object();
+      jh.set("task",
+             json::Value(std::string(
+                 to_string(static_cast<TaskClass>(key.task_class)))));
+      jh.set("resource", json::Value(std::string(kind_name(key.kind))));
+      jh.set("bucket", json::Value(static_cast<double>(key.bucket)));
+      jh.set("rate", json::Value(e.rate));
+      jh.set("weight", json::Value(e.weight));
+      history.push_back(std::move(jh));
+    }
+  }
+  root.set("history", std::move(history));
+  return root.dump();
+}
+
+void PerfModel::save(const std::string& path) const {
+  std::ofstream out(path);
+  SPX_CHECK_ARG(out.good(), "perfmodel: cannot open for writing: " + path);
+  out << to_json();
+  out.close();
+  SPX_CHECK_ARG(out.good(), "perfmodel: write failed: " + path);
+}
+
+PerfModel PerfModel::from_json(std::string_view text) {
+  const json::Value root = json::Value::parse(text);
+  SPX_CHECK_ARG(root.is_object(), "perfmodel: document is not an object");
+  const double version = root.at("spx_perf_model_version").as_number();
+  SPX_CHECK_ARG(version == kSchemaVersion,
+                "perfmodel: unsupported schema version " +
+                    std::to_string(version));
+  PerfModel model;
+  model.host_ = root.string_or("host", "unknown");
+  const json::Value& kernels = root.at("kernels");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const json::Value& entry = kernels.at(i);
+    KernelClass c;
+    ResourceKind kind;
+    SPX_CHECK_ARG(
+        kernel_class_from_string(entry.at("kernel").as_string(), &c),
+        "perfmodel: unknown kernel class '" +
+            entry.at("kernel").as_string() + "'");
+    SPX_CHECK_ARG(kind_from_name(entry.at("resource").as_string(), &kind),
+                  "perfmodel: unknown resource kind '" +
+                      entry.at("resource").as_string() + "'");
+    KernelTable table;
+    const json::Value& points = entry.at("points");
+    SPX_CHECK_ARG(points.size() > 0, "perfmodel: kernel entry with no points");
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      const json::Value& jp = points.at(j);
+      CalPoint p;
+      p.shape = {jp.number_or("m", 0.0), jp.number_or("n", 0.0),
+                 jp.number_or("k", 0.0)};
+      p.work = jp.at("work").as_number();
+      p.rate = jp.at("rate").as_number();
+      p.samples = static_cast<int>(jp.number_or("samples", 1.0));
+      table.add(p);  // rejects non-positive work/rate
+    }
+    table.fit();
+    model.set_table(c, kind, std::move(table));
+  }
+  if (const json::Value* history = root.find("history")) {
+    for (std::size_t i = 0; i < history->size(); ++i) {
+      const json::Value& jh = history->at(i);
+      TaskClass c;
+      ResourceKind kind;
+      SPX_CHECK_ARG(task_class_from_string(jh.at("task").as_string(), &c),
+                    "perfmodel: unknown task class '" +
+                        jh.at("task").as_string() + "'");
+      SPX_CHECK_ARG(kind_from_name(jh.at("resource").as_string(), &kind),
+                    "perfmodel: unknown resource kind in history");
+      const double rate = jh.at("rate").as_number();
+      const double weight = jh.at("weight").as_number();
+      SPX_CHECK_ARG(rate > 0.0 && weight > 0.0,
+                    "perfmodel: history entry needs positive rate/weight");
+      const HistoryKey key{
+          static_cast<std::uint8_t>(c),
+          static_cast<std::uint8_t>(resource_slot(kind)),
+          static_cast<int>(jh.at("bucket").as_number())};
+      model.history_[key] = HistoryEntry{rate, weight};
+    }
+  }
+  return model;
+}
+
+std::optional<PerfModel> PerfModel::load(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return from_json(buf.str());
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+}  // namespace spx::perfmodel

@@ -1,8 +1,11 @@
 // Flop-proportional cost oracle for real (non-simulated) execution:
 // schedulers only need *relative* task weights for priorities, static
 // mapping, and HEFT placement; an assumed sustained rate is enough.
+// For rates measured on the actual host, use perfmodel::CalibratedCosts
+// (docs/PERF_MODELS.md); this oracle is its fallback for uncovered shapes.
 #pragma once
 
+#include "common/error.hpp"
 #include "runtime/task.hpp"
 
 namespace spx {
@@ -18,7 +21,12 @@ class FlopCosts : public TaskCosts {
         gpu_rate_(cpu_gflops * gpu_speedup * 1e9),
         pcie_rate_(pcie_gbps * 1e9) {}
 
-  double panel_seconds(index_t p, ResourceKind /*kind*/) const override {
+  /// Panels are CPU-only (paper §V-B); a GpuStream query is a caller bug
+  /// and throws rather than silently answering with the CPU rate, which
+  /// used to mask misrouted placement queries.
+  double panel_seconds(index_t p, ResourceKind kind) const override {
+    SPX_CHECK_ARG(kind == ResourceKind::Cpu,
+                  "panel tasks are CPU-only (paper §V-B): no GPU panel rate");
     return table_->flops({TaskKind::Panel, p, -1}) / cpu_rate_;
   }
   double update_seconds(index_t p, index_t edge,

@@ -15,14 +15,20 @@
 
 namespace spx {
 
+/// One schedulable execution slot: a CPU worker or one GPU stream.
 struct Resource {
   ResourceKind kind = ResourceKind::Cpu;
   int gpu = -1;     ///< device index for GpuStream resources
   int stream = -1;  ///< stream index within the device
 };
 
+/// Immutable description of the execution platform: how many CPU workers
+/// and GPU streams exist and the dense resource-id numbering shared by
+/// schedulers, drivers and RunStats vectors.
 class Machine {
  public:
+  /// `num_cpus` CPU workers followed by `num_gpus * streams_per_gpu`
+  /// GPU-stream resources; throws InvalidArgument on an empty machine.
   Machine(int num_cpus, int num_gpus = 0, int streams_per_gpu = 1)
       : num_cpus_(num_cpus),
         num_gpus_(num_gpus),
@@ -43,7 +49,9 @@ class Machine {
   int num_cpus() const { return num_cpus_; }
   int num_gpus() const { return num_gpus_; }
   int streams_per_gpu() const { return streams_per_gpu_; }
+  /// Total schedulable slots: num_cpus + num_gpus * streams_per_gpu.
   int num_resources() const { return static_cast<int>(resources_.size()); }
+  /// Resource behind dense id `r`; CPU workers occupy ids [0, num_cpus).
   const Resource& resource(int r) const { return resources_[r]; }
 
  private:

@@ -1,6 +1,7 @@
 #include "runtime/real_driver.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -32,6 +33,7 @@ class RealRun {
     stats_.busy.assign(nr, 0.0);
     idle_wait_.assign(static_cast<std::size_t>(nr), 0.0);
     lock_wait_.assign(static_cast<std::size_t>(nr), 0.0);
+    worker_err_.assign(static_cast<std::size_t>(nr), {});
     run_clock_.reset();
     Timer wall;
     {
@@ -56,6 +58,14 @@ class RealRun {
     for (std::size_t r = 0; r < n; ++r) c.lock_wait[r] += lock_wait_[r];
     c.idle_wait = idle_wait_;
     stats_.contention = std::move(c);
+    for (ModelErrorStats& e : worker_err_) {
+      stats_.model_error.panel_rel.insert(stats_.model_error.panel_rel.end(),
+                                          e.panel_rel.begin(),
+                                          e.panel_rel.end());
+      stats_.model_error.update_rel.insert(
+          stats_.model_error.update_rel.end(), e.update_rel.begin(),
+          e.update_rel.end());
+    }
     if (error_) std::rethrow_exception(error_);
     return stats_;
   }
@@ -103,10 +113,12 @@ class RealRun {
         record_error();
         break;
       }
-      stats_.busy[r] += timer.elapsed();
+      const double actual = timer.elapsed();
+      stats_.busy[r] += actual;
       if (options_.trace != nullptr) {
         options_.trace->record(r, t, t0, run_clock_.elapsed());
       }
+      observe_duration(t, r, actual);
       try {
         sched_.on_complete(t, r);
       } catch (...) {
@@ -184,6 +196,29 @@ class RealRun {
     }
   }
 
+  // Model-accuracy + online-refinement hooks.  Each worker appends to its
+  // own ModelErrorStats slot (merged after join, so no locking); the
+  // observer is documented thread-safe.  Subtree tasks are skipped: they
+  // fuse many panels/updates and have no single-oracle prediction.
+  void observe_duration(const Task& t, int r, double actual) {
+    if (t.kind == TaskKind::Subtree || actual <= 0.0) return;
+    const ResourceKind kind = machine_.resource(r).kind;
+    if (options_.observer != nullptr) {
+      options_.observer->observe_task(t, kind, actual);
+    }
+    const TaskCosts* model = options_.error_model;
+    if (model == nullptr) return;
+    ModelErrorStats& err = worker_err_[static_cast<std::size_t>(r)];
+    if (t.kind == TaskKind::Panel) {
+      if (kind != ResourceKind::Cpu) return;  // panels are CPU-only
+      const double pred = model->panel_seconds(t.panel, kind);
+      err.panel_rel.push_back((pred - actual) / actual);
+    } else {
+      const double pred = model->update_seconds(t.panel, t.edge, kind);
+      err.update_rel.push_back((pred - actual) / actual);
+    }
+  }
+
   void record_error() {
     bool expected = false;
     if (aborted_.compare_exchange_strong(expected, true)) {
@@ -207,6 +242,7 @@ class RealRun {
   std::atomic<index_t> tasks_gpu_{0};
   std::vector<double> idle_wait_;  ///< per-resource, owner-thread written
   std::vector<double> lock_wait_;  ///< per-resource panel-lock waits
+  std::vector<ModelErrorStats> worker_err_;  ///< per-resource error samples
   std::exception_ptr error_;
   RunStats stats_;
 };

@@ -27,6 +27,14 @@ struct RealDriverOptions {
   bool fused_ldlt = true;
   /// Optional trace sink (wall-clock times relative to run start).
   TraceRecorder* trace = nullptr;
+  /// Optional cost oracle compared against measured durations to fill
+  /// RunStats::model_error (Panel/Update tasks only; Subtree tasks have no
+  /// single-oracle prediction).  Must outlive the run.
+  const TaskCosts* error_model = nullptr;
+  /// Optional per-task duration sink -- the online-refinement hook (e.g.
+  /// perfmodel::ModelRefiner).  Called from worker threads; must be
+  /// thread-safe and outlive the run.
+  TaskDurationObserver* observer = nullptr;
 };
 
 /// Factorizes `f` in place under `scheduler`; spawns one thread per

@@ -1,6 +1,7 @@
 // Execution statistics shared by the simulated and real drivers.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.hpp"
@@ -53,20 +54,55 @@ struct ContentionStats {
   }
 };
 
+/// Cost-model accuracy observed during a real run: one signed
+/// (predicted - actual) / actual sample per executed panel/update task.
+/// Populated by the real driver when RealDriverOptions::error_model is
+/// set (the perfmodel pipeline reports these per kernel class; see
+/// docs/PERF_MODELS.md).  Empty when no model was attached.
+struct ModelErrorStats {
+  std::vector<double> panel_rel;   ///< signed panel-task relative errors
+  std::vector<double> update_rel;  ///< signed update-task relative errors
+
+  /// True when no samples were collected (no model attached to the run).
+  bool empty() const { return panel_rel.empty() && update_rel.empty(); }
+  /// Median of a sample vector (0 when empty); by value, it sorts a copy.
+  static double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    return v[mid];
+  }
+  /// Median |error|: the headline accuracy figure per task class.
+  static double median_abs(std::vector<double> v) {
+    for (double& x : v) x = x < 0 ? -x : x;
+    return median(std::move(v));
+  }
+  double median_panel() const { return median_abs(panel_rel); }
+  double median_update() const { return median_abs(update_rel); }
+  /// Median *signed* error: + means the model over-predicts durations.
+  double bias_panel() const { return median(panel_rel); }
+  double bias_update() const { return median(update_rel); }
+};
+
+/// Per-run execution statistics; `makespan`/`busy` are virtual seconds
+/// when produced by the simulator, wall-clock otherwise.
 struct RunStats {
   double makespan = 0.0;        ///< seconds (virtual for the simulator)
   double gflops = 0.0;          ///< total factorization flops / makespan
   std::vector<double> busy;     ///< per-resource busy seconds
   double bytes_h2d = 0.0;       ///< host-to-device transfer volume
-  double bytes_d2h = 0.0;
-  index_t tasks_cpu = 0;
-  index_t tasks_gpu = 0;
+  double bytes_d2h = 0.0;       ///< device-to-host transfer volume
+  index_t tasks_cpu = 0;        ///< tasks executed on CPU workers
+  index_t tasks_gpu = 0;        ///< tasks executed on GPU streams
   index_t cache_hits = 0;       ///< cache-model hits (simulator only)
-  index_t cache_queries = 0;
+  index_t cache_queries = 0;    ///< cache-model lookups (simulator only)
   index_t gpu_evictions = 0;    ///< LRU evictions under device memory
                                 ///< pressure (simulator only)
   ContentionStats contention;   ///< lock/idle/steal counters (real driver)
+  ModelErrorStats model_error;  ///< cost-model accuracy (real driver, only
+                                ///< when a model is attached)
 
+  /// Mean per-resource utilization: busy seconds / makespan, in [0, 1].
   double busy_fraction() const {
     if (busy.empty() || makespan <= 0) return 0.0;
     double total = 0.0;

@@ -34,6 +34,8 @@ class Scheduler {
   /// True when every task has completed.
   virtual bool finished() const = 0;
 
+  /// Human-readable runtime name ("native", "starpu", "parsec") used in
+  /// logs and benchmark tables.
   virtual std::string name() const = 0;
 
   /// Queued-but-not-started task on `resource` whose data the driver may

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perfmodel/calibrated_costs.hpp"
+
 namespace spx::sim {
 
 CostModel::CostModel(const PlatformSpec& spec, const SymbolicStructure& st,
@@ -113,6 +115,16 @@ void CostModel::precompute() {
         spec_.cpu_panel_efficiency;
     panel_cpu_seconds_[p] =
         std::max(flops / rate, 2.0 * panel_bytes_[p] / spec_.cpu_mem_bw);
+    // Measured override: a calibrated table covering this panel replaces
+    // the analytic estimate (the prescale extra stays analytic -- it is
+    // bandwidth noise next to the factor + TRSM kernels).
+    if (options_.measured != nullptr) {
+      double s = 0.0;
+      if (perfmodel::panel_task_seconds(*options_.measured, st, kind_, p,
+                                        ResourceKind::Cpu, &s)) {
+        panel_cpu_seconds_[p] = s;
+      }
+    }
     update_base_[p + 1] =
         update_base_[p] + static_cast<index_t>(st.targets[p].size());
   }
@@ -180,6 +192,24 @@ void CostModel::precompute() {
       }
       uc.cpu_bytes += uc.src_bytes + uc.dst_bytes;
       uc.gpu_demand = std::min(1.0, uc.gpu_demand);
+      // Measured override: scale the flop-time/traffic pair so the
+      // cold-cache time equals the calibrated prediction while the
+      // hot-cache discounts keep their relative size.
+      if (options_.measured != nullptr) {
+        double s = 0.0;
+        if (perfmodel::update_task_seconds(*options_.measured, st, kind_, p,
+                                           e, ResourceKind::Cpu, &s)) {
+          const double cold =
+              std::max(uc.cpu_flop_time, uc.cpu_bytes / spec_.cpu_mem_bw);
+          if (cold > 0.0 && s > 0.0) {
+            const double scale = s / cold;
+            uc.cpu_flop_time *= scale;
+            uc.cpu_bytes *= scale;
+            uc.src_bytes *= scale;
+            uc.dst_bytes *= scale;
+          }
+        }
+      }
       update_[update_base_[p] + e] = uc;
     }
   }

@@ -23,6 +23,10 @@
 #include "runtime/task.hpp"
 #include "sim/platform.hpp"
 
+namespace spx::perfmodel {
+class PerfModel;
+}  // namespace spx::perfmodel
+
 namespace spx::sim {
 
 enum class GpuGemmVariant { Cublas, Astra, Sparse, SparseLdlt };
@@ -49,6 +53,12 @@ class CostModel : public TaskCosts {
     LdltStrategy ldlt = LdltStrategy::Fused;
     UpdateVariant cpu_variant = UpdateVariant::TempBuffer;
     double task_overhead = 2e-6;
+    /// Optional calibrated model (docs/PERF_MODELS.md): CPU task times it
+    /// covers replace the analytic roofline, grounding the simulated host
+    /// in measured rates; the hot-cache discount is rescaled
+    /// proportionally and the device side stays analytic (no real GPU to
+    /// calibrate against).  Must outlive the CostModel.
+    const perfmodel::PerfModel* measured = nullptr;
   };
 
   CostModel(const PlatformSpec& spec, const SymbolicStructure& st,

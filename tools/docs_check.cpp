@@ -1,0 +1,106 @@
+// Documentation checker, run as the `docs_check` ctest target:
+//   * every relative markdown link in the repo's top-level *.md files and
+//     docs/ must resolve to an existing file (anchors and external URLs
+//     are skipped);
+//   * every models/*.json must parse as a valid performance-model file
+//     through PerfModel::load -- the same code path the solver uses -- so
+//     a committed model can never be silently unloadable.
+//
+//   tools/docs_check <repo-root>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perfmodel/perf_model.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int errors = 0;
+
+void fail(const std::string& msg) {
+  std::fprintf(stderr, "docs_check: %s\n", msg.c_str());
+  ++errors;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool external_target(const std::string& t) {
+  return t.rfind("http://", 0) == 0 || t.rfind("https://", 0) == 0 ||
+         t.rfind("mailto:", 0) == 0 || (!t.empty() && t[0] == '#');
+}
+
+/// Checks every inline `[text](target)` link of one markdown file.
+void check_markdown(const fs::path& md, const fs::path& root) {
+  const std::string text = read_file(md);
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != ']' || text[i + 1] != '(') continue;
+    const std::size_t close = text.find(')', i + 2);
+    if (close == std::string::npos) continue;
+    std::string target = text.substr(i + 2, close - i - 2);
+    if (target.empty() || external_target(target)) continue;
+    if (target.find(' ') != std::string::npos ||
+        target.find('\n') != std::string::npos) {
+      continue;  // not a link (e.g. prose in parentheses after brackets)
+    }
+    const std::size_t hash = target.find('#');
+    if (hash != std::string::npos) target.resize(hash);
+    if (target.empty()) continue;
+    const fs::path resolved = target[0] == '/'
+                                  ? root / target.substr(1)
+                                  : md.parent_path() / target;
+    if (!fs::exists(resolved)) {
+      fail(md.string() + ": broken link '" + target + "'");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: docs_check <repo-root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+
+  std::vector<fs::path> mds;
+  for (const auto& e : fs::directory_iterator(root)) {
+    if (e.path().extension() == ".md") mds.push_back(e.path());
+  }
+  if (fs::exists(root / "docs")) {
+    for (const auto& e : fs::directory_iterator(root / "docs")) {
+      if (e.path().extension() == ".md") mds.push_back(e.path());
+    }
+  }
+  if (mds.empty()) fail("no markdown files found under " + root.string());
+  for (const fs::path& md : mds) check_markdown(md, root);
+
+  std::size_t models = 0;
+  if (fs::exists(root / "models")) {
+    for (const auto& e : fs::directory_iterator(root / "models")) {
+      if (e.path().extension() != ".json") continue;
+      ++models;
+      std::string error;
+      const auto m = spx::perfmodel::PerfModel::load(e.path().string(),
+                                                     &error);
+      if (!m) {
+        fail(e.path().string() + ": invalid model file: " + error);
+      }
+    }
+  }
+
+  std::printf("docs_check: %zu markdown files, %zu model files, %d "
+              "error(s)\n",
+              mds.size(), models, errors);
+  return errors == 0 ? 0 : 1;
+}
