@@ -159,6 +159,7 @@ int main(int argc, char** argv) {
     sopts.analysis.symbolic.amalgamation.fill_ratio = 0.12;
     sopts.analysis.symbolic.max_panel_width = 128;
     Solver<double> solver(sopts);
+    solver.analyze(a);
     for (int pass = 1; pass <= 2; ++pass) {
       solver.factorize(a, spec.method);
       const RunStats& st = solver.last_factorization_stats();

@@ -1,0 +1,225 @@
+// Solve-service throughput bench: quantifies what the serving layer buys.
+//
+// Three experiments against one host:
+//   1. cache     -- sustained factorize+solve round trips on a repeated
+//                   pattern, analysis cache on vs off.  The cache removes
+//                   the (value-independent) ordering + symbolic phase from
+//                   every request after the first; the speedup column is
+//                   the headline number (expect >= 2x when analysis
+//                   dominates, as it does for 2D-grid patterns).
+//   2. load      -- offered-load sweep: client threads submitting
+//                   factorize+solve round trips; reports requests/s and
+//                   p50/p99 end-to-end latency per load level.
+//   3. overload  -- 4x more in-flight requests than a deliberately tiny
+//                   admission queue admits: backpressure must convert the
+//                   excess into immediate Rejected results (bounded
+//                   memory, no deadlock) while admitted work completes.
+//
+// --smoke shrinks everything to a ctest-friendly second or two.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "mat/generators.hpp"
+#include "service/solve_service.hpp"
+
+using namespace spx;
+using service::FactorizeResult;
+using service::RequestStatus;
+using service::ServiceOptions;
+using service::SolveResult;
+using service::SolveService;
+
+namespace {
+
+std::shared_ptr<const CscMatrix<real_t>> make_matrix(index_t nx) {
+  return std::make_shared<const CscMatrix<real_t>>(
+      gen::grid2d_laplacian(nx, nx));
+}
+
+struct LoadStats {
+  double wall_s = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> latencies;  ///< seconds, completed requests only
+
+  double throughput() const {
+    return wall_s > 0 ? double(completed) / wall_s : 0.0;
+  }
+  double percentile(double p) const {
+    if (latencies.empty()) return 0.0;
+    std::vector<double> s = latencies;
+    std::sort(s.begin(), s.end());
+    const auto i = static_cast<std::size_t>(p * double(s.size() - 1));
+    return s[i];
+  }
+};
+
+/// `clients` threads each push `per_client` factorize+solve round trips
+/// through `svc` against the same pattern (distinct tenants).
+LoadStats run_clients(SolveService& svc,
+                      const std::shared_ptr<const CscMatrix<real_t>>& a,
+                      int clients, int per_client) {
+  const std::vector<real_t> b(static_cast<std::size_t>(a->ncols()), 1.0);
+  std::vector<LoadStats> per_thread(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  Timer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LoadStats& mine = per_thread[static_cast<std::size_t>(c)];
+      const std::string tenant = "client-" + std::to_string(c);
+      for (int i = 0; i < per_client; ++i) {
+        Timer t;
+        const FactorizeResult fr =
+            svc.factorize(tenant, a, Factorization::LLT);
+        if (fr.status == RequestStatus::Rejected) {
+          ++mine.rejected;
+          continue;
+        }
+        if (!fr.ok()) {
+          ++mine.failed;
+          continue;
+        }
+        const SolveResult sr = svc.solve(tenant, fr.factor, b);
+        if (sr.status == RequestStatus::Rejected) {
+          ++mine.rejected;
+        } else if (!sr.ok()) {
+          ++mine.failed;
+        } else {
+          ++mine.completed;
+          mine.latencies.push_back(t.elapsed());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadStats total;
+  total.wall_s = wall.elapsed();
+  for (const LoadStats& p : per_thread) {
+    total.completed += p.completed;
+    total.rejected += p.rejected;
+    total.failed += p.failed;
+    total.latencies.insert(total.latencies.end(), p.latencies.begin(),
+                           p.latencies.end());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const auto nx = static_cast<index_t>(cli.get_int("nx", smoke ? 24 : 56));
+  const int workers = static_cast<int>(cli.get_int("workers", 4));
+  const int requests =
+      static_cast<int>(cli.get_int("requests", smoke ? 8 : 40));
+  cli.check_unknown();
+
+  const auto a = make_matrix(nx);
+  std::printf("service bench: %dx%d grid (n=%d), %d workers, "
+              "%d requests/client%s\n\n",
+              nx, nx, a->ncols(), workers, requests, smoke ? " [smoke]" : "");
+
+  // ---- 1. analysis cache on vs off -------------------------------------
+  std::printf("--- cache: repeated same-pattern factorize+solve ---\n");
+  double thr_on = 0, thr_off = 0;
+  for (const bool cache_on : {true, false}) {
+    ServiceOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = 4096;
+    opts.cache_bytes = cache_on ? (256ull << 20) : 0;
+    SolveService svc(opts);
+    // Warm up once so the cached run's first-request miss is off-clock.
+    (void)svc.factorize("warmup", a, Factorization::LLT);
+    const LoadStats st = run_clients(svc, a, workers, requests);
+    (cache_on ? thr_on : thr_off) = st.throughput();
+    const auto cs = svc.stats().cache;
+    std::printf("  cache %-3s  %8.1f req/s  p50 %7.2fms  p99 %7.2fms  "
+                "(hits %llu, misses %llu)\n",
+                cache_on ? "on" : "off", st.throughput(),
+                st.percentile(0.5) * 1e3, st.percentile(0.99) * 1e3,
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses));
+  }
+  std::printf("  speedup from analysis cache: %.2fx %s\n\n",
+              thr_off > 0 ? thr_on / thr_off : 0.0,
+              thr_on >= 2.0 * thr_off ? "(>= 2x: pattern reuse pays)"
+                                      : "(below 2x on this host/size)");
+
+  // ---- 2. offered-load sweep -------------------------------------------
+  std::printf("--- load sweep: clients vs %d workers ---\n", workers);
+  std::printf("  %7s %10s %10s %10s %9s\n", "clients", "req/s", "p50(ms)",
+              "p99(ms)", "rejected");
+  for (const int clients : {1, workers, 2 * workers}) {
+    ServiceOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = 4096;
+    SolveService svc(opts);
+    (void)svc.factorize("warmup", a, Factorization::LLT);
+    const LoadStats st = run_clients(svc, a, clients, requests);
+    std::printf("  %7d %10.1f %10.2f %10.2f %9llu\n", clients,
+                st.throughput(), st.percentile(0.5) * 1e3,
+                st.percentile(0.99) * 1e3,
+                static_cast<unsigned long long>(st.rejected));
+  }
+
+  // ---- 3. overload: bounded queue under 4x saturation ------------------
+  // Per-tenant capacity 2 with every client on ONE tenant: at 4x more
+  // concurrent clients than workers, most submissions must bounce as
+  // Rejected immediately -- the queue never grows beyond its bound and
+  // every ticket resolves.
+  std::printf("\n--- overload: 4x saturation against capacity-2 queue ---\n");
+  {
+    ServiceOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = 2;
+    SolveService svc(opts);
+    const FactorizeResult fr = svc.factorize("shared", a, Factorization::LLT);
+    if (!fr.ok()) {
+      std::fprintf(stderr, "overload warmup failed: %s\n", fr.error.c_str());
+      return 1;
+    }
+    const int flooders = 4 * workers;
+    const std::vector<real_t> b(static_cast<std::size_t>(a->ncols()), 1.0);
+    std::atomic<std::uint64_t> done{0}, bounced{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(flooders));
+    Timer wall;
+    for (int c = 0; c < flooders; ++c) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < requests; ++i) {
+          const SolveResult sr = svc.solve("shared", fr.factor, b);
+          if (sr.ok()) {
+            done.fetch_add(1);
+          } else if (sr.status == RequestStatus::Rejected) {
+            bounced.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s = wall.elapsed();
+    const auto total = static_cast<std::uint64_t>(flooders) *
+                       static_cast<std::uint64_t>(requests);
+    std::printf("  %llu requests from %d clients in %.2fs: %llu served, "
+                "%llu rejected (queue bound held, no deadlock)\n",
+                static_cast<unsigned long long>(total), flooders, wall_s,
+                static_cast<unsigned long long>(done.load()),
+                static_cast<unsigned long long>(bounced.load()));
+    if (done.load() + bounced.load() != total) {
+      std::fprintf(stderr, "lost requests: %llu != %llu\n",
+                   static_cast<unsigned long long>(done.load() +
+                                                   bounced.load()),
+                   static_cast<unsigned long long>(total));
+      return 1;
+    }
+  }
+  return 0;
+}

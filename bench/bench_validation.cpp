@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   // simulator's analytic CPU roofline with measured task times, which
   // tightens the real/sim agreement this bench quantifies.
   const std::string perf_model = cli.get("perf-model", "");
+  // When > 0, also time a blocked nrhs-column solve_multi after each real
+  // factorization (the solve path the service batches into).
+  const auto nrhs = static_cast<index_t>(cli.get_int("nrhs", 0));
   cli.check_unknown();
 
   std::optional<perfmodel::PerfModel> measured;
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     sopts.num_threads = 1;
     sopts.analysis = aopts;
     Solver<double> solver(sopts);
+    solver.analyze(a);
     solver.factorize(a, spec.method);
     const double real_s = solver.last_factorization_stats().makespan;
 
@@ -74,8 +78,18 @@ int main(int argc, char** argv) {
 
     const double ratio = real_s / sim_s;
     worst = std::max(worst, std::max(ratio, 1.0 / ratio));
-    std::printf("%-22s %-10s | %9.3f %9.3f %6.2fx\n", label(spec).c_str(),
+    std::printf("%-22s %-10s | %9.3f %9.3f %6.2fx", label(spec).c_str(),
                 to_string(spec.method), real_s, sim_s, ratio);
+    if (nrhs > 0) {
+      std::vector<double> block(static_cast<std::size_t>(a.ncols()) *
+                                    static_cast<std::size_t>(nrhs),
+                                1.0);
+      Timer tsolve;
+      solver.solve_multi(block, nrhs);
+      std::printf("  solve x%d: %.4fs", static_cast<int>(nrhs),
+                  tsolve.elapsed());
+    }
+    std::printf("\n");
   }
   print_rule(66);
   std::printf("worst real/sim discrepancy: %.2fx %s\n", worst,

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   // Validate against the plain direct solver.
   Solver<double> direct;
   std::vector<double> xref = b;
+  direct.analyze(a);
   direct.factorize(a, Factorization::LLT);
   direct.solve(xref);
   double err = 0.0, peak = 0.0;

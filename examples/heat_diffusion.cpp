@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   options.runtime = RuntimeKind::Parsec;
   Solver<double> solver(options);
   Timer setup;
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   const double setup_time = setup.elapsed();
 

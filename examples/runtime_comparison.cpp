@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/cli.hpp"
+#include "common/timer.hpp"
 #include "core/sim_runner.hpp"
 #include "core/solver.hpp"
 #include "mat/surrogates.hpp"
@@ -28,7 +29,11 @@ int main(int argc, char** argv) {
   // Calibrated model (bench_calibration output): drives dmda/HEFT ranking
   // in the real runs and grounds the simulated CPU side in measured rates.
   const std::string perf_model = cli.get("perf-model", "");
+  // Right-hand sides solved per runtime after factorization; >1 exercises
+  // the blocked solve_multi path (GEMM-shaped updates instead of GEMVs).
+  const auto nrhs = static_cast<index_t>(cli.get_int("nrhs", 1));
   cli.check_unknown();
+  SPX_CHECK_ARG(nrhs >= 1, "--nrhs must be >= 1");
 
   const SurrogateSpec& spec = surrogate_by_name(name);
   SPX_CHECK_ARG(spec.prec == Precision::D,
@@ -47,10 +52,17 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.perf_model_file = perf_model;
     Solver<double> solver(options);
+    solver.analyze(a);
     solver.factorize(a, spec.method);
     const RunStats& st = solver.last_factorization_stats();
-    std::printf("  %-10s %7.3fs  %6.2f GFlop/s\n", to_string(rt),
-                st.makespan, st.gflops);
+    std::vector<double> block(
+        static_cast<std::size_t>(a.ncols()) * static_cast<std::size_t>(nrhs),
+        1.0);
+    Timer tsolve;
+    solver.solve_multi(block, nrhs);
+    std::printf("  %-10s %7.3fs  %6.2f GFlop/s   solve x%d: %.4fs\n",
+                to_string(rt), st.makespan, st.gflops,
+                static_cast<int>(nrhs), tsolve.elapsed());
   }
 
   if (!trace_path.empty()) {

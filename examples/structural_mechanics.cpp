@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     SolverOptions options;
     options.runtime = rt;
     Solver<double> solver(options);
+    solver.analyze(k);
     solver.factorize(k, Factorization::LDLT);
     const RunStats& st = solver.last_factorization_stats();
 

@@ -115,6 +115,27 @@ class Parser {
     }
   }
 
+  /// Reads the 4 hex digits of a \uXXXX escape (cursor past the 'u').
+  unsigned long parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+    unsigned long code = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char h = text_[pos_ + k];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned long>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned long>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned long>(h - 'A' + 10);
+      } else {
+        fail_at(pos_ + k, "bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -138,20 +159,47 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
-          const std::string hex(text_.substr(pos_, 4));
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4 || code > 0x7f) {
-            fail_at(pos_, "unsupported \\u escape (ASCII only)");
+          unsigned long code = parse_hex4();
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            fail_at(pos_ - 4, "lone low surrogate in \\u escape");
           }
-          out.push_back(static_cast<char>(code));
-          pos_ += 4;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail_at(pos_, "high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const unsigned long low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              fail_at(pos_ - 4, "high surrogate not followed by low half");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          append_utf8(out, code);
           break;
         }
         default:
           fail_at(pos_ - 1, "bad escape");
       }
+    }
+  }
+
+  static void append_utf8(std::string& out, unsigned long cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
     }
   }
 
@@ -179,23 +227,85 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+void append_escape(std::string& out, unsigned long cp) {
+  char buf[16];
+  if (cp < 0x10000) {
+    std::snprintf(buf, sizeof(buf), "\\u%04lx", cp);
+  } else {
+    // Outside the BMP: UTF-16 surrogate pair, as RFC 8259 requires.
+    const unsigned long v = cp - 0x10000;
+    std::snprintf(buf, sizeof(buf), "\\u%04lx\\u%04lx", 0xd800 + (v >> 10),
+                  0xdc00 + (v & 0x3ff));
+  }
+  out += buf;
+}
+
+/// Decodes one UTF-8 sequence starting at s[i]; returns the codepoint and
+/// advances i, or returns 0xfffd (and advances by one byte) on malformed
+/// input so arbitrary bytes still serialize to valid JSON.
+unsigned long decode_utf8(const std::string& s, std::size_t& i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned long>(static_cast<unsigned char>(s[k]));
+  };
+  const unsigned long c0 = byte(i);
+  int len = 0;
+  unsigned long cp = 0;
+  if (c0 >= 0xc2 && c0 <= 0xdf) {
+    len = 2;
+    cp = c0 & 0x1f;
+  } else if (c0 >= 0xe0 && c0 <= 0xef) {
+    len = 3;
+    cp = c0 & 0x0f;
+  } else if (c0 >= 0xf0 && c0 <= 0xf4) {
+    len = 4;
+    cp = c0 & 0x07;
+  } else {  // lone continuation byte, overlong lead, or > U+10FFFF lead
+    ++i;
+    return 0xfffd;
+  }
+  if (i + static_cast<std::size_t>(len) > s.size()) {
+    ++i;
+    return 0xfffd;
+  }
+  for (int k = 1; k < len; ++k) {
+    const unsigned long ck = byte(i + static_cast<std::size_t>(k));
+    if (ck < 0x80 || ck > 0xbf) {
+      ++i;
+      return 0xfffd;
+    }
+    cp = (cp << 6) | (ck & 0x3f);
+  }
+  const bool overlong = (len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+                        (len == 4 && cp < 0x10000);
+  if (overlong || cp > 0x10ffff || (cp >= 0xd800 && cp <= 0xdfff)) {
+    ++i;
+    return 0xfffd;
+  }
+  i += static_cast<std::size_t>(len);
+  return cp;
+}
+
 void dump_string(std::string& out, const std::string& s) {
   out.push_back('"');
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20) {  // remaining control characters
+      append_escape(out, u);
+      ++i;
+    } else if (u < 0x80) {  // printable ASCII passes through
+      out.push_back(c);
+      ++i;
+    } else {  // non-ASCII: decode UTF-8 and emit \uXXXX escapes
+      append_escape(out, decode_utf8(s, i));
     }
   }
   out.push_back('"');

@@ -1,10 +1,14 @@
 // Minimal JSON value, parser and writer.
 //
-// Just enough JSON for the library's structured on-disk artifacts (the
-// perfmodel files under models/, see docs/PERF_MODELS.md): objects keep
-// insertion order, numbers are doubles serialized with %.17g so they
-// round-trip bit-exactly, and the parser rejects trailing garbage.  Not a
-// general-purpose JSON library -- no \uXXXX escapes beyond ASCII, no
+// Just enough JSON for the library's structured artifacts (the perfmodel
+// files under models/, see docs/PERF_MODELS.md, and the solve-service
+// stats surface): objects keep insertion order, numbers are doubles
+// serialized with %.17g so they round-trip bit-exactly, and the parser
+// rejects trailing garbage.  Strings are UTF-8: the writer escapes
+// control and non-ASCII characters as \uXXXX (surrogate pairs above the
+// BMP, U+FFFD for malformed bytes) so output is always valid ASCII JSON
+// -- arbitrary tenant names included -- and the parser accepts the full
+// \uXXXX range back.  Still not a general-purpose JSON library: no
 // comments, inputs are trusted local files.
 #pragma once
 

@@ -52,14 +52,31 @@ void Solver<T>::load_perf_model() {
 
 template <typename T>
 void Solver<T>::analyze(const CscMatrix<T>& a) {
-  analysis_ = spx::analyze(a, options_.analysis);
+  analysis_ =
+      std::make_shared<const Analysis>(spx::analyze(a, options_.analysis));
+  pattern_digest_ = spx::pattern_digest(a);
+  factors_.reset();  // stale factors belong to the previous analysis
+}
+
+template <typename T>
+void Solver<T>::adopt_analysis(std::shared_ptr<const Analysis> analysis,
+                               std::uint64_t digest) {
+  SPX_CHECK_ARG(analysis != nullptr, "adopt_analysis(): null analysis");
+  analysis_ = std::move(analysis);
+  pattern_digest_ = digest;
   factors_.reset();
 }
 
 template <typename T>
 void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
   SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
-  if (!analyzed() || analysis_->perm.size() != a.ncols()) analyze(a);
+  SPX_CHECK_ARG(analyzed(),
+                "factorize() before analyze(): run analyze(a) first (one "
+                "analysis serves every same-pattern factorization)");
+  SPX_CHECK_ARG(analysis_->perm.size() == a.ncols() &&
+                    spx::pattern_digest(a) == pattern_digest_,
+                "factorize(): matrix pattern differs from the analyzed "
+                "pattern; call analyze(a) again");
   if constexpr (!is_complex_v<T>) {
     SPX_CHECK_ARG(kind == Factorization::LLT || kind == Factorization::LDLT ||
                       kind == Factorization::LU,
@@ -145,7 +162,9 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
 
 template <typename T>
 void Solver<T>::solve(std::span<T> b) const {
-  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  SPX_CHECK_ARG(factorized(),
+                "solve() without factors: factorize() has not run since "
+                "the last analyze()");
   SPX_CHECK_ARG(static_cast<index_t>(b.size()) == analysis_->perm.size(),
                 "rhs size mismatch");
   std::vector<T> pb(b.size());
@@ -156,7 +175,9 @@ void Solver<T>::solve(std::span<T> b) const {
 
 template <typename T>
 void Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
-  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  SPX_CHECK_ARG(factorized(),
+                "solve_multi() without factors: factorize() has not run "
+                "since the last analyze()");
   const index_t n = analysis_->perm.size();
   SPX_CHECK_ARG(static_cast<index_t>(b.size()) == n * nrhs,
                 "rhs block size mismatch");
@@ -178,7 +199,9 @@ template <typename T>
 int Solver<T>::solve_refine(const CscMatrix<T>& a, std::span<const T> b,
                             std::span<T> x, double tol,
                             int max_iter) const {
-  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  SPX_CHECK_ARG(factorized(),
+                "solve_refine() without factors: factorize() has not run "
+                "since the last analyze()");
   const std::size_t n = b.size();
   std::copy(b.begin(), b.end(), x.begin());
   solve(x);

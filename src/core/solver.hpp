@@ -10,11 +10,17 @@
 //
 // The analyze step (ordering + symbolic factorization) is reusable across
 // factorizations of matrices with the same pattern -- static pivoting
-// makes the structure value-independent (paper §III).
+// makes the structure value-independent (paper §III).  The lifecycle is
+// strict and misuse fails loudly: factorize() throws before analyze() or
+// when the matrix pattern differs from the analyzed one, solve() throws
+// before factorize(), and re-analyzing invalidates the current factors.
+// The analysis itself is held as shared immutable state
+// (std::shared_ptr<const Analysis>) so many solvers -- e.g. concurrent
+// requests in the solve service (src/service/) -- can factorize different
+// matrices against one symbolic factorization without copying it.
 #pragma once
 
 #include <memory>
-#include <optional>
 
 #include "core/analysis.hpp"
 #include "core/codelets.hpp"
@@ -69,11 +75,21 @@ class Solver {
   SolverOptions& options() { return options_; }
   const SolverOptions& options() const { return options_; }
 
-  /// Ordering + symbolic factorization of the pattern of `a`.
+  /// Ordering + symbolic factorization of the pattern of `a`.  Resets any
+  /// existing factors (they belong to the previous analysis).
   void analyze(const CscMatrix<T>& a);
 
-  /// Numerical factorization; calls analyze() first when needed.
-  /// Throws NumericalError on breakdown (static pivoting, no recovery).
+  /// Adopts an already-computed analysis shared with other solvers (the
+  /// solve service's pattern-keyed cache uses this).  `digest` must be the
+  /// pattern_digest() of the matrix the analysis was computed from; it is
+  /// what factorize() checks its input against.  Resets current factors.
+  void adopt_analysis(std::shared_ptr<const Analysis> analysis,
+                      std::uint64_t digest);
+
+  /// Numerical factorization of `a`, whose pattern must be the analyzed
+  /// one.  Throws InvalidArgument before analyze() or on a pattern
+  /// mismatch, and NumericalError on breakdown (static pivoting, no
+  /// recovery).
   void factorize(const CscMatrix<T>& a, Factorization kind);
 
   /// In-place solve of A x = b using the current factors.
@@ -89,11 +105,22 @@ class Solver {
                    std::span<T> x, double tol = 1e-12,
                    int max_iter = 10) const;
 
-  bool analyzed() const { return analysis_.has_value(); }
+  bool analyzed() const { return analysis_ != nullptr; }
   bool factorized() const { return factors_ != nullptr; }
   const Analysis& analysis() const {
     SPX_CHECK_ARG(analyzed(), "analyze() has not run");
     return *analysis_;
+  }
+  /// The analysis as shared immutable state (null before analyze()); the
+  /// service's cache hands this to other solvers via adopt_analysis().
+  std::shared_ptr<const Analysis> analysis_shared() const {
+    return analysis_;
+  }
+  /// Cheap structure hash of the analyzed pattern (pattern_digest() of the
+  /// matrix passed to analyze(), or the digest given to adopt_analysis()).
+  std::uint64_t pattern_digest() const {
+    SPX_CHECK_ARG(analyzed(), "analyze() has not run");
+    return pattern_digest_;
   }
   const RunStats& last_factorization_stats() const { return stats_; }
   Factorization factorization_kind() const { return kind_; }
@@ -108,7 +135,8 @@ class Solver {
   void load_perf_model();
 
   SolverOptions options_;
-  std::optional<Analysis> analysis_;
+  std::shared_ptr<const Analysis> analysis_;
+  std::uint64_t pattern_digest_ = 0;
   std::unique_ptr<FactorData<T>> factors_;
   Factorization kind_ = Factorization::LLT;
   RunStats stats_;

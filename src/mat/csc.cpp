@@ -1,6 +1,31 @@
 #include "mat/csc.hpp"
 
 namespace spx {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline void mix(std::uint64_t& h, std::uint64_t word) {
+  // FNV-1a over the 8 bytes of `word`.
+  for (int k = 0; k < 8; ++k) {
+    h = (h ^ (word & 0xff)) * kFnvPrime;
+    word >>= 8;
+  }
+}
+
+}  // namespace
+
+std::uint64_t pattern_digest(index_t nrows, index_t ncols,
+                             std::span<const size_type> colptr,
+                             std::span<const index_t> rowind) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(nrows));
+  mix(h, static_cast<std::uint64_t>(ncols));
+  for (const size_type p : colptr) mix(h, static_cast<std::uint64_t>(p));
+  for (const index_t r : rowind) mix(h, static_cast<std::uint64_t>(r));
+  return h;
+}
 
 template class CscMatrix<real_t>;
 template class CscMatrix<complex_t>;

@@ -140,4 +140,19 @@ extern template class CscMatrix<real_t>;
 extern template class CscMatrix<complex_t>;
 extern template class CscMatrix<real32_t>;
 
+/// 64-bit FNV-1a digest of a sparsity structure (shape + colptr + rowind),
+/// independent of the stored values.  This is what makes an analysis
+/// reusable across matrices "sharing one pattern" checkable in O(nnz):
+/// equal digests (plus equal n and nnz, which the callers also compare)
+/// identify patterns for the solver's lifecycle check and for the solve
+/// service's analysis cache.
+std::uint64_t pattern_digest(index_t nrows, index_t ncols,
+                             std::span<const size_type> colptr,
+                             std::span<const index_t> rowind);
+
+template <typename T>
+std::uint64_t pattern_digest(const CscMatrix<T>& a) {
+  return pattern_digest(a.nrows(), a.ncols(), a.colptr(), a.rowind());
+}
+
 }  // namespace spx

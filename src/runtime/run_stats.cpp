@@ -1,0 +1,40 @@
+#include "runtime/run_stats.hpp"
+
+#include "common/json.hpp"
+
+namespace spx {
+
+json::Value to_json(const RunStats& stats) {
+  json::Value v = json::Value::object();
+  v.set("makespan_s", json::Value(stats.makespan));
+  v.set("gflops", json::Value(stats.gflops));
+  v.set("tasks_cpu", json::Value(static_cast<double>(stats.tasks_cpu)));
+  v.set("tasks_gpu", json::Value(static_cast<double>(stats.tasks_gpu)));
+  v.set("busy_fraction", json::Value(stats.busy_fraction()));
+  if (stats.bytes_h2d > 0 || stats.bytes_d2h > 0) {
+    v.set("bytes_h2d", json::Value(stats.bytes_h2d));
+    v.set("bytes_d2h", json::Value(stats.bytes_d2h));
+  }
+  if (!stats.contention.lock_wait.empty() ||
+      !stats.contention.idle_wait.empty()) {
+    json::Value c = json::Value::object();
+    c.set("lock_wait_s", json::Value(stats.contention.total_lock_wait()));
+    c.set("idle_wait_s", json::Value(stats.contention.total_idle_wait()));
+    c.set("steals", json::Value(
+                        static_cast<double>(stats.contention.total_steals())));
+    c.set("pops",
+          json::Value(static_cast<double>(stats.contention.total_pops())));
+    v.set("contention", std::move(c));
+  }
+  if (!stats.model_error.empty()) {
+    json::Value m = json::Value::object();
+    m.set("median_panel", json::Value(stats.model_error.median_panel()));
+    m.set("median_update", json::Value(stats.model_error.median_update()));
+    m.set("bias_panel", json::Value(stats.model_error.bias_panel()));
+    m.set("bias_update", json::Value(stats.model_error.bias_update()));
+    v.set("model_error", std::move(m));
+  }
+  return v;
+}
+
+}  // namespace spx

@@ -6,6 +6,10 @@
 
 #include "common/types.hpp"
 
+namespace spx::json {
+class Value;
+}  // namespace spx::json
+
 namespace spx {
 
 /// Per-worker contention counters from a real execution: where worker
@@ -110,5 +114,10 @@ struct RunStats {
     return total / (makespan * static_cast<double>(busy.size()));
   }
 };
+
+/// Serializes a RunStats to a JSON object (makespan, gflops, task counts,
+/// contention and model-error summaries) -- the per-request stats surface
+/// the solve service exports (src/service/).
+json::Value to_json(const RunStats& stats);
 
 }  // namespace spx

@@ -1,0 +1,68 @@
+#include "service/admission_queue.hpp"
+
+namespace spx::service {
+
+AdmissionQueue::AdmissionQueue(std::size_t per_tenant_capacity)
+    : capacity_(per_tenant_capacity == 0 ? 1 : per_tenant_capacity) {}
+
+bool AdmissionQueue::try_push(std::shared_ptr<JobBase> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    auto it = queues_.find(job->tenant);
+    if (it == queues_.end()) {
+      tenant_order_.push_back(job->tenant);
+      it = queues_.emplace(job->tenant, std::deque<std::shared_ptr<JobBase>>())
+               .first;
+    }
+    if (it->second.size() >= capacity_) return false;  // backpressure
+    it->second.push_back(std::move(job));
+    ++depth_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<JobBase> AdmissionQueue::pop_locked() {
+  const std::size_t tenants = tenant_order_.size();
+  for (std::size_t i = 0; i < tenants; ++i) {
+    const std::size_t t = (rr_ + i) % tenants;
+    auto& q = queues_[tenant_order_[t]];
+    if (q.empty()) continue;
+    std::shared_ptr<JobBase> job = std::move(q.front());
+    q.pop_front();
+    --depth_;
+    rr_ = (t + 1) % tenants;  // next rotation starts after this tenant
+    return job;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<JobBase> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (std::shared_ptr<JobBase> job = pop_locked()) return job;
+    if (shutdown_) return nullptr;
+    cv_.wait(lock);
+  }
+}
+
+std::shared_ptr<JobBase> AdmissionQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pop_locked();
+}
+
+void AdmissionQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+}  // namespace spx::service

@@ -1,0 +1,60 @@
+// Bounded multi-tenant admission queue with round-robin fairness.
+//
+// Each tenant gets its own FIFO of at most `per_tenant_capacity` requests;
+// a submit beyond that bound is rejected immediately (backpressure --
+// callers get a Rejected result instead of the queue growing without
+// limit).  Workers pop in round-robin order across tenants with pending
+// work, so a tenant flooding its queue delays only itself: every other
+// tenant still gets one slot per rotation (no starvation).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/request.hpp"
+
+namespace spx::service {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t per_tenant_capacity);
+
+  /// Admits `job` to its tenant's queue.  Returns false (caller completes
+  /// the job as Rejected) when that queue is full or the queue is shut
+  /// down.
+  bool try_push(std::shared_ptr<JobBase> job);
+
+  /// Blocks for the next job, rotating fairly across tenants; returns
+  /// null once the queue is shut down AND drained by pop() callers.
+  std::shared_ptr<JobBase> pop();
+
+  /// Non-blocking pop (shutdown drain); null when empty.
+  std::shared_ptr<JobBase> try_pop();
+
+  /// Wakes all poppers; subsequent try_push calls are refused.  Queued
+  /// jobs remain for pop()/try_pop() to drain.
+  void shutdown();
+
+  std::size_t depth() const;
+
+ private:
+  std::shared_ptr<JobBase> pop_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Tenants in first-seen order; the round-robin cursor walks this.
+  std::vector<std::string> tenant_order_;
+  std::unordered_map<std::string, std::deque<std::shared_ptr<JobBase>>>
+      queues_;
+  std::size_t rr_ = 0;
+  std::size_t depth_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace spx::service

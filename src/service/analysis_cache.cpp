@@ -1,0 +1,104 @@
+#include "service/analysis_cache.hpp"
+
+namespace spx::service {
+
+AnalysisCache::AnalysisCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::size_t AnalysisCache::analysis_bytes(const Analysis& an) {
+  std::size_t b = sizeof(Analysis);
+  b += an.perm.new_to_old.capacity() * sizeof(index_t);
+  b += an.perm.old_to_new.capacity() * sizeof(index_t);
+  const SymbolicStructure& st = an.structure;
+  b += st.panel_of_col.capacity() * sizeof(index_t);
+  b += st.in_degree.capacity() * sizeof(index_t);
+  b += st.panels.capacity() * sizeof(Panel);
+  for (const Panel& p : st.panels) b += p.blocks.capacity() * sizeof(Block);
+  b += st.targets.capacity() * sizeof(std::vector<UpdateEdge>);
+  for (const auto& t : st.targets) b += t.capacity() * sizeof(UpdateEdge);
+  return b;
+}
+
+void AnalysisCache::evict_over_budget_locked() {
+  // Evict from the cold end; the entry just inserted sits at the front
+  // and is evicted last (an analysis larger than the whole budget passes
+  // through without residency).
+  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    ++stats_.evictions;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  stats_.entries = lru_.size();
+}
+
+std::shared_ptr<const Analysis> AnalysisCache::get_or_compute(
+    const PatternKey& key, const std::function<Analysis()>& compute,
+    CacheOutcome* outcome) {
+  if (!enabled()) {
+    if (outcome != nullptr) *outcome = CacheOutcome::Bypass;
+    return std::make_shared<const Analysis>(compute());
+  }
+
+  std::shared_future<std::shared_ptr<const Analysis>> pending;
+  std::promise<std::shared_ptr<const Analysis>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.hits;
+      if (outcome != nullptr) *outcome = CacheOutcome::Hit;
+      return it->second->analysis;
+    }
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      // Someone is computing this key right now; wait for their result
+      // instead of duplicating the symbolic work.
+      pending = it->second;
+      ++stats_.hits;
+      if (outcome != nullptr) *outcome = CacheOutcome::Hit;
+    } else {
+      inflight_.emplace(key, promise.get_future().share());
+      ++stats_.misses;
+      if (outcome != nullptr) *outcome = CacheOutcome::Miss;
+    }
+  }
+  if (pending.valid()) return pending.get();  // rethrows compute failures
+
+  std::shared_ptr<const Analysis> analysis;
+  try {
+    analysis = std::make_shared<const Analysis>(compute());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  const std::size_t bytes = analysis_bytes(*analysis);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.push_front(Entry{key, analysis, bytes});
+    map_[key] = lru_.begin();
+    stats_.bytes += bytes;
+    evict_over_budget_locked();
+    inflight_.erase(key);
+  }
+  promise.set_value(analysis);
+  return analysis;
+}
+
+AnalysisCacheStats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AnalysisCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace spx::service

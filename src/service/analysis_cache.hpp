@@ -1,0 +1,72 @@
+// Pattern-keyed analysis cache: shares ordering + symbolic factorization
+// + DAG skeleton across every request whose matrix has the same sparsity
+// structure.
+//
+// This is the serving-layer payoff of the PASTIX analyze/factorize split
+// (paper §III): the expensive symbolic phase is value-independent, so a
+// production loop that refactorizes one pattern with new values thousands
+// of times -- circuit simulation, FEM time stepping -- pays for analysis
+// once.  Entries are immutable (shared_ptr<const Analysis>), LRU-evicted
+// under a byte budget, and concurrent misses on one key are coalesced: the
+// first requester computes, the rest block on a shared future instead of
+// duplicating the work.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/analysis.hpp"
+#include "service/pattern_key.hpp"
+#include "service/service_stats.hpp"
+
+namespace spx::service {
+
+class AnalysisCache {
+ public:
+  /// `max_bytes` bounds the resident estimate of cached analyses; 0
+  /// disables caching entirely (every call computes privately).
+  explicit AnalysisCache(std::size_t max_bytes);
+
+  /// Returns the cached analysis for `key`, or runs `compute` and caches
+  /// the result.  Thread-safe; concurrent misses on the same key run
+  /// `compute` once.  `outcome` (optional) reports hit/miss/bypass.
+  /// Exceptions from `compute` propagate to every coalesced waiter.
+  std::shared_ptr<const Analysis> get_or_compute(
+      const PatternKey& key, const std::function<Analysis()>& compute,
+      CacheOutcome* outcome = nullptr);
+
+  bool enabled() const { return max_bytes_ > 0; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  AnalysisCacheStats stats() const;
+  void clear();
+
+  /// Resident-size estimate used for the byte budget (exact container
+  /// footprint of one Analysis, exposed for tests).
+  static std::size_t analysis_bytes(const Analysis& an);
+
+ private:
+  struct Entry {
+    PatternKey key;
+    std::shared_ptr<const Analysis> analysis;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  void evict_over_budget_locked();
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<PatternKey, LruList::iterator, PatternKeyHash> map_;
+  std::unordered_map<PatternKey,
+                     std::shared_future<std::shared_ptr<const Analysis>>,
+                     PatternKeyHash>
+      inflight_;
+  AnalysisCacheStats stats_;
+};
+
+}  // namespace spx::service

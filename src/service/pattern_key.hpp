@@ -1,0 +1,39 @@
+// Cache key for the analysis cache: identifies a sparsity pattern.
+//
+// Two matrices share an analysis iff they have the same shape, nonzero
+// count, and structure digest.  The digest (mat/csc.hpp pattern_digest) is
+// a 64-bit FNV-1a over (n, colptr, rowind); n and nnz are compared
+// explicitly as well, so a collision would need two different patterns of
+// identical size hashing to the same 64-bit value -- vanishing at service
+// scale, and a miss there still only produces a correct-but-redundant
+// analysis (the factorize itself rechecks the digest).
+#pragma once
+
+#include <cstdint>
+
+#include "mat/csc.hpp"
+
+namespace spx::service {
+
+struct PatternKey {
+  index_t n = 0;
+  size_type nnz = 0;
+  std::uint64_t digest = 0;
+
+  friend bool operator==(const PatternKey&, const PatternKey&) = default;
+
+  template <typename T>
+  static PatternKey of(const CscMatrix<T>& a) {
+    return PatternKey{a.ncols(), a.nnz(), pattern_digest(a)};
+  }
+};
+
+struct PatternKeyHash {
+  std::size_t operator()(const PatternKey& k) const {
+    // The digest is already well-mixed; fold in n for cheap insurance.
+    return static_cast<std::size_t>(
+        k.digest ^ (static_cast<std::uint64_t>(k.n) * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace spx::service

@@ -1,0 +1,89 @@
+// Request plumbing shared by the admission queue and the executor: the
+// polymorphic job base with claim/cancel/deadline state, and the atomic
+// service-wide counters.
+//
+// Claiming is the linchpin of the concurrency design: a job is executed
+// (or terminally completed) by whoever wins the single atomic
+// claimed.exchange -- a worker popping it from the admission queue, a
+// batch assembler draining it from a factor's pending list, a cancelling
+// caller, or the drain on service shutdown.  Losers simply skip the job,
+// so a request can sit in several containers at once without ever running
+// or completing twice.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/service_stats.hpp"
+
+namespace spx::service {
+
+using Clock = std::chrono::steady_clock;
+
+enum class JobKind { Factorize, Solve };
+
+/// Service-wide counters, updated lock-free from workers and cancelling
+/// callers; SolveService::stats() snapshots them.
+struct SharedCounters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> expired{0};
+  std::atomic<std::uint64_t> factorizes{0};
+  std::atomic<std::uint64_t> solves{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_rhs{0};
+  std::atomic<std::uint64_t> completion_seq{0};
+
+  void count_unrun(RequestStatus s) {
+    switch (s) {
+      case RequestStatus::Rejected:
+        ++rejected;
+        break;
+      case RequestStatus::Cancelled:
+        ++cancelled;
+        break;
+      case RequestStatus::Expired:
+        ++expired;
+        break;
+      default:
+        ++failed;  // shutdown drains and other never-ran failures
+        break;
+    }
+  }
+};
+
+struct JobBase {
+  const JobKind kind;
+  std::uint64_t id = 0;
+  std::string tenant;
+  Clock::time_point enqueued{};
+  Clock::time_point deadline{};  ///< default-constructed = no deadline
+  std::atomic<bool> claimed{false};
+  std::atomic<bool> cancel_requested{false};
+  std::shared_ptr<SharedCounters> counters;
+
+  explicit JobBase(JobKind k) : kind(k) {}
+  virtual ~JobBase() = default;
+
+  /// True exactly once, for whoever takes ownership of completion.
+  bool try_claim() {
+    return !claimed.exchange(true, std::memory_order_acq_rel);
+  }
+  bool has_deadline() const { return deadline != Clock::time_point{}; }
+  bool past_deadline(Clock::time_point now) const {
+    return has_deadline() && now > deadline;
+  }
+
+  /// Completes the request without executing it (rejected, cancelled,
+  /// expired, or shutdown drain).  Only call after a successful
+  /// try_claim(); fulfills the promise and bumps the counters.
+  virtual void complete_unrun(RequestStatus status, std::string error) = 0;
+};
+
+}  // namespace spx::service

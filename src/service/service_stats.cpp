@@ -1,0 +1,79 @@
+#include "service/service_stats.hpp"
+
+namespace spx::service {
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::Done:
+      return "done";
+    case RequestStatus::Failed:
+      return "failed";
+    case RequestStatus::Rejected:
+      return "rejected";
+    case RequestStatus::Cancelled:
+      return "cancelled";
+    case RequestStatus::Expired:
+      return "expired";
+  }
+  return "?";
+}
+
+const char* to_string(CacheOutcome c) {
+  switch (c) {
+    case CacheOutcome::Hit:
+      return "hit";
+    case CacheOutcome::Miss:
+      return "miss";
+    case CacheOutcome::Bypass:
+      return "bypass";
+  }
+  return "?";
+}
+
+json::Value RequestStats::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("id", json::Value(static_cast<double>(id)));
+  v.set("tenant", json::Value(tenant));
+  v.set("queue_wait_s", json::Value(queue_wait_s));
+  if (analyze_s > 0) v.set("analyze_s", json::Value(analyze_s));
+  if (factorize_s > 0) {
+    v.set("factorize_s", json::Value(factorize_s));
+    v.set("cache", json::Value(std::string(to_string(cache))));
+  }
+  if (solve_s > 0 || batched_rhs > 0) {
+    v.set("solve_s", json::Value(solve_s));
+    v.set("batched_rhs", json::Value(static_cast<double>(batched_rhs)));
+  }
+  v.set("completion_seq", json::Value(static_cast<double>(completion_seq)));
+  if (run.makespan > 0) v.set("run", spx::to_json(run));
+  return v;
+}
+
+json::Value AnalysisCacheStats::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("hits", json::Value(static_cast<double>(hits)));
+  v.set("misses", json::Value(static_cast<double>(misses)));
+  v.set("evictions", json::Value(static_cast<double>(evictions)));
+  v.set("bytes", json::Value(static_cast<double>(bytes)));
+  v.set("entries", json::Value(static_cast<double>(entries)));
+  return v;
+}
+
+json::Value ServiceStats::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("submitted", json::Value(static_cast<double>(submitted)));
+  v.set("completed", json::Value(static_cast<double>(completed)));
+  v.set("failed", json::Value(static_cast<double>(failed)));
+  v.set("rejected", json::Value(static_cast<double>(rejected)));
+  v.set("cancelled", json::Value(static_cast<double>(cancelled)));
+  v.set("expired", json::Value(static_cast<double>(expired)));
+  v.set("factorizes", json::Value(static_cast<double>(factorizes)));
+  v.set("solves", json::Value(static_cast<double>(solves)));
+  v.set("batches", json::Value(static_cast<double>(batches)));
+  v.set("batched_rhs", json::Value(static_cast<double>(batched_rhs)));
+  v.set("queue_depth", json::Value(static_cast<double>(queue_depth)));
+  v.set("cache", cache.to_json());
+  return v;
+}
+
+}  // namespace spx::service

@@ -1,0 +1,82 @@
+// Observability types of the solve service: per-request statistics and
+// service-wide counters, both exportable as JSON (common/json).  Tenant
+// names are arbitrary UTF-8 -- the JSON writer escapes them -- so the
+// stats surface never emits invalid output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "runtime/run_stats.hpp"
+
+namespace spx::service {
+
+/// Terminal state of a service request.
+enum class RequestStatus {
+  Done,       ///< executed successfully
+  Failed,     ///< executed but threw (e.g. NumericalError)
+  Rejected,   ///< bounced at admission (tenant queue full)
+  Cancelled,  ///< cancelled before execution started
+  Expired     ///< deadline passed while queued
+};
+
+const char* to_string(RequestStatus s);
+
+/// What the analysis cache did for a factorize request.
+enum class CacheOutcome {
+  Hit,    ///< shared an existing (or in-flight) analysis
+  Miss,   ///< computed and inserted a new analysis
+  Bypass  ///< cache disabled; computed privately
+};
+
+const char* to_string(CacheOutcome c);
+
+/// Per-request statistics, attached to every result the service returns.
+struct RequestStats {
+  std::uint64_t id = 0;
+  std::string tenant;
+  double queue_wait_s = 0;  ///< admission-queue wait until claimed
+  double analyze_s = 0;     ///< symbolic analysis time (cache misses only)
+  double factorize_s = 0;   ///< numeric factorization wall time
+  double solve_s = 0;       ///< triangular solve wall time (whole batch)
+  CacheOutcome cache = CacheOutcome::Bypass;
+  index_t batched_rhs = 0;  ///< columns in the coalesced solve call
+  /// Global completion order (1-based): request k was the k-th to reach a
+  /// terminal status.  Lets callers audit fairness across tenants.
+  std::uint64_t completion_seq = 0;
+  RunStats run;  ///< scheduler stats of the factorization (factorize only)
+
+  json::Value to_json() const;
+};
+
+/// Analysis-cache counters (a snapshot; see service/analysis_cache.hpp).
+struct AnalysisCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;    ///< current resident estimate
+  std::size_t entries = 0;  ///< current resident count
+
+  json::Value to_json() const;
+};
+
+/// Service-wide counters (a snapshot of SolveService::stats()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< finished with status Done
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t factorizes = 0;   ///< factorize requests completed Done
+  std::uint64_t solves = 0;       ///< solve requests completed Done
+  std::uint64_t batches = 0;      ///< coalesced solve_multi calls issued
+  std::uint64_t batched_rhs = 0;  ///< total RHS columns across batches
+  std::size_t queue_depth = 0;    ///< requests currently admitted + waiting
+  AnalysisCacheStats cache;
+
+  json::Value to_json() const;
+};
+
+}  // namespace spx::service

@@ -1,0 +1,287 @@
+#include "service/solve_service.hpp"
+
+#include "common/timer.hpp"
+
+namespace spx::service {
+
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
+  counters->count_unrun(status);
+  stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
+  FactorizeResult r;
+  r.status = status;
+  r.error = std::move(error);
+  r.stats = stats;
+  promise.set_value(std::move(r));
+}
+
+void SolveJob::complete_unrun(RequestStatus status, std::string error) {
+  counters->count_unrun(status);
+  stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
+  SolveResult r;
+  r.status = status;
+  r.error = std::move(error);
+  r.stats = stats;
+  promise.set_value(std::move(r));
+}
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_bytes),
+      queue_(options_.queue_capacity),
+      counters_(std::make_shared<SharedCounters>()) {
+  SPX_CHECK_ARG(options_.num_workers >= 0, "num_workers must be >= 0");
+  SPX_CHECK_ARG(options_.max_batch >= 1, "max_batch must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolveService::~SolveService() {
+  queue_.shutdown();
+  for (std::thread& w : workers_) w.join();
+  // Complete whatever never got picked up, so no ticket blocks forever.
+  while (std::shared_ptr<JobBase> job = queue_.try_pop()) {
+    if (job->try_claim()) {
+      job->complete_unrun(RequestStatus::Failed, "service shutdown");
+    }
+  }
+}
+
+template <typename Result, typename Job>
+Ticket<Result> SolveService::admit(std::shared_ptr<Job> job,
+                                   double deadline_s) {
+  job->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  job->enqueued = Clock::now();
+  if (deadline_s > 0) {
+    job->deadline =
+        job->enqueued + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(deadline_s));
+  }
+  job->counters = counters_;
+  job->stats.id = job->id;
+  job->stats.tenant = job->tenant;
+  ++counters_->submitted;
+  Ticket<Result> ticket(job->promise.get_future().share(), job);
+  if (!queue_.try_push(job)) {
+    if (job->try_claim()) {  // fresh job: always wins
+      job->complete_unrun(RequestStatus::Rejected,
+                          "admission queue full for tenant '" + job->tenant +
+                              "'");
+    }
+  }
+  return ticket;
+}
+
+Ticket<FactorizeResult> SolveService::submit_factorize(
+    std::string tenant, std::shared_ptr<const CscMatrix<real_t>> a,
+    Factorization kind, double deadline_s) {
+  SPX_CHECK_ARG(a != nullptr, "submit_factorize(): null matrix");
+  SPX_CHECK_ARG(a->nrows() == a->ncols(), "square matrix required");
+  auto job = std::make_shared<FactorizeJob>();
+  job->tenant = std::move(tenant);
+  job->matrix = std::move(a);
+  job->fkind = kind;
+  return admit<FactorizeResult>(std::move(job), deadline_s);
+}
+
+Ticket<SolveResult> SolveService::submit_solve(std::string tenant,
+                                               FactorHandle factor,
+                                               std::vector<real_t> rhs,
+                                               double deadline_s) {
+  SPX_CHECK_ARG(factor != nullptr, "submit_solve(): null factor handle");
+  SPX_CHECK_ARG(static_cast<index_t>(rhs.size()) == factor->n(),
+                "submit_solve(): rhs size differs from the factor's n");
+  auto job = std::make_shared<SolveJob>();
+  job->tenant = std::move(tenant);
+  job->factor = std::move(factor);
+  job->rhs = std::move(rhs);
+  Ticket<SolveResult> ticket = admit<SolveResult>(job, deadline_s);
+  // Register for batching only after surviving admission.  A worker may
+  // pop and even finish the job before this append runs; the entry is
+  // weak and claimed, so the next drain simply prunes it.
+  if (!job->claimed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(job->factor->pending_mutex_);
+    job->factor->pending_.push_back(job);
+  }
+  return ticket;
+}
+
+void SolveService::worker_loop() {
+  while (std::shared_ptr<JobBase> job = queue_.pop()) {
+    if (!job->try_claim()) continue;  // already batched or cancelled
+    const Clock::time_point now = Clock::now();
+    if (job->cancel_requested.load(std::memory_order_acquire)) {
+      job->complete_unrun(RequestStatus::Cancelled, "cancelled by caller");
+      continue;
+    }
+    if (job->past_deadline(now)) {
+      job->complete_unrun(RequestStatus::Expired,
+                          "deadline passed while queued");
+      continue;
+    }
+    switch (job->kind) {
+      case JobKind::Factorize: {
+        auto fj = std::static_pointer_cast<FactorizeJob>(job);
+        fj->stats.queue_wait_s = seconds_between(fj->enqueued, now);
+        run_factorize(fj);
+        break;
+      }
+      case JobKind::Solve: {
+        auto sj = std::static_pointer_cast<SolveJob>(job);
+        sj->stats.queue_wait_s = seconds_between(sj->enqueued, now);
+        run_solve_batch(sj);
+        break;
+      }
+    }
+  }
+}
+
+void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
+  FactorizeResult res;
+  RequestStats& st = job->stats;
+  try {
+    const PatternKey key = PatternKey::of(*job->matrix);
+    std::shared_ptr<const Analysis> analysis = cache_.get_or_compute(
+        key,
+        [&] {
+          Timer ta;
+          Analysis an = spx::analyze(*job->matrix, options_.solver.analysis);
+          st.analyze_s = ta.elapsed();
+          return an;
+        },
+        &st.cache);
+    auto factor = std::make_shared<Factor>();
+    factor->solver_ = Solver<real_t>(options_.solver);
+    factor->solver_.adopt_analysis(std::move(analysis), key.digest);
+    Timer tf;
+    factor->solver_.factorize(*job->matrix, job->fkind);
+    st.factorize_s = tf.elapsed();
+    st.run = factor->solver_.last_factorization_stats();
+    res.status = RequestStatus::Done;
+    res.factor = std::move(factor);
+    ++counters_->factorizes;
+    ++counters_->completed;
+  } catch (const std::exception& e) {
+    res.status = RequestStatus::Failed;
+    res.error = e.what();
+    ++counters_->failed;
+  }
+  st.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
+  res.stats = st;
+  job->promise.set_value(std::move(res));
+}
+
+void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
+  // Linger so that same-factor solves submitted moments later coalesce
+  // into this batch instead of paying their own traversal.
+  if (options_.batch_window > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.batch_window));
+  }
+  Factor& factor = *first->factor;
+  std::vector<std::shared_ptr<SolveJob>> batch;
+  batch.push_back(first);
+  {
+    std::lock_guard<std::mutex> lock(factor.pending_mutex_);
+    auto& pending = factor.pending_;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      std::shared_ptr<SolveJob> job = pending[i].lock();
+      if (job == nullptr || job->claimed.load(std::memory_order_acquire)) {
+        continue;  // prune: done elsewhere, cancelled, or expired weak ref
+      }
+      if (static_cast<index_t>(batch.size()) >= options_.max_batch ||
+          !job->try_claim()) {
+        pending[kept++] = pending[i];  // keep for a later batch
+        continue;
+      }
+      job->stats.queue_wait_s = seconds_between(job->enqueued, Clock::now());
+      batch.push_back(std::move(job));
+    }
+    pending.resize(kept);
+  }
+
+  // Honor per-member cancellation/deadline now that they are claimed.
+  const Clock::time_point now = Clock::now();
+  std::vector<std::shared_ptr<SolveJob>> runnable;
+  runnable.reserve(batch.size());
+  for (std::shared_ptr<SolveJob>& job : batch) {
+    if (job->cancel_requested.load(std::memory_order_acquire)) {
+      job->complete_unrun(RequestStatus::Cancelled, "cancelled by caller");
+    } else if (job->past_deadline(now)) {
+      job->complete_unrun(RequestStatus::Expired,
+                          "deadline passed while queued");
+    } else {
+      runnable.push_back(std::move(job));
+    }
+  }
+  if (runnable.empty()) return;
+
+  const index_t n = factor.n();
+  const auto k = static_cast<index_t>(runnable.size());
+  try {
+    Timer ts;
+    std::vector<real_t> block(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(k));
+    for (index_t c = 0; c < k; ++c) {
+      std::copy(runnable[c]->rhs.begin(), runnable[c]->rhs.end(),
+                block.begin() + static_cast<std::size_t>(c) * n);
+    }
+    factor.solver_.solve_multi(block, k);
+    const double solve_s = ts.elapsed();
+    ++counters_->batches;
+    counters_->batched_rhs += static_cast<std::uint64_t>(k);
+    for (index_t c = 0; c < k; ++c) {
+      SolveJob& job = *runnable[c];
+      SolveResult r;
+      r.status = RequestStatus::Done;
+      const auto* col = block.data() + static_cast<std::size_t>(c) * n;
+      r.x.assign(col, col + n);
+      job.stats.solve_s = solve_s;
+      job.stats.batched_rhs = k;
+      ++counters_->solves;
+      ++counters_->completed;
+      job.stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
+      r.stats = job.stats;
+      job.promise.set_value(std::move(r));
+    }
+  } catch (const std::exception& e) {
+    for (const std::shared_ptr<SolveJob>& job : runnable) {
+      SolveResult r;
+      r.status = RequestStatus::Failed;
+      r.error = e.what();
+      ++counters_->failed;
+      job->stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
+      r.stats = job->stats;
+      job->promise.set_value(std::move(r));
+    }
+  }
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  s.submitted = counters_->submitted.load();
+  s.completed = counters_->completed.load();
+  s.failed = counters_->failed.load();
+  s.rejected = counters_->rejected.load();
+  s.cancelled = counters_->cancelled.load();
+  s.expired = counters_->expired.load();
+  s.factorizes = counters_->factorizes.load();
+  s.solves = counters_->solves.load();
+  s.batches = counters_->batches.load();
+  s.batched_rhs = counters_->batched_rhs.load();
+  s.queue_depth = queue_.depth();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace spx::service

@@ -1,0 +1,201 @@
+// Multi-tenant in-process solve service: the serving layer over the
+// Solver facade (ROADMAP north star -- heavy concurrent factorize/solve
+// traffic against a library built for one caller at a time).
+//
+// Request path:
+//   submit_factorize(tenant, A, kind)  ->  Ticket<FactorizeResult>
+//     admission queue (bounded per tenant, reject-on-full)
+//     -> worker: pattern-keyed analysis cache (hit shares the symbolic
+//        factorization; miss computes once, coalescing concurrent misses)
+//     -> Solver::adopt_analysis + factorize on the worker's runtime
+//     -> FactorHandle, shareable across solve requests and threads
+//   submit_solve(tenant, factor, b)    ->  Ticket<SolveResult>
+//     solve requests against one factor that arrive within the batching
+//     window are coalesced into a single solve_multi call (GEMM-shaped
+//     panel updates instead of per-RHS GEMVs).
+//
+// Every ticket supports cancel(); deadlines expire requests that waited
+// too long; every result carries RequestStats (queue wait, cache outcome,
+// factorize/solve wall time, scheduler RunStats) exportable as JSON.
+// Several factorizations of different matrices are in flight concurrently
+// -- one per worker -- and completed factors serve concurrent read-only
+// solves from any number of threads.
+#pragma once
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "service/admission_queue.hpp"
+#include "service/analysis_cache.hpp"
+
+namespace spx::service {
+
+struct ServiceOptions {
+  /// Executor threads; each runs one request at a time.  0 is allowed
+  /// (nothing executes until destruction -- used by cancellation tests).
+  int num_workers = 2;
+  /// Per-tenant admission bound; submits beyond it are Rejected.
+  std::size_t queue_capacity = 64;
+  /// Byte budget of the pattern-keyed analysis cache (0 disables it).
+  std::size_t cache_bytes = 256ull << 20;
+  /// Seconds a solve lingers after being picked up, letting more
+  /// same-factor solves arrive for coalescing.  0 batches only what has
+  /// already accumulated.
+  double batch_window = 0;
+  /// Ceiling on RHS columns coalesced into one solve_multi call.
+  index_t max_batch = 32;
+  /// Inner solver configuration (runtime, threads, perf model...).  The
+  /// default is the sequential runtime: the service scales by running
+  /// many requests concurrently, one worker each, rather than nesting
+  /// thread pools.  Configure Native/Starpu/Parsec + num_threads for
+  /// few-large-requests workloads.
+  SolverOptions solver;
+
+  ServiceOptions() { solver.runtime = RuntimeKind::Sequential; }
+};
+
+struct SolveJob;
+
+/// A completed numeric factorization held by the service.  Immutable
+/// after construction; safe to share across threads for read-only solves.
+class Factor {
+ public:
+  const Solver<real_t>& solver() const { return solver_; }
+  index_t n() const { return solver_.analysis().perm.size(); }
+
+ private:
+  friend class SolveService;
+  Solver<real_t> solver_;
+  /// Solve requests awaiting batching (weak: the admission queue and
+  /// tickets own the jobs; stale entries are pruned lazily, and weak
+  /// pointers break the Factor -> job -> Factor ownership cycle).
+  std::mutex pending_mutex_;
+  std::vector<std::weak_ptr<SolveJob>> pending_;
+};
+
+using FactorHandle = std::shared_ptr<Factor>;
+
+struct FactorizeResult {
+  RequestStatus status = RequestStatus::Failed;
+  std::string error;
+  FactorHandle factor;  ///< non-null iff status == Done
+  RequestStats stats;
+
+  bool ok() const { return status == RequestStatus::Done; }
+};
+
+struct SolveResult {
+  RequestStatus status = RequestStatus::Failed;
+  std::string error;
+  std::vector<real_t> x;  ///< solution; empty unless status == Done
+  RequestStats stats;
+
+  bool ok() const { return status == RequestStatus::Done; }
+};
+
+struct FactorizeJob : JobBase {
+  FactorizeJob() : JobBase(JobKind::Factorize) {}
+  std::shared_ptr<const CscMatrix<real_t>> matrix;
+  Factorization fkind = Factorization::LLT;
+  RequestStats stats;
+  std::promise<FactorizeResult> promise;
+  void complete_unrun(RequestStatus status, std::string error) override;
+};
+
+struct SolveJob : JobBase {
+  SolveJob() : JobBase(JobKind::Solve) {}
+  FactorHandle factor;
+  std::vector<real_t> rhs;
+  RequestStats stats;
+  std::promise<SolveResult> promise;
+  void complete_unrun(RequestStatus status, std::string error) override;
+};
+
+/// Handle to an in-flight request: a future for the result plus a
+/// best-effort cancel.
+template <typename Result>
+class Ticket {
+ public:
+  Ticket() = default;
+  bool valid() const { return future_.valid(); }
+  /// Blocks until the request reaches a terminal status.
+  Result get() const { return future_.get(); }
+  void wait() const { future_.wait(); }
+  std::uint64_t id() const { return state_ != nullptr ? state_->id : 0; }
+
+  /// Requests cancellation.  True when the request had not started: it
+  /// then completes immediately with status Cancelled.  False means
+  /// execution already began (or finished); the result stands.
+  bool cancel() {
+    if (state_ == nullptr) return false;
+    state_->cancel_requested.store(true, std::memory_order_release);
+    if (!state_->try_claim()) return false;
+    state_->complete_unrun(RequestStatus::Cancelled, "cancelled by caller");
+    return true;
+  }
+
+ private:
+  friend class SolveService;
+  Ticket(std::shared_future<Result> f, std::shared_ptr<JobBase> s)
+      : future_(std::move(f)), state_(std::move(s)) {}
+
+  std::shared_future<Result> future_;
+  std::shared_ptr<JobBase> state_;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options = {});
+  /// Drains: queued-but-unstarted requests complete as Failed("service
+  /// shutdown"); running requests finish normally.
+  ~SolveService();
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admits an analyze+factorize of `a` for `tenant`.  `deadline_s` > 0
+  /// expires the request if it is still queued that many seconds from
+  /// now.  The matrix is shared, not copied; callers must not mutate it
+  /// until the ticket resolves.
+  Ticket<FactorizeResult> submit_factorize(
+      std::string tenant, std::shared_ptr<const CscMatrix<real_t>> a,
+      Factorization kind, double deadline_s = 0);
+
+  /// Admits a solve of `factor` x = rhs.  Throws InvalidArgument on a
+  /// null factor or an rhs whose size is not the factor's n (caller bug,
+  /// not load); overload and deadline produce Rejected/Expired results.
+  Ticket<SolveResult> submit_solve(std::string tenant, FactorHandle factor,
+                                   std::vector<real_t> rhs,
+                                   double deadline_s = 0);
+
+  /// Blocking conveniences (submit + get).
+  FactorizeResult factorize(const std::string& tenant,
+                            std::shared_ptr<const CscMatrix<real_t>> a,
+                            Factorization kind) {
+    return submit_factorize(tenant, std::move(a), kind).get();
+  }
+  SolveResult solve(const std::string& tenant, FactorHandle factor,
+                    std::vector<real_t> rhs) {
+    return submit_solve(tenant, std::move(factor), std::move(rhs)).get();
+  }
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  template <typename Result, typename Job>
+  Ticket<Result> admit(std::shared_ptr<Job> job, double deadline_s);
+  void worker_loop();
+  void run_factorize(const std::shared_ptr<FactorizeJob>& job);
+  void run_solve_batch(const std::shared_ptr<SolveJob>& first);
+
+  ServiceOptions options_;
+  AnalysisCache cache_;
+  AdmissionQueue queue_;
+  std::shared_ptr<SharedCounters> counters_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spx::service

@@ -5,6 +5,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/flops.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -85,6 +86,72 @@ TEST(Cli, RejectsUnknown) {
 TEST(Cli, RejectsPositional) {
   const char* argv[] = {"prog", "stray"};
   EXPECT_THROW(Cli(2, const_cast<char**>(argv)), InvalidArgument);
+}
+
+// ---------- JSON string escaping ---------------------------------------
+
+TEST(Json, EscapesControlCharactersOnWrite) {
+  json::Value v(std::string("a\x01" "b\x1f"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\\u001f\"\n");
+  // Named escapes stay named.
+  json::Value named(std::string("tab\there\nquote\"back\\slash"));
+  EXPECT_EQ(named.dump(), "\"tab\\there\\nquote\\\"back\\\\slash\"\n");
+}
+
+TEST(Json, NonAsciiRoundTripsThroughEscapes) {
+  // BMP characters escape as one \uXXXX; the dump is pure ASCII.
+  const std::string bmp = "caf\xc3\xa9 \xce\xb1\xce\xb2";  // café αβ
+  const std::string dumped = json::Value(bmp).dump();
+  for (const char c : dumped) EXPECT_LT(static_cast<unsigned char>(c), 0x80);
+  EXPECT_NE(dumped.find("\\u00e9"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u03b1"), std::string::npos);
+  EXPECT_EQ(json::Value::parse(dumped).as_string(), bmp);
+}
+
+TEST(Json, AstralCharactersUseSurrogatePairs) {
+  const std::string emoji = "\xf0\x9f\x98\x80";  // U+1F600
+  const std::string dumped = json::Value(emoji).dump();
+  EXPECT_EQ(dumped, "\"\\ud83d\\ude00\"\n");
+  EXPECT_EQ(json::Value::parse(dumped).as_string(), emoji);
+}
+
+TEST(Json, ParsesEscapesItNeverEmits) {
+  // Uppercase hex digits and escaped forward slash are legal input.
+  EXPECT_EQ(json::Value::parse("\"\\u00E9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(json::Value::parse("\"\\/\"").as_string(), "/");
+  // A surrogate pair assembled from mixed-case digits.
+  EXPECT_EQ(json::Value::parse("\"\\uD83D\\uDE00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, MalformedUtf8BecomesReplacementCharacter) {
+  // A lone continuation byte, a truncated 2-byte sequence, an overlong
+  // encoding: each escapes as U+FFFD instead of emitting invalid JSON.
+  for (const char* bad : {"\x80", "\xc3", "\xc0\xaf"}) {
+    const std::string dumped = json::Value(std::string("x") + bad).dump();
+    EXPECT_NE(dumped.find("\\ufffd"), std::string::npos) << dumped;
+    EXPECT_NO_THROW(json::Value::parse(dumped));
+  }
+}
+
+TEST(Json, RejectsMalformedUnicodeEscapes) {
+  EXPECT_THROW(json::Value::parse("\"\\u12\""), InvalidArgument);
+  EXPECT_THROW(json::Value::parse("\"\\uZZZZ\""), InvalidArgument);
+  // A high surrogate must be followed by a low surrogate...
+  EXPECT_THROW(json::Value::parse("\"\\ud83d\""), InvalidArgument);
+  EXPECT_THROW(json::Value::parse("\"\\ud83dx\""), InvalidArgument);
+  EXPECT_THROW(json::Value::parse("\"\\ud83d\\u0041\""), InvalidArgument);
+  // ...and a low surrogate may not stand alone.
+  EXPECT_THROW(json::Value::parse("\"\\ude00\""), InvalidArgument);
+}
+
+TEST(Json, EscapedKeysRoundTripInObjects) {
+  json::Value obj = json::Value::object();
+  obj.set("tenant-\xe6\x97\xa5\xe6\x9c\xac", json::Value(1.0));  // 日本
+  const std::string dumped = obj.dump();
+  const json::Value back = json::Value::parse(dumped);
+  EXPECT_EQ(back.members().size(), 1u);
+  EXPECT_EQ(back.members()[0].first, "tenant-\xe6\x97\xa5\xe6\x9c\xac");
 }
 
 }  // namespace

@@ -20,6 +20,7 @@ TEST(EdgeCases, OneByOneMatrix) {
   t.add(0, 0, 4.0);
   const auto a = t.to_csc();
   Solver<real_t> solver;
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   std::vector<real_t> b{8.0};
   solver.solve(b);
@@ -34,6 +35,7 @@ TEST(EdgeCases, DiagonalMatrix) {
   for (const Factorization kind :
        {Factorization::LLT, Factorization::LDLT, Factorization::LU}) {
     Solver<real_t> solver;
+    solver.analyze(a);
     solver.factorize(a, kind);
     std::vector<real_t> b(n, 1.0);
     solver.solve(b);
@@ -106,7 +108,9 @@ TEST(EdgeCases, MoreThreadsThanWork) {
   t.add(1, 1, 2.0);
   t.add(2, 2, 2.0);
   t.add_sym(1, 0, -1.0);
-  solver.factorize(t.to_csc(), Factorization::LLT);
+  const auto a = t.to_csc();
+  solver.analyze(a);
+  solver.factorize(a, Factorization::LLT);
   std::vector<real_t> b{1.0, 1.0, 1.0};
   EXPECT_NO_THROW(solver.solve(b));
 }
@@ -167,6 +171,7 @@ TEST(EdgeCases, SolverGpuStreamWorkersOnDiagonalHeavyMatrix) {
   opts.parsec.gpu_min_flops = 1e18;  // nothing ever qualifies
   Solver<real_t> solver(opts);
   const auto a = gen::grid2d_laplacian(9, 9);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   std::vector<real_t> b(a.ncols(), 1.0);
   EXPECT_NO_THROW(solver.solve(b));
@@ -186,6 +191,68 @@ TEST(EdgeCases, PathGraphChainStructure) {
   const Analysis an = analyze(t.to_csc(), opts);
   an.structure.validate();
   EXPECT_EQ(an.structure.nnz_factor, 2 * n - 1);
+}
+
+// ---------- strict lifecycle ------------------------------------------
+
+TEST(SolverLifecycle, FactorizeBeforeAnalyzeThrows) {
+  Solver<real_t> solver;
+  const auto a = gen::grid2d_laplacian(6, 6);
+  EXPECT_THROW(solver.factorize(a, Factorization::LLT), InvalidArgument);
+  try {
+    solver.factorize(a, Factorization::LLT);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("analyze"), std::string::npos)
+        << "error message should tell the caller to run analyze()";
+  }
+}
+
+TEST(SolverLifecycle, SolveBeforeFactorizeThrows) {
+  Solver<real_t> solver;
+  const auto a = gen::grid2d_laplacian(6, 6);
+  solver.analyze(a);  // analyzed but never factorized
+  std::vector<real_t> b(static_cast<std::size_t>(a.ncols()), 1.0);
+  EXPECT_THROW(solver.solve(b), InvalidArgument);
+  EXPECT_THROW(solver.solve_multi(b, 1), InvalidArgument);
+  std::vector<real_t> x(b.size());
+  EXPECT_THROW(solver.solve_refine(a, b, x), InvalidArgument);
+}
+
+TEST(SolverLifecycle, FactorizeRejectsPatternMismatch) {
+  Solver<real_t> solver;
+  const auto analyzed = gen::grid2d_laplacian(6, 6);
+  solver.analyze(analyzed);
+  // Same dimensions, different sparsity pattern: must throw, not compute
+  // garbage against the wrong symbolic structure.
+  Triplets<real_t> t(analyzed.nrows(), analyzed.ncols());
+  for (index_t i = 0; i < analyzed.nrows(); ++i) t.add(i, i, 4.0);
+  const auto diagonal = t.to_csc();
+  EXPECT_THROW(solver.factorize(diagonal, Factorization::LLT),
+               InvalidArgument);
+  // A different size fails too.
+  const auto smaller = gen::grid2d_laplacian(5, 5);
+  EXPECT_THROW(solver.factorize(smaller, Factorization::LLT),
+               InvalidArgument);
+  // The analysis itself is still intact and usable.
+  solver.factorize(analyzed, Factorization::LLT);
+  std::vector<real_t> b(static_cast<std::size_t>(analyzed.ncols()), 1.0);
+  EXPECT_NO_THROW(solver.solve(b));
+}
+
+TEST(SolverLifecycle, ReanalyzeInvalidatesStaleFactors) {
+  Solver<real_t> solver;
+  const auto a = gen::grid2d_laplacian(6, 6);
+  solver.analyze(a);
+  solver.factorize(a, Factorization::LLT);
+  EXPECT_TRUE(solver.factorized());
+  const auto b2 = gen::grid2d_laplacian(7, 7);
+  solver.analyze(b2);  // new pattern: factors of `a` are stale
+  EXPECT_FALSE(solver.factorized());
+  std::vector<real_t> b(static_cast<std::size_t>(b2.ncols()), 1.0);
+  EXPECT_THROW(solver.solve(b), InvalidArgument);
+  solver.factorize(b2, Factorization::LLT);
+  EXPECT_NO_THROW(solver.solve(b));
 }
 
 }  // namespace

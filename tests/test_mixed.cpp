@@ -66,6 +66,7 @@ TEST(MixedPrecision, UsesHalfTheFactorMemory) {
   MixedPrecisionSolver mixed;
   mixed.factorize(a, Factorization::LLT);
   Solver<real_t> full;
+  full.analyze(a);
   full.factorize(a, Factorization::LLT);
   // Same structure, half the scalar width (FactorData::bytes covers L).
   const Analysis an = analyze(a);

@@ -135,6 +135,7 @@ TEST(Solver, DegradesToFlopCostsOnBadModelFile) {
   opts.perf_model_file = "/nonexistent/dir/model.json";
   Solver<double> solver(opts);
   const auto a = gen::grid2d_laplacian(12, 12);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);  // must not throw
   EXPECT_EQ(solver.perf_model(), nullptr);
 }

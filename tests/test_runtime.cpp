@@ -251,6 +251,7 @@ TEST_P(RuntimeNumerics, CholeskyResidual) {
   opts.num_gpu_streams = c.gpu_streams;
   Solver<real_t> solver(opts);
   const auto a = gen::grid3d_laplacian(6, 6, 6);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   Rng rng(77);
   std::vector<real_t> x(a.ncols()), b(a.ncols());
@@ -275,6 +276,7 @@ TEST_P(RuntimeNumerics, LdltResidual) {
   Solver<real_t> solver(opts);
   Rng rng(79);
   const auto a = gen::random_sym_indefinite(150, 0.04, rng);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LDLT);
   std::vector<real_t> x(a.ncols()), b(a.ncols());
   for (auto& v : x) v = rng.uniform(-1, 1);
@@ -296,6 +298,7 @@ TEST_P(RuntimeNumerics, LuResidual) {
   opts.num_gpu_streams = c.gpu_streams;
   Solver<real_t> solver(opts);
   const auto a = gen::convection_diffusion3d(6, 6, 5, 12.0);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LU);
   Rng rng(81);
   std::vector<real_t> x(a.ncols()), b(a.ncols());
@@ -332,6 +335,7 @@ TEST(RuntimeNumerics, ComplexLdltThroughParsec) {
   opts.num_threads = 3;
   Solver<complex_t> solver(opts);
   const auto a = gen::helmholtz3d(6, 6, 5);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LDLT);
   Rng rng(83);
   std::vector<complex_t> x(a.ncols()), b(a.ncols());
@@ -392,6 +396,7 @@ TEST(RuntimeNumerics, RefinementConverges) {
   opts.num_threads = 2;
   Solver<real_t> solver(opts);
   const auto a = gen::grid2d_laplacian(20, 20);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   Rng rng(85);
   std::vector<real_t> x(a.ncols()), b(a.ncols()), got(a.ncols());
@@ -415,6 +420,7 @@ TEST(Solver, ThrowsWithoutFactorize) {
 TEST(Solver, RejectsComplexCholesky) {
   Solver<complex_t> solver;
   const auto a = gen::helmholtz3d(3, 3, 3);
+  solver.analyze(a);
   EXPECT_THROW(solver.factorize(a, Factorization::LLT), InvalidArgument);
 }
 
@@ -426,6 +432,7 @@ TEST(Solver, PropagatesNumericalErrorFromThreads) {
   // Indefinite matrix through Cholesky must throw, not hang or crash.
   Rng rng(87);
   const auto a = gen::random_sym_indefinite(80, 0.05, rng);
+  solver.analyze(a);
   EXPECT_THROW(solver.factorize(a, Factorization::LLT), NumericalError);
 }
 
@@ -511,6 +518,7 @@ TEST(SubtreeMerge, NumericalResultUnchanged) {
     opts.num_threads = 3;
     opts.parsec.subtree_merge_seconds = merge;
     Solver<real_t> solver(opts);
+    solver.analyze(a);
     solver.factorize(a, Factorization::LLT);
     Rng rng(91);
     std::vector<real_t> x(a.ncols()), b(a.ncols());
@@ -534,6 +542,7 @@ TEST(SubtreeMerge, LdltWithGroupsStaysCorrect) {
   opts.num_threads = 3;
   opts.parsec.subtree_merge_seconds = 1e-2;
   Solver<real_t> solver(opts);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LDLT);
   std::vector<real_t> x(a.ncols()), b(a.ncols());
   for (auto& v : x) v = rng.uniform(-1, 1);
@@ -887,6 +896,65 @@ TEST(RuntimeStress, ParsecGpuStreamsMaxThreads) {
   opts.gpu_min_flops = 1e4;  // push real work through the stream workers
   ParsecScheduler sched(table, machine, costs, opts);
   stress_run(sched, machine, sc.expected_tasks);
+}
+
+TEST(RuntimeStress, ConcurrentSolvesMatchSequential) {
+  // A factorized Solver is immutable state for solve/solve_multi: many
+  // threads solving through one shared instance must produce exactly the
+  // results a sequential caller gets (the solve service relies on this
+  // for concurrent read-only solves against one FactorHandle).
+  const auto a = gen::grid2d_laplacian(24, 24);
+  Solver<real_t> solver;
+  solver.analyze(a);
+  solver.factorize(a, Factorization::LLT);
+  const index_t n = a.ncols();
+  constexpr int kThreads = 8;
+  constexpr int kSolvesPerThread = 4;
+
+  // Sequential references: one per (thread, iteration) pair, through the
+  // same code path each thread will use (single-RHS or two-column multi;
+  // their kernels differ, so each path gets its own reference).
+  std::vector<std::vector<real_t>> rhs, expect, expect_multi;
+  Rng rng(95);
+  for (int i = 0; i < kThreads * kSolvesPerThread; ++i) {
+    std::vector<real_t> b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    rhs.push_back(b);
+    std::vector<real_t> block(static_cast<std::size_t>(n) * 2);
+    std::copy(b.begin(), b.end(), block.begin());
+    std::copy(b.begin(), b.end(), block.begin() + n);
+    solver.solve_multi(block, 2);
+    expect_multi.push_back(std::move(block));
+    solver.solve(b);
+    expect.push_back(std::move(b));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSolvesPerThread; ++i) {
+        const std::size_t r =
+            static_cast<std::size_t>(t * kSolvesPerThread + i);
+        if (i % 2 == 0) {
+          std::vector<real_t> b = rhs[r];
+          solver.solve(b);
+          if (b != expect[r]) mismatches.fetch_add(1);
+        } else {
+          // Exercise the multi-RHS path: duplicate the column twice.
+          std::vector<real_t> block(static_cast<std::size_t>(n) * 2);
+          std::copy(rhs[r].begin(), rhs[r].end(), block.begin());
+          std::copy(rhs[r].begin(), rhs[r].end(), block.begin() + n);
+          solver.solve_multi(block, 2);
+          if (block != expect_multi[r]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent solves diverged from the sequential reference";
 }
 
 TEST(RuntimeStress, SerializedBaselineMatchesNative) {

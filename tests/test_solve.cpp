@@ -105,6 +105,7 @@ TEST(MultiRhs, SolverFacadeEndToEnd) {
   opts.num_threads = 2;
   Solver<real_t> solver(opts);
   const auto a = gen::grid3d_laplacian(5, 5, 5);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   const index_t n = a.ncols(), nrhs = 4;
   Rng rng(403);
@@ -126,6 +127,7 @@ TEST(MultiRhs, SolverFacadeEndToEnd) {
 TEST(MultiRhs, SolverRejectsBadBlockSize) {
   Solver<real_t> solver;
   const auto a = gen::grid2d_laplacian(5, 5);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   std::vector<real_t> b(a.ncols() * 2 + 1);
   EXPECT_THROW(solver.solve_multi(b, 2), InvalidArgument);
@@ -138,6 +140,7 @@ TEST(Refinement, RecoversFromPerturbedFactors) {
   SolverOptions opts;
   opts.runtime = RuntimeKind::Sequential;
   Solver<real_t> solver(opts);
+  solver.analyze(a);
   solver.factorize(a, Factorization::LLT);
   Rng rng(404);
   std::vector<real_t> x(a.ncols()), b(a.ncols()), got(a.ncols());
