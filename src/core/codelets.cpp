@@ -16,16 +16,27 @@ void factor_panel(FactorData<T>& f, index_t p) {
   const index_t ld = panel.nrows;
   T* diag = f.panel_l(p);
   T* l21 = diag + w;
+  // Per-panel pivot accounting, merged into the factor-wide record below
+  // (local so concurrent panels never contend inside the kernels).
+  FactorQuality local;
+  const k::PivotControl pc{f.pivot_threshold(), panel.col_begin, &local};
+  // Even a failed panel merges its accounting (the indefinite flag must
+  // survive the throw so callers can report *why* factorization died).
+  struct MergeOnExit {
+    FactorData<T>& f;
+    FactorQuality& q;
+    ~MergeOnExit() { f.merge_quality(q); }
+  } merge_on_exit{f, local};
 
   switch (f.kind()) {
     case Factorization::LLT:
-      k::potrf(w, diag, ld);
+      k::potrf(w, diag, ld, pc);
       if (below > 0) {
         k::trsm_right_lower_trans(below, w, diag, ld, l21, ld, false);
       }
       break;
     case Factorization::LDLT: {
-      k::ldlt(w, diag, ld);
+      k::ldlt(w, diag, ld, pc);
       T* d = f.panel_d(p);
       for (index_t j = 0; j < w; ++j) {
         d[j] = diag[j + static_cast<std::size_t>(j) * ld];
@@ -37,7 +48,7 @@ void factor_panel(FactorData<T>& f, index_t p) {
       break;
     }
     case Factorization::LU: {
-      k::getrf_nopiv(w, diag, ld);
+      k::getrf_nopiv(w, diag, ld, pc);
       if (below > 0) {
         // L21 := A21 * U11^{-1}
         k::trsm_right_upper(below, w, diag, ld, l21, ld);

@@ -7,20 +7,39 @@
 // the L side).  LDL^T keeps D in a separate vector.
 #pragma once
 
+#include <mutex>
+#include <new>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/factor_quality.hpp"
 #include "mat/csc.hpp"
 #include "symbolic/structure.hpp"
 
 namespace spx {
 
+/// Hook consulted before large factor allocations; lets tests and the
+/// fault-injection harness simulate memory exhaustion deterministically.
+class AllocationHook {
+ public:
+  virtual ~AllocationHook() = default;
+  /// Return true to make the allocation of `bytes` fail (std::bad_alloc).
+  virtual bool fail_alloc(std::size_t bytes) = 0;
+};
+
 template <typename T>
 class FactorData {
  public:
   FactorData() = default;
-  FactorData(const SymbolicStructure& st, Factorization kind)
+  FactorData(const SymbolicStructure& st, Factorization kind,
+             AllocationHook* alloc_hook = nullptr)
       : st_(&st), kind_(kind) {
+    std::size_t bytes =
+        static_cast<std::size_t>(st.factor_entries) * sizeof(T);
+    if (kind == Factorization::LU) bytes *= 2;
+    if (alloc_hook != nullptr && alloc_hook->fail_alloc(bytes)) {
+      throw std::bad_alloc();
+    }
     lval_.assign(static_cast<std::size_t>(st.factor_entries), T(0));
     if (kind == Factorization::LU) {
       uval_.assign(static_cast<std::size_t>(st.factor_entries), T(0));
@@ -28,6 +47,27 @@ class FactorData {
     if (kind == Factorization::LDLT) {
       dval_.assign(static_cast<std::size_t>(st.num_cols()), T(0));
     }
+  }
+
+  // The quality mutex is not movable; moves are only performed while no
+  // factorization is running, so a fresh mutex on the destination is fine.
+  FactorData(FactorData&& o) noexcept
+      : st_(o.st_),
+        kind_(o.kind_),
+        lval_(std::move(o.lval_)),
+        uval_(std::move(o.uval_)),
+        dval_(std::move(o.dval_)),
+        pivot_threshold_(o.pivot_threshold_),
+        quality_(std::move(o.quality_)) {}
+  FactorData& operator=(FactorData&& o) noexcept {
+    st_ = o.st_;
+    kind_ = o.kind_;
+    lval_ = std::move(o.lval_);
+    uval_ = std::move(o.uval_);
+    dval_ = std::move(o.dval_);
+    pivot_threshold_ = o.pivot_threshold_;
+    quality_ = std::move(o.quality_);
+    return *this;
   }
 
   const SymbolicStructure& structure() const { return *st_; }
@@ -54,6 +94,29 @@ class FactorData {
 
   std::size_t bytes() const {
     return (lval_.size() + uval_.size() + dval_.size()) * sizeof(T);
+  }
+
+  /// Arms static-pivot perturbation for the next factorization:
+  /// `abs_threshold` is the already-scaled absolute floor (eps * ||A||),
+  /// 0 keeps the legacy throw-on-bad-pivot behaviour.
+  void set_pivot_policy(double abs_threshold, double anorm) {
+    pivot_threshold_ = abs_threshold;
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    quality_ = FactorQuality{};
+    quality_.threshold = abs_threshold;
+    quality_.anorm = anorm;
+  }
+  double pivot_threshold() const { return pivot_threshold_; }
+
+  /// Folds one panel's pivot accounting into the factor-wide record
+  /// (called concurrently by factor_panel tasks).
+  void merge_quality(const FactorQuality& panel) {
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    quality_.merge(panel);
+  }
+  FactorQuality quality() const {
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    return quality_;
   }
 
   /// Fills the panels from the *permuted* matrix: the lower triangle goes
@@ -91,6 +154,9 @@ class FactorData {
   std::vector<T> lval_;
   std::vector<T> uval_;
   std::vector<T> dval_;
+  double pivot_threshold_ = 0.0;
+  mutable std::mutex quality_mutex_;
+  FactorQuality quality_;
 };
 
 extern template class FactorData<real_t>;

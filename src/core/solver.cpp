@@ -86,10 +86,44 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
                   "complex matrices use LDLT (symmetric) or LU");
   }
   kind_ = kind;
+  // Any failure below must leave the solver "analyzed, not factorized":
+  // drop stale factors first (they belong to the previous values), then
+  // roll back in the catch so factorize() can simply be retried.
+  factors_.reset();
+  refine_matrix_.reset();
   const CscMatrix<T> ap = permute_symmetric(a, analysis_->perm);
-  factors_ = std::make_unique<FactorData<T>>(analysis_->structure, kind);
+  factors_ = std::make_unique<FactorData<T>>(analysis_->structure, kind,
+                                             options_.fault);
   factors_->initialize(ap);
+  // Static-pivot floor, scaled by ||A|| = max |a_ij| of the input.
+  double anorm = 0.0;
+  for (const T& v : ap.values()) {
+    anorm = std::max(anorm, static_cast<double>(magnitude<T>(v)));
+  }
+  factors_->set_pivot_policy(
+      options_.pivot_threshold > 0 ? options_.pivot_threshold * anorm : 0.0,
+      anorm);
 
+  try {
+    factorize_numeric();
+  } catch (...) {
+    stats_.quality = factors_->quality();  // keep the post-mortem record
+    factors_.reset();
+    throw;
+  }
+  stats_.quality = factors_->quality();
+  if (stats_.quality.degraded()) {
+    // Perturbed factors are exact factors of A + E; retain A so solve()
+    // can repair the O(threshold) error by refinement on its own.
+    refine_matrix_ = std::make_unique<CscMatrix<T>>(a);
+  }
+  stats_.gflops = analysis_->structure.total_flops(kind) /
+                  std::max(1e-12, stats_.makespan) / 1e9;
+}
+
+template <typename T>
+void Solver<T>::factorize_numeric() {
+  const Factorization kind = kind_;
   Timer wall;
   if (options_.runtime == RuntimeKind::Sequential) {
     factorize_sequential(*factors_, options_.cpu_variant, false);
@@ -105,6 +139,7 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
     TaskTable table(analysis_->structure, kind);
     RealDriverOptions dopts;
     dopts.cpu_variant = options_.cpu_variant;
+    dopts.fault = options_.fault;
     // Cost oracle: calibrated model when configured and loadable, flop
     // proportionality otherwise.  The calibrated path also attaches the
     // model-error probe and (optionally) the online-refinement observer.
@@ -156,17 +191,10 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
         break;  // handled above
     }
   }
-  stats_.gflops = analysis_->structure.total_flops(kind) /
-                  std::max(1e-12, stats_.makespan) / 1e9;
 }
 
 template <typename T>
-void Solver<T>::solve(std::span<T> b) const {
-  SPX_CHECK_ARG(factorized(),
-                "solve() without factors: factorize() has not run since "
-                "the last analyze()");
-  SPX_CHECK_ARG(static_cast<index_t>(b.size()) == analysis_->perm.size(),
-                "rhs size mismatch");
+void Solver<T>::direct_solve(std::span<T> b) const {
   std::vector<T> pb(b.size());
   permute_vector<T>(analysis_->perm, b, pb);
   solve_permuted(*factors_, std::span<T>(pb));
@@ -174,13 +202,62 @@ void Solver<T>::solve(std::span<T> b) const {
 }
 
 template <typename T>
-void Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
+SolveReport Solver<T>::refine_degraded(std::span<T> x,
+                                       std::span<const T> b0) const {
+  SolveReport report;
+  report.degraded = true;
+  const std::size_t n = b0.size();
+  double bnorm = 0.0;
+  for (const T& v : b0) bnorm = std::max(bnorm, (double)magnitude<T>(v));
+  if (bnorm == 0.0) bnorm = 1.0;
+  std::vector<T> residual(n);
+  for (int iter = 0; iter <= options_.refine_max_iter; ++iter) {
+    refine_matrix_->multiply(std::span<const T>(x.data(), n), residual);
+    double rnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = b0[i] - residual[i];
+      rnorm = std::max(rnorm, (double)magnitude<T>(residual[i]));
+    }
+    report.backward_error = rnorm / bnorm;
+    report.refine_iterations = iter;
+    if (report.backward_error <= options_.refine_tolerance ||
+        iter == options_.refine_max_iter) {
+      break;
+    }
+    direct_solve(residual);
+    for (std::size_t i = 0; i < n; ++i) x[i] += residual[i];
+  }
+  return report;
+}
+
+template <typename T>
+SolveReport Solver<T>::solve(std::span<T> b) const {
+  SPX_CHECK_ARG(factorized(),
+                "solve() without factors: factorize() has not run since "
+                "the last analyze()");
+  SPX_CHECK_ARG(static_cast<index_t>(b.size()) == analysis_->perm.size(),
+                "rhs size mismatch");
+  const bool degraded =
+      stats_.quality.degraded() && refine_matrix_ != nullptr;
+  std::vector<T> b0;
+  if (degraded) b0.assign(b.begin(), b.end());
+  direct_solve(b);
+  if (!degraded) return {};
+  return refine_degraded(b, b0);
+}
+
+template <typename T>
+SolveReport Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
   SPX_CHECK_ARG(factorized(),
                 "solve_multi() without factors: factorize() has not run "
                 "since the last analyze()");
   const index_t n = analysis_->perm.size();
   SPX_CHECK_ARG(static_cast<index_t>(b.size()) == n * nrhs,
                 "rhs block size mismatch");
+  const bool degraded =
+      stats_.quality.degraded() && refine_matrix_ != nullptr;
+  std::vector<T> b0;
+  if (degraded) b0.assign(b.begin(), b.end());
   std::vector<T> pb(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
     permute_vector<T>(analysis_->perm,
@@ -193,6 +270,19 @@ void Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
                         std::span<const T>(pb.data() + std::size_t(c) * n, n),
                         std::span<T>(b.data() + std::size_t(c) * n, n));
   }
+  if (!degraded) return {};
+  // Refine column by column; report the worst column's figures.
+  SolveReport worst;
+  worst.degraded = true;
+  for (index_t c = 0; c < nrhs; ++c) {
+    const SolveReport r = refine_degraded(
+        std::span<T>(b.data() + std::size_t(c) * n, n),
+        std::span<const T>(b0.data() + std::size_t(c) * n, n));
+    worst.refine_iterations =
+        std::max(worst.refine_iterations, r.refine_iterations);
+    worst.backward_error = std::max(worst.backward_error, r.backward_error);
+  }
+  return worst;
 }
 
 template <typename T>
@@ -204,7 +294,7 @@ int Solver<T>::solve_refine(const CscMatrix<T>& a, std::span<const T> b,
                 "since the last analyze()");
   const std::size_t n = b.size();
   std::copy(b.begin(), b.end(), x.begin());
-  solve(x);
+  direct_solve(x);  // refinement below; don't stack the degraded path's
   std::vector<T> residual(n), correction(n);
   double bnorm = 0.0;
   for (const T& v : b) bnorm = std::max(bnorm, (double)magnitude<T>(v));
@@ -218,7 +308,7 @@ int Solver<T>::solve_refine(const CscMatrix<T>& a, std::span<const T> b,
     }
     if (rnorm / bnorm <= tol) return iter - 1;
     std::copy(residual.begin(), residual.end(), correction.begin());
-    solve(correction);
+    direct_solve(correction);
     for (std::size_t i = 0; i < n; ++i) x[i] += correction[i];
   }
   return max_iter;

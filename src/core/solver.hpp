@@ -26,6 +26,7 @@
 #include "core/codelets.hpp"
 #include "core/factor_data.hpp"
 #include "core/solve.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/parsec_scheduler.hpp"
 #include "runtime/run_stats.hpp"
 #include "runtime/starpu_scheduler.hpp"
@@ -64,6 +65,31 @@ struct SolverOptions {
   /// Feed measured task durations back into the loaded model's history
   /// layer (online refinement; affects the *next* factorize()).
   bool refine_perf_model = true;
+  /// Static-pivot perturbation (paper §III): a pivot with |d| below
+  /// pivot_threshold * ||A|| (||A|| = max |a_ij|) is replaced by the
+  /// sign-preserving threshold instead of aborting the factorization;
+  /// solve() then repairs the O(eps) backward error by iterative
+  /// refinement automatically.  0 restores throw-on-bad-pivot.  LL^T
+  /// still throws on genuinely indefinite pivots (below -threshold).
+  double pivot_threshold = 1e-12;
+  /// Residual target of the automatic post-solve refinement that runs
+  /// when the factorization was perturbed.
+  double refine_tolerance = 1e-12;
+  /// Iteration cap of the automatic refinement.
+  int refine_max_iter = 20;
+  /// Optional fault-injection harness (tests/benchmarks): passed to the
+  /// real driver for task faults and to FactorData as AllocationHook.
+  FaultInjector* fault = nullptr;
+};
+
+/// What a solve did beyond plain substitution.  `degraded` mirrors the
+/// factorization's perturbation flag; when set, iterative refinement ran
+/// and `backward_error` is the final max-norm relative residual
+/// ||b - Ax|| / ||b|| (the accuracy actually delivered).
+struct SolveReport {
+  bool degraded = false;
+  int refine_iterations = 0;
+  double backward_error = 0.0;
 };
 
 template <typename T>
@@ -88,16 +114,21 @@ class Solver {
 
   /// Numerical factorization of `a`, whose pattern must be the analyzed
   /// one.  Throws InvalidArgument before analyze() or on a pattern
-  /// mismatch, and NumericalError on breakdown (static pivoting, no
-  /// recovery).
+  /// mismatch, and NumericalError on breakdown (an indefinite LL^T pivot,
+  /// or any bad pivot when pivot_threshold == 0).  On ANY failure the
+  /// solver rolls back to "analyzed, not factorized": factorize() can be
+  /// retried (e.g. with different options) without re-analyzing.
   void factorize(const CscMatrix<T>& a, Factorization kind);
 
-  /// In-place solve of A x = b using the current factors.
-  void solve(std::span<T> b) const;
+  /// In-place solve of A x = b using the current factors.  When the
+  /// factorization was perturbed, iterative refinement runs automatically
+  /// against the retained input matrix; the report says what happened.
+  SolveReport solve(std::span<T> b) const;
 
   /// In-place multi-RHS solve: `b` holds nrhs column-major right-hand
-  /// sides of length n (leading dimension n).
-  void solve_multi(std::span<T> b, index_t nrhs) const;
+  /// sides of length n (leading dimension n).  Degraded factors refine
+  /// every column; the report carries the worst column's figures.
+  SolveReport solve_multi(std::span<T> b, index_t nrhs) const;
 
   /// Iterative refinement: improves x (starting from a direct solve) until
   /// the relative residual drops below `tol`; returns iterations used.
@@ -133,6 +164,14 @@ class Solver {
 
  private:
   void load_perf_model();
+  /// Runs the scheduler/driver (or the sequential loop) on factors_.
+  void factorize_numeric();
+  /// Plain substitution (no refinement) on a permuted-consistent rhs.
+  void direct_solve(std::span<T> b) const;
+  /// Refinement loop of the degraded path: improves x against
+  /// refine_matrix_, starting from b0 (the original rhs).
+  SolveReport refine_degraded(std::span<T> x,
+                              std::span<const T> b0) const;
 
   SolverOptions options_;
   std::shared_ptr<const Analysis> analysis_;
@@ -142,6 +181,9 @@ class Solver {
   RunStats stats_;
   std::shared_ptr<perfmodel::PerfModel> perf_model_;
   std::string perf_model_loaded_from_;  ///< file behind perf_model_
+  /// Input matrix retained by a *degraded* factorize() so solve() can
+  /// refine without asking the caller to keep A around (null otherwise).
+  std::unique_ptr<CscMatrix<T>> refine_matrix_;
 };
 
 extern template class Solver<real_t>;

@@ -1,6 +1,8 @@
 #include "kernels/dense.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
 namespace spx::kernels {
@@ -143,6 +145,75 @@ namespace {
 /// GEMM-rich updates (same arithmetic, better cache behaviour).
 constexpr index_t kNB = 48;
 
+/// PivotControl whose local column 0 sits `k` columns past pc's (the
+/// blocked kernels hand the unblocked base case shifted diagonals).
+PivotControl shift(const PivotControl& pc, index_t k) {
+  return {pc.threshold, pc.col_offset + k, pc.quality};
+}
+
+[[noreturn]] void throw_pivot(const char* kernel, const char* what,
+                              index_t global_col) {
+  throw NumericalError(std::string(kernel) + ": " + what +
+                       " at global column " + std::to_string(global_col));
+}
+
+/// Accepts, perturbs, or rejects the pivot of local column `j`.
+/// Returns the (possibly replaced) pivot value; records accounting.
+template <typename T>
+T settle_pivot(const char* kernel, T d, index_t j, const PivotControl& pc,
+               bool cholesky) {
+  const double mag = static_cast<double>(magnitude<T>(d));
+  const index_t col = pc.col_offset + j;
+  bool perturbed = false;
+  if (pc.threshold > 0) {
+    if (cholesky) {
+      // Cholesky needs d > 0; a tiny (or tiny-negative, i.e. roundoff on
+      // a singular matrix) pivot is lifted to +threshold, but a pivot
+      // below -threshold means genuine indefiniteness -- no perturbation
+      // repairs that, so escalate (callers wanting to continue use LDL^T).
+      double dr;
+      if constexpr (is_complex_v<T>) {
+        dr = mag;  // complex-symmetric "Cholesky" guards magnitude only
+      } else {
+        dr = static_cast<double>(d);
+      }
+      if (dr < -pc.threshold) {
+        if (pc.quality != nullptr) pc.quality->indefinite = true;
+        throw_pivot(kernel, "indefinite pivot", col);
+      }
+      if (dr < pc.threshold) {
+        d = T(pc.threshold);
+        perturbed = true;
+      }
+    } else if (mag < pc.threshold) {
+      // Sign/phase-preserving replacement: d <- threshold * d/|d|
+      // (exact zero becomes +threshold).
+      if (mag == 0.0) {
+        d = T(pc.threshold);
+      } else {
+        d *= static_cast<real_of_t<T>>(pc.threshold / mag);
+      }
+      perturbed = true;
+    }
+  } else if (cholesky) {
+    bool bad;
+    if constexpr (is_complex_v<T>) {
+      // Complex Cholesky without conjugation is only used on matrices
+      // guaranteed safe by construction; guard against exact zero.
+      bad = (d == T(0));
+    } else {
+      bad = !(d > T(0));
+    }
+    if (bad) throw_pivot(kernel, "non-positive pivot", col);
+  } else if (d == T(0)) {
+    throw_pivot(kernel, "zero pivot", col);
+  }
+  if (pc.quality != nullptr) {
+    pc.quality->note_pivot(perturbed ? pc.threshold : mag, col, perturbed);
+  }
+  return d;
+}
+
 template <typename T>
 void trsm_right_lower_trans_unblocked(index_t m, index_t n, const T* l,
                                       index_t ldl, T* x, index_t ldx,
@@ -183,7 +254,7 @@ void trsm_right_upper_unblocked(index_t m, index_t n, const T* u,
 }
 
 template <typename T>
-void potrf_unblocked(index_t n, T* a, index_t lda) {
+void potrf_unblocked(index_t n, T* a, index_t lda, const PivotControl& pc) {
   // Left-looking scalar Cholesky, used on diagonal blocks of size <= kNB.
   for (index_t j = 0; j < n; ++j) {
     T* aj = a + static_cast<std::size_t>(j) * lda;
@@ -194,16 +265,7 @@ void potrf_unblocked(index_t n, T* a, index_t lda) {
       const T* ak = a + static_cast<std::size_t>(k) * lda;
       for (index_t i = j; i < n; ++i) aj[i] -= ak[i] * ajk;
     }
-    const T diag = aj[j];
-    if constexpr (is_complex_v<T>) {
-      // Complex Cholesky without conjugation is only used on matrices
-      // guaranteed safe by construction; guard against exact zero.
-      if (diag == T(0)) throw NumericalError("potrf: zero pivot");
-    } else {
-      if (!(diag > T(0))) {
-        throw NumericalError("potrf: non-positive pivot");
-      }
-    }
+    const T diag = settle_pivot("potrf", aj[j], j, pc, /*cholesky=*/true);
     const T root = std::sqrt(diag);
     const T inv = T(1) / root;
     aj[j] = root;
@@ -212,12 +274,12 @@ void potrf_unblocked(index_t n, T* a, index_t lda) {
 }
 
 template <typename T>
-void ldlt_unblocked(index_t n, T* a, index_t lda) {
+void ldlt_unblocked(index_t n, T* a, index_t lda, const PivotControl& pc) {
   // Right-looking LDL^T with plain transpose (complex-symmetric safe).
   for (index_t j = 0; j < n; ++j) {
     T* aj = a + static_cast<std::size_t>(j) * lda;
-    const T d = aj[j];
-    if (d == T(0)) throw NumericalError("ldlt: zero pivot");
+    const T d = settle_pivot("ldlt", aj[j], j, pc, /*cholesky=*/false);
+    aj[j] = d;
     const T inv = T(1) / d;
     for (index_t i = j + 1; i < n; ++i) aj[i] *= inv;  // L(i,j)
     // Trailing update: A(i,k) -= L(i,j) * d * L(k,j) for k > j.
@@ -232,11 +294,12 @@ void ldlt_unblocked(index_t n, T* a, index_t lda) {
 }
 
 template <typename T>
-void getrf_nopiv_unblocked(index_t n, T* a, index_t lda) {
+void getrf_nopiv_unblocked(index_t n, T* a, index_t lda,
+                           const PivotControl& pc) {
   for (index_t j = 0; j < n; ++j) {
     T* aj = a + static_cast<std::size_t>(j) * lda;
-    const T piv = aj[j];
-    if (piv == T(0)) throw NumericalError("getrf: zero pivot");
+    const T piv = settle_pivot("getrf", aj[j], j, pc, /*cholesky=*/false);
+    aj[j] = piv;
     const T inv = T(1) / piv;
     for (index_t i = j + 1; i < n; ++i) aj[i] *= inv;
     for (index_t k = j + 1; k < n; ++k) {
@@ -308,12 +371,12 @@ void trsm_left_lower_unit(index_t n, index_t m, const T* l, index_t ldl,
 }
 
 template <typename T>
-void potrf(index_t n, T* a, index_t lda) {
+void potrf(index_t n, T* a, index_t lda, const PivotControl& pc) {
   // Right-looking blocked Cholesky over the unblocked base case.
   for (index_t k = 0; k < n; k += kNB) {
     const index_t kb = std::min(kNB, n - k);
     T* akk = a + k + static_cast<std::size_t>(k) * lda;
-    potrf_unblocked(kb, akk, lda);
+    potrf_unblocked(kb, akk, lda, shift(pc, k));
     const index_t m2 = n - k - kb;
     if (m2 == 0) continue;
     T* a21 = akk + kb;
@@ -330,13 +393,13 @@ void potrf(index_t n, T* a, index_t lda) {
 }
 
 template <typename T>
-void ldlt(index_t n, T* a, index_t lda) {
+void ldlt(index_t n, T* a, index_t lda, const PivotControl& pc) {
   // Blocked LDL^T: needs a W = L21 * D scratch for the trailing update.
   std::vector<T> w;
   for (index_t k = 0; k < n; k += kNB) {
     const index_t kb = std::min(kNB, n - k);
     T* akk = a + k + static_cast<std::size_t>(k) * lda;
-    ldlt_unblocked(kb, akk, lda);
+    ldlt_unblocked(kb, akk, lda, shift(pc, k));
     const index_t m2 = n - k - kb;
     if (m2 == 0) continue;
     T* a21 = akk + kb;
@@ -361,11 +424,11 @@ void ldlt(index_t n, T* a, index_t lda) {
 }
 
 template <typename T>
-void getrf_nopiv(index_t n, T* a, index_t lda) {
+void getrf_nopiv(index_t n, T* a, index_t lda, const PivotControl& pc) {
   for (index_t k = 0; k < n; k += kNB) {
     const index_t kb = std::min(kNB, n - k);
     T* akk = a + k + static_cast<std::size_t>(k) * lda;
-    getrf_nopiv_unblocked(kb, akk, lda);
+    getrf_nopiv_unblocked(kb, akk, lda, shift(pc, k));
     const index_t m2 = n - k - kb;
     if (m2 == 0) continue;
     T* a21 = akk + kb;                                        // below
@@ -514,9 +577,9 @@ void gemv_trans_sub(index_t m, index_t n, const T* a, index_t lda,
                                           index_t, T*, index_t, bool);      \
   template void trsm_right_upper<T>(index_t, index_t, const T*, index_t,    \
                                     T*, index_t);                           \
-  template void potrf<T>(index_t, T*, index_t);                             \
-  template void ldlt<T>(index_t, T*, index_t);                              \
-  template void getrf_nopiv<T>(index_t, T*, index_t);                       \
+  template void potrf<T>(index_t, T*, index_t, const PivotControl&);        \
+  template void ldlt<T>(index_t, T*, index_t, const PivotControl&);         \
+  template void getrf_nopiv<T>(index_t, T*, index_t, const PivotControl&);  \
   template void scale_cols<T>(index_t, index_t, const T*, index_t,          \
                               const T*, T*, index_t);                       \
   template void scale_cols_inv<T>(index_t, index_t, T*, index_t, const T*); \

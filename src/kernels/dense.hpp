@@ -11,9 +11,26 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/factor_quality.hpp"
 #include "common/types.hpp"
 
 namespace spx::kernels {
+
+/// Static-pivot handling policy of the factorization kernels.
+///
+/// With `threshold <= 0` (the default) a bad pivot throws NumericalError
+/// naming the offending global column.  With `threshold > 0` the kernels
+/// degrade gracefully instead (PaStiX-style static perturbation): a pivot
+/// with |d| < threshold is replaced by +/- threshold (sign preserving;
+/// exact zeros become +threshold, complex pivots keep their phase) and
+/// the replacement is recorded in `quality`.  Cholesky cannot absorb
+/// genuine indefiniteness: a pivot below -threshold still throws, after
+/// flagging `quality->indefinite`.
+struct PivotControl {
+  double threshold = 0.0;    ///< absolute perturbation floor (eps * ||A||)
+  index_t col_offset = 0;    ///< global column of local column 0
+  FactorQuality* quality = nullptr;  ///< optional pivot accounting sink
+};
 
 /// C(m x n) := beta*C + alpha * A(m x k) * B(n x k)^T.
 /// The "NT" shape is the one sparse updates use: B is the facing block of
@@ -85,20 +102,22 @@ void trsm_right_upper(index_t m, index_t n, const T* u, index_t ldu, T* x,
 
 /// In-place lower Cholesky of the leading n x n block: A = L*L^T, lower
 /// triangle overwritten by L (strictly upper part untouched).
-/// Throws NumericalError on a non-positive pivot.
+/// Throws NumericalError on a non-positive pivot (or, under a perturbing
+/// PivotControl, only on an indefinite pivot below -threshold).
 template <typename T>
-void potrf(index_t n, T* a, index_t lda);
+void potrf(index_t n, T* a, index_t lda, const PivotControl& pc = {});
 
 /// In-place LDL^T (no pivoting, plain transpose): unit lower L overwrites
 /// the strictly lower triangle, D overwrites the diagonal.
-/// Throws NumericalError on a zero pivot.
+/// Throws NumericalError on a zero pivot unless `pc` perturbs it.
 template <typename T>
-void ldlt(index_t n, T* a, index_t lda);
+void ldlt(index_t n, T* a, index_t lda, const PivotControl& pc = {});
 
 /// In-place LU without pivoting: unit lower L strictly below the diagonal,
-/// U on and above.  Throws NumericalError on a zero pivot.
+/// U on and above.  Throws NumericalError on a zero pivot unless `pc`
+/// perturbs it.
 template <typename T>
-void getrf_nopiv(index_t n, T* a, index_t lda);
+void getrf_nopiv(index_t n, T* a, index_t lda, const PivotControl& pc = {});
 
 /// B(m x n) := A(m x n) scaled column-wise: B(:,j) = A(:,j) * d[j].
 /// In-place allowed (b == a).

@@ -242,6 +242,46 @@ CscMatrix<real_t> random_unsym(index_t n, double density, Rng& rng) {
   return t.to_csc();
 }
 
+CscMatrix<real_t> rank_deficient(index_t n, index_t k) {
+  SPX_CHECK_ARG(k > 0 && n >= 2 * k,
+                "rank_deficient: need k >= 1 segments of length >= 2");
+  Triplets<real_t> t(n, n);
+  // k disconnected path segments, each a pure Neumann 1D Laplacian:
+  // diag = vertex degree, so every segment annihilates its constant
+  // vector and the whole matrix has rank exactly n - k.
+  const index_t base = n / k;
+  index_t begin = 0;
+  for (index_t s = 0; s < k; ++s) {
+    const index_t len = s + 1 < k ? base : n - begin;
+    for (index_t i = 0; i < len; ++i) {
+      const index_t c = begin + i;
+      const real_t degree = (i == 0 || i + 1 == len) ? 1.0 : 2.0;
+      t.add(c, c, degree);
+      if (i + 1 < len) t.add_sym(c + 1, c, -1.0);
+    }
+    begin += len;
+  }
+  return t.to_csc();
+}
+
+CscMatrix<real_t> tiny_pivot(index_t n, double eps) {
+  SPX_CHECK_ARG(n >= 4, "tiny_pivot: need n >= 4");
+  Triplets<real_t> t(n, n);
+  // Well-conditioned bulk: a diagonally dominant path on columns
+  // [0, n-2); the last two columns form a decoupled [[eps, 1], [1, eps]]
+  // block whose leading pivot is exactly eps wherever the ordering puts
+  // it (both diagonals are eps and the block touches nothing else).
+  const index_t m = n - 2;
+  for (index_t i = 0; i < m; ++i) {
+    t.add(i, i, 4.0);
+    if (i + 1 < m) t.add_sym(i + 1, i, -1.0);
+  }
+  t.add(m, m, eps);
+  t.add(m + 1, m + 1, eps);
+  t.add_sym(m + 1, m, 1.0);
+  return t.to_csc();
+}
+
 CscMatrix<complex_t> random_complex_sym(index_t n, double density, Rng& rng) {
   SPX_CHECK_ARG(n > 0 && density >= 0.0 && density <= 1.0, "bad args");
   Triplets<complex_t> t(n, n);

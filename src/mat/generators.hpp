@@ -55,4 +55,18 @@ CscMatrix<real_t> random_unsym(index_t n, double density, Rng& rng);
 /// Random complex symmetric diagonally-dominant matrix; property tests.
 CscMatrix<complex_t> random_complex_sym(index_t n, double density, Rng& rng);
 
+/// Singular but consistent-solvable SPSD matrix of order n and rank n-k:
+/// k disconnected path segments, each carrying a pure Neumann (free-free)
+/// 1D Laplacian whose null space is the constant vector.  With a rhs that
+/// is orthogonal to each segment's constants, LL^T under static-pivot
+/// perturbation factors it and refinement converges (robustness tests).
+CscMatrix<real_t> rank_deficient(index_t n, index_t k);
+
+/// Well-conditioned symmetric matrix of order n whose leading pivot
+/// sequence meets one pivot of size `eps` (a decoupled 2x2 block
+/// [[eps, 1], [1, eps]] at the end): LDL^T/LU without pivoting must
+/// perturb (or, with eps = 0, throw) exactly there, yet the matrix itself
+/// is benign, so refinement restores full accuracy.
+CscMatrix<real_t> tiny_pivot(index_t n, double eps);
+
 }  // namespace spx::gen

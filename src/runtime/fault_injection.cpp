@@ -1,0 +1,77 @@
+#include "runtime/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace spx {
+
+const char* to_string(FaultAction a) {
+  switch (a) {
+    case FaultAction::None: return "none";
+    case FaultAction::Throw: return "throw";
+    case FaultAction::Stall: return "stall";
+    case FaultAction::CorruptPivot: return "corrupt-pivot";
+    case FaultAction::AllocFail: return "alloc-fail";
+  }
+  return "?";
+}
+
+namespace {
+
+// splitmix64: tiny, high-quality mixer; enough to spread seeds over the
+// task-ordinal range without dragging in <random>.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::nth_task(FaultAction a, std::uint64_t n, double stall) {
+  FaultPlan p;
+  p.action = a;
+  p.victim = n;
+  p.stall_seconds = stall;
+  return p;
+}
+
+FaultPlan FaultPlan::seeded(FaultAction a, std::uint64_t seed,
+                            std::uint64_t ntasks, double stall) {
+  return nth_task(a, ntasks == 0 ? 0 : mix64(seed) % ntasks, stall);
+}
+
+bool FaultInjector::on_task_start() {
+  const std::uint64_t ord = started_.fetch_add(1, std::memory_order_relaxed);
+  if (ord != plan_.victim) return false;
+  switch (plan_.action) {
+    case FaultAction::Throw:
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      throw InjectedFault("injected fault at task ordinal " +
+                          std::to_string(ord));
+    case FaultAction::Stall:
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan_.stall_seconds));
+      return false;
+    case FaultAction::CorruptPivot:
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case FaultAction::None:
+    case FaultAction::AllocFail:
+      return false;
+  }
+  return false;
+}
+
+bool FaultInjector::fail_alloc(std::size_t /*bytes*/) {
+  if (plan_.action != FaultAction::AllocFail) return false;
+  // Factorize performs one factor allocation per attempt, so under
+  // AllocFail the first allocation after (re)arming is the victim.
+  if (started_.fetch_add(1, std::memory_order_relaxed) != 0) return false;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace spx

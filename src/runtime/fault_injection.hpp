@@ -1,0 +1,96 @@
+// Deterministic fault injection for the threaded runtime.
+//
+// A FaultInjector arms exactly one fault per run: the Nth task to *start*
+// executing (a seedable, scheduler-independent ordinal) throws, stalls,
+// or corrupts its target panel's pivot; alternatively the factor
+// allocation itself fails.  Everything is driven by atomic counters, so
+// a plan replays identically for a given (seed, task-count) pair no
+// matter how the scheduler interleaves workers -- which is what lets the
+// FaultStress harness sweep seeds and assert the runtime never deadlocks,
+// never leaks a worker, and always surfaces exactly one error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/factor_data.hpp"
+
+namespace spx {
+
+/// What the armed fault does when its victim task starts.
+enum class FaultAction {
+  None,          ///< disarmed
+  Throw,         ///< task throws InjectedFault
+  Stall,         ///< task sleeps stall_seconds, then runs normally
+  CorruptPivot,  ///< task zeroes its target panel's leading pivot
+  AllocFail,     ///< FactorData allocation throws std::bad_alloc
+};
+
+const char* to_string(FaultAction a);
+
+/// Exception thrown by a Throw-fault victim: distinguishable from real
+/// numerical/runtime errors all the way up to the service ErrorCode.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One armed fault: `victim` is the 0-based ordinal among task *starts*.
+struct FaultPlan {
+  FaultAction action = FaultAction::None;
+  std::uint64_t victim = 0;
+  double stall_seconds = 0.0;
+
+  /// Hit exactly the nth task to start executing.
+  static FaultPlan nth_task(FaultAction a, std::uint64_t n,
+                            double stall = 0.002);
+
+  /// Derive the victim pseudo-randomly (splitmix64) from `seed` over a
+  /// run of `ntasks` tasks -- the FaultStress seed-sweep entry point.
+  static FaultPlan seeded(FaultAction a, std::uint64_t seed,
+                          std::uint64_t ntasks, double stall = 0.002);
+};
+
+/// Shared, thread-safe fault state for one or more runs.  Implements
+/// AllocationHook so the same object can kill the FactorData allocation
+/// (FaultAction::AllocFail) or a task (all other actions).
+class FaultInjector : public AllocationHook {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Called by the driver as each task starts.  May throw InjectedFault
+  /// (Throw) or sleep (Stall); returns true when the caller must corrupt
+  /// its target pivot (CorruptPivot).
+  bool on_task_start();
+
+  /// AllocationHook: fails the factor allocation once under AllocFail.
+  bool fail_alloc(std::size_t bytes) override;
+
+  /// Tasks started since the last reset (== the next victim ordinal).
+  std::uint64_t started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+  /// Times the armed fault actually triggered.
+  int fired_count() const { return fired_.load(std::memory_order_relaxed); }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Re-arms for another run: ordinals restart at 0 (fired_count keeps
+  /// accumulating so retry loops can see the total).
+  void rearm(const FaultPlan& plan) {
+    plan_ = plan;
+    started_.store(0, std::memory_order_relaxed);
+  }
+  void rearm() { started_.store(0, std::memory_order_relaxed); }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<int> fired_{0};
+};
+
+}  // namespace spx

@@ -149,6 +149,9 @@ class RealRun {
                                       : options_.cpu_variant;
     const SymbolicStructure& st = f_.structure();
     double& lock_wait = lock_wait_[static_cast<std::size_t>(r)];
+    if (options_.fault != nullptr && options_.fault->on_task_start()) {
+      corrupt_pivot(t, lock_wait);
+    }
     if (t.kind == TaskKind::Subtree) {
       // Merged bottom subtree: factor + updates of every member, in
       // order.  The per-panel locks protect the external targets against
@@ -217,6 +220,21 @@ class RealRun {
       const double pred = model->update_seconds(t.panel, t.edge, kind);
       err.update_rel.push_back((pred - actual) / actual);
     }
+  }
+
+  // CorruptPivot fault: zero the leading diagonal entry of the task's
+  // target panel under its lock.  For a not-yet-factored panel this
+  // plants a (near-)zero pivot for factor_panel to trip over, exercising
+  // the perturbation/throw path from a genuinely concurrent context.
+  void corrupt_pivot(const Task& t, double& lock_wait) {
+    index_t target = t.panel;
+    if (t.kind == TaskKind::Update) {
+      target = f_.structure().targets[t.panel][t.edge].dst;
+    } else if (t.kind == TaskKind::Subtree) {
+      target = sched_.subtree_groups()->members[t.panel].front();
+    }
+    TimedLock lock(panel_locks_[target], lock_wait);
+    f_.panel_l(target)[0] = T(0);
   }
 
   void record_error() {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/codelets.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/run_stats.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
@@ -35,6 +36,9 @@ struct RealDriverOptions {
   /// perfmodel::ModelRefiner).  Called from worker threads; must be
   /// thread-safe and outlive the run.
   TaskDurationObserver* observer = nullptr;
+  /// Optional fault-injection harness consulted as each task starts (may
+  /// throw, stall, or request pivot corruption).  Must outlive the run.
+  FaultInjector* fault = nullptr;
 };
 
 /// Factorizes `f` in place under `scheduler`; spawns one thread per

@@ -26,6 +26,10 @@ json::Value to_json(const RunStats& stats) {
           json::Value(static_cast<double>(stats.contention.total_pops())));
     v.set("contention", std::move(c));
   }
+  v.set("degraded", json::Value(stats.quality.degraded()));
+  if (stats.quality.threshold > 0 || stats.quality.degraded()) {
+    v.set("quality", to_json(stats.quality));
+  }
   if (!stats.model_error.empty()) {
     json::Value m = json::Value::object();
     m.set("median_panel", json::Value(stats.model_error.median_panel()));

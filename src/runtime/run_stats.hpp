@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/factor_quality.hpp"
 #include "common/types.hpp"
 
 namespace spx::json {
@@ -105,6 +106,8 @@ struct RunStats {
   ContentionStats contention;   ///< lock/idle/steal counters (real driver)
   ModelErrorStats model_error;  ///< cost-model accuracy (real driver, only
                                 ///< when a model is attached)
+  FactorQuality quality;        ///< static-pivot perturbation accounting
+                                ///< (filled by Solver::factorize)
 
   /// Mean per-resource utilization: busy seconds / makespan, in [0, 1].
   double busy_fraction() const {

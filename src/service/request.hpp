@@ -11,6 +11,7 @@
 // or completing twice.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -38,9 +39,15 @@ struct SharedCounters {
   std::atomic<std::uint64_t> solves{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batched_rhs{0};
+  std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> completion_seq{0};
+  /// Terminal outcomes per ErrorCode (indexed by enum value).
+  std::array<std::atomic<std::uint64_t>, kErrorCodeCount> by_code{};
+
+  void count_code(ErrorCode c) { ++by_code[static_cast<std::size_t>(c)]; }
 
   void count_unrun(RequestStatus s) {
+    count_code(code_for_unrun(s));
     switch (s) {
       case RequestStatus::Rejected:
         ++rejected;

@@ -18,6 +18,43 @@ const char* to_string(RequestStatus s) {
   return "?";
 }
 
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::None:
+      return "none";
+    case ErrorCode::NumericalDegraded:
+      return "numerical-degraded";
+    case ErrorCode::NumericalFailed:
+      return "numerical-failed";
+    case ErrorCode::InjectedFault:
+      return "injected-fault";
+    case ErrorCode::OutOfMemory:
+      return "out-of-memory";
+    case ErrorCode::Overloaded:
+      return "overloaded";
+    case ErrorCode::Cancelled:
+      return "cancelled";
+    case ErrorCode::Timeout:
+      return "timeout";
+    case ErrorCode::Internal:
+      return "internal";
+  }
+  return "?";
+}
+
+ErrorCode code_for_unrun(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::Rejected:
+      return ErrorCode::Overloaded;
+    case RequestStatus::Cancelled:
+      return ErrorCode::Cancelled;
+    case RequestStatus::Expired:
+      return ErrorCode::Timeout;
+    default:
+      return ErrorCode::Internal;  // shutdown drain / never-ran failures
+  }
+}
+
 const char* to_string(CacheOutcome c) {
   switch (c) {
     case CacheOutcome::Hit:
@@ -44,6 +81,12 @@ json::Value RequestStats::to_json() const {
     v.set("solve_s", json::Value(solve_s));
     v.set("batched_rhs", json::Value(static_cast<double>(batched_rhs)));
   }
+  v.set("code", json::Value(std::string(to_string(code))));
+  if (attempts > 0) v.set("attempts", json::Value(static_cast<double>(attempts)));
+  if (degraded) {
+    v.set("degraded", json::Value(true));
+    v.set("backward_error", json::Value(backward_error));
+  }
   v.set("completion_seq", json::Value(static_cast<double>(completion_seq)));
   if (run.makespan > 0) v.set("run", spx::to_json(run));
   return v;
@@ -59,6 +102,17 @@ json::Value AnalysisCacheStats::to_json() const {
   return v;
 }
 
+const char* ServiceStats::health() const {
+  const std::uint64_t hard_failures =
+      failed + error_count(ErrorCode::Internal);
+  if (hard_failures > completed) return "failing";
+  if (hard_failures > 0 || error_count(ErrorCode::NumericalDegraded) > 0 ||
+      retries > 0) {
+    return "degraded";
+  }
+  return "ok";
+}
+
 json::Value ServiceStats::to_json() const {
   json::Value v = json::Value::object();
   v.set("submitted", json::Value(static_cast<double>(submitted)));
@@ -71,7 +125,15 @@ json::Value ServiceStats::to_json() const {
   v.set("solves", json::Value(static_cast<double>(solves)));
   v.set("batches", json::Value(static_cast<double>(batches)));
   v.set("batched_rhs", json::Value(static_cast<double>(batched_rhs)));
+  v.set("retries", json::Value(static_cast<double>(retries)));
   v.set("queue_depth", json::Value(static_cast<double>(queue_depth)));
+  json::Value e = json::Value::object();
+  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+    e.set(to_string(static_cast<ErrorCode>(i)),
+          json::Value(static_cast<double>(errors[i])));
+  }
+  v.set("errors", std::move(e));
+  v.set("health", json::Value(std::string(health())));
   v.set("cache", cache.to_json());
   return v;
 }

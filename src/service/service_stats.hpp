@@ -4,6 +4,8 @@
 // stats surface never emits invalid output.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -22,6 +24,28 @@ enum class RequestStatus {
 };
 
 const char* to_string(RequestStatus s);
+
+/// Structured classification of how a request terminated -- the machine-
+/// readable companion of RequestStatus (which only says *that* it failed)
+/// and the key of the per-code counters in ServiceStats.
+enum class ErrorCode {
+  None,               ///< done at full accuracy
+  NumericalDegraded,  ///< done, but pivots were perturbed + refinement ran
+  NumericalFailed,    ///< numerical breakdown (indefinite / zero pivot)
+  InjectedFault,      ///< the fault-injection harness killed the attempt
+  OutOfMemory,        ///< factor allocation failed
+  Overloaded,         ///< rejected at admission (tenant queue full)
+  Cancelled,          ///< cancelled before execution
+  Timeout,            ///< deadline passed while queued
+  Internal            ///< shutdown drain or unexpected exception
+};
+
+inline constexpr std::size_t kErrorCodeCount = 9;
+
+const char* to_string(ErrorCode c);
+
+/// The code a never-executed terminal status maps to.
+ErrorCode code_for_unrun(RequestStatus s);
 
 /// What the analysis cache did for a factorize request.
 enum class CacheOutcome {
@@ -42,6 +66,10 @@ struct RequestStats {
   double solve_s = 0;       ///< triangular solve wall time (whole batch)
   CacheOutcome cache = CacheOutcome::Bypass;
   index_t batched_rhs = 0;  ///< columns in the coalesced solve call
+  ErrorCode code = ErrorCode::None;  ///< structured outcome classification
+  int attempts = 0;         ///< execution attempts (factorize retry loop)
+  bool degraded = false;    ///< static pivoting perturbed this request
+  double backward_error = 0;  ///< residual after refinement (degraded only)
   /// Global completion order (1-based): request k was the k-th to reach a
   /// terminal status.  Lets callers audit fairness across tenants.
   std::uint64_t completion_seq = 0;
@@ -73,8 +101,21 @@ struct ServiceStats {
   std::uint64_t solves = 0;       ///< solve requests completed Done
   std::uint64_t batches = 0;      ///< coalesced solve_multi calls issued
   std::uint64_t batched_rhs = 0;  ///< total RHS columns across batches
+  std::uint64_t retries = 0;      ///< factorize re-attempts issued
   std::size_t queue_depth = 0;    ///< requests currently admitted + waiting
+  /// Terminal outcomes per ErrorCode (indexed by the enum's value); the
+  /// Done-at-full-accuracy slot [None] counts too, so the array sums to
+  /// every terminal request.
+  std::array<std::uint64_t, kErrorCodeCount> errors{};
   AnalysisCacheStats cache;
+
+  std::uint64_t error_count(ErrorCode c) const {
+    return errors[static_cast<std::size_t>(c)];
+  }
+  /// Coarse health from the counters: "ok" (nothing failed), "degraded"
+  /// (some failures/degradations but work still completes), "failing"
+  /// (failures dominate completions).
+  const char* health() const;
 
   json::Value to_json() const;
 };

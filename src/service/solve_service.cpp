@@ -14,9 +14,11 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 
 void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
   counters->count_unrun(status);
+  stats.code = code_for_unrun(status);
   stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
   FactorizeResult r;
   r.status = status;
+  r.code = stats.code;
   r.error = std::move(error);
   r.stats = stats;
   promise.set_value(std::move(r));
@@ -24,9 +26,11 @@ void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
 
 void SolveJob::complete_unrun(RequestStatus status, std::string error) {
   counters->count_unrun(status);
+  stats.code = code_for_unrun(status);
   stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
   SolveResult r;
   r.status = status;
+  r.code = stats.code;
   r.error = std::move(error);
   r.stats = stats;
   promise.set_value(std::move(r));
@@ -145,35 +149,103 @@ void SolveService::worker_loop() {
   }
 }
 
+bool SolveService::spend_retry(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(retry_mutex_);
+  std::uint64_t& spent = retry_spent_[tenant];
+  if (spent >= options_.tenant_retry_budget) return false;
+  ++spent;
+  ++counters_->retries;
+  return true;
+}
+
+void SolveService::factorize_attempt(FactorizeJob& job,
+                                     const SolverOptions& sopts,
+                                     FactorizeResult& res) {
+  RequestStats& st = job.stats;
+  const PatternKey key = PatternKey::of(*job.matrix);
+  std::shared_ptr<const Analysis> analysis = cache_.get_or_compute(
+      key,
+      [&] {
+        Timer ta;
+        Analysis an = spx::analyze(*job.matrix, sopts.analysis);
+        st.analyze_s = ta.elapsed();
+        return an;
+      },
+      &st.cache);
+  auto factor = std::make_shared<Factor>();
+  factor->solver_ = Solver<real_t>(sopts);
+  factor->solver_.adopt_analysis(std::move(analysis), key.digest);
+  Timer tf;
+  factor->solver_.factorize(*job.matrix, job.fkind);
+  st.factorize_s = tf.elapsed();
+  st.run = factor->solver_.last_factorization_stats();
+  const FactorQuality& q = st.run.quality;
+  if (q.degraded() && q.pivot_growth() > options_.max_pivot_growth) {
+    // Perturbation technically succeeded but the factors are too wild for
+    // refinement to repair; classify as numerical failure (retryable: a
+    // larger epsilon shrinks the 1/eps growth).
+    throw NumericalError("pivot growth " + std::to_string(q.pivot_growth()) +
+                         " exceeds the serviceable limit");
+  }
+  st.degraded = q.degraded();
+  res.code = q.degraded() ? ErrorCode::NumericalDegraded : ErrorCode::None;
+  res.factor = std::move(factor);
+}
+
 void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
   FactorizeResult res;
   RequestStats& st = job->stats;
-  try {
-    const PatternKey key = PatternKey::of(*job->matrix);
-    std::shared_ptr<const Analysis> analysis = cache_.get_or_compute(
-        key,
-        [&] {
-          Timer ta;
-          Analysis an = spx::analyze(*job->matrix, options_.solver.analysis);
-          st.analyze_s = ta.elapsed();
-          return an;
-        },
-        &st.cache);
-    auto factor = std::make_shared<Factor>();
-    factor->solver_ = Solver<real_t>(options_.solver);
-    factor->solver_.adopt_analysis(std::move(analysis), key.digest);
-    Timer tf;
-    factor->solver_.factorize(*job->matrix, job->fkind);
-    st.factorize_s = tf.elapsed();
-    st.run = factor->solver_.last_factorization_stats();
-    res.status = RequestStatus::Done;
-    res.factor = std::move(factor);
-    ++counters_->factorizes;
-    ++counters_->completed;
-  } catch (const std::exception& e) {
+  SolverOptions sopts = options_.solver;
+  const int max_attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    st.attempts = attempt;
+    ErrorCode code;
+    std::string error;
+    try {
+      factorize_attempt(*job, sopts, res);
+      res.status = RequestStatus::Done;
+      st.code = res.code;
+      ++counters_->factorizes;
+      ++counters_->completed;
+      counters_->count_code(res.code);
+      break;
+    } catch (const InjectedFault& e) {
+      code = ErrorCode::InjectedFault;
+      error = e.what();
+    } catch (const NumericalError& e) {
+      code = ErrorCode::NumericalFailed;
+      error = e.what();
+    } catch (const std::bad_alloc&) {
+      code = ErrorCode::OutOfMemory;
+      error = "factor allocation failed";
+    } catch (const std::exception& e) {
+      code = ErrorCode::Internal;
+      error = e.what();
+    }
+    // Retry transient-or-absorbable failures with escalating epsilon and
+    // exponential backoff, within the tenant's retry budget.
+    const bool retryable = code == ErrorCode::NumericalFailed ||
+                           code == ErrorCode::InjectedFault ||
+                           code == ErrorCode::OutOfMemory;
+    if (retryable && attempt < max_attempts && spend_retry(job->tenant)) {
+      if (code == ErrorCode::NumericalFailed) {
+        sopts.pivot_threshold =
+            (sopts.pivot_threshold > 0 ? sopts.pivot_threshold : 1e-12) *
+            options_.eps_escalation;
+      }
+      if (options_.retry_backoff_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options_.retry_backoff_s * static_cast<double>(1 << (attempt - 1))));
+      }
+      continue;
+    }
     res.status = RequestStatus::Failed;
-    res.error = e.what();
+    res.code = code;
+    res.error = std::move(error);
+    st.code = code;
     ++counters_->failed;
+    counters_->count_code(code);
+    break;
   }
   st.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
   res.stats = st;
@@ -236,30 +308,46 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
       std::copy(runnable[c]->rhs.begin(), runnable[c]->rhs.end(),
                 block.begin() + static_cast<std::size_t>(c) * n);
     }
-    factor.solver_.solve_multi(block, k);
+    const SolveReport report = factor.solver_.solve_multi(block, k);
     const double solve_s = ts.elapsed();
+    const ErrorCode code = report.degraded ? ErrorCode::NumericalDegraded
+                                           : ErrorCode::None;
     ++counters_->batches;
     counters_->batched_rhs += static_cast<std::uint64_t>(k);
     for (index_t c = 0; c < k; ++c) {
       SolveJob& job = *runnable[c];
       SolveResult r;
       r.status = RequestStatus::Done;
+      r.code = code;
       const auto* col = block.data() + static_cast<std::size_t>(c) * n;
       r.x.assign(col, col + n);
       job.stats.solve_s = solve_s;
       job.stats.batched_rhs = k;
+      job.stats.code = code;
+      job.stats.degraded = report.degraded;
+      job.stats.backward_error = report.backward_error;
       ++counters_->solves;
       ++counters_->completed;
+      counters_->count_code(code);
       job.stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
       r.stats = job.stats;
       job.promise.set_value(std::move(r));
     }
   } catch (const std::exception& e) {
+    ErrorCode code = ErrorCode::Internal;
+    if (dynamic_cast<const InjectedFault*>(&e) != nullptr) {
+      code = ErrorCode::InjectedFault;
+    } else if (dynamic_cast<const NumericalError*>(&e) != nullptr) {
+      code = ErrorCode::NumericalFailed;
+    }
     for (const std::shared_ptr<SolveJob>& job : runnable) {
       SolveResult r;
       r.status = RequestStatus::Failed;
+      r.code = code;
       r.error = e.what();
       ++counters_->failed;
+      counters_->count_code(code);
+      job->stats.code = code;
       job->stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
       r.stats = job->stats;
       job->promise.set_value(std::move(r));
@@ -279,6 +367,10 @@ ServiceStats SolveService::stats() const {
   s.solves = counters_->solves.load();
   s.batches = counters_->batches.load();
   s.batched_rhs = counters_->batched_rhs.load();
+  s.retries = counters_->retries.load();
+  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+    s.errors[i] = counters_->by_code[i].load();
+  }
   s.queue_depth = queue_.depth();
   s.cache = cache_.stats();
   return s;

@@ -24,6 +24,7 @@
 
 #include <future>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -52,6 +53,22 @@ struct ServiceOptions {
   /// thread pools.  Configure Native/Starpu/Parsec + num_threads for
   /// few-large-requests workloads.
   SolverOptions solver;
+  /// Total factorize attempts per request (1 disables retries).  Only
+  /// transient-or-absorbable failures retry: numerical breakdown (with an
+  /// escalated pivot threshold), injected faults, allocation failure.
+  int max_attempts = 3;
+  /// Backoff before attempt k is retry_backoff_s * 2^(k-2) seconds.
+  double retry_backoff_s = 0.01;
+  /// Each retry multiplies the solver's pivot_threshold by this, widening
+  /// the static-perturbation net until the factorization survives.
+  double eps_escalation = 16.0;
+  /// Per-tenant budget of retry attempts (summed over all its requests);
+  /// an exhausted budget fails fast, so one tenant's pathological inputs
+  /// cannot monopolize workers with retry storms.
+  std::uint64_t tenant_retry_budget = 64;
+  /// A degraded factorization whose pivot growth exceeds this is treated
+  /// as numerical failure (refinement cannot repair it) and retried.
+  double max_pivot_growth = 1e10;
 
   ServiceOptions() { solver.runtime = RuntimeKind::Sequential; }
 };
@@ -79,20 +96,25 @@ using FactorHandle = std::shared_ptr<Factor>;
 
 struct FactorizeResult {
   RequestStatus status = RequestStatus::Failed;
+  ErrorCode code = ErrorCode::Internal;  ///< structured outcome
   std::string error;
   FactorHandle factor;  ///< non-null iff status == Done
   RequestStats stats;
 
   bool ok() const { return status == RequestStatus::Done; }
+  /// Done, but via perturbed pivots (solves auto-refine and report).
+  bool degraded() const { return code == ErrorCode::NumericalDegraded; }
 };
 
 struct SolveResult {
   RequestStatus status = RequestStatus::Failed;
+  ErrorCode code = ErrorCode::Internal;  ///< structured outcome
   std::string error;
   std::vector<real_t> x;  ///< solution; empty unless status == Done
   RequestStats stats;
 
   bool ok() const { return status == RequestStatus::Done; }
+  bool degraded() const { return code == ErrorCode::NumericalDegraded; }
 };
 
 struct FactorizeJob : JobBase {
@@ -189,12 +211,19 @@ class SolveService {
   void worker_loop();
   void run_factorize(const std::shared_ptr<FactorizeJob>& job);
   void run_solve_batch(const std::shared_ptr<SolveJob>& first);
+  /// One factorize attempt; throws on failure.  Fills stats/result.
+  void factorize_attempt(FactorizeJob& job, const SolverOptions& sopts,
+                         FactorizeResult& res);
+  /// Consumes one unit of `tenant`'s retry budget; false when exhausted.
+  bool spend_retry(const std::string& tenant);
 
   ServiceOptions options_;
   AnalysisCache cache_;
   AdmissionQueue queue_;
   std::shared_ptr<SharedCounters> counters_;
   std::atomic<std::uint64_t> next_id_{1};
+  std::mutex retry_mutex_;
+  std::unordered_map<std::string, std::uint64_t> retry_spent_;
   std::vector<std::thread> workers_;
 };
 
