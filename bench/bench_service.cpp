@@ -29,7 +29,10 @@
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "mat/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault_injection.hpp"
+#include "service/options_builder.hpp"
 #include "service/solve_service.hpp"
 
 using namespace spx;
@@ -116,16 +119,165 @@ LoadStats run_clients(SolveService& svc,
   return total;
 }
 
+int reconcile_failures = 0;
+
+void reconcile(const char* what, double prom, std::uint64_t legacy) {
+  if (prom == static_cast<double>(legacy)) return;
+  std::fprintf(stderr, "  metrics mismatch: %s prom=%g legacy=%llu\n", what,
+               prom, static_cast<unsigned long long>(legacy));
+  ++reconcile_failures;
+}
+
+/// `bench_service --metrics`: the observability acceptance gate.
+/// Runs an instrumented workload against a private registry + tracer,
+/// proves the Prometheus scrape reconciles EXACTLY with the legacy
+/// ServiceStats/RunStats counters, prints the snapshot, and measures the
+/// full-trace makespan overhead against an obs-disabled pass.
+int run_metrics_gate(const std::shared_ptr<const CscMatrix<real_t>>& a,
+                     int workers, int requests) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  OptionsBuilder b;
+  b.metrics(&registry)
+      .tracer(&tracer)
+      .runtime(RuntimeKind::Native)  // populate per-task counters/spans
+      .threads(2)
+      .workers(workers)
+      .queue_capacity(4096)
+      .cache_bytes(256ull << 20);
+
+  std::printf("--- metrics: Prometheus scrape vs legacy stats ---\n");
+  {
+    SolveService svc(b.service_options());
+    const FactorizeResult fr = svc.factorize("metrics", a,
+                                             Factorization::LLT);
+    if (!fr.ok()) {
+      std::fprintf(stderr, "metrics warmup factorize failed: %s\n",
+                   fr.error.c_str());
+      return 1;
+    }
+    // RunStats reconciliation: after exactly one factorize, the driver's
+    // per-task counters must equal that run's legacy task counts.
+    double tasks_prom = 0;
+    for (const auto& fam : registry.snapshot()) {
+      if (fam.name != "spx_tasks_executed_total") continue;
+      for (const auto& s : fam.series) tasks_prom += s.value;
+    }
+    reconcile("spx_tasks_executed_total vs RunStats tasks", tasks_prom,
+              static_cast<std::uint64_t>(fr.stats.run.tasks_cpu +
+                                         fr.stats.run.tasks_gpu));
+
+    const LoadStats load = run_clients(svc, a, workers, requests);
+    (void)load;
+    const service::ServiceStats st = svc.stats();
+    reconcile("spx_service_submitted_total",
+              registry.value("spx_service_submitted_total"), st.submitted);
+    reconcile("spx_service_completed_total",
+              registry.value("spx_service_completed_total"), st.completed);
+    reconcile("spx_service_failed_total",
+              registry.value("spx_service_failed_total"), st.failed);
+    reconcile("spx_service_rejected_total",
+              registry.value("spx_service_rejected_total"), st.rejected);
+    reconcile("spx_service_cancelled_total",
+              registry.value("spx_service_cancelled_total"), st.cancelled);
+    reconcile("spx_service_expired_total",
+              registry.value("spx_service_expired_total"), st.expired);
+    reconcile("spx_service_factorizes_total",
+              registry.value("spx_service_factorizes_total"), st.factorizes);
+    reconcile("spx_service_solves_total",
+              registry.value("spx_service_solves_total"), st.solves);
+    reconcile("spx_service_batches_total",
+              registry.value("spx_service_batches_total"), st.batches);
+    reconcile("spx_service_batched_rhs_total",
+              registry.value("spx_service_batched_rhs_total"),
+              st.batched_rhs);
+    reconcile("spx_service_retries_total",
+              registry.value("spx_service_retries_total"), st.retries);
+    reconcile("spx_admission_queue_depth",
+              registry.value("spx_admission_queue_depth"), st.queue_depth);
+    for (std::size_t i = 0; i < service::kErrorCodeCount; ++i) {
+      const char* code = to_string(static_cast<service::ErrorCode>(i));
+      reconcile(code,
+                registry.value("spx_service_errors_total",
+                               {{"code", code}}),
+                st.errors[i]);
+    }
+    reconcile("spx_analysis_cache_hits_total",
+              registry.value("spx_analysis_cache_hits_total"),
+              st.cache.hits);
+    reconcile("spx_analysis_cache_misses_total",
+              registry.value("spx_analysis_cache_misses_total"),
+              st.cache.misses);
+    reconcile("spx_analysis_cache_evictions_total",
+              registry.value("spx_analysis_cache_evictions_total"),
+              st.cache.evictions);
+    if (reconcile_failures > 0) {
+      std::fprintf(stderr,
+                   "metrics gate FAILED: %d series diverge from the legacy "
+                   "stats\n",
+                   reconcile_failures);
+      return 1;
+    }
+    std::printf("  every scraped series reconciles with ServiceStats/"
+                "RunStats (%llu spans traced)\n\n",
+                static_cast<unsigned long long>(tracer.total_recorded()));
+    std::fputs(obs::prometheus_text(registry).c_str(), stdout);
+  }
+
+  // ---- full-trace overhead vs obs disabled ------------------------------
+  // Same factorize rounds through the SPX_OBS seam switched on (registry +
+  // tracer live) and off; the acceptance gate is < 5% makespan overhead.
+  std::printf("\n--- metrics: full-trace overhead ---\n");
+  const int rounds = std::max(4, requests / 2);
+  double wall_on = 0, wall_off = 0;
+  for (const bool on : {true, false}) {
+    obs::MetricsRegistry reg;
+    obs::Tracer tr;
+    OptionsBuilder ob;
+    ob.metrics(&reg).tracer(&tr).runtime(RuntimeKind::Native).threads(2)
+        .workers(workers).queue_capacity(4096).cache_bytes(256ull << 20);
+    SolveService svc(ob.service_options());
+    (void)svc.factorize("overhead", a, Factorization::LLT);  // warm cache
+    obs::set_enabled(on);
+    Timer wall;
+    for (int i = 0; i < rounds; ++i) {
+      const FactorizeResult fr =
+          svc.factorize("overhead", a, Factorization::LLT);
+      if (!fr.ok()) {
+        obs::set_enabled(true);
+        std::fprintf(stderr, "overhead factorize failed: %s\n",
+                     fr.error.c_str());
+        return 1;
+      }
+    }
+    (on ? wall_on : wall_off) = wall.elapsed();
+    obs::set_enabled(true);
+  }
+  const double overhead =
+      wall_off > 0 ? (wall_on - wall_off) / wall_off : 0.0;
+  std::printf("  %d rounds: traced %.1fms, disabled %.1fms -> overhead "
+              "%+.1f%% %s\n",
+              rounds, wall_on * 1e3, wall_off * 1e3, overhead * 100.0,
+              overhead < 0.05 ? "(< 5% gate: PASS)"
+                              : "(>= 5% on this run/host)");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool smoke = cli.get_flag("smoke");
+  const bool metrics = cli.get_flag("metrics");
   const auto nx = static_cast<index_t>(cli.get_int("nx", smoke ? 24 : 56));
   const int workers = static_cast<int>(cli.get_int("workers", 4));
   const int requests =
       static_cast<int>(cli.get_int("requests", smoke ? 8 : 40));
   cli.check_unknown();
+
+  if (metrics) {
+    return run_metrics_gate(make_matrix(nx), workers, requests);
+  }
 
   const auto a = make_matrix(nx);
   std::printf("service bench: %dx%d grid (n=%d), %d workers, "
@@ -241,7 +393,7 @@ int main(int argc, char** argv) {
     // Task faults fire in the threaded driver, not the sequential path.
     opts.solver.runtime = RuntimeKind::Native;
     opts.solver.num_threads = 2;
-    opts.solver.fault = &fault;
+    opts.solver.instr.fault = &fault;
     opts.retry_backoff_s = 0.001;
     SolveService svc(opts);
     (void)svc.factorize("faulty", a, Factorization::LLT);  // warm the cache

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
     ParsecScheduler sched(table, machine, costs);
     TraceRecorder trace;
     RealDriverOptions dopts;
-    dopts.trace = &trace;
+    dopts.instr.trace = &trace;
     execute_real(sched, machine, f, dopts);
     trace.write_chrome_json_file(trace_path);
     std::printf("\nwrote %zu task events to %s (open in chrome://tracing)\n",

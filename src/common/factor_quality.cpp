@@ -1,24 +1,17 @@
 #include "common/factor_quality.hpp"
 
-#include "common/json.hpp"
-
 namespace spx {
 
-json::Value to_json(const FactorQuality& q) {
-  json::Value v = json::Value::object();
-  v.set("degraded", json::Value(q.degraded()));
-  v.set("perturbed_pivots",
-        json::Value(static_cast<double>(q.perturbed_pivots)));
-  json::Value cols = json::Value::array();
-  for (const index_t c : q.perturbed_columns) {
-    cols.push_back(json::Value(static_cast<double>(c)));
-  }
-  v.set("perturbed_columns", std::move(cols));
-  v.set("pivot_growth", json::Value(q.pivot_growth()));
-  v.set("anorm", json::Value(q.anorm));
-  v.set("threshold", json::Value(q.threshold));
-  v.set("indefinite", json::Value(q.indefinite));
-  return v;
+void FactorQuality::export_json(obs::JsonWriter& w) const {
+  w.field("degraded", degraded())
+      .field("perturbed_pivots", perturbed_pivots)
+      .number_array("perturbed_columns", perturbed_columns)
+      .field("pivot_growth", pivot_growth())
+      .field("anorm", anorm)
+      .field("threshold", threshold)
+      .field("indefinite", indefinite);
 }
+
+json::Value to_json(const FactorQuality& q) { return obs::to_json(q); }
 
 }  // namespace spx

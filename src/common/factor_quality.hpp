@@ -14,14 +14,11 @@
 #include <vector>
 
 #include "common/types.hpp"
-
-namespace spx::json {
-class Value;
-}  // namespace spx::json
+#include "obs/export.hpp"
 
 namespace spx {
 
-struct FactorQuality {
+struct FactorQuality : obs::Exportable {
   /// Columns whose perturbed location is recorded verbatim; beyond this
   /// only the count grows (keeps the record O(1) for mass breakdowns).
   static constexpr std::size_t kMaxRecordedColumns = 64;
@@ -67,11 +64,14 @@ struct FactorQuality {
     if (o.max_pivot > max_pivot) max_pivot = o.max_pivot;
     indefinite = indefinite || o.indefinite;
   }
+
+  /// JSON schema: the degraded flag, perturbation count/locations, pivot
+  /// growth and the norm/threshold pair (stable keys; see the JsonSchema
+  /// golden-key test).
+  void export_json(obs::JsonWriter& w) const override;
 };
 
-/// JSON object with the degraded flag, perturbation count/locations,
-/// pivot growth and the norm/threshold pair (stable keys; see the
-/// JsonSchema golden-key test).
+/// Compatibility shim over the obs::Exportable path (same keys).
 json::Value to_json(const FactorQuality& q);
 
 }  // namespace spx

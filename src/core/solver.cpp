@@ -51,11 +51,34 @@ void Solver<T>::load_perf_model() {
 }
 
 template <typename T>
+FaultInjector* Solver<T>::effective_fault() const {
+  SPX_SUPPRESS_DEPRECATED_BEGIN
+  return options_.instr.fault != nullptr ? options_.instr.fault
+                                         : options_.fault;
+  SPX_SUPPRESS_DEPRECATED_END
+}
+
+template <typename T>
 void Solver<T>::analyze(const CscMatrix<T>& a) {
+  obs::ScopedSpan span;
+  SPX_OBS(span = obs::ScopedSpan(options_.instr.tracer, "solver.analyze",
+                                 "service-", options_.instr.parent));
+  Timer wall;
   analysis_ =
       std::make_shared<const Analysis>(spx::analyze(a, options_.analysis));
   pattern_digest_ = spx::pattern_digest(a);
   factors_.reset();  // stale factors belong to the previous analysis
+  SPX_OBS({
+    obs::MetricsRegistry& reg =
+        obs::registry_or_global(options_.instr.metrics);
+    reg.counter("spx_solver_analyzes_total",
+                "Symbolic analyses (ordering + symbolic factorization)")
+        .inc();
+    reg.histogram("spx_solver_analyze_seconds",
+                  obs::Histogram::duration_bounds(),
+                  "Symbolic analysis wall time")
+        .observe(wall.elapsed());
+  });
 }
 
 template <typename T>
@@ -86,6 +109,10 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
                   "complex matrices use LDLT (symmetric) or LU");
   }
   kind_ = kind;
+  obs::ScopedSpan span;
+  SPX_OBS(span = obs::ScopedSpan(options_.instr.tracer, "solver.factorize",
+                                 "service-", options_.instr.parent));
+  Timer wall;
   // Any failure below must leave the solver "analyzed, not factorized":
   // drop stale factors first (they belong to the previous values), then
   // roll back in the catch so factorize() can simply be retried.
@@ -93,7 +120,7 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
   refine_matrix_.reset();
   const CscMatrix<T> ap = permute_symmetric(a, analysis_->perm);
   factors_ = std::make_unique<FactorData<T>>(analysis_->structure, kind,
-                                             options_.fault);
+                                             effective_fault());
   factors_->initialize(ap);
   // Static-pivot floor, scaled by ||A|| = max |a_ij| of the input.
   double anorm = 0.0;
@@ -105,10 +132,15 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
       anorm);
 
   try {
-    factorize_numeric();
+    factorize_numeric(span.context());
   } catch (...) {
     stats_.quality = factors_->quality();  // keep the post-mortem record
     factors_.reset();
+    SPX_OBS(obs::registry_or_global(options_.instr.metrics)
+                .counter("spx_solver_factorize_failures_total",
+                         "Factorizations that threw",
+                         {{"runtime", to_string(options_.runtime)}})
+                .inc());
     throw;
   }
   stats_.quality = factors_->quality();
@@ -119,10 +151,28 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
   }
   stats_.gflops = analysis_->structure.total_flops(kind) /
                   std::max(1e-12, stats_.makespan) / 1e9;
+  SPX_OBS({
+    obs::MetricsRegistry& reg =
+        obs::registry_or_global(options_.instr.metrics);
+    reg.counter("spx_solver_factorizes_total",
+                "Completed numeric factorizations",
+                {{"runtime", to_string(options_.runtime)}})
+        .inc();
+    reg.histogram("spx_solver_factorize_seconds",
+                  obs::Histogram::duration_bounds(),
+                  "Numeric factorization wall time",
+                  {{"runtime", to_string(options_.runtime)}})
+        .observe(wall.elapsed());
+    if (stats_.quality.degraded()) {
+      reg.counter("spx_solver_degraded_factorizes_total",
+                  "Factorizations completed with perturbed pivots")
+          .inc();
+    }
+  });
 }
 
 template <typename T>
-void Solver<T>::factorize_numeric() {
+void Solver<T>::factorize_numeric(obs::SpanContext parent) {
   const Factorization kind = kind_;
   Timer wall;
   if (options_.runtime == RuntimeKind::Sequential) {
@@ -139,7 +189,11 @@ void Solver<T>::factorize_numeric() {
     TaskTable table(analysis_->structure, kind);
     RealDriverOptions dopts;
     dopts.cpu_variant = options_.cpu_variant;
-    dopts.fault = options_.fault;
+    // Inherit the instrumentation layer; driver spans (driver.run and the
+    // per-task spans) parent under this factorize's span.
+    dopts.instr = options_.instr;
+    dopts.instr.parent = parent.valid() ? parent : options_.instr.parent;
+    dopts.instr.fault = effective_fault();
     // Cost oracle: calibrated model when configured and loadable, flop
     // proportionality otherwise.  The calibrated path also attaches the
     // model-error probe and (optionally) the online-refinement observer.
@@ -231,19 +285,37 @@ SolveReport Solver<T>::refine_degraded(std::span<T> x,
 }
 
 template <typename T>
+void Solver<T>::note_solve_metrics(index_t nrhs,
+                                   const SolveReport& report) const {
+  obs::MetricsRegistry& reg = obs::registry_or_global(options_.instr.metrics);
+  reg.counter("spx_solver_solves_total", "Triangular solves (RHS columns)")
+      .inc(static_cast<double>(nrhs));
+  if (report.refine_iterations > 0) {
+    reg.counter("spx_solver_refine_iterations_total",
+                "Post-solve iterative-refinement sweeps")
+        .inc(report.refine_iterations);
+  }
+}
+
+template <typename T>
 SolveReport Solver<T>::solve(std::span<T> b) const {
   SPX_CHECK_ARG(factorized(),
                 "solve() without factors: factorize() has not run since "
                 "the last analyze()");
   SPX_CHECK_ARG(static_cast<index_t>(b.size()) == analysis_->perm.size(),
                 "rhs size mismatch");
+  obs::ScopedSpan span;
+  SPX_OBS(span = obs::ScopedSpan(options_.instr.tracer, "solver.solve",
+                                 "service-", options_.instr.parent, 0, 1));
   const bool degraded =
       stats_.quality.degraded() && refine_matrix_ != nullptr;
   std::vector<T> b0;
   if (degraded) b0.assign(b.begin(), b.end());
   direct_solve(b);
-  if (!degraded) return {};
-  return refine_degraded(b, b0);
+  SolveReport report;
+  if (degraded) report = refine_degraded(b, b0);
+  SPX_OBS(note_solve_metrics(1, report));
+  return report;
 }
 
 template <typename T>
@@ -254,6 +326,10 @@ SolveReport Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
   const index_t n = analysis_->perm.size();
   SPX_CHECK_ARG(static_cast<index_t>(b.size()) == n * nrhs,
                 "rhs block size mismatch");
+  obs::ScopedSpan span;
+  SPX_OBS(span = obs::ScopedSpan(options_.instr.tracer, "solver.solve",
+                                 "service-", options_.instr.parent, 0,
+                                 nrhs));
   const bool degraded =
       stats_.quality.degraded() && refine_matrix_ != nullptr;
   std::vector<T> b0;
@@ -270,7 +346,10 @@ SolveReport Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
                         std::span<const T>(pb.data() + std::size_t(c) * n, n),
                         std::span<T>(b.data() + std::size_t(c) * n, n));
   }
-  if (!degraded) return {};
+  if (!degraded) {
+    SPX_OBS(note_solve_metrics(nrhs, {}));
+    return {};
+  }
   // Refine column by column; report the worst column's figures.
   SolveReport worst;
   worst.degraded = true;
@@ -282,6 +361,7 @@ SolveReport Solver<T>::solve_multi(std::span<T> b, index_t nrhs) const {
         std::max(worst.refine_iterations, r.refine_iterations);
     worst.backward_error = std::max(worst.backward_error, r.backward_error);
   }
+  SPX_OBS(note_solve_metrics(nrhs, worst));
   return worst;
 }
 

@@ -26,6 +26,8 @@
 #include "core/codelets.hpp"
 #include "core/factor_data.hpp"
 #include "core/solve.hpp"
+#include "obs/obs.hpp"
+#include "obs/options.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/parsec_scheduler.hpp"
 #include "runtime/run_stats.hpp"
@@ -77,9 +79,15 @@ struct SolverOptions {
   double refine_tolerance = 1e-12;
   /// Iteration cap of the automatic refinement.
   int refine_max_iter = 20;
-  /// Optional fault-injection harness (tests/benchmarks): passed to the
-  /// real driver for task faults and to FactorData as AllocationHook.
-  FaultInjector* fault = nullptr;
+  /// Instrumentation layer (metrics registry, span tracer + parent
+  /// context, legacy chrome trace, fault harness), inherited by the real
+  /// driver on every factorize().  The fault harness is also passed to
+  /// FactorData as AllocationHook.  Set once -- e.g. via OptionsBuilder
+  /// (service/options_builder.hpp) -- instead of per layer.
+  obs::InstrumentationOptions instr;
+  /// Deprecated alias of `instr.fault`.  Honored when `instr.fault` is
+  /// unset.
+  [[deprecated("set instr.fault instead")]] FaultInjector* fault = nullptr;
 };
 
 /// What a solve did beyond plain substitution.  `degraded` mirrors the
@@ -164,8 +172,13 @@ class Solver {
 
  private:
   void load_perf_model();
-  /// Runs the scheduler/driver (or the sequential loop) on factors_.
-  void factorize_numeric();
+  /// The fault harness in effect: instr.fault, or the deprecated alias.
+  FaultInjector* effective_fault() const;
+  /// Runs the scheduler/driver (or the sequential loop) on factors_,
+  /// parenting driver spans under `parent` (the factorize span).
+  void factorize_numeric(obs::SpanContext parent);
+  /// Registry bumps shared by solve()/solve_multi().
+  void note_solve_metrics(index_t nrhs, const SolveReport& report) const;
   /// Plain substitution (no refinement) on a permuted-consistent rhs.
   void direct_solve(std::span<T> b) const;
   /// Refinement loop of the degraded path: improves x against

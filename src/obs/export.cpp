@@ -1,0 +1,232 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <ios>
+#include <ostream>
+#include <sstream>
+
+namespace spx::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::object(std::string key, const Exportable& e) {
+  JsonWriter nested;
+  e.export_json(nested);
+  return field(std::move(key), std::move(nested).take());
+}
+
+json::Value to_json(const Exportable& e) {
+  JsonWriter w;
+  e.export_json(w);
+  return std::move(w).take();
+}
+
+namespace {
+
+// Shortest faithful decimal: integers print bare (the common counter
+// case), everything else round-trips via %.17g -- the same policy as
+// common/json.cpp, so Prometheus and JSON exports agree on values.
+std::string format_number(double d) {
+  char buf[40];
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      d < 1e15 && d > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  return buf;
+}
+
+// Prometheus label values escape backslash, double quote, and newline.
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+// `{k="v",...}` with an optional extra label (histograms' `le`); empty
+// string when there are no labels at all.
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + prom_escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + prom_escape(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
+  for (const MetricsRegistry::FamilySnapshot& f : registry.snapshot()) {
+    if (!f.help.empty()) {
+      out << "# HELP " << f.name << " " << f.help << "\n";
+    }
+    out << "# TYPE " << f.name << " " << to_string(f.type) << "\n";
+    for (const MetricsRegistry::SeriesSnapshot& s : f.series) {
+      if (f.type != MetricType::Histogram) {
+        out << f.name << label_block(s.labels) << " "
+            << format_number(s.value) << "\n";
+        continue;
+      }
+      for (std::size_t i = 0; i < s.hist.cumulative.size(); ++i) {
+        const std::string le = i < f.bounds.size()
+                                   ? format_number(f.bounds[i])
+                                   : std::string("+Inf");
+        out << f.name << "_bucket" << label_block(s.labels, "le", le) << " "
+            << s.hist.cumulative[i] << "\n";
+      }
+      out << f.name << "_sum" << label_block(s.labels) << " "
+          << format_number(s.hist.sum) << "\n";
+      out << f.name << "_count" << label_block(s.labels) << " "
+          << s.hist.count << "\n";
+    }
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(registry, out);
+  return out.str();
+}
+
+json::Value metrics_to_json(const MetricsRegistry& registry) {
+  json::Value root = json::Value::object();
+  for (const MetricsRegistry::FamilySnapshot& f : registry.snapshot()) {
+    json::Value fam = json::Value::object();
+    fam.set("type", json::Value(std::string(to_string(f.type))));
+    if (!f.help.empty()) fam.set("help", json::Value(f.help));
+    json::Value series = json::Value::array();
+    for (const MetricsRegistry::SeriesSnapshot& s : f.series) {
+      json::Value one = json::Value::object();
+      if (!s.labels.empty()) {
+        json::Value labels = json::Value::object();
+        for (const auto& [k, v] : s.labels) {
+          labels.set(k, json::Value(v));
+        }
+        one.set("labels", std::move(labels));
+      }
+      if (f.type == MetricType::Histogram) {
+        json::Value buckets = json::Value::array();
+        for (const std::uint64_t c : s.hist.cumulative) {
+          buckets.push_back(json::Value(static_cast<double>(c)));
+        }
+        one.set("buckets", std::move(buckets));
+        one.set("count", json::Value(static_cast<double>(s.hist.count)));
+        one.set("sum", json::Value(s.hist.sum));
+      } else {
+        one.set("value", json::Value(s.value));
+      }
+      series.push_back(std::move(one));
+    }
+    fam.set("series", std::move(series));
+    root.set(f.name, std::move(fam));
+  }
+  return root;
+}
+
+void write_chrome_trace(const std::vector<SpanRecord>& spans,
+                        std::ostream& out) {
+  // Fixed-point microseconds with three decimals (nanosecond resolution):
+  // the default 6-significant-digit float formatting rounds ts to whole
+  // milliseconds once a run passes the one-second mark.
+  const std::ios_base::fmtflags flags = out.flags();
+  const std::streamsize precision = out.precision();
+  out << std::fixed << std::setprecision(3);
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string name = s.name;
+    if (s.arg0 >= 0) name += " p" + std::to_string(s.arg0);
+    if (s.arg1 >= 0) name += " e" + std::to_string(s.arg1);
+    const std::string tid = s.track + std::to_string(s.resource);
+    out << "  {\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+        << json_escape(s.name) << "\", \"ph\": \"X\", \"pid\": 0, "
+        << "\"tid\": \"" << json_escape(tid) << "\", \"ts\": " << s.start * 1e6
+        << ", \"dur\": " << (s.end - s.start) * 1e6 << "}";
+  }
+  out << "\n]}\n";
+  out.flags(flags);
+  out.precision(precision);
+}
+
+json::Value spans_to_json(const std::vector<SpanRecord>& spans) {
+  json::Value arr = json::Value::array();
+  for (const SpanRecord& s : spans) {
+    json::Value one = json::Value::object();
+    one.set("trace", json::Value(static_cast<double>(s.trace_id)));
+    one.set("span", json::Value(static_cast<double>(s.span_id)));
+    if (s.parent_id != 0) {
+      one.set("parent", json::Value(static_cast<double>(s.parent_id)));
+    }
+    one.set("name", json::Value(std::string(s.name)));
+    one.set("track", json::Value(s.track + std::to_string(s.resource)));
+    if (s.arg0 >= 0) one.set("arg0", json::Value(double(s.arg0)));
+    if (s.arg1 >= 0) one.set("arg1", json::Value(double(s.arg1)));
+    one.set("start_s", json::Value(s.start));
+    one.set("end_s", json::Value(s.end));
+    arr.push_back(std::move(one));
+  }
+  return arr;
+}
+
+}  // namespace spx::obs

@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spx::obs {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    SPX_CHECK_ARG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly ascending");
+  }
+  const std::size_t n = bounds_.size() + 1;  // + the +Inf bucket
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) s.counts[i].store(0);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  const std::size_t n = bounds_.size() + 1;
+  std::vector<std::uint64_t> per_bucket(n, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      per_bucket[i] += s.counts[i].load(std::memory_order_relaxed);
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  out.cumulative.resize(n);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += per_bucket[i];
+    out.cumulative[i] = running;
+  }
+  out.count = running;
+  return out;
+}
+
+std::vector<double> Histogram::duration_bounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+          30.0, 100.0};
+}
+
+const char* to_string(MetricType t) {
+  switch (t) {
+    case MetricType::Counter:
+      return "counter";
+    case MetricType::Gauge:
+      return "gauge";
+    case MetricType::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+// One (labels -> metric) instance inside a family.  Exactly one of the
+// three pointers is set, matching the family's type.
+struct MetricsRegistry::Series {
+  Labels labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::Counter;
+  std::vector<double> bounds;  ///< histogram families only
+  std::vector<std::unique_ptr<Series>> series;
+
+  Series& find_or_add(Labels labels) {
+    for (const auto& s : series) {
+      if (s->labels == labels) return *s;
+    }
+    series.push_back(std::make_unique<Series>());
+    series.back()->labels = std::move(labels);
+    return *series.back();
+  }
+};
+
+// Out of line so TUs that only see the header can construct and destroy
+// a registry (Family is an incomplete type there).
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
+                                                 MetricType type,
+                                                 std::string_view help) {
+  for (const auto& f : families_) {
+    if (f->name == name) {
+      SPX_CHECK_ARG(f->type == type,
+                    "metric '" + std::string(name) +
+                        "' already registered as a different type");
+      return *f;
+    }
+  }
+  families_.push_back(std::make_unique<Family>());
+  Family& f = *families_.back();
+  f.name = std::string(name);
+  f.help = std::string(help);
+  f.type = type;
+  return f;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = family(name, MetricType::Counter, help)
+                  .find_or_add(sorted(std::move(labels)));
+  if (s.counter == nullptr) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = family(name, MetricType::Gauge, help)
+                  .find_or_add(sorted(std::move(labels)));
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& f = family(name, MetricType::Histogram, help);
+  if (f.series.empty()) {
+    f.bounds = bounds;
+  } else {
+    SPX_CHECK_ARG(f.bounds == bounds,
+                  "histogram '" + std::string(name) +
+                      "' re-registered with different bounds");
+  }
+  Series& s = f.find_or_add(sorted(std::move(labels)));
+  if (s.histogram == nullptr) {
+    s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *s.histogram;
+}
+
+std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& f : families_) {
+    FamilySnapshot fs;
+    fs.name = f->name;
+    fs.help = f->help;
+    fs.type = f->type;
+    fs.bounds = f->bounds;
+    for (const auto& s : f->series) {
+      SeriesSnapshot ss;
+      ss.labels = s->labels;
+      switch (f->type) {
+        case MetricType::Counter:
+          ss.value = s->counter->value();
+          break;
+        case MetricType::Gauge:
+          ss.value = s->gauge->value();
+          break;
+        case MetricType::Histogram:
+          ss.hist = s->histogram->snapshot();
+          ss.value = ss.hist.sum;
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+double MetricsRegistry::value(std::string_view name,
+                              const Labels& labels) const {
+  const Labels want = sorted(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& f : families_) {
+    if (f->name != name) continue;
+    for (const auto& s : f->series) {
+      if (s->labels != want) continue;
+      switch (f->type) {
+        case MetricType::Counter:
+          return s->counter->value();
+        case MetricType::Gauge:
+          return s->gauge->value();
+        case MetricType::Histogram:
+          return static_cast<double>(s->histogram->snapshot().count);
+      }
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace spx::obs

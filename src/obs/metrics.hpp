@@ -1,0 +1,180 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with Prometheus-style names and labels.
+//
+// Hot-path writes are lock-free: every metric is sharded into
+// cache-line-sized slots, each worker thread sticks to one shard
+// (round-robin assignment on first touch), and increments are relaxed
+// atomic adds.  A scrape (snapshot / Prometheus exposition / JSON, see
+// obs/export.hpp) sums the shards; totals are exact because shards are
+// only ever added to.  Registration (`registry.counter(...)`) takes a
+// mutex and should be done once per site -- callers keep the returned
+// reference, which stays valid for the registry's lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spx::obs {
+
+/// Label set of one metric instance, e.g. {{"kind", "panel"}}.  Kept
+/// sorted by key so {a=1,b=2} and {b=2,a=1} name the same time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Shards per metric; a power of two >= typical worker counts.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// This thread's shard slot (stable per thread, round-robin assigned).
+std::size_t shard_index();
+
+/// Monotonically increasing value.  Doubles so second-counters work; an
+/// integer-incremented counter is exact up to 2^53.
+class Counter {
+ public:
+  void inc(double n = 1.0) {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  double value() const {
+    double total = 0.0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<double> v{0.0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time value (queue depth, resident bytes).  `set` is a plain
+/// store: last writer wins, which is the right semantics for a snapshot
+/// quantity.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: `bounds` are inclusive
+/// upper bounds, plus an implicit +Inf bucket; snapshot counts are
+/// cumulative).
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending; throws InvalidArgument else.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x) {
+    Shard& s = shards_[shard_index()];
+    s.counts[bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(x, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::vector<std::uint64_t> cumulative;  ///< per bound, then +Inf
+    std::uint64_t count = 0;                ///< total observations
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default duration buckets: 100us .. ~100s, quarter-decade spacing.
+  static std::vector<double> duration_bounds();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::size_t bucket_of(double x) const {
+    std::size_t i = 0;
+    while (i < bounds_.size() && x > bounds_[i]) ++i;
+    return i;
+  }
+
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+const char* to_string(MetricType t);
+
+/// Named collection of metric families.  One process-global instance
+/// (`global()`) backs default instrumentation; tests and benchmarks can
+/// construct private registries for exact, isolated accounting.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every default-configured component
+  /// records into.
+  static MetricsRegistry& global();
+
+  /// Returns (registering on first use) the metric with this name and
+  /// label set.  `help` is kept from the first registration.  Throws
+  /// InvalidArgument when `name` exists with a different type, or when a
+  /// histogram is re-requested with different bounds.
+  Counter& counter(std::string_view name, std::string_view help = "",
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help = "",
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = "", Labels labels = {});
+
+  /// One scraped time series: its labels plus either a scalar value or,
+  /// for histograms, the cumulative bucket snapshot.
+  struct SeriesSnapshot {
+    Labels labels;
+    double value = 0.0;          ///< counter/gauge
+    Histogram::Snapshot hist;    ///< histogram only
+  };
+  /// One scraped family, in registration order.
+  struct FamilySnapshot {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::Counter;
+    std::vector<double> bounds;  ///< histogram only
+    std::vector<SeriesSnapshot> series;
+  };
+  std::vector<FamilySnapshot> snapshot() const;
+
+  /// Value of one registered series (0 when absent) -- scrape-free
+  /// convenience for reconciliation checks and tests.
+  double value(std::string_view name, const Labels& labels = {}) const;
+
+ private:
+  struct Series;
+  struct Family;
+
+  Family& family(std::string_view name, MetricType type,
+                 std::string_view help);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;  ///< registration order
+};
+
+/// Resolves the registry an InstrumentationOptions-style pointer means:
+/// the given one, or the process-global registry when null.
+inline MetricsRegistry& registry_or_global(MetricsRegistry* m) {
+  return m != nullptr ? *m : MetricsRegistry::global();
+}
+
+}  // namespace spx::obs

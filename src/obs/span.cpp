@@ -1,0 +1,80 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spx::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), epoch_(Clock::now()) {
+  SPX_CHECK_ARG(capacity_ > 0, "Tracer capacity must be positive");
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void Tracer::record(const SpanRecord& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+  } else {
+    ring_[write_count_ % capacity_] = r;
+  }
+  ++write_count_;
+}
+
+SpanContext Tracer::record_span(const char* name, const char* track,
+                                SpanContext parent, double start, double end,
+                                int resource, std::int64_t arg0,
+                                std::int64_t arg1) {
+  SpanRecord r;
+  r.name = name;
+  r.track = track;
+  r.resource = resource;
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+  r.start = start;
+  r.end = end;
+  r.parent_id = parent.span_id;
+  const SpanContext ctx = next_span(parent);
+  r.trace_id = ctx.trace_id;
+  r.span_id = ctx.span_id;
+  record(r);
+  return ctx;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (write_count_ <= capacity_) return ring_;
+  // The ring wrapped: rotate so the oldest retained span comes first.
+  std::vector<SpanRecord> out;
+  out.reserve(capacity_);
+  const std::size_t head = write_count_ % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_count_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_count_ > capacity_ ? write_count_ - capacity_ : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  write_count_ = 0;
+}
+
+}  // namespace spx::obs

@@ -1,0 +1,172 @@
+// Span tracing: the one execution-timeline stream of the observability
+// layer (docs/OBSERVABILITY.md).
+//
+// A Span is a named, timed interval with a parent link; a Tracer hands
+// out span ids, stamps times against one process epoch, and stores
+// completed spans in a bounded, thread-safe ring buffer (old spans are
+// overwritten under pressure and counted in dropped() -- a long service
+// run keeps the most recent window instead of growing without bound).
+// One trace context threads from SolveService request admission through
+// Solver::analyze/factorize/solve down to individual scheduler tasks, so
+// a single trace id stitches a request's queue wait, symbolic analysis,
+// and every codelet execution into one tree.  Exporters (obs/export.hpp)
+// turn the span stream into chrome://tracing JSON or structured JSON.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace spx::obs {
+
+/// Identity of a span within a trace: enough to parent further spans.
+/// trace_id 0 / span_id 0 means "no context" (spans recorded without a
+/// parent are roots of their own trace).
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One completed span.  `name` and `track` must be string literals (or
+/// otherwise outlive the tracer): the ring stores raw pointers so that
+/// recording never allocates.  `track` is the timeline row the span
+/// belongs to ("worker-", "dma-", "service-"); `resource` the row index.
+/// `arg0`/`arg1` carry small numeric payloads (panel id, update edge,
+/// request id); -1 means unset.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  const char* name = "";
+  const char* track = "span-";
+  int resource = 0;
+  std::int64_t arg0 = -1;
+  std::int64_t arg1 = -1;
+  double start = 0.0;  ///< seconds since the tracer's epoch
+  double end = 0.0;
+};
+
+/// Thread-safe span sink with bounded ring-buffer storage.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Seconds since this tracer was constructed (every span's clock).
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  /// Fresh trace root context: new trace id, no parent span.
+  SpanContext new_trace() {
+    return {next_trace_.fetch_add(1, std::memory_order_relaxed), 0};
+  }
+
+  /// Allocates a span id under `parent` (same trace; a fresh trace when
+  /// the parent is invalid).  Used by ScopedSpan so children created
+  /// before the parent *completes* can still link to it.
+  SpanContext next_span(SpanContext parent) {
+    const std::uint64_t trace =
+        parent.valid() ? parent.trace_id
+                       : next_trace_.fetch_add(1, std::memory_order_relaxed);
+    return {trace, next_id_.fetch_add(1, std::memory_order_relaxed)};
+  }
+
+  /// Records a fully-populated span (ids already assigned).
+  void record(const SpanRecord& r);
+
+  /// Convenience: allocates ids under `parent`, records a completed span,
+  /// and returns its context (usable as a parent for retroactive
+  /// children).
+  SpanContext record_span(const char* name, const char* track,
+                          SpanContext parent, double start, double end,
+                          int resource = 0, std::int64_t arg0 = -1,
+                          std::int64_t arg1 = -1);
+
+  /// Retained spans, oldest first (at most `capacity` of them).
+  std::vector<SpanRecord> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Spans currently retained in the ring.
+  std::size_t size() const;
+  /// Spans ever recorded (including overwritten ones).
+  std::uint64_t total_recorded() const;
+  /// Spans lost to ring overwrite since construction or clear().
+  std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t capacity_;
+  const Clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_trace_{1};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;     ///< slot = write_count_ % capacity_
+  std::uint64_t write_count_ = 0;  ///< monotonic; > capacity_ => drops
+};
+
+/// RAII span: allocates its id on construction (so children can parent
+/// to it immediately) and records on destruction.  A default-constructed
+/// or null-tracer ScopedSpan is inert -- the disabled path costs two
+/// pointer stores.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, const char* name, const char* track,
+             SpanContext parent, int resource = 0, std::int64_t arg0 = -1,
+             std::int64_t arg1 = -1)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    r_.name = name;
+    r_.track = track;
+    r_.resource = resource;
+    r_.arg0 = arg0;
+    r_.arg1 = arg1;
+    r_.parent_id = parent.span_id;
+    const SpanContext ctx = tracer_->next_span(parent);
+    r_.trace_id = ctx.trace_id;
+    r_.span_id = ctx.span_id;
+    r_.start = tracer_->now();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& o) noexcept : tracer_(o.tracer_), r_(o.r_) {
+    o.tracer_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&& o) noexcept {
+    if (this != &o) {
+      finish();
+      tracer_ = o.tracer_;
+      r_ = o.r_;
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~ScopedSpan() { finish(); }
+
+  /// Records the span now instead of at scope exit (idempotent).
+  void finish() {
+    if (tracer_ == nullptr) return;
+    r_.end = tracer_->now();
+    tracer_->record(r_);
+    tracer_ = nullptr;
+  }
+
+  /// Context of this span, valid from construction: hand it to children.
+  SpanContext context() const { return {r_.trace_id, r_.span_id}; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanRecord r_;
+};
+
+}  // namespace spx::obs

@@ -3,7 +3,24 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace spx {
+
+namespace {
+
+// Fired faults land in the global registry, labeled by action: the fault
+// sites are process-rare events, not hot paths, so the registration
+// lookup per fire is fine.
+void count_fired(FaultAction a) {
+  SPX_OBS(obs::MetricsRegistry::global()
+              .counter("spx_faults_injected_total",
+                       "Armed faults that actually fired",
+                       {{"action", to_string(a)}})
+              .inc());
+}
+
+}  // namespace
 
 const char* to_string(FaultAction a) {
   switch (a) {
@@ -48,15 +65,18 @@ bool FaultInjector::on_task_start() {
   switch (plan_.action) {
     case FaultAction::Throw:
       fired_.fetch_add(1, std::memory_order_relaxed);
+      count_fired(plan_.action);
       throw InjectedFault("injected fault at task ordinal " +
                           std::to_string(ord));
     case FaultAction::Stall:
       fired_.fetch_add(1, std::memory_order_relaxed);
+      count_fired(plan_.action);
       std::this_thread::sleep_for(
           std::chrono::duration<double>(plan_.stall_seconds));
       return false;
     case FaultAction::CorruptPivot:
       fired_.fetch_add(1, std::memory_order_relaxed);
+      count_fired(plan_.action);
       return true;
     case FaultAction::None:
     case FaultAction::AllocFail:
@@ -71,6 +91,7 @@ bool FaultInjector::fail_alloc(std::size_t /*bytes*/) {
   // AllocFail the first allocation after (re)arming is the victim.
   if (started_.fetch_add(1, std::memory_order_relaxed) != 0) return false;
   fired_.fetch_add(1, std::memory_order_relaxed);
+  count_fired(plan_.action);
   return true;
 }
 

@@ -1,5 +1,7 @@
 #include "runtime/native_scheduler.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <queue>
 
@@ -116,6 +118,11 @@ void NativeScheduler::compute_static_schedule() {
 
 void NativeScheduler::reset() {
   // Reset runs while the scheduler is quiescent (no workers attached).
+  SPX_OBS(obs::MetricsRegistry::global()
+              .counter("spx_scheduler_resets_total",
+                       "Scheduler reset()s (one per driver run)",
+                       {{"scheduler", "native"}})
+              .inc());
   const SymbolicStructure& st = table_->structure();
   const index_t np = table_->num_panels();
   remaining_in_.assign(st.in_degree);

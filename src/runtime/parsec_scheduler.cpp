@@ -1,5 +1,7 @@
 #include "runtime/parsec_scheduler.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 
 namespace spx {
@@ -25,6 +27,11 @@ ParsecScheduler::ParsecScheduler(const TaskTable& table,
 
 void ParsecScheduler::reset() {
   // Reset runs while the scheduler is quiescent (no workers attached).
+  SPX_OBS(obs::MetricsRegistry::global()
+              .counter("spx_scheduler_resets_total",
+                       "Scheduler reset()s (one per driver run)",
+                       {{"scheduler", "parsec"}})
+              .inc());
   const SymbolicStructure& st = table_->structure();
   remaining_in_.assign(st.in_degree);
   local_.clear();

@@ -17,12 +17,68 @@
 namespace spx {
 namespace {
 
+const char* task_kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::Panel:
+      return "panel";
+    case TaskKind::Update:
+      return "update";
+    case TaskKind::Subtree:
+      return "subtree";
+  }
+  return "?";
+}
+
+/// Per-run metric handles, resolved once (registration takes a mutex;
+/// the hot path only touches the pre-resolved pointers through SPX_OBS).
+struct DriverMetrics {
+  obs::Counter* tasks[3][2] = {};  ///< [kind][cpu=0|gpu=1]
+  obs::Histogram* seconds[3] = {};  ///< per-kind duration histograms
+
+  explicit DriverMetrics(obs::MetricsRegistry& reg) {
+    static constexpr TaskKind kKinds[3] = {TaskKind::Panel, TaskKind::Update,
+                                           TaskKind::Subtree};
+    for (int k = 0; k < 3; ++k) {
+      const char* kind = task_kind_name(kKinds[k]);
+      for (int g = 0; g < 2; ++g) {
+        tasks[k][g] = &reg.counter(
+            "spx_tasks_executed_total", "Tasks executed by the real driver",
+            {{"kind", kind}, {"resource", g == 0 ? "cpu" : "gpu"}});
+      }
+      seconds[k] = &reg.histogram("spx_task_seconds",
+                                  obs::Histogram::duration_bounds(),
+                                  "Per-task execution wall time",
+                                  {{"kind", kind}});
+    }
+  }
+
+  void observe(const Task& t, bool gpu, double seconds_taken) {
+    const int k = static_cast<int>(t.kind);
+    tasks[k][gpu ? 1 : 0]->inc();
+    seconds[k]->observe(seconds_taken);
+  }
+};
+
 template <typename T>
 class RealRun {
  public:
   RealRun(Scheduler& sched, const Machine& machine, FactorData<T>& f,
           const RealDriverOptions& options)
-      : sched_(sched), machine_(machine), f_(f), options_(options) {
+      : sched_(sched),
+        machine_(machine),
+        f_(f),
+        options_(options),
+        registry_(obs::registry_or_global(options.instr.metrics)),
+        metrics_(registry_),
+        tracer_(options.instr.tracer) {
+    // Honor the deprecated trace/fault aliases when the layered field is
+    // unset (one-release compatibility; see RealDriverOptions).
+    SPX_SUPPRESS_DEPRECATED_BEGIN
+    trace_ = options.instr.trace != nullptr ? options.instr.trace
+                                            : options.trace;
+    fault_ = options.instr.fault != nullptr ? options.instr.fault
+                                            : options.fault;
+    SPX_SUPPRESS_DEPRECATED_END
     panel_locks_ = std::make_unique<std::mutex[]>(
         static_cast<std::size_t>(f.structure().num_panels()));
   }
@@ -34,6 +90,11 @@ class RealRun {
     idle_wait_.assign(static_cast<std::size_t>(nr), 0.0);
     lock_wait_.assign(static_cast<std::size_t>(nr), 0.0);
     worker_err_.assign(static_cast<std::size_t>(nr), {});
+    obs::ScopedSpan run_span;
+    SPX_OBS(run_span = obs::ScopedSpan(tracer_, "driver.run", "service-",
+                                       options_.instr.parent));
+    task_parent_ = run_span.active() ? run_span.context()
+                                     : options_.instr.parent;
     run_clock_.reset();
     Timer wall;
     {
@@ -44,6 +105,7 @@ class RealRun {
       }
     }
     stats_.makespan = wall.elapsed();
+    run_span.finish();
     stats_.tasks_cpu = tasks_cpu_.load();
     stats_.tasks_gpu = tasks_gpu_.load();
     // Contention observability: scheduler-side counters plus the driver's
@@ -66,6 +128,7 @@ class RealRun {
           stats_.model_error.update_rel.end(), e.update_rel.begin(),
           e.update_rel.end());
     }
+    SPX_OBS(export_run_metrics());
     if (error_) std::rethrow_exception(error_);
     return stats_;
   }
@@ -106,6 +169,8 @@ class RealRun {
         continue;
       }
       const double t0 = run_clock_.elapsed();
+      double span_start = 0.0;
+      SPX_OBS(if (tracer_ != nullptr) span_start = tracer_->now());
       Timer timer;
       try {
         execute(t, r, ws, prescale_ws);
@@ -115,8 +180,15 @@ class RealRun {
       }
       const double actual = timer.elapsed();
       stats_.busy[r] += actual;
-      if (options_.trace != nullptr) {
-        options_.trace->record(r, t, t0, run_clock_.elapsed());
+      const bool gpu =
+          machine_.resource(r).kind == ResourceKind::GpuStream;
+      SPX_OBS(metrics_.observe(t, gpu, actual));
+      SPX_OBS(if (tracer_ != nullptr) {
+        tracer_->record_span(task_kind_name(t.kind), "worker-", task_parent_,
+                             span_start, tracer_->now(), r, t.panel, t.edge);
+      });
+      if (trace_ != nullptr) {
+        trace_->record(r, t, t0, run_clock_.elapsed());
       }
       observe_duration(t, r, actual);
       try {
@@ -149,7 +221,7 @@ class RealRun {
                                       : options_.cpu_variant;
     const SymbolicStructure& st = f_.structure();
     double& lock_wait = lock_wait_[static_cast<std::size_t>(r)];
-    if (options_.fault != nullptr && options_.fault->on_task_start()) {
+    if (fault_ != nullptr && fault_->on_task_start()) {
       corrupt_pivot(t, lock_wait);
     }
     if (t.kind == TaskKind::Subtree) {
@@ -245,10 +317,57 @@ class RealRun {
     bump_generation();
   }
 
+  // Once-per-run registry export of the contention/utilization aggregates
+  // (hot paths never touch these series): scheduler-labeled so runs under
+  // different runtimes stay distinguishable on one scrape.
+  void export_run_metrics() {
+    const obs::Labels sched_label = {{"scheduler", sched_.name()}};
+    registry_
+        .counter("spx_driver_runs_total", "Real-driver executions",
+                 sched_label)
+        .inc();
+    registry_
+        .histogram("spx_driver_makespan_seconds",
+                   obs::Histogram::duration_bounds(),
+                   "Factorization makespan per run", sched_label)
+        .observe(stats_.makespan);
+    double busy = 0.0;
+    for (const double b : stats_.busy) busy += b;
+    registry_
+        .counter("spx_driver_busy_seconds_total",
+                 "Worker seconds spent executing tasks", sched_label)
+        .inc(busy);
+    const ContentionStats& c = stats_.contention;
+    registry_
+        .counter("spx_scheduler_steals_total",
+                 "Tasks taken from another worker's queue", sched_label)
+        .inc(static_cast<double>(c.total_steals()));
+    registry_
+        .counter("spx_scheduler_pops_total", "Successful try_pop calls",
+                 sched_label)
+        .inc(static_cast<double>(c.total_pops()));
+    registry_
+        .counter("spx_scheduler_lock_wait_seconds_total",
+                 "Seconds blocked on scheduler and panel locks",
+                 sched_label)
+        .inc(c.total_lock_wait());
+    registry_
+        .counter("spx_driver_idle_wait_seconds_total",
+                 "Seconds workers spent parked with no runnable task",
+                 sched_label)
+        .inc(c.total_idle_wait());
+  }
+
   Scheduler& sched_;
   const Machine& machine_;
   FactorData<T>& f_;
   RealDriverOptions options_;
+  obs::MetricsRegistry& registry_;
+  DriverMetrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::SpanContext task_parent_;   ///< parent of every task span
+  TraceRecorder* trace_ = nullptr;  ///< effective legacy trace sink
+  FaultInjector* fault_ = nullptr;  ///< effective fault harness
   std::unique_ptr<std::mutex[]> panel_locks_;
   Timer run_clock_;
   std::mutex wake_mutex_;

@@ -13,6 +13,8 @@
 #pragma once
 
 #include "core/codelets.hpp"
+#include "obs/obs.hpp"
+#include "obs/options.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/run_stats.hpp"
 #include "runtime/scheduler.hpp"
@@ -26,8 +28,11 @@ struct RealDriverOptions {
   /// Generic-runtime LDL^T (per-update rescale).  The native scheduler's
   /// fused tasks always prescale, regardless of this flag.
   bool fused_ldlt = true;
-  /// Optional trace sink (wall-clock times relative to run start).
-  TraceRecorder* trace = nullptr;
+  /// Instrumentation layer: metrics registry, span tracer + parent
+  /// context, legacy chrome-trace recorder, and the fault harness.  All
+  /// sinks must outlive the run.  Usually inherited from SolverOptions
+  /// (which inherits it from OptionsBuilder) rather than set here.
+  obs::InstrumentationOptions instr;
   /// Optional cost oracle compared against measured durations to fill
   /// RunStats::model_error (Panel/Update tasks only; Subtree tasks have no
   /// single-oracle prediction).  Must outlive the run.
@@ -36,9 +41,12 @@ struct RealDriverOptions {
   /// perfmodel::ModelRefiner).  Called from worker threads; must be
   /// thread-safe and outlive the run.
   TaskDurationObserver* observer = nullptr;
-  /// Optional fault-injection harness consulted as each task starts (may
-  /// throw, stall, or request pivot corruption).  Must outlive the run.
-  FaultInjector* fault = nullptr;
+  /// Deprecated alias of `instr.trace` (wall-clock trace sink).  Honored
+  /// when `instr.trace` is unset.
+  [[deprecated("set instr.trace instead")]] TraceRecorder* trace = nullptr;
+  /// Deprecated alias of `instr.fault`.  Honored when `instr.fault` is
+  /// unset.
+  [[deprecated("set instr.fault instead")]] FaultInjector* fault = nullptr;
 };
 
 /// Factorizes `f` in place under `scheduler`; spawns one thread per

@@ -1,44 +1,38 @@
 #include "runtime/run_stats.hpp"
 
-#include "common/json.hpp"
-
 namespace spx {
 
-json::Value to_json(const RunStats& stats) {
-  json::Value v = json::Value::object();
-  v.set("makespan_s", json::Value(stats.makespan));
-  v.set("gflops", json::Value(stats.gflops));
-  v.set("tasks_cpu", json::Value(static_cast<double>(stats.tasks_cpu)));
-  v.set("tasks_gpu", json::Value(static_cast<double>(stats.tasks_gpu)));
-  v.set("busy_fraction", json::Value(stats.busy_fraction()));
-  if (stats.bytes_h2d > 0 || stats.bytes_d2h > 0) {
-    v.set("bytes_h2d", json::Value(stats.bytes_h2d));
-    v.set("bytes_d2h", json::Value(stats.bytes_d2h));
+void RunStats::export_json(obs::JsonWriter& w) const {
+  w.field("makespan_s", makespan)
+      .field("gflops", gflops)
+      .field("tasks_cpu", tasks_cpu)
+      .field("tasks_gpu", tasks_gpu)
+      .field("busy_fraction", busy_fraction());
+  if (bytes_h2d > 0 || bytes_d2h > 0) {
+    w.field("bytes_h2d", bytes_h2d).field("bytes_d2h", bytes_d2h);
   }
-  if (!stats.contention.lock_wait.empty() ||
-      !stats.contention.idle_wait.empty()) {
-    json::Value c = json::Value::object();
-    c.set("lock_wait_s", json::Value(stats.contention.total_lock_wait()));
-    c.set("idle_wait_s", json::Value(stats.contention.total_idle_wait()));
-    c.set("steals", json::Value(
-                        static_cast<double>(stats.contention.total_steals())));
-    c.set("pops",
-          json::Value(static_cast<double>(stats.contention.total_pops())));
-    v.set("contention", std::move(c));
+  if (!contention.lock_wait.empty() || !contention.idle_wait.empty()) {
+    w.object("contention", [&](obs::JsonWriter& c) {
+      c.field("lock_wait_s", contention.total_lock_wait())
+          .field("idle_wait_s", contention.total_idle_wait())
+          .field("steals", contention.total_steals())
+          .field("pops", contention.total_pops());
+    });
   }
-  v.set("degraded", json::Value(stats.quality.degraded()));
-  if (stats.quality.threshold > 0 || stats.quality.degraded()) {
-    v.set("quality", to_json(stats.quality));
+  w.field("degraded", quality.degraded());
+  if (quality.threshold > 0 || quality.degraded()) {
+    w.object("quality", quality);
   }
-  if (!stats.model_error.empty()) {
-    json::Value m = json::Value::object();
-    m.set("median_panel", json::Value(stats.model_error.median_panel()));
-    m.set("median_update", json::Value(stats.model_error.median_update()));
-    m.set("bias_panel", json::Value(stats.model_error.bias_panel()));
-    m.set("bias_update", json::Value(stats.model_error.bias_update()));
-    v.set("model_error", std::move(m));
+  if (!model_error.empty()) {
+    w.object("model_error", [&](obs::JsonWriter& m) {
+      m.field("median_panel", model_error.median_panel())
+          .field("median_update", model_error.median_update())
+          .field("bias_panel", model_error.bias_panel())
+          .field("bias_update", model_error.bias_update());
+    });
   }
-  return v;
 }
+
+json::Value to_json(const RunStats& stats) { return obs::to_json(stats); }
 
 }  // namespace spx

@@ -7,10 +7,6 @@
 #include "common/factor_quality.hpp"
 #include "common/types.hpp"
 
-namespace spx::json {
-class Value;
-}  // namespace spx::json
-
 namespace spx {
 
 /// Per-worker contention counters from a real execution: where worker
@@ -91,7 +87,7 @@ struct ModelErrorStats {
 
 /// Per-run execution statistics; `makespan`/`busy` are virtual seconds
 /// when produced by the simulator, wall-clock otherwise.
-struct RunStats {
+struct RunStats : obs::Exportable {
   double makespan = 0.0;        ///< seconds (virtual for the simulator)
   double gflops = 0.0;          ///< total factorization flops / makespan
   std::vector<double> busy;     ///< per-resource busy seconds
@@ -116,11 +112,14 @@ struct RunStats {
     for (const double b : busy) total += b;
     return total / (makespan * static_cast<double>(busy.size()));
   }
+
+  /// JSON schema (makespan, gflops, task counts, contention and
+  /// model-error summaries) -- the per-request stats surface the solve
+  /// service exports (src/service/).  Stable golden keys.
+  void export_json(obs::JsonWriter& w) const override;
 };
 
-/// Serializes a RunStats to a JSON object (makespan, gflops, task counts,
-/// contention and model-error summaries) -- the per-request stats surface
-/// the solve service exports (src/service/).
+/// Compatibility shim over the obs::Exportable path (same keys).
 json::Value to_json(const RunStats& stats);
 
 }  // namespace spx

@@ -1,5 +1,7 @@
 #include "runtime/starpu_scheduler.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -63,6 +65,11 @@ StarpuScheduler::StarpuScheduler(const TaskTable& table,
 
 void StarpuScheduler::reset() {
   // Reset runs while the scheduler is quiescent (no workers attached).
+  SPX_OBS(obs::MetricsRegistry::global()
+              .counter("spx_scheduler_resets_total",
+                       "Scheduler reset()s (one per driver run)",
+                       {{"scheduler", "starpu"}})
+              .inc());
   remaining_.assign(deps_.in_count());
   eager_any_.clear();
   eager_gpu_.clear();

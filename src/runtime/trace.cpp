@@ -1,50 +1,20 @@
 #include "runtime/trace.hpp"
 
-#include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <iomanip>
-#include <ios>
 #include <ostream>
 
 #include "common/error.hpp"
+#include "obs/export.hpp"
 
 namespace spx {
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view s) { return obs::json_escape(s); }
 
 namespace {
+
+constexpr const char* kWorkerTrack = "worker-";
+constexpr const char* kDmaTrack = "dma-";
 
 const char* kind_name(TaskKind k) {
   switch (k) {
@@ -58,38 +28,57 @@ const char* kind_name(TaskKind k) {
   return "?";
 }
 
-void write_event(std::ostream& out, const TraceRecorder::Event& e,
-                 const char* row_prefix, bool& first) {
-  if (!first) out << ",\n";
-  first = false;
-  std::string name = std::string(kind_name(e.kind)) + " p" +
-                     std::to_string(e.panel);
-  if (e.edge >= 0) name += " e" + std::to_string(e.edge);
-  const std::string tid = row_prefix + std::to_string(e.resource);
-  out << "  {\"name\": \"" << json_escape(name) << "\", \"cat\": \""
-      << json_escape(kind_name(e.kind))
-      << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": \"" << json_escape(tid)
-      << "\", \"ts\": " << e.start * 1e6
-      << ", \"dur\": " << (e.end - e.start) * 1e6 << "}";
+bool is_transfer(const obs::SpanRecord& s) {
+  return std::strcmp(s.track, kDmaTrack) == 0;
+}
+
+TaskKind kind_of(const obs::SpanRecord& s) {
+  if (std::strcmp(s.name, "panel") == 0) return TaskKind::Panel;
+  if (std::strcmp(s.name, "subtree") == 0) return TaskKind::Subtree;
+  return TaskKind::Update;
 }
 
 }  // namespace
 
+void TraceRecorder::record(int resource, const Task& task, double start,
+                           double end) {
+  tracer_.record_span(kind_name(task.kind), kWorkerTrack, {}, start, end,
+                      resource, task.panel, task.edge);
+}
+
+void TraceRecorder::record_transfer(int gpu, index_t panel, double start,
+                                    double end) {
+  tracer_.record_span("update", kDmaTrack, {}, start, end, gpu, panel, -1);
+}
+
+std::size_t TraceRecorder::num_events() const {
+  std::size_t n = 0;
+  for (const obs::SpanRecord& s : tracer_.snapshot()) {
+    if (!is_transfer(s)) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::num_transfers() const {
+  std::size_t n = 0;
+  for (const obs::SpanRecord& s : tracer_.snapshot()) {
+    if (is_transfer(s)) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::vector<Event> out;
+  for (const obs::SpanRecord& s : tracer_.snapshot()) {
+    if (is_transfer(s)) continue;
+    out.push_back({s.resource, kind_of(s), static_cast<index_t>(s.arg0),
+                   static_cast<index_t>(s.arg1), s.start, s.end});
+  }
+  return out;
+}
+
 void TraceRecorder::write_chrome_json(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  // Fixed-point microseconds with three decimals (nanosecond resolution):
-  // the default 6-significant-digit float formatting rounds ts to whole
-  // milliseconds once a run passes the one-second mark.
-  const std::ios_base::fmtflags flags = out.flags();
-  const std::streamsize precision = out.precision();
-  out << std::fixed << std::setprecision(3);
-  out << "{\"traceEvents\": [\n";
-  bool first = true;
-  for (const Event& e : events_) write_event(out, e, "worker-", first);
-  for (const Event& e : transfers_) write_event(out, e, "dma-", first);
-  out << "\n]}\n";
-  out.flags(flags);
-  out.precision(precision);
+  obs::write_chrome_trace(tracer_.snapshot(), out);
 }
 
 void TraceRecorder::write_chrome_json_file(const std::string& path) const {

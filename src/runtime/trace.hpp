@@ -4,24 +4,36 @@
 // this is the equivalent here.  Both drivers can record every task's
 // (resource, kind, panel, start, end); the JSON export loads directly into
 // chrome://tracing or Perfetto, one row per resource.
+//
+// Since the observability layer landed (DESIGN.md §11) this is a thin
+// compatibility facade over obs::Tracer: events are spans in a *bounded*
+// thread-safe ring buffer (capacity() events; a long service run keeps
+// the most recent window and counts the overwritten rest in dropped()
+// instead of buffering unboundedly), and the chrome JSON is produced by
+// the shared obs::write_chrome_trace exporter over the same span stream.
 #pragma once
 
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "runtime/task.hpp"
 
 namespace spx {
 
 /// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
-/// and control characters).
+/// and control characters).  Alias of obs::json_escape, kept for callers
+/// of the pre-obs API.
 std::string json_escape(std::string_view s);
 
 class TraceRecorder {
  public:
+  /// Default event capacity: enough for every per-task run in the test
+  /// and bench suites; service-scale runs wrap and count drops.
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
   struct Event {
     int resource;
     TaskKind kind;
@@ -31,45 +43,38 @@ class TraceRecorder {
     double end;
   };
 
-  void record(int resource, const Task& task, double start, double end) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back({resource, task.kind, task.panel, task.edge, start,
-                       end});
-  }
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity)
+      : tracer_(capacity) {}
+
+  void record(int resource, const Task& task, double start, double end);
 
   /// Also usable for transfer events (resource = DMA engine row).
-  void record_transfer(int gpu, index_t panel, double start, double end) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    transfers_.push_back({gpu, TaskKind::Update, panel, -1, start, end});
-  }
+  void record_transfer(int gpu, index_t panel, double start, double end);
 
-  void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    events_.clear();
-    transfers_.clear();
-  }
+  void clear() { tracer_.clear(); }
 
-  std::size_t num_events() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return events_.size();
-  }
-  std::size_t num_transfers() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return transfers_.size();
-  }
-  std::vector<Event> events() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return events_;
-  }
+  /// Task events currently retained (excludes transfers and anything the
+  /// ring overwrote).
+  std::size_t num_events() const;
+  std::size_t num_transfers() const;
+  /// Events lost to the ring bound since construction or clear(): a
+  /// nonzero value means the chrome export shows the most recent
+  /// `capacity()` events, not the whole run.
+  std::uint64_t dropped() const { return tracer_.dropped(); }
+  std::size_t capacity() const { return tracer_.capacity(); }
+
+  /// Retained task events, oldest first.
+  std::vector<Event> events() const;
+
+  /// The underlying span stream (for the obs exporters and tests).
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// Chrome-tracing "traceEvents" JSON (complete events, microseconds).
   void write_chrome_json(std::ostream& out) const;
   void write_chrome_json_file(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
-  std::vector<Event> transfers_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace spx

@@ -2,22 +2,42 @@
 
 namespace spx::service {
 
-AdmissionQueue::AdmissionQueue(std::size_t per_tenant_capacity)
-    : capacity_(per_tenant_capacity == 0 ? 1 : per_tenant_capacity) {}
+AdmissionQueue::AdmissionQueue(std::size_t per_tenant_capacity,
+                               obs::MetricsRegistry* registry)
+    : capacity_(per_tenant_capacity == 0 ? 1 : per_tenant_capacity) {
+  obs::MetricsRegistry& reg = obs::registry_or_global(registry);
+  m_admitted_ = &reg.counter("spx_admission_admitted_total",
+                             "Requests accepted into a tenant queue");
+  m_rejected_ = &reg.counter(
+      "spx_admission_rejected_total",
+      "Requests bounced at admission (tenant queue full or shutdown)");
+  m_depth_ =
+      &reg.gauge("spx_admission_queue_depth", "Requests currently queued");
+}
 
 bool AdmissionQueue::try_push(std::shared_ptr<JobBase> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) return false;
+    if (shutdown_) {
+      SPX_OBS(m_rejected_->inc());
+      return false;
+    }
     auto it = queues_.find(job->tenant);
     if (it == queues_.end()) {
       tenant_order_.push_back(job->tenant);
       it = queues_.emplace(job->tenant, std::deque<std::shared_ptr<JobBase>>())
                .first;
     }
-    if (it->second.size() >= capacity_) return false;  // backpressure
+    if (it->second.size() >= capacity_) {  // backpressure
+      SPX_OBS(m_rejected_->inc());
+      return false;
+    }
     it->second.push_back(std::move(job));
     ++depth_;
+    SPX_OBS({
+      m_admitted_->inc();
+      m_depth_->set(static_cast<double>(depth_));
+    });
   }
   cv_.notify_one();
   return true;
@@ -32,6 +52,7 @@ std::shared_ptr<JobBase> AdmissionQueue::pop_locked() {
     std::shared_ptr<JobBase> job = std::move(q.front());
     q.pop_front();
     --depth_;
+    SPX_OBS(m_depth_->set(static_cast<double>(depth_)));
     rr_ = (t + 1) % tenants;  // next rotation starts after this tenant
     return job;
   }

@@ -22,7 +22,10 @@ namespace spx::service {
 
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(std::size_t per_tenant_capacity);
+  /// `registry` receives the spx_admission_* series (null = the
+  /// process-global registry).
+  explicit AdmissionQueue(std::size_t per_tenant_capacity,
+                          obs::MetricsRegistry* registry = nullptr);
 
   /// Admits `job` to its tenant's queue.  Returns false (caller completes
   /// the job as Rejected) when that queue is full or the queue is shut
@@ -46,6 +49,9 @@ class AdmissionQueue {
   std::shared_ptr<JobBase> pop_locked();
 
   const std::size_t capacity_;
+  obs::Counter* m_admitted_;  ///< spx_admission_admitted_total
+  obs::Counter* m_rejected_;  ///< spx_admission_rejected_total (full/shutdown)
+  obs::Gauge* m_depth_;       ///< spx_admission_queue_depth
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   /// Tenants in first-seen order; the round-robin cursor walks this.

@@ -2,7 +2,24 @@
 
 namespace spx::service {
 
-AnalysisCache::AnalysisCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+AnalysisCache::AnalysisCache(std::size_t max_bytes,
+                             obs::MetricsRegistry* registry)
+    : max_bytes_(max_bytes) {
+  obs::MetricsRegistry& reg = obs::registry_or_global(registry);
+  m_hits_ = &reg.counter("spx_analysis_cache_hits_total",
+                         "Analysis-cache hits (including coalesced waits)");
+  m_misses_ = &reg.counter("spx_analysis_cache_misses_total",
+                           "Analysis-cache misses (fresh computes)");
+  m_evictions_ = &reg.counter("spx_analysis_cache_evictions_total",
+                              "Entries evicted under the byte budget");
+  m_coalesced_ = &reg.counter(
+      "spx_analysis_cache_coalesced_total",
+      "Hits that joined an in-flight compute instead of duplicating it");
+  m_bytes_ = &reg.gauge("spx_analysis_cache_bytes",
+                        "Resident byte estimate of cached analyses");
+  m_entries_ =
+      &reg.gauge("spx_analysis_cache_entries", "Resident cached analyses");
+}
 
 std::size_t AnalysisCache::analysis_bytes(const Analysis& an) {
   std::size_t b = sizeof(Analysis);
@@ -26,10 +43,18 @@ void AnalysisCache::evict_over_budget_locked() {
     const Entry& victim = lru_.back();
     stats_.bytes -= victim.bytes;
     ++stats_.evictions;
+    SPX_OBS(m_evictions_->inc());
     map_.erase(victim.key);
     lru_.pop_back();
   }
   stats_.entries = lru_.size();
+}
+
+void AnalysisCache::update_gauges_locked() {
+  SPX_OBS({
+    m_bytes_->set(static_cast<double>(stats_.bytes));
+    m_entries_->set(static_cast<double>(stats_.entries));
+  });
 }
 
 std::shared_ptr<const Analysis> AnalysisCache::get_or_compute(
@@ -47,6 +72,7 @@ std::shared_ptr<const Analysis> AnalysisCache::get_or_compute(
     if (auto it = map_.find(key); it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       ++stats_.hits;
+      SPX_OBS(m_hits_->inc());
       if (outcome != nullptr) *outcome = CacheOutcome::Hit;
       return it->second->analysis;
     }
@@ -55,10 +81,15 @@ std::shared_ptr<const Analysis> AnalysisCache::get_or_compute(
       // instead of duplicating the symbolic work.
       pending = it->second;
       ++stats_.hits;
+      SPX_OBS({
+        m_hits_->inc();
+        m_coalesced_->inc();
+      });
       if (outcome != nullptr) *outcome = CacheOutcome::Hit;
     } else {
       inflight_.emplace(key, promise.get_future().share());
       ++stats_.misses;
+      SPX_OBS(m_misses_->inc());
       if (outcome != nullptr) *outcome = CacheOutcome::Miss;
     }
   }
@@ -82,6 +113,7 @@ std::shared_ptr<const Analysis> AnalysisCache::get_or_compute(
     map_[key] = lru_.begin();
     stats_.bytes += bytes;
     evict_over_budget_locked();
+    update_gauges_locked();
     inflight_.erase(key);
   }
   promise.set_value(analysis);
@@ -99,6 +131,7 @@ void AnalysisCache::clear() {
   map_.clear();
   stats_.bytes = 0;
   stats_.entries = 0;
+  update_gauges_locked();
 }
 
 }  // namespace spx::service

@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "core/analysis.hpp"
+#include "obs/obs.hpp"
 #include "service/pattern_key.hpp"
 #include "service/service_stats.hpp"
 
@@ -29,7 +30,11 @@ class AnalysisCache {
  public:
   /// `max_bytes` bounds the resident estimate of cached analyses; 0
   /// disables caching entirely (every call computes privately).
-  explicit AnalysisCache(std::size_t max_bytes);
+  /// `registry` receives the spx_analysis_cache_* series (null = the
+  /// process-global registry); the series mirror AnalysisCacheStats
+  /// exactly -- same bump sites under the same lock.
+  explicit AnalysisCache(std::size_t max_bytes,
+                         obs::MetricsRegistry* registry = nullptr);
 
   /// Returns the cached analysis for `key`, or runs `compute` and caches
   /// the result.  Thread-safe; concurrent misses on the same key run
@@ -57,8 +62,16 @@ class AnalysisCache {
   using LruList = std::list<Entry>;
 
   void evict_over_budget_locked();
+  /// Pushes the resident bytes/entries figures into the gauges.
+  void update_gauges_locked();
 
   const std::size_t max_bytes_;
+  obs::Counter* m_hits_;       ///< spx_analysis_cache_hits_total
+  obs::Counter* m_misses_;     ///< spx_analysis_cache_misses_total
+  obs::Counter* m_evictions_;  ///< spx_analysis_cache_evictions_total
+  obs::Counter* m_coalesced_;  ///< hits that joined an in-flight compute
+  obs::Gauge* m_bytes_;        ///< spx_analysis_cache_bytes
+  obs::Gauge* m_entries_;      ///< spx_analysis_cache_entries
   mutable std::mutex mutex_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<PatternKey, LruList::iterator, PatternKeyHash> map_;

@@ -1,0 +1,30 @@
+#include "service/options_builder.hpp"
+
+namespace spx {
+
+SolverOptions OptionsBuilder::solver_options() const {
+  SolverOptions s = solver_;
+  s.instr = instr_;
+  return s;
+}
+
+RealDriverOptions OptionsBuilder::driver_options() const {
+  RealDriverOptions d;
+  d.cpu_variant = solver_.cpu_variant;
+  d.instr = instr_;
+  return d;
+}
+
+service::ServiceOptions OptionsBuilder::service_options() const {
+  service::ServiceOptions svc = service_;
+  svc.solver = solver_;
+  svc.solver.instr = instr_;
+  if (!solver_set_runtime_) {
+    // Keep the service default (Sequential: scale by concurrent requests,
+    // not nested pools) unless the caller picked a runtime explicitly.
+    svc.solver.runtime = RuntimeKind::Sequential;
+  }
+  return svc;
+}
+
+}  // namespace spx

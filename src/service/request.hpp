@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "service/service_stats.hpp"
 
 namespace spx::service {
@@ -28,6 +29,12 @@ enum class JobKind { Factorize, Solve };
 
 /// Service-wide counters, updated lock-free from workers and cancelling
 /// callers; SolveService::stats() snapshots them.
+///
+/// Every atomic doubles as a registry series: resolve_metrics() binds each
+/// one to a `spx_service_*_total` counter, and the note_*/count_* bumps
+/// below increment both at the same call site, so a Prometheus scrape
+/// reconciles *exactly* with ServiceStats (`bench_service --metrics`
+/// asserts this equality).
 struct SharedCounters {
   std::atomic<std::uint64_t> submitted{0};
   std::atomic<std::uint64_t> completed{0};
@@ -44,22 +51,61 @@ struct SharedCounters {
   /// Terminal outcomes per ErrorCode (indexed by enum value).
   std::array<std::atomic<std::uint64_t>, kErrorCodeCount> by_code{};
 
-  void count_code(ErrorCode c) { ++by_code[static_cast<std::size_t>(c)]; }
+  /// Mirrored registry series; null until resolve_metrics() runs (direct
+  /// SharedCounters users without a registry keep working).
+  obs::Counter* m_submitted = nullptr;
+  obs::Counter* m_completed = nullptr;
+  obs::Counter* m_failed = nullptr;
+  obs::Counter* m_rejected = nullptr;
+  obs::Counter* m_cancelled = nullptr;
+  obs::Counter* m_expired = nullptr;
+  obs::Counter* m_factorizes = nullptr;
+  obs::Counter* m_solves = nullptr;
+  obs::Counter* m_batches = nullptr;
+  obs::Counter* m_batched_rhs = nullptr;
+  obs::Counter* m_retries = nullptr;
+  std::array<obs::Counter*, kErrorCodeCount> m_by_code{};
+
+  /// Binds every counter to its registry series (registration is
+  /// mutex-protected; do this once, before traffic).
+  void resolve_metrics(obs::MetricsRegistry& reg);
+
+  static void bump(std::atomic<std::uint64_t>& a, obs::Counter* m,
+                   std::uint64_t n = 1) {
+    a.fetch_add(n, std::memory_order_relaxed);
+    SPX_OBS(if (m != nullptr) m->inc(static_cast<double>(n)));
+  }
+
+  void note_submitted() { bump(submitted, m_submitted); }
+  void note_completed() { bump(completed, m_completed); }
+  void note_failed() { bump(failed, m_failed); }
+  void note_factorize() { bump(factorizes, m_factorizes); }
+  void note_solve() { bump(solves, m_solves); }
+  void note_batch(std::uint64_t rhs) {
+    bump(batches, m_batches);
+    bump(batched_rhs, m_batched_rhs, rhs);
+  }
+  void note_retry() { bump(retries, m_retries); }
+
+  void count_code(ErrorCode c) {
+    const auto i = static_cast<std::size_t>(c);
+    bump(by_code[i], m_by_code[i]);
+  }
 
   void count_unrun(RequestStatus s) {
     count_code(code_for_unrun(s));
     switch (s) {
       case RequestStatus::Rejected:
-        ++rejected;
+        bump(rejected, m_rejected);
         break;
       case RequestStatus::Cancelled:
-        ++cancelled;
+        bump(cancelled, m_cancelled);
         break;
       case RequestStatus::Expired:
-        ++expired;
+        bump(expired, m_expired);
         break;
       default:
-        ++failed;  // shutdown drains and other never-ran failures
+        note_failed();  // shutdown drains and other never-ran failures
         break;
     }
   }
@@ -74,6 +120,11 @@ struct JobBase {
   std::atomic<bool> claimed{false};
   std::atomic<bool> cancel_requested{false};
   std::shared_ptr<SharedCounters> counters;
+  /// Root context of this request's trace (one trace id per request; the
+  /// queue-wait, factorize/solve, retry and task spans all hang off it).
+  obs::SpanContext trace_ctx;
+  /// Tracer timestamp at admission (start of the queue-wait span).
+  double trace_enqueued = 0;
 
   explicit JobBase(JobKind k) : kind(k) {}
   virtual ~JobBase() = default;

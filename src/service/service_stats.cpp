@@ -67,40 +67,36 @@ const char* to_string(CacheOutcome c) {
   return "?";
 }
 
-json::Value RequestStats::to_json() const {
-  json::Value v = json::Value::object();
-  v.set("id", json::Value(static_cast<double>(id)));
-  v.set("tenant", json::Value(tenant));
-  v.set("queue_wait_s", json::Value(queue_wait_s));
-  if (analyze_s > 0) v.set("analyze_s", json::Value(analyze_s));
+void RequestStats::export_json(obs::JsonWriter& w) const {
+  w.field("id", id).field("tenant", tenant).field("queue_wait_s",
+                                                  queue_wait_s);
+  if (analyze_s > 0) w.field("analyze_s", analyze_s);
   if (factorize_s > 0) {
-    v.set("factorize_s", json::Value(factorize_s));
-    v.set("cache", json::Value(std::string(to_string(cache))));
+    w.field("factorize_s", factorize_s).field("cache", to_string(cache));
   }
   if (solve_s > 0 || batched_rhs > 0) {
-    v.set("solve_s", json::Value(solve_s));
-    v.set("batched_rhs", json::Value(static_cast<double>(batched_rhs)));
+    w.field("solve_s", solve_s).field("batched_rhs", batched_rhs);
   }
-  v.set("code", json::Value(std::string(to_string(code))));
-  if (attempts > 0) v.set("attempts", json::Value(static_cast<double>(attempts)));
+  w.field("code", to_string(code));
+  if (attempts > 0) w.field("attempts", attempts);
   if (degraded) {
-    v.set("degraded", json::Value(true));
-    v.set("backward_error", json::Value(backward_error));
+    w.field("degraded", true).field("backward_error", backward_error);
   }
-  v.set("completion_seq", json::Value(static_cast<double>(completion_seq)));
-  if (run.makespan > 0) v.set("run", spx::to_json(run));
-  return v;
+  w.field("completion_seq", completion_seq);
+  if (run.makespan > 0) w.object("run", run);
 }
 
-json::Value AnalysisCacheStats::to_json() const {
-  json::Value v = json::Value::object();
-  v.set("hits", json::Value(static_cast<double>(hits)));
-  v.set("misses", json::Value(static_cast<double>(misses)));
-  v.set("evictions", json::Value(static_cast<double>(evictions)));
-  v.set("bytes", json::Value(static_cast<double>(bytes)));
-  v.set("entries", json::Value(static_cast<double>(entries)));
-  return v;
+json::Value RequestStats::to_json() const { return obs::to_json(*this); }
+
+void AnalysisCacheStats::export_json(obs::JsonWriter& w) const {
+  w.field("hits", hits)
+      .field("misses", misses)
+      .field("evictions", evictions)
+      .field("bytes", bytes)
+      .field("entries", entries);
 }
+
+json::Value AnalysisCacheStats::to_json() const { return obs::to_json(*this); }
 
 const char* ServiceStats::health() const {
   const std::uint64_t hard_failures =
@@ -113,29 +109,29 @@ const char* ServiceStats::health() const {
   return "ok";
 }
 
-json::Value ServiceStats::to_json() const {
-  json::Value v = json::Value::object();
-  v.set("submitted", json::Value(static_cast<double>(submitted)));
-  v.set("completed", json::Value(static_cast<double>(completed)));
-  v.set("failed", json::Value(static_cast<double>(failed)));
-  v.set("rejected", json::Value(static_cast<double>(rejected)));
-  v.set("cancelled", json::Value(static_cast<double>(cancelled)));
-  v.set("expired", json::Value(static_cast<double>(expired)));
-  v.set("factorizes", json::Value(static_cast<double>(factorizes)));
-  v.set("solves", json::Value(static_cast<double>(solves)));
-  v.set("batches", json::Value(static_cast<double>(batches)));
-  v.set("batched_rhs", json::Value(static_cast<double>(batched_rhs)));
-  v.set("retries", json::Value(static_cast<double>(retries)));
-  v.set("queue_depth", json::Value(static_cast<double>(queue_depth)));
-  json::Value e = json::Value::object();
-  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
-    e.set(to_string(static_cast<ErrorCode>(i)),
-          json::Value(static_cast<double>(errors[i])));
-  }
-  v.set("errors", std::move(e));
-  v.set("health", json::Value(std::string(health())));
-  v.set("cache", cache.to_json());
-  return v;
+void ServiceStats::export_json(obs::JsonWriter& w) const {
+  w.field("submitted", submitted)
+      .field("completed", completed)
+      .field("failed", failed)
+      .field("rejected", rejected)
+      .field("cancelled", cancelled)
+      .field("expired", expired)
+      .field("factorizes", factorizes)
+      .field("solves", solves)
+      .field("batches", batches)
+      .field("batched_rhs", batched_rhs)
+      .field("retries", retries)
+      .field("queue_depth", queue_depth)
+      .object("errors",
+              [&](obs::JsonWriter& e) {
+                for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+                  e.field(to_string(static_cast<ErrorCode>(i)), errors[i]);
+                }
+              })
+      .field("health", health())
+      .object("cache", cache);
 }
+
+json::Value ServiceStats::to_json() const { return obs::to_json(*this); }
 
 }  // namespace spx::service

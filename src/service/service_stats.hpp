@@ -1,5 +1,6 @@
 // Observability types of the solve service: per-request statistics and
-// service-wide counters, both exportable as JSON (common/json).  Tenant
+// service-wide counters, all implementing obs::Exportable over the shared
+// JsonWriter (the one export API; see docs/OBSERVABILITY.md).  Tenant
 // names are arbitrary UTF-8 -- the JSON writer escapes them -- so the
 // stats surface never emits invalid output.
 #pragma once
@@ -57,7 +58,7 @@ enum class CacheOutcome {
 const char* to_string(CacheOutcome c);
 
 /// Per-request statistics, attached to every result the service returns.
-struct RequestStats {
+struct RequestStats : obs::Exportable {
   std::uint64_t id = 0;
   std::string tenant;
   double queue_wait_s = 0;  ///< admission-queue wait until claimed
@@ -75,22 +76,24 @@ struct RequestStats {
   std::uint64_t completion_seq = 0;
   RunStats run;  ///< scheduler stats of the factorization (factorize only)
 
-  json::Value to_json() const;
+  void export_json(obs::JsonWriter& w) const override;
+  json::Value to_json() const;  ///< shim over the Exportable path
 };
 
 /// Analysis-cache counters (a snapshot; see service/analysis_cache.hpp).
-struct AnalysisCacheStats {
+struct AnalysisCacheStats : obs::Exportable {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t bytes = 0;    ///< current resident estimate
   std::size_t entries = 0;  ///< current resident count
 
-  json::Value to_json() const;
+  void export_json(obs::JsonWriter& w) const override;
+  json::Value to_json() const;  ///< shim over the Exportable path
 };
 
 /// Service-wide counters (a snapshot of SolveService::stats()).
-struct ServiceStats {
+struct ServiceStats : obs::Exportable {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;  ///< finished with status Done
   std::uint64_t failed = 0;
@@ -117,7 +120,8 @@ struct ServiceStats {
   /// (failures dominate completions).
   const char* health() const;
 
-  json::Value to_json() const;
+  void export_json(obs::JsonWriter& w) const override;
+  json::Value to_json() const;  ///< shim over the Exportable path
 };
 
 }  // namespace spx::service

@@ -12,6 +12,33 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 
 }  // namespace
 
+void SharedCounters::resolve_metrics(obs::MetricsRegistry& reg) {
+  const auto c = [&](const char* name, const char* help) {
+    return &reg.counter(name, help);
+  };
+  m_submitted = c("spx_service_submitted_total", "Requests submitted");
+  m_completed =
+      c("spx_service_completed_total", "Requests finished with status Done");
+  m_failed = c("spx_service_failed_total", "Requests finished Failed");
+  m_rejected = c("spx_service_rejected_total", "Requests Rejected");
+  m_cancelled = c("spx_service_cancelled_total", "Requests Cancelled");
+  m_expired = c("spx_service_expired_total", "Requests Expired");
+  m_factorizes =
+      c("spx_service_factorizes_total", "Factorize requests completed Done");
+  m_solves = c("spx_service_solves_total", "Solve requests completed Done");
+  m_batches =
+      c("spx_service_batches_total", "Coalesced solve_multi calls issued");
+  m_batched_rhs = c("spx_service_batched_rhs_total",
+                    "Total RHS columns across solve batches");
+  m_retries =
+      c("spx_service_retries_total", "Factorize re-attempts issued");
+  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+    m_by_code[i] = &reg.counter(
+        "spx_service_errors_total", "Terminal outcomes per error code",
+        {{"code", to_string(static_cast<ErrorCode>(i))}});
+  }
+}
+
 void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
   counters->count_unrun(status);
   stats.code = code_for_unrun(status);
@@ -38,11 +65,14 @@ void SolveJob::complete_unrun(RequestStatus status, std::string error) {
 
 SolveService::SolveService(ServiceOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_bytes),
-      queue_(options_.queue_capacity),
-      counters_(std::make_shared<SharedCounters>()) {
+      cache_(options_.cache_bytes, options_.solver.instr.metrics),
+      queue_(options_.queue_capacity, options_.solver.instr.metrics),
+      counters_(std::make_shared<SharedCounters>()),
+      tracer_(options_.solver.instr.tracer) {
   SPX_CHECK_ARG(options_.num_workers >= 0, "num_workers must be >= 0");
   SPX_CHECK_ARG(options_.max_batch >= 1, "max_batch must be >= 1");
+  counters_->resolve_metrics(
+      obs::registry_or_global(options_.solver.instr.metrics));
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -73,7 +103,13 @@ Ticket<Result> SolveService::admit(std::shared_ptr<Job> job,
   job->counters = counters_;
   job->stats.id = job->id;
   job->stats.tenant = job->tenant;
-  ++counters_->submitted;
+  // One trace per request: everything downstream (queue wait, factorize,
+  // driver tasks, retries) parents under this root context.
+  SPX_OBS(if (tracer_ != nullptr) {
+    job->trace_ctx = tracer_->new_trace();
+    job->trace_enqueued = tracer_->now();
+  });
+  counters_->note_submitted();
   Ticket<Result> ticket(job->promise.get_future().share(), job);
   if (!queue_.try_push(job)) {
     if (job->try_claim()) {  // fresh job: always wins
@@ -132,6 +168,11 @@ void SolveService::worker_loop() {
                           "deadline passed while queued");
       continue;
     }
+    SPX_OBS(if (tracer_ != nullptr && job->trace_ctx.valid()) {
+      tracer_->record_span("service.queue.wait", "service-", job->trace_ctx,
+                           job->trace_enqueued, tracer_->now(), 0,
+                           static_cast<std::int64_t>(job->id));
+    });
     switch (job->kind) {
       case JobKind::Factorize: {
         auto fj = std::static_pointer_cast<FactorizeJob>(job);
@@ -154,7 +195,7 @@ bool SolveService::spend_retry(const std::string& tenant) {
   std::uint64_t& spent = retry_spent_[tenant];
   if (spent >= options_.tenant_retry_budget) return false;
   ++spent;
-  ++counters_->retries;
+  counters_->note_retry();
   return true;
 }
 
@@ -196,6 +237,15 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
   FactorizeResult res;
   RequestStats& st = job->stats;
   SolverOptions sopts = options_.solver;
+  // Parent this request's solver/driver spans under one request span of
+  // its own trace.
+  obs::ScopedSpan req_span;
+  SPX_OBS({
+    req_span = obs::ScopedSpan(tracer_, "service.factorize", "service-",
+                               job->trace_ctx, 0,
+                               static_cast<std::int64_t>(job->id));
+    sopts.instr.parent = req_span.context();
+  });
   const int max_attempts = std::max(1, options_.max_attempts);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     st.attempts = attempt;
@@ -205,8 +255,8 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
       factorize_attempt(*job, sopts, res);
       res.status = RequestStatus::Done;
       st.code = res.code;
-      ++counters_->factorizes;
-      ++counters_->completed;
+      counters_->note_factorize();
+      counters_->note_completed();
       counters_->count_code(res.code);
       break;
     } catch (const InjectedFault& e) {
@@ -234,6 +284,11 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
             options_.eps_escalation;
       }
       if (options_.retry_backoff_s > 0) {
+        obs::ScopedSpan backoff;
+        SPX_OBS(backoff = obs::ScopedSpan(
+                    tracer_, "service.retry.backoff", "service-",
+                    req_span.context(), 0,
+                    static_cast<std::int64_t>(job->id), attempt));
         std::this_thread::sleep_for(std::chrono::duration<double>(
             options_.retry_backoff_s * static_cast<double>(1 << (attempt - 1))));
       }
@@ -243,7 +298,7 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
     res.code = code;
     res.error = std::move(error);
     st.code = code;
-    ++counters_->failed;
+    counters_->note_failed();
     counters_->count_code(code);
     break;
   }
@@ -300,6 +355,10 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
 
   const index_t n = factor.n();
   const auto k = static_cast<index_t>(runnable.size());
+  obs::ScopedSpan batch_span;
+  SPX_OBS(batch_span = obs::ScopedSpan(
+              tracer_, "service.solve.batch", "service-", first->trace_ctx,
+              0, static_cast<std::int64_t>(first->id), k));
   try {
     Timer ts;
     std::vector<real_t> block(static_cast<std::size_t>(n) *
@@ -312,8 +371,7 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
     const double solve_s = ts.elapsed();
     const ErrorCode code = report.degraded ? ErrorCode::NumericalDegraded
                                            : ErrorCode::None;
-    ++counters_->batches;
-    counters_->batched_rhs += static_cast<std::uint64_t>(k);
+    counters_->note_batch(static_cast<std::uint64_t>(k));
     for (index_t c = 0; c < k; ++c) {
       SolveJob& job = *runnable[c];
       SolveResult r;
@@ -326,8 +384,8 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
       job.stats.code = code;
       job.stats.degraded = report.degraded;
       job.stats.backward_error = report.backward_error;
-      ++counters_->solves;
-      ++counters_->completed;
+      counters_->note_solve();
+      counters_->note_completed();
       counters_->count_code(code);
       job.stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
       r.stats = job.stats;
@@ -345,7 +403,7 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
       r.status = RequestStatus::Failed;
       r.code = code;
       r.error = e.what();
-      ++counters_->failed;
+      counters_->note_failed();
       counters_->count_code(code);
       job->stats.code = code;
       job->stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);

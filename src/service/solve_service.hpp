@@ -221,6 +221,7 @@ class SolveService {
   AnalysisCache cache_;
   AdmissionQueue queue_;
   std::shared_ptr<SharedCounters> counters_;
+  obs::Tracer* tracer_ = nullptr;  ///< from options_.solver.instr.tracer
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex retry_mutex_;
   std::unordered_map<std::string, std::uint64_t> retry_spent_;

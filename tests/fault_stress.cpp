@@ -45,7 +45,7 @@ void run_one(const CscMatrix<real_t>& a, std::uint64_t seed,
   SolverOptions opts;
   opts.runtime = rt;
   opts.num_threads = 4;
-  opts.fault = &fault;
+  opts.instr.fault = &fault;
   Solver<real_t> solver(opts);
   solver.analyze(a);
   bool threw = false;

@@ -246,7 +246,7 @@ TEST(FaultInjection, ThrowFaultSurfacesAndSolverStaysReusable) {
   SolverOptions opts;
   opts.runtime = RuntimeKind::Native;
   opts.num_threads = 4;
-  opts.fault = &fault;
+  opts.instr.fault = &fault;
   Solver<real_t> solver(opts);
   solver.analyze(a);
   EXPECT_THROW(solver.factorize(a, Factorization::LLT), InjectedFault);
@@ -266,7 +266,11 @@ TEST(FaultInjection, StallFaultDelaysButCompletes) {
   SolverOptions opts;
   opts.runtime = RuntimeKind::Parsec;
   opts.num_threads = 3;
+  // Deliberately exercises the deprecated alias: it must keep working
+  // (and warn) for one release while callers migrate to instr.fault.
+  SPX_SUPPRESS_DEPRECATED_BEGIN
   opts.fault = &fault;
+  SPX_SUPPRESS_DEPRECATED_END
   Solver<real_t> solver(opts);
   solver.analyze(a);
   ASSERT_NO_THROW(solver.factorize(a, Factorization::LLT));
@@ -279,7 +283,7 @@ TEST(FaultInjection, AllocFailSurfacesAsBadAlloc) {
   const auto a = gen::grid2d_laplacian(10, 10);
   FaultInjector fault(FaultPlan::nth_task(FaultAction::AllocFail, 0));
   SolverOptions opts;
-  opts.fault = &fault;
+  opts.instr.fault = &fault;
   Solver<real_t> solver(opts);
   solver.analyze(a);
   EXPECT_THROW(solver.factorize(a, Factorization::LLT), std::bad_alloc);
@@ -298,7 +302,7 @@ TEST(FaultInjection, CorruptPivotEitherPerturbsOrCompletes) {
     SolverOptions opts;
     opts.runtime = RuntimeKind::Starpu;
     opts.num_threads = 4;
-    opts.fault = &fault;
+    opts.instr.fault = &fault;
     Solver<real_t> solver(opts);
     solver.analyze(a);
     try {
@@ -340,7 +344,7 @@ TEST(ServiceResilience, InjectedFaultRetriesToSuccess) {
   // sees the allocation hook.
   sopts.solver.runtime = RuntimeKind::Native;
   sopts.solver.num_threads = 2;
-  sopts.solver.fault = &fault;
+  sopts.solver.instr.fault = &fault;
   SolveService svc(sopts);
   const auto a = gen::grid2d_laplacian(12, 12);
   const FactorizeResult fr =

@@ -80,7 +80,7 @@ TEST(Trace, RealDriverRecords) {
   ParsecScheduler sched(table, machine, costs);
   TraceRecorder trace;
   RealDriverOptions opts;
-  opts.trace = &trace;
+  opts.instr.trace = &trace;
   execute_real(sched, machine, f, opts);
   EXPECT_EQ(trace.num_events(),
             static_cast<std::size_t>(table.num_tasks()));
