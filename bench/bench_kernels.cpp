@@ -4,10 +4,14 @@
 // would feed into the simulator's CPU model.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "common/rng.hpp"
 #include "core/analysis.hpp"
 #include "core/sequential.hpp"
 #include "kernels/dense.hpp"
+#include "kernels/dispatch.hpp"
 #include "kernels/scatter.hpp"
 #include "mat/generators.hpp"
 
@@ -33,6 +37,44 @@ void BM_GemmNT(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256)->Arg(1024)->Iterations(20);
+
+// Square m=n=k GEMM: the acceptance shape of the dispatch layer
+// (docs/KERNELS.md records the generic-vs-SIMD ratio at 256+).
+void BM_GemmNTSquare(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  Rng rng(11);
+  std::vector<real_t> a(static_cast<std::size_t>(n) * n),
+      b(static_cast<std::size_t>(n) * n), c(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    k::gemm_nt<real_t>(n, n, n, -1.0, a.data(), n, b.data(), n, 1.0,
+                       c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_gemm(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNTSquare)->Arg(256)->Arg(384)->Iterations(20);
+
+void BM_GemmNTSquareFp32(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  Rng rng(12);
+  std::vector<real32_t> a(static_cast<std::size_t>(n) * n),
+      b(static_cast<std::size_t>(n) * n), c(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = static_cast<real32_t>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<real32_t>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    k::gemm_nt<real32_t>(n, n, n, -1.0f, a.data(), n, b.data(), n, 1.0f,
+                         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_gemm(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNTSquareFp32)->Arg(256)->Arg(384)->Iterations(20);
 
 void BM_GemmNTComplex(benchmark::State& state) {
   const index_t m = static_cast<index_t>(state.range(0));
@@ -159,6 +201,82 @@ void BM_SequentialCholesky(benchmark::State& state) {
 BENCHMARK(BM_SequentialCholesky)->Iterations(3);
 
 }  // namespace
+
+// --verify smoke mode (wired into ctest as bench_kernels_verify): runs a
+// compact GEMM conformance check against the *_ref oracle for every ISA
+// tier this host/build supports and prints the dispatch decision.  This is
+// the CI guard that the selected variant is not silently wrong on the
+// machine the benchmarks ran on.
+template <typename T>
+bool verify_type(const char* type_name, double tol_unit) {
+  const index_t sizes[] = {1, 7, 48, 96, 129};
+  bool all_ok = true;
+  for (const k::Isa isa : k::Dispatch::instance().supported()) {
+    k::ScopedIsaOverride force(isa);
+    if (!force.ok()) continue;
+    double worst = 0.0;
+    Rng rng(31);
+    for (const index_t m : sizes) {
+      for (const index_t n : sizes) {
+        for (const index_t kk : sizes) {
+          std::vector<T> a(static_cast<std::size_t>(m) * kk),
+              b(static_cast<std::size_t>(n) * kk),
+              bn(static_cast<std::size_t>(kk) * n),
+              c0(static_cast<std::size_t>(m) * n);
+          for (auto& v : a) v = rng.scalar<T>();
+          for (auto& v : b) v = rng.scalar<T>();
+          for (auto& v : bn) v = rng.scalar<T>();
+          for (auto& v : c0) v = rng.scalar<T>();
+          auto ref = c0;
+          auto got = c0;
+          k::gemm_nt_ref<T>(m, n, kk, T(-1), a.data(), m, b.data(), n, T(1),
+                            ref.data(), m);
+          k::gemm_nt<T>(m, n, kk, T(-1), a.data(), m, b.data(), n, T(1),
+                        got.data(), m);
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            worst = std::max(
+                worst, static_cast<double>(magnitude<T>(got[i] - ref[i])) /
+                           std::max<index_t>(1, kk));
+          }
+          ref = c0;
+          got = c0;
+          k::gemm_nn_ref<T>(m, n, kk, T(-1), a.data(), m, bn.data(), kk,
+                            T(1), ref.data(), m);
+          k::gemm_nn<T>(m, n, kk, T(-1), a.data(), m, bn.data(), kk, T(1),
+                        got.data(), m);
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            worst = std::max(
+                worst, static_cast<double>(magnitude<T>(got[i] - ref[i])) /
+                           std::max<index_t>(1, kk));
+          }
+        }
+      }
+    }
+    const bool ok = worst < tol_unit;
+    std::printf("  %-8s %-8s max|err|/k = %.3e  %s\n", type_name,
+                k::to_string(isa), worst, ok ? "OK" : "FAIL");
+    all_ok = all_ok && ok;
+  }
+  return all_ok;
+}
+
+int run_verify() {
+  std::printf("dispatch: %s\n", k::Dispatch::instance().describe().c_str());
+  bool ok = verify_type<real_t>("fp64", 1e-12);
+  ok = verify_type<real32_t>("fp32", 2e-4) && ok;
+  std::printf("verify: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace spx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) return spx::run_verify();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

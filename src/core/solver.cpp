@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/sequential.hpp"
+#include "kernels/dispatch.hpp"
 #include "perfmodel/calibrated_costs.hpp"
 #include "runtime/flop_costs.hpp"
 #include "runtime/native_scheduler.hpp"
@@ -151,6 +152,9 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
   }
   stats_.gflops = analysis_->structure.total_flops(kind) /
                   std::max(1e-12, stats_.makespan) / 1e9;
+  stats_.kernel_isa =
+      kernels::to_string(kernels::Dispatch::instance().active());
+  stats_.kernel_blas = kernels::Dispatch::instance().blas_active();
   SPX_OBS({
     obs::MetricsRegistry& reg =
         obs::registry_or_global(options_.instr.metrics);
@@ -163,6 +167,11 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
                   "Numeric factorization wall time",
                   {{"runtime", to_string(options_.runtime)}})
         .observe(wall.elapsed());
+    reg.gauge("spx_kernel_isa_info",
+              "Dense-kernel dispatch decision of the last factorization",
+              {{"isa", stats_.kernel_isa},
+               {"blas", stats_.kernel_blas ? "on" : "off"}})
+        .set(1);
     if (stats_.quality.degraded()) {
       reg.counter("spx_solver_degraded_factorizes_total",
                   "Factorizations completed with perturbed pivots")

@@ -1,0 +1,43 @@
+// Optional external-BLAS delegation (-DSPX_WITH_BLAS=ON): large GEMMs go
+// to any LP64 CBLAS (OpenBLAS, ATLAS, Netlib, BLIS) the build linked.
+//
+// The CBLAS prototypes are declared here instead of including <cblas.h>
+// so detection only needs the library, not development headers; the enum
+// arguments pass as int, which matches the C ABI of every LP64 CBLAS.
+// This file is only added to the build when SPX_WITH_BLAS is ON, so a
+// build without BLAS has no undefined symbols to satisfy.
+#include "kernels/dispatch.hpp"
+
+extern "C" {
+void cblas_dgemm(int order, int transa, int transb, int m, int n, int k,
+                 double alpha, const double* a, int lda, const double* b,
+                 int ldb, double beta, double* c, int ldc);
+void cblas_sgemm(int order, int transa, int transb, int m, int n, int k,
+                 float alpha, const float* a, int lda, const float* b,
+                 int ldb, float beta, float* c, int ldc);
+}
+
+namespace spx::kernels {
+namespace {
+constexpr int kColMajor = 102;  // CblasColMajor
+constexpr int kNoTrans = 111;   // CblasNoTrans
+constexpr int kTrans = 112;     // CblasTrans
+}  // namespace
+
+void blas_gemm(GemmShape shape, index_t m, index_t n, index_t k,
+               double alpha, const double* a, index_t lda, const double* b,
+               index_t ldb, double beta, double* c, index_t ldc) {
+  cblas_dgemm(kColMajor, kNoTrans,
+              shape == GemmShape::Nt ? kTrans : kNoTrans, m, n, k, alpha, a,
+              lda, b, ldb, beta, c, ldc);
+}
+
+void blas_gemm(GemmShape shape, index_t m, index_t n, index_t k, float alpha,
+               const float* a, index_t lda, const float* b, index_t ldb,
+               float beta, float* c, index_t ldc) {
+  cblas_sgemm(kColMajor, kNoTrans,
+              shape == GemmShape::Nt ? kTrans : kNoTrans, m, n, k, alpha, a,
+              lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace spx::kernels

@@ -5,12 +5,26 @@
 #include <string>
 #include <vector>
 
+#include "kernels/dispatch.hpp"
+
 namespace spx::kernels {
 namespace {
 
-/// Register-tiled core of gemm_nt for beta already applied: processes a
-/// j-tile of up to 4 columns of C at once so each A column is streamed
-/// once per 4 C columns.
+/// Shared argument guards: every dense kernel validates its dimensions
+/// and leading dimensions in debug builds, so a bad stride from a future
+/// caller (e.g. a 2D tile task) faults here instead of corrupting
+/// neighboring panels.  `ld_of(rows)` is the minimum legal leading
+/// dimension of an operand with `rows` rows.
+inline index_t ld_of(index_t rows) { return std::max<index_t>(1, rows); }
+
+#define SPX_KERNEL_ASSERT_DIMS_2(m, n) \
+  SPX_DEBUG_ASSERT((m) >= 0 && (n) >= 0)
+#define SPX_KERNEL_ASSERT_DIMS_3(m, n, k) \
+  SPX_DEBUG_ASSERT((m) >= 0 && (n) >= 0 && (k) >= 0)
+
+/// Register-tiled core of the streaming (non-packed) gemm_nt used by the
+/// complex path: processes a j-tile of up to 4 columns of C at once so
+/// each A column is streamed once per 4 C columns.
 template <typename T, int JT>
 void gemm_nt_jtile(index_t m, index_t k, T alpha, const T* a, index_t lda,
                    const T* b, index_t ldb, T* c, index_t ldc) {
@@ -29,27 +43,30 @@ void gemm_nt_jtile(index_t m, index_t k, T alpha, const T* a, index_t lda,
   }
 }
 
-}  // namespace
-
+/// C := beta * C over the full m x n extent (beta==0 overwrites NaN).
 template <typename T>
-void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a,
-             index_t lda, const T* b, index_t ldb, T beta, T* c,
-             index_t ldc) {
-  SPX_DEBUG_ASSERT(m >= 0 && n >= 0 && k >= 0);
-  SPX_DEBUG_ASSERT(lda >= std::max<index_t>(1, m) && ldc >= std::max<index_t>(1, m));
-  if (m == 0 || n == 0) return;
-  // Apply beta first.
+void scale_beta(index_t m, index_t n, T beta, T* c, index_t ldc) {
+  if (beta == T(1)) return;
   if (beta == T(0)) {
     for (index_t j = 0; j < n; ++j) {
       std::fill_n(c + static_cast<std::size_t>(j) * ldc, m, T(0));
     }
-  } else if (beta != T(1)) {
+  } else {
     for (index_t j = 0; j < n; ++j) {
       T* col = c + static_cast<std::size_t>(j) * ldc;
       for (index_t i = 0; i < m; ++i) col[i] *= beta;
     }
   }
-  if (k == 0 || alpha == T(0)) return;
+}
+
+/// Streaming gemm_nt kept for the complex types (the dispatch layer
+/// covers real_t/real32_t with packed SIMD variants; see dispatch.hpp).
+template <typename T>
+void gemm_nt_streaming(index_t m, index_t n, index_t k, T alpha, const T* a,
+                       index_t lda, const T* b, index_t ldb, T beta, T* c,
+                       index_t ldc) {
+  scale_beta(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
   // Block over k to keep the streamed A panel in cache.
   constexpr index_t KB = 256;
   for (index_t l0 = 0; l0 < k; l0 += KB) {
@@ -68,39 +85,13 @@ void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a,
   }
 }
 
+/// Streaming gemm_nn (axpy formulation) kept for the complex types.
 template <typename T>
-void gemm_nt_ref(index_t m, index_t n, index_t k, T alpha, const T* a,
-                 index_t lda, const T* b, index_t ldb, T beta, T* c,
-                 index_t ldc) {
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = 0; i < m; ++i) {
-      T acc = T(0);
-      for (index_t l = 0; l < k; ++l) {
-        acc += a[i + static_cast<std::size_t>(l) * lda] *
-               b[j + static_cast<std::size_t>(l) * ldb];
-      }
-      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
-      cij = beta * cij + alpha * acc;
-    }
-  }
-}
-
-template <typename T>
-void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a,
-             index_t lda, const T* b, index_t ldb, T beta, T* c,
-             index_t ldc) {
-  if (m == 0 || n == 0) return;
-  if (beta == T(0)) {
-    for (index_t j = 0; j < n; ++j) {
-      std::fill_n(c + static_cast<std::size_t>(j) * ldc, m, T(0));
-    }
-  } else if (beta != T(1)) {
-    for (index_t j = 0; j < n; ++j) {
-      T* col = c + static_cast<std::size_t>(j) * ldc;
-      for (index_t i = 0; i < m; ++i) col[i] *= beta;
-    }
-  }
-  if (k == 0 || alpha == T(0)) return;
+void gemm_nn_streaming(index_t m, index_t n, index_t k, T alpha, const T* a,
+                       index_t lda, const T* b, index_t ldb, T beta, T* c,
+                       index_t ldc) {
+  scale_beta(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
   // axpy formulation: C(:,j) += alpha * B(l,j) * A(:,l), streaming A once
   // per column of C with 4-column tiles like gemm_nt.
   for (index_t j0 = 0; j0 < n; j0 += 4) {
@@ -121,10 +112,61 @@ void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a,
   }
 }
 
+}  // namespace
+
+template <typename T>
+void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a,
+             index_t lda, const T* b, index_t ldb, T beta, T* c,
+             index_t ldc) {
+  SPX_KERNEL_ASSERT_DIMS_3(m, n, k);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m) && ldb >= ld_of(n) && ldc >= ld_of(m));
+  if constexpr (is_complex_v<T>) {
+    gemm_nt_streaming(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else {
+    Dispatch::instance().gemm<T>(GemmShape::Nt, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc);
+  }
+}
+
+template <typename T>
+void gemm_nt_ref(index_t m, index_t n, index_t k, T alpha, const T* a,
+                 index_t lda, const T* b, index_t ldb, T beta, T* c,
+                 index_t ldc) {
+  SPX_KERNEL_ASSERT_DIMS_3(m, n, k);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m) && ldb >= ld_of(n) && ldc >= ld_of(m));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      T acc = T(0);
+      for (index_t l = 0; l < k; ++l) {
+        acc += a[i + static_cast<std::size_t>(l) * lda] *
+               b[j + static_cast<std::size_t>(l) * ldb];
+      }
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = beta * cij + alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a,
+             index_t lda, const T* b, index_t ldb, T beta, T* c,
+             index_t ldc) {
+  SPX_KERNEL_ASSERT_DIMS_3(m, n, k);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m) && ldb >= ld_of(k) && ldc >= ld_of(m));
+  if constexpr (is_complex_v<T>) {
+    gemm_nn_streaming(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else {
+    Dispatch::instance().gemm<T>(GemmShape::Nn, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc);
+  }
+}
+
 template <typename T>
 void gemm_nn_ref(index_t m, index_t n, index_t k, T alpha, const T* a,
                  index_t lda, const T* b, index_t ldb, T beta, T* c,
                  index_t ldc) {
+  SPX_KERNEL_ASSERT_DIMS_3(m, n, k);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m) && ldb >= ld_of(k) && ldc >= ld_of(m));
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
       T acc = T(0);
@@ -215,45 +257,6 @@ T settle_pivot(const char* kernel, T d, index_t j, const PivotControl& pc,
 }
 
 template <typename T>
-void trsm_right_lower_trans_unblocked(index_t m, index_t n, const T* l,
-                                      index_t ldl, T* x, index_t ldx,
-                                      bool unit_diag) {
-  // Solve X * L^T = B column by column of L^T (i.e. row j of L):
-  //   X(:,j) = (B(:,j) - sum_{i<j} X(:,i) * L(j,i)) / L(j,j)
-  for (index_t j = 0; j < n; ++j) {
-    T* xj = x + static_cast<std::size_t>(j) * ldx;
-    for (index_t i = 0; i < j; ++i) {
-      const T lji = l[j + static_cast<std::size_t>(i) * ldl];
-      if (lji == T(0)) continue;
-      const T* xi = x + static_cast<std::size_t>(i) * ldx;
-      for (index_t r = 0; r < m; ++r) xj[r] -= xi[r] * lji;
-    }
-    if (!unit_diag) {
-      const T d = l[j + static_cast<std::size_t>(j) * ldl];
-      const T inv = T(1) / d;
-      for (index_t r = 0; r < m; ++r) xj[r] *= inv;
-    }
-  }
-}
-
-template <typename T>
-void trsm_right_upper_unblocked(index_t m, index_t n, const T* u,
-                                index_t ldu, T* x, index_t ldx) {
-  // Solve X * U = B:  X(:,j) = (B(:,j) - sum_{i<j} X(:,i)*U(i,j)) / U(j,j).
-  for (index_t j = 0; j < n; ++j) {
-    T* xj = x + static_cast<std::size_t>(j) * ldx;
-    for (index_t i = 0; i < j; ++i) {
-      const T uij = u[i + static_cast<std::size_t>(j) * ldu];
-      if (uij == T(0)) continue;
-      const T* xi = x + static_cast<std::size_t>(i) * ldx;
-      for (index_t r = 0; r < m; ++r) xj[r] -= xi[r] * uij;
-    }
-    const T inv = T(1) / u[j + static_cast<std::size_t>(j) * ldu];
-    for (index_t r = 0; r < m; ++r) xj[r] *= inv;
-  }
-}
-
-template <typename T>
 void potrf_unblocked(index_t n, T* a, index_t lda, const PivotControl& pc) {
   // Left-looking scalar Cholesky, used on diagonal blocks of size <= kNB.
   for (index_t j = 0; j < n; ++j) {
@@ -289,7 +292,6 @@ void ldlt_unblocked(index_t n, T* a, index_t lda, const PivotControl& pc) {
       T* akcol = a + static_cast<std::size_t>(k) * lda;
       for (index_t i = k; i < n; ++i) akcol[i] -= aj[i] * lkj_d;
     }
-    (void)inv;
   }
 }
 
@@ -314,8 +316,53 @@ void getrf_nopiv_unblocked(index_t n, T* a, index_t lda,
 }  // namespace
 
 template <typename T>
+void trsm_right_lower_trans_unblocked(index_t m, index_t n, const T* l,
+                                      index_t ldl, T* x, index_t ldx,
+                                      bool unit_diag) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(ldl >= ld_of(n) && ldx >= ld_of(m));
+  // Solve X * L^T = B column by column of L^T (i.e. row j of L):
+  //   X(:,j) = (B(:,j) - sum_{i<j} X(:,i) * L(j,i)) / L(j,j)
+  for (index_t j = 0; j < n; ++j) {
+    T* xj = x + static_cast<std::size_t>(j) * ldx;
+    for (index_t i = 0; i < j; ++i) {
+      const T lji = l[j + static_cast<std::size_t>(i) * ldl];
+      if (lji == T(0)) continue;
+      const T* xi = x + static_cast<std::size_t>(i) * ldx;
+      for (index_t r = 0; r < m; ++r) xj[r] -= xi[r] * lji;
+    }
+    if (!unit_diag) {
+      const T d = l[j + static_cast<std::size_t>(j) * ldl];
+      const T inv = T(1) / d;
+      for (index_t r = 0; r < m; ++r) xj[r] *= inv;
+    }
+  }
+}
+
+template <typename T>
+void trsm_right_upper_unblocked(index_t m, index_t n, const T* u,
+                                index_t ldu, T* x, index_t ldx) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(ldu >= ld_of(n) && ldx >= ld_of(m));
+  // Solve X * U = B:  X(:,j) = (B(:,j) - sum_{i<j} X(:,i)*U(i,j)) / U(j,j).
+  for (index_t j = 0; j < n; ++j) {
+    T* xj = x + static_cast<std::size_t>(j) * ldx;
+    for (index_t i = 0; i < j; ++i) {
+      const T uij = u[i + static_cast<std::size_t>(j) * ldu];
+      if (uij == T(0)) continue;
+      const T* xi = x + static_cast<std::size_t>(i) * ldx;
+      for (index_t r = 0; r < m; ++r) xj[r] -= xi[r] * uij;
+    }
+    const T inv = T(1) / u[j + static_cast<std::size_t>(j) * ldu];
+    for (index_t r = 0; r < m; ++r) xj[r] *= inv;
+  }
+}
+
+template <typename T>
 void trsm_right_lower_trans(index_t m, index_t n, const T* l, index_t ldl,
                             T* x, index_t ldx, bool unit_diag) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(ldl >= ld_of(n) && ldx >= ld_of(m));
   // Blocked: X_j := (B_j - X_{<j} * L(j, <j)^T) * L_jj^{-T}.
   for (index_t j = 0; j < n; j += kNB) {
     const index_t jb = std::min(kNB, n - j);
@@ -332,6 +379,8 @@ void trsm_right_lower_trans(index_t m, index_t n, const T* l, index_t ldl,
 template <typename T>
 void trsm_right_upper(index_t m, index_t n, const T* u, index_t ldu, T* x,
                       index_t ldx) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(ldu >= ld_of(n) && ldx >= ld_of(m));
   // Blocked: X_j := (B_j - X_{<j} * U(<j, j)) * U_jj^{-1}.
   for (index_t j = 0; j < n; j += kNB) {
     const index_t jb = std::min(kNB, n - j);
@@ -349,6 +398,8 @@ void trsm_right_upper(index_t m, index_t n, const T* u, index_t ldu, T* x,
 template <typename T>
 void trsm_left_lower_unit(index_t n, index_t m, const T* l, index_t ldl,
                           T* x, index_t ldx) {
+  SPX_KERNEL_ASSERT_DIMS_2(n, m);
+  SPX_DEBUG_ASSERT(ldl >= ld_of(n) && ldx >= ld_of(n));
   // Forward substitution on block rows: X_i := X_i - L(i, <i) * X_{<i}.
   for (index_t i = 0; i < n; i += kNB) {
     const index_t ib = std::min(kNB, n - i);
@@ -372,6 +423,7 @@ void trsm_left_lower_unit(index_t n, index_t m, const T* l, index_t ldl,
 
 template <typename T>
 void potrf(index_t n, T* a, index_t lda, const PivotControl& pc) {
+  SPX_DEBUG_ASSERT(n >= 0 && lda >= ld_of(n));
   // Right-looking blocked Cholesky over the unblocked base case.
   for (index_t k = 0; k < n; k += kNB) {
     const index_t kb = std::min(kNB, n - k);
@@ -380,7 +432,7 @@ void potrf(index_t n, T* a, index_t lda, const PivotControl& pc) {
     const index_t m2 = n - k - kb;
     if (m2 == 0) continue;
     T* a21 = akk + kb;
-    trsm_right_lower_trans_unblocked(m2, kb, akk, lda, a21, lda, false);
+    trsm_right_lower_trans(m2, kb, akk, lda, a21, lda, false);
     // Trailing symmetric update, lower trapezoid by block columns.
     for (index_t j = 0; j < m2; j += kNB) {
       const index_t jb = std::min(kNB, m2 - j);
@@ -394,6 +446,7 @@ void potrf(index_t n, T* a, index_t lda, const PivotControl& pc) {
 
 template <typename T>
 void ldlt(index_t n, T* a, index_t lda, const PivotControl& pc) {
+  SPX_DEBUG_ASSERT(n >= 0 && lda >= ld_of(n));
   // Blocked LDL^T: needs a W = L21 * D scratch for the trailing update.
   std::vector<T> w;
   for (index_t k = 0; k < n; k += kNB) {
@@ -403,10 +456,17 @@ void ldlt(index_t n, T* a, index_t lda, const PivotControl& pc) {
     const index_t m2 = n - k - kb;
     if (m2 == 0) continue;
     T* a21 = akk + kb;
-    trsm_right_lower_trans_unblocked(m2, kb, akk, lda, a21, lda, true);
+    trsm_right_lower_trans(m2, kb, akk, lda, a21, lda, true);
     // a21 currently holds L21 * D (the TRSM solved against unit L only);
-    // save it as W, then divide out D to obtain L21.
-    w.assign(a21, a21 + static_cast<std::size_t>(kb - 1) * lda + m2);
+    // save it as W column by column into a tight m2-stride buffer (a
+    // whole-panel copy would also drag the (lda - m2)-element inter-column
+    // gaps along, and overread a caller's tight-bottom panel), then divide
+    // out D to obtain L21.
+    w.resize(static_cast<std::size_t>(kb) * m2);
+    for (index_t j = 0; j < kb; ++j) {
+      std::copy_n(a21 + static_cast<std::size_t>(j) * lda, m2,
+                  w.data() + static_cast<std::size_t>(j) * m2);
+    }
     std::vector<T> dinv(static_cast<std::size_t>(kb));
     for (index_t j = 0; j < kb; ++j) {
       dinv[j] = akk[j + static_cast<std::size_t>(j) * lda];
@@ -415,7 +475,7 @@ void ldlt(index_t n, T* a, index_t lda, const PivotControl& pc) {
     // Trailing update: A22 -= L21 * (L21 * D)^T = L21 * W^T (lower part).
     for (index_t j = 0; j < m2; j += kNB) {
       const index_t jb = std::min(kNB, m2 - j);
-      gemm_nt(m2 - j, jb, kb, T(-1), a21 + j, lda, w.data() + j, lda, T(1),
+      gemm_nt(m2 - j, jb, kb, T(-1), a21 + j, lda, w.data() + j, m2, T(1),
               a + (k + kb + j) +
                   static_cast<std::size_t>(k + kb + j) * lda,
               lda);
@@ -425,6 +485,7 @@ void ldlt(index_t n, T* a, index_t lda, const PivotControl& pc) {
 
 template <typename T>
 void getrf_nopiv(index_t n, T* a, index_t lda, const PivotControl& pc) {
+  SPX_DEBUG_ASSERT(n >= 0 && lda >= ld_of(n));
   for (index_t k = 0; k < n; k += kNB) {
     const index_t kb = std::min(kNB, n - k);
     T* akk = a + k + static_cast<std::size_t>(k) * lda;
@@ -434,7 +495,7 @@ void getrf_nopiv(index_t n, T* a, index_t lda, const PivotControl& pc) {
     T* a21 = akk + kb;                                        // below
     T* a12 = akk + static_cast<std::size_t>(kb) * lda;        // right
     T* a22 = a12 + kb;
-    trsm_right_upper_unblocked(m2, kb, akk, lda, a21, lda);   // L21
+    trsm_right_upper(m2, kb, akk, lda, a21, lda);             // L21
     trsm_left_lower_unit(kb, m2, akk, lda, a12, lda);         // U12
     gemm_nn(m2, m2, kb, T(-1), a21, lda, a12, lda, T(1), a22, lda);
   }
@@ -444,6 +505,8 @@ template <typename T>
 void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a,
              index_t lda, const T* b, index_t ldb, T beta, T* c,
              index_t ldc) {
+  SPX_KERNEL_ASSERT_DIMS_3(m, n, k);
+  SPX_DEBUG_ASSERT(lda >= ld_of(k) && ldb >= ld_of(k) && ldc >= ld_of(m));
   for (index_t j = 0; j < n; ++j) {
     const T* bcol = b + static_cast<std::size_t>(j) * ldb;
     T* ccol = c + static_cast<std::size_t>(j) * ldc;
@@ -459,6 +522,8 @@ void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a,
 template <typename T>
 void trsm_left_lower(index_t n, index_t m, const T* l, index_t ldl,
                      bool unit_diag, T* x, index_t ldx) {
+  SPX_KERNEL_ASSERT_DIMS_2(n, m);
+  SPX_DEBUG_ASSERT(ldl >= ld_of(n) && ldx >= ld_of(n));
   for (index_t c = 0; c < m; ++c) {
     trsv_lower(n, l, ldl, unit_diag, x + static_cast<std::size_t>(c) * ldx);
   }
@@ -467,6 +532,8 @@ void trsm_left_lower(index_t n, index_t m, const T* l, index_t ldl,
 template <typename T>
 void trsm_left_lower_trans(index_t n, index_t m, const T* l, index_t ldl,
                            bool unit_diag, T* x, index_t ldx) {
+  SPX_KERNEL_ASSERT_DIMS_2(n, m);
+  SPX_DEBUG_ASSERT(ldl >= ld_of(n) && ldx >= ld_of(n));
   for (index_t c = 0; c < m; ++c) {
     trsv_lower_trans(n, l, ldl, unit_diag,
                      x + static_cast<std::size_t>(c) * ldx);
@@ -476,6 +543,8 @@ void trsm_left_lower_trans(index_t n, index_t m, const T* l, index_t ldl,
 template <typename T>
 void trsm_left_upper(index_t n, index_t m, const T* u, index_t ldu, T* x,
                      index_t ldx) {
+  SPX_KERNEL_ASSERT_DIMS_2(n, m);
+  SPX_DEBUG_ASSERT(ldu >= ld_of(n) && ldx >= ld_of(n));
   for (index_t c = 0; c < m; ++c) {
     trsv_upper(n, u, ldu, x + static_cast<std::size_t>(c) * ldx);
   }
@@ -484,6 +553,8 @@ void trsm_left_upper(index_t n, index_t m, const T* u, index_t ldu, T* x,
 template <typename T>
 void scale_cols(index_t m, index_t n, const T* a, index_t lda, const T* d,
                 T* b, index_t ldb) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m) && ldb >= ld_of(m));
   for (index_t j = 0; j < n; ++j) {
     const T* acol = a + static_cast<std::size_t>(j) * lda;
     T* bcol = b + static_cast<std::size_t>(j) * ldb;
@@ -494,6 +565,8 @@ void scale_cols(index_t m, index_t n, const T* a, index_t lda, const T* d,
 
 template <typename T>
 void scale_cols_inv(index_t m, index_t n, T* a, index_t lda, const T* d) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m));
   for (index_t j = 0; j < n; ++j) {
     T* col = a + static_cast<std::size_t>(j) * lda;
     const T inv = T(1) / d[j];
@@ -503,6 +576,7 @@ void scale_cols_inv(index_t m, index_t n, T* a, index_t lda, const T* d) {
 
 template <typename T>
 void trsv_lower(index_t n, const T* l, index_t ldl, bool unit_diag, T* b) {
+  SPX_DEBUG_ASSERT(n >= 0 && ldl >= ld_of(n));
   for (index_t j = 0; j < n; ++j) {
     const T* lj = l + static_cast<std::size_t>(j) * ldl;
     if (!unit_diag) b[j] /= lj[j];
@@ -514,6 +588,7 @@ void trsv_lower(index_t n, const T* l, index_t ldl, bool unit_diag, T* b) {
 template <typename T>
 void trsv_lower_trans(index_t n, const T* l, index_t ldl, bool unit_diag,
                       T* b) {
+  SPX_DEBUG_ASSERT(n >= 0 && ldl >= ld_of(n));
   for (index_t j = n - 1; j >= 0; --j) {
     const T* lj = l + static_cast<std::size_t>(j) * ldl;
     T acc = b[j];
@@ -524,6 +599,7 @@ void trsv_lower_trans(index_t n, const T* l, index_t ldl, bool unit_diag,
 
 template <typename T>
 void trsv_upper(index_t n, const T* u, index_t ldu, T* b) {
+  SPX_DEBUG_ASSERT(n >= 0 && ldu >= ld_of(n));
   for (index_t j = n - 1; j >= 0; --j) {
     const T* uj = u + static_cast<std::size_t>(j) * ldu;
     b[j] /= uj[j];
@@ -535,6 +611,8 @@ void trsv_upper(index_t n, const T* u, index_t ldu, T* b) {
 template <typename T>
 void gemv_sub(index_t m, index_t n, const T* a, index_t lda, const T* x,
               T* y) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m));
   for (index_t j = 0; j < n; ++j) {
     const T xj = x[j];
     if (xj == T(0)) continue;
@@ -546,6 +624,8 @@ void gemv_sub(index_t m, index_t n, const T* a, index_t lda, const T* x,
 template <typename T>
 void gemv_trans_sub(index_t m, index_t n, const T* a, index_t lda,
                     const T* x, T* y) {
+  SPX_KERNEL_ASSERT_DIMS_2(m, n);
+  SPX_DEBUG_ASSERT(lda >= ld_of(m));
   for (index_t j = 0; j < n; ++j) {
     const T* col = a + static_cast<std::size_t>(j) * lda;
     T acc = T(0);
@@ -575,8 +655,12 @@ void gemv_trans_sub(index_t m, index_t n, const T* a, index_t lda,
                                    T*, index_t);                            \
   template void trsm_right_lower_trans<T>(index_t, index_t, const T*,       \
                                           index_t, T*, index_t, bool);      \
+  template void trsm_right_lower_trans_unblocked<T>(                        \
+      index_t, index_t, const T*, index_t, T*, index_t, bool);              \
   template void trsm_right_upper<T>(index_t, index_t, const T*, index_t,    \
                                     T*, index_t);                           \
+  template void trsm_right_upper_unblocked<T>(index_t, index_t, const T*,   \
+                                              index_t, T*, index_t);        \
   template void potrf<T>(index_t, T*, index_t, const PivotControl&);        \
   template void ldlt<T>(index_t, T*, index_t, const PivotControl&);         \
   template void getrf_nopiv<T>(index_t, T*, index_t, const PivotControl&);  \

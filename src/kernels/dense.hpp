@@ -100,6 +100,19 @@ template <typename T>
 void trsm_right_upper(index_t m, index_t n, const T* u, index_t ldu, T* x,
                       index_t ldx);
 
+/// Unblocked (column-at-a-time) base case of trsm_right_lower_trans.
+/// Exposed as a test oracle: the blocked variant must agree with this for
+/// every n, including n that is not a multiple of the blocking factor.
+template <typename T>
+void trsm_right_lower_trans_unblocked(index_t m, index_t n, const T* l,
+                                      index_t ldl, T* x, index_t ldx,
+                                      bool unit_diag);
+
+/// Unblocked base case of trsm_right_upper (test oracle, see above).
+template <typename T>
+void trsm_right_upper_unblocked(index_t m, index_t n, const T* u,
+                                index_t ldu, T* x, index_t ldx);
+
 /// In-place lower Cholesky of the leading n x n block: A = L*L^T, lower
 /// triangle overwritten by L (strictly upper part untouched).
 /// Throws NumericalError on a non-positive pivot (or, under a perturbing

@@ -1,0 +1,250 @@
+#include "kernels/dispatch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace spx::kernels {
+
+// Variant providers, one pair per ISA translation unit.  Tables come back
+// null when the TU was compiled for a target that cannot run the tier.
+GemmFuncs<real_t> gemm_variant_generic_d();
+GemmFuncs<real32_t> gemm_variant_generic_s();
+GemmFuncs<real_t> gemm_variant_avx2_d();
+GemmFuncs<real32_t> gemm_variant_avx2_s();
+GemmFuncs<real_t> gemm_variant_avx512_d();
+GemmFuncs<real32_t> gemm_variant_avx512_s();
+GemmFuncs<real_t> gemm_variant_neon_d();
+GemmFuncs<real32_t> gemm_variant_neon_s();
+
+#ifdef SPX_WITH_BLAS
+// kernels/blas_backend.cpp
+void blas_gemm(GemmShape shape, index_t m, index_t n, index_t k,
+               double alpha, const double* a, index_t lda, const double* b,
+               index_t ldb, double beta, double* c, index_t ldc);
+void blas_gemm(GemmShape shape, index_t m, index_t n, index_t k, float alpha,
+               const float* a, index_t lda, const float* b, index_t ldb,
+               float beta, float* c, index_t ldc);
+#endif
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::Generic:
+      return "generic";
+    case Isa::Neon:
+      return "neon";
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Avx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+namespace {
+
+Isa detect_host_isa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return Isa::Avx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::Avx2;
+  }
+  return Isa::Generic;
+#elif defined(__aarch64__)
+  return Isa::Neon;
+#else
+  return Isa::Generic;
+#endif
+}
+
+bool parse_isa(const char* s, Isa* out) {
+  if (std::strcmp(s, "generic") == 0) {
+    *out = Isa::Generic;
+  } else if (std::strcmp(s, "neon") == 0) {
+    *out = Isa::Neon;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Isa::Avx2;
+  } else if (std::strcmp(s, "avx512") == 0) {
+    *out = Isa::Avx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Dispatch& Dispatch::instance() {
+  static Dispatch d;
+  return d;
+}
+
+template <>
+GemmFuncs<real_t>* Dispatch::table<real_t>() {
+  return table_d_;
+}
+template <>
+GemmFuncs<real32_t>* Dispatch::table<real32_t>() {
+  return table_s_;
+}
+
+Dispatch::Dispatch() {
+  table_d_[static_cast<int>(Isa::Generic)] = gemm_variant_generic_d();
+  table_s_[static_cast<int>(Isa::Generic)] = gemm_variant_generic_s();
+  table_d_[static_cast<int>(Isa::Neon)] = gemm_variant_neon_d();
+  table_s_[static_cast<int>(Isa::Neon)] = gemm_variant_neon_s();
+  table_d_[static_cast<int>(Isa::Avx2)] = gemm_variant_avx2_d();
+  table_s_[static_cast<int>(Isa::Avx2)] = gemm_variant_avx2_s();
+  table_d_[static_cast<int>(Isa::Avx512)] = gemm_variant_avx512_d();
+  table_s_[static_cast<int>(Isa::Avx512)] = gemm_variant_avx512_s();
+
+  detected_ = detect_host_isa();
+  // A tier is offered only when the host supports it AND both scalar
+  // tables were compiled for it.  AVX-512 hosts can run the AVX2 tier;
+  // tier families never mix otherwise.
+  auto offered = [&](Isa isa) {
+    return table_d_[static_cast<int>(isa)].available() &&
+           table_s_[static_cast<int>(isa)].available();
+  };
+  supported_.push_back(Isa::Generic);
+  if (detected_ == Isa::Neon && offered(Isa::Neon)) {
+    supported_.push_back(Isa::Neon);
+  }
+  if ((detected_ == Isa::Avx2 || detected_ == Isa::Avx512) &&
+      offered(Isa::Avx2)) {
+    supported_.push_back(Isa::Avx2);
+  }
+  if (detected_ == Isa::Avx512 && offered(Isa::Avx512)) {
+    supported_.push_back(Isa::Avx512);
+  }
+
+  auto_choice_ = supported_.back();
+  if (const char* env = std::getenv("SPX_KERNEL_ISA")) {
+    env_value_ = env;
+    Isa parsed;
+    if (std::strcmp(env, "auto") == 0 || env[0] == '\0') {
+      // explicit auto: keep the best tier
+    } else if (!parse_isa(env, &parsed)) {
+      std::fprintf(stderr,
+                   "spx: SPX_KERNEL_ISA='%s' not recognized "
+                   "(auto|generic|neon|avx2|avx512); using %s\n",
+                   env, to_string(auto_choice_));
+    } else if (std::find(supported_.begin(), supported_.end(), parsed) ==
+               supported_.end()) {
+      std::fprintf(stderr,
+                   "spx: SPX_KERNEL_ISA='%s' not runnable on this "
+                   "host/build; using %s\n",
+                   env, to_string(auto_choice_));
+    } else {
+      auto_choice_ = parsed;
+      env_override_ = true;
+    }
+  }
+  active_.store(auto_choice_, std::memory_order_relaxed);
+
+#ifdef SPX_WITH_BLAS
+  blas_crossover_ = 96;
+  if (const char* env = std::getenv("SPX_BLAS_CROSSOVER")) {
+    blas_crossover_ = static_cast<index_t>(std::atoi(env));  // <=0 disables
+  }
+#endif
+
+  // Record the startup decision as an info gauge (labels carry the state;
+  // the value is always 1).  Forced overrides are per-run-visible through
+  // RunStats::kernel_isa instead.
+  SPX_OBS(obs::MetricsRegistry::global()
+              .gauge("spx_kernel_isa_info",
+                     "Dense-kernel dispatch decision at startup",
+                     {{"isa", to_string(auto_choice_)},
+                      {"detected", to_string(detected_)},
+                      {"blas", blas_active() ? "on" : "off"}})
+              .set(1));
+}
+
+bool Dispatch::force(Isa isa) {
+  if (std::find(supported_.begin(), supported_.end(), isa) ==
+      supported_.end()) {
+    return false;
+  }
+  active_.store(isa, std::memory_order_relaxed);
+  return true;
+}
+
+void Dispatch::reset() {
+  active_.store(auto_choice_, std::memory_order_relaxed);
+}
+
+bool Dispatch::blas_compiled() const {
+#ifdef SPX_WITH_BLAS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Dispatch::blas_active() const {
+  return blas_compiled() && blas_crossover_ > 0;
+}
+
+std::string Dispatch::describe() const {
+  std::string s = "isa=";
+  s += to_string(active());
+  s += " (detected ";
+  s += to_string(detected_);
+  if (env_override_) {
+    s += ", SPX_KERNEL_ISA=";
+    s += env_value_;
+  }
+  s += "), blas=";
+  if (!blas_compiled()) {
+    s += "off";
+  } else if (!blas_active()) {
+    s += "compiled,disabled";
+  } else {
+    s += "on,crossover=";
+    s += std::to_string(blas_crossover_);
+  }
+  return s;
+}
+
+template <typename T>
+const GemmFuncs<T>& Dispatch::variant(Isa isa) const {
+  return const_cast<Dispatch*>(this)->table<T>()[static_cast<int>(isa)];
+}
+
+template <typename T>
+void Dispatch::gemm(GemmShape shape, index_t m, index_t n, index_t k,
+                    T alpha, const T* a, index_t lda, const T* b,
+                    index_t ldb, T beta, T* c, index_t ldc) const {
+#ifdef SPX_WITH_BLAS
+  if (blas_crossover_ > 0) {
+    const double crossover = static_cast<double>(blas_crossover_);
+    if (static_cast<double>(m) * static_cast<double>(n) *
+            static_cast<double>(k) >=
+        crossover * crossover * crossover) {
+      blas_gemm(shape, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      return;
+    }
+  }
+#endif
+  const GemmFuncs<T>& f = variant<T>(active());
+  (shape == GemmShape::Nt ? f.nt : f.nn)(m, n, k, alpha, a, lda, b, ldb,
+                                         beta, c, ldc);
+}
+
+template const GemmFuncs<real_t>& Dispatch::variant<real_t>(Isa) const;
+template const GemmFuncs<real32_t>& Dispatch::variant<real32_t>(Isa) const;
+template void Dispatch::gemm<real_t>(GemmShape, index_t, index_t, index_t,
+                                     real_t, const real_t*, index_t,
+                                     const real_t*, index_t, real_t, real_t*,
+                                     index_t) const;
+template void Dispatch::gemm<real32_t>(GemmShape, index_t, index_t, index_t,
+                                       real32_t, const real32_t*, index_t,
+                                       const real32_t*, index_t, real32_t,
+                                       real32_t*, index_t) const;
+
+}  // namespace spx::kernels

@@ -1,0 +1,223 @@
+// Packed, register- and cache-blocked GEMM shared by every ISA variant of
+// the dense-kernel dispatch layer (kernels/dispatch.hpp).
+//
+// The design is the classic three-level blocking of Goto/BLIS, sized for
+// the panel shapes the sparse factorization produces:
+//
+//   jc over NC columns of C   (B panel reused across the whole M extent)
+//     pc over KC of k         (B block packed once, alpha folded in)
+//       ic over MC rows of C  (A block packed into MR-row micro-panels)
+//         jr over NR, ir over MR -> micro-kernel: an MR x NR register
+//         tile accumulated over KC with one A load + NR broadcasts per k.
+//
+// Each ISA translation unit (microkernel_generic.cpp, microkernel_avx2.cpp,
+// microkernel_avx512.cpp, microkernel_neon.cpp) instantiates packed_gemm
+// with its own micro-kernel struct and is compiled with that ISA's flags;
+// the dispatcher only ever calls a variant after cpuid confirms support.
+//
+// Micro-kernel contract (struct M):
+//   static constexpr int MR, NR;           // register tile
+//   static void run(index_t kc, const T* ap, const T* bp, T* c, index_t ldc);
+//     -> C(0:MR, 0:NR) += sum_l ap[l*MR + i] * bp[l*NR + j], column-major C.
+// Edge tiles run the same kernel into a zeroed MR x NR stack buffer whose
+// valid region is then added to C, so packed panels are always full-width
+// (zero padded) and the inner loop never branches on remainders.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spx::kernels::micro {
+
+/// Cache blocking parameters (elements, not bytes).  KC x NR of packed B
+/// stays L1-resident per micro-panel; MC x KC of packed A targets L2; NC
+/// bounds the packed-B workspace (KC*NC doubles = 1 MiB at the defaults).
+constexpr index_t kKC = 256;
+constexpr index_t kMC = 192;
+constexpr index_t kNC = 512;
+
+/// Calls with m*n*k below this skip packing entirely: the streaming
+/// fallback below beats the packed path once the pack cost is not
+/// amortized (measured crossover is near 12^3 on both tested hosts).
+constexpr double kSmallGemmCutoff = 2048.0;
+
+/// B-operand shape of the two GEMM flavors the solver uses.
+/// Nt: B is n x k, C += alpha*A*B^T (the sparse-update shape).
+/// Nn: B is k x n, C += alpha*A*B (blocked-LU trailing update).
+enum class BShape { Nt, Nn };
+
+/// C := beta * C over the full m x n extent (beta==0 overwrites, so C may
+/// hold NaN/garbage on entry).
+template <typename T>
+inline void apply_beta(index_t m, index_t n, T beta, T* c, index_t ldc) {
+  if (beta == T(1)) return;
+  if (beta == T(0)) {
+    for (index_t j = 0; j < n; ++j) {
+      std::fill_n(c + static_cast<std::size_t>(j) * ldc, m, T(0));
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      T* col = c + static_cast<std::size_t>(j) * ldc;
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+/// Packs an mc x kc block of A (column-major, lda) into MR-row
+/// micro-panels: out[panel][l*MR + i], zero-padding the last panel.
+template <typename T, int MR>
+void pack_a(index_t mc, index_t kc, const T* a, index_t lda, T* out) {
+  for (index_t i0 = 0; i0 < mc; i0 += MR) {
+    const index_t mr = std::min<index_t>(MR, mc - i0);
+    for (index_t l = 0; l < kc; ++l) {
+      const T* col = a + i0 + static_cast<std::size_t>(l) * lda;
+      index_t i = 0;
+      for (; i < mr; ++i) out[i] = col[i];
+      for (; i < MR; ++i) out[i] = T(0);
+      out += MR;
+    }
+  }
+}
+
+/// Packs a kc x nc block of B into NR-column micro-panels with alpha
+/// folded in: out[panel][l*NR + j] = alpha * B(j, l) (Nt) or
+/// alpha * B(l, j) (Nn), zero-padding the last panel.
+template <typename T, int NR>
+void pack_b(BShape shape, index_t kc, index_t nc, T alpha, const T* b,
+            index_t ldb, T* out) {
+  for (index_t j0 = 0; j0 < nc; j0 += NR) {
+    const index_t nr = std::min<index_t>(NR, nc - j0);
+    for (index_t l = 0; l < kc; ++l) {
+      index_t j = 0;
+      if (shape == BShape::Nt) {
+        const T* row = b + j0 + static_cast<std::size_t>(l) * ldb;
+        for (; j < nr; ++j) out[j] = alpha * row[j];
+      } else {
+        for (; j < nr; ++j) {
+          out[j] = alpha * b[l + static_cast<std::size_t>(j0 + j) * ldb];
+        }
+      }
+      for (; j < NR; ++j) out[j] = T(0);
+      out += NR;
+    }
+  }
+}
+
+/// Streaming (non-packing) fallback for tiny products: the 4-column
+/// register-tiled axpy formulation the pre-dispatch kernels used.
+template <typename T>
+void small_gemm(BShape shape, index_t m, index_t n, index_t k, T alpha,
+                const T* a, index_t lda, const T* b, index_t ldb, T beta,
+                T* c, index_t ldc) {
+  apply_beta(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
+  for (index_t j0 = 0; j0 < n; j0 += 4) {
+    const index_t jt = std::min<index_t>(4, n - j0);
+    for (index_t l = 0; l < k; ++l) {
+      const T* acol = a + static_cast<std::size_t>(l) * lda;
+      T bv[4];
+      for (index_t j = 0; j < jt; ++j) {
+        bv[j] = alpha * (shape == BShape::Nt
+                             ? b[(j0 + j) + static_cast<std::size_t>(l) * ldb]
+                             : b[l + static_cast<std::size_t>(j0 + j) * ldb]);
+      }
+      for (index_t i = 0; i < m; ++i) {
+        const T av = acol[i];
+        for (index_t j = 0; j < jt; ++j) {
+          c[i + static_cast<std::size_t>(j0 + j) * ldc] += av * bv[j];
+        }
+      }
+    }
+  }
+}
+
+/// The full blocked GEMM: C := beta*C + alpha * A * op(B) with op chosen
+/// by `shape`.  Complete kernel semantics (beta always applied, m==0 /
+/// n==0 / k==0 / alpha==0 degenerate cases handled) so each ISA variant
+/// is a drop-in function pointer for the dispatcher.
+template <typename T, typename M>
+void packed_gemm(BShape shape, index_t m, index_t n, index_t k, T alpha,
+                 const T* a, index_t lda, const T* b, index_t ldb, T beta,
+                 T* c, index_t ldc) {
+  if (static_cast<double>(m) * static_cast<double>(n) *
+          static_cast<double>(k) < kSmallGemmCutoff) {
+    small_gemm(shape, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  apply_beta(m, n, beta, c, ldc);
+  if (alpha == T(0)) return;
+  constexpr int MR = M::MR;
+  constexpr int NR = M::NR;
+  // Workspaces persist across calls; resize() only reallocates on growth.
+  thread_local std::vector<T> apack;
+  thread_local std::vector<T> bpack;
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    const index_t ncp = (nc + NR - 1) / NR * NR;
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      bpack.resize(static_cast<std::size_t>(ncp) * kc);
+      const T* bblk = (shape == BShape::Nt)
+                          ? b + jc + static_cast<std::size_t>(pc) * ldb
+                          : b + pc + static_cast<std::size_t>(jc) * ldb;
+      pack_b<T, NR>(shape, kc, nc, alpha, bblk, ldb, bpack.data());
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mc = std::min(kMC, m - ic);
+        const index_t mcp = (mc + MR - 1) / MR * MR;
+        apack.resize(static_cast<std::size_t>(mcp) * kc);
+        pack_a<T, MR>(mc, kc, a + ic + static_cast<std::size_t>(pc) * lda,
+                      lda, apack.data());
+        for (index_t jr = 0; jr < nc; jr += NR) {
+          const index_t nr = std::min<index_t>(NR, nc - jr);
+          const T* bp = bpack.data() + static_cast<std::size_t>(jr) * kc;
+          for (index_t ir = 0; ir < mc; ir += MR) {
+            const index_t mr = std::min<index_t>(MR, mc - ir);
+            const T* ap = apack.data() + static_cast<std::size_t>(ir) * kc;
+            T* cblk = c + (ic + ir) + static_cast<std::size_t>(jc + jr) * ldc;
+            if (mr == MR && nr == NR) {
+              M::run(kc, ap, bp, cblk, ldc);
+            } else {
+              T buf[MR * NR] = {};
+              M::run(kc, ap, bp, buf, MR);
+              for (index_t j = 0; j < nr; ++j) {
+                for (index_t i = 0; i < mr; ++i) {
+                  cblk[i + static_cast<std::size_t>(j) * ldc] +=
+                      buf[i + j * MR];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Portable micro-kernel: fixed-bound loops over a stack accumulator tile
+/// that any -O2 autovectorizer turns into the baseline SIMD of the target
+/// (SSE2 on x86-64, NEON on aarch64).  Also the semantics oracle the
+/// intrinsics kernels are conformance-tested against.
+template <typename T, int MR_, int NR_>
+struct GenericMicro {
+  static constexpr int MR = MR_;
+  static constexpr int NR = NR_;
+  static void run(index_t kc, const T* ap, const T* bp, T* c, index_t ldc) {
+    T acc[MR * NR] = {};
+    for (index_t l = 0; l < kc; ++l) {
+      for (int j = 0; j < NR; ++j) {
+        const T bv = bp[j];
+        for (int i = 0; i < MR; ++i) acc[i + j * MR] += ap[i] * bv;
+      }
+      ap += MR;
+      bp += NR;
+    }
+    for (int j = 0; j < NR; ++j) {
+      T* col = c + static_cast<std::size_t>(j) * ldc;
+      for (int i = 0; i < MR; ++i) col[i] += acc[i + j * MR];
+    }
+  }
+};
+
+}  // namespace spx::kernels::micro

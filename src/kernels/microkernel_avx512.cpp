@@ -1,0 +1,109 @@
+// AVX-512F packed-GEMM variant (x86-64).  Compiled with -mavx512f
+// -mavx512dq -mfma when the toolchain supports it; degrades to null
+// tables otherwise.
+//
+// 16x8 doubles / 32x8 floats: 16 zmm accumulators + 2 A loads + 1
+// broadcast out of 32 registers, twice the AVX2 tile in both the vector
+// width and the broadcast reuse.
+#include "kernels/dispatch.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "kernels/microkernel.hpp"
+
+namespace spx::kernels {
+namespace {
+
+struct MicroAvx512D {
+  static constexpr int MR = 16;
+  static constexpr int NR = 8;
+  static void run(index_t kc, const double* ap, const double* bp, double* c,
+                  index_t ldc) {
+    __m512d acc0[NR];
+    __m512d acc1[NR];
+    for (int j = 0; j < NR; ++j) {
+      double* col = c + static_cast<std::size_t>(j) * ldc;
+      acc0[j] = _mm512_loadu_pd(col);
+      acc1[j] = _mm512_loadu_pd(col + 8);
+    }
+    for (index_t l = 0; l < kc; ++l) {
+      const __m512d a0 = _mm512_loadu_pd(ap);
+      const __m512d a1 = _mm512_loadu_pd(ap + 8);
+      ap += MR;
+      for (int j = 0; j < NR; ++j) {
+        const __m512d bv = _mm512_set1_pd(bp[j]);
+        acc0[j] = _mm512_fmadd_pd(a0, bv, acc0[j]);
+        acc1[j] = _mm512_fmadd_pd(a1, bv, acc1[j]);
+      }
+      bp += NR;
+    }
+    for (int j = 0; j < NR; ++j) {
+      double* col = c + static_cast<std::size_t>(j) * ldc;
+      _mm512_storeu_pd(col, acc0[j]);
+      _mm512_storeu_pd(col + 8, acc1[j]);
+    }
+  }
+};
+
+struct MicroAvx512S {
+  static constexpr int MR = 32;
+  static constexpr int NR = 8;
+  static void run(index_t kc, const float* ap, const float* bp, float* c,
+                  index_t ldc) {
+    __m512 acc0[NR];
+    __m512 acc1[NR];
+    for (int j = 0; j < NR; ++j) {
+      float* col = c + static_cast<std::size_t>(j) * ldc;
+      acc0[j] = _mm512_loadu_ps(col);
+      acc1[j] = _mm512_loadu_ps(col + 16);
+    }
+    for (index_t l = 0; l < kc; ++l) {
+      const __m512 a0 = _mm512_loadu_ps(ap);
+      const __m512 a1 = _mm512_loadu_ps(ap + 16);
+      ap += MR;
+      for (int j = 0; j < NR; ++j) {
+        const __m512 bv = _mm512_set1_ps(bp[j]);
+        acc0[j] = _mm512_fmadd_ps(a0, bv, acc0[j]);
+        acc1[j] = _mm512_fmadd_ps(a1, bv, acc1[j]);
+      }
+      bp += NR;
+    }
+    for (int j = 0; j < NR; ++j) {
+      float* col = c + static_cast<std::size_t>(j) * ldc;
+      _mm512_storeu_ps(col, acc0[j]);
+      _mm512_storeu_ps(col + 16, acc1[j]);
+    }
+  }
+};
+
+template <typename T, typename M, micro::BShape S>
+void gemm_impl(index_t m, index_t n, index_t k, T alpha, const T* a,
+               index_t lda, const T* b, index_t ldb, T beta, T* c,
+               index_t ldc) {
+  micro::packed_gemm<T, M>(S, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace
+
+GemmFuncs<real_t> gemm_variant_avx512_d() {
+  return {&gemm_impl<real_t, MicroAvx512D, micro::BShape::Nt>,
+          &gemm_impl<real_t, MicroAvx512D, micro::BShape::Nn>};
+}
+
+GemmFuncs<real32_t> gemm_variant_avx512_s() {
+  return {&gemm_impl<real32_t, MicroAvx512S, micro::BShape::Nt>,
+          &gemm_impl<real32_t, MicroAvx512S, micro::BShape::Nn>};
+}
+
+}  // namespace spx::kernels
+
+#else  // !__AVX512F__
+
+namespace spx::kernels {
+GemmFuncs<real_t> gemm_variant_avx512_d() { return {}; }
+GemmFuncs<real32_t> gemm_variant_avx512_s() { return {}; }
+}  // namespace spx::kernels
+
+#endif

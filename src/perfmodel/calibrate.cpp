@@ -279,8 +279,8 @@ CalPoint measure_point(KernelClass c, const KernelShape& shape,
                        const CalibrationOptions& options) {
   CalibrationOptions o = options;
   if (o.quick) {
-    o.repeat = 1;
-    o.min_seconds = std::min(o.min_seconds, 3e-4);
+    o.repeat = 2;
+    o.min_seconds = std::min(o.min_seconds, 1e-3);
   }
   const auto m = static_cast<index_t>(shape.m);
   const auto n = static_cast<index_t>(shape.n);
@@ -306,8 +306,8 @@ CalPoint measure_point(KernelClass c, const KernelShape& shape,
 PerfModel calibrate_kernels(const CalibrationOptions& options) {
   CalibrationOptions o = options;
   if (o.quick) {
-    o.repeat = 1;
-    o.min_seconds = std::min(o.min_seconds, 3e-4);
+    o.repeat = 2;
+    o.min_seconds = std::min(o.min_seconds, 1e-3);
   }
   const std::vector<index_t> factor_n =
       o.quick ? std::vector<index_t>{8, 48}
@@ -318,19 +318,25 @@ PerfModel calibrate_kernels(const CalibrationOptions& options) {
   const std::vector<index_t> trsm_ratio =
       o.quick ? std::vector<index_t>{1, 4} : std::vector<index_t>{1, 4, 12};
   const std::vector<index_t> gemm_k =
-      o.quick ? std::vector<index_t>{16, 32}
+      o.quick ? std::vector<index_t>{16, 32, 64}
               : std::vector<index_t>{16, 32, 64, 128};
   // (m, n) multipliers of k per point: square-ish small blocks up to the
   // tall trailing updates the supernodal DAG actually produces.
   const std::vector<std::pair<index_t, index_t>> gemm_mn =
-      o.quick ? std::vector<std::pair<index_t, index_t>>{{1, 1}, {4, 2}}
+      o.quick ? std::vector<std::pair<index_t, index_t>>{
+                    {1, 1}, {4, 2}, {12, 4}}
               : std::vector<std::pair<index_t, index_t>>{
                     {1, 1}, {4, 2}, {12, 4}};
   // Thin-block (m, n, k) shapes: sparse update tasks are dominated by
   // GEMMs whose middle dimension is a small block height; the effective-
-  // work key needs measured anchors in that regime too.
+  // work key needs measured anchors in that regime too.  The quick grid
+  // keeps a mid-size square and a large anchor: the packed SIMD GEMM's
+  // rate curve has a knee where packing starts to amortize, and a grid
+  // without points on both sides of it mispredicts every mid-size shape.
   const std::vector<std::array<index_t, 3>> gemm_thin =
-      o.quick ? std::vector<std::array<index_t, 3>>{{256, 4, 64}}
+      o.quick ? std::vector<std::array<index_t, 3>>{{256, 4, 64},
+                                                    {96, 96, 96},
+                                                    {320, 160, 80}}
               : std::vector<std::array<index_t, 3>>{{256, 2, 64},
                                                     {256, 4, 128},
                                                     {512, 8, 128},

@@ -19,6 +19,9 @@ void RunStats::export_json(obs::JsonWriter& w) const {
           .field("pops", contention.total_pops());
     });
   }
+  if (!kernel_isa.empty()) {
+    w.field("kernel_isa", kernel_isa).field("kernel_blas", kernel_blas);
+  }
   w.field("degraded", quality.degraded());
   if (quality.threshold > 0 || quality.degraded()) {
     w.object("quality", quality);

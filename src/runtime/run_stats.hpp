@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/factor_quality.hpp"
@@ -104,6 +105,11 @@ struct RunStats : obs::Exportable {
                                 ///< when a model is attached)
   FactorQuality quality;        ///< static-pivot perturbation accounting
                                 ///< (filled by Solver::factorize)
+  std::string kernel_isa;       ///< dense-kernel ISA tier the run dispatched
+                                ///< to ("generic"/"neon"/"avx2"/"avx512";
+                                ///< empty when no kernels ran)
+  bool kernel_blas = false;     ///< true when large GEMMs delegated to an
+                                ///< external CBLAS (-DSPX_WITH_BLAS)
 
   /// Mean per-resource utilization: busy seconds / makespan, in [0, 1].
   double busy_fraction() const {

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "kernels/dense.hpp"
+#include "kernels/dispatch.hpp"
 #include "kernels/scatter.hpp"
 
 namespace spx {
@@ -500,6 +504,213 @@ TEST(BlockedKernels, ComplexLdltLargeSize) {
               1e-8 * n);
   }
 }
+
+// ---------------------------------------------------------------------------
+// ISA-dispatch conformance sweep (docs/KERNELS.md): every GEMM variant the
+// host can run -- forced via the ScopedIsaOverride test knob -- must agree
+// with the *_ref oracle over a size grid that exercises the degenerate
+// (0/1), sub-tile, tile-boundary (47/48/49) and multi-block (129) cases,
+// with non-tight leading dimensions and every alpha/beta combination from
+// {0, 1, -1, 0.5}.  Runs clean under -DSPX_SANITIZE=address.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void run_isa_conformance_sweep(double tol_unit) {
+  const index_t sizes[] = {0, 1, 3, 17, 47, 48, 49, 129};
+  const T coeffs[] = {T(0), T(1), T(-1), T(0.5)};
+  const std::vector<kernels::Isa>& sup =
+      kernels::Dispatch::instance().supported();
+  ASSERT_FALSE(sup.empty());
+  Rng rng(9000 + static_cast<int>(sizeof(T)));
+  for (const index_t m : sizes) {
+    for (const index_t n : sizes) {
+      for (const index_t kk : sizes) {
+        const index_t lda = m + 5;
+        const index_t ldb_nt = n + 3;
+        const index_t ldb_nn = kk + 2;
+        const index_t ldc = m + 7;
+        const auto a = random_matrix<T>(lda, kk, rng);
+        const auto b_nt = random_matrix<T>(ldb_nt, kk, rng);
+        const auto b_nn = random_matrix<T>(ldb_nn, n, rng);
+        const auto c0 = random_matrix<T>(ldc, n, rng);
+        const double tol = tol_unit * std::max<index_t>(1, kk);
+        for (const T alpha : coeffs) {
+          for (const T beta : coeffs) {
+            auto ref_nt = c0;
+            auto ref_nn = c0;
+            k::gemm_nt_ref<T>(m, n, kk, alpha, a.data(), lda, b_nt.data(),
+                              ldb_nt, beta, ref_nt.data(), ldc);
+            k::gemm_nn_ref<T>(m, n, kk, alpha, a.data(), lda, b_nn.data(),
+                              ldb_nn, beta, ref_nn.data(), ldc);
+            for (const kernels::Isa isa : sup) {
+              kernels::ScopedIsaOverride force(isa);
+              ASSERT_TRUE(force.ok());
+              auto got = c0;
+              k::gemm_nt<T>(m, n, kk, alpha, a.data(), lda, b_nt.data(),
+                            ldb_nt, beta, got.data(), ldc);
+              EXPECT_LT(max_diff(got, ref_nt), tol)
+                  << "gemm_nt isa=" << kernels::to_string(isa) << " m=" << m
+                  << " n=" << n << " k=" << kk << " alpha=" << double(alpha)
+                  << " beta=" << double(beta);
+              got = c0;
+              k::gemm_nn<T>(m, n, kk, alpha, a.data(), lda, b_nn.data(),
+                            ldb_nn, beta, got.data(), ldc);
+              EXPECT_LT(max_diff(got, ref_nn), tol)
+                  << "gemm_nn isa=" << kernels::to_string(isa) << " m=" << m
+                  << " n=" << n << " k=" << kk << " alpha=" << double(alpha)
+                  << " beta=" << double(beta);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaConformance, GemmAllVariantsMatchReferenceFp64) {
+  run_isa_conformance_sweep<real_t>(1e-12);
+}
+
+TEST(IsaConformance, GemmAllVariantsMatchReferenceFp32) {
+  run_isa_conformance_sweep<real32_t>(2e-4);
+}
+
+TEST(IsaConformance, ForceRejectsUnsupportedTier) {
+  const auto& sup = kernels::Dispatch::instance().supported();
+  for (const kernels::Isa isa :
+       {kernels::Isa::Generic, kernels::Isa::Neon, kernels::Isa::Avx2,
+        kernels::Isa::Avx512}) {
+    const bool in_sup = std::find(sup.begin(), sup.end(), isa) != sup.end();
+    kernels::ScopedIsaOverride force(isa);
+    EXPECT_EQ(force.ok(), in_sup) << kernels::to_string(isa);
+    // A rejected force must leave the active selection untouched.
+    if (!force.ok()) {
+      EXPECT_NE(kernels::Dispatch::instance().active(), isa);
+    }
+  }
+  // After every override scope closed, we are back on the auto choice.
+  EXPECT_EQ(kernels::Dispatch::instance().active(),
+            kernels::Dispatch::instance().supported().back());
+}
+
+// ---------------------------------------------------------------------------
+// Blocked vs unblocked TRSM: the factor kernels route their panel solves
+// through the blocked right-TRSMs, which must agree with the unblocked
+// base case for every n, including n below, at, just above and at several
+// multiples of the blocking factor (48): n in {1, 47, 48, 49, 149}.
+// ---------------------------------------------------------------------------
+
+class TrsmBlockedVsUnblocked : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrsmBlockedVsUnblocked, RightLowerTransMatches) {
+  const index_t n = GetParam();
+  const index_t m = 37;
+  Rng rng(500 + n);
+  auto l = random_matrix<real_t>(n, n, rng);
+  for (index_t j = 0; j < n; ++j) l[j + static_cast<std::size_t>(j) * n] += n;
+  const auto x0 = random_matrix<real_t>(m, n, rng);
+  for (const bool unit : {false, true}) {
+    auto xb = x0;
+    auto xu = x0;
+    k::trsm_right_lower_trans<real_t>(m, n, l.data(), n, xb.data(), m, unit);
+    k::trsm_right_lower_trans_unblocked<real_t>(m, n, l.data(), n, xu.data(),
+                                                m, unit);
+    // Relative comparison: the unit-diagonal solve amplifies |X| by the
+    // (exponentially large) norm of the unit-triangular inverse, so the
+    // agreement bound must scale with the solution magnitude.
+    double xmax = 1.0;
+    for (const real_t v : xu) xmax = std::max(xmax, std::abs(v));
+    EXPECT_LT(max_diff(xb, xu), 1e-13 * n * xmax) << "unit=" << unit;
+  }
+}
+
+TEST_P(TrsmBlockedVsUnblocked, RightUpperMatches) {
+  const index_t n = GetParam();
+  const index_t m = 37;
+  Rng rng(600 + n);
+  auto u = random_matrix<real_t>(n, n, rng);
+  for (index_t j = 0; j < n; ++j) u[j + static_cast<std::size_t>(j) * n] += n;
+  const auto x0 = random_matrix<real_t>(m, n, rng);
+  auto xb = x0;
+  auto xu = x0;
+  k::trsm_right_upper<real_t>(m, n, u.data(), n, xb.data(), m);
+  k::trsm_right_upper_unblocked<real_t>(m, n, u.data(), n, xu.data(), m);
+  EXPECT_LT(max_diff(xb, xu), 1e-11 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundary, TrsmBlockedVsUnblocked,
+                         ::testing::Values(1, 47, 48, 49, 149));
+
+// Regression for the blocked-LDL^T W scratch: with a padded leading
+// dimension the old whole-panel copy dragged the inter-column gaps into
+// the scratch buffer.  Seed the gaps with NaN so any read of them poisons
+// the factorization, and check the factors still reconstruct A.
+TEST(BlockedKernels, LdltPaddedLeadingDimension) {
+  const index_t n = 120;  // three kNB=48 blocks: 48 + 48 + 24
+  const index_t lda = n + 7;
+  Rng rng(777);
+  std::vector<real_t> a(static_cast<std::size_t>(lda) * n,
+                        std::numeric_limits<real_t>::quiet_NaN());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      const real_t v = rng.scalar<real_t>();
+      a[i + static_cast<std::size_t>(j) * lda] = v;
+      a[j + static_cast<std::size_t>(i) * lda] = v;
+    }
+    a[j + static_cast<std::size_t>(j) * lda] += 3.0 * n;
+  }
+  auto ld = a;
+  k::ldlt<real_t>(n, ld.data(), lda);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      real_t acc = 0;
+      for (index_t p = 0; p <= j; ++p) {
+        const real_t lip =
+            (i == p) ? 1.0 : ld[i + static_cast<std::size_t>(p) * lda];
+        const real_t ljp =
+            (j == p) ? 1.0 : ld[j + static_cast<std::size_t>(p) * lda];
+        acc += lip * ld[p + static_cast<std::size_t>(p) * lda] * ljp;
+      }
+      EXPECT_NEAR(acc, a[i + static_cast<std::size_t>(j) * lda], 1e-9 * n);
+    }
+  }
+  // The padding rows were never part of the matrix and must stay NaN.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = n; i < lda; ++i) {
+      EXPECT_TRUE(std::isnan(ld[i + static_cast<std::size_t>(j) * lda]));
+    }
+  }
+}
+
+#ifndef NDEBUG
+// The uniform dimension guards only exist in debug builds
+// (SPX_DEBUG_ASSERT compiles away under NDEBUG).
+TEST(KernelAssertsDeathTest, GemmRejectsBadLeadingDimensions) {
+  std::vector<real_t> a(64), b(64), c(64);
+  EXPECT_DEATH(k::gemm_nt<real_t>(4, 4, 4, 1.0, a.data(), 3, b.data(), 4,
+                                  0.0, c.data(), 4),
+               "lda");
+  EXPECT_DEATH(k::gemm_nt<real_t>(4, 4, 4, 1.0, a.data(), 4, b.data(), 3,
+                                  0.0, c.data(), 4),
+               "ldb");
+  EXPECT_DEATH(k::gemm_nn<real_t>(4, 4, 4, 1.0, a.data(), 4, b.data(), 3,
+                                  0.0, c.data(), 4),
+               "ldb");
+  EXPECT_DEATH(k::gemm_nt<real_t>(-1, 4, 4, 1.0, a.data(), 4, b.data(), 4,
+                                  0.0, c.data(), 4),
+               "m");
+}
+
+TEST(KernelAssertsDeathTest, TrsmRejectsBadLeadingDimensions) {
+  std::vector<real_t> l(64), x(64);
+  EXPECT_DEATH(
+      k::trsm_right_lower_trans<real_t>(4, 4, l.data(), 3, x.data(), 4,
+                                        false),
+      "ldl");
+  EXPECT_DEATH(k::trsm_right_upper<real_t>(4, 4, l.data(), 4, x.data(), 3),
+               "ldx");
+}
+#endif  // NDEBUG
 
 }  // namespace
 }  // namespace spx
