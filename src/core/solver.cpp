@@ -224,6 +224,14 @@ void Solver<T>::factorize_numeric(obs::SpanContext parent) {
     } else {
       costs = std::make_unique<FlopCosts>(table);
     }
+    const HeteroOptions& hetero = options_.hetero;
+    if (hetero.enabled()) {
+      SPX_CHECK_ARG(options_.runtime == RuntimeKind::Starpu ||
+                        options_.runtime == RuntimeKind::Parsec,
+                    "hetero devices require the starpu or parsec runtime");
+      SPX_CHECK_ARG(options_.num_gpu_streams == 0,
+                    "hetero devices and num_gpu_streams are exclusive");
+    }
     switch (options_.runtime) {
       case RuntimeKind::Native: {
         Machine machine(threads);
@@ -233,20 +241,46 @@ void Solver<T>::factorize_numeric(obs::SpanContext parent) {
         break;
       }
       case RuntimeKind::Starpu: {
+        dopts.fused_ldlt = true;
+        if (hetero.enabled()) {
+          // Device engines: one GPU per spec, StarPU's dedicated-core
+          // convention (one CPU worker removed per stream), and a live
+          // coherence directory shared between dmda placement and the
+          // engines' staging, so transfer penalties track real residency.
+          const int ndev = static_cast<int>(hetero.devices.size());
+          const int spe = hetero.uniform_streams();
+          Machine machine(std::max(1, threads - ndev * spe), ndev, spe);
+          DataDirectory directory(analysis_->structure, kind, sizeof(T),
+                                  ndev);
+          StarpuScheduler sched(table, machine, *costs, options_.starpu,
+                                &directory);
+          dopts.hetero = hetero;
+          dopts.hetero.directory = &directory;
+          stats_ = execute_real(sched, machine, *factors_, dopts);
+          break;
+        }
         // StarPU dedicates a CPU worker per (emulated) GPU stream.
         const int cpus = std::max(1, threads - options_.num_gpu_streams);
         Machine machine(cpus, options_.num_gpu_streams > 0 ? 1 : 0,
                         std::max(1, options_.num_gpu_streams));
         StarpuScheduler sched(table, machine, *costs, options_.starpu);
-        dopts.fused_ldlt = true;
         stats_ = execute_real(sched, machine, *factors_, dopts);
         break;
       }
       case RuntimeKind::Parsec: {
+        dopts.fused_ldlt = true;
+        if (hetero.enabled()) {
+          const int ndev = static_cast<int>(hetero.devices.size());
+          const int spe = hetero.uniform_streams();
+          Machine machine(std::max(1, threads - ndev * spe), ndev, spe);
+          ParsecScheduler sched(table, machine, *costs, options_.parsec);
+          dopts.hetero = hetero;  // driver owns the directory
+          stats_ = execute_real(sched, machine, *factors_, dopts);
+          break;
+        }
         Machine machine(threads, options_.num_gpu_streams > 0 ? 1 : 0,
                         std::max(1, options_.num_gpu_streams));
         ParsecScheduler sched(table, machine, *costs, options_.parsec);
-        dopts.fused_ldlt = true;
         stats_ = execute_real(sched, machine, *factors_, dopts);
         break;
       }

@@ -28,6 +28,7 @@
 #include "core/solve.hpp"
 #include "obs/obs.hpp"
 #include "obs/options.hpp"
+#include "runtime/engine_model.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/parsec_scheduler.hpp"
 #include "runtime/run_stats.hpp"
@@ -54,8 +55,16 @@ struct SolverOptions {
   /// Worker threads for the task runtimes (0 = hardware concurrency).
   int num_threads = 0;
   /// Emulated GPU-stream workers appended to the CPU workers (exercises
-  /// the device code path; real offload is studied in the simulator).
+  /// the device code path against unified memory, with no staging).  For
+  /// full heterogeneous execution -- staged transfers, residency
+  /// tracking, eviction -- use `hetero` instead.
   int num_gpu_streams = 0;
+  /// Heterogeneous execution through the device-engine layer: one
+  /// emulated accelerator per entry in `hetero.devices`, with throttled
+  /// staging transfers and dmda placement against the live coherence
+  /// directory (docs/DEVICE_ENGINES.md).  Starpu and Parsec runtimes
+  /// only; mutually exclusive with `num_gpu_streams`.
+  HeteroOptions hetero;
   StarpuOptions starpu;
   ParsecOptions parsec;
   UpdateVariant cpu_variant = UpdateVariant::TempBuffer;

@@ -51,6 +51,12 @@ std::vector<double> Histogram::duration_bounds() {
           30.0, 100.0};
 }
 
+std::vector<double> Histogram::byte_bounds() {
+  return {1024.0,       4096.0,       16384.0,     65536.0,
+          262144.0,     1048576.0,    4194304.0,   16777216.0,
+          67108864.0,   268435456.0};
+}
+
 const char* to_string(MetricType t) {
   switch (t) {
     case MetricType::Counter:

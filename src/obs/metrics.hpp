@@ -94,6 +94,10 @@ class Histogram {
   /// Default duration buckets: 100us .. ~100s, quarter-decade spacing.
   static std::vector<double> duration_bounds();
 
+  /// Default size buckets: 1 KiB .. 256 MiB, factor-of-4 spacing (staging
+  /// transfer and allocation sizes).
+  static std::vector<double> byte_bounds();
+
  private:
   struct alignas(64) Shard {
     std::unique_ptr<std::atomic<std::uint64_t>[]> counts;

@@ -1,13 +1,36 @@
 // Coherence directory for panel data across memory spaces.
 //
-// One entry per panel handle; locations are the host plus each GPU.  The
-// protocol is MSI-like: a write invalidates every other copy, reads
-// replicate.  The execution drivers own the authoritative instance (the
-// simulator turns bytes_to_fetch into DMA-engine events; the real driver
-// turns them into memcpys into per-device buffer pools), and model-based
-// schedulers (dmda) read it to estimate transfer penalties.
+// One entry per panel handle; locations are the host (kHost = -1) plus
+// each device engine (0..num_gpus-1).  Two bit sets per handle:
+//
+//   valid  -- which locations hold a readable copy of the panel.  The
+//             protocol is MSI-like: a write leaves exactly one valid
+//             copy (the writer's), reads replicate.
+//   dirty  -- a device copy that is the *only* authoritative instance
+//             (the device wrote it and the host has not been refreshed).
+//             Evicting a dirty copy requires a D2H write-back first;
+//             evicting a clean copy is free.
+//
+// The residency state machine per (handle, device) is therefore
+//
+//   Absent --H2D--> Clean --device write--> Dirty --D2H write-back--> Clean
+//     ^               |  \__evict (free)___________________/ |
+//     \_______________/            Dirty --evict--> forbidden until
+//                                   write-back makes it Clean
+//
+// (the full table, with the host side, is in docs/DEVICE_ENGINES.md).
+//
+// The execution drivers own the authoritative instance: the simulator
+// turns bytes_to_fetch into DMA-engine events, the real driver's
+// emulated engines (runtime/device_engine.hpp) turn them into throttled
+// staging memcpys.  Model-based schedulers (dmda) read the directory to
+// estimate transfer penalties, concurrently with engine threads mutating
+// it, so every bit operation is a relaxed atomic: readers see *a* recent
+// placement (estimates tolerate staleness) and writers never tear.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -28,19 +51,30 @@ class DataDirectory {
       bytes_[p] = static_cast<double>(st.panels[p].nrows) *
                   st.panels[p].width() * scalar_bytes * arrays;
     }
+    valid_ = std::make_unique<std::atomic<std::uint32_t>[]>(bytes_.size());
+    dirty_ = std::make_unique<std::atomic<std::uint32_t>[]>(bytes_.size());
     reset();
   }
 
   void reset() {
-    // Everything starts valid on the host only.
-    valid_.assign(bytes_.size(), 1u);
+    // Everything starts valid on the host only, nothing dirty.
+    for (std::size_t p = 0; p < bytes_.size(); ++p) {
+      valid_[p].store(1u, std::memory_order_relaxed);
+      dirty_[p].store(0u, std::memory_order_relaxed);
+    }
   }
 
   int num_gpus() const { return num_gpus_; }
   double panel_bytes(index_t p) const { return bytes_[p]; }
 
   bool valid_on(index_t p, int loc) const {
-    return (valid_[p] >> bit(loc)) & 1u;
+    return (valid_[p].load(std::memory_order_relaxed) >> bit(loc)) & 1u;
+  }
+
+  /// True when the copy at `loc` is the sole authoritative instance (a
+  /// device wrote it); eviction then requires a write-back first.
+  bool dirty_on(index_t p, int loc) const {
+    return (dirty_[p].load(std::memory_order_relaxed) >> bit(loc)) & 1u;
   }
 
   /// Bytes that must move for panel p to be readable at `loc`.
@@ -49,16 +83,32 @@ class DataDirectory {
   }
 
   /// Records that a copy of p now exists at `loc` (after a transfer).
-  void add_copy(index_t p, int loc) { valid_[p] |= 1u << bit(loc); }
+  void add_copy(index_t p, int loc) {
+    valid_[p].fetch_or(1u << bit(loc), std::memory_order_relaxed);
+  }
 
-  /// Records a write to p at `loc`: all other copies become invalid.
-  void note_write(index_t p, int loc) { valid_[p] = 1u << bit(loc); }
+  /// Records a write to p at `loc`: all other copies become invalid, and
+  /// a device writer's copy becomes dirty (host writes are never dirty --
+  /// host memory is the home location).
+  void note_write(index_t p, int loc) {
+    valid_[p].store(1u << bit(loc), std::memory_order_relaxed);
+    dirty_[p].store(loc == kHost ? 0u : 1u << bit(loc),
+                    std::memory_order_relaxed);
+  }
+
+  /// Records a completed write-back: the copy at `loc` is no longer the
+  /// sole authoritative instance (the caller add_copy'd the host).
+  void mark_clean(index_t p, int loc) {
+    dirty_[p].fetch_and(~(1u << bit(loc)), std::memory_order_relaxed);
+  }
 
   /// Drops the copy at `loc` (LRU eviction); another valid copy must
-  /// exist elsewhere.
+  /// exist elsewhere (write back a dirty copy before dropping it).
   void drop_copy(index_t p, int loc) {
-    valid_[p] &= ~(1u << bit(loc));
-    SPX_ASSERT(valid_[p] != 0 && "evicted the last copy of a panel");
+    const std::uint32_t left =
+        valid_[p].fetch_and(~(1u << bit(loc)), std::memory_order_relaxed) &
+        ~(1u << bit(loc));
+    SPX_ASSERT(left != 0 && "evicted the last copy of a panel");
   }
 
   /// A location currently holding a valid copy (preferring the host).
@@ -86,7 +136,8 @@ class DataDirectory {
   const SymbolicStructure* st_;
   int num_gpus_;
   std::vector<double> bytes_;
-  std::vector<std::uint32_t> valid_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> valid_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> dirty_;
 };
 
 }  // namespace spx

@@ -1,0 +1,152 @@
+// Shared engine/stream/transfer model for the simulator and the real
+// heterogeneous driver.
+//
+// Both drivers describe an accelerator the same way (EngineSpec: stream
+// count, link bandwidth/latency, device memory capacity), track its
+// resident set the same way (DeviceLru), and enumerate the data handles a
+// task touches the same way (task_handles).  Keeping this model in one
+// header is what makes the scheduler-parity tests meaningful: a dmda
+// decision validated under sim::simulate and one made by execute_real
+// with emulated engines are driven by the same residency/transfer
+// arithmetic (docs/DEVICE_ENGINES.md).
+#pragma once
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/subtree_merge.hpp"
+#include "runtime/task.hpp"
+
+namespace spx {
+
+class DataDirectory;
+
+/// Description of one accelerator-class engine: how many concurrent
+/// kernel streams it exposes and the staging-link characteristics the
+/// emulation (or a future CUDA backend) must honor.
+struct EngineSpec {
+  /// Concurrent kernel slots; each becomes one GpuStream resource.
+  int streams = 1;
+  /// Emulated host<->device link bandwidth (both directions).
+  double bandwidth_gbps = 8.0;
+  /// Fixed per-transfer setup latency (seconds), the dominant cost for
+  /// the paper's many-small-panel workloads.
+  double latency_seconds = 100e-6;
+  /// Device memory capacity; staging beyond it triggers LRU eviction
+  /// (with D2H write-back for dirty panels).
+  double memory_bytes = 256.0 * 1024 * 1024;
+
+  /// Seconds to move `bytes` across this engine's link.
+  double transfer_seconds(double bytes) const {
+    return latency_seconds + bytes / (bandwidth_gbps * 1e9);
+  }
+};
+
+/// Heterogeneous-execution configuration for the real driver: one
+/// EngineSpec per emulated accelerator, appended after the CPU worker
+/// pool (engine 0).  Empty `devices` = the classic CPU-only driver with
+/// no staging machinery (zero overhead on that path).
+struct HeteroOptions {
+  std::vector<EngineSpec> devices;
+  /// Transfer-compute overlap: prefetch queued tasks' data (via
+  /// Scheduler::peek_prefetch) while streams compute.  Off = every
+  /// device task stalls for its own staging at start (the paper's
+  /// no-overlap baseline, bench_hetero's ablation axis).
+  bool overlap = true;
+  /// Queued tasks to prefetch ahead per stream (StarPU uses 2).
+  int prefetch_window = 2;
+  /// Coherence directory shared with a model-based scheduler (dmda), so
+  /// placement estimates see the true residency; the driver owns one
+  /// internally when null.  Must outlive the run when set.
+  DataDirectory* directory = nullptr;
+
+  bool enabled() const { return !devices.empty(); }
+  /// Common stream count of all engines (the Machine resource grid is
+  /// uniform); throws InvalidArgument when specs disagree.
+  int uniform_streams() const {
+    int s = devices.empty() ? 1 : devices.front().streams;
+    for (const EngineSpec& d : devices) {
+      SPX_CHECK_ARG(d.streams == s,
+                    "all device engines must expose the same stream count");
+    }
+    return s;
+  }
+};
+
+/// LRU resident-set tracker for one device's memory: which panels are
+/// materialized on the device, in recency order, with pin counts
+/// protecting panels staged for (or used by) in-flight tasks.  Shared by
+/// the simulator's DeviceMemory model and the real emulated engine's
+/// staging arena; eviction policy (clean-first, write-back for dirty) is
+/// the caller's, via eviction_victim's predicate.
+class DeviceLru {
+ public:
+  explicit DeviceLru(double capacity) : capacity_(capacity) {}
+
+  bool resident(index_t p) const { return pos_.count(p) != 0; }
+
+  /// Adds (or refreshes) p with its byte size; caller checks capacity.
+  void insert(index_t p, double bytes) {
+    if (resident(p)) {
+      touch(p);
+      return;
+    }
+    lru_.emplace_front(p, bytes);
+    pos_[p] = lru_.begin();
+    used_ += bytes;
+  }
+
+  /// Moves p to most-recently-used (no-op when absent).
+  void touch(index_t p) {
+    const auto it = pos_.find(p);
+    if (it == pos_.end()) return;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+
+  void remove(index_t p) {
+    const auto it = pos_.find(p);
+    if (it == pos_.end()) return;
+    used_ -= it->second->second;
+    lru_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  void pin(index_t p) { pins_[p]++; }
+  void unpin(index_t p) {
+    const auto it = pins_.find(p);
+    if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+  }
+  bool pinned(index_t p) const { return pins_.count(p) != 0; }
+
+  double used() const { return used_; }
+  double capacity() const { return capacity_; }
+
+  /// Least-recently-used unpinned panel satisfying `evictable`, or -1.
+  template <typename Pred>
+  index_t eviction_victim(Pred&& evictable) const {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!pinned(it->first) && evictable(it->first)) return it->first;
+    }
+    return -1;
+  }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+  std::list<std::pair<index_t, double>> lru_;
+  std::map<index_t, std::list<std::pair<index_t, double>>::iterator> pos_;
+  std::map<index_t, int> pins_;
+};
+
+/// The panel handles task `t` reads or writes, deduplicated: the panel
+/// itself for a factor task, {source, target} for an update, and every
+/// member plus external targets for a merged subtree (whose group lists
+/// come from `groups`; may be null when the scheduler never emits
+/// Subtree tasks).  Both drivers stage exactly this set.
+std::vector<index_t> task_handles(const SymbolicStructure& st,
+                                  const SubtreeGroups* groups,
+                                  const Task& t);
+
+}  // namespace spx

@@ -29,6 +29,7 @@ const char* to_string(FaultAction a) {
     case FaultAction::Stall: return "stall";
     case FaultAction::CorruptPivot: return "corrupt-pivot";
     case FaultAction::AllocFail: return "alloc-fail";
+    case FaultAction::StallTransfer: return "stall-transfer";
   }
   return "?";
 }
@@ -80,9 +81,22 @@ bool FaultInjector::on_task_start() {
       return true;
     case FaultAction::None:
     case FaultAction::AllocFail:
+    case FaultAction::StallTransfer:
       return false;
   }
   return false;
+}
+
+void FaultInjector::on_transfer_start() {
+  const std::uint64_t ord =
+      transfers_started_.fetch_add(1, std::memory_order_relaxed);
+  if (plan_.action != FaultAction::StallTransfer || ord != plan_.victim) {
+    return;
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  count_fired(plan_.action);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(plan_.stall_seconds));
 }
 
 bool FaultInjector::fail_alloc(std::size_t /*bytes*/) {

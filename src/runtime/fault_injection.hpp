@@ -21,11 +21,12 @@ namespace spx {
 
 /// What the armed fault does when its victim task starts.
 enum class FaultAction {
-  None,          ///< disarmed
-  Throw,         ///< task throws InjectedFault
-  Stall,         ///< task sleeps stall_seconds, then runs normally
-  CorruptPivot,  ///< task zeroes its target panel's leading pivot
-  AllocFail,     ///< FactorData allocation throws std::bad_alloc
+  None,           ///< disarmed
+  Throw,          ///< task throws InjectedFault
+  Stall,          ///< task sleeps stall_seconds, then runs normally
+  CorruptPivot,   ///< task zeroes its target panel's leading pivot
+  AllocFail,      ///< FactorData allocation throws std::bad_alloc
+  StallTransfer,  ///< Nth staging transfer sleeps stall_seconds first
 };
 
 const char* to_string(FaultAction a);
@@ -70,6 +71,18 @@ class FaultInjector : public AllocationHook {
   /// AllocationHook: fails the factor allocation once under AllocFail.
   bool fail_alloc(std::size_t bytes) override;
 
+  /// Called by device engines as each staging transfer starts (its own
+  /// ordinal stream, independent of task starts).  Under StallTransfer
+  /// the victim transfer sleeps stall_seconds before moving bytes --
+  /// delaying, never corrupting, so overlap/eviction paths can be
+  /// stress-ordered deterministically.
+  void on_transfer_start();
+
+  /// Transfers started since the last rearm.
+  std::uint64_t transfers_started() const {
+    return transfers_started_.load(std::memory_order_relaxed);
+  }
+
   /// Tasks started since the last reset (== the next victim ordinal).
   std::uint64_t started() const {
     return started_.load(std::memory_order_relaxed);
@@ -84,12 +97,17 @@ class FaultInjector : public AllocationHook {
   void rearm(const FaultPlan& plan) {
     plan_ = plan;
     started_.store(0, std::memory_order_relaxed);
+    transfers_started_.store(0, std::memory_order_relaxed);
   }
-  void rearm() { started_.store(0, std::memory_order_relaxed); }
+  void rearm() {
+    started_.store(0, std::memory_order_relaxed);
+    transfers_started_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   FaultPlan plan_;
   std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> transfers_started_{0};
   std::atomic<int> fired_{0};
 };
 

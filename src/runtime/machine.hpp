@@ -6,6 +6,13 @@
 // convention of dedicating one CPU core per GPU (paper §V-C: "when a GPU
 // is used, a CPU worker is removed") is expressed by constructing the
 // Machine with fewer CPU workers.
+//
+// The same dense resource ids index the real driver's device engines
+// (runtime/device_engine.hpp): ids [0, num_cpus) belong to engine 0 (the
+// CPU pool / host memory space), and the streams_per_gpu ids of device g
+// belong to engine g+1.  The simulator reuses the identical numbering, so
+// a placement vector from a real run and one from sim::simulate are
+// directly comparable element-wise (docs/DEVICE_ENGINES.md).
 #pragma once
 
 #include <vector>

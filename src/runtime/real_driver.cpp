@@ -1,5 +1,6 @@
 #include "runtime/real_driver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -10,12 +11,59 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+
 #include "common/timer.hpp"
 #include "core/codelets.hpp"
+#include "runtime/data_directory.hpp"
+#include "runtime/device_engine.hpp"
 #include "runtime/worker_queues.hpp"
 
 namespace spx {
 namespace {
+
+/// PanelStore over FactorData<T>: panels as raw byte ranges (L block,
+/// plus the U block for LU; the tiny LDLT diagonal stays host-resident).
+/// Copies run under the driver's per-panel lock, taken by the caller.
+template <typename T>
+class FactorPanelStore final : public PanelStore {
+ public:
+  FactorPanelStore(FactorData<T>& f, std::mutex* locks)
+      : f_(&f), locks_(locks) {}
+
+  std::size_t panel_bytes(index_t p) const override {
+    const std::size_t block = block_bytes(p);
+    return f_->kind() == Factorization::LU ? 2 * block : block;
+  }
+
+  void read_panel(index_t p, std::byte* dst) const override {
+    const std::size_t block = block_bytes(p);
+    std::memcpy(dst, f_->panel_l(p), block);
+    if (f_->kind() == Factorization::LU) {
+      std::memcpy(dst + block, f_->panel_u(p), block);
+    }
+  }
+
+  void write_panel(index_t p, const std::byte* src) override {
+    const std::size_t block = block_bytes(p);
+    std::memcpy(f_->panel_l(p), src, block);
+    if (f_->kind() == Factorization::LU) {
+      std::memcpy(f_->panel_u(p), src + block, block);
+    }
+  }
+
+  std::mutex& panel_mutex(index_t p) const override { return locks_[p]; }
+
+ private:
+  std::size_t block_bytes(index_t p) const {
+    const Panel& pn = f_->structure().panels[p];
+    return static_cast<std::size_t>(pn.nrows) *
+           static_cast<std::size_t>(pn.width()) * sizeof(T);
+  }
+
+  FactorData<T>* f_;
+  std::mutex* locks_;
+};
 
 const char* task_kind_name(TaskKind k) {
   switch (k) {
@@ -81,9 +129,25 @@ class RealRun {
     SPX_SUPPRESS_DEPRECATED_END
     panel_locks_ = std::make_unique<std::mutex[]>(
         static_cast<std::size_t>(f.structure().num_panels()));
+    if (options_.hetero.enabled()) {
+      store_ = std::make_unique<FactorPanelStore<T>>(f_, panel_locks_.get());
+      directory_ = options_.hetero.directory;
+      if (directory_ == nullptr) {
+        owned_directory_ = std::make_unique<DataDirectory>(
+            f.structure(), f.kind(), sizeof(T),
+            static_cast<int>(options_.hetero.devices.size()));
+        directory_ = owned_directory_.get();
+      }
+    }
   }
 
   RunStats run() {
+    if (directory_ != nullptr) {
+      // Before sched_.reset(): a shared directory (dmda placement) may
+      // carry residency from a previous run, and reset() already places
+      // the initially-ready tasks.  Every run starts host-only.
+      directory_->reset();
+    }
     sched_.reset();
     const int nr = machine_.num_resources();
     stats_.busy.assign(nr, 0.0);
@@ -95,6 +159,12 @@ class RealRun {
                                        options_.instr.parent));
     task_parent_ = run_span.active() ? run_span.context()
                                      : options_.instr.parent;
+    if (directory_ != nullptr) {
+      stage_wait_.assign(static_cast<std::size_t>(nr), 0.0);
+      engines_ = std::make_unique<EngineGroup>(
+          machine_, options_.hetero, *directory_, *store_, fault_, registry_,
+          tracer_, task_parent_);
+    }
     run_clock_.reset();
     Timer wall;
     {
@@ -105,6 +175,17 @@ class RealRun {
       }
     }
     stats_.makespan = wall.elapsed();
+    if (engines_ != nullptr) {
+      // Joining DMA threads drains leftover prefetches; the makespan was
+      // already taken at worker join, so that slack is not charged.
+      engines_->stop();
+      const TransferCounters totals = engines_->totals();
+      stats_.bytes_h2d = totals.bytes_h2d;
+      stats_.bytes_d2h = totals.bytes_d2h;
+      stats_.transfers_h2d = totals.transfers_h2d;
+      stats_.transfers_d2h = totals.transfers_d2h;
+      stats_.gpu_evictions = totals.evictions;
+    }
     run_span.finish();
     stats_.tasks_cpu = tasks_cpu_.load();
     stats_.tasks_gpu = tasks_gpu_.load();
@@ -119,6 +200,7 @@ class RealRun {
     c.depth_sum.resize(n, 0.0);
     for (std::size_t r = 0; r < n; ++r) c.lock_wait[r] += lock_wait_[r];
     c.idle_wait = idle_wait_;
+    c.stage_wait = stage_wait_;
     stats_.contention = std::move(c);
     for (ModelErrorStats& e : worker_err_) {
       stats_.model_error.panel_rel.insert(stats_.model_error.panel_rel.end(),
@@ -169,16 +251,38 @@ class RealRun {
         continue;
       }
       const double t0 = run_clock_.elapsed();
+      // Heterogeneous runs stage the task's handles into this resource's
+      // memory space before compute and propagate writes after; the
+      // classic path (no engines) skips all of it.
+      std::vector<index_t> handles;
+      if (engines_ != nullptr) {
+        handles = task_handles(f_.structure(), sched_.subtree_groups(), t);
+        try {
+          stage_wait_[static_cast<std::size_t>(r)] +=
+              engines_->acquire(r, handles);
+        } catch (...) {
+          record_error();
+          break;
+        }
+        // Stage the next queued tasks' data while this one computes.
+        if (options_.hetero.overlap) pump_prefetch(r);
+      }
       double span_start = 0.0;
       SPX_OBS(if (tracer_ != nullptr) span_start = tracer_->now());
       Timer timer;
       try {
         execute(t, r, ws, prescale_ws);
       } catch (...) {
+        if (engines_ != nullptr) {
+          engines_->release(r, handles, {});  // drop pins, nothing written
+        }
         record_error();
         break;
       }
       const double actual = timer.elapsed();
+      if (engines_ != nullptr) {
+        engines_->release(r, handles, written_handles(t, handles));
+      }
       stats_.busy[r] += actual;
       const bool gpu =
           machine_.resource(r).kind == ResourceKind::GpuStream;
@@ -198,10 +302,53 @@ class RealRun {
         break;
       }
       bump_generation();
+      if (engines_ != nullptr && options_.hetero.overlap) {
+        pump_prefetch(r);
+      }
     }
     // A worker exiting (finish or error) may be what lets the others
     // observe the end state; wake them unconditionally.
     bump_generation();
+  }
+
+  /// Handles task `t` writes (MSI ownership transfer at release): the
+  /// factored panel, an update's target, or everything a merged subtree
+  /// touched -- mirroring the simulator's complete_task.
+  std::vector<index_t> written_handles(const Task& t,
+                                       const std::vector<index_t>& handles) {
+    if (t.kind == TaskKind::Subtree) return handles;
+    if (t.kind == TaskKind::Update) {
+      return {f_.structure().targets[t.panel][t.edge].dst};
+    }
+    return {t.panel};
+  }
+
+  /// Transfer-compute overlap: asks the scheduler for queued-not-started
+  /// tasks on this resource (each reported once) and starts staging their
+  /// handles asynchronously.  Device streams stage H2D; CPU workers
+  /// prefetch D2H write-backs of device-dirty panels a queued panel task
+  /// will read.  For updates, only the read set moves: the *written*
+  /// handle (the target) is usually invalidated again by an earlier
+  /// member of its commute group before the task runs, so staging it
+  /// early is wasted link time -- acquire fetches it at the last moment.
+  /// A ready Panel task, by contrast, has no remaining writers, so its
+  /// own panel is safe (and is the point of the CPU-side prefetch).
+  void pump_prefetch(int r) {
+    Task t;
+    for (int i = 0; i < options_.hetero.prefetch_window &&
+                    sched_.peek_prefetch(r, &t);
+         ++i) {
+      std::vector<index_t> handles =
+          task_handles(f_.structure(), sched_.subtree_groups(), t);
+      if (t.kind != TaskKind::Panel) {
+        const std::vector<index_t> written = written_handles(t, handles);
+        std::erase_if(handles, [&](index_t h) {
+          return std::find(written.begin(), written.end(), h) !=
+                 written.end();
+        });
+      }
+      if (!handles.empty()) engines_->prefetch(r, handles);
+    }
   }
 
   void bump_generation() {
@@ -369,6 +516,12 @@ class RealRun {
   TraceRecorder* trace_ = nullptr;  ///< effective legacy trace sink
   FaultInjector* fault_ = nullptr;  ///< effective fault harness
   std::unique_ptr<std::mutex[]> panel_locks_;
+  // Heterogeneous-execution state; all null/empty when hetero is off.
+  std::unique_ptr<PanelStore> store_;
+  std::unique_ptr<DataDirectory> owned_directory_;
+  DataDirectory* directory_ = nullptr;  ///< effective coherence directory
+  std::unique_ptr<EngineGroup> engines_;
+  std::vector<double> stage_wait_;  ///< per-resource staging-block seconds
   Timer run_clock_;
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;

@@ -3,18 +3,28 @@
 // Runs a Scheduler with actual worker threads executing the numerical
 // codelets on the factor data.  GPU-stream resources are emulated by
 // ordinary threads running the buffer-free (Direct) update kernel -- the
-// code path a device would run -- against unified memory; the transfer
-// machinery is exercised by the simulator instead (DESIGN.md §2).
+// code path a device would run -- against unified memory.
+//
+// With RealDriverOptions::hetero populated, the run additionally routes
+// every task through the pluggable device-engine layer
+// (runtime/device_engine.hpp): workers acquire their task's handles from
+// the engine owning their resource (blocking on throttled staging
+// transfers), release them afterwards (MSI write propagation), and pump
+// prefetches for queued device tasks so transfers overlap compute.  With
+// `hetero` empty this path compiles out to the classic CPU/unified
+// driver with zero per-task overhead.
 //
 // Thread-safety contract: the generic schedulers serialize updates into
 // the same panel via their commute gating; the native scheduler's fused
 // 1D tasks update many panels, so this driver takes a per-panel lock
 // around each scatter exactly like PASTIX's shared-memory code does.
+// Device engines reuse the same per-panel locks for staging memcpys.
 #pragma once
 
 #include "core/codelets.hpp"
 #include "obs/obs.hpp"
 #include "obs/options.hpp"
+#include "runtime/engine_model.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/run_stats.hpp"
 #include "runtime/scheduler.hpp"
@@ -41,6 +51,10 @@ struct RealDriverOptions {
   /// perfmodel::ModelRefiner).  Called from worker threads; must be
   /// thread-safe and outlive the run.
   TaskDurationObserver* observer = nullptr;
+  /// Heterogeneous execution: one emulated accelerator engine per entry
+  /// in `hetero.devices`, matching the Machine's GPU count.  Empty =
+  /// classic unified-memory driver, no staging machinery at all.
+  HeteroOptions hetero;
   /// Deprecated alias of `instr.trace` (wall-clock trace sink).  Honored
   /// when `instr.trace` is unset.
   [[deprecated("set instr.trace instead")]] TraceRecorder* trace = nullptr;

@@ -17,6 +17,8 @@ namespace spx {
 struct ContentionStats {
   std::vector<double> lock_wait;      ///< seconds blocked on scheduler locks
   std::vector<double> idle_wait;      ///< seconds parked waiting for work
+  std::vector<double> stage_wait;     ///< seconds blocked on data staging
+                                      ///< (device-engine transfers)
   std::vector<index_t> steals;        ///< tasks taken from another worker
   std::vector<index_t> pops;          ///< successful try_pop calls
   std::vector<index_t> depth_samples; ///< queue-depth sample count
@@ -24,6 +26,7 @@ struct ContentionStats {
 
   double total_lock_wait() const { return sum(lock_wait); }
   double total_idle_wait() const { return sum(idle_wait); }
+  double total_stage_wait() const { return sum(stage_wait); }
   index_t total_steals() const { return sum_i(steals); }
   index_t total_pops() const { return sum_i(pops); }
   double avg_queue_depth() const {
@@ -94,12 +97,15 @@ struct RunStats : obs::Exportable {
   std::vector<double> busy;     ///< per-resource busy seconds
   double bytes_h2d = 0.0;       ///< host-to-device transfer volume
   double bytes_d2h = 0.0;       ///< device-to-host transfer volume
+  index_t transfers_h2d = 0;    ///< staging transfers, host-to-device
+  index_t transfers_d2h = 0;    ///< staging transfers, device-to-host
   index_t tasks_cpu = 0;        ///< tasks executed on CPU workers
   index_t tasks_gpu = 0;        ///< tasks executed on GPU streams
   index_t cache_hits = 0;       ///< cache-model hits (simulator only)
   index_t cache_queries = 0;    ///< cache-model lookups (simulator only)
   index_t gpu_evictions = 0;    ///< LRU evictions under device memory
-                                ///< pressure (simulator only)
+                                ///< pressure (simulator and emulated
+                                ///< device engines)
   ContentionStats contention;   ///< lock/idle/steal counters (real driver)
   ModelErrorStats model_error;  ///< cost-model accuracy (real driver, only
                                 ///< when a model is attached)

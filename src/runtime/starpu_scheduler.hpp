@@ -66,6 +66,11 @@ class StarpuScheduler : public Scheduler {
   const ImplicitDeps& deps() const { return deps_; }
   ContentionStats contention() const override { return counters_.snapshot(); }
 
+  /// Dmda placement decision per task id (-1 = not yet placed); read
+  /// when quiescent.  The scheduler-parity tests compare this against
+  /// the simulator's placement under identical calibrated costs.
+  const std::vector<int>& dmda_assignment() const { return assigned_; }
+
  private:
   /// A dmda per-resource FIFO; also guards prefetch_done_ of the ids it
   /// holds (an id lives in exactly one queue).

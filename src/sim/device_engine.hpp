@@ -6,6 +6,14 @@
 // Fig. 3); beyond that, progress scales down proportionally -- a classic
 // processor-sharing model with piecewise-constant rates, solved exactly
 // by re-integrating remaining work at every arrival/departure.
+//
+// This is the *simulated* half of the shared engine model: it advances
+// kernels in virtual time against an analytic capacity curve, while
+// spx::DeviceEngine (runtime/device_engine.hpp) runs the same
+// stream/transfer protocol with real threads and real staging memcpys.
+// Both sides consume the same Machine resource numbering and the same
+// DataDirectory coherence state, which is what makes scheduler-parity
+// testing possible (docs/DEVICE_ENGINES.md, tests/test_hetero.cpp).
 #pragma once
 
 #include <limits>

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "common/log.hpp"
+#include "runtime/engine_model.hpp"
 #include "sim/device_engine.hpp"
 
 namespace spx::sim {
@@ -55,65 +56,10 @@ struct Staged {
   int pending_transfers = 0;
 };
 
-/// Per-GPU resident-set tracker: LRU eviction of clean (host-backed)
-/// panels when a transfer would overflow device memory.  Panels touched by
-/// staged/running tasks are pinned.
-class DeviceMemory {
- public:
-  explicit DeviceMemory(double capacity) : capacity_(capacity) {}
-
-  bool resident(index_t p) const { return pos_.count(p) != 0; }
-
-  void insert(index_t p, double bytes) {
-    if (resident(p)) {
-      touch(p);
-      return;
-    }
-    lru_.emplace_front(p, bytes);
-    pos_[p] = lru_.begin();
-    used_ += bytes;
-  }
-
-  void touch(index_t p) {
-    const auto it = pos_.find(p);
-    if (it == pos_.end()) return;
-    lru_.splice(lru_.begin(), lru_, it->second);
-  }
-
-  void remove(index_t p) {
-    const auto it = pos_.find(p);
-    if (it == pos_.end()) return;
-    used_ -= it->second->second;
-    lru_.erase(it->second);
-    pos_.erase(it);
-  }
-
-  void pin(index_t p) { pins_[p]++; }
-  void unpin(index_t p) {
-    const auto it = pins_.find(p);
-    if (it != pins_.end() && --it->second == 0) pins_.erase(it);
-  }
-  bool pinned(index_t p) const { return pins_.count(p) != 0; }
-
-  double used() const { return used_; }
-  double capacity() const { return capacity_; }
-
-  /// Least-recently-used unpinned panel satisfying `evictable`, or -1.
-  template <typename Pred>
-  index_t eviction_victim(Pred&& evictable) const {
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      if (!pinned(it->first) && evictable(it->first)) return it->first;
-    }
-    return -1;
-  }
-
- private:
-  double capacity_;
-  double used_ = 0.0;
-  std::list<std::pair<index_t, double>> lru_;
-  std::map<index_t, std::list<std::pair<index_t, double>>::iterator> pos_;
-  std::map<index_t, int> pins_;
-};
+/// Per-GPU resident-set tracker: the shared DeviceLru from the engine
+/// model (runtime/engine_model.hpp), so the simulator and the real
+/// driver's emulated engines evict under identical recency/pinning rules.
+using DeviceMemory = DeviceLru;
 
 struct Transfer {
   index_t panel = -1;
@@ -165,8 +111,10 @@ class Simulation {
   }
 
   RunStats run() {
-    sched_.reset();
+    // Directory first: sched_.reset() already places the initially-ready
+    // tasks, and dmda placement reads residency for transfer estimates.
     directory_.reset();
+    sched_.reset();
     std::int64_t events = 0;
     while (!sched_.finished()) {
       dispatch();
@@ -307,26 +255,10 @@ class Simulation {
 
   // ---- task lifecycle -----------------------------------------------------
 
+  /// Shared with the real driver's engine layer (task_handles in
+  /// runtime/engine_model.hpp): both stage exactly this handle set.
   std::vector<index_t> handles_of(const Task& t) const {
-    const SymbolicStructure& st = table_.structure();
-    if (t.kind == TaskKind::Update) {
-      return {t.panel, st.targets[t.panel][t.edge].dst};
-    }
-    if (t.kind == TaskKind::Subtree) {
-      // All member panels plus the external targets their updates write.
-      const SubtreeGroups& g = *sched_.subtree_groups();
-      std::vector<index_t> handles = g.members[t.panel];
-      for (const index_t m : g.members[t.panel]) {
-        for (const UpdateEdge& e : st.targets[m]) {
-          if (g.root_of[e.dst] != t.panel) handles.push_back(e.dst);
-        }
-      }
-      std::sort(handles.begin(), handles.end());
-      handles.erase(std::unique(handles.begin(), handles.end()),
-                    handles.end());
-      return handles;
-    }
-    return {t.panel};
+    return task_handles(table_.structure(), sched_.subtree_groups(), t);
   }
 
   void begin_task(int r, const Task& t) {

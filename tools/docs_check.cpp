@@ -2,6 +2,13 @@
 //   * every relative markdown link in the repo's top-level *.md files and
 //     docs/ must resolve to an existing file (anchors and external URLs
 //     are skipped);
+//   * every docs/*.md must be referenced from README.md (as a markdown
+//     link or a backticked `docs/...` mention) -- no orphaned
+//     documentation;
+//   * every repo path named in backticks in docs/ARCHITECTURE.md (tokens
+//     starting with src/, docs/, bench/, tests/, tools/, examples/ or
+//     models/) must exist, so the architecture document cannot drift from
+//     the tree it describes;
 //   * every models/*.json must parse as a valid performance-model file
 //     through PerfModel::load -- the same code path the solver uses -- so
 //     a committed model can never be silently unloadable.
@@ -64,6 +71,59 @@ void check_markdown(const fs::path& md, const fs::path& root) {
   }
 }
 
+/// Every docs/*.md must be mentioned in README.md as `docs/<name>`.
+void check_docs_referenced(const std::vector<fs::path>& mds,
+                           const fs::path& root) {
+  const std::string readme = read_file(root / "README.md");
+  for (const fs::path& md : mds) {
+    if (md.parent_path().filename() != "docs") continue;
+    const std::string want = "docs/" + md.filename().string();
+    if (readme.find(want) == std::string::npos) {
+      fail(md.string() + ": not referenced from README.md ('" + want +
+           "' appears nowhere)");
+    }
+  }
+}
+
+/// Backticked repo paths in docs/ARCHITECTURE.md must exist: any token
+/// `prefix/...` where prefix names a top-level code directory is treated
+/// as a path claim about the tree.
+void check_architecture_paths(const fs::path& root) {
+  const fs::path arch = root / "docs" / "ARCHITECTURE.md";
+  if (!fs::exists(arch)) {
+    fail("docs/ARCHITECTURE.md is missing");
+    return;
+  }
+  static const char* prefixes[] = {"src/",   "docs/",     "bench/",
+                                   "tests/", "tools/",    "examples/",
+                                   "models/"};
+  const std::string text = read_file(arch);
+  std::size_t checked = 0;
+  std::size_t tick = text.find('`');
+  while (tick != std::string::npos) {
+    const std::size_t close = text.find('`', tick + 1);
+    if (close == std::string::npos) break;
+    const std::string token = text.substr(tick + 1, close - tick - 1);
+    bool pathlike = false;
+    for (const char* p : prefixes) {
+      if (token.rfind(p, 0) == 0) pathlike = true;
+    }
+    if (pathlike &&
+        token.find_first_of(" \n`*()") == std::string::npos) {
+      ++checked;
+      if (!fs::exists(root / token)) {
+        fail("docs/ARCHITECTURE.md: named path '" + token +
+             "' does not exist");
+      }
+    }
+    tick = text.find('`', close + 1);
+  }
+  if (checked == 0) {
+    fail("docs/ARCHITECTURE.md: no backticked repo paths found -- "
+         "checker or document is broken");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +144,8 @@ int main(int argc, char** argv) {
   }
   if (mds.empty()) fail("no markdown files found under " + root.string());
   for (const fs::path& md : mds) check_markdown(md, root);
+  check_docs_referenced(mds, root);
+  check_architecture_paths(root);
 
   std::size_t models = 0;
   if (fs::exists(root / "models")) {
