@@ -20,15 +20,23 @@
 //                   error code.  Reports the retry-induced latency tax.
 //
 // --smoke shrinks everything to a ctest-friendly second or two.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "mat/generators.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/protocol.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "runtime/fault_injection.hpp"
@@ -265,16 +273,405 @@ int run_metrics_gate(const std::shared_ptr<const CscMatrix<real_t>>& a,
 
 }  // namespace
 
+// ---- --net: multi-process scale-out bench -------------------------------
+//
+// Forks N spx_shard processes and one spx_front, drives M client threads
+// of factorize+solve round trips through the front over TCP, then sends
+// SIGTERM to one shard mid-run.  The run passes only if (a) every request
+// eventually completes -- retryable bounces (Draining/Overloaded/NoShard/
+// UnknownFactor, service-level Rejected) are retried, anything else is a
+// lost request -- and (b) the per-shard analysis-cache hit rate scraped
+// from /metrics is no worse than a single-process service run of the same
+// request mix (routing affinity keeps each pattern's analysis on one
+// shard, so sharding must not cost cache hits).
+
+#ifndef SPX_SHARD_BIN
+#define SPX_SHARD_BIN "spx_shard"
+#endif
+#ifndef SPX_FRONT_BIN
+#define SPX_FRONT_BIN "spx_front"
+#endif
+
+struct ChildProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::uint16_t http_port = 0;
+  std::string name;
+};
+
+/// fork+exec `bin` with --print-ports; parses "port http_port" from the
+/// child's stdout.  Exits the bench on spawn failure.
+ChildProc spawn_with_ports(const char* bin, std::string name,
+                           std::vector<std::string> args) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  args.insert(args.begin(), bin);
+  args.push_back("--print-ports");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(bin, argv.data());
+    std::fprintf(stderr, "execv(%s): %s\n", bin, std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  std::string line;
+  char ch;
+  while (::read(fds[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  ::close(fds[0]);
+  ChildProc p;
+  p.pid = pid;
+  p.name = std::move(name);
+  if (std::sscanf(line.c_str(), "%hu %hu", &p.port, &p.http_port) != 2) {
+    std::fprintf(stderr, "%s did not print its ports (got '%s')\n", bin,
+                 line.c_str());
+    ::kill(pid, SIGKILL);
+    std::exit(1);
+  }
+  return p;
+}
+
+/// Value of `series` (exact name or name{labels} prefix match) in a
+/// Prometheus text exposition, summed over matching series; 0 if absent.
+double prom_sum(const std::string& text, const std::string& series) {
+  double total = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(series, 0) == 0 &&
+        (line[series.size()] == ' ' || line[series.size()] == '{')) {
+      const std::size_t sp = line.rfind(' ');
+      if (sp != std::string::npos) total += std::atof(line.c_str() + sp + 1);
+    }
+  }
+  return total;
+}
+
+struct NetClientStats {
+  std::uint64_t completed = 0;
+  std::uint64_t retried = 0;  ///< retryable bounces absorbed
+  std::uint64_t lost = 0;     ///< non-retried failures (must be 0)
+  std::vector<double> latencies;
+};
+
+/// One client thread: `rounds` factorize+solve round trips cycling over
+/// `mats` through the front at `port`.  Retries retryable wire errors and
+/// service-level Rejected; re-factorizes on UnknownFactor (the owning
+/// shard died and the factor with it).
+void net_client_run(std::uint16_t port, const std::string& tenant,
+                    const std::vector<std::shared_ptr<
+                        const CscMatrix<real_t>>>& mats,
+                    int rounds, NetClientStats& out) {
+  net::BlockingClient c;
+  c.connect("127.0.0.1", port);
+  for (int i = 0; i < rounds; ++i) {
+    const auto& a = mats[static_cast<std::size_t>(i) % mats.size()];
+    const std::uint64_t digest = pattern_digest(*a);
+    const std::vector<real_t> b(static_cast<std::size_t>(a->ncols()), 1.0);
+    Timer t;
+    bool done = false;
+    std::uint64_t factor_id = 0;
+    for (int attempt = 0; attempt < 50 && !done; ++attempt) {
+      try {
+        net::NetError err{};
+        if (factor_id == 0) {
+          const auto fr = c.factorize(tenant, *a, Factorization::LLT, {},
+                                      &err);
+          if (err != net::NetError{}) {
+            if (!net::retryable(err)) {
+              ++out.lost;
+              break;
+            }
+            ++out.retried;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+          }
+          if (fr.status != 0) {  // Rejected under drain: also retryable
+            ++out.retried;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+          }
+          factor_id = fr.factor_id;
+        }
+        const auto sr = c.solve(tenant, digest, factor_id, b, {}, &err);
+        if (err == net::NetError::UnknownFactor) {
+          factor_id = 0;  // owning shard is gone; re-factorize elsewhere
+          ++out.retried;
+          continue;
+        }
+        if (err != net::NetError{}) {
+          if (!net::retryable(err)) {
+            ++out.lost;
+            break;
+          }
+          ++out.retried;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        if (sr.status != 0) {
+          ++out.retried;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        ++out.completed;
+        out.latencies.push_back(t.elapsed());
+        done = true;
+      } catch (const std::exception&) {
+        // Connection to the front dropped: reconnect and retry.
+        ++out.retried;
+        try {
+          c.connect("127.0.0.1", port);
+        } catch (const std::exception&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    }
+    if (!done && out.lost == 0) ++out.lost;  // retries exhausted
+  }
+}
+
+int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
+  const int patterns = std::max(2 * shards_n, 4);
+  rounds = ((rounds + patterns - 1) / patterns) * patterns;
+  std::printf("--- net: %d shards + front, %d clients x %d round trips "
+              "over %d patterns ---\n",
+              shards_n, clients, rounds, patterns);
+
+  // Spawn the fleet.
+  std::vector<ChildProc> shards;
+  std::vector<std::string> front_args;
+  for (int s = 0; s < shards_n; ++s) {
+    const std::string name = "s" + std::to_string(s);
+    ChildProc p = spawn_with_ports(
+        SPX_SHARD_BIN, name,
+        {"--name", name, "--workers", "2", "--drain-timeout", "30"});
+    front_args.push_back("--shard");
+    front_args.push_back(name + ":127.0.0.1:" + std::to_string(p.port));
+    shards.push_back(std::move(p));
+  }
+  front_args.push_back("--probe-interval");
+  front_args.push_back("0.05");
+  ChildProc front =
+      spawn_with_ports(SPX_FRONT_BIN, "front", std::move(front_args));
+
+  auto kill_fleet = [&](int sig) {
+    for (ChildProc& p : shards) {
+      if (p.pid > 0) ::kill(p.pid, sig);
+    }
+    if (front.pid > 0) ::kill(front.pid, sig);
+  };
+
+  // Wait until the front has probed every shard up.
+  bool ready = false;
+  for (int i = 0; i < 100 && !ready; ++i) {
+    int status = 0;
+    try {
+      net::http_get("127.0.0.1", front.http_port, "/readyz", &status);
+    } catch (const std::exception&) {
+    }
+    ready = status == 200;
+    if (!ready) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!ready) {
+    std::fprintf(stderr, "front never became ready\n");
+    kill_fleet(SIGKILL);
+    return 1;
+  }
+
+  // Distinct patterns, several per shard on average.  `rounds` was
+  // snapped to a multiple of the pattern count above so every pattern
+  // sees the same traffic; under equal traffic the per-shard hit rate is
+  // exactly the single-process rate (1 - 1/requests_per_pattern) whenever
+  // affinity holds, making the >= gate below sharp instead of
+  // luck-dependent.
+  std::vector<std::shared_ptr<const CscMatrix<real_t>>> mats;
+  const index_t base = smoke ? 10 : 24;
+  for (int p = 0; p < patterns; ++p) {
+    mats.push_back(std::make_shared<const CscMatrix<real_t>>(
+        gen::grid2d_laplacian(base + p, base)));
+  }
+
+  // ---- phase A: steady state (cache-affinity measurement) --------------
+  std::vector<NetClientStats> stats(static_cast<std::size_t>(clients));
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(net_client_run, front.port,
+                           "net-" + std::to_string(c), std::cref(mats),
+                           rounds, std::ref(stats[static_cast<std::size_t>(
+                                       c)]));
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Per-shard cache hit rate, scraped over TCP.
+  double worst_rate = 1.0;
+  std::uint64_t total_requests = 0;
+  for (const ChildProc& p : shards) {
+    const std::string text =
+        net::http_get("127.0.0.1", p.http_port, "/metrics");
+    const double hits = prom_sum(text, "spx_analysis_cache_hits_total");
+    const double misses = prom_sum(text, "spx_analysis_cache_misses_total");
+    const double submitted = prom_sum(text, "spx_service_submitted_total");
+    total_requests += static_cast<std::uint64_t>(submitted);
+    const double rate =
+        hits + misses > 0 ? hits / (hits + misses) : 1.0;
+    worst_rate = std::min(worst_rate, rate);
+    std::printf("  shard %-4s cache hit rate %5.1f%% (%g/%g), "
+                "%g requests\n",
+                p.name.c_str(), 100.0 * rate, hits, hits + misses,
+                submitted);
+  }
+
+  // Single-process baseline: the same request mix against one in-process
+  // service.  Each pattern is analyzed once either way, so the sharded
+  // per-shard rate must not be lower (affinity keeps repeats local).
+  double baseline_rate;
+  {
+    ServiceOptions opts;
+    opts.num_workers = 2;
+    SolveService svc(opts);
+    for (int c = 0; c < clients; ++c) {
+      for (int i = 0; i < rounds; ++i) {
+        const auto& a = mats[static_cast<std::size_t>(i) % mats.size()];
+        (void)svc.factorize("base-" + std::to_string(c), a,
+                            Factorization::LLT);
+      }
+    }
+    const auto cs = svc.stats().cache;
+    baseline_rate = cs.hits + cs.misses > 0
+                        ? double(cs.hits) / double(cs.hits + cs.misses)
+                        : 1.0;
+  }
+  std::printf("  single-process baseline hit rate %5.1f%%\n",
+              100.0 * baseline_rate);
+
+  // ---- phase B: SIGTERM one shard mid-traffic ---------------------------
+  std::printf("  draining shard %s mid-run...\n", shards[0].name.c_str());
+  std::vector<NetClientStats> kill_stats(
+      static_cast<std::size_t>(clients));
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(net_client_run, front.port,
+                           "kill-" + std::to_string(c), std::cref(mats),
+                           rounds,
+                           std::ref(kill_stats[static_cast<std::size_t>(
+                               c)]));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 30 : 200));
+    ::kill(shards[0].pid, SIGTERM);  // graceful drain + exit
+    for (auto& t : threads) t.join();
+  }
+  int shard0_status = -1;
+  ::waitpid(shards[0].pid, &shard0_status, 0);
+  const bool shard0_clean =
+      WIFEXITED(shard0_status) && WEXITSTATUS(shard0_status) == 0;
+  shards[0].pid = -1;
+
+  // ---- report + gates ---------------------------------------------------
+  NetClientStats total;
+  for (const auto& bucket : {std::cref(stats), std::cref(kill_stats)}) {
+    for (const NetClientStats& s : bucket.get()) {
+      total.completed += s.completed;
+      total.retried += s.retried;
+      total.lost += s.lost;
+      total.latencies.insert(total.latencies.end(), s.latencies.begin(),
+                             s.latencies.end());
+    }
+  }
+  std::sort(total.latencies.begin(), total.latencies.end());
+  const auto pct = [&](double p) {
+    return total.latencies.empty()
+               ? 0.0
+               : total.latencies[static_cast<std::size_t>(
+                     p * double(total.latencies.size() - 1))];
+  };
+  std::printf("  completed %llu (of %llu offered), retried %llu, lost "
+              "%llu; p50 %.2fms p99 %.2fms; shard %s exit %s\n",
+              static_cast<unsigned long long>(total.completed),
+              static_cast<unsigned long long>(2ull *
+                                              std::uint64_t(clients) *
+                                              std::uint64_t(rounds)),
+              static_cast<unsigned long long>(total.retried),
+              static_cast<unsigned long long>(total.lost),
+              pct(0.5) * 1e3, pct(0.99) * 1e3, shards[0].name.c_str(),
+              shard0_clean ? "clean" : "NOT CLEAN");
+
+  kill_fleet(SIGTERM);
+  for (ChildProc& p : shards) {
+    if (p.pid > 0) ::waitpid(p.pid, nullptr, 0);
+  }
+  if (front.pid > 0) ::waitpid(front.pid, nullptr, 0);
+
+  int rc = 0;
+  if (total.lost != 0) {
+    std::fprintf(stderr, "FAIL: %llu non-retried request failures\n",
+                 static_cast<unsigned long long>(total.lost));
+    rc = 1;
+  }
+  if (total.completed !=
+      2ull * std::uint64_t(clients) * std::uint64_t(rounds)) {
+    std::fprintf(stderr, "FAIL: not every offered request completed\n");
+    rc = 1;
+  }
+  if (!shard0_clean) {
+    std::fprintf(stderr, "FAIL: drained shard did not exit cleanly\n");
+    rc = 1;
+  }
+  if (worst_rate + 1e-9 < baseline_rate) {
+    std::fprintf(stderr,
+                 "FAIL: per-shard cache hit rate %.3f below "
+                 "single-process %.3f (affinity broken)\n",
+                 worst_rate, baseline_rate);
+    rc = 1;
+  }
+  if (total_requests == 0) {
+    std::fprintf(stderr, "FAIL: shards report zero submitted requests\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("  OK: zero lost requests, per-shard hit rate >= "
+                "single-process, graceful drain clean\n");
+  }
+  return rc;
+}
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool smoke = cli.get_flag("smoke");
   const bool metrics = cli.get_flag("metrics");
+  const bool net = cli.get_flag("net");
   const auto nx = static_cast<index_t>(cli.get_int("nx", smoke ? 24 : 56));
   const int workers = static_cast<int>(cli.get_int("workers", 4));
   const int requests =
       static_cast<int>(cli.get_int("requests", smoke ? 8 : 40));
+  const int net_shards = static_cast<int>(cli.get_int("shards", 2));
+  const int net_clients =
+      static_cast<int>(cli.get_int("clients", smoke ? 3 : 8));
+  const int net_rounds =
+      static_cast<int>(cli.get_int("rounds", smoke ? 6 : 24));
   cli.check_unknown();
 
+  if (net) {
+    return run_net_bench(smoke, net_shards, net_clients, net_rounds);
+  }
   if (metrics) {
     return run_metrics_gate(make_matrix(nx), workers, requests);
   }

@@ -3,7 +3,7 @@
 namespace spx {
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
 inline void mix(std::uint64_t& h, std::uint64_t word) {
@@ -16,10 +16,21 @@ inline void mix(std::uint64_t& h, std::uint64_t word) {
 
 }  // namespace
 
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ bytes[i]) * kFnvPrime;
+  }
+  return h;
+}
+
 std::uint64_t pattern_digest(index_t nrows, index_t ncols,
                              std::span<const size_type> colptr,
                              std::span<const index_t> rowind) {
   std::uint64_t h = kFnvOffset;
+  mix(h, kPatternDigestVersion);
   mix(h, static_cast<std::uint64_t>(nrows));
   mix(h, static_cast<std::uint64_t>(ncols));
   for (const size_type p : colptr) mix(h, static_cast<std::uint64_t>(p));

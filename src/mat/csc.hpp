@@ -140,15 +140,34 @@ extern template class CscMatrix<real_t>;
 extern template class CscMatrix<complex_t>;
 extern template class CscMatrix<real32_t>;
 
+/// Version of the pattern-digest definition below.  The digest travels on
+/// the wire (net/protocol.hpp carries it in every request frame, and the
+/// front-end consistent-hashes it to pick a shard), so its definition is a
+/// cross-process contract: bump this whenever the mixing scheme changes so
+/// that two builds can detect they disagree, and keep the golden-value test
+/// in tests/test_net.cpp in sync.
+inline constexpr std::uint32_t kPatternDigestVersion = 2;
+
 /// 64-bit FNV-1a digest of a sparsity structure (shape + colptr + rowind),
 /// independent of the stored values.  This is what makes an analysis
 /// reusable across matrices "sharing one pattern" checkable in O(nnz):
 /// equal digests (plus equal n and nnz, which the callers also compare)
-/// identify patterns for the solver's lifecycle check and for the solve
-/// service's analysis cache.
+/// identify patterns for the solver's lifecycle check, for the solve
+/// service's analysis cache, and for shard routing in the network layer.
+///
+/// The digest is endian-stable: every word is folded byte-by-byte starting
+/// from the least-significant byte, so big- and little-endian hosts agree
+/// -- a requirement for using it as the consistent-hash key across a
+/// heterogeneous shard fleet.  kPatternDigestVersion is mixed in first, so
+/// digests from different definitions can never collide silently.
 std::uint64_t pattern_digest(index_t nrows, index_t ncols,
                              std::span<const size_type> colptr,
                              std::span<const index_t> rowind);
+
+/// FNV-1a over an arbitrary byte string (the primitive behind
+/// pattern_digest); also used by the shard ring to place virtual nodes.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 14695981039346656037ull);
 
 template <typename T>
 std::uint64_t pattern_digest(const CscMatrix<T>& a) {

@@ -1,0 +1,221 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace spx::net {
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& o) noexcept
+    : next_corr_(o.next_corr_), fd_(o.fd_), parser_(std::move(o.parser_)) {
+  o.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& o) noexcept {
+  if (this != &o) {
+    close();
+    next_corr_ = o.next_corr_;
+    fd_ = o.fd_;
+    parser_ = std::move(o.parser_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void BlockingClient::connect(const std::string& host, std::uint16_t port,
+                             double timeout_s) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SPX_CHECK_ARG(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw InvalidArgument("BlockingClient: bad IPv4 address '" + host + "'");
+  }
+  // Connect with a bounded wait: nonblocking connect + poll, then restore
+  // blocking mode with socket-level timeouts for send/recv.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000));
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (rc == 1) ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    rc = (rc == 1 && err == 0) ? 0 : -1;
+    if (rc != 0) errno = err != 0 ? err : ETIMEDOUT;
+  }
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw InvalidArgument("BlockingClient: cannot connect to " + host + ":" +
+                          std::to_string(port) + " (" + std::strerror(err) +
+                          ")");
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec =
+      static_cast<suseconds_t>((timeout_s - double(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  parser_ = FrameParser();
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void BlockingClient::send_raw(std::span<const std::uint8_t> bytes) {
+  SPX_CHECK_ARG(fd_ >= 0, "BlockingClient: not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw InvalidArgument(std::string("BlockingClient: send failed: ") +
+                            std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<FrameParser::Frame> BlockingClient::recv_frame() {
+  SPX_CHECK_ARG(fd_ >= 0, "BlockingClient: not connected");
+  while (true) {
+    if (auto frame = parser_.next()) return frame;
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return std::nullopt;  // orderly close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw InvalidArgument(std::string("BlockingClient: recv failed: ") +
+                            std::strerror(err));
+    }
+    parser_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+FrameParser::Frame BlockingClient::call(std::span<const std::uint8_t> frame,
+                                        std::uint64_t expect_corr) {
+  send_raw(frame);
+  while (true) {
+    auto resp = recv_frame();
+    if (!resp.has_value()) {
+      throw InvalidArgument(
+          "BlockingClient: connection closed awaiting response");
+    }
+    // Error frames with corr 0 are connection-fatal protocol complaints
+    // (e.g. the server could not even read our correlation id).
+    if (resp->header.corr_id == expect_corr || resp->header.corr_id == 0) {
+      return std::move(*resp);
+    }
+    // Stale response from a previous (abandoned) request: skip it.
+  }
+}
+
+namespace {
+
+/// Unpacks an Error frame into `net_error_out` (Failed result) or throws.
+template <typename Resp>
+Resp handle_error_frame(const FrameParser::Frame& frame,
+                        NetError* net_error_out) {
+  const ErrorFrame err = decode_error(frame.payload);
+  if (net_error_out != nullptr) {
+    *net_error_out = err.code;
+    Resp r;
+    r.status = 3;  // service::RequestStatus::Failed
+    r.error = err.message;
+    return r;
+  }
+  throw ProtocolError(std::string("server error [") + to_string(err.code) +
+                      "]: " + err.message);
+}
+
+}  // namespace
+
+FactorizeResponseFrame BlockingClient::factorize(const std::string& tenant,
+                                                 const CscMatrix<real_t>& a,
+                                                 Factorization kind,
+                                                 WireTrace trace,
+                                                 NetError* net_error_out) {
+  if (net_error_out != nullptr) *net_error_out = NetError{};
+  FactorizeRequestFrame req;
+  req.pattern_digest = pattern_digest(a);
+  req.trace = trace;
+  req.kind = kind;
+  req.tenant = tenant;
+  const std::uint64_t corr = next_corr_++;
+  const auto frame = call(encode_factorize_request(corr, req, a), corr);
+  if (frame.header.type == FrameType::Error) {
+    return handle_error_frame<FactorizeResponseFrame>(frame, net_error_out);
+  }
+  if (frame.header.type != FrameType::FactorizeResponse) {
+    throw ProtocolError(std::string("unexpected response type: ") +
+                        to_string(frame.header.type));
+  }
+  return decode_factorize_response(frame.payload);
+}
+
+SolveResponseFrame BlockingClient::solve(const std::string& tenant,
+                                         std::uint64_t pattern_digest,
+                                         std::uint64_t factor_id,
+                                         const std::vector<real_t>& rhs,
+                                         WireTrace trace,
+                                         NetError* net_error_out) {
+  if (net_error_out != nullptr) *net_error_out = NetError{};
+  SolveRequestFrame req;
+  req.pattern_digest = pattern_digest;
+  req.trace = trace;
+  req.factor_id = factor_id;
+  req.tenant = tenant;
+  req.rhs = rhs;
+  const std::uint64_t corr = next_corr_++;
+  const auto frame = call(encode_solve_request(corr, req), corr);
+  if (frame.header.type == FrameType::Error) {
+    return handle_error_frame<SolveResponseFrame>(frame, net_error_out);
+  }
+  if (frame.header.type != FrameType::SolveResponse) {
+    throw ProtocolError(std::string("unexpected response type: ") +
+                        to_string(frame.header.type));
+  }
+  return decode_solve_response(frame.payload);
+}
+
+bool BlockingClient::ping() {
+  const std::uint64_t corr = next_corr_++;
+  try {
+    const auto frame = call(encode_empty(FrameType::Ping, corr), corr);
+    return frame.header.type == FrameType::Pong;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace spx::net

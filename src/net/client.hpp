@@ -1,0 +1,71 @@
+// Blocking protocol client: the synchronous counterpart of the epoll
+// servers, used by benches, tests, and anything scripting a shard or
+// front-end (one request in flight per client; run many clients for
+// load).  Also exposes raw send/receive so robustness tests can speak
+// malformed or deliberately fragmented bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace spx::net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& o) noexcept;
+  BlockingClient& operator=(BlockingClient&& o) noexcept;
+
+  /// Connects with a socket-level send/recv timeout.  Throws
+  /// InvalidArgument when the peer is unreachable.
+  void connect(const std::string& host, std::uint16_t port,
+               double timeout_s = 10.0);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends raw bytes verbatim (tests: malformed frames, slow-loris
+  /// fragments).  Throws on a broken connection.
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Receives the next complete frame; nullopt on orderly peer close.
+  /// Throws ProtocolError on malformed input and InvalidArgument on
+  /// timeout/reset.
+  std::optional<FrameParser::Frame> recv_frame();
+
+  /// send_raw + recv_frame, asserting the response's correlation id.
+  FrameParser::Frame call(std::span<const std::uint8_t> frame,
+                          std::uint64_t expect_corr);
+
+  // ---- typed conveniences ----
+
+  /// Remote factorize; throws ProtocolError if the server answered with a
+  /// protocol Error frame (carrying its NetError in the message) unless
+  /// `net_error_out` is given (then it is filled and status=Failed).
+  FactorizeResponseFrame factorize(const std::string& tenant,
+                                   const CscMatrix<real_t>& a,
+                                   Factorization kind,
+                                   WireTrace trace = {},
+                                   NetError* net_error_out = nullptr);
+  SolveResponseFrame solve(const std::string& tenant,
+                           std::uint64_t pattern_digest,
+                           std::uint64_t factor_id,
+                           const std::vector<real_t>& rhs,
+                           WireTrace trace = {},
+                           NetError* net_error_out = nullptr);
+  bool ping();
+
+ private:
+  std::uint64_t next_corr_ = 1;
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+}  // namespace spx::net

@@ -1,0 +1,166 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace spx::net {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  SPX_CHECK_ARG(epfd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  SPX_CHECK_ARG(wake_fd_ >= 0, "eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  SPX_CHECK_ARG(::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+                "epoll_ctl(wake) failed");
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler* handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  SPX_CHECK_ARG(::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "epoll_ctl(add) failed");
+  handlers_[fd] = handler;
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  SPX_CHECK_ARG(::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                "epoll_ctl(mod) failed");
+}
+
+void EventLoop::del_fd(int fd) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(Callback fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore EAGAIN.
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+}
+
+std::uint64_t EventLoop::schedule(double delay_s, Callback fn) {
+  const std::uint64_t id = next_timer_++;
+  timer_heap_.push(Timer{now() + std::max(0.0, delay_s), id});
+  timer_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) { timer_fns_.erase(id); }
+
+double EventLoop::now() const { return monotonic_seconds(); }
+
+void EventLoop::drain_posted() {
+  std::uint64_t counter = 0;
+  while (::read(wake_fd_, &counter, sizeof counter) > 0) {
+  }
+  std::vector<Callback> todo;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    todo.swap(posted_);
+  }
+  for (Callback& fn : todo) fn();
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timer_heap_.empty()) return 200;  // idle tick, bounds stop() latency
+  const double dt = timer_heap_.top().due - now();
+  if (dt <= 0) return 0;
+  return static_cast<int>(std::ceil(std::min(dt, 0.2) * 1000.0));
+}
+
+void EventLoop::fire_due_timers() {
+  while (!timer_heap_.empty() && timer_heap_.top().due <= now()) {
+    const Timer t = timer_heap_.top();
+    timer_heap_.pop();
+    const auto it = timer_fns_.find(t.id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+  }
+}
+
+void EventLoop::run() {
+  loop_thread_ = std::this_thread::get_id();
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = false;
+  }
+  running_ = true;
+  std::array<epoll_event, 64> events;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      if (stop_requested_) break;
+    }
+    const int n =
+        ::epoll_wait(epfd_, events.data(),
+                     static_cast<int>(events.size()), next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InternalError(std::string("epoll_wait failed: ") +
+                          std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        drain_posted();
+        continue;
+      }
+      // Re-resolve per event: an earlier handler in this batch may have
+      // closed this fd (its entry is gone -> the stale event is dropped).
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      it->second->on_events(events[static_cast<std::size_t>(i)].events);
+    }
+    fire_due_timers();
+  }
+  drain_posted();  // run tail posts so cross-thread posters never hang
+  running_ = false;
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = true;
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+}
+
+}  // namespace spx::net

@@ -1,0 +1,97 @@
+// Epoll-based event loop: the single-threaded reactor under every network
+// endpoint (shard listener, front-end, HTTP probes).
+//
+// One thread calls run(); everything else talks to the loop through the
+// thread-safe post() (an eventfd wakes the sleeping epoll_wait).  Fd
+// handlers and timers only ever fire on the loop thread, so connection
+// state machines need no locks.  Timers are a min-heap consulted for the
+// epoll timeout; handlers must tolerate spurious wakeups (level-triggered
+// epoll, nonblocking fds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace spx::net {
+
+/// Receiver of readiness events for one registered fd.
+struct FdHandler {
+  virtual ~FdHandler() = default;
+  /// `events` is the epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP/...).
+  virtual void on_events(std::uint32_t events) = 0;
+};
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (must be nonblocking) for `events`; `handler` must
+  /// outlive the registration.  Loop thread only (or before run()).
+  void add_fd(int fd, std::uint32_t events, FdHandler* handler);
+  void mod_fd(int fd, std::uint32_t events);
+  /// Deregisters; safe against events already harvested for this fd in
+  /// the current epoll batch (they are dropped on dispatch).
+  void del_fd(int fd);
+
+  /// Enqueues `fn` to run on the loop thread; safe from any thread, and
+  /// the only cross-thread entry point.  Wakes a sleeping run().
+  void post(Callback fn);
+
+  /// Runs `fn` on the loop thread after `delay_s` seconds.  Returns a
+  /// cancellation id.  Loop thread only.
+  std::uint64_t schedule(double delay_s, Callback fn);
+  void cancel_timer(std::uint64_t id);
+
+  /// Dispatches events until stop().  The calling thread becomes the loop
+  /// thread.
+  void run();
+  /// Makes run() return once the current dispatch round finishes; safe
+  /// from any thread and from handlers.
+  void stop();
+
+  /// Monotonic seconds (the timer clock).
+  double now() const;
+
+  bool in_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Timer {
+    double due = 0;
+    std::uint64_t id = 0;
+    bool operator>(const Timer& o) const { return due > o.due; }
+  };
+
+  void drain_posted();
+  int next_timeout_ms() const;
+  void fire_due_timers();
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  std::thread::id loop_thread_;
+  bool running_ = false;
+
+  std::unordered_map<int, FdHandler*> handlers_;
+
+  std::mutex post_mutex_;
+  std::vector<Callback> posted_;
+  bool stop_requested_ = false;
+
+  std::uint64_t next_timer_ = 1;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timer_heap_;
+  std::unordered_map<std::uint64_t, Callback> timer_fns_;  ///< live timers
+};
+
+}  // namespace spx::net

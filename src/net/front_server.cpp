@@ -1,0 +1,397 @@
+#include "net/front_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <future>
+
+#include "obs/export.hpp"
+
+namespace spx::net {
+
+namespace {
+
+/// Probe (ping) correlation ids live in the top half of the id space so
+/// they can never collide with proxied request ids.
+constexpr std::uint64_t kProbeBase = 1ull << 63;
+
+}  // namespace
+
+FrontServer::FrontServer(FrontServerOptions options)
+    : options_(std::move(options)),
+      registry_(&obs::registry_or_global(options_.metrics)),
+      ring_(options_.vnodes),
+      next_probe_corr_(kProbeBase) {
+  net_counters_.resolve(*registry_);
+  rejected_no_shard_ = &registry_->counter(
+      "spx_front_rejected_total", "Requests bounced by the front-end",
+      {{"reason", "no_shard"}});
+  rejected_overloaded_ = &registry_->counter(
+      "spx_front_rejected_total", "Requests bounced by the front-end",
+      {{"reason", "overloaded"}});
+  rejected_shard_lost_ = &registry_->counter(
+      "spx_front_rejected_total", "Requests bounced by the front-end",
+      {{"reason", "shard_lost"}});
+
+  ServerOptions sopts;
+  sopts.bind = options_.bind;
+  sopts.port = options_.port;
+  sopts.idle_timeout_s = options_.idle_timeout_s;
+  sopts.max_payload = options_.max_payload;
+  server_ = std::make_unique<Server>(
+      loop_, sopts,
+      [this](Connection& c, const FrameHeader& h,
+             std::span<const std::uint8_t> p) { on_client_frame(c, h, p); },
+      CloseCallback{}, &net_counters_);
+  port_ = server_->port();
+  http_ = std::make_unique<HttpServer>(
+      loop_, options_.http_port,
+      [this](const std::string& path) { return handle_http(path); });
+  http_port_ = http_->port();
+
+  for (const ShardEndpoint& ep : options_.shards) {
+    Upstream up;
+    up.endpoint = ep;
+    up.backoff_s = options_.reconnect_backoff_s;
+    up.routed = &registry_->counter("spx_front_routed_total",
+                                    "Requests routed to a shard",
+                                    {{"shard", ep.name}});
+    up.rerouted = &registry_->counter(
+        "spx_front_rerouted_total",
+        "Requests re-sent to another shard after drain/loss",
+        {{"shard", ep.name}});
+    upstreams_.emplace(ep.name, std::move(up));
+    ring_.add(ep.name);
+    // Optimistically Up: the first probe or send settles the truth fast,
+    // and a cold start would otherwise answer NoShard to everyone.
+    connect_upstream(ep.name);
+  }
+  arm_probe();
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+FrontServer::~FrontServer() {
+  if (!stopped_.load(std::memory_order_acquire)) {
+    loop_.post([this] {
+      server_->close_all("front shutdown");
+      http_->close_all();
+      for (auto& [name, up] : upstreams_) {
+        if (up.conn != nullptr) up.conn->close("front shutdown");
+        up.conn = nullptr;
+      }
+      loop_.stop();
+    });
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+bool FrontServer::drain_and_stop(double timeout_s) {
+  draining_.store(true, std::memory_order_release);
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> fut = done->get_future();
+  loop_.post([this, done] {
+    server_->stop_accepting();
+    auto check = std::make_shared<std::function<void()>>();
+    // Weak self-reference: the strong ref travels through the scheduled
+    // timers, so the poll chain releases itself on completion instead of
+    // keeping a shared_ptr cycle alive.
+    *check = [this, weak = std::weak_ptr<std::function<void()>>(check),
+              done] {
+      if (pending_.empty()) {
+        done->set_value();
+        return;
+      }
+      auto self = weak.lock();
+      if (self == nullptr) return;
+      loop_.schedule(0.01, [self] { (*self)(); });
+    };
+    (*check)();
+  });
+  bool drained = true;
+  if (timeout_s > 0) {
+    drained = fut.wait_for(std::chrono::duration<double>(timeout_s)) ==
+              std::future_status::ready;
+  } else {
+    fut.wait();
+  }
+  loop_.post([this] {
+    server_->close_all("front drained");
+    http_->close_all();
+    for (auto& [name, up] : upstreams_) {
+      if (up.conn != nullptr) up.conn->close("front drained");
+      up.conn = nullptr;
+    }
+    loop_.stop();
+  });
+  if (loop_thread_.joinable()) loop_thread_.join();
+  stopped_.store(true, std::memory_order_release);
+  return drained;
+}
+
+// ---- client side --------------------------------------------------------
+
+void FrontServer::on_client_frame(Connection& conn,
+                                  const FrameHeader& header,
+                                  std::span<const std::uint8_t> payload) {
+  if (header.version != kProtocolVersion) {
+    conn.send_error_and_close(
+        header.corr_id, NetError::VersionMismatch,
+        "front speaks protocol v" + std::to_string(kProtocolVersion) +
+            ", peer sent v" + std::to_string(header.version));
+    return;
+  }
+  if (header.type == FrameType::Ping) {
+    conn.send(encode_empty(FrameType::Pong, header.corr_id));
+    return;
+  }
+  if (header.type != FrameType::FactorizeRequest &&
+      header.type != FrameType::SolveRequest) {
+    conn.send(encode_error(
+        header.corr_id, NetError::UnsupportedType,
+        std::string("front does not handle ") + to_string(header.type)));
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    conn.send(
+        encode_error(header.corr_id, NetError::Draining, "front draining"));
+    return;
+  }
+  std::uint64_t digest = 0;
+  try {
+    digest = peek_pattern_digest(payload);
+  } catch (const ProtocolError& e) {
+    SPX_OBS(net_counters_.protocol_errors->inc());
+    conn.send_error_and_close(header.corr_id, NetError::Malformed, e.what());
+    return;
+  }
+  const std::string shard = ring_.route(digest);
+  if (shard.empty()) {
+    SPX_OBS(rejected_no_shard_->inc());
+    conn.send(encode_error(header.corr_id, NetError::NoShard,
+                           "no live shard for this pattern"));
+    return;
+  }
+  Upstream& up = upstreams_.at(shard);
+  if (up.inflight >= options_.max_inflight_per_shard) {
+    SPX_OBS(rejected_overloaded_->inc());
+    conn.send(encode_error(header.corr_id, NetError::Overloaded,
+                           "in-flight window to shard '" + shard +
+                               "' is full"));
+    return;
+  }
+  const std::uint64_t front_corr = next_corr_++;
+  Pending p;
+  p.client_conn = conn.id();
+  p.client_corr = header.corr_id;
+  p.digest = digest;
+  p.attempts = 0;
+  FrameHeader fwd = header;
+  fwd.corr_id = front_corr;
+  p.frame = encode_raw_frame(fwd, payload);
+  pending_.emplace(front_corr, std::move(p));
+  dispatch_to(shard, front_corr);
+}
+
+void FrontServer::dispatch_to(const std::string& shard,
+                              std::uint64_t front_corr) {
+  Pending& p = pending_.at(front_corr);
+  Upstream& up = upstreams_.at(shard);
+  p.shard = shard;
+  ++p.attempts;
+  ++up.inflight;
+  SPX_OBS((p.attempts > 1 ? up.rerouted : up.routed)->inc());
+  if (up.conn == nullptr) connect_upstream(shard);
+  if (up.conn != nullptr) {
+    up.conn->send(p.frame);
+  } else {
+    // Connect failed synchronously: treat like a lost shard.
+    on_upstream_close(shard);
+  }
+}
+
+void FrontServer::reroute(std::uint64_t front_corr) {
+  const auto it = pending_.find(front_corr);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.attempts > options_.max_reroutes) {
+    SPX_OBS(rejected_shard_lost_->inc());
+    answer_error(front_corr, NetError::NoShard,
+                 "request rerouted too many times");
+    return;
+  }
+  const std::string shard = ring_.route(p.digest);
+  if (shard.empty()) {
+    SPX_OBS(rejected_shard_lost_->inc());
+    answer_error(front_corr, NetError::NoShard,
+                 "no live shard left for this pattern");
+    return;
+  }
+  dispatch_to(shard, front_corr);
+}
+
+void FrontServer::answer_error(std::uint64_t front_corr, NetError code,
+                               const std::string& message) {
+  const auto it = pending_.find(front_corr);
+  if (it == pending_.end()) return;
+  const Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (ConnectionPtr c = server_->find(p.client_conn);
+      c != nullptr && c->open()) {
+    c->send(encode_error(p.client_corr, code, message));
+  }
+}
+
+void FrontServer::forward_to_client(std::uint64_t front_corr,
+                                    const FrameHeader& header,
+                                    std::span<const std::uint8_t> payload) {
+  const auto it = pending_.find(front_corr);
+  if (it == pending_.end()) return;
+  const Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (ConnectionPtr c = server_->find(p.client_conn);
+      c != nullptr && c->open()) {
+    FrameHeader fwd = header;
+    fwd.corr_id = p.client_corr;
+    c->send(encode_raw_frame(fwd, payload));
+  }
+}
+
+// ---- upstream side ------------------------------------------------------
+
+void FrontServer::on_upstream_frame(const std::string& name,
+                                    const FrameHeader& header,
+                                    std::span<const std::uint8_t> payload) {
+  Upstream& up = upstreams_.at(name);
+  if (header.type == FrameType::Pong) {
+    up.alive = true;
+    up.backoff_s = options_.reconnect_backoff_s;
+    if (ring_.state(name) == ShardState::Down) {
+      ring_.set_state(name, ShardState::Up);
+    }
+    return;
+  }
+  const auto it = pending_.find(header.corr_id);
+  if (it == pending_.end()) return;  // stale (rerouted or probe echo)
+  if (it->second.shard == name && up.inflight > 0) --up.inflight;
+
+  if (header.type == FrameType::Error) {
+    NetError code = NetError::Internal;
+    std::string message = "malformed error frame from shard";
+    try {
+      ErrorFrame err = decode_error(payload);
+      code = err.code;
+      message = std::move(err.message);
+    } catch (const ProtocolError&) {
+    }
+    if (code == NetError::Draining) {
+      // The shard is shedding load: withdraw it from the ring and give
+      // this request a new home.  Later responses for requests the shard
+      // already admitted still flow back normally.
+      ring_.set_state(name, ShardState::Draining);
+      reroute(header.corr_id);
+      return;
+    }
+    // Overloaded / UnknownFactor / Malformed / Internal: the client owns
+    // the retry decision (backoff, re-factorize...).
+    answer_error(header.corr_id, code, message);
+    return;
+  }
+  forward_to_client(header.corr_id, header, payload);
+}
+
+void FrontServer::on_upstream_close(const std::string& name) {
+  Upstream& up = upstreams_.at(name);
+  up.conn = nullptr;
+  up.alive = false;
+  up.inflight = 0;
+  if (ring_.state(name) != ShardState::Draining) {
+    ring_.set_state(name, ShardState::Down);
+  }
+  // Everything in flight to this shard gets rerouted (or bounced after
+  // too many attempts); nothing silently disappears with the connection.
+  std::vector<std::uint64_t> orphans;
+  for (const auto& [corr, p] : pending_) {
+    if (p.shard == name) orphans.push_back(corr);
+  }
+  for (const std::uint64_t corr : orphans) reroute(corr);
+  schedule_reconnect(name);
+}
+
+void FrontServer::connect_upstream(const std::string& name) {
+  Upstream& up = upstreams_.at(name);
+  if (up.conn != nullptr) return;
+  int fd = -1;
+  try {
+    fd = connect_nonblocking(up.endpoint.host, up.endpoint.port);
+  } catch (const InvalidArgument&) {
+    schedule_reconnect(name);
+    return;
+  }
+  // Upstream connections reuse the Connection state machine; ids in the
+  // probe range keep them clear of Server-owned client connection ids.
+  auto conn = std::make_shared<Connection>(loop_, fd, next_probe_corr_++,
+                                           options_.max_payload,
+                                           &net_counters_);
+  conn->set_frame_handler([this, name](Connection&, const FrameHeader& h,
+                                       std::span<const std::uint8_t> p) {
+    on_upstream_frame(name, h, p);
+  });
+  conn->set_close_handler([this, name](Connection&, const std::string&) {
+    on_upstream_close(name);
+  });
+  up.conn = conn;
+  conn->register_with_loop();
+  // First write doubles as the connect probe: it flushes when the TCP
+  // handshake completes, and the Pong marks the shard Up.
+  conn->send(encode_empty(FrameType::Ping, next_probe_corr_++));
+}
+
+void FrontServer::schedule_reconnect(const std::string& name) {
+  Upstream& up = upstreams_.at(name);
+  if (up.reconnect_timer != 0) return;
+  const double delay = up.backoff_s;
+  up.backoff_s = std::min(up.backoff_s * 2, 2.0);
+  up.reconnect_timer = loop_.schedule(delay, [this, name] {
+    Upstream& u = upstreams_.at(name);
+    u.reconnect_timer = 0;
+    if (u.conn == nullptr && !stopped_.load(std::memory_order_acquire)) {
+      connect_upstream(name);
+    }
+  });
+}
+
+void FrontServer::arm_probe() {
+  loop_.schedule(options_.probe_interval_s, [this] {
+    for (auto& [name, up] : upstreams_) {
+      if (up.conn != nullptr) {
+        up.conn->send(encode_empty(FrameType::Ping, next_probe_corr_++));
+      } else if (up.reconnect_timer == 0) {
+        connect_upstream(name);
+      }
+    }
+    arm_probe();
+  });
+}
+
+HttpResponse FrontServer::handle_http(const std::string& path) {
+  if (path == "/healthz") {
+    const bool ok = ring_.up_count() > 0;
+    return {ok ? 200 : 503, "text/plain",
+            ok ? std::string("ok\n") : std::string("failing\n")};
+  }
+  if (path == "/readyz") {
+    if (draining_.load(std::memory_order_acquire)) {
+      return {503, "text/plain", "draining\n"};
+    }
+    if (ring_.up_count() == 0) return {503, "text/plain", "no-shards\n"};
+    return {200, "text/plain", "ready\n"};
+  }
+  if (path == "/metrics") {
+    HttpResponse r;
+    r.body = obs::prometheus_text(*registry_);
+    return r;
+  }
+  return {404, "text/plain", "not found\n"};
+}
+
+}  // namespace spx::net

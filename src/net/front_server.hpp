@@ -1,0 +1,132 @@
+// The scale-out front-end: a protocol-aware proxy that consistent-hashes
+// each request's pattern digest over the live shard ring, so every
+// sparsity pattern keeps hitting the shard whose analysis cache (and
+// resident factors) already know it.
+//
+// The front never parses the CSC bodies it proxies: it peeks the 8-byte
+// routing digest at payload offset 0, rewrites the correlation id, and
+// forwards the frame bytes verbatim.  Per-shard bounded in-flight windows
+// bounce excess load with Error(Overloaded) -- the same reject-don't-
+// queue backpressure the admission queue applies in-process.  When a
+// shard answers Draining or its connection drops, its pending requests
+// are rerouted over the remaining ring (bounded attempts), so a shard
+// can be drained or killed mid-run without losing accepted requests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/server.hpp"
+#include "net/shard_ring.hpp"
+
+namespace spx::net {
+
+struct ShardEndpoint {
+  std::string name;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FrontServerOptions {
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 0;       ///< client-facing protocol port
+  std::uint16_t http_port = 0;  ///< probe/metrics port
+  std::vector<ShardEndpoint> shards;
+  std::uint32_t vnodes = 64;
+  /// Per-shard in-flight window; requests beyond it get Error(Overloaded).
+  std::size_t max_inflight_per_shard = 256;
+  /// A request is rerouted at most this many times before the client gets
+  /// Error(NoShard) and must retry itself.
+  int max_reroutes = 3;
+  double probe_interval_s = 0.5;      ///< ping cadence per upstream
+  double reconnect_backoff_s = 0.05;  ///< initial; doubles up to 2 s
+  double idle_timeout_s = 0;          ///< client connections
+  std::size_t max_payload = kDefaultMaxPayload;
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = global registry
+};
+
+class FrontServer {
+ public:
+  explicit FrontServer(FrontServerOptions options);
+  ~FrontServer();
+  FrontServer(const FrontServer&) = delete;
+  FrontServer& operator=(const FrontServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint16_t http_port() const { return http_port_; }
+
+  /// Graceful drain: stop accepting, answer Draining to new requests,
+  /// wait (bounded) until every proxied request has been answered, then
+  /// stop the loop.  Returns true when the pending table emptied in time.
+  bool drain_and_stop(double timeout_s = 0);
+
+ private:
+  struct Upstream {
+    ShardEndpoint endpoint;
+    ConnectionPtr conn;          ///< null while disconnected
+    bool alive = false;          ///< pong seen on the current connection
+    std::size_t inflight = 0;
+    double backoff_s = 0;
+    std::uint64_t reconnect_timer = 0;
+    obs::Counter* routed = nullptr;    ///< spx_front_routed_total{shard=}
+    obs::Counter* rerouted = nullptr;  ///< spx_front_rerouted_total{shard=}
+  };
+
+  struct Pending {
+    std::uint64_t client_conn = 0;
+    std::uint64_t client_corr = 0;
+    std::uint64_t digest = 0;
+    int attempts = 0;
+    std::string shard;
+    std::vector<std::uint8_t> frame;  ///< full frame, corr = front corr
+  };
+
+  void on_client_frame(Connection& conn, const FrameHeader& header,
+                       std::span<const std::uint8_t> payload);
+  void on_upstream_frame(const std::string& name, const FrameHeader& header,
+                         std::span<const std::uint8_t> payload);
+  void on_upstream_close(const std::string& name);
+  /// Sends `pending` (already in pending_) to `shard`; bookkeeping only.
+  void dispatch_to(const std::string& shard, std::uint64_t front_corr);
+  /// Re-sends a pending request to a freshly routed shard, or answers the
+  /// client with Error(NoShard) when attempts are exhausted.
+  void reroute(std::uint64_t front_corr);
+  /// Answers the pending request's client with an Error frame and drops
+  /// the pending entry.
+  void answer_error(std::uint64_t front_corr, NetError code,
+                    const std::string& message);
+  void forward_to_client(std::uint64_t front_corr, const FrameHeader& header,
+                         std::span<const std::uint8_t> payload);
+  void connect_upstream(const std::string& name);
+  void schedule_reconnect(const std::string& name);
+  void arm_probe();
+  HttpResponse handle_http(const std::string& path);
+
+  FrontServerOptions options_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  NetCounters net_counters_;
+  obs::Counter* rejected_no_shard_ = nullptr;
+  obs::Counter* rejected_overloaded_ = nullptr;
+  obs::Counter* rejected_shard_lost_ = nullptr;
+  EventLoop loop_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<HttpServer> http_;
+  std::uint16_t port_ = 0;
+  std::uint16_t http_port_ = 0;
+  ShardRing ring_;
+  std::unordered_map<std::string, Upstream> upstreams_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_corr_ = 1;
+  std::uint64_t next_probe_corr_;  ///< high-bit range, never collides
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread loop_thread_;
+};
+
+}  // namespace spx::net

@@ -1,0 +1,260 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/server.hpp"  // set_nonblocking
+
+namespace spx::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+std::string render(const HttpResponse& r) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + " " +
+                    reason_phrase(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+/// One HTTP connection: buffer the request until the blank line, answer,
+/// flush, close.
+struct HttpServer::Conn : FdHandler,
+                          std::enable_shared_from_this<HttpServer::Conn> {
+  HttpServer& owner;
+  int fd;
+  std::uint64_t id;
+  std::string in;
+  std::string out;
+  std::size_t out_off = 0;
+  bool responding = false;
+
+  Conn(HttpServer& o, int f, std::uint64_t i) : owner(o), fd(f), id(i) {}
+  ~Conn() override {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void finish() {
+    if (fd < 0) return;
+    owner.loop_.del_fd(fd);
+    ::close(fd);
+    fd = -1;
+    owner.conns_.erase(id);  // may destroy *this; touch nothing after
+  }
+
+  void respond(const HttpResponse& r) {
+    out = render(r);
+    responding = true;
+    owner.loop_.mod_fd(fd, EPOLLOUT);
+    flush();
+  }
+
+  void flush() {
+    while (fd >= 0 && out_off < out.size()) {
+      const ssize_t n = ::send(fd, out.data() + out_off,
+                               out.size() - out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        finish();
+        return;
+      }
+      out_off += static_cast<std::size_t>(n);
+    }
+    finish();
+  }
+
+  void on_events(std::uint32_t events) override {
+    auto self = shared_from_this();
+    if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+      finish();
+      return;
+    }
+    if (responding) {
+      flush();
+      return;
+    }
+    char buf[4096];
+    while (fd >= 0) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) {
+        finish();
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        finish();
+        return;
+      }
+      in.append(buf, static_cast<std::size_t>(n));
+      if (in.size() > kMaxRequestBytes) {
+        respond({400, "text/plain", "request too large\n"});
+        return;
+      }
+      const std::size_t end = in.find("\r\n\r\n");
+      if (end == std::string::npos) continue;
+      // Request line: METHOD SP PATH SP VERSION
+      const std::size_t eol = in.find("\r\n");
+      const std::string line = in.substr(0, eol);
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos ||
+          line.substr(0, sp1) != "GET") {
+        respond({400, "text/plain", "only GET is supported\n"});
+        return;
+      }
+      const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      respond(owner.handler_ ? owner.handler_(path)
+                             : HttpResponse{404, "text/plain", "\n"});
+      return;
+    }
+  }
+};
+
+/// The listening socket of an HttpServer.
+struct HttpServer::Acceptor : FdHandler {
+  HttpServer& owner;
+  int fd = -1;
+
+  explicit Acceptor(HttpServer& o) : owner(o) {}
+  ~Acceptor() override {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void on_events(std::uint32_t) override {
+    while (true) {
+      const int cfd = ::accept4(fd, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) break;
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      auto conn =
+          std::make_shared<Conn>(owner, cfd, owner.next_id_++);
+      owner.conns_.emplace(conn->id, conn);
+      owner.loop_.add_fd(cfd, EPOLLIN, conn.get());
+    }
+  }
+};
+
+HttpServer::HttpServer(EventLoop& loop, std::uint16_t port,
+                       HttpHandler handler)
+    : loop_(loop), handler_(std::move(handler)) {
+  acceptor_ = std::make_unique<Acceptor>(*this);
+  acceptor_->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SPX_CHECK_ARG(acceptor_->fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(acceptor_->fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  SPX_CHECK_ARG(::bind(acceptor_->fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "HttpServer: bind() failed");
+  SPX_CHECK_ARG(::listen(acceptor_->fd, 64) == 0,
+                "HttpServer: listen() failed");
+  socklen_t len = sizeof addr;
+  ::getsockname(acceptor_->fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(acceptor_->fd);
+  loop_.add_fd(acceptor_->fd, EPOLLIN, acceptor_.get());
+}
+
+HttpServer::~HttpServer() { close_all(); }
+
+void HttpServer::close_all() {
+  if (acceptor_ != nullptr && acceptor_->fd >= 0) {
+    loop_.del_fd(acceptor_->fd);
+    ::close(acceptor_->fd);
+    acceptor_->fd = -1;
+  }
+  // Conn::finish erases from conns_; drain via copies.
+  std::vector<std::shared_ptr<Conn>> all;
+  all.reserve(conns_.size());
+  for (const auto& [id, c] : conns_) all.push_back(c);
+  for (const auto& c : all) c->finish();
+  conns_.clear();
+}
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int* status_out,
+                     double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SPX_CHECK_ARG(fd >= 0, "socket() failed");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - double(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw InvalidArgument("http_get: cannot connect to " + host + ":" +
+                          std::to_string(port));
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    throw InvalidArgument("http_get: request write failed");
+  }
+  std::string response;
+  char buf[8192];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t sp = response.find(' ');
+  SPX_CHECK_ARG(sp != std::string::npos, "http_get: malformed response");
+  const int status = std::atoi(response.c_str() + sp + 1);
+  if (status_out != nullptr) {
+    *status_out = status;
+  } else {
+    SPX_CHECK_ARG(status == 200, "http_get: non-200 response");
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? std::string()
+                                   : response.substr(body + 4);
+}
+
+}  // namespace spx::net

@@ -1,0 +1,60 @@
+// Minimal plaintext HTTP/1.0 GET endpoint on the shared event loop,
+// serving the operational probes of spx_shard and spx_front:
+//   /healthz  -- coarse process health ("ok" / "degraded" / "failing")
+//   /readyz   -- readiness ("ready", or 503 "draining"/"no-shards")
+//   /metrics  -- Prometheus text exposition of the endpoint's registry
+//
+// Deliberately tiny: GET only, connection: close, no keep-alive, no
+// chunking -- just enough for `curl` and a scraper, parsed defensively
+// (request line + headers bounded at 16 KiB).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/event_loop.hpp"
+
+namespace spx::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+/// Maps a request path ("/metrics") to a response; runs on the loop
+/// thread, so handlers can read reactor-owned state without locks.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) on `loop`.
+  HttpServer(EventLoop& loop, std::uint16_t port, HttpHandler handler);
+  ~HttpServer();
+
+  std::uint16_t port() const { return port_; }
+  void close_all();
+
+ private:
+  struct Conn;
+  friend struct Conn;
+  struct Acceptor;
+
+  EventLoop& loop_;
+  HttpHandler handler_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+};
+
+/// Blocking one-shot HTTP GET (test/bench helper): returns the response
+/// body; throws InvalidArgument on connection failure or non-200 unless
+/// `status_out` is given (then the status is reported instead).
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int* status_out = nullptr,
+                     double timeout_s = 5.0);
+
+}  // namespace spx::net

@@ -1,0 +1,510 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace spx::net {
+
+namespace {
+
+// ---- byte-order primitives ---------------------------------------------
+// Everything on the wire is little-endian.  Scalars are folded explicitly
+// (endian-independent); bulk numeric arrays take the memcpy fast path on
+// little-endian hosts and the per-element fold elsewhere.
+
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed UTF-8 string (u16 length: tenant names, shard names).
+  void str16(std::string_view s) {
+    SPX_CHECK_ARG(s.size() <= 0xffff, "wire string exceeds 64 KiB");
+    u16(static_cast<std::uint16_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  /// Length-prefixed string (u32 length: error text, stats JSON).
+  void str32(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+
+  template <typename T>
+  void array(std::span<const T> v) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      append(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const T& x : v) {
+        if constexpr (sizeof(T) == 4) {
+          u32(std::bit_cast<std::uint32_t>(x));
+        } else {
+          u64(std::bit_cast<std::uint64_t>(x));
+        }
+      }
+    }
+  }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(b[i]) << (8 * i);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str16() { return str(u16()); }
+  std::string str32() {
+    const std::uint32_t n = u32();
+    if (n > remaining()) {
+      throw ProtocolError("string length exceeds payload");
+    }
+    return str(n);
+  }
+
+  /// Bulk-reads `count` elements straight into a vector sized exactly for
+  /// them -- the zero-copy CSC ingestion path (one copy from the wire
+  /// buffer into the final array, no intermediate representation).
+  template <typename T>
+  std::vector<T> array(std::size_t count) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    const std::size_t bytes = count * sizeof(T);
+    if (count > remaining() / sizeof(T)) {
+      throw ProtocolError("array extends past end of payload");
+    }
+    std::vector<T> v(count);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(v.data(), bytes_.data() + pos_, bytes);
+      pos_ += bytes;
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        if constexpr (sizeof(T) == 4) {
+          v[i] = std::bit_cast<T>(u32());
+        } else {
+          v[i] = std::bit_cast<T>(u64());
+        }
+      }
+    }
+    return v;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  void expect_end() const {
+    if (remaining() != 0) {
+      throw ProtocolError("trailing bytes after frame body");
+    }
+  }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (n > remaining()) throw ProtocolError("truncated frame body");
+    const auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string str(std::size_t n) {
+    const auto s = take(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Reserves the 20-byte header, returns the payload start offset.
+std::size_t begin_frame(std::vector<std::uint8_t>& out) {
+  out.resize(kHeaderBytes);
+  return kHeaderBytes;
+}
+
+/// Back-patches the header once the payload length is known.
+void end_frame(std::vector<std::uint8_t>& out, FrameType type,
+               std::uint64_t corr_id) {
+  const std::uint64_t payload = out.size() - kHeaderBytes;
+  SPX_CHECK_ARG(payload <= 0xffffffffull, "frame payload exceeds 4 GiB");
+  std::vector<std::uint8_t> header;
+  WireWriter w(header);
+  w.u32(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // flags
+  w.u32(static_cast<std::uint32_t>(payload));
+  w.u64(corr_id);
+  std::memcpy(out.data(), header.data(), kHeaderBytes);
+}
+
+void write_trace(WireWriter& w, const WireTrace& t) {
+  w.u64(t.trace_id);
+  w.u64(t.parent_span);
+}
+
+WireTrace read_trace(WireReader& r) {
+  WireTrace t;
+  t.trace_id = r.u64();
+  t.parent_span = r.u64();
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::FactorizeRequest:
+      return "factorize_request";
+    case FrameType::SolveRequest:
+      return "solve_request";
+    case FrameType::FactorizeResponse:
+      return "factorize_response";
+    case FrameType::SolveResponse:
+      return "solve_response";
+    case FrameType::Error:
+      return "error";
+    case FrameType::Ping:
+      return "ping";
+    case FrameType::Pong:
+      return "pong";
+  }
+  return "?";
+}
+
+const char* to_string(NetError e) {
+  switch (e) {
+    case NetError::VersionMismatch:
+      return "version_mismatch";
+    case NetError::Malformed:
+      return "malformed";
+    case NetError::UnsupportedType:
+      return "unsupported_type";
+    case NetError::Overloaded:
+      return "overloaded";
+    case NetError::Draining:
+      return "draining";
+    case NetError::NoShard:
+      return "no_shard";
+    case NetError::UnknownFactor:
+      return "unknown_factor";
+    case NetError::Internal:
+      return "internal";
+  }
+  return "?";
+}
+
+bool retryable(NetError e) {
+  return e == NetError::Overloaded || e == NetError::Draining ||
+         e == NetError::NoShard || e == NetError::UnknownFactor;
+}
+
+// ---- encode -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_factorize_request(
+    std::uint64_t corr_id, const FactorizeRequestFrame& f,
+    const CscMatrix<real_t>& a) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  WireWriter w(out);
+  w.u64(f.pattern_digest);
+  write_trace(w, f.trace);
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.str16(f.tenant);
+  w.f64(f.deadline_s);
+  w.u32(static_cast<std::uint32_t>(a.nrows()));
+  w.u32(static_cast<std::uint32_t>(a.ncols()));
+  w.u64(static_cast<std::uint64_t>(a.nnz()));
+  w.array(a.colptr());
+  w.array(a.rowind());
+  w.array(a.values());
+  end_frame(out, FrameType::FactorizeRequest, corr_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_solve_request(std::uint64_t corr_id,
+                                               const SolveRequestFrame& f) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  WireWriter w(out);
+  w.u64(f.pattern_digest);
+  write_trace(w, f.trace);
+  w.u64(f.factor_id);
+  w.str16(f.tenant);
+  w.f64(f.deadline_s);
+  w.u32(static_cast<std::uint32_t>(f.rhs.size()));
+  w.array(std::span<const real_t>(f.rhs));
+  end_frame(out, FrameType::SolveRequest, corr_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_factorize_response(
+    std::uint64_t corr_id, const FactorizeResponseFrame& f) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  WireWriter w(out);
+  w.u8(f.status);
+  w.u8(f.code);
+  w.u8(f.degraded ? 1 : 0);
+  w.u64(f.factor_id);
+  w.str16(f.shard);
+  w.str32(f.error);
+  w.str32(f.stats_json);
+  end_frame(out, FrameType::FactorizeResponse, corr_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_solve_response(
+    std::uint64_t corr_id, const SolveResponseFrame& f) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  WireWriter w(out);
+  w.u8(f.status);
+  w.u8(f.code);
+  w.u8(f.degraded ? 1 : 0);
+  w.str16(f.shard);
+  w.str32(f.error);
+  w.str32(f.stats_json);
+  w.u32(static_cast<std::uint32_t>(f.x.size()));
+  w.array(std::span<const real_t>(f.x));
+  end_frame(out, FrameType::SolveResponse, corr_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t corr_id, NetError code,
+                                       std::string_view message) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  WireWriter w(out);
+  w.u32(static_cast<std::uint32_t>(code));
+  w.str32(message);
+  end_frame(out, FrameType::Error, corr_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_empty(FrameType type,
+                                       std::uint64_t corr_id) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  end_frame(out, type, corr_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_raw_frame(
+    const FrameHeader& header, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  WireWriter w(out);
+  w.u32(kMagic);
+  w.u8(header.version);
+  w.u8(static_cast<std::uint8_t>(header.type));
+  w.u16(header.flags);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(header.corr_id);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// ---- decode -------------------------------------------------------------
+
+FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
+  SPX_CHECK_ARG(bytes.size() == kHeaderBytes,
+                "decode_header needs exactly kHeaderBytes");
+  WireReader r(bytes);
+  if (r.u32() != kMagic) {
+    throw ProtocolError("bad magic (not an spx frame)");
+  }
+  FrameHeader h;
+  h.version = r.u8();
+  h.type = static_cast<FrameType>(r.u8());
+  h.flags = r.u16();
+  h.length = r.u32();
+  h.corr_id = r.u64();
+  return h;
+}
+
+FactorizeRequestFrame decode_factorize_request(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  FactorizeRequestFrame f;
+  f.pattern_digest = r.u64();
+  f.trace = read_trace(r);
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Factorization::LU)) {
+    throw ProtocolError("unknown factorization kind on the wire");
+  }
+  f.kind = static_cast<Factorization>(kind);
+  f.tenant = r.str16();
+  f.deadline_s = r.f64();
+  const std::uint32_t nrows = r.u32();
+  const std::uint32_t ncols = r.u32();
+  const std::uint64_t nnz = r.u64();
+  if (nrows > 0x7fffffffu || ncols > 0x7fffffffu) {
+    throw ProtocolError("matrix dimension overflows index_t");
+  }
+  if (nnz > r.remaining() / sizeof(index_t)) {
+    throw ProtocolError("nnz exceeds payload size");
+  }
+  std::vector<size_type> colptr =
+      r.array<size_type>(static_cast<std::size_t>(ncols) + 1);
+  std::vector<index_t> rowind =
+      r.array<index_t>(static_cast<std::size_t>(nnz));
+  std::vector<real_t> values =
+      r.array<real_t>(static_cast<std::size_t>(nnz));
+  r.expect_end();
+  try {
+    f.matrix = std::make_shared<const CscMatrix<real_t>>(
+        static_cast<index_t>(nrows), static_cast<index_t>(ncols),
+        std::move(colptr), std::move(rowind), std::move(values));
+  } catch (const InvalidArgument& e) {
+    // The CSC constructor's O(nnz) structure validation doubles as the
+    // wire-level sanity check: sorted unique row indices, consistent
+    // colptr.  Hostile structure surfaces as a protocol error, not UB.
+    throw ProtocolError(std::string("invalid CSC structure: ") + e.what());
+  }
+  if (pattern_digest(*f.matrix) != f.pattern_digest) {
+    throw ProtocolError("pattern digest does not match the CSC structure");
+  }
+  return f;
+}
+
+SolveRequestFrame decode_solve_request(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SolveRequestFrame f;
+  f.pattern_digest = r.u64();
+  f.trace = read_trace(r);
+  f.factor_id = r.u64();
+  f.tenant = r.str16();
+  f.deadline_s = r.f64();
+  const std::uint32_t n = r.u32();
+  f.rhs = r.array<real_t>(n);
+  r.expect_end();
+  return f;
+}
+
+FactorizeResponseFrame decode_factorize_response(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  FactorizeResponseFrame f;
+  f.status = r.u8();
+  f.code = r.u8();
+  f.degraded = r.u8() != 0;
+  f.factor_id = r.u64();
+  f.shard = r.str16();
+  f.error = r.str32();
+  f.stats_json = r.str32();
+  r.expect_end();
+  return f;
+}
+
+SolveResponseFrame decode_solve_response(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SolveResponseFrame f;
+  f.status = r.u8();
+  f.code = r.u8();
+  f.degraded = r.u8() != 0;
+  f.shard = r.str16();
+  f.error = r.str32();
+  f.stats_json = r.str32();
+  const std::uint32_t n = r.u32();
+  f.x = r.array<real_t>(n);
+  r.expect_end();
+  return f;
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ErrorFrame f;
+  const std::uint32_t code = r.u32();
+  if (code < 1 || code > static_cast<std::uint32_t>(NetError::Internal)) {
+    throw ProtocolError("unknown NetError code on the wire");
+  }
+  f.code = static_cast<NetError>(code);
+  f.message = r.str32();
+  r.expect_end();
+  return f;
+}
+
+std::uint64_t peek_pattern_digest(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  return r.u64();
+}
+
+// ---- stream assembly ----------------------------------------------------
+
+void FrameParser::feed(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  // Validate the header eagerly so a bad-magic or memory-bomb peer is
+  // rejected before its declared payload is ever buffered.
+  if (buf_.size() - consumed_ >= kHeaderBytes) {
+    const FrameHeader h = decode_header(
+        std::span<const std::uint8_t>(buf_).subspan(consumed_,
+                                                    kHeaderBytes));
+    if (h.length > max_payload_) {
+      throw ProtocolError("declared payload exceeds the frame size limit");
+    }
+  }
+}
+
+std::optional<FrameParser::Frame> FrameParser::next() {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kHeaderBytes) return std::nullopt;
+  const auto view = std::span<const std::uint8_t>(buf_).subspan(consumed_);
+  const FrameHeader h = decode_header(view.first(kHeaderBytes));
+  if (h.length > max_payload_) {
+    throw ProtocolError("declared payload exceeds the frame size limit");
+  }
+  if (avail < kHeaderBytes + h.length) return std::nullopt;
+  Frame f;
+  f.header = h;
+  f.payload.assign(view.begin() + kHeaderBytes,
+                   view.begin() + kHeaderBytes + h.length);
+  consumed_ += kHeaderBytes + h.length;
+  // Compact once the parsed-off prefix dominates, keeping the buffer
+  // proportional to the unparsed remainder.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return f;
+}
+
+}  // namespace spx::net

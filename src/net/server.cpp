@@ -1,0 +1,333 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spx::net {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  SPX_CHECK_ARG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "fcntl(O_NONBLOCK) failed");
+}
+
+int connect_nonblocking(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SPX_CHECK_ARG(fd >= 0, "socket() failed");
+  set_nonblocking(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw InvalidArgument("connect_nonblocking: bad IPv4 address '" + host +
+                          "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    throw InvalidArgument(std::string("connect() failed: ") +
+                          std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void NetCounters::resolve(obs::MetricsRegistry& reg) {
+  accepted = &reg.counter("spx_net_accepted_total",
+                          "TCP connections accepted");
+  frames_read = &reg.counter("spx_net_frames_read_total",
+                             "Complete frames parsed off the wire");
+  bytes_read = &reg.counter("spx_net_bytes_read_total",
+                            "Payload + header bytes read");
+  bytes_written = &reg.counter("spx_net_bytes_written_total",
+                               "Bytes written to peers");
+  idle_closed = &reg.counter("spx_net_idle_closed_total",
+                             "Connections closed by the idle-timeout sweep");
+  protocol_errors = &reg.counter(
+      "spx_net_protocol_errors_total",
+      "Connections dropped for malformed/oversized/bad-magic input");
+}
+
+// ---- Connection ---------------------------------------------------------
+
+Connection::Connection(EventLoop& loop, int fd, std::uint64_t id,
+                       std::size_t max_payload, NetCounters* counters)
+    : loop_(loop),
+      fd_(fd),
+      id_(id),
+      counters_(counters),
+      parser_(max_payload),
+      last_activity_(loop.now()) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::register_with_loop() {
+  loop_.add_fd(fd_, EPOLLIN, this);
+}
+
+void Connection::update_epoll() {
+  if (fd_ < 0) return;
+  const bool want = !write_queue_.empty();
+  if (want == want_write_) return;
+  want_write_ = want;
+  loop_.mod_fd(fd_, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void Connection::send(std::vector<std::uint8_t> frame) {
+  if (fd_ < 0) return;
+  write_queue_.push_back(std::move(frame));
+  handle_writable();  // opportunistic immediate write
+}
+
+void Connection::post_send(std::vector<std::uint8_t> frame) {
+  auto self = shared_from_this();
+  loop_.post([self, frame = std::move(frame)]() mutable {
+    self->send(std::move(frame));
+  });
+}
+
+void Connection::send_error_and_close(std::uint64_t corr_id, NetError code,
+                                      const std::string& message) {
+  send(encode_error(corr_id, code, message));
+  // Close after the error frame drains (or immediately if it already did).
+  if (write_queue_.empty()) {
+    close(message);
+  } else {
+    // Mark by clearing the frame handler: any further input is ignored,
+    // and handle_writable() closes once the queue empties.
+    on_frame_ = nullptr;
+    closing_after_flush_ = true;
+  }
+}
+
+void Connection::close(const std::string& reason) {
+  if (fd_ < 0) return;
+  loop_.del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    // Detach first: the close handler usually erases the owning map entry
+    // and must never be re-entered.
+    CloseCallback cb = std::move(on_close_);
+    on_close_ = nullptr;
+    cb(*this, reason);
+  }
+}
+
+void Connection::on_events(std::uint32_t events) {
+  auto self = shared_from_this();  // survive owner erasing us mid-dispatch
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close("connection error/hangup");
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) handle_writable();
+  if (fd_ >= 0 && (events & EPOLLIN) != 0) handle_readable();
+}
+
+void Connection::handle_readable() {
+  std::uint8_t buf[64 * 1024];
+  while (fd_ >= 0) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) {
+      close("peer closed");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close(std::string("read error: ") + std::strerror(errno));
+      return;
+    }
+    last_activity_ = loop_.now();
+    SPX_OBS(if (counters_ != nullptr)
+                counters_->bytes_read->inc(static_cast<double>(n)));
+    try {
+      parser_.feed({buf, static_cast<std::size_t>(n)});
+      while (auto frame = parser_.next()) {
+        SPX_OBS(if (counters_ != nullptr) counters_->frames_read->inc());
+        if (on_frame_) {
+          on_frame_(*this, frame->header, frame->payload);
+        }
+        if (fd_ < 0) return;  // handler closed us
+      }
+    } catch (const ProtocolError& e) {
+      SPX_OBS(if (counters_ != nullptr) counters_->protocol_errors->inc());
+      send_error_and_close(0, NetError::Malformed, e.what());
+      return;
+    }
+  }
+}
+
+void Connection::handle_writable() {
+  while (fd_ >= 0 && !write_queue_.empty()) {
+    const std::vector<std::uint8_t>& front = write_queue_.front();
+    const ssize_t n =
+        ::send(fd_, front.data() + write_offset_,
+               front.size() - write_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close(std::string("write error: ") + std::strerror(errno));
+      return;
+    }
+    last_activity_ = loop_.now();
+    SPX_OBS(if (counters_ != nullptr)
+                counters_->bytes_written->inc(static_cast<double>(n)));
+    write_offset_ += static_cast<std::size_t>(n);
+    if (write_offset_ == front.size()) {
+      write_queue_.pop_front();
+      write_offset_ = 0;
+    }
+  }
+  if (write_queue_.empty() && closing_after_flush_) {
+    close("closed after error frame");
+    return;
+  }
+  update_epoll();
+}
+
+// ---- Server -------------------------------------------------------------
+
+Server::Server(EventLoop& loop, ServerOptions options,
+               FrameCallback on_frame, CloseCallback on_close,
+               NetCounters* counters)
+    : loop_(loop),
+      options_(std::move(options)),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)),
+      counters_(counters) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SPX_CHECK_ARG(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  SPX_CHECK_ARG(
+      ::inet_pton(AF_INET, options_.bind.c_str(), &addr.sin_addr) == 1,
+      "Server: bad IPv4 bind address");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidArgument(std::string("bind() failed: ") +
+                          std::strerror(err));
+  }
+  SPX_CHECK_ARG(::listen(listen_fd_, 128) == 0, "listen() failed");
+  socklen_t len = sizeof addr;
+  SPX_CHECK_ARG(::getsockname(listen_fd_,
+                              reinterpret_cast<sockaddr*>(&addr),
+                              &len) == 0,
+                "getsockname() failed");
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  loop_.add_fd(listen_fd_, EPOLLIN, this);
+  if (options_.idle_timeout_s > 0) {
+    arm_sweep(std::max(options_.idle_timeout_s / 4, 0.05));
+  }
+}
+
+void Server::arm_sweep(double period) {
+  sweep_timer_ = loop_.schedule(period, [this, period] {
+    sweep_idle();
+    arm_sweep(period);
+  });
+}
+
+Server::~Server() {
+  destroyed_ = true;
+  close_all("server shutdown");
+}
+
+void Server::stop_accepting() {
+  if (!accepting_) return;
+  accepting_ = false;
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::close_all(const std::string& reason) {
+  stop_accepting();
+  if (sweep_timer_ != 0) {
+    loop_.cancel_timer(sweep_timer_);
+    sweep_timer_ = 0;
+  }
+  // Copy out: close handlers erase from connections_.
+  std::vector<ConnectionPtr> conns;
+  conns.reserve(connections_.size());
+  for (const auto& [id, c] : connections_) conns.push_back(c);
+  for (const ConnectionPtr& c : conns) c->close(reason);
+  connections_.clear();
+}
+
+ConnectionPtr Server::find(std::uint64_t conn_id) const {
+  const auto it = connections_.find(conn_id);
+  return it == connections_.end() ? nullptr : it->second;
+}
+
+bool Server::any_write_pending() const {
+  for (const auto& [id, c] : connections_) {
+    if (c->open() && c->write_pending()) return true;
+  }
+  return false;
+}
+
+void Server::on_events(std::uint32_t) {
+  while (accepting_) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      break;  // transient accept failure; the loop retries on next event
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    SPX_OBS(if (counters_ != nullptr) counters_->accepted->inc());
+    auto conn = std::make_shared<Connection>(loop_, fd, next_conn_id_++,
+                                             options_.max_payload,
+                                             counters_);
+    conn->set_frame_handler(on_frame_);
+    conn->set_close_handler(
+        [this](Connection& c, const std::string& reason) {
+          if (on_close_) on_close_(c, reason);
+          if (!destroyed_) connections_.erase(c.id());
+        });
+    connections_.emplace(conn->id(), conn);
+    conn->register_with_loop();
+  }
+}
+
+void Server::sweep_idle() {
+  if (options_.idle_timeout_s <= 0) return;
+  const double now = loop_.now();
+  std::vector<ConnectionPtr> idle;
+  for (const auto& [id, c] : connections_) {
+    if (now - c->last_activity() > options_.idle_timeout_s) idle.push_back(c);
+  }
+  for (const ConnectionPtr& c : idle) {
+    SPX_OBS(if (counters_ != nullptr) counters_->idle_closed->inc());
+    c->close("idle timeout");
+  }
+}
+
+}  // namespace spx::net

@@ -1,0 +1,161 @@
+// Nonblocking TCP server plumbing on the epoll event loop: accepted and
+// outbound connections share one state machine (read buffer -> frame
+// parser -> frame callback; write queue drained on EPOLLOUT), plus the
+// listening socket with accept fan-out and idle-timeout sweeps.
+//
+// Threading: every Connection method except post_send() must run on the
+// loop thread.  post_send() is the bridge the solve-service worker
+// threads use to push a finished response back into the reactor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+#include "obs/obs.hpp"
+
+namespace spx::net {
+
+/// Creates a nonblocking TCP socket connected (asynchronously) to
+/// host:port; returns the fd or throws InvalidArgument.
+int connect_nonblocking(const std::string& host, std::uint16_t port);
+
+/// Counters of one endpoint's network activity, resolved once against a
+/// registry and shared by its listener + connections.  Mirrors the
+/// `net.*` span/counter catalogue in docs/SERVICE.md.
+struct NetCounters {
+  obs::Counter* accepted = nullptr;        ///< spx_net_accepted_total
+  obs::Counter* frames_read = nullptr;     ///< spx_net_frames_read_total
+  obs::Counter* bytes_read = nullptr;      ///< spx_net_bytes_read_total
+  obs::Counter* bytes_written = nullptr;   ///< spx_net_bytes_written_total
+  obs::Counter* idle_closed = nullptr;     ///< spx_net_idle_closed_total
+  obs::Counter* protocol_errors = nullptr; ///< spx_net_protocol_errors_total
+
+  void resolve(obs::MetricsRegistry& reg);
+};
+
+class Connection;
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Called with each complete, size-validated frame.
+using FrameCallback = std::function<void(Connection&, const FrameHeader&,
+                                         std::span<const std::uint8_t>)>;
+/// Called exactly once when the connection is torn down.
+using CloseCallback =
+    std::function<void(Connection&, const std::string& reason)>;
+
+class Connection : public FdHandler,
+                   public std::enable_shared_from_this<Connection> {
+ public:
+  /// Takes ownership of nonblocking `fd`.  Call register_with_loop()
+  /// after construction (shared_from_this needs a live shared_ptr).
+  Connection(EventLoop& loop, int fd, std::uint64_t id,
+             std::size_t max_payload, NetCounters* counters);
+  ~Connection() override;
+
+  void register_with_loop();
+
+  std::uint64_t id() const { return id_; }
+  bool open() const { return fd_ >= 0; }
+  double last_activity() const { return last_activity_; }
+  bool write_pending() const { return !write_queue_.empty(); }
+
+  void set_frame_handler(FrameCallback cb) { on_frame_ = std::move(cb); }
+  void set_close_handler(CloseCallback cb) { on_close_ = std::move(cb); }
+
+  /// Queues `frame` for writing (loop thread only).
+  void send(std::vector<std::uint8_t> frame);
+  /// Thread-safe send: hops onto the loop thread first.  Frames posted
+  /// after close are dropped silently (the peer is gone either way).
+  void post_send(std::vector<std::uint8_t> frame);
+
+  /// Convenience: encode_error + send + close for protocol violations.
+  void send_error_and_close(std::uint64_t corr_id, NetError code,
+                            const std::string& message);
+
+  /// Tears down: deregisters, closes the fd, fires the close handler
+  /// (exactly once).  Loop thread only.
+  void close(const std::string& reason);
+
+  void on_events(std::uint32_t events) override;
+
+ private:
+  void handle_readable();
+  void handle_writable();
+  void update_epoll();
+
+  EventLoop& loop_;
+  int fd_ = -1;
+  const std::uint64_t id_;
+  NetCounters* counters_;
+  FrameParser parser_;
+  FrameCallback on_frame_;
+  CloseCallback on_close_;
+  std::deque<std::vector<std::uint8_t>> write_queue_;
+  std::size_t write_offset_ = 0;  ///< into write_queue_.front()
+  bool want_write_ = false;
+  bool closing_after_flush_ = false;  ///< close once the queue drains
+  double last_activity_ = 0;
+};
+
+struct ServerOptions {
+  /// Bind address; loopback by default (the service mesh fronts it).
+  std::string bind = "127.0.0.1";
+  /// 0 picks an ephemeral port (tests/benches); port() reports it.
+  std::uint16_t port = 0;
+  /// Connections idle longer than this are closed by the sweep; 0
+  /// disables the timeout.
+  double idle_timeout_s = 0;
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+/// Listening socket: accepts nonblocking connections, owns them until
+/// close, sweeps idle ones.
+class Server : public FdHandler {
+ public:
+  Server(EventLoop& loop, ServerOptions options, FrameCallback on_frame,
+         CloseCallback on_close = {}, NetCounters* counters = nullptr);
+  ~Server() override;
+
+  std::uint16_t port() const { return port_; }
+  std::size_t connection_count() const { return connections_.size(); }
+
+  /// Stops accepting (graceful drain step 1); existing connections live.
+  void stop_accepting();
+  /// Closes every connection and the listener.  Loop thread only.
+  void close_all(const std::string& reason);
+
+  ConnectionPtr find(std::uint64_t conn_id) const;
+  /// True while any connection still has queued response bytes (drain
+  /// waits for this to clear before closing).
+  bool any_write_pending() const;
+
+  void on_events(std::uint32_t events) override;
+
+ private:
+  void sweep_idle();
+  void arm_sweep(double period);
+
+  EventLoop& loop_;
+  ServerOptions options_;
+  FrameCallback on_frame_;
+  CloseCallback on_close_;
+  NetCounters* counters_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, ConnectionPtr> connections_;
+  bool accepting_ = true;
+  std::uint64_t sweep_timer_ = 0;
+  bool destroyed_ = false;
+};
+
+/// Makes an fd nonblocking; throws on failure.
+void set_nonblocking(int fd);
+
+}  // namespace spx::net

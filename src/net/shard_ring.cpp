@@ -1,0 +1,84 @@
+#include "net/shard_ring.hpp"
+
+#include "mat/csc.hpp"  // fnv1a64
+
+namespace spx::net {
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::Up:
+      return "up";
+    case ShardState::Draining:
+      return "draining";
+    case ShardState::Down:
+      return "down";
+  }
+  return "?";
+}
+
+void ShardRing::insert_points(const std::string& name) {
+  for (std::uint32_t i = 0; i < vnodes_; ++i) {
+    const std::string key = name + "#" + std::to_string(i);
+    ring_.emplace(fnv1a64(key.data(), key.size()), name);
+  }
+}
+
+void ShardRing::erase_points(const std::string& name) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == name) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardRing::add(const std::string& name) {
+  if (states_.count(name) != 0) return;
+  states_[name] = ShardState::Up;
+  insert_points(name);
+}
+
+void ShardRing::remove(const std::string& name) {
+  if (states_.erase(name) != 0) erase_points(name);
+}
+
+void ShardRing::set_state(const std::string& name, ShardState state) {
+  const auto it = states_.find(name);
+  if (it == states_.end()) return;
+  if (it->second == state) return;
+  const bool was_up = it->second == ShardState::Up;
+  const bool is_up = state == ShardState::Up;
+  it->second = state;
+  if (was_up && !is_up) erase_points(name);
+  if (!was_up && is_up) insert_points(name);
+}
+
+ShardState ShardRing::state(const std::string& name) const {
+  const auto it = states_.find(name);
+  return it == states_.end() ? ShardState::Down : it->second;
+}
+
+std::string ShardRing::route(std::uint64_t digest) const {
+  if (ring_.empty()) return {};
+  auto it = ring_.lower_bound(digest);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the circle
+  return it->second;
+}
+
+std::size_t ShardRing::up_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, st] : states_) {
+    if (st == ShardState::Up) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> ShardRing::shards() const {
+  std::vector<std::string> out;
+  out.reserve(states_.size());
+  for (const auto& [name, st] : states_) out.push_back(name);
+  return out;
+}
+
+}  // namespace spx::net

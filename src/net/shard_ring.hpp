@@ -1,0 +1,62 @@
+// Consistent-hash ring over the live shard set.  The front-end routes
+// each request by its pattern digest, so all requests touching one
+// sparsity pattern land on one shard -- that shard's analysis cache
+// (symbolic factorization reuse, PR 3) stays hot, and factors live where
+// their solves arrive.
+//
+// Standard Karger-style ring with virtual nodes: each shard hashes to
+// `vnodes` points on a 64-bit circle (fnv1a64 of "name#i"), and a key
+// routes to the first point clockwise from its digest.  Removing a shard
+// only remaps the keys that pointed at it (~1/N of the space); the other
+// shards' caches are undisturbed -- the property the reroute-on-drain
+// path depends on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spx::net {
+
+enum class ShardState : std::uint8_t {
+  Up = 0,
+  Draining = 1,  ///< finishing in-flight work; no new requests
+  Down = 2,      ///< unreachable; probing for recovery
+};
+
+const char* to_string(ShardState s);
+
+class ShardRing {
+ public:
+  explicit ShardRing(std::uint32_t vnodes = 64) : vnodes_(vnodes) {}
+
+  /// Adds `name` (idempotent) in state Up.
+  void add(const std::string& name);
+  /// Removes `name` and its ring points entirely.
+  void remove(const std::string& name);
+  /// Marks state; Draining/Down shards keep their entry (for recovery)
+  /// but their ring points are withdrawn so no new keys land on them.
+  void set_state(const std::string& name, ShardState state);
+  ShardState state(const std::string& name) const;
+  bool contains(const std::string& name) const {
+    return states_.count(name) != 0;
+  }
+
+  /// Routes a key to its shard; empty string when no shard is Up.
+  std::string route(std::uint64_t digest) const;
+
+  std::size_t up_count() const;
+  std::vector<std::string> shards() const;  ///< all known, any state
+
+ private:
+  void insert_points(const std::string& name);
+  void erase_points(const std::string& name);
+
+  std::uint32_t vnodes_;
+  std::map<std::uint64_t, std::string> ring_;  ///< point -> shard (Up only)
+  std::unordered_map<std::string, ShardState> states_;
+};
+
+}  // namespace spx::net

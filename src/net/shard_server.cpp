@@ -1,0 +1,271 @@
+#include "net/shard_server.hpp"
+
+#include <cstring>
+
+#include "obs/export.hpp"
+
+namespace spx::net {
+
+using service::FactorizeResult;
+using service::SolveResult;
+
+ShardServer::ShardServer(ShardServerOptions options)
+    : options_(std::move(options)),
+      registry_(
+          &obs::registry_or_global(options_.service.solver.instr.metrics)),
+      tracer_(options_.service.solver.instr.tracer) {
+  net_counters_.resolve(*registry_);
+  rpc_dispatched_ = &registry_->counter("spx_rpc_dispatch_total",
+                                        "Protocol requests dispatched");
+  rpc_errors_ = &registry_->counter(
+      "spx_rpc_errors_total", "Protocol requests answered with Error frames");
+  service_ = std::make_unique<service::SolveService>(options_.service);
+
+  ServerOptions sopts;
+  sopts.bind = options_.bind;
+  sopts.port = options_.port;
+  sopts.idle_timeout_s = options_.idle_timeout_s;
+  sopts.max_payload = options_.max_payload;
+  server_ = std::make_unique<Server>(
+      loop_, sopts,
+      [this](Connection& c, const FrameHeader& h,
+             std::span<const std::uint8_t> p) { on_frame(c, h, p); },
+      CloseCallback{}, &net_counters_);
+  port_ = server_->port();
+  http_ = std::make_unique<HttpServer>(
+      loop_, options_.http_port,
+      [this](const std::string& path) { return handle_http(path); });
+  http_port_ = http_->port();
+  // Everything is registered; the reactor can go live.
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+ShardServer::~ShardServer() {
+  if (!stopped_.load(std::memory_order_acquire)) {
+    loop_.post([this] {
+      server_->close_all("shard shutdown");
+      http_->close_all();
+      loop_.stop();
+    });
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // SolveService's destructor completes whatever is still queued.
+  service_.reset();
+}
+
+void ShardServer::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+  loop_.post([this] { server_->stop_accepting(); });
+}
+
+bool ShardServer::drain_and_stop(double timeout_s) {
+  begin_drain();
+  const bool drained = service_->drain(timeout_s);
+  stop_loop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  stopped_.store(true, std::memory_order_release);
+  return drained;
+}
+
+void ShardServer::stop_loop() {
+  // Completion callbacks posted before drain() returned are already in
+  // the loop's queue; posting the flush check after them serializes it
+  // behind every response send.  The check then waits (bounded) for the
+  // write queues to clear so no response is cut off mid-flush.
+  loop_.post([this] {
+    auto check = std::make_shared<std::function<void(int)>>();
+    // The stored lambda holds only a weak self-reference; the strong ref
+    // lives in each scheduled timer, so the chain frees itself when done.
+    *check = [this, weak = std::weak_ptr<std::function<void(int)>>(check)](
+                 int tries) {
+      if (!server_->any_write_pending() || tries > 400) {
+        server_->close_all("shard drained");
+        http_->close_all();
+        loop_.stop();
+        return;
+      }
+      auto self = weak.lock();
+      if (self == nullptr) return;
+      loop_.schedule(0.005, [self, tries] { (*self)(tries + 1); });
+    };
+    (*check)(0);
+  });
+}
+
+void ShardServer::on_frame(Connection& conn, const FrameHeader& header,
+                           std::span<const std::uint8_t> payload) {
+  if (header.version != kProtocolVersion) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send_error_and_close(
+        header.corr_id, NetError::VersionMismatch,
+        "shard speaks protocol v" + std::to_string(kProtocolVersion) +
+            ", peer sent v" + std::to_string(header.version));
+    return;
+  }
+  switch (header.type) {
+    case FrameType::Ping:
+      conn.send(encode_empty(FrameType::Pong, header.corr_id));
+      return;
+    case FrameType::FactorizeRequest:
+      SPX_OBS(rpc_dispatched_->inc());
+      handle_factorize(conn, header.corr_id, payload);
+      return;
+    case FrameType::SolveRequest:
+      SPX_OBS(rpc_dispatched_->inc());
+      handle_solve(conn, header.corr_id, payload);
+      return;
+    default:
+      SPX_OBS(rpc_errors_->inc());
+      conn.send(encode_error(
+          header.corr_id, NetError::UnsupportedType,
+          std::string("shard does not handle ") + to_string(header.type)));
+      return;
+  }
+}
+
+void ShardServer::handle_factorize(Connection& conn, std::uint64_t corr,
+                                   std::span<const std::uint8_t> payload) {
+  if (draining()) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::Draining, "shard draining"));
+    return;
+  }
+  FactorizeRequestFrame req;
+  try {
+    req = decode_factorize_request(payload);
+  } catch (const ProtocolError& e) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send_error_and_close(corr, NetError::Malformed, e.what());
+    return;
+  }
+  const obs::SpanContext wire_parent{req.trace.trace_id,
+                                     req.trace.parent_span};
+  obs::ScopedSpan dispatch;
+  SPX_OBS(dispatch = obs::ScopedSpan(tracer_, "rpc.dispatch", "net-",
+                                     wire_parent, 0,
+                                     static_cast<std::int64_t>(corr)));
+  auto wconn = std::weak_ptr<Connection>(
+      std::static_pointer_cast<Connection>(conn.shared_from_this()));
+  auto ticket = std::make_shared<service::Ticket<FactorizeResult>>();
+  // on_complete fires on a worker (or this) thread right after the result
+  // promise resolves; the posted lambda runs on the loop thread strictly
+  // after *ticket below is assigned, so get() never blocks.
+  auto finalize = [this, ticket, corr, wconn] {
+    const FactorizeResult res = ticket->get();
+    FactorizeResponseFrame out;
+    out.status = static_cast<std::uint8_t>(res.status);
+    out.code = static_cast<std::uint8_t>(res.code);
+    out.degraded = res.stats.degraded;
+    if (res.ok()) out.factor_id = register_factor(res.factor);
+    out.shard = options_.name;
+    out.error = res.error;
+    out.stats_json = res.stats.to_json().dump();
+    if (ConnectionPtr c = wconn.lock(); c != nullptr && c->open()) {
+      c->send(encode_factorize_response(corr, out));
+    }
+  };
+  const obs::SpanContext trace =
+      dispatch.active() ? dispatch.context() : wire_parent;
+  *ticket = service_->submit_factorize(
+      req.tenant, req.matrix, req.kind, req.deadline_s, trace,
+      [this, finalize] { loop_.post(finalize); });
+}
+
+void ShardServer::handle_solve(Connection& conn, std::uint64_t corr,
+                               std::span<const std::uint8_t> payload) {
+  if (draining()) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::Draining, "shard draining"));
+    return;
+  }
+  SolveRequestFrame req;
+  try {
+    req = decode_solve_request(payload);
+  } catch (const ProtocolError& e) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send_error_and_close(corr, NetError::Malformed, e.what());
+    return;
+  }
+  service::FactorHandle factor = find_factor(req.factor_id);
+  if (factor == nullptr) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::UnknownFactor,
+                           "factor " + std::to_string(req.factor_id) +
+                               " is not resident on this shard"));
+    return;
+  }
+  const obs::SpanContext wire_parent{req.trace.trace_id,
+                                     req.trace.parent_span};
+  obs::ScopedSpan dispatch;
+  SPX_OBS(dispatch = obs::ScopedSpan(tracer_, "rpc.dispatch", "net-",
+                                     wire_parent, 0,
+                                     static_cast<std::int64_t>(corr)));
+  auto wconn = std::weak_ptr<Connection>(
+      std::static_pointer_cast<Connection>(conn.shared_from_this()));
+  auto ticket = std::make_shared<service::Ticket<SolveResult>>();
+  auto finalize = [this, ticket, corr, wconn] {
+    const SolveResult res = ticket->get();
+    SolveResponseFrame out;
+    out.status = static_cast<std::uint8_t>(res.status);
+    out.code = static_cast<std::uint8_t>(res.code);
+    out.degraded = res.stats.degraded;
+    out.shard = options_.name;
+    out.error = res.error;
+    out.stats_json = res.stats.to_json().dump();
+    out.x = res.x;
+    if (ConnectionPtr c = wconn.lock(); c != nullptr && c->open()) {
+      c->send(encode_solve_response(corr, out));
+    }
+  };
+  const obs::SpanContext trace =
+      dispatch.active() ? dispatch.context() : wire_parent;
+  try {
+    *ticket = service_->submit_solve(
+        req.tenant, std::move(factor), std::move(req.rhs), req.deadline_s,
+        trace, [this, finalize] { loop_.post(finalize); });
+  } catch (const InvalidArgument& e) {
+    // rhs size / factor mismatch: a caller bug, answered (not a drop).
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::Malformed, e.what()));
+  }
+}
+
+std::uint64_t ShardServer::register_factor(service::FactorHandle factor) {
+  const std::uint64_t id = next_factor_id_++;
+  lru_.push_front(id);
+  factors_.emplace(id, FactorEntry{std::move(factor), lru_.begin()});
+  while (factors_.size() > options_.max_factors && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    factors_.erase(victim);
+  }
+  return id;
+}
+
+service::FactorHandle ShardServer::find_factor(std::uint64_t id) {
+  const auto it = factors_.find(id);
+  if (it == factors_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+  return it->second.factor;
+}
+
+HttpResponse ShardServer::handle_http(const std::string& path) {
+  if (path == "/healthz") {
+    const service::ServiceStats st = service_->stats();
+    const char* health = st.health();
+    const int status = std::strcmp(health, "failing") == 0 ? 503 : 200;
+    return {status, "text/plain", std::string(health) + "\n"};
+  }
+  if (path == "/readyz") {
+    if (draining()) return {503, "text/plain", "draining\n"};
+    return {200, "text/plain", "ready\n"};
+  }
+  if (path == "/metrics") {
+    HttpResponse r;
+    r.body = obs::prometheus_text(*registry_);
+    return r;
+  }
+  return {404, "text/plain", "not found\n"};
+}
+
+}  // namespace spx::net

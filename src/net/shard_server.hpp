@@ -1,0 +1,103 @@
+// A solve shard: SolveService wrapped behind the wire protocol.  One
+// epoll loop (on a dedicated thread) runs the protocol listener and the
+// HTTP probe endpoint; factorize/solve requests decode into service
+// submissions, and worker-thread completions hop back onto the loop via
+// Connection::post_send.  Completed factors live in an id-keyed LRU
+// registry so remote solves can reference them across connections.
+//
+// Graceful drain (the SIGTERM path in tools/spx_shard.cpp):
+//   1. stop accepting; in-progress reads still parse
+//   2. new requests answer Error(Draining) -- the front-end reroutes them
+//   3. SolveService::drain() runs every already-admitted request
+//   4. responses flush, connections close, the loop stops
+// No accepted request is ever dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/http.hpp"
+#include "net/server.hpp"
+#include "service/solve_service.hpp"
+
+namespace spx::net {
+
+struct ShardServerOptions {
+  std::string name = "shard";  ///< reported in responses (affinity checks)
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 0;       ///< protocol port (0 = ephemeral)
+  std::uint16_t http_port = 0;  ///< probe/metrics port (0 = ephemeral)
+  double idle_timeout_s = 0;    ///< idle client connections are closed
+  std::size_t max_payload = kDefaultMaxPayload;
+  /// Resident factor cap; least-recently-used factors are dropped beyond
+  /// it (clients holding a dropped id get UnknownFactor and re-factorize).
+  std::size_t max_factors = 64;
+  service::ServiceOptions service;
+};
+
+class ShardServer {
+ public:
+  explicit ShardServer(ShardServerOptions options);
+  ~ShardServer();
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint16_t http_port() const { return http_port_; }
+  const std::string& name() const { return options_.name; }
+  service::ServiceStats service_stats() const { return service_->stats(); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Steps 1-2 of the drain: stop accepting, answer Draining.  Thread-safe
+  /// and idempotent.
+  void begin_drain();
+  /// Full graceful shutdown: begin_drain, run every admitted request
+  /// (bounded by `timeout_s`; 0 = no bound), flush responses, stop the
+  /// loop.  Returns true when the service drained completely.
+  bool drain_and_stop(double timeout_s = 0);
+
+ private:
+  struct FactorEntry {
+    service::FactorHandle factor;
+    std::list<std::uint64_t>::iterator lru;  ///< position in lru_
+  };
+
+  void on_frame(Connection& conn, const FrameHeader& header,
+                std::span<const std::uint8_t> payload);
+  void handle_factorize(Connection& conn, std::uint64_t corr,
+                        std::span<const std::uint8_t> payload);
+  void handle_solve(Connection& conn, std::uint64_t corr,
+                    std::span<const std::uint8_t> payload);
+  /// Registers a completed factor, evicting LRU beyond max_factors.
+  std::uint64_t register_factor(service::FactorHandle factor);
+  service::FactorHandle find_factor(std::uint64_t id);
+  HttpResponse handle_http(const std::string& path);
+  void stop_loop();
+
+  ShardServerOptions options_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  NetCounters net_counters_;
+  obs::Counter* rpc_dispatched_ = nullptr;  ///< spx_rpc_dispatch_total
+  obs::Counter* rpc_errors_ = nullptr;      ///< spx_rpc_errors_total
+  std::unique_ptr<service::SolveService> service_;
+  EventLoop loop_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<HttpServer> http_;
+  std::uint16_t port_ = 0;
+  std::uint16_t http_port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  // Factor registry: loop thread only.
+  std::unordered_map<std::uint64_t, FactorEntry> factors_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::uint64_t next_factor_id_ = 1;
+  std::thread loop_thread_;
+};
+
+}  // namespace spx::net

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -122,9 +123,16 @@ struct JobBase {
   std::shared_ptr<SharedCounters> counters;
   /// Root context of this request's trace (one trace id per request; the
   /// queue-wait, factorize/solve, retry and task spans all hang off it).
+  /// Pre-set by submitters carrying a wire trace; otherwise the service
+  /// mints a fresh trace at admission.
   obs::SpanContext trace_ctx;
   /// Tracer timestamp at admission (start of the queue-wait span).
   double trace_enqueued = 0;
+  /// Fired exactly once, after the promise is fulfilled (any terminal
+  /// status, any thread).  The net layer uses it to push the response
+  /// back onto the event loop; the service chains its drain accounting
+  /// through it.  Must not throw.
+  std::function<void()> on_complete;
 
   explicit JobBase(JobKind k) : kind(k) {}
   virtual ~JobBase() = default;
@@ -142,6 +150,16 @@ struct JobBase {
   /// expired, or shutdown drain).  Only call after a successful
   /// try_claim(); fulfills the promise and bumps the counters.
   virtual void complete_unrun(RequestStatus status, std::string error) = 0;
+
+  /// Fires on_complete (once); every promise-fulfilling path must call
+  /// this immediately after set_value.
+  void notify_complete() {
+    if (on_complete) {
+      std::function<void()> cb = std::move(on_complete);
+      on_complete = nullptr;
+      cb();
+    }
+  }
 };
 
 }  // namespace spx::service

@@ -49,6 +49,7 @@ void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
   r.error = std::move(error);
   r.stats = stats;
   promise.set_value(std::move(r));
+  notify_complete();
 }
 
 void SolveJob::complete_unrun(RequestStatus status, std::string error) {
@@ -61,6 +62,7 @@ void SolveJob::complete_unrun(RequestStatus status, std::string error) {
   r.error = std::move(error);
   r.stats = stats;
   promise.set_value(std::move(r));
+  notify_complete();
 }
 
 SolveService::SolveService(ServiceOptions options)
@@ -104,15 +106,34 @@ Ticket<Result> SolveService::admit(std::shared_ptr<Job> job,
   job->stats.id = job->id;
   job->stats.tenant = job->tenant;
   // One trace per request: everything downstream (queue wait, factorize,
-  // driver tasks, retries) parents under this root context.
+  // driver tasks, retries) parents under this root context.  A submitter
+  // that carried a trace across the wire pre-set trace_ctx; keep it so
+  // the remote spans join the client's trace.
   SPX_OBS(if (tracer_ != nullptr) {
-    job->trace_ctx = tracer_->new_trace();
+    if (!job->trace_ctx.valid()) job->trace_ctx = tracer_->new_trace();
     job->trace_enqueued = tracer_->now();
   });
   counters_->note_submitted();
+  // Chain the drain accounting through on_complete: every terminal path
+  // fulfills the promise then notify_complete(), so inflight_ reaches 0
+  // exactly when every admitted request has a result.
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  job->on_complete = [this, user_cb = std::move(job->on_complete)] {
+    if (user_cb) user_cb();
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drain_cv_.notify_all();
+    }
+  };
   Ticket<Result> ticket(job->promise.get_future().share(), job);
-  if (!queue_.try_push(job)) {
+  if (draining_.load(std::memory_order_acquire)) {
     if (job->try_claim()) {  // fresh job: always wins
+      job->complete_unrun(RequestStatus::Rejected, "service draining");
+    }
+    return ticket;
+  }
+  if (!queue_.try_push(job)) {
+    if (job->try_claim()) {
       job->complete_unrun(RequestStatus::Rejected,
                           "admission queue full for tenant '" + job->tenant +
                               "'");
@@ -123,20 +144,25 @@ Ticket<Result> SolveService::admit(std::shared_ptr<Job> job,
 
 Ticket<FactorizeResult> SolveService::submit_factorize(
     std::string tenant, std::shared_ptr<const CscMatrix<real_t>> a,
-    Factorization kind, double deadline_s) {
+    Factorization kind, double deadline_s, obs::SpanContext trace,
+    std::function<void()> on_complete) {
   SPX_CHECK_ARG(a != nullptr, "submit_factorize(): null matrix");
   SPX_CHECK_ARG(a->nrows() == a->ncols(), "square matrix required");
   auto job = std::make_shared<FactorizeJob>();
   job->tenant = std::move(tenant);
   job->matrix = std::move(a);
   job->fkind = kind;
+  job->trace_ctx = trace;
+  job->on_complete = std::move(on_complete);
   return admit<FactorizeResult>(std::move(job), deadline_s);
 }
 
 Ticket<SolveResult> SolveService::submit_solve(std::string tenant,
                                                FactorHandle factor,
                                                std::vector<real_t> rhs,
-                                               double deadline_s) {
+                                               double deadline_s,
+                                               obs::SpanContext trace,
+                                               std::function<void()> on_complete) {
   SPX_CHECK_ARG(factor != nullptr, "submit_solve(): null factor handle");
   SPX_CHECK_ARG(static_cast<index_t>(rhs.size()) == factor->n(),
                 "submit_solve(): rhs size differs from the factor's n");
@@ -144,6 +170,8 @@ Ticket<SolveResult> SolveService::submit_solve(std::string tenant,
   job->tenant = std::move(tenant);
   job->factor = std::move(factor);
   job->rhs = std::move(rhs);
+  job->trace_ctx = trace;
+  job->on_complete = std::move(on_complete);
   Ticket<SolveResult> ticket = admit<SolveResult>(job, deadline_s);
   // Register for batching only after surviving admission.  A worker may
   // pop and even finish the job before this append runs; the entry is
@@ -305,6 +333,7 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
   st.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
   res.stats = st;
   job->promise.set_value(std::move(res));
+  job->notify_complete();
 }
 
 void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
@@ -390,6 +419,7 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
       job.stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
       r.stats = job.stats;
       job.promise.set_value(std::move(r));
+      job.notify_complete();
     }
   } catch (const std::exception& e) {
     ErrorCode code = ErrorCode::Internal;
@@ -409,8 +439,23 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
       job->stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
       r.stats = job->stats;
       job->promise.set_value(std::move(r));
+      job->notify_complete();
     }
   }
+}
+
+bool SolveService::drain(double timeout_s) {
+  draining_.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  const auto empty = [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  };
+  if (timeout_s <= 0) {
+    drain_cv_.wait(lock, empty);
+    return true;
+  }
+  return drain_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_s), empty);
 }
 
 ServiceStats SolveService::stats() const {

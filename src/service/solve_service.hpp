@@ -22,6 +22,7 @@
 // solves from any number of threads.
 #pragma once
 
+#include <condition_variable>
 #include <future>
 #include <thread>
 #include <unordered_map>
@@ -179,17 +180,23 @@ class SolveService {
   /// Admits an analyze+factorize of `a` for `tenant`.  `deadline_s` > 0
   /// expires the request if it is still queued that many seconds from
   /// now.  The matrix is shared, not copied; callers must not mutate it
-  /// until the ticket resolves.
+  /// until the ticket resolves.  A valid `trace` parents the request's
+  /// spans under a caller-provided (e.g. wire-carried) trace instead of a
+  /// fresh one; `on_complete` fires once, right after the result promise
+  /// is fulfilled (any terminal status, any thread; must not throw).
   Ticket<FactorizeResult> submit_factorize(
       std::string tenant, std::shared_ptr<const CscMatrix<real_t>> a,
-      Factorization kind, double deadline_s = 0);
+      Factorization kind, double deadline_s = 0, obs::SpanContext trace = {},
+      std::function<void()> on_complete = {});
 
   /// Admits a solve of `factor` x = rhs.  Throws InvalidArgument on a
   /// null factor or an rhs whose size is not the factor's n (caller bug,
   /// not load); overload and deadline produce Rejected/Expired results.
   Ticket<SolveResult> submit_solve(std::string tenant, FactorHandle factor,
                                    std::vector<real_t> rhs,
-                                   double deadline_s = 0);
+                                   double deadline_s = 0,
+                                   obs::SpanContext trace = {},
+                                   std::function<void()> on_complete = {});
 
   /// Blocking conveniences (submit + get).
   FactorizeResult factorize(const std::string& tenant,
@@ -204,6 +211,19 @@ class SolveService {
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
+
+  /// Graceful drain (SIGTERM path): new submits are Rejected("service
+  /// draining"), while every already-admitted request -- queued or
+  /// running -- completes normally.  Blocks until the service is empty or
+  /// `timeout_s` elapses (0 = wait indefinitely); returns true when fully
+  /// drained.  Requires num_workers > 0 to make progress on queued work.
+  /// Idempotent; the destructor afterwards finds nothing to drop.
+  bool drain(double timeout_s = 0);
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// Admitted requests not yet terminal (queued + executing).
+  std::uint64_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
 
  private:
   template <typename Result, typename Job>
@@ -225,6 +245,10 @@ class SolveService {
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex retry_mutex_;
   std::unordered_map<std::string, std::uint64_t> retry_spent_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,752 @@
+// Tests for the scale-out serving layer (src/net/): wire protocol
+// round-trips and hostile-input rejection, the endian-stable versioned
+// pattern digest (golden values), the epoll servers (idle timeouts,
+// slow-loris, version mismatch), the consistent-hash ring, shard
+// factorize/solve over TCP, /metrics-over-HTTP reconciliation, and the
+// end-to-end front + shards path with graceful drain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mat/generators.hpp"
+#include "net/client.hpp"
+#include "net/front_server.hpp"
+#include "net/http.hpp"
+#include "net/protocol.hpp"
+#include "net/shard_ring.hpp"
+#include "net/shard_server.hpp"
+#include "obs/obs.hpp"
+#include "service/service_stats.hpp"
+
+namespace spx {
+namespace {
+
+using net::BlockingClient;
+using net::FactorizeRequestFrame;
+using net::FactorizeResponseFrame;
+using net::FrameHeader;
+using net::FrameParser;
+using net::FrameType;
+using net::FrontServer;
+using net::FrontServerOptions;
+using net::NetError;
+using net::ProtocolError;
+using net::ShardRing;
+using net::ShardServer;
+using net::ShardServerOptions;
+using net::ShardState;
+using net::SolveRequestFrame;
+using net::SolveResponseFrame;
+using service::RequestStatus;
+
+std::shared_ptr<const CscMatrix<real_t>> shared(CscMatrix<real_t> a) {
+  return std::make_shared<const CscMatrix<real_t>>(std::move(a));
+}
+
+std::vector<real_t> rhs_for(const CscMatrix<real_t>& a,
+                            const std::vector<real_t>& x) {
+  std::vector<real_t> b(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, b);
+  return b;
+}
+
+ShardServerOptions shard_opts(const std::string& name) {
+  ShardServerOptions o;
+  o.name = name;
+  o.service.num_workers = 2;
+  return o;
+}
+
+/// Extracts the value of `series` (exact "name{labels}" prefix or bare
+/// name) from a Prometheus text exposition; -1 when absent.
+double prom_value(const std::string& text, const std::string& series) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(series + " ", 0) == 0) {
+      return std::atof(line.c_str() + series.size() + 1);
+    }
+  }
+  return -1;
+}
+
+// ---------- pattern digest (satellite: endian-stable + versioned) ------
+
+TEST(PatternDigest, Fnv1aGoldenVectors) {
+  // Standard 64-bit FNV-1a test vectors: the offset basis for empty
+  // input, and the classic single-byte probe.
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(PatternDigest, GoldenValuesArePinned) {
+  // These values are the cross-process routing contract (v2 of the
+  // digest definition).  If this test fails, the wire format changed:
+  // bump kPatternDigestVersion and update the goldens deliberately.
+  EXPECT_EQ(kPatternDigestVersion, 2u);
+  EXPECT_EQ(pattern_digest(gen::grid2d_laplacian(4, 4)),
+            UINT64_C(0x99debdd7d24e48ff));
+  EXPECT_EQ(pattern_digest(gen::grid3d_laplacian(3, 3, 3)),
+            UINT64_C(0xc0aad7761116d4ce));
+}
+
+TEST(PatternDigest, IndependentOfValuesButNotStructure) {
+  const auto a = gen::grid2d_laplacian(5, 5);
+  auto vals = std::vector<real_t>(a.values().begin(), a.values().end());
+  for (auto& v : vals) v += 3.25;
+  const CscMatrix<real_t> same_pattern(
+      a.nrows(), a.ncols(),
+      std::vector<size_type>(a.colptr().begin(), a.colptr().end()),
+      std::vector<index_t>(a.rowind().begin(), a.rowind().end()),
+      std::move(vals));
+  EXPECT_EQ(pattern_digest(a), pattern_digest(same_pattern));
+  EXPECT_NE(pattern_digest(a), pattern_digest(gen::grid2d_laplacian(5, 6)));
+}
+
+// ---------- protocol round-trips ---------------------------------------
+
+TEST(Protocol, FactorizeRequestRoundTrip) {
+  const auto a = shared(gen::grid2d_laplacian(6, 6));
+  FactorizeRequestFrame f;
+  f.pattern_digest = pattern_digest(*a);
+  f.trace = {42, 7};
+  f.kind = Factorization::LLT;
+  f.tenant = "tenant-α";  // arbitrary UTF-8 survives
+  f.deadline_s = 1.5;
+  const auto bytes = encode_factorize_request(99, f, *a);
+
+  const FrameHeader h = net::decode_header(
+      std::span<const std::uint8_t>(bytes).first(net::kHeaderBytes));
+  EXPECT_EQ(h.type, FrameType::FactorizeRequest);
+  EXPECT_EQ(h.corr_id, 99u);
+  EXPECT_EQ(h.length, bytes.size() - net::kHeaderBytes);
+
+  const auto payload =
+      std::span<const std::uint8_t>(bytes).subspan(net::kHeaderBytes);
+  EXPECT_EQ(net::peek_pattern_digest(payload), f.pattern_digest);
+  const FactorizeRequestFrame d = net::decode_factorize_request(payload);
+  EXPECT_EQ(d.pattern_digest, f.pattern_digest);
+  EXPECT_EQ(d.trace.trace_id, 42u);
+  EXPECT_EQ(d.trace.parent_span, 7u);
+  EXPECT_EQ(d.kind, Factorization::LLT);
+  EXPECT_EQ(d.tenant, f.tenant);
+  EXPECT_DOUBLE_EQ(d.deadline_s, 1.5);
+  ASSERT_NE(d.matrix, nullptr);
+  EXPECT_EQ(d.matrix->nrows(), a->nrows());
+  EXPECT_EQ(d.matrix->nnz(), a->nnz());
+  ASSERT_EQ(d.matrix->colptr().size(), a->colptr().size());
+  EXPECT_TRUE(std::equal(d.matrix->colptr().begin(),
+                         d.matrix->colptr().end(), a->colptr().begin()));
+  EXPECT_TRUE(std::equal(d.matrix->rowind().begin(),
+                         d.matrix->rowind().end(), a->rowind().begin()));
+  EXPECT_TRUE(std::equal(d.matrix->values().begin(),
+                         d.matrix->values().end(), a->values().begin()));
+}
+
+TEST(Protocol, SolveAndResponseRoundTrips) {
+  SolveRequestFrame s;
+  s.pattern_digest = 0xabcdefull;
+  s.factor_id = 17;
+  s.tenant = "t";
+  s.rhs = {1.0, -2.5, 3.75};
+  const auto sb = encode_solve_request(5, s);
+  const SolveRequestFrame sd = net::decode_solve_request(
+      std::span<const std::uint8_t>(sb).subspan(net::kHeaderBytes));
+  EXPECT_EQ(sd.factor_id, 17u);
+  EXPECT_EQ(sd.rhs, s.rhs);
+
+  FactorizeResponseFrame fr;
+  fr.status = 0;
+  fr.code = 1;
+  fr.degraded = true;
+  fr.factor_id = 123;
+  fr.shard = "shard-a";
+  fr.stats_json = "{\"id\":1}";
+  const auto fb = encode_factorize_response(6, fr);
+  const FactorizeResponseFrame fd = net::decode_factorize_response(
+      std::span<const std::uint8_t>(fb).subspan(net::kHeaderBytes));
+  EXPECT_EQ(fd.factor_id, 123u);
+  EXPECT_EQ(fd.shard, "shard-a");
+  EXPECT_TRUE(fd.degraded);
+
+  SolveResponseFrame sr;
+  sr.status = 0;
+  sr.shard = "shard-b";
+  sr.x = {0.5, 0.25};
+  const auto srb = encode_solve_response(7, sr);
+  const SolveResponseFrame srd = net::decode_solve_response(
+      std::span<const std::uint8_t>(srb).subspan(net::kHeaderBytes));
+  EXPECT_EQ(srd.x, sr.x);
+
+  const auto eb = encode_error(8, NetError::Overloaded, "try later");
+  const net::ErrorFrame ed = net::decode_error(
+      std::span<const std::uint8_t>(eb).subspan(net::kHeaderBytes));
+  EXPECT_EQ(ed.code, NetError::Overloaded);
+  EXPECT_EQ(ed.message, "try later");
+  EXPECT_TRUE(net::retryable(ed.code));
+  EXPECT_FALSE(net::retryable(NetError::Malformed));
+}
+
+// ---------- hostile input ----------------------------------------------
+
+TEST(Protocol, MalformedInputsThrowInsteadOfCrashing) {
+  // Bad magic is rejected at feed time, before buffering a body.
+  FrameParser p;
+  std::vector<std::uint8_t> junk(64, 0x5a);
+  EXPECT_THROW(p.feed(junk), ProtocolError);
+
+  // Oversized declared length is rejected before allocation.
+  FrameParser small(1024);
+  auto big = encode_error(1, NetError::Internal, std::string(2048, 'x'));
+  EXPECT_THROW(small.feed(big), ProtocolError);
+
+  // Truncated bodies and trailing garbage throw from the decoders.
+  const auto a = shared(gen::grid2d_laplacian(4, 4));
+  FactorizeRequestFrame f;
+  f.pattern_digest = pattern_digest(*a);
+  auto bytes = encode_factorize_request(1, f, *a);
+  auto payload =
+      std::span<const std::uint8_t>(bytes).subspan(net::kHeaderBytes);
+  EXPECT_NO_THROW(net::decode_factorize_request(payload));
+  for (const std::size_t cut : {1ul, 8ul, 20ul, payload.size() / 2}) {
+    EXPECT_THROW(
+        net::decode_factorize_request(payload.first(payload.size() - cut)),
+        ProtocolError);
+  }
+  std::vector<std::uint8_t> padded(payload.begin(), payload.end());
+  padded.push_back(0);
+  EXPECT_THROW(net::decode_factorize_request(padded), ProtocolError);
+
+  // A lying routing digest is caught against the actual structure.
+  std::vector<std::uint8_t> wrong_digest(payload.begin(), payload.end());
+  wrong_digest[0] ^= 0xff;
+  EXPECT_THROW(net::decode_factorize_request(wrong_digest), ProtocolError);
+
+  EXPECT_THROW(net::decode_error(std::vector<std::uint8_t>{1, 2}),
+               ProtocolError);
+}
+
+TEST(Protocol, ParserReassemblesArbitraryFragmentation) {
+  const auto frame = encode_error(77, NetError::Draining, "bye");
+  FrameParser p;
+  for (const std::uint8_t b : frame) {  // one byte at a time (slow loris)
+    p.feed({&b, 1});
+  }
+  const auto got = p.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header.corr_id, 77u);
+  EXPECT_EQ(got->header.type, FrameType::Error);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_LE(p.buffered(), frame.size());
+}
+
+// ---------- consistent-hash ring ---------------------------------------
+
+TEST(ShardRing, RoutesDeterministicallyAndSpreads) {
+  ShardRing ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  std::map<std::string, int> hits;
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    const std::uint64_t digest = fnv1a64(&k, sizeof k);
+    const std::string s = ring.route(digest);
+    EXPECT_EQ(s, ring.route(digest));  // stable
+    ++hits[s];
+  }
+  // 64 vnodes per shard bounds the skew but does not equalize it; the
+  // point is that every shard owns a meaningful arc of the ring.
+  EXPECT_EQ(hits.size(), 3u);
+  for (const auto& [name, n] : hits) EXPECT_GT(n, 150) << name;
+}
+
+TEST(ShardRing, RemovalOnlyRemapsTheLostShardsKeys) {
+  ShardRing ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  std::vector<std::pair<std::uint64_t, std::string>> before;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    const std::uint64_t digest = fnv1a64(&k, sizeof k);
+    before.emplace_back(digest, ring.route(digest));
+  }
+  ring.set_state("b", ShardState::Draining);
+  EXPECT_EQ(ring.up_count(), 2u);
+  int moved = 0;
+  for (const auto& [digest, owner] : before) {
+    const std::string now = ring.route(digest);
+    EXPECT_NE(now, "b");
+    if (owner != "b") {
+      EXPECT_EQ(now, owner);  // survivors keep their keys (cache affinity)
+    } else {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  ring.set_state("b", ShardState::Up);
+  for (const auto& [digest, owner] : before) {
+    EXPECT_EQ(ring.route(digest), owner);  // recovery restores the map
+  }
+}
+
+TEST(ShardRing, EmptyRingRoutesNowhere) {
+  ShardRing ring;
+  EXPECT_EQ(ring.route(123), "");
+  ring.add("only");
+  EXPECT_EQ(ring.route(123), "only");
+  ring.remove("only");
+  EXPECT_EQ(ring.route(123), "");
+}
+
+// ---------- shard server over TCP --------------------------------------
+
+TEST(ShardServerTest, FactorizeSolveRoundTrip) {
+  ShardServer shard(shard_opts("s1"));
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+  EXPECT_TRUE(client.ping());
+
+  const auto a = shared(gen::grid2d_laplacian(8, 8));
+  const FactorizeResponseFrame fr =
+      client.factorize("t", *a, Factorization::LLT);
+  ASSERT_EQ(fr.status, static_cast<std::uint8_t>(RequestStatus::Done))
+      << fr.error;
+  EXPECT_EQ(fr.shard, "s1");
+  EXPECT_GT(fr.factor_id, 0u);
+  EXPECT_NE(fr.stats_json.find("\"tenant\""), std::string::npos);
+
+  std::vector<real_t> x_true(static_cast<std::size_t>(a->nrows()));
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    x_true[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+  }
+  const SolveResponseFrame sr = client.solve(
+      "t", pattern_digest(*a), fr.factor_id, rhs_for(*a, x_true));
+  ASSERT_EQ(sr.status, static_cast<std::uint8_t>(RequestStatus::Done))
+      << sr.error;
+  ASSERT_EQ(sr.x.size(), x_true.size());
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR(sr.x[i], x_true[i], 1e-8);
+  }
+
+  // A solve against a factor id that never existed is answered (not
+  // dropped) with the retryable UnknownFactor.
+  NetError err{};
+  const SolveResponseFrame missing = client.solve(
+      "t", pattern_digest(*a), 999999, rhs_for(*a, x_true), {}, &err);
+  EXPECT_EQ(err, NetError::UnknownFactor);
+  EXPECT_TRUE(net::retryable(err));
+}
+
+TEST(ShardServerTest, VersionMismatchIsAnsweredThenClosed) {
+  ShardServer shard(shard_opts("s1"));
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+  FrameHeader h;
+  h.version = 9;
+  h.type = FrameType::Ping;
+  h.corr_id = 4;
+  client.send_raw(net::encode_raw_frame(h, {}));
+  const auto resp = client.recv_frame();
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->header.type, FrameType::Error);
+  EXPECT_EQ(net::decode_error(resp->payload).code,
+            NetError::VersionMismatch);
+  EXPECT_FALSE(client.recv_frame().has_value());  // server closed
+}
+
+TEST(ShardServerTest, MalformedAndOversizedFramesAreSurvivable) {
+  ShardServerOptions o = shard_opts("s1");
+  o.max_payload = 4096;
+  ShardServer shard(o);
+  {
+    // Garbage magic: the server drops the connection without crashing.
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port());
+    std::vector<std::uint8_t> junk(40, 0xee);
+    c.send_raw(junk);
+    const auto resp = c.recv_frame();
+    if (resp.has_value()) {
+      EXPECT_EQ(resp->header.type, FrameType::Error);
+    }
+  }
+  {
+    // A declared length beyond max_payload is bounced before buffering.
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port());
+    FrameHeader h;
+    h.type = FrameType::SolveRequest;
+    h.corr_id = 1;
+    std::vector<std::uint8_t> fake(8192, 0);
+    c.send_raw(net::encode_raw_frame(h, fake));
+    const auto resp = c.recv_frame();
+    if (resp.has_value()) {
+      EXPECT_EQ(resp->header.type, FrameType::Error);
+      EXPECT_EQ(net::decode_error(resp->payload).code, NetError::Malformed);
+    }
+  }
+  {
+    // A truncated-then-corrupted body decodes to Malformed, and the
+    // server keeps running for the next client.
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port());
+    const auto a = gen::grid2d_laplacian(4, 4);
+    FactorizeRequestFrame f;
+    f.pattern_digest = pattern_digest(a);
+    auto bytes = encode_factorize_request(3, f, a);
+    bytes[net::kHeaderBytes + 40] ^= 0xff;  // corrupt inside the body
+    c.send_raw(bytes);
+    const auto resp = c.recv_frame();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->header.type, FrameType::Error);
+  }
+  BlockingClient healthy;
+  healthy.connect("127.0.0.1", shard.port());
+  EXPECT_TRUE(healthy.ping());
+}
+
+TEST(ShardServerTest, SlowLorisRequestStillCompletes) {
+  ShardServer shard(shard_opts("s1"));
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+  const auto a = gen::grid2d_laplacian(5, 5);
+  FactorizeRequestFrame f;
+  f.pattern_digest = pattern_digest(a);
+  f.tenant = "slow";
+  const auto bytes = encode_factorize_request(11, f, a);
+  // Dribble the frame in uneven chunks with pauses: the connection state
+  // machine must reassemble across arbitrarily many partial reads.
+  std::size_t off = 0;
+  std::size_t step = 1;
+  while (off < bytes.size()) {
+    const std::size_t n = std::min(step, bytes.size() - off);
+    client.send_raw(std::span<const std::uint8_t>(bytes).subspan(off, n));
+    off += n;
+    step = step * 3 + 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto resp = client.recv_frame();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->header.type, FrameType::FactorizeResponse);
+  EXPECT_EQ(resp->header.corr_id, 11u);
+}
+
+TEST(ShardServerTest, IdleConnectionsAreSweptAway) {
+  ShardServerOptions o = shard_opts("s1");
+  o.idle_timeout_s = 0.15;
+  ShardServer shard(o);
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port(), 5.0);
+  EXPECT_TRUE(client.ping());
+  // recv_frame returns nullopt on the server's orderly idle-close.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto resp = client.recv_frame();
+  EXPECT_FALSE(resp.has_value());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 4.0);  // swept, not client-timeout
+}
+
+TEST(ShardServerTest, MetricsOverTcpReconcileWithServiceStats) {
+  obs::MetricsRegistry reg;
+  ShardServerOptions o = shard_opts("s1");
+  o.service.solver.instr.metrics = &reg;
+  ShardServer shard(o);
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+  const auto a = shared(gen::grid2d_laplacian(7, 7));
+  const auto b = shared(gen::grid3d_laplacian(3, 3, 3));
+  std::uint64_t factor_a = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto fr = client.factorize("m", *a, Factorization::LLT);
+    ASSERT_EQ(fr.status, 0) << fr.error;
+    factor_a = fr.factor_id;
+  }
+  ASSERT_EQ(client.factorize("m", *b, Factorization::LLT).status, 0);
+  std::vector<real_t> ones(static_cast<std::size_t>(a->nrows()), 1.0);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(
+        client.solve("m", pattern_digest(*a), factor_a, ones).status, 0);
+  }
+
+  // The scraped exposition and the in-process snapshot must agree
+  // exactly: both sides of every counter bump share one call site.
+  const service::ServiceStats st = shard.service_stats();
+  const std::string text =
+      net::http_get("127.0.0.1", shard.http_port(), "/metrics");
+  EXPECT_EQ(prom_value(text, "spx_service_submitted_total"),
+            static_cast<double>(st.submitted));
+  EXPECT_EQ(prom_value(text, "spx_service_completed_total"),
+            static_cast<double>(st.completed));
+  EXPECT_EQ(prom_value(text, "spx_service_factorizes_total"),
+            static_cast<double>(st.factorizes));
+  EXPECT_EQ(prom_value(text, "spx_service_solves_total"),
+            static_cast<double>(st.solves));
+  EXPECT_EQ(prom_value(text, "spx_analysis_cache_hits_total"),
+            static_cast<double>(st.cache.hits));
+  EXPECT_EQ(prom_value(text, "spx_analysis_cache_misses_total"),
+            static_cast<double>(st.cache.misses));
+  EXPECT_EQ(st.submitted, 6u);
+  EXPECT_EQ(st.completed, 6u);
+  EXPECT_GE(st.cache.hits, 2u);  // repeats of pattern a shared its analysis
+
+  EXPECT_GT(prom_value(text, "spx_rpc_dispatch_total"), 0.0);
+  EXPECT_GT(prom_value(text, "spx_net_frames_read_total"), 0.0);
+
+  int status = 0;
+  net::http_get("127.0.0.1", shard.http_port(), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+  net::http_get("127.0.0.1", shard.http_port(), "/readyz", &status);
+  EXPECT_EQ(status, 200);
+  net::http_get("127.0.0.1", shard.http_port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+}
+
+TEST(ShardServerTest, GracefulDrainAnswersEverythingAccepted) {
+  ShardServerOptions o = shard_opts("s1");
+  o.service.num_workers = 1;  // guarantee a queue builds up
+  ShardServer shard(o);
+
+  // Fire a burst of factorizes from worker threads, then drain while
+  // most are still queued.  Every request must be answered: Done (it was
+  // admitted before the drain) or the retryable Draining error.
+  constexpr int kClients = 4;
+  constexpr int kPer = 3;
+  std::atomic<int> done{0};
+  std::atomic<int> draining{0};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      BlockingClient c;
+      c.connect("127.0.0.1", shard.port());
+      const auto a = shared(
+          gen::grid2d_laplacian(10 + t, 10));  // distinct patterns
+      for (int i = 0; i < kPer; ++i) {
+        try {
+          NetError err{};
+          const auto fr =
+              c.factorize("t" + std::to_string(t), *a, Factorization::LLT,
+                          {}, &err);
+          if (err == NetError::Draining) {
+            ++draining;
+          } else if (fr.status ==
+                     static_cast<std::uint8_t>(RequestStatus::Done)) {
+            ++done;
+          } else if (fr.status == static_cast<std::uint8_t>(
+                                      RequestStatus::Rejected)) {
+            ++draining;  // service-level drain rejection: also answered
+          } else {
+            ++lost;
+          }
+        } catch (const std::exception&) {
+          ++lost;  // connection died with a request outstanding
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(shard.drain_and_stop(30.0));
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lost.load(), 0);
+  EXPECT_GT(done.load(), 0);
+  EXPECT_EQ(done.load() + draining.load(), kClients * kPer);
+}
+
+// ---------- front-end ---------------------------------------------------
+
+struct Cluster {
+  std::unique_ptr<ShardServer> s1;
+  std::unique_ptr<ShardServer> s2;
+  std::unique_ptr<FrontServer> front;
+
+  explicit Cluster(obs::MetricsRegistry* reg = nullptr) {
+    ShardServerOptions o1 = shard_opts("s1");
+    ShardServerOptions o2 = shard_opts("s2");
+    if (reg != nullptr) {
+      o1.service.solver.instr.metrics = reg;
+      o2.service.solver.instr.metrics = reg;
+    }
+    s1 = std::make_unique<ShardServer>(o1);
+    s2 = std::make_unique<ShardServer>(o2);
+    FrontServerOptions fo;
+    fo.shards = {{"s1", "127.0.0.1", s1->port()},
+                 {"s2", "127.0.0.1", s2->port()}};
+    fo.probe_interval_s = 0.05;
+    fo.metrics = reg;
+    front = std::make_unique<FrontServer>(fo);
+  }
+};
+
+TEST(FrontServerTest, RoutesByPatternWithStableAffinity) {
+  obs::MetricsRegistry reg;
+  Cluster cluster(&reg);
+  BlockingClient client;
+  client.connect("127.0.0.1", cluster.front->port());
+  EXPECT_TRUE(client.ping());
+
+  // Distinct patterns; each must consistently land on one shard, and the
+  // repeat factorizes must hit that shard's analysis cache.
+  std::vector<std::shared_ptr<const CscMatrix<real_t>>> mats;
+  for (int i = 0; i < 4; ++i) {
+    mats.push_back(shared(gen::grid2d_laplacian(9 + i, 9)));
+  }
+  std::map<std::uint64_t, std::string> owner;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& m : mats) {
+      const auto fr = client.factorize("aff", *m, Factorization::LLT);
+      ASSERT_EQ(fr.status, 0) << fr.error;
+      const std::uint64_t digest = pattern_digest(*m);
+      if (round == 0) {
+        owner[digest] = fr.shard;
+      } else {
+        EXPECT_EQ(fr.shard, owner[digest]) << "affinity broken";
+      }
+    }
+  }
+  const service::ServiceStats st1 = cluster.s1->service_stats();
+  const service::ServiceStats st2 = cluster.s2->service_stats();
+  // Every repeat after the first factorize of a pattern is a cache hit on
+  // its owning shard: 4 patterns x 3 rounds = 12 requests, 12 - #patterns
+  // hits across the fleet.
+  EXPECT_EQ(st1.cache.hits + st2.cache.hits, 12u - owner.size());
+  EXPECT_EQ(st1.cache.misses + st2.cache.misses, owner.size());
+  cluster.front->drain_and_stop(5.0);
+}
+
+TEST(FrontServerTest, SolvesFollowFactorsAndUnknownFactorPropagates) {
+  Cluster cluster;
+  BlockingClient client;
+  client.connect("127.0.0.1", cluster.front->port());
+  const auto a = shared(gen::grid2d_laplacian(8, 8));
+  const auto fr = client.factorize("t", *a, Factorization::LLT);
+  ASSERT_EQ(fr.status, 0) << fr.error;
+  std::vector<real_t> x_true(static_cast<std::size_t>(a->nrows()), 2.0);
+  const auto sr = client.solve("t", pattern_digest(*a), fr.factor_id,
+                               rhs_for(*a, x_true));
+  ASSERT_EQ(sr.status, 0) << sr.error;
+  EXPECT_EQ(sr.shard, fr.shard);  // solve followed the factor's shard
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR(sr.x[i], x_true[i], 1e-8);
+  }
+  NetError err{};
+  client.solve("t", pattern_digest(*a), 424242, rhs_for(*a, x_true), {},
+               &err);
+  EXPECT_EQ(err, NetError::UnknownFactor);
+  cluster.front->drain_and_stop(5.0);
+}
+
+TEST(FrontServerTest, NoShardsMeansNotReady) {
+  FrontServerOptions fo;
+  fo.shards = {{"ghost", "127.0.0.1", 1}};  // nothing listens there
+  fo.probe_interval_s = 0.05;
+  FrontServer front(fo);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  int status = 0;
+  const std::string body =
+      net::http_get("127.0.0.1", front.http_port(), "/readyz", &status);
+  EXPECT_EQ(status, 503);
+  BlockingClient client;
+  client.connect("127.0.0.1", front.port());
+  const auto a = gen::grid2d_laplacian(4, 4);
+  NetError err{};
+  client.factorize("t", a, Factorization::LLT, {}, &err);
+  EXPECT_EQ(err, NetError::NoShard);
+  EXPECT_TRUE(net::retryable(err));
+}
+
+TEST(FrontServerTest, DrainedShardRequestsRerouteWithZeroLoss) {
+  Cluster cluster;
+  BlockingClient client;
+  client.connect("127.0.0.1", cluster.front->port());
+
+  // Find a pattern owned by each shard so the test is symmetric in which
+  // shard we kill.
+  std::map<std::string, std::shared_ptr<const CscMatrix<real_t>>> by_shard;
+  for (int i = 0; by_shard.size() < 2 && i < 32; ++i) {
+    auto m = shared(gen::grid2d_laplacian(6 + i, 6));
+    const auto fr = client.factorize("probe", *m, Factorization::LLT);
+    ASSERT_EQ(fr.status, 0) << fr.error;
+    by_shard.emplace(fr.shard, m);
+  }
+  ASSERT_EQ(by_shard.size(), 2u);
+
+  // Drain s1 in the background while a client keeps hammering patterns
+  // owned by both shards through the front.  Retryable bounces are
+  // retried by the client; anything else is a lost request.
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  std::atomic<int> lost{0};
+  std::thread pump([&] {
+    BlockingClient c;
+    c.connect("127.0.0.1", cluster.front->port());
+    std::vector<std::shared_ptr<const CscMatrix<real_t>>> mats;
+    for (const auto& [shard, m] : by_shard) mats.push_back(m);
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto& m = mats[static_cast<std::size_t>(i++) % mats.size()];
+      bool answered = false;
+      for (int attempt = 0; attempt < 20 && !answered; ++attempt) {
+        NetError err{};
+        try {
+          const auto fr = c.factorize("pump", *m, Factorization::LLT, {},
+                                      &err);
+          if (fr.status == 0) {
+            ++completed;
+            answered = true;
+          } else if (err != NetError{} && net::retryable(err)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          } else if (fr.status == static_cast<std::uint8_t>(
+                                      RequestStatus::Rejected)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          } else {
+            ++lost;
+            answered = true;
+          }
+        } catch (const std::exception&) {
+          // Reconnect and retry; the request itself was answered by the
+          // front with an error or will be retried.
+          try {
+            c.connect("127.0.0.1", cluster.front->port());
+          } catch (const std::exception&) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }
+      }
+      if (!answered) ++lost;
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(cluster.s1->drain_and_stop(30.0));  // graceful SIGTERM path
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_release);
+  pump.join();
+
+  EXPECT_EQ(lost.load(), 0);
+  EXPECT_GT(completed.load(), 0);
+
+  // After the drain the surviving shard serves everything.
+  for (const auto& [shard, m] : by_shard) {
+    const auto fr = client.factorize("after", *m, Factorization::LLT);
+    ASSERT_EQ(fr.status, 0) << fr.error;
+    EXPECT_EQ(fr.shard, "s2");
+  }
+  cluster.front->drain_and_stop(5.0);
+}
+
+}  // namespace
+}  // namespace spx

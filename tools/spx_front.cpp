@@ -1,0 +1,113 @@
+// spx_front: the consistent-hashing front-end over a set of shards.
+//
+//   spx_front --shard NAME:HOST:PORT [--shard ...] [--port P]
+//             [--http-port P] [--window N] [--vnodes N]
+//             [--probe-interval S] [--drain-timeout S] [--print-ports]
+//
+// Clients speak the same wire protocol to the front as to a shard; the
+// front routes each request by its pattern digest over the live shard
+// ring, bounces overload (Error Overloaded), and reroutes around
+// draining or lost shards.  /healthz, /readyz and /metrics are served on
+// --http-port.  SIGTERM/SIGINT drain gracefully.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
+#include "net/front_server.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+double arg_double(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", argv[i]);
+    std::exit(2);
+  }
+  return std::atof(argv[++i]);
+}
+
+spx::net::ShardEndpoint parse_shard(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                 : spec.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    std::fprintf(stderr, "--shard wants NAME:HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  spx::net::ShardEndpoint ep;
+  ep.name = spec.substr(0, c1);
+  ep.host = spec.substr(c1 + 1, c2 - c1 - 1);
+  ep.port = static_cast<std::uint16_t>(std::atoi(spec.c_str() + c2 + 1));
+  return ep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spx::net::FrontServerOptions opts;
+  double drain_timeout_s = 30;
+  bool print_ports = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--shard" && i + 1 < argc) {
+      opts.shards.push_back(parse_shard(argv[++i]));
+    } else if (a == "--port") {
+      opts.port = static_cast<std::uint16_t>(arg_double(argc, argv, i));
+    } else if (a == "--http-port") {
+      opts.http_port = static_cast<std::uint16_t>(arg_double(argc, argv, i));
+    } else if (a == "--window") {
+      opts.max_inflight_per_shard =
+          static_cast<std::size_t>(arg_double(argc, argv, i));
+    } else if (a == "--vnodes") {
+      opts.vnodes = static_cast<std::uint32_t>(arg_double(argc, argv, i));
+    } else if (a == "--probe-interval") {
+      opts.probe_interval_s = arg_double(argc, argv, i);
+    } else if (a == "--drain-timeout") {
+      drain_timeout_s = arg_double(argc, argv, i);
+    } else if (a == "--print-ports") {
+      print_ports = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (opts.shards.empty()) {
+    std::fprintf(stderr, "at least one --shard NAME:HOST:PORT is required\n");
+    return 2;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  spx::net::FrontServer front(opts);
+  if (print_ports) {
+    std::printf("%u %u\n", front.port(), front.http_port());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "[front] serving on :%u (http :%u), %zu shard(s)\n",
+               front.port(), front.http_port(), opts.shards.size());
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "[front] draining...\n");
+  const bool drained = front.drain_and_stop(drain_timeout_s);
+  std::fprintf(stderr, "[front] %s\n",
+               drained ? "drained cleanly" : "drain timed out");
+  return drained ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// spx_shard: one solve shard behind the wire protocol.
+//
+//   spx_shard [--name NAME] [--port P] [--http-port P] [--workers N]
+//             [--cache-mb MB] [--max-factors N] [--idle-timeout S]
+//             [--drain-timeout S] [--print-ports]
+//
+// Listens for protocol frames on --port and serves /healthz, /readyz and
+// /metrics on --http-port (both default to ephemeral; --print-ports
+// emits "port http_port" on stdout for the parent to capture).  SIGTERM
+// or SIGINT starts a graceful drain: stop accepting, answer Draining,
+// finish every admitted request, flush, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "net/shard_server.hpp"
+
+namespace {
+
+// Async-signal-safe shutdown latch: the handler writes one byte to a
+// self-pipe; main blocks on the read.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+double arg_double(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", argv[i]);
+    std::exit(2);
+  }
+  return std::atof(argv[++i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spx::net::ShardServerOptions opts;
+  opts.service.num_workers = 2;
+  double drain_timeout_s = 30;
+  bool print_ports = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--name" && i + 1 < argc) {
+      opts.name = argv[++i];
+    } else if (a == "--port") {
+      opts.port = static_cast<std::uint16_t>(arg_double(argc, argv, i));
+    } else if (a == "--http-port") {
+      opts.http_port = static_cast<std::uint16_t>(arg_double(argc, argv, i));
+    } else if (a == "--workers") {
+      opts.service.num_workers = static_cast<int>(arg_double(argc, argv, i));
+    } else if (a == "--cache-mb") {
+      opts.service.cache_bytes =
+          static_cast<std::size_t>(arg_double(argc, argv, i)) << 20;
+    } else if (a == "--max-factors") {
+      opts.max_factors = static_cast<std::size_t>(arg_double(argc, argv, i));
+    } else if (a == "--idle-timeout") {
+      opts.idle_timeout_s = arg_double(argc, argv, i);
+    } else if (a == "--drain-timeout") {
+      drain_timeout_s = arg_double(argc, argv, i);
+    } else if (a == "--print-ports") {
+      print_ports = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  spx::net::ShardServer shard(opts);
+  if (print_ports) {
+    std::printf("%u %u\n", shard.port(), shard.http_port());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "[%s] serving on :%u (http :%u)\n",
+               shard.name().c_str(), shard.port(), shard.http_port());
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "[%s] draining...\n", shard.name().c_str());
+  const bool drained = shard.drain_and_stop(drain_timeout_s);
+  std::fprintf(stderr, "[%s] %s\n", shard.name().c_str(),
+               drained ? "drained cleanly" : "drain timed out");
+  return drained ? 0 : 1;
+}
