@@ -28,6 +28,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -387,7 +389,7 @@ void net_client_run(std::uint16_t port, const std::string& tenant,
     Timer t;
     bool done = false;
     std::uint64_t factor_id = 0;
-    for (int attempt = 0; attempt < 50 && !done; ++attempt) {
+    for (int attempt = 0; attempt < 200 && !done; ++attempt) {
       try {
         net::NetError err{};
         if (factor_id == 0) {
@@ -453,20 +455,29 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
               "over %d patterns ---\n",
               shards_n, clients, rounds, patterns);
 
-  // Spawn the fleet.
+  // Spawn the fleet.  Every shard persists its factors so the phase-C
+  // supervisor can SIGKILL and restart one warm.
+  const std::string persist_root =
+      "/tmp/spx_bench_net_" + std::to_string(static_cast<long>(::getpid()));
   std::vector<ChildProc> shards;
   std::vector<std::string> front_args;
   for (int s = 0; s < shards_n; ++s) {
     const std::string name = "s" + std::to_string(s);
     ChildProc p = spawn_with_ports(
         SPX_SHARD_BIN, name,
-        {"--name", name, "--workers", "2", "--drain-timeout", "30"});
+        {"--name", name, "--workers", "2", "--drain-timeout", "30",
+         "--persist-dir", persist_root + "/" + name,
+         "--persist-interval", "0"});
     front_args.push_back("--shard");
     front_args.push_back(name + ":127.0.0.1:" + std::to_string(p.port));
     shards.push_back(std::move(p));
   }
   front_args.push_back("--probe-interval");
   front_args.push_back("0.05");
+  front_args.push_back("--max-backoff");
+  front_args.push_back("0.1");
+  front_args.push_back("--breaker-cooldown");
+  front_args.push_back("0.2");
   ChildProc front =
       spawn_with_ports(SPX_FRONT_BIN, "front", std::move(front_args));
 
@@ -520,7 +531,11 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
     for (auto& t : threads) t.join();
   }
 
-  // Per-shard cache hit rate, scraped over TCP.
+  // Per-shard reuse rate, scraped over TCP.  With persistence on, exact
+  // repeats are warm-served from the factor index before they ever reach
+  // the service -- reuse that skips the numeric phase too, strictly
+  // better than an analysis-cache hit -- so both count against the
+  // single-process baseline.
   double worst_rate = 1.0;
   std::uint64_t total_requests = 0;
   for (const ChildProc& p : shards) {
@@ -528,15 +543,17 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
         net::http_get("127.0.0.1", p.http_port, "/metrics");
     const double hits = prom_sum(text, "spx_analysis_cache_hits_total");
     const double misses = prom_sum(text, "spx_analysis_cache_misses_total");
+    const double warm = prom_sum(text, "spx_shard_warm_hits_total");
     const double submitted = prom_sum(text, "spx_service_submitted_total");
-    total_requests += static_cast<std::uint64_t>(submitted);
-    const double rate =
-        hits + misses > 0 ? hits / (hits + misses) : 1.0;
+    total_requests += static_cast<std::uint64_t>(submitted + warm);
+    const double rate = hits + misses + warm > 0
+                            ? (hits + warm) / (hits + misses + warm)
+                            : 1.0;
     worst_rate = std::min(worst_rate, rate);
-    std::printf("  shard %-4s cache hit rate %5.1f%% (%g/%g), "
+    std::printf("  shard %-4s reuse rate %5.1f%% (cache %g/%g, warm %g), "
                 "%g requests\n",
-                p.name.c_str(), 100.0 * rate, hits, hits + misses,
-                submitted);
+                p.name.c_str(), 100.0 * rate, hits, hits + misses, warm,
+                submitted + warm);
   }
 
   // Single-process baseline: the same request mix against one in-process
@@ -585,9 +602,62 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
       WIFEXITED(shard0_status) && WEXITSTATUS(shard0_status) == 0;
   shards[0].pid = -1;
 
+  // ---- phase C: SIGKILL the survivor, supervised warm restart ----------
+  // No drain this time: -9 mid-traffic.  The supervisor restarts the
+  // shard on its old port against its persist dir; the gates below
+  // demand zero lost requests and a warm (snapshot-replayed) comeback.
+  std::printf("  SIGKILL shard %s mid-run, supervised restart...\n",
+              shards[1].name.c_str());
+  bool snapshots_on_disk = false;
+  for (int i = 0; i < 200 && !snapshots_on_disk; ++i) {
+    try {
+      const std::string text =
+          net::http_get("127.0.0.1", shards[1].http_port, "/metrics");
+      snapshots_on_disk =
+          prom_sum(text, "spx_shard_snapshots_saved_total") >= 1.0;
+    } catch (const std::exception&) {
+    }
+    if (!snapshots_on_disk) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  std::vector<NetClientStats> chaos_stats(static_cast<std::size_t>(clients));
+  bool restarted_warm = false;
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(net_client_run, front.port,
+                           "chaos-" + std::to_string(c), std::cref(mats),
+                           rounds,
+                           std::ref(chaos_stats[static_cast<std::size_t>(
+                               c)]));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 30 : 150));
+    ::kill(shards[1].pid, SIGKILL);
+    ::waitpid(shards[1].pid, nullptr, 0);
+    const std::uint16_t old_port = shards[1].port;
+    shards[1] = spawn_with_ports(
+        SPX_SHARD_BIN, shards[1].name,
+        {"--name", shards[1].name, "--workers", "2",
+         "--port", std::to_string(old_port),
+         "--persist-dir", persist_root + "/" + shards[1].name,
+         "--persist-interval", "0"});
+    for (auto& t : threads) t.join();
+    try {
+      int status = 0;
+      const std::string ready = net::http_get(
+          "127.0.0.1", shards[1].http_port, "/readyz", &status);
+      restarted_warm = status == 200 &&
+                       ready.find("warm=") != std::string::npos &&
+                       ready.find("warm=0") == std::string::npos;
+    } catch (const std::exception&) {
+    }
+  }
+
   // ---- report + gates ---------------------------------------------------
   NetClientStats total;
-  for (const auto& bucket : {std::cref(stats), std::cref(kill_stats)}) {
+  for (const auto& bucket :
+       {std::cref(stats), std::cref(kill_stats), std::cref(chaos_stats)}) {
     for (const NetClientStats& s : bucket.get()) {
       total.completed += s.completed;
       total.retried += s.retried;
@@ -606,7 +676,7 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
   std::printf("  completed %llu (of %llu offered), retried %llu, lost "
               "%llu; p50 %.2fms p99 %.2fms; shard %s exit %s\n",
               static_cast<unsigned long long>(total.completed),
-              static_cast<unsigned long long>(2ull *
+              static_cast<unsigned long long>(3ull *
                                               std::uint64_t(clients) *
                                               std::uint64_t(rounds)),
               static_cast<unsigned long long>(total.retried),
@@ -619,6 +689,8 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
     if (p.pid > 0) ::waitpid(p.pid, nullptr, 0);
   }
   if (front.pid > 0) ::waitpid(front.pid, nullptr, 0);
+  std::error_code ec;
+  std::filesystem::remove_all(persist_root, ec);
 
   int rc = 0;
   if (total.lost != 0) {
@@ -627,8 +699,13 @@ int run_net_bench(bool smoke, int shards_n, int clients, int rounds) {
     rc = 1;
   }
   if (total.completed !=
-      2ull * std::uint64_t(clients) * std::uint64_t(rounds)) {
+      3ull * std::uint64_t(clients) * std::uint64_t(rounds)) {
     std::fprintf(stderr, "FAIL: not every offered request completed\n");
+    rc = 1;
+  }
+  if (snapshots_on_disk && !restarted_warm) {
+    std::fprintf(stderr,
+                 "FAIL: SIGKILLed shard had snapshots but restarted cold\n");
     rc = 1;
   }
   if (!shard0_clean) {

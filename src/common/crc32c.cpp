@@ -1,0 +1,40 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace spx {
+
+namespace {
+
+// Reflected Castagnoli table, generated once at static-init time (256
+// entries, trivially cheap; avoids a 1 KiB blob in the source).
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& t = table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = t[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace spx

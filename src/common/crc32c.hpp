@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78):
+// the checksum guarding both the SPXW wire protocol's optional frame
+// trailer and the on-disk factor snapshots.  Software table-driven
+// implementation -- fast enough for both uses (frames are small, the
+// snapshot writer is async and rate-limited) and byte-identical on
+// every host, which the cross-process wire/restore paths require.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spx {
+
+/// Incremental update: feed `crc32c(prev, p, n)` the running value to
+/// extend a checksum across scattered buffers.  Start from 0.
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len);
+
+/// One-shot convenience over a single buffer.
+inline std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c(0, data, len);
+}
+
+}  // namespace spx

@@ -7,8 +7,10 @@
 // the L side).  LDL^T keeps D in a separate vector.
 #pragma once
 
+#include <algorithm>
 #include <mutex>
 #include <new>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -94,6 +96,32 @@ class FactorData {
 
   std::size_t bytes() const {
     return (lval_.size() + uval_.size() + dval_.size()) * sizeof(T);
+  }
+
+  /// Raw value arrays, exposed read-only for the persistence layer's
+  /// snapshot writer (persist/snapshot.cpp); empty when the kind does not
+  /// use that array.
+  std::span<const T> lvalues() const { return lval_; }
+  std::span<const T> uvalues() const { return uval_; }
+  std::span<const T> dvalues() const { return dval_; }
+
+  /// Overwrites the value arrays with persisted bytes (the warm-restore
+  /// path); sizes must match what the structure allocated.
+  void restore_values(std::span<const T> l, std::span<const T> u,
+                      std::span<const T> d) {
+    SPX_CHECK_ARG(l.size() == lval_.size() && u.size() == uval_.size() &&
+                      d.size() == dval_.size(),
+                  "restored factor arrays do not match the structure");
+    std::copy(l.begin(), l.end(), lval_.begin());
+    std::copy(u.begin(), u.end(), uval_.begin());
+    std::copy(d.begin(), d.end(), dval_.begin());
+  }
+
+  /// Reinstates a persisted quality record verbatim (warm-restore path;
+  /// the live path accumulates via merge_quality instead).
+  void set_quality(const FactorQuality& q) {
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    quality_ = q;
   }
 
   /// Arms static-pivot perturbation for the next factorization:

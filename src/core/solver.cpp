@@ -92,6 +92,33 @@ void Solver<T>::adopt_analysis(std::shared_ptr<const Analysis> analysis,
 }
 
 template <typename T>
+void Solver<T>::restore_factors(Factorization kind, std::span<const T> l,
+                                std::span<const T> u, std::span<const T> d,
+                                const FactorQuality& quality) {
+  SPX_CHECK_ARG(analyzed(),
+                "restore_factors() needs the matching analysis adopted "
+                "first");
+  SPX_CHECK_ARG(!quality.degraded(),
+                "degraded factors are not restorable (refinement needs "
+                "the input matrix, which snapshots do not carry)");
+  kind_ = kind;
+  factors_.reset();
+  refine_matrix_.reset();
+  auto factors = std::make_unique<FactorData<T>>(analysis_->structure, kind,
+                                                 effective_fault());
+  factors->restore_values(l, u, d);
+  factors->set_pivot_policy(quality.threshold, quality.anorm);
+  factors->set_quality(quality);
+  factors_ = std::move(factors);
+  stats_ = RunStats{};
+  stats_.quality = quality;
+  SPX_OBS(obs::registry_or_global(options_.instr.metrics)
+              .counter("spx_solver_factors_restored_total",
+                       "Factorizations reinstated from persisted snapshots")
+              .inc());
+}
+
+template <typename T>
 void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
   SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
   SPX_CHECK_ARG(analyzed(),

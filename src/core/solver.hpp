@@ -173,6 +173,24 @@ class Solver {
   const RunStats& last_factorization_stats() const { return stats_; }
   Factorization factorization_kind() const { return kind_; }
 
+  /// The numerical factors, read-only (snapshot serialization); throws
+  /// before factorize().
+  const FactorData<T>& factor_data() const {
+    SPX_CHECK_ARG(factorized(), "factorize() has not run");
+    return *factors_;
+  }
+
+  /// Reinstates factors persisted from an identical (pattern, values,
+  /// kind) triple without running a driver: allocates FactorData against
+  /// the adopted analysis, copies the value arrays, and marks the solver
+  /// factorized.  Only non-degraded factors are restorable (a degraded
+  /// solve needs the retained input matrix for refinement, which
+  /// snapshots deliberately do not carry).  Throws InvalidArgument
+  /// before analyze()/adopt_analysis() or on a size mismatch.
+  void restore_factors(Factorization kind, std::span<const T> l,
+                       std::span<const T> u, std::span<const T> d,
+                       const FactorQuality& quality);
+
   /// The loaded (and online-refined) performance model, or nullptr when
   /// none is configured / the file failed to load.  Loaded lazily by the
   /// first factorize() after perf_model_file is set.

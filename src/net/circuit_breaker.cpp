@@ -1,0 +1,90 @@
+#include "net/circuit_breaker.hpp"
+
+namespace spx::net {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  outcomes_.assign(options_.window, false);
+}
+
+void CircuitBreaker::push(bool error) {
+  outcomes_[next_] = error;
+  next_ = (next_ + 1) % options_.window;
+  if (filled_ < options_.window) ++filled_;
+}
+
+double CircuitBreaker::error_ratio() const {
+  if (filled_ == 0) return 0.0;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    if (outcomes_[i]) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(filled_);
+}
+
+BreakerState CircuitBreaker::state(double now) {
+  if (state_ == BreakerState::Open &&
+      now - opened_at_ >= options_.open_cooldown_s) {
+    state_ = BreakerState::HalfOpen;
+  }
+  return state_;
+}
+
+BreakerState CircuitBreaker::record_success(double now) {
+  switch (state(now)) {
+    case BreakerState::Closed:
+      push(false);
+      break;
+    case BreakerState::HalfOpen:
+      // The probe came back: the shard recovered.
+      state_ = BreakerState::Closed;
+      outcomes_.assign(options_.window, false);
+      next_ = 0;
+      filled_ = 0;
+      ++reclosed_;
+      break;
+    case BreakerState::Open:
+      // Successes during the cooldown are late responses to pre-open
+      // work; they carry no signal about recovery yet.
+      break;
+  }
+  return state_;
+}
+
+BreakerState CircuitBreaker::record_failure(double now) {
+  switch (state(now)) {
+    case BreakerState::Closed:
+      push(true);
+      if (filled_ >= options_.min_samples &&
+          error_ratio() >= options_.error_threshold) {
+        state_ = BreakerState::Open;
+        opened_at_ = now;
+        ++opened_;
+      }
+      break;
+    case BreakerState::HalfOpen:
+      // The probe failed: back to Open, cooldown restarts.
+      state_ = BreakerState::Open;
+      opened_at_ = now;
+      ++opened_;
+      break;
+    case BreakerState::Open:
+      break;
+  }
+  return state_;
+}
+
+}  // namespace spx::net

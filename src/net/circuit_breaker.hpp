@@ -1,0 +1,66 @@
+// Per-shard circuit breaker: pure state-machine logic, no clocks or
+// threads of its own (callers pass monotonic `now` seconds -- the event
+// loop's EventLoop::now() in production, a hand-cranked double in tests).
+//
+//   Closed    normal traffic; outcomes fill a rolling window.  When the
+//             window holds >= min_samples and the error ratio reaches
+//             error_threshold, the breaker Opens.
+//   Open      the shard is presumed sick: the front withdraws it from
+//             the ring and reroutes its in-flight work.  After
+//             open_cooldown_s the breaker moves to HalfOpen.
+//   HalfOpen  one probe decides: a success Closes (window reset), a
+//             failure re-Opens (cooldown restarts).
+//
+// This layers *under* the ring's Up/Draining/Down states: Draining stays
+// a graceful, breaker-neutral signal, while repeated hard failures
+// (connection drops, Internal errors) trip the breaker even when the
+// TCP connection looks healthy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spx::net {
+
+enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+
+const char* to_string(BreakerState s);
+
+struct CircuitBreakerOptions {
+  std::size_t window = 16;      ///< rolling outcome window (samples)
+  std::size_t min_samples = 4;  ///< ratio is meaningless below this
+  double error_threshold = 0.5;  ///< open at >= this error ratio
+  double open_cooldown_s = 1.0;  ///< Open -> HalfOpen after this
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// Current state, applying the Open -> HalfOpen cooldown transition.
+  BreakerState state(double now);
+
+  /// Records a request outcome.  Returns the state after the record --
+  /// callers compare against the state before to detect transitions.
+  BreakerState record_success(double now);
+  BreakerState record_failure(double now);
+
+  std::uint64_t opened() const { return opened_; }   ///< Closed/Half -> Open
+  std::uint64_t reclosed() const { return reclosed_; }  ///< Half -> Closed
+
+ private:
+  void push(bool error);
+  double error_ratio() const;
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::Closed;
+  std::vector<bool> outcomes_;  ///< ring buffer, true = error
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  double opened_at_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t reclosed_ = 0;
+};
+
+}  // namespace spx::net

@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -125,6 +127,10 @@ std::optional<FrameParser::Frame> BlockingClient::recv_frame() {
 FrameParser::Frame BlockingClient::call(std::span<const std::uint8_t> frame,
                                         std::uint64_t expect_corr) {
   send_raw(frame);
+  return recv_matched(expect_corr);
+}
+
+FrameParser::Frame BlockingClient::recv_matched(std::uint64_t expect_corr) {
   while (true) {
     auto resp = recv_frame();
     if (!resp.has_value()) {
@@ -138,6 +144,46 @@ FrameParser::Frame BlockingClient::call(std::span<const std::uint8_t> frame,
     }
     // Stale response from a previous (abandoned) request: skip it.
   }
+}
+
+FrameParser::Frame BlockingClient::call_prepared(
+    std::vector<std::uint8_t> frame, std::uint64_t expect_corr) {
+  if (checksum_) add_checksum(frame);
+  bool close_after_send = false;
+  if (fault_ != nullptr) {
+    switch (fault_->on_wire_frame()) {
+      case FaultAction::DropFrame:
+        frame.clear();  // vanished in flight; the recv timeout covers us
+        break;
+      case FaultAction::TruncateFrame:
+        frame.resize(kHeaderBytes + (frame.size() - kHeaderBytes) / 2);
+        close_after_send = true;
+        break;
+      case FaultAction::DelayFrame:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault_->plan().stall_seconds));
+        break;
+      case FaultAction::CorruptFrame:
+        if (frame.size() > kHeaderBytes) {
+          frame[kHeaderBytes + (frame.size() - kHeaderBytes) / 2] ^= 0x40;
+        }
+        break;
+      case FaultAction::AbortConnection:
+        close();
+        break;
+      default:
+        break;
+    }
+  }
+  SPX_CHECK_ARG(fd_ >= 0,
+                "BlockingClient: connection aborted by injected fault");
+  if (!frame.empty()) send_raw(frame);
+  if (close_after_send) {
+    close();
+    throw InvalidArgument(
+        "BlockingClient: connection truncated by injected fault");
+  }
+  return recv_matched(expect_corr);
 }
 
 namespace {
@@ -171,8 +217,10 @@ FactorizeResponseFrame BlockingClient::factorize(const std::string& tenant,
   req.trace = trace;
   req.kind = kind;
   req.tenant = tenant;
+  req.deadline_s = deadline_s_;
   const std::uint64_t corr = next_corr_++;
-  const auto frame = call(encode_factorize_request(corr, req, a), corr);
+  const auto frame =
+      call_prepared(encode_factorize_request(corr, req, a), corr);
   if (frame.header.type == FrameType::Error) {
     return handle_error_frame<FactorizeResponseFrame>(frame, net_error_out);
   }
@@ -195,9 +243,10 @@ SolveResponseFrame BlockingClient::solve(const std::string& tenant,
   req.trace = trace;
   req.factor_id = factor_id;
   req.tenant = tenant;
+  req.deadline_s = deadline_s_;
   req.rhs = rhs;
   const std::uint64_t corr = next_corr_++;
-  const auto frame = call(encode_solve_request(corr, req), corr);
+  const auto frame = call_prepared(encode_solve_request(corr, req), corr);
   if (frame.header.type == FrameType::Error) {
     return handle_error_frame<SolveResponseFrame>(frame, net_error_out);
   }
@@ -211,7 +260,8 @@ SolveResponseFrame BlockingClient::solve(const std::string& tenant,
 bool BlockingClient::ping() {
   const std::uint64_t corr = next_corr_++;
   try {
-    const auto frame = call(encode_empty(FrameType::Ping, corr), corr);
+    const auto frame =
+        call_prepared(encode_empty(FrameType::Ping, corr), corr);
     return frame.header.type == FrameType::Pong;
   } catch (const std::exception&) {
     return false;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "runtime/fault_injection.hpp"
 
 namespace spx::net {
 
@@ -44,6 +45,15 @@ class BlockingClient {
   FrameParser::Frame call(std::span<const std::uint8_t> frame,
                           std::uint64_t expect_corr);
 
+  /// Seals every outbound typed request with the protocol's CRC32C
+  /// trailer (servers answer in kind, so responses come back sealed too).
+  void set_checksum(bool on) { checksum_ = on; }
+  /// Arms deterministic wire faults against outbound typed requests;
+  /// nullptr disarms.  The injector must outlive the client.
+  void set_fault(FaultInjector* fault) { fault_ = fault; }
+  /// Relative deadline stamped on subsequent typed requests (0 = none).
+  void set_deadline(double deadline_s) { deadline_s_ = deadline_s; }
+
   // ---- typed conveniences ----
 
   /// Remote factorize; throws ProtocolError if the server answered with a
@@ -63,8 +73,18 @@ class BlockingClient {
   bool ping();
 
  private:
+  /// Applies checksum sealing + armed wire faults to an encoded request,
+  /// sends whatever survives, and runs the correlation-matched receive
+  /// loop.  The typed conveniences all funnel through here.
+  FrameParser::Frame call_prepared(std::vector<std::uint8_t> frame,
+                                   std::uint64_t expect_corr);
+  FrameParser::Frame recv_matched(std::uint64_t expect_corr);
+
   std::uint64_t next_corr_ = 1;
   int fd_ = -1;
+  bool checksum_ = false;
+  double deadline_s_ = 0;
+  FaultInjector* fault_ = nullptr;
   FrameParser parser_;
 };
 

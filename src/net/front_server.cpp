@@ -32,6 +32,19 @@ FrontServer::FrontServer(FrontServerOptions options)
   rejected_shard_lost_ = &registry_->counter(
       "spx_front_rejected_total", "Requests bounced by the front-end",
       {{"reason", "shard_lost"}});
+  rejected_deadline_ = &registry_->counter(
+      "spx_front_rejected_total", "Requests bounced by the front-end",
+      {{"reason", "deadline"}});
+  // Seed proxied correlation ids pseudo-randomly (well below the probe
+  // range) so a restarted front does not re-mint the ids its predecessor
+  // used against the same shards' dedup tables.
+  {
+    std::uint64_t h = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    h *= 0x9e3779b97f4a7c15ull;
+    h ^= h >> 31;
+    next_corr_ = (h & ((kProbeBase >> 1) - 1)) + 1;
+  }
 
   ServerOptions sopts;
   sopts.bind = options_.bind;
@@ -60,6 +73,17 @@ FrontServer::FrontServer(FrontServerOptions options)
         "spx_front_rerouted_total",
         "Requests re-sent to another shard after drain/loss",
         {{"shard", ep.name}});
+    up.breaker = CircuitBreaker(options_.breaker);
+    up.breaker_state = &registry_->gauge(
+        "spx_front_breaker_state",
+        "Per-shard circuit breaker state (0=closed 1=open 2=half-open)",
+        {{"shard", ep.name}});
+    up.breaker_opened = &registry_->counter(
+        "spx_front_breaker_transitions_total", "Circuit breaker transitions",
+        {{"shard", ep.name}, {"to", "open"}});
+    up.breaker_reclosed = &registry_->counter(
+        "spx_front_breaker_transitions_total", "Circuit breaker transitions",
+        {{"shard", ep.name}, {"to", "closed"}});
     upstreams_.emplace(ep.name, std::move(up));
     ring_.add(ep.name);
     // Optimistically Up: the first probe or send settles the truth fast,
@@ -185,6 +209,10 @@ void FrontServer::on_client_frame(Connection& conn,
   p.client_corr = header.corr_id;
   p.digest = digest;
   p.attempts = 0;
+  // Carry the wire deadline onto the loop clock; dispatch_to refuses to
+  // send (or re-send) work that has already expired.
+  const double deadline_s = peek_deadline(header.type, payload);
+  p.deadline_mono = deadline_s > 0 ? loop_.now() + deadline_s : 0;
   FrameHeader fwd = header;
   fwd.corr_id = front_corr;
   p.frame = encode_raw_frame(fwd, payload);
@@ -195,6 +223,14 @@ void FrontServer::on_client_frame(Connection& conn,
 void FrontServer::dispatch_to(const std::string& shard,
                               std::uint64_t front_corr) {
   Pending& p = pending_.at(front_corr);
+  if (p.deadline_mono > 0 && loop_.now() >= p.deadline_mono) {
+    // Expired work is dropped, not rerouted: the client already gave up
+    // on it, and a shard doing it anyway would only burn capacity.
+    SPX_OBS(rejected_deadline_->inc());
+    answer_error(front_corr, NetError::DeadlineExceeded,
+                 "deadline expired before dispatch to a shard");
+    return;
+  }
   Upstream& up = upstreams_.at(shard);
   p.shard = shard;
   ++p.attempts;
@@ -265,7 +301,12 @@ void FrontServer::on_upstream_frame(const std::string& name,
   if (header.type == FrameType::Pong) {
     up.alive = true;
     up.backoff_s = options_.reconnect_backoff_s;
-    if (ring_.state(name) == ShardState::Down) {
+    // A pong is the half-open probe's success signal; the breaker gates
+    // re-admission so an open breaker keeps the shard out of the ring
+    // even while its TCP connection answers pings.
+    note_breaker(name, true);
+    if (ring_.state(name) == ShardState::Down &&
+        up.breaker.state(loop_.now()) == BreakerState::Closed) {
       ring_.set_state(name, ShardState::Up);
     }
     return;
@@ -286,16 +327,23 @@ void FrontServer::on_upstream_frame(const std::string& name,
     if (code == NetError::Draining) {
       // The shard is shedding load: withdraw it from the ring and give
       // this request a new home.  Later responses for requests the shard
-      // already admitted still flow back normally.
+      // already admitted still flow back normally.  Draining is graceful
+      // -- it feeds the ring state, never the breaker.
       ring_.set_state(name, ShardState::Draining);
       reroute(header.corr_id);
       return;
+    }
+    if (code == NetError::Internal || code == NetError::Malformed) {
+      // The shard misbehaved on a frame we forwarded verbatim: a hard
+      // failure signal.
+      note_breaker(name, false);
     }
     // Overloaded / UnknownFactor / Malformed / Internal: the client owns
     // the retry decision (backoff, re-factorize...).
     answer_error(header.corr_id, code, message);
     return;
   }
+  note_breaker(name, true);
   forward_to_client(header.corr_id, header, payload);
 }
 
@@ -304,6 +352,7 @@ void FrontServer::on_upstream_close(const std::string& name) {
   up.conn = nullptr;
   up.alive = false;
   up.inflight = 0;
+  note_breaker(name, false);
   if (ring_.state(name) != ShardState::Draining) {
     ring_.set_state(name, ShardState::Down);
   }
@@ -349,8 +398,15 @@ void FrontServer::connect_upstream(const std::string& name) {
 void FrontServer::schedule_reconnect(const std::string& name) {
   Upstream& up = upstreams_.at(name);
   if (up.reconnect_timer != 0) return;
-  const double delay = up.backoff_s;
-  up.backoff_s = std::min(up.backoff_s * 2, 2.0);
+  // Deterministic per-shard jitter (0.75x-1.25x): spreads a fleet's
+  // reconnect attempts without needing randomness at schedule time.
+  const double jitter =
+      0.75 + 0.5 * static_cast<double>(std::hash<std::string>{}(name) %
+                                       1024) /
+                 1024.0;
+  const double delay = up.backoff_s * jitter;
+  up.backoff_s =
+      std::min(up.backoff_s * 2, options_.max_reconnect_backoff_s);
   up.reconnect_timer = loop_.schedule(delay, [this, name] {
     Upstream& u = upstreams_.at(name);
     u.reconnect_timer = 0;
@@ -363,6 +419,10 @@ void FrontServer::schedule_reconnect(const std::string& name) {
 void FrontServer::arm_probe() {
   loop_.schedule(options_.probe_interval_s, [this] {
     for (auto& [name, up] : upstreams_) {
+      // Tick the breaker clock: an elapsed cooldown surfaces here as
+      // HalfOpen, and the ping below becomes the recovery probe.
+      const BreakerState st = up.breaker.state(loop_.now());
+      SPX_OBS(up.breaker_state->set(static_cast<double>(st)));
       if (up.conn != nullptr) {
         up.conn->send(encode_empty(FrameType::Ping, next_probe_corr_++));
       } else if (up.reconnect_timer == 0) {
@@ -371,6 +431,35 @@ void FrontServer::arm_probe() {
     }
     arm_probe();
   });
+}
+
+void FrontServer::note_breaker(const std::string& name, bool ok) {
+  Upstream& up = upstreams_.at(name);
+  const double now = loop_.now();
+  const BreakerState before = up.breaker.state(now);
+  const BreakerState after =
+      ok ? up.breaker.record_success(now) : up.breaker.record_failure(now);
+  SPX_OBS(up.breaker_state->set(static_cast<double>(after)));
+  if (after == before) return;
+  if (after == BreakerState::Open) {
+    SPX_OBS(up.breaker_opened->inc());
+    if (ring_.state(name) != ShardState::Draining) {
+      ring_.set_state(name, ShardState::Down);
+    }
+    // Give every request aimed at the tripped shard a new home now;
+    // waiting for its connection to die could strand them for seconds.
+    std::vector<std::uint64_t> orphans;
+    for (const auto& [corr, p] : pending_) {
+      if (p.shard == name) orphans.push_back(corr);
+    }
+    for (const std::uint64_t corr : orphans) reroute(corr);
+  } else if (after == BreakerState::Closed &&
+             before == BreakerState::HalfOpen) {
+    SPX_OBS(up.breaker_reclosed->inc());
+    if (up.conn != nullptr && ring_.state(name) == ShardState::Down) {
+      ring_.set_state(name, ShardState::Up);
+    }
+  }
 }
 
 HttpResponse FrontServer::handle_http(const std::string& path) {

@@ -11,6 +11,16 @@
 // shard answers Draining or its connection drops, its pending requests
 // are rerouted over the remaining ring (bounded attempts), so a shard
 // can be drained or killed mid-run without losing accepted requests.
+//
+// Failure handling (docs/SERVICE.md "Failure modes and recovery"):
+//   - Each upstream carries a circuit breaker (net/circuit_breaker.hpp)
+//     fed by hard outcomes: connection drops and Internal/Malformed
+//     errors open it, responses and pongs close it.  An open breaker
+//     withdraws the shard from the ring and reroutes its in-flight
+//     work; the existing ping probe doubles as the half-open probe.
+//   - Requests carry their wire deadline: expired work is answered with
+//     Error(DeadlineExceeded) instead of being dispatched or rerouted,
+//     so retry storms cannot resurrect dead work.
 #pragma once
 
 #include <atomic>
@@ -21,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/circuit_breaker.hpp"
 #include "net/http.hpp"
 #include "net/server.hpp"
 #include "net/shard_ring.hpp"
@@ -45,7 +56,13 @@ struct FrontServerOptions {
   /// Error(NoShard) and must retry itself.
   int max_reroutes = 3;
   double probe_interval_s = 0.5;      ///< ping cadence per upstream
-  double reconnect_backoff_s = 0.05;  ///< initial; doubles up to 2 s
+  double reconnect_backoff_s = 0.05;  ///< initial; doubles per retry
+  /// Cap for the doubling reconnect backoff.  Each shard's actual delay
+  /// carries a deterministic per-shard jitter factor (0.75x-1.25x) so a
+  /// fleet of fronts does not reconnect-stampede in lockstep.
+  double max_reconnect_backoff_s = 2.0;
+  /// Per-shard circuit breaker tuning (window, threshold, cooldown).
+  CircuitBreakerOptions breaker;
   double idle_timeout_s = 0;          ///< client connections
   std::size_t max_payload = kDefaultMaxPayload;
   obs::MetricsRegistry* metrics = nullptr;  ///< null = global registry
@@ -76,6 +93,10 @@ class FrontServer {
     std::uint64_t reconnect_timer = 0;
     obs::Counter* routed = nullptr;    ///< spx_front_routed_total{shard=}
     obs::Counter* rerouted = nullptr;  ///< spx_front_rerouted_total{shard=}
+    CircuitBreaker breaker;
+    obs::Gauge* breaker_state = nullptr;  ///< spx_front_breaker_state{shard=}
+    obs::Counter* breaker_opened = nullptr;
+    obs::Counter* breaker_reclosed = nullptr;
   };
 
   struct Pending {
@@ -83,6 +104,9 @@ class FrontServer {
     std::uint64_t client_corr = 0;
     std::uint64_t digest = 0;
     int attempts = 0;
+    /// Monotonic (loop clock) expiry stamped from the request's wire
+    /// deadline_s at arrival; 0 = no deadline.
+    double deadline_mono = 0;
     std::string shard;
     std::vector<std::uint8_t> frame;  ///< full frame, corr = front corr
   };
@@ -106,6 +130,10 @@ class FrontServer {
   void connect_upstream(const std::string& name);
   void schedule_reconnect(const std::string& name);
   void arm_probe();
+  /// Feeds one hard outcome into `name`'s breaker and applies any state
+  /// transition: opening withdraws the shard from the ring and reroutes
+  /// its pending work; re-closing restores it.
+  void note_breaker(const std::string& name, bool ok);
   HttpResponse handle_http(const std::string& path);
 
   FrontServerOptions options_;
@@ -114,6 +142,7 @@ class FrontServer {
   obs::Counter* rejected_no_shard_ = nullptr;
   obs::Counter* rejected_overloaded_ = nullptr;
   obs::Counter* rejected_shard_lost_ = nullptr;
+  obs::Counter* rejected_deadline_ = nullptr;
   EventLoop loop_;
   std::unique_ptr<Server> server_;
   std::unique_ptr<HttpServer> http_;

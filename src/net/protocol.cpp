@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/crc32c.hpp"
+
 namespace spx::net {
 
 namespace {
@@ -114,7 +116,7 @@ class WireReader {
     }
     std::vector<T> v(count);
     if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(v.data(), bytes_.data() + pos_, bytes);
+      if (bytes != 0) std::memcpy(v.data(), bytes_.data() + pos_, bytes);
       pos_ += bytes;
     } else {
       for (std::size_t i = 0; i < count; ++i) {
@@ -225,11 +227,15 @@ const char* to_string(NetError e) {
       return "unknown_factor";
     case NetError::Internal:
       return "internal";
+    case NetError::DeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
 }
 
 bool retryable(NetError e) {
+  // DeadlineExceeded is deliberately absent: the work is already late,
+  // so rerouting it would only waste another shard's time.
   return e == NetError::Overloaded || e == NetError::Draining ||
          e == NetError::NoShard || e == NetError::UnknownFactor;
 }
@@ -327,17 +333,38 @@ std::vector<std::uint8_t> encode_empty(FrameType type,
 
 std::vector<std::uint8_t> encode_raw_frame(
     const FrameHeader& header, std::span<const std::uint8_t> payload) {
+  const bool seal = (header.flags & kFlagChecksum) != 0;
+  const std::size_t length =
+      payload.size() + (seal ? kChecksumBytes : std::size_t{0});
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + payload.size());
+  out.reserve(kHeaderBytes + length);
   WireWriter w(out);
   w.u32(kMagic);
   w.u8(header.version);
   w.u8(static_cast<std::uint8_t>(header.type));
   w.u16(header.flags);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(static_cast<std::uint32_t>(length));
   w.u64(header.corr_id);
   out.insert(out.end(), payload.begin(), payload.end());
+  if (seal) w.u32(crc32c(payload.data(), payload.size()));
   return out;
+}
+
+void add_checksum(std::vector<std::uint8_t>& frame) {
+  SPX_CHECK_ARG(frame.size() >= kHeaderBytes,
+                "add_checksum needs an encoded frame");
+  const std::uint32_t crc =
+      crc32c(frame.data() + kHeaderBytes, frame.size() - kHeaderBytes);
+  const std::uint64_t payload = frame.size() - kHeaderBytes + kChecksumBytes;
+  SPX_CHECK_ARG(payload <= 0xffffffffull, "frame payload exceeds 4 GiB");
+  WireWriter w(frame);
+  w.u32(crc);
+  // Header offsets: magic[0,4) version[4] type[5] flags[6,8) length[8,12).
+  frame[6] |= static_cast<std::uint8_t>(kFlagChecksum);
+  for (int i = 0; i < 4; ++i) {
+    frame[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  }
 }
 
 // ---- decode -------------------------------------------------------------
@@ -453,7 +480,8 @@ ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   ErrorFrame f;
   const std::uint32_t code = r.u32();
-  if (code < 1 || code > static_cast<std::uint32_t>(NetError::Internal)) {
+  if (code < 1 ||
+      code > static_cast<std::uint32_t>(NetError::DeadlineExceeded)) {
     throw ProtocolError("unknown NetError code on the wire");
   }
   f.code = static_cast<NetError>(code);
@@ -465,6 +493,28 @@ ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
 std::uint64_t peek_pattern_digest(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   return r.u64();
+}
+
+double peek_deadline(FrameType type, std::span<const std::uint8_t> payload) {
+  if (type != FrameType::FactorizeRequest &&
+      type != FrameType::SolveRequest) {
+    return 0.0;
+  }
+  try {
+    WireReader r(payload);
+    r.u64();        // pattern digest
+    read_trace(r);  // trace context
+    if (type == FrameType::FactorizeRequest) {
+      r.u8();  // factorization kind
+    } else {
+      r.u64();  // factor id
+    }
+    r.str16();  // tenant
+    const double deadline = r.f64();
+    return deadline > 0 ? deadline : 0.0;
+  } catch (const ProtocolError&) {
+    return 0.0;  // the shard's full decode is the authority
+  }
 }
 
 // ---- stream assembly ----------------------------------------------------
@@ -494,8 +544,29 @@ std::optional<FrameParser::Frame> FrameParser::next() {
   if (avail < kHeaderBytes + h.length) return std::nullopt;
   Frame f;
   f.header = h;
+  std::size_t body = h.length;
+  if ((h.flags & kFlagChecksum) != 0) {
+    // The trailer rides inside `length`; verify it over the preceding
+    // payload bytes and strip it, so decoders never see (or trust) a
+    // corrupted body.  The flag stays set in the delivered header, which
+    // lets a proxy know to re-seal when it forwards the bare payload.
+    if (body < kChecksumBytes) {
+      throw ProtocolError("checksummed frame shorter than its trailer");
+    }
+    body -= kChecksumBytes;
+    const std::uint8_t* p = view.data() + kHeaderBytes;
+    std::uint32_t wire = 0;
+    for (int i = 0; i < 4; ++i) {
+      wire |= std::uint32_t(p[body + static_cast<std::size_t>(i)])
+              << (8 * i);
+    }
+    if (crc32c(p, body) != wire) {
+      throw ProtocolError("frame checksum mismatch (corrupted payload)");
+    }
+    f.header.length = static_cast<std::uint32_t>(body);
+  }
   f.payload.assign(view.begin() + kHeaderBytes,
-                   view.begin() + kHeaderBytes + h.length);
+                   view.begin() + kHeaderBytes + body);
   consumed_ += kHeaderBytes + h.length;
   // Compact once the parsed-off prefix dominates, keeping the buffer
   // proportional to the unparsed remainder.

@@ -50,12 +50,22 @@ class ProtocolError : public std::runtime_error {
 inline constexpr std::uint32_t kMagic = 0x57585053u;
 /// Protocol version; a peer speaking a different version gets an Error
 /// frame with code VersionMismatch and the connection is closed.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2 added the optional per-frame CRC32C trailer (kFlagChecksum).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Frame header size on the wire.
 inline constexpr std::size_t kHeaderBytes = 20;
 /// Default ceiling on payload size; larger length fields are rejected
 /// before any allocation (slow-loris / memory-bomb defense).
 inline constexpr std::size_t kDefaultMaxPayload = 256u << 20;
+
+/// Header flag: the payload carries a 4-byte little-endian CRC32C
+/// trailer computed over the payload bytes that precede it (the trailer
+/// is included in `length`).  FrameParser verifies and strips it, so a
+/// flipped bit surfaces as a ProtocolError instead of a decoded frame.
+/// Opt-in per sender (see add_checksum); receivers always understand it.
+inline constexpr std::uint16_t kFlagChecksum = 0x1;
+/// Size of the CRC32C trailer kFlagChecksum announces.
+inline constexpr std::size_t kChecksumBytes = 4;
 
 enum class FrameType : std::uint8_t {
   FactorizeRequest = 1,
@@ -80,6 +90,7 @@ enum class NetError : std::uint32_t {
   NoShard = 6,          ///< front-end has no live shard for the key
   UnknownFactor = 7,    ///< factor id not resident (re-factorize)
   Internal = 8,         ///< unexpected server-side failure
+  DeadlineExceeded = 9,  ///< request deadline passed; retrying is useless
 };
 
 const char* to_string(NetError e);
@@ -169,8 +180,16 @@ std::vector<std::uint8_t> encode_empty(FrameType type,
 /// header fields verbatim (version included; length is taken from the
 /// payload).  The front-end uses it to re-correlate proxied frames
 /// without touching their bodies; tests use it to forge hostile headers.
+/// When `header.flags` has kFlagChecksum set, a fresh CRC32C trailer is
+/// appended (FrameParser strips trailers on receipt, so proxied payloads
+/// arrive here bare and must be re-sealed).
 std::vector<std::uint8_t> encode_raw_frame(
     const FrameHeader& header, std::span<const std::uint8_t> payload);
+
+/// Seals an already-encoded frame with the optional integrity trailer:
+/// appends CRC32C over the payload, sets kFlagChecksum, and fixes up the
+/// header length.  Idempotent-unsafe (do not call twice on one frame).
+void add_checksum(std::vector<std::uint8_t>& frame);
 
 // ---- decode -------------------------------------------------------------
 
@@ -191,6 +210,13 @@ ErrorFrame decode_error(std::span<const std::uint8_t> payload);
 /// Routing key of a request payload without decoding it: the pattern
 /// digest every request type stores in its first 8 bytes.
 std::uint64_t peek_pattern_digest(std::span<const std::uint8_t> payload);
+
+/// Relative deadline of a request payload without decoding the body
+/// (both request layouts keep it in a fixed-offset prefix).  Returns 0
+/// ("no deadline") for non-request frames or a truncated prefix -- the
+/// value is advisory (the shard re-decodes authoritatively), so peeking
+/// never throws.
+double peek_deadline(FrameType type, std::span<const std::uint8_t> payload);
 
 // ---- stream assembly ----------------------------------------------------
 

@@ -91,6 +91,49 @@ void Connection::update_epoll() {
 
 void Connection::send(std::vector<std::uint8_t> frame) {
   if (fd_ < 0) return;
+  if (checksum_ && frame.size() >= kHeaderBytes &&
+      (frame[6] & kFlagChecksum) == 0) {
+    add_checksum(frame);
+  }
+  if (fault_ != nullptr) {
+    switch (fault_->on_wire_frame()) {
+      case FaultAction::DropFrame:
+        return;  // the peer sees nothing; its timeout/retry must cover
+      case FaultAction::TruncateFrame:
+        // A crash mid-send: deliver a prefix, then tear the stream down
+        // (leaving the stream desynced-but-open would wedge the peer's
+        // parser forever, which no real failure produces).
+        frame.resize(kHeaderBytes + (frame.size() - kHeaderBytes) / 2);
+        enqueue(std::move(frame));
+        on_frame_ = nullptr;
+        closing_after_flush_ = true;
+        handle_writable();
+        return;
+      case FaultAction::DelayFrame: {
+        auto self = shared_from_this();
+        loop_.schedule(fault_->plan().stall_seconds,
+                       [self, f = std::move(frame)]() mutable {
+                         if (self->open()) self->enqueue(std::move(f));
+                       });
+        return;
+      }
+      case FaultAction::CorruptFrame:
+        if (frame.size() > kHeaderBytes) {
+          frame[kHeaderBytes + (frame.size() - kHeaderBytes) / 2] ^= 0x40;
+        }
+        break;
+      case FaultAction::AbortConnection:
+        close("injected connection abort");
+        return;
+      default:
+        break;
+    }
+  }
+  enqueue(std::move(frame));
+}
+
+void Connection::enqueue(std::vector<std::uint8_t> frame) {
+  if (fd_ < 0) return;
   write_queue_.push_back(std::move(frame));
   handle_writable();  // opportunistic immediate write
 }
@@ -161,6 +204,9 @@ void Connection::handle_readable() {
       parser_.feed({buf, static_cast<std::size_t>(n)});
       while (auto frame = parser_.next()) {
         SPX_OBS(if (counters_ != nullptr) counters_->frames_read->inc());
+        if ((frame->header.flags & kFlagChecksum) != 0) {
+          checksum_ = true;  // answer a checksumming peer in kind
+        }
         if (on_frame_) {
           on_frame_(*this, frame->header, frame->payload);
         }
@@ -306,6 +352,7 @@ void Server::on_events(std::uint32_t) {
     auto conn = std::make_shared<Connection>(loop_, fd, next_conn_id_++,
                                              options_.max_payload,
                                              counters_);
+    conn->set_fault(options_.fault);
     conn->set_frame_handler(on_frame_);
     conn->set_close_handler(
         [this](Connection& c, const std::string& reason) {

@@ -18,6 +18,7 @@
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 #include "obs/obs.hpp"
+#include "runtime/fault_injection.hpp"
 
 namespace spx::net {
 
@@ -68,6 +69,16 @@ class Connection : public FdHandler,
   void set_frame_handler(FrameCallback cb) { on_frame_ = std::move(cb); }
   void set_close_handler(CloseCallback cb) { on_close_ = std::move(cb); }
 
+  /// Arms deterministic wire faults (FaultAction::DropFrame & friends)
+  /// against this connection's outbound frames; nullptr disarms.  The
+  /// injector must outlive the connection.
+  void set_fault(FaultInjector* fault) { fault_ = fault; }
+  /// Seals outbound frames with the CRC32C trailer.  Also flips on
+  /// automatically when the peer sends a checksummed frame, so a server
+  /// answers in kind without configuration (the negotiation rule).
+  void set_checksum(bool on) { checksum_ = on; }
+  bool checksum() const { return checksum_; }
+
   /// Queues `frame` for writing (loop thread only).
   void send(std::vector<std::uint8_t> frame);
   /// Thread-safe send: hops onto the loop thread first.  Frames posted
@@ -88,11 +99,15 @@ class Connection : public FdHandler,
   void handle_readable();
   void handle_writable();
   void update_epoll();
+  /// Queues a sealed frame verbatim (the post-fault tail of send()).
+  void enqueue(std::vector<std::uint8_t> frame);
 
   EventLoop& loop_;
   int fd_ = -1;
   const std::uint64_t id_;
   NetCounters* counters_;
+  FaultInjector* fault_ = nullptr;
+  bool checksum_ = false;
   FrameParser parser_;
   FrameCallback on_frame_;
   CloseCallback on_close_;
@@ -112,6 +127,9 @@ struct ServerOptions {
   /// disables the timeout.
   double idle_timeout_s = 0;
   std::size_t max_payload = kDefaultMaxPayload;
+  /// Optional wire-fault injector shared by every accepted connection
+  /// (chaos tests); must outlive the server when set.
+  FaultInjector* fault = nullptr;
 };
 
 /// Listening socket: accepts nonblocking connections, owns them until

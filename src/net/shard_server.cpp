@@ -1,13 +1,40 @@
 #include "net/shard_server.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/log.hpp"
 #include "obs/export.hpp"
 
 namespace spx::net {
 
 using service::FactorizeResult;
 using service::SolveResult;
+
+namespace {
+
+/// FNV-1a fingerprint of a request's content: what makes two wire
+/// requests "the same work" for dedup purposes.
+std::uint64_t fingerprint(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                          const std::string& tenant) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  fold(a);
+  fold(b);
+  fold(c);
+  for (const char ch : tenant) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 ShardServer::ShardServer(ShardServerOptions options)
     : options_(std::move(options)),
@@ -19,7 +46,21 @@ ShardServer::ShardServer(ShardServerOptions options)
                                         "Protocol requests dispatched");
   rpc_errors_ = &registry_->counter(
       "spx_rpc_errors_total", "Protocol requests answered with Error frames");
+  warm_hits_ = &registry_->counter(
+      "spx_shard_warm_hits_total",
+      "Factorize requests served from restored/remembered factors");
+  dedup_hits_ = &registry_->counter(
+      "spx_shard_dedup_hits_total",
+      "Requests answered by correlation-id dedup (replayed or coalesced)");
+  snap_loaded_ = &registry_->counter("spx_shard_snapshots_loaded_total",
+                                     "Factor snapshots restored on startup");
+  snap_saved_ = &registry_->counter("spx_shard_snapshots_saved_total",
+                                    "Factor snapshots enqueued for writing");
   service_ = std::make_unique<service::SolveService>(options_.service);
+  // Replay runs before the listener exists: the registry and warm index
+  // are still single-threaded here, and the first client to connect
+  // already sees every recovered factor.
+  if (!options_.persist_dir.empty()) replay_snapshots();
 
   ServerOptions sopts;
   sopts.bind = options_.bind;
@@ -138,31 +179,72 @@ void ShardServer::handle_factorize(Connection& conn, std::uint64_t corr,
     conn.send_error_and_close(corr, NetError::Malformed, e.what());
     return;
   }
+  // Content identity: pattern digest + value hash + kind.  Drives both
+  // the warm index (identical inputs => identical factors) and dedup.
+  const std::uint64_t digest = pattern_digest(*req.matrix);
+  const std::uint64_t vhash = persist::value_hash(req.matrix->values());
+  const std::uint64_t fp = fingerprint(
+      digest, vhash, static_cast<std::uint64_t>(req.kind), req.tenant);
+  if (dedup_admit(conn, corr, fp)) return;
+  const DedupKey key{corr, fp};
+  const WarmKey wkey{digest, vhash, static_cast<std::uint8_t>(req.kind)};
+  // The warm index exists only under persistence: without snapshots a
+  // repeat factorize runs normally (callers may rely on fresh stats).
+  if (const auto wit = warm_.find(wkey);
+      store_ != nullptr && wit != warm_.end()) {
+    if (find_factor(wit->second) != nullptr) {
+      // Restored (or remembered) factor for this exact input: answer
+      // without a single flop of numeric work.
+      SPX_OBS(warm_hits_->inc());
+      FactorizeResponseFrame out;
+      out.status = static_cast<std::uint8_t>(service::RequestStatus::Done);
+      out.code = static_cast<std::uint8_t>(service::ErrorCode::None);
+      out.degraded = false;
+      out.factor_id = wit->second;
+      out.shard = options_.name;
+      out.stats_json = "{\"warm\":true}";
+      dedup_finish(key, encode_factorize_response(corr, out), true);
+      return;
+    }
+    warm_.erase(wit);  // factor was LRU-evicted; recompute below
+    warm_count_.store(warm_.size(), std::memory_order_release);
+  }
   const obs::SpanContext wire_parent{req.trace.trace_id,
                                      req.trace.parent_span};
   obs::ScopedSpan dispatch;
   SPX_OBS(dispatch = obs::ScopedSpan(tracer_, "rpc.dispatch", "net-",
                                      wire_parent, 0,
                                      static_cast<std::int64_t>(corr)));
-  auto wconn = std::weak_ptr<Connection>(
-      std::static_pointer_cast<Connection>(conn.shared_from_this()));
   auto ticket = std::make_shared<service::Ticket<FactorizeResult>>();
   // on_complete fires on a worker (or this) thread right after the result
   // promise resolves; the posted lambda runs on the loop thread strictly
-  // after *ticket below is assigned, so get() never blocks.
-  auto finalize = [this, ticket, corr, wconn] {
+  // after *ticket below is assigned, so get() never blocks.  Responses --
+  // to the requester and to any deduped failover retries -- go through
+  // the dedup entry's waiter list.
+  auto finalize = [this, ticket, corr, key, wkey] {
     const FactorizeResult res = ticket->get();
     FactorizeResponseFrame out;
     out.status = static_cast<std::uint8_t>(res.status);
     out.code = static_cast<std::uint8_t>(res.code);
     out.degraded = res.stats.degraded;
-    if (res.ok()) out.factor_id = register_factor(res.factor);
+    if (res.ok()) {
+      out.factor_id = register_factor(res.factor);
+      if (store_ != nullptr) {
+        warm_[wkey] = out.factor_id;
+        warm_count_.store(warm_.size(), std::memory_order_release);
+        if (!res.stats.degraded) {
+          persist_factor(wkey.digest, wkey.vhash,
+                         static_cast<Factorization>(wkey.kind), out.factor_id,
+                         *res.factor);
+        }
+      }
+    }
     out.shard = options_.name;
     out.error = res.error;
     out.stats_json = res.stats.to_json().dump();
-    if (ConnectionPtr c = wconn.lock(); c != nullptr && c->open()) {
-      c->send(encode_factorize_response(corr, out));
-    }
+    // Cache only successes: a failed attempt must stay retryable on this
+    // shard (e.g. after an injected fault or a transient overload).
+    dedup_finish(key, encode_factorize_response(corr, out), res.ok());
   };
   const obs::SpanContext trace =
       dispatch.active() ? dispatch.context() : wire_parent;
@@ -194,16 +276,19 @@ void ShardServer::handle_solve(Connection& conn, std::uint64_t corr,
                                " is not resident on this shard"));
     return;
   }
+  const std::uint64_t fp = fingerprint(
+      req.factor_id, persist::value_hash(req.rhs),
+      static_cast<std::uint64_t>(FrameType::SolveRequest), req.tenant);
+  if (dedup_admit(conn, corr, fp)) return;
+  const DedupKey key{corr, fp};
   const obs::SpanContext wire_parent{req.trace.trace_id,
                                      req.trace.parent_span};
   obs::ScopedSpan dispatch;
   SPX_OBS(dispatch = obs::ScopedSpan(tracer_, "rpc.dispatch", "net-",
                                      wire_parent, 0,
                                      static_cast<std::int64_t>(corr)));
-  auto wconn = std::weak_ptr<Connection>(
-      std::static_pointer_cast<Connection>(conn.shared_from_this()));
   auto ticket = std::make_shared<service::Ticket<SolveResult>>();
-  auto finalize = [this, ticket, corr, wconn] {
+  auto finalize = [this, ticket, corr, key] {
     const SolveResult res = ticket->get();
     SolveResponseFrame out;
     out.status = static_cast<std::uint8_t>(res.status);
@@ -213,9 +298,7 @@ void ShardServer::handle_solve(Connection& conn, std::uint64_t corr,
     out.error = res.error;
     out.stats_json = res.stats.to_json().dump();
     out.x = res.x;
-    if (ConnectionPtr c = wconn.lock(); c != nullptr && c->open()) {
-      c->send(encode_solve_response(corr, out));
-    }
+    dedup_finish(key, encode_solve_response(corr, out), res.ok());
   };
   const obs::SpanContext trace =
       dispatch.active() ? dispatch.context() : wire_parent;
@@ -226,7 +309,8 @@ void ShardServer::handle_solve(Connection& conn, std::uint64_t corr,
   } catch (const InvalidArgument& e) {
     // rhs size / factor mismatch: a caller bug, answered (not a drop).
     SPX_OBS(rpc_errors_->inc());
-    conn.send(encode_error(corr, NetError::Malformed, e.what()));
+    dedup_finish(key, encode_error(corr, NetError::Malformed, e.what()),
+                 false);
   }
 }
 
@@ -242,11 +326,126 @@ std::uint64_t ShardServer::register_factor(service::FactorHandle factor) {
   return id;
 }
 
+void ShardServer::register_factor_as(std::uint64_t id,
+                                     service::FactorHandle factor) {
+  if (id == 0 || factors_.find(id) != factors_.end()) return;
+  lru_.push_front(id);
+  factors_.emplace(id, FactorEntry{std::move(factor), lru_.begin()});
+  next_factor_id_ = std::max(next_factor_id_, id + 1);
+  while (factors_.size() > options_.max_factors && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    factors_.erase(victim);
+  }
+}
+
 service::FactorHandle ShardServer::find_factor(std::uint64_t id) {
   const auto it = factors_.find(id);
   if (it == factors_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
   return it->second.factor;
+}
+
+void ShardServer::replay_snapshots() {
+  persist::FactorStoreOptions po;
+  po.dir = options_.persist_dir;
+  po.min_interval_s = options_.persist_interval_s;
+  store_ = std::make_unique<persist::FactorStore>(std::move(po));
+  for (persist::LoadedSnapshot& loaded : store_->load_all()) {
+    persist::FactorSnapshot& sn = loaded.snap;
+    try {
+      Solver<real_t> solver(options_.service.solver);
+      solver.adopt_analysis(sn.analysis, sn.pattern_digest);
+      solver.restore_factors(sn.kind, sn.lval, sn.uval, sn.dval, sn.quality);
+      service::FactorHandle handle = service_->adopt_factor(std::move(solver));
+      if (sn.factor_id == 0) sn.factor_id = next_factor_id_;
+      register_factor_as(sn.factor_id, std::move(handle));
+      warm_[WarmKey{sn.pattern_digest, sn.value_hash,
+                    static_cast<std::uint8_t>(sn.kind)}] = sn.factor_id;
+      SPX_OBS(snap_loaded_->inc());
+      logf(LogLevel::Info, "persist: %s warmed factor %llu from %s",
+           options_.name.c_str(),
+           static_cast<unsigned long long>(sn.factor_id),
+           loaded.path.c_str());
+    } catch (const std::exception& e) {
+      // Restoring must never take the shard down: worst case is a cold
+      // start for this pattern.
+      logf(LogLevel::Warn, "persist: cannot restore %s: %s",
+           loaded.path.c_str(), e.what());
+    }
+  }
+  warm_count_.store(warm_.size(), std::memory_order_release);
+}
+
+void ShardServer::persist_factor(std::uint64_t digest, std::uint64_t vhash,
+                                 Factorization kind, std::uint64_t factor_id,
+                                 const service::Factor& factor) {
+  const Solver<real_t>& solver = factor.solver();
+  const FactorData<real_t>& fd = solver.factor_data();
+  persist::FactorSnapshot snap;
+  snap.pattern_digest = digest;
+  snap.value_hash = vhash;
+  snap.kind = kind;
+  snap.factor_id = factor_id;
+  snap.analysis = solver.analysis_shared();
+  snap.quality = fd.quality();
+  snap.lval.assign(fd.lvalues().begin(), fd.lvalues().end());
+  snap.uval.assign(fd.uvalues().begin(), fd.uvalues().end());
+  snap.dval.assign(fd.dvalues().begin(), fd.dvalues().end());
+  if (store_->save(std::move(snap))) SPX_OBS(snap_saved_->inc());
+}
+
+bool ShardServer::dedup_admit(Connection& conn, std::uint64_t corr,
+                              std::uint64_t fp) {
+  const DedupKey key{corr, fp};
+  const auto it = dedup_.find(key);
+  if (it == dedup_.end()) {
+    // First sighting: the requester becomes the entry's first waiter and
+    // the caller proceeds to execute.
+    DedupEntry e;
+    e.waiters.emplace_back(
+        std::static_pointer_cast<Connection>(conn.shared_from_this()), corr);
+    dedup_.emplace(key, std::move(e));
+    return false;
+  }
+  SPX_OBS(dedup_hits_->inc());
+  if (it->second.done) {
+    // Failover retry of acknowledged work: replay the stored response
+    // (same corr id -- it is part of the key) without re-executing.
+    dedup_lru_.splice(dedup_lru_.begin(), dedup_lru_, it->second.lru);
+    conn.send(it->second.response);
+    return true;
+  }
+  // The original is still executing; park this connection on it.
+  it->second.waiters.emplace_back(
+      std::static_pointer_cast<Connection>(conn.shared_from_this()), corr);
+  return true;
+}
+
+void ShardServer::dedup_finish(const DedupKey& key,
+                               const std::vector<std::uint8_t>& resp,
+                               bool cache) {
+  const auto it = dedup_.find(key);
+  if (it == dedup_.end()) return;
+  for (auto& [wconn, corr] : it->second.waiters) {
+    (void)corr;  // same corr for every waiter: it is part of the key
+    if (ConnectionPtr c = wconn.lock(); c != nullptr && c->open()) {
+      c->send(resp);
+    }
+  }
+  it->second.waiters.clear();
+  if (!cache || options_.dedup_capacity == 0) {
+    dedup_.erase(it);
+    return;
+  }
+  it->second.done = true;
+  it->second.response = resp;
+  dedup_lru_.push_front(key);
+  it->second.lru = dedup_lru_.begin();
+  while (dedup_lru_.size() > options_.dedup_capacity) {
+    dedup_.erase(dedup_lru_.back());
+    dedup_lru_.pop_back();
+  }
 }
 
 HttpResponse ShardServer::handle_http(const std::string& path) {
@@ -258,7 +457,12 @@ HttpResponse ShardServer::handle_http(const std::string& path) {
   }
   if (path == "/readyz") {
     if (draining()) return {503, "text/plain", "draining\n"};
-    return {200, "text/plain", "ready\n"};
+    // warm = factors recovered or remembered and still resident; a
+    // restarted shard advertises its head start here.
+    return {200, "text/plain",
+            "ready warm=" +
+                std::to_string(warm_count_.load(std::memory_order_acquire)) +
+                "\n"};
   }
   if (path == "/metrics") {
     HttpResponse r;

@@ -1,0 +1,173 @@
+#include "persist/factor_store.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace spx::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* kind_slug(Factorization kind) {
+  switch (kind) {
+    case Factorization::LLT:
+      return "llt";
+    case Factorization::LDLT:
+      return "ldlt";
+    case Factorization::LU:
+      return "lu";
+  }
+  return "unknown";
+}
+
+/// Rate-limit key: digest mixed with the kind (two kinds of the same
+/// pattern are independent snapshots).
+std::uint64_t limit_key(std::uint64_t digest, Factorization kind) {
+  return digest * 3u + static_cast<std::uint64_t>(kind);
+}
+
+}  // namespace
+
+FactorStore::FactorStore(FactorStoreOptions options)
+    : options_(std::move(options)) {
+  SPX_CHECK_ARG(!options_.dir.empty(), "FactorStore needs a directory");
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    logf(LogLevel::Warn, "persist: cannot create %s: %s (writes will fail)",
+         options_.dir.c_str(), ec.message().c_str());
+  }
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+FactorStore::~FactorStore() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+std::string FactorStore::path_for(std::uint64_t digest,
+                                  Factorization kind) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%016llx-%s.spxsnap",
+                static_cast<unsigned long long>(digest), kind_slug(kind));
+  return (fs::path(options_.dir) / name).string();
+}
+
+bool FactorStore::save(FactorSnapshot snap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_) return false;
+  const std::uint64_t key = limit_key(snap.pattern_digest, snap.kind);
+  const double now = steady_seconds();
+  auto it = last_save_.find(key);
+  if (it != last_save_.end() && now - it->second < options_.min_interval_s) {
+    ++rate_limited_;
+    return false;
+  }
+  last_save_[key] = now;
+  queue_.push_back(std::move(snap));
+  cv_.notify_one();
+  return true;
+}
+
+void FactorStore::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void FactorStore::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ with a drained queue
+    FactorSnapshot snap = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    write_one(snap);
+    lock.lock();
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void FactorStore::write_one(const FactorSnapshot& snap) {
+  const std::string path = path_for(snap.pattern_digest, snap.kind);
+  const std::string tmp = path + ".tmp";
+  try {
+    const std::vector<std::uint8_t> bytes = encode_snapshot(snap);
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + tmp);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      out.flush();
+      if (!out) throw std::runtime_error("short write to " + tmp);
+    }
+    // rename(2) is atomic within a filesystem: readers see either the
+    // old snapshot or the new one, never a torn file.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error(std::string("rename: ") + std::strerror(errno));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++writes_;
+  } catch (const std::exception& e) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    logf(LogLevel::Warn, "persist: writing %s failed: %s", path.c_str(),
+         e.what());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++write_errors_;
+  }
+}
+
+std::vector<LoadedSnapshot> FactorStore::load_all() {
+  std::vector<LoadedSnapshot> out;
+  std::error_code ec;
+  fs::directory_iterator it(options_.dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".spxsnap") continue;
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      logf(LogLevel::Warn, "persist: cannot read %s, skipping",
+           p.string().c_str());
+      continue;
+    }
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    try {
+      LoadedSnapshot loaded;
+      loaded.snap = decode_snapshot(bytes);
+      loaded.path = p.string();
+      out.push_back(std::move(loaded));
+    } catch (const SnapshotError& e) {
+      // Cold start for this pattern; a corrupt snapshot must never
+      // crash the shard or warm a wrong factor.
+      logf(LogLevel::Warn, "persist: rejecting %s: %s", p.string().c_str(),
+           e.what());
+    }
+  }
+  return out;
+}
+
+}  // namespace spx::persist

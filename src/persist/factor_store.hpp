@@ -1,0 +1,95 @@
+// Durable factor store: asynchronous, rate-limited snapshot writer plus
+// a startup loader, backed by one directory of `<digest>-<kind>.spxsnap`
+// files (format: persist/snapshot.hpp).
+//
+// Writes happen on a dedicated background thread so the shard's event
+// loop never blocks on disk: save() enqueues a deep-ish copy (the value
+// arrays move in from the caller's staging copy; the Analysis is shared,
+// immutable state) and returns.  Each key is rate-limited -- a pattern
+// being refactorized in a tight loop rewrites its snapshot at most once
+// per `min_interval_s` -- and every write is crash-atomic: the bytes go
+// to a `.tmp` sibling first, then ::rename() into place, so a reader
+// never observes a half-written file and a crash mid-write leaves the
+// previous snapshot intact.
+//
+// load_all() is deliberately forgiving: a file that fails to decode
+// (truncated, bit-flipped, version-skewed) is logged and skipped -- the
+// shard starts cold for that pattern instead of crashing.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "persist/snapshot.hpp"
+
+namespace spx::persist {
+
+struct FactorStoreOptions {
+  /// Directory holding the snapshot files; created if missing.
+  std::string dir;
+  /// Minimum seconds between two writes of the same (digest, kind) key;
+  /// rewrites arriving sooner are dropped (counted, not queued).
+  double min_interval_s = 5.0;
+};
+
+/// One recovered snapshot plus where it came from (for logging).
+struct LoadedSnapshot {
+  FactorSnapshot snap;
+  std::string path;
+};
+
+class FactorStore {
+ public:
+  explicit FactorStore(FactorStoreOptions options);
+  ~FactorStore();
+
+  FactorStore(const FactorStore&) = delete;
+  FactorStore& operator=(const FactorStore&) = delete;
+
+  /// Enqueues an asynchronous write of `snap` (moved from).  Returns
+  /// false when the key was written less than min_interval_s ago and the
+  /// request was dropped.  Thread-safe.
+  bool save(FactorSnapshot snap);
+
+  /// Reads every *.spxsnap file in the directory, skipping (with a
+  /// warning) any that fail to decode.  Call before serving traffic;
+  /// does not race the writer thread because nothing has been saved yet.
+  std::vector<LoadedSnapshot> load_all();
+
+  /// Blocks until every enqueued write has hit the filesystem (tests).
+  void flush();
+
+  /// Snapshot path for a key, e.g. "<dir>/0000000012345678-llt.spxsnap".
+  std::string path_for(std::uint64_t digest, Factorization kind) const;
+
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t write_errors() const { return write_errors_; }
+  std::uint64_t rate_limited() const { return rate_limited_; }
+
+ private:
+  void writer_loop();
+  void write_one(const FactorSnapshot& snap);
+
+  FactorStoreOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<FactorSnapshot> queue_;
+  /// steady-clock seconds of the last accepted save per (digest, kind).
+  std::unordered_map<std::uint64_t, double> last_save_;
+  bool stop_ = false;
+  bool busy_ = false;
+  std::uint64_t writes_ = 0;
+  std::uint64_t write_errors_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace spx::persist

@@ -1,0 +1,73 @@
+// Versioned, checksummed on-disk snapshot of one completed factorization:
+// the full Analysis (ordering + block symbolic structure) plus the
+// numerical factor arrays, keyed by (pattern digest, value hash, kind).
+//
+// The analyze-once/factor-many structure (paper §III) makes this state
+// deterministic and perfectly reusable across process restarts: a shard
+// that replays its snapshots on startup serves warm factorize hits (and
+// solves against pre-crash factor ids) without redoing a single flop.
+//
+// Format (everything little-endian, like the wire protocol):
+//   magic   u32  'S''P''X''S'
+//   version u32  kSnapshotVersion
+//   length  u64  body bytes that follow the checksum field
+//   crc     u32  CRC32C over the body
+//   body         digest, value hash, kind, factor id, Analysis, quality,
+//                L/U/D value arrays (layout in snapshot.cpp)
+// A truncated file, flipped bit, or version skew fails decode_snapshot
+// with SnapshotError -- the loader skips the file and starts cold; a
+// corrupt snapshot must never crash or silently warm a wrong factor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/factor_quality.hpp"
+#include "core/analysis.hpp"
+
+namespace spx::persist {
+
+/// Thrown by decode_snapshot on any malformed, truncated, corrupt, or
+/// version-skewed input.  Loaders treat it as "this file does not exist".
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Snapshot file magic: the bytes 'S' 'P' 'X' 'S' in order.
+inline constexpr std::uint32_t kSnapshotMagic = 0x53585053u;
+/// Bumped on any layout change; a mismatch rejects the file (cold start).
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Fixed prefix before the body: magic + version + length + crc.
+inline constexpr std::size_t kSnapshotHeaderBytes = 20;
+
+/// One factorization's persistent state, in memory.
+struct FactorSnapshot {
+  std::uint64_t pattern_digest = 0;  ///< routing/cache key of the pattern
+  std::uint64_t value_hash = 0;      ///< FNV-1a over the matrix value bytes
+  Factorization kind = Factorization::LLT;
+  std::uint64_t factor_id = 0;  ///< shard-assigned id (stable across restart)
+  std::shared_ptr<const Analysis> analysis;
+  FactorQuality quality;
+  std::vector<real_t> lval;
+  std::vector<real_t> uval;  ///< LU only
+  std::vector<real_t> dval;  ///< LDLT only
+};
+
+/// Endian-stable FNV-1a over a value array's bytes: distinguishes two
+/// matrices sharing a pattern but carrying different values (a warm hit
+/// must reproduce the factorization bit-for-bit, so values must match).
+std::uint64_t value_hash(std::span<const real_t> values);
+
+/// Serializes a snapshot (header + checksummed body), ready to write.
+std::vector<std::uint8_t> encode_snapshot(const FactorSnapshot& snap);
+
+/// Parses and validates a snapshot file image.  Throws SnapshotError on
+/// bad magic, version skew, truncation, checksum mismatch, or an
+/// Analysis that fails structural validation.
+FactorSnapshot decode_snapshot(std::span<const std::uint8_t> bytes);
+
+}  // namespace spx::persist

@@ -30,8 +30,26 @@ const char* to_string(FaultAction a) {
     case FaultAction::CorruptPivot: return "corrupt-pivot";
     case FaultAction::AllocFail: return "alloc-fail";
     case FaultAction::StallTransfer: return "stall-transfer";
+    case FaultAction::DropFrame: return "drop-frame";
+    case FaultAction::TruncateFrame: return "truncate-frame";
+    case FaultAction::DelayFrame: return "delay-frame";
+    case FaultAction::CorruptFrame: return "corrupt-frame";
+    case FaultAction::AbortConnection: return "abort-connection";
   }
   return "?";
+}
+
+bool is_wire_fault(FaultAction a) {
+  switch (a) {
+    case FaultAction::DropFrame:
+    case FaultAction::TruncateFrame:
+    case FaultAction::DelayFrame:
+    case FaultAction::CorruptFrame:
+    case FaultAction::AbortConnection:
+      return true;
+    default:
+      return false;
+  }
 }
 
 namespace {
@@ -79,12 +97,20 @@ bool FaultInjector::on_task_start() {
       fired_.fetch_add(1, std::memory_order_relaxed);
       count_fired(plan_.action);
       return true;
-    case FaultAction::None:
-    case FaultAction::AllocFail:
-    case FaultAction::StallTransfer:
+    default:
       return false;
   }
-  return false;
+}
+
+FaultAction FaultInjector::on_wire_frame() {
+  const std::uint64_t ord =
+      wire_frames_.fetch_add(1, std::memory_order_relaxed);
+  if (!is_wire_fault(plan_.action) || ord != plan_.victim) {
+    return FaultAction::None;
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  count_fired(plan_.action);
+  return plan_.action;
 }
 
 void FaultInjector::on_transfer_start() {

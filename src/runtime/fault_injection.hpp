@@ -19,7 +19,9 @@
 
 namespace spx {
 
-/// What the armed fault does when its victim task starts.
+/// What the armed fault does when its victim task starts.  The Wire*
+/// actions target the Nth outbound protocol frame instead (their own
+/// ordinal stream, consumed by net::Connection / net::BlockingClient).
 enum class FaultAction {
   None,           ///< disarmed
   Throw,          ///< task throws InjectedFault
@@ -27,7 +29,15 @@ enum class FaultAction {
   CorruptPivot,   ///< task zeroes its target panel's leading pivot
   AllocFail,      ///< FactorData allocation throws std::bad_alloc
   StallTransfer,  ///< Nth staging transfer sleeps stall_seconds first
+  DropFrame,      ///< Nth outbound frame silently vanishes
+  TruncateFrame,  ///< Nth frame sends a prefix, then the socket closes
+  DelayFrame,     ///< Nth frame is held stall_seconds before sending
+  CorruptFrame,   ///< Nth frame has one payload byte flipped
+  AbortConnection,  ///< connection closes instead of sending the Nth frame
 };
+
+/// True for the actions that fire on the wire-frame ordinal stream.
+bool is_wire_fault(FaultAction a);
 
 const char* to_string(FaultAction a);
 
@@ -78,9 +88,21 @@ class FaultInjector : public AllocationHook {
   /// stress-ordered deterministically.
   void on_transfer_start();
 
+  /// Called by network endpoints as each outbound frame is about to be
+  /// written (its own ordinal stream).  Returns the armed wire action
+  /// when this frame is the victim, FaultAction::None otherwise; the
+  /// caller applies the drop/truncate/delay/corrupt/abort semantics
+  /// (the injector only decides and counts, so it stays I/O-free).
+  FaultAction on_wire_frame();
+
   /// Transfers started since the last rearm.
   std::uint64_t transfers_started() const {
     return transfers_started_.load(std::memory_order_relaxed);
+  }
+
+  /// Outbound frames offered to on_wire_frame since the last rearm.
+  std::uint64_t wire_frames() const {
+    return wire_frames_.load(std::memory_order_relaxed);
   }
 
   /// Tasks started since the last reset (== the next victim ordinal).
@@ -98,16 +120,19 @@ class FaultInjector : public AllocationHook {
     plan_ = plan;
     started_.store(0, std::memory_order_relaxed);
     transfers_started_.store(0, std::memory_order_relaxed);
+    wire_frames_.store(0, std::memory_order_relaxed);
   }
   void rearm() {
     started_.store(0, std::memory_order_relaxed);
     transfers_started_.store(0, std::memory_order_relaxed);
+    wire_frames_.store(0, std::memory_order_relaxed);
   }
 
  private:
   FaultPlan plan_;
   std::atomic<std::uint64_t> started_{0};
   std::atomic<std::uint64_t> transfers_started_{0};
+  std::atomic<std::uint64_t> wire_frames_{0};
   std::atomic<int> fired_{0};
 };
 

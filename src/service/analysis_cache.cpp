@@ -120,6 +120,19 @@ std::shared_ptr<const Analysis> AnalysisCache::get_or_compute(
   return analysis;
 }
 
+void AnalysisCache::insert(const PatternKey& key,
+                           std::shared_ptr<const Analysis> analysis) {
+  if (!enabled() || analysis == nullptr) return;
+  const std::size_t bytes = analysis_bytes(*analysis);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.find(key) != map_.end()) return;
+  lru_.push_front(Entry{key, std::move(analysis), bytes});
+  map_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  evict_over_budget_locked();
+  update_gauges_locked();
+}
+
 AnalysisCacheStats AnalysisCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -44,6 +44,11 @@ class AnalysisCache {
       const PatternKey& key, const std::function<Analysis()>& compute,
       CacheOutcome* outcome = nullptr);
 
+  /// Seeds the cache with an already-computed analysis (the shard's
+  /// snapshot-replay warm path).  No-op when the key is already resident
+  /// or the cache is disabled; counts as neither hit nor miss.
+  void insert(const PatternKey& key, std::shared_ptr<const Analysis> analysis);
+
   bool enabled() const { return max_bytes_ > 0; }
   std::size_t max_bytes() const { return max_bytes_; }
   AnalysisCacheStats stats() const;

@@ -444,6 +444,21 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
   }
 }
 
+FactorHandle SolveService::adopt_factor(Solver<real_t> solver) {
+  SPX_CHECK_ARG(solver.factorized(),
+                "adopt_factor needs a factorized solver");
+  // Seed the pattern cache so a later factorize of this pattern skips
+  // the symbolic phase even though this factor bypassed the request path.
+  std::shared_ptr<const Analysis> analysis = solver.analysis_shared();
+  const PatternKey key{analysis->perm.size(),
+                       static_cast<size_type>(analysis->nnz_a),
+                       solver.pattern_digest()};
+  cache_.insert(key, std::move(analysis));
+  auto factor = std::make_shared<Factor>();
+  factor->solver_ = std::move(solver);
+  return factor;
+}
+
 bool SolveService::drain(double timeout_s) {
   draining_.store(true, std::memory_order_release);
   std::unique_lock<std::mutex> lock(drain_mutex_);

@@ -212,6 +212,16 @@ class SolveService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Wraps an externally restored solver (snapshot replay) in a
+  /// FactorHandle servable by submit_solve, bypassing the request path.
+  /// The solver must be factorized; its analysis is also seeded into the
+  /// pattern cache so later factorizes of the same pattern skip the
+  /// symbolic phase.  Throws InvalidArgument on an unfactorized solver.
+  FactorHandle adopt_factor(Solver<real_t> solver);
+
+  /// The pattern-keyed analysis cache (snapshot replay seeds it).
+  AnalysisCache& cache() { return cache_; }
+
   /// Graceful drain (SIGTERM path): new submits are Rejected("service
   /// draining"), while every already-admitted request -- queued or
   /// running -- completes normally.  Blocks until the service is empty or

@@ -1,0 +1,551 @@
+// ChaosStress: crash-tolerance sweep for the serving layer.
+//
+// Three phases, each gated hard (any violation fails the run):
+//
+//   A. Wire chaos -- a seed sweep of deterministic socket faults (drop,
+//      truncate, delay, corrupt, abort) against an in-process shard with
+//      frame checksums on.  Gates: every run terminates (watchdog), a
+//      corrupted frame is never decoded as a request, every response the
+//      client *acked* (saw status Done for) stays servable afterwards,
+//      and the shard survives to serve a clean client.
+//
+//   B. Process chaos -- spx_shard x2 (each with a persist dir) behind
+//      spx_front, SIGKILLed and restarted under mixed traffic across a
+//      seed sweep.  Gates: zero lost acknowledged requests, the victim's
+//      circuit breaker is observed opening and re-closing via /metrics,
+//      the restarted shard replays its snapshots (/readyz reports warm
+//      entries) and serves repeats warm (spx_shard_warm_hits_total > 0,
+//      i.e. the hit rate recovers instead of re-factorizing from cold).
+//
+//   C. Corruption -- every snapshot in a persist dir gets a flipped
+//      byte; the shard must come up cold (warm=0) without crashing and
+//      still serve.
+//
+// Registered in ctest as `ChaosStress` running `--smoke`; the full sweep
+// (no flag) is the soak configuration.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <functional>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mat/generators.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/shard_server.hpp"
+#include "runtime/fault_injection.hpp"
+
+#ifndef SPX_SHARD_BIN
+#define SPX_SHARD_BIN "spx_shard"
+#endif
+#ifndef SPX_FRONT_BIN
+#define SPX_FRONT_BIN "spx_front"
+#endif
+
+namespace {
+
+using namespace spx;
+namespace fs = std::filesystem;
+
+int g_failures = 0;
+
+void check(bool ok, const char* phase, std::uint64_t seed,
+           const std::string& what) {
+  if (ok) return;
+  ++g_failures;
+  std::fprintf(stderr, "FAIL [%s seed=%llu]: %s\n", phase,
+               static_cast<unsigned long long>(seed), what.c_str());
+}
+
+std::vector<real_t> ones_rhs(const CscMatrix<real_t>& a) {
+  return std::vector<real_t>(static_cast<std::size_t>(a.ncols()), 1.0);
+}
+
+// ---- phase A: wire chaos ------------------------------------------------
+
+void wire_chaos_seed(net::ShardServer& shard,
+                     const std::vector<CscMatrix<real_t>>& mats,
+                     std::uint64_t seed) {
+  static const FaultAction kWire[] = {
+      FaultAction::DropFrame, FaultAction::TruncateFrame,
+      FaultAction::DelayFrame, FaultAction::CorruptFrame,
+      FaultAction::AbortConnection};
+  const FaultAction action = kWire[seed % (sizeof(kWire) / sizeof(*kWire))];
+  FaultInjector fault(FaultPlan{action, seed % 5, 0.002});
+
+  net::BlockingClient c;
+  c.connect("127.0.0.1", shard.port(), /*timeout_s=*/0.5);
+  c.set_checksum(true);
+  c.set_fault(&fault);
+
+  // Acked work: (matrix index, factor id) pairs the client saw Done for.
+  std::vector<std::pair<std::size_t, std::uint64_t>> acked;
+  const int requests = 6;
+  for (int i = 0; i < requests; ++i) {
+    const std::size_t mi = (seed + std::uint64_t(i)) % mats.size();
+    try {
+      const auto fr = c.factorize("chaos", mats[mi], Factorization::LLT);
+      if (fr.status == 0) acked.emplace_back(mi, fr.factor_id);
+    } catch (const std::exception&) {
+      // The injected fault broke this connection; a real client
+      // reconnects and retries.  Nothing was acked, so nothing is owed.
+      try {
+        c.connect("127.0.0.1", shard.port(), 0.5);
+        c.set_checksum(true);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+
+  // Every acknowledged factorize must still be servable: acked work is
+  // durable against whatever the wire did around it.
+  net::BlockingClient clean;
+  clean.connect("127.0.0.1", shard.port());
+  for (const auto& [mi, factor_id] : acked) {
+    const auto sr = clean.solve("chaos", pattern_digest(mats[mi]), factor_id,
+                                ones_rhs(mats[mi]));
+    check(sr.status == 0, "wire", seed,
+          "acked factor " + std::to_string(factor_id) +
+              " no longer solvable: " + sr.error);
+  }
+  // And the shard itself took no damage.
+  const auto fr = clean.factorize("chaos", mats[seed % mats.size()],
+                                  Factorization::LLT);
+  check(fr.status == 0, "wire", seed,
+        "shard unhealthy after wire faults: " + fr.error);
+}
+
+// ---- phase B/C helpers: child processes ---------------------------------
+
+struct ChildProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::uint16_t http_port = 0;
+  std::string name;
+};
+
+ChildProc spawn_with_ports(const char* bin, std::string name,
+                           std::vector<std::string> args) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  args.insert(args.begin(), bin);
+  args.push_back("--print-ports");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(bin, argv.data());
+    std::fprintf(stderr, "execv(%s): %s\n", bin, std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  std::string line;
+  char ch;
+  while (::read(fds[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  ::close(fds[0]);
+  ChildProc p;
+  p.pid = pid;
+  p.name = std::move(name);
+  if (std::sscanf(line.c_str(), "%hu %hu", &p.port, &p.http_port) != 2) {
+    std::fprintf(stderr, "%s did not print its ports (got '%s')\n", bin,
+                 line.c_str());
+    ::kill(pid, SIGKILL);
+    std::exit(1);
+  }
+  return p;
+}
+
+/// Scrapes one Prometheus series (exact name or name{labels} prefix),
+/// summed over matching series; 0 when absent or the scrape fails.
+double scrape(std::uint16_t http_port, const std::string& series) {
+  std::string text;
+  try {
+    text = net::http_get("127.0.0.1", http_port, "/metrics");
+  } catch (const std::exception&) {
+    return 0;
+  }
+  double total = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(series, 0) == 0 && line.size() > series.size() &&
+        (line[series.size()] == ' ' || line[series.size()] == '{')) {
+      const std::size_t sp = line.rfind(' ');
+      if (sp != std::string::npos) total += std::atof(line.c_str() + sp + 1);
+    }
+  }
+  return total;
+}
+
+bool wait_until(const std::function<bool()>& pred, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+bool http_ready(std::uint16_t http_port, const char* path,
+                std::string* body_out = nullptr) {
+  int status = 0;
+  try {
+    std::string body = net::http_get("127.0.0.1", http_port, path, &status);
+    if (body_out != nullptr) *body_out = std::move(body);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return status == 200;
+}
+
+struct TrafficStats {
+  std::uint64_t acked = 0;    ///< responses seen with status Done
+  std::uint64_t retried = 0;  ///< retryable bounces absorbed
+  std::uint64_t lost = 0;     ///< acked work that later failed hard
+};
+
+/// One client thread of factorize+solve rounds through the front,
+/// retrying everything retryable.  "Lost" means strictly: we exhausted
+/// retries on work the system had not acked (never-acked gives up
+/// quietly), or an acked factorize later failed every solve attempt.
+void traffic_run(std::uint16_t front_port, const std::string& tenant,
+                 const std::vector<std::shared_ptr<const CscMatrix<real_t>>>&
+                     mats,
+                 int rounds, std::atomic<bool>* stop, TrafficStats* out) {
+  net::BlockingClient c;
+  try {
+    c.connect("127.0.0.1", front_port);
+  } catch (const std::exception&) {
+    return;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) return;
+    const auto& a = mats[static_cast<std::size_t>(i) % mats.size()];
+    const std::uint64_t digest = pattern_digest(*a);
+    std::uint64_t factor_id = 0;
+    bool solved = false;
+    for (int attempt = 0; attempt < 100 && !solved; ++attempt) {
+      try {
+        net::NetError err{};
+        if (factor_id == 0) {
+          const auto fr = c.factorize(tenant, *a, Factorization::LLT, {},
+                                      &err);
+          if (err != net::NetError{} || fr.status != 0) {
+            if (err != net::NetError{} && !net::retryable(err)) {
+              ++out->lost;
+              break;
+            }
+            ++out->retried;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+          }
+          factor_id = fr.factor_id;
+          ++out->acked;
+        }
+        const auto sr = c.solve(tenant, digest, factor_id, ones_rhs(*a), {},
+                                &err);
+        if (err == net::NetError::UnknownFactor) {
+          // The owning shard died before replaying this factor; the
+          // factorize is re-run elsewhere.  The ack is honored as long
+          // as the retry loop eventually lands it.
+          factor_id = 0;
+          ++out->retried;
+          continue;
+        }
+        if (err != net::NetError{} || sr.status != 0) {
+          if (err != net::NetError{} && !net::retryable(err)) {
+            ++out->lost;
+            break;
+          }
+          ++out->retried;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        solved = true;
+      } catch (const std::exception&) {
+        ++out->retried;
+        try {
+          c.connect("127.0.0.1", front_port);
+        } catch (const std::exception&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    }
+    if (!solved && factor_id != 0) ++out->lost;  // acked, then abandoned
+  }
+}
+
+// ---- phase B: process chaos --------------------------------------------
+
+int process_chaos(bool smoke, const fs::path& tmp) {
+  const int kill_cycles = smoke ? 2 : 5;
+  const int clients = smoke ? 3 : 6;
+  const int rounds = smoke ? 8 : 20;
+
+  const fs::path dirs[2] = {tmp / "persist-s0", tmp / "persist-s1"};
+  auto spawn_shard = [&](int idx, std::uint16_t port) {
+    std::vector<std::string> args = {
+        "--name",    "s" + std::to_string(idx),
+        "--workers", "2",
+        "--persist-dir", dirs[idx].string(),
+        "--persist-interval", "0"};
+    if (port != 0) {
+      args.push_back("--port");
+      args.push_back(std::to_string(port));
+    }
+    return spawn_with_ports(SPX_SHARD_BIN, "s" + std::to_string(idx),
+                            std::move(args));
+  };
+
+  ChildProc shards[2] = {spawn_shard(0, 0), spawn_shard(1, 0)};
+  std::vector<std::string> front_args;
+  for (int s = 0; s < 2; ++s) {
+    front_args.push_back("--shard");
+    front_args.push_back(shards[s].name + ":127.0.0.1:" +
+                         std::to_string(shards[s].port));
+  }
+  for (const char* a : {"--probe-interval", "0.05", "--max-backoff", "0.1",
+                        "--breaker-cooldown", "0.2"}) {
+    front_args.push_back(a);
+  }
+  ChildProc front =
+      spawn_with_ports(SPX_FRONT_BIN, "front", std::move(front_args));
+
+  auto kill_all = [&] {
+    for (ChildProc& p : shards) {
+      if (p.pid > 0) ::kill(p.pid, SIGKILL);
+    }
+    if (front.pid > 0) ::kill(front.pid, SIGKILL);
+    for (ChildProc& p : shards) {
+      if (p.pid > 0) ::waitpid(p.pid, nullptr, 0);
+    }
+    if (front.pid > 0) ::waitpid(front.pid, nullptr, 0);
+  };
+
+  if (!wait_until([&] { return http_ready(front.http_port, "/readyz"); },
+                  10.0)) {
+    check(false, "proc", 0, "front never became ready");
+    kill_all();
+    return 1;
+  }
+
+  std::vector<std::shared_ptr<const CscMatrix<real_t>>> mats;
+  for (int p = 0; p < 6; ++p) {
+    mats.push_back(std::make_shared<const CscMatrix<real_t>>(
+        gen::grid2d_laplacian(10 + p, 10)));
+  }
+
+  TrafficStats totals;
+  for (int cycle = 0; cycle < kill_cycles; ++cycle) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(cycle);
+    const int victim = cycle % 2;
+    ChildProc& v = shards[victim];
+    const std::string breaker_open =
+        "spx_front_breaker_transitions_total{shard=\"" + v.name +
+        "\",to=\"open\"}";
+    const std::string breaker_closed =
+        "spx_front_breaker_transitions_total{shard=\"" + v.name +
+        "\",to=\"closed\"}";
+    const double opened_before = scrape(front.http_port, breaker_open);
+    const double closed_before = scrape(front.http_port, breaker_closed);
+
+    // Traffic on; give it a head start so the victim has factorized (and
+    // persisted) something worth coming back warm for.
+    std::vector<TrafficStats> stats(static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(traffic_run, front.port,
+                           "chaos-" + std::to_string(cycle), std::cref(mats),
+                           rounds, nullptr,
+                           &stats[static_cast<std::size_t>(c)]);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    // SIGKILL: no drain, no goodbye.  Everything the client was promised
+    // must survive this.
+    ::kill(v.pid, SIGKILL);
+    ::waitpid(v.pid, nullptr, 0);
+    v.pid = -1;
+
+    // The breaker must be seen opening on the dead shard.
+    check(wait_until(
+              [&] {
+                return scrape(front.http_port, breaker_open) > opened_before;
+              },
+              10.0),
+          "proc", seed, "breaker never opened for killed " + v.name);
+
+    // Supervised restart on the same port, same persist dir.
+    v = spawn_shard(victim, v.port);
+    check(wait_until(
+              [&] {
+                return scrape(front.http_port, breaker_closed) >
+                       closed_before;
+              },
+              10.0),
+          "proc", seed, "breaker never re-closed after " + v.name +
+                            " restart");
+
+    // Warm restart: the snapshots written before the SIGKILL replay.
+    std::string ready;
+    check(wait_until([&] { return http_ready(v.http_port, "/readyz",
+                                             &ready); },
+                     10.0) &&
+              ready.find("warm=") != std::string::npos &&
+              ready.find("warm=0") == std::string::npos,
+          "proc", seed,
+          "restarted " + v.name + " reports no warm factors: " + ready);
+    check(scrape(v.http_port, "spx_shard_snapshots_loaded_total") >= 1.0,
+          "proc", seed, v.name + " loaded no snapshots");
+
+    for (auto& t : threads) t.join();
+    for (const TrafficStats& s : stats) {
+      totals.acked += s.acked;
+      totals.retried += s.retried;
+      totals.lost += s.lost;
+    }
+  }
+
+  check(totals.lost == 0, "proc", 0,
+        std::to_string(totals.lost) + " acknowledged requests lost");
+  check(totals.acked > 0, "proc", 0, "no traffic was acked (vacuous run)");
+
+  // Hit-rate recovery: repeats of the same inputs are served from the
+  // restored warm index instead of re-factorized from cold.  A cold
+  // restart (no persist dir) would show zero warm hits here by
+  // construction, so > 0 is exactly "warm >= cold".
+  double warm_hits = 0;
+  for (const ChildProc& p : shards) {
+    warm_hits += scrape(p.http_port, "spx_shard_warm_hits_total");
+  }
+  check(warm_hits > 0, "proc", 0,
+        "restarted shards served no warm hits (hit rate did not recover)");
+
+  std::printf("chaos proc: %d kill/restart cycles, acked %llu, retried "
+              "%llu, lost %llu, warm hits %.0f\n",
+              kill_cycles, static_cast<unsigned long long>(totals.acked),
+              static_cast<unsigned long long>(totals.retried),
+              static_cast<unsigned long long>(totals.lost), warm_hits);
+
+  // ---- phase C: corrupt every snapshot; cold start, never a crash ------
+  ::kill(shards[0].pid, SIGKILL);
+  ::waitpid(shards[0].pid, nullptr, 0);
+  shards[0].pid = -1;
+  std::uint64_t corrupted = 0;
+  for (const auto& e : fs::directory_iterator(dirs[0])) {
+    if (e.path().extension() != ".spxsnap") continue;
+    std::fstream f(e.path(), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    if (size <= 0) continue;
+    char c = 0;
+    f.seekg(size / 2);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x20);
+    f.seekp(size / 2);
+    f.write(&c, 1);
+    ++corrupted;
+  }
+  check(corrupted > 0, "corrupt", 0, "no snapshots on disk to corrupt");
+
+  shards[0] = spawn_shard(0, shards[0].port);  // must come up regardless
+  std::string ready;
+  check(wait_until([&] { return http_ready(shards[0].http_port, "/readyz",
+                                           &ready); },
+                   10.0),
+        "corrupt", 0, "shard with corrupt snapshots never became ready");
+  check(ready.find("warm=0") != std::string::npos, "corrupt", 0,
+        "corrupt snapshots were not rejected: " + ready);
+  {
+    net::BlockingClient c;
+    c.connect("127.0.0.1", shards[0].port);
+    const auto fr = c.factorize("cold", *mats[0], Factorization::LLT);
+    check(fr.status == 0, "corrupt", 0,
+          "cold shard cannot factorize: " + fr.error);
+  }
+  std::printf("chaos corrupt: %llu snapshots rejected, cold start clean\n",
+              static_cast<unsigned long long>(corrupted));
+
+  kill_all();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::uint64_t wire_seeds = smoke ? 12 : 64;
+
+  // Watchdog: chaos must terminate.  A stuck retry loop or deadlocked
+  // server would otherwise hang ctest; abort loudly instead.
+  std::atomic<bool> done{false};
+  std::thread watchdog([&done] {
+    for (int i = 0; i < 2400; ++i) {  // 240 s ceiling
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (done.load()) return;
+    }
+    std::fprintf(stderr, "FAIL: chaos sweep hung (watchdog)\n");
+    std::_Exit(2);
+  });
+
+  // ---- phase A ----------------------------------------------------------
+  {
+    net::ShardServerOptions o;
+    o.name = "wire";
+    o.service.num_workers = 2;
+    net::ShardServer shard(o);
+    std::vector<CscMatrix<real_t>> mats;
+    for (int p = 0; p < 4; ++p) {
+      mats.push_back(gen::grid2d_laplacian(8 + p, 8));
+    }
+    for (std::uint64_t seed = 0; seed < wire_seeds; ++seed) {
+      wire_chaos_seed(shard, mats, seed);
+    }
+    std::printf("chaos wire: %llu seeds swept\n",
+                static_cast<unsigned long long>(wire_seeds));
+  }
+
+  // ---- phases B + C -----------------------------------------------------
+  const fs::path tmp =
+      fs::temp_directory_path() /
+      ("spx_chaos_" + std::to_string(static_cast<long>(::getpid())));
+  fs::create_directories(tmp);
+  process_chaos(smoke, tmp);
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+
+  done.store(true);
+  watchdog.join();
+  std::printf("chaos_stress: %d failures\n", g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

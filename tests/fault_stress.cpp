@@ -46,6 +46,16 @@ void run_one(const CscMatrix<real_t>& a, std::uint64_t seed,
   opts.runtime = rt;
   opts.num_threads = 4;
   opts.instr.fault = &fault;
+  if (action == FaultAction::StallTransfer) {
+    // Transfer stalls need transfers: run with an emulated device and a
+    // zero offload floor so staging traffic definitely exists.
+    EngineSpec spec;
+    spec.bandwidth_gbps = 200.0;
+    spec.latency_seconds = 0.0;
+    opts.hetero.devices = {spec};
+    opts.starpu.gpu_min_flops = 0;
+    opts.parsec.gpu_min_flops = 0;
+  }
   Solver<real_t> solver(opts);
   solver.analyze(a);
   bool threw = false;
@@ -89,7 +99,8 @@ int main(int argc, char** argv) {
                                   RuntimeKind::Parsec};
   const FaultAction actions[] = {FaultAction::Throw, FaultAction::Stall,
                                  FaultAction::CorruptPivot,
-                                 FaultAction::AllocFail};
+                                 FaultAction::AllocFail,
+                                 FaultAction::StallTransfer};
   // Rough task-count upper bound for victim placement; seeds that land
   // past the actual task count simply never fire (also a valid run).
   const std::uint64_t ntasks = 200;
@@ -110,8 +121,12 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = 0; seed < cfg.seeds; ++seed) {
     for (const FaultAction action : actions) {
       // Rotate schedulers with the seed so the smoke sweep still touches
-      // all of them without tripling its runtime.
-      const RuntimeKind rt = runtimes[seed % 3];
+      // all of them without tripling its runtime.  Hetero staging (the
+      // StallTransfer stream) only exists under starpu/parsec.
+      RuntimeKind rt = runtimes[seed % 3];
+      if (action == FaultAction::StallTransfer && rt == RuntimeKind::Native) {
+        rt = runtimes[1 + seed % 2];
+      }
       run_one(a, seed, action, rt, ntasks);
       ++runs;
     }

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "mat/generators.hpp"
+#include "net/circuit_breaker.hpp"
 #include "net/client.hpp"
 #include "net/front_server.hpp"
 #include "net/http.hpp"
@@ -746,6 +748,327 @@ TEST(FrontServerTest, DrainedShardRequestsRerouteWithZeroLoss) {
     EXPECT_EQ(fr.shard, "s2");
   }
   cluster.front->drain_and_stop(5.0);
+}
+
+// ---------- frame checksums (tentpole: wire integrity) ------------------
+
+TEST(Protocol, ChecksumSealsVerifiesAndStrips) {
+  const auto a = gen::grid2d_laplacian(5, 5);
+  FactorizeRequestFrame f;
+  f.pattern_digest = pattern_digest(a);
+  f.tenant = "t";
+  auto frame = encode_factorize_request(9, f, a);
+  const std::size_t bare = frame.size();
+  net::add_checksum(frame);
+  ASSERT_EQ(frame.size(), bare + net::kChecksumBytes);
+
+  FrameParser p;
+  p.feed(frame);
+  const auto got = p.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header.corr_id, 9u);
+  EXPECT_NE(got->header.flags & net::kFlagChecksum, 0);
+  // The trailer is stripped: the delivered payload decodes cleanly and
+  // its length matches the unsealed encoding.
+  EXPECT_EQ(got->payload.size(), bare - net::kHeaderBytes);
+  EXPECT_EQ(got->header.length, got->payload.size());
+  EXPECT_NO_THROW(net::decode_factorize_request(got->payload));
+}
+
+TEST(Protocol, ChecksumMismatchIsRejected) {
+  auto frame = encode_error(4, NetError::Internal, "payload under test");
+  net::add_checksum(frame);
+  for (const std::size_t at :
+       {net::kHeaderBytes, frame.size() - net::kChecksumBytes - 1,
+        frame.size() - 1}) {  // body start, body end, the CRC itself
+    auto bad = frame;
+    bad[at] ^= 0x01;
+    FrameParser p;
+    EXPECT_THROW(
+        {
+          p.feed(bad);
+          p.next();
+        },
+        ProtocolError);
+  }
+  // Unsealed frames still parse: the flag is opt-in per sender.
+  FrameParser p;
+  p.feed(encode_error(5, NetError::Internal, "bare"));
+  EXPECT_TRUE(p.next().has_value());
+}
+
+// ---------- wire fault injection (tentpole: chaos plumbing) -------------
+
+TEST(ShardServerTest, CorruptedFrameIsDetectedNotDecoded) {
+  ShardServer shard(shard_opts("s1"));
+  const auto a = gen::grid2d_laplacian(6, 6);
+
+  FaultInjector inj(FaultPlan::nth_task(FaultAction::CorruptFrame, 0));
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+  client.set_checksum(true);
+  client.set_fault(&inj);
+  NetError err{};
+  const auto fr = client.factorize("t", a, Factorization::LLT, {}, &err);
+  EXPECT_EQ(err, NetError::Malformed);  // CRC caught the flipped byte
+  EXPECT_NE(static_cast<RequestStatus>(fr.status), RequestStatus::Done);
+  EXPECT_EQ(inj.fired_count(), 1);
+  EXPECT_EQ(shard.service_stats().submitted, 0u);
+
+  // The shard survived; a clean sealed request works end to end.
+  BlockingClient fresh;
+  fresh.connect("127.0.0.1", shard.port());
+  fresh.set_checksum(true);
+  const auto ok = fresh.factorize("t", a, Factorization::LLT);
+  ASSERT_EQ(ok.status, 0) << ok.error;
+}
+
+TEST(ShardServerTest, WireFaultsSurfaceAsClientFailuresNotHangs) {
+  ShardServer shard(shard_opts("s1"));
+  const auto a = gen::grid2d_laplacian(5, 5);
+
+  {  // DropFrame: nothing is sent; the socket timeout fires.
+    FaultInjector inj(FaultPlan::nth_task(FaultAction::DropFrame, 0));
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port(), /*timeout_s=*/0.3);
+    c.set_fault(&inj);
+    EXPECT_THROW(c.factorize("t", a, Factorization::LLT), InvalidArgument);
+    EXPECT_EQ(inj.fired_count(), 1);
+  }
+  {  // TruncateFrame: half a payload, then the connection closes.
+    FaultInjector inj(FaultPlan::nth_task(FaultAction::TruncateFrame, 0));
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port());
+    c.set_fault(&inj);
+    EXPECT_THROW(c.factorize("t", a, Factorization::LLT), InvalidArgument);
+    EXPECT_FALSE(c.connected());
+  }
+  {  // AbortConnection: the connection dies instead of sending.
+    FaultInjector inj(FaultPlan::nth_task(FaultAction::AbortConnection, 0));
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port());
+    c.set_fault(&inj);
+    EXPECT_THROW(c.factorize("t", a, Factorization::LLT), InvalidArgument);
+    EXPECT_FALSE(c.connected());
+  }
+  {  // DelayFrame: late but intact -- the request still completes.
+    FaultInjector inj(
+        FaultPlan::nth_task(FaultAction::DelayFrame, 0, /*stall=*/0.05));
+    BlockingClient c;
+    c.connect("127.0.0.1", shard.port());
+    c.set_fault(&inj);
+    const auto fr = c.factorize("t", a, Factorization::LLT);
+    ASSERT_EQ(fr.status, 0) << fr.error;
+    EXPECT_EQ(inj.fired_count(), 1);
+  }
+  // The shard took no damage from any of it.
+  EXPECT_EQ(shard.service_stats().factorizes, 1u);
+}
+
+// ---------- correlation-id dedup (tentpole: idempotent retries) ---------
+
+TEST(ShardServerTest, DuplicateCorrelationIdsCoalesceToOneExecution) {
+  ShardServer shard(shard_opts("s1"));
+  const auto a = gen::grid2d_laplacian(7, 6);
+  FactorizeRequestFrame f;
+  f.pattern_digest = pattern_digest(a);
+  f.tenant = "t";
+  const auto bytes = encode_factorize_request(4242, f, a);
+
+  BlockingClient c1;
+  c1.connect("127.0.0.1", shard.port());
+  const auto r1 = c1.call(bytes, 4242);
+  ASSERT_EQ(r1.header.type, FrameType::FactorizeResponse);
+  const auto fr1 = net::decode_factorize_response(r1.payload);
+  ASSERT_EQ(fr1.status, 0) << fr1.error;
+
+  // The same frame again -- same connection, then a different connection
+  // (the failover path: a front retrying through another socket).  Both
+  // replay the completed response instead of factorizing again.
+  const auto r2 = c1.call(bytes, 4242);
+  const auto fr2 = net::decode_factorize_response(r2.payload);
+  BlockingClient c2;
+  c2.connect("127.0.0.1", shard.port());
+  const auto r3 = c2.call(bytes, 4242);
+  const auto fr3 = net::decode_factorize_response(r3.payload);
+
+  EXPECT_EQ(fr2.factor_id, fr1.factor_id);
+  EXPECT_EQ(fr3.factor_id, fr1.factor_id);
+  EXPECT_EQ(shard.service_stats().submitted, 1u);
+  EXPECT_EQ(shard.service_stats().factorizes, 1u);
+
+  // A different corr id with the same body is NOT deduplicated: the
+  // response identity is (corr, request fingerprint), nothing looser.
+  const auto bytes2 = encode_factorize_request(4243, f, a);
+  const auto r4 = c1.call(bytes2, 4243);
+  const auto fr4 = net::decode_factorize_response(r4.payload);
+  ASSERT_EQ(fr4.status, 0) << fr4.error;
+  EXPECT_EQ(shard.service_stats().submitted, 2u);
+}
+
+// ---------- deadline propagation (satellite) ----------------------------
+
+TEST(ShardServerTest, ExpiredDeadlineShortCircuitsTheService) {
+  ShardServer shard(shard_opts("s1"));
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+  client.set_deadline(1e-12);  // expired by the time a worker claims it
+  const auto a = gen::grid2d_laplacian(8, 8);
+  const auto fr = client.factorize("t", a, Factorization::LLT);
+  EXPECT_EQ(static_cast<RequestStatus>(fr.status), RequestStatus::Expired);
+  EXPECT_EQ(shard.service_stats().factorizes, 0u);
+
+  client.set_deadline(0);  // and 0 means none: back to normal
+  const auto ok = client.factorize("t", a, Factorization::LLT);
+  ASSERT_EQ(ok.status, 0) << ok.error;
+}
+
+TEST(FrontServerTest, ExpiredDeadlineIsBouncedBeforeDispatch) {
+  obs::MetricsRegistry reg;
+  Cluster cluster(&reg);
+  BlockingClient client;
+  client.connect("127.0.0.1", cluster.front->port());
+  client.set_deadline(1e-12);
+  const auto a = gen::grid2d_laplacian(9, 9);
+  NetError err{};
+  client.factorize("t", a, Factorization::LLT, {}, &err);
+  EXPECT_EQ(err, NetError::DeadlineExceeded);
+  EXPECT_FALSE(net::retryable(err));  // rerouting expired work is waste
+  EXPECT_EQ(reg.value("spx_front_rejected_total", {{"reason", "deadline"}}),
+            1.0);
+  // The shards never saw it.
+  EXPECT_EQ(cluster.s1->service_stats().submitted, 0u);
+  EXPECT_EQ(cluster.s2->service_stats().submitted, 0u);
+}
+
+// ---------- circuit breaker (tentpole) ----------------------------------
+
+TEST(CircuitBreakerTest, OpensHalfOpensProbesAndRecloses) {
+  net::CircuitBreakerOptions o;
+  o.window = 8;
+  o.min_samples = 4;
+  o.error_threshold = 0.5;
+  o.open_cooldown_s = 10.0;
+  net::CircuitBreaker b(o);
+  double now = 100.0;
+
+  // Below min_samples nothing trips, however bad the ratio.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(b.record_failure(now), net::BreakerState::Closed);
+  }
+  // The fourth failure reaches min_samples at ratio 1.0: Open.
+  EXPECT_EQ(b.record_failure(now), net::BreakerState::Open);
+  EXPECT_EQ(b.opened(), 1u);
+
+  // Open holds through the cooldown; successes inside it are ignored.
+  EXPECT_EQ(b.state(now + 5.0), net::BreakerState::Open);
+  EXPECT_EQ(b.record_success(now + 5.0), net::BreakerState::Open);
+  now += 10.0;
+  EXPECT_EQ(b.state(now), net::BreakerState::HalfOpen);
+
+  // A failed probe re-opens and restarts the cooldown.
+  EXPECT_EQ(b.record_failure(now), net::BreakerState::Open);
+  EXPECT_EQ(b.opened(), 2u);
+  EXPECT_EQ(b.state(now + 9.9), net::BreakerState::Open);
+  now += 10.0;
+  EXPECT_EQ(b.state(now), net::BreakerState::HalfOpen);
+
+  // A successful probe closes and resets the window: the next single
+  // failure is 1 sample again, not the straw on an old pile.
+  EXPECT_EQ(b.record_success(now), net::BreakerState::Closed);
+  EXPECT_EQ(b.reclosed(), 1u);
+  EXPECT_EQ(b.record_failure(now), net::BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, MixedTrafficBelowThresholdStaysClosed) {
+  net::CircuitBreakerOptions o;
+  o.window = 10;
+  o.min_samples = 4;
+  o.error_threshold = 0.5;
+  net::CircuitBreaker b(o);
+  // A third of requests error, forever: never opens.
+  for (int i = 0; i < 51; ++i) {
+    const bool fail = (i % 3) == 2;
+    const auto st = fail ? b.record_failure(1.0) : b.record_success(1.0);
+    ASSERT_EQ(st, net::BreakerState::Closed) << "at i=" << i;
+  }
+  EXPECT_EQ(b.opened(), 0u);
+}
+
+TEST(FrontServerTest, BreakerOpensOnShardLossAndReclosesOnRecovery) {
+  obs::MetricsRegistry reg;
+  ShardServerOptions o1 = shard_opts("s1");
+  ShardServerOptions o2 = shard_opts("s2");
+  auto s1 = std::make_unique<ShardServer>(o1);
+  auto s2 = std::make_unique<ShardServer>(o2);
+  const std::uint16_t s1_port = s1->port();
+
+  FrontServerOptions fo;
+  fo.shards = {{"s1", "127.0.0.1", s1_port},
+               {"s2", "127.0.0.1", s2->port()}};
+  fo.probe_interval_s = 0.05;
+  fo.max_reconnect_backoff_s = 0.05;
+  fo.breaker.min_samples = 1;  // one hard failure trips (test cluster)
+  fo.breaker.window = 4;
+  fo.breaker.open_cooldown_s = 0.15;
+  fo.metrics = &reg;
+  FrontServer front(fo);
+
+  auto gauge = [&](const std::string& shard) {
+    return reg.value("spx_front_breaker_state", {{"shard", shard}});
+  };
+  auto transitions = [&](const std::string& shard, const std::string& to) {
+    return reg.value("spx_front_breaker_transitions_total",
+                     {{"shard", shard}, {"to", to}});
+  };
+  auto wait_until = [](const std::function<bool()>& pred,
+                       double timeout_s = 5.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  };
+
+  BlockingClient client;
+  client.connect("127.0.0.1", front.port());
+  ASSERT_TRUE(client.ping());
+
+  // Kill s1 outright: its connection drops, the breaker trips Open, and
+  // the transition is visible in /metrics.
+  s1.reset();
+  ASSERT_TRUE(wait_until([&] { return transitions("s1", "open") >= 1.0; }));
+  ASSERT_TRUE(wait_until([&] { return gauge("s1") >= 1.0; }));
+  EXPECT_EQ(gauge("s2"), 0.0);
+
+  // While s1 is down, everything (including its keys) is served by s2.
+  for (int i = 0; i < 6; ++i) {
+    const auto m = gen::grid2d_laplacian(6 + i, 6);
+    const auto fr = client.factorize("t", m, Factorization::LLT);
+    ASSERT_EQ(fr.status, 0) << fr.error;
+    EXPECT_EQ(fr.shard, "s2");
+  }
+
+  // Resurrect s1 on its old port: the cooldown elapses, the ping probe
+  // lands in HalfOpen, and the breaker re-closes (observed transition).
+  o1.port = s1_port;
+  s1 = std::make_unique<ShardServer>(o1);
+  ASSERT_TRUE(
+      wait_until([&] { return transitions("s1", "closed") >= 1.0; }));
+  ASSERT_TRUE(wait_until([&] { return gauge("s1") == 0.0; }));
+
+  // s1 is back in the ring: some pattern routes to it again.
+  ASSERT_TRUE(wait_until([&] {
+    for (int i = 0; i < 8; ++i) {
+      const auto m = gen::grid2d_laplacian(6 + i, 6);
+      const auto fr = client.factorize("t", m, Factorization::LLT);
+      if (fr.status == 0 && fr.shard == "s1") return true;
+    }
+    return false;
+  }));
+  front.drain_and_stop(5.0);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 //
 //   spx_front --shard NAME:HOST:PORT [--shard ...] [--port P]
 //             [--http-port P] [--window N] [--vnodes N]
-//             [--probe-interval S] [--drain-timeout S] [--print-ports]
+//             [--probe-interval S] [--max-backoff S]
+//             [--breaker-cooldown S] [--drain-timeout S] [--print-ports]
 //
 // Clients speak the same wire protocol to the front as to a shard; the
 // front routes each request by its pattern digest over the live shard
@@ -71,6 +72,10 @@ int main(int argc, char** argv) {
       opts.vnodes = static_cast<std::uint32_t>(arg_double(argc, argv, i));
     } else if (a == "--probe-interval") {
       opts.probe_interval_s = arg_double(argc, argv, i);
+    } else if (a == "--max-backoff") {
+      opts.max_reconnect_backoff_s = arg_double(argc, argv, i);
+    } else if (a == "--breaker-cooldown") {
+      opts.breaker.open_cooldown_s = arg_double(argc, argv, i);
     } else if (a == "--drain-timeout") {
       drain_timeout_s = arg_double(argc, argv, i);
     } else if (a == "--print-ports") {

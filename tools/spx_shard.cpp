@@ -2,7 +2,12 @@
 //
 //   spx_shard [--name NAME] [--port P] [--http-port P] [--workers N]
 //             [--cache-mb MB] [--max-factors N] [--idle-timeout S]
-//             [--drain-timeout S] [--print-ports]
+//             [--drain-timeout S] [--persist-dir DIR]
+//             [--persist-interval S] [--print-ports]
+//
+// --persist-dir enables factor persistence: completed factorizations are
+// snapshotted there (crash-atomic, rate-limited by --persist-interval)
+// and replayed on the next start, so a SIGKILLed shard comes back warm.
 //
 // Listens for protocol frames on --port and serves /healthz, /readyz and
 // /metrics on --http-port (both default to ephemeral; --print-ports
@@ -63,6 +68,10 @@ int main(int argc, char** argv) {
       opts.idle_timeout_s = arg_double(argc, argv, i);
     } else if (a == "--drain-timeout") {
       drain_timeout_s = arg_double(argc, argv, i);
+    } else if (a == "--persist-dir" && i + 1 < argc) {
+      opts.persist_dir = argv[++i];
+    } else if (a == "--persist-interval") {
+      opts.persist_interval_s = arg_double(argc, argv, i);
     } else if (a == "--print-ports") {
       print_ports = true;
     } else {
