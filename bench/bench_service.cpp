@@ -18,6 +18,15 @@
 //                   the retry loop must absorb it (attempt 2 succeeds) and
 //                   the stats export must account for every retry and
 //                   error code.  Reports the retry-induced latency tax.
+//   5. timestep  -- the streaming workload the refactorize fast path is
+//                   for: one pattern, fresh values every step.  Gates
+//                   (hard): numeric-only refactorize sustains >= 2x the
+//                   full analyze+factorize throughput; the fp32+refine
+//                   policy serves at fp64 accuracy (backward error <=
+//                   mixed_tolerance) with the quality-gate fallback to
+//                   fp64 demonstrably exercised; and two tenants with
+//                   4:1 scheduling weights split a saturated worker
+//                   within 10% of 4:1.
 //
 // --smoke shrinks everything to a ctest-friendly second or two.
 #include <signal.h>
@@ -26,11 +35,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -913,6 +925,182 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no fault was ever injected/retried -- the "
                    "scenario is not exercising the retry path\n");
       return 1;
+    }
+  }
+
+  // ---- 5. timestep: streaming refactorize + fp32 serving + 4:1 QoS ----
+  std::printf("\n--- timestep: one pattern, fresh values every step ---\n");
+  {
+    const int steps = smoke ? 12 : 60;
+    auto with_vals = [&](const std::vector<real_t>& vals) {
+      return std::make_shared<const CscMatrix<real_t>>(
+          a->nrows(), a->ncols(),
+          std::vector<size_type>(a->colptr().begin(), a->colptr().end()),
+          std::vector<index_t>(a->rowind().begin(), a->rowind().end()),
+          std::vector<real_t>(vals));
+    };
+
+    // (a) per-step cost: full analyze+factorize vs numeric-only
+    // refactorize on the same drifting operator.
+    double full_s = 0, refactor_s = 0;
+    {
+      ServiceOptions opts;
+      opts.num_workers = 1;
+      opts.cache_bytes = 0;  // the full path re-analyzes every step
+      SolveService svc(opts);
+      std::vector<real_t> vals(a->values().begin(), a->values().end());
+      Timer wall;
+      for (int s = 0; s < steps; ++s) {
+        for (auto& v : vals) v *= 1.0001;  // SPD-preserving drift
+        const FactorizeResult fr =
+            svc.factorize("full", with_vals(vals), Factorization::LLT);
+        if (!fr.ok()) {
+          std::fprintf(stderr, "full step failed: %s\n", fr.error.c_str());
+          return 1;
+        }
+      }
+      full_s = wall.elapsed();
+    }
+    {
+      ServiceOptions opts;
+      opts.num_workers = 1;
+      SolveService svc(opts);
+      const FactorizeResult first =
+          svc.factorize("stream", a, Factorization::LLT);
+      if (!first.ok()) {
+        std::fprintf(stderr, "stream warmup failed: %s\n",
+                     first.error.c_str());
+        return 1;
+      }
+      std::vector<real_t> vals(a->values().begin(), a->values().end());
+      Timer wall;
+      for (int s = 0; s < steps; ++s) {
+        for (auto& v : vals) v *= 1.0001;
+        const FactorizeResult fr = svc.refactorize(
+            "stream", first.factor, std::vector<real_t>(vals));
+        if (!fr.ok()) {
+          std::fprintf(stderr, "refactorize step failed: %s\n",
+                       fr.error.c_str());
+          return 1;
+        }
+      }
+      refactor_s = wall.elapsed();
+    }
+    const double speedup = refactor_s > 0 ? full_s / refactor_s : 0.0;
+    std::printf("  %d steps: full %.1fms, refactorize %.1fms -> %.2fx\n",
+                steps, full_s * 1e3, refactor_s * 1e3, speedup);
+    if (speedup < 2.0) {
+      std::fprintf(stderr, "FAIL: refactorize below the 2x gate over full "
+                   "analyze+factorize\n");
+      return 1;
+    }
+
+    // (b) fp32 factorization + iterative refinement serves at fp64
+    // accuracy; an operator that overflows float range trips the quality
+    // gate and falls back to fp64 transparently.
+    {
+      ServiceOptions opts;
+      opts.num_workers = 1;
+      opts.precision = service::PrecisionPolicy::Fp32Refine;
+      SolveService svc(opts);
+      const FactorizeResult fr = svc.factorize("mp", a, Factorization::LLT);
+      if (!fr.ok() || !fr.stats.fp32 ||
+          fr.stats.backward_error > opts.mixed_tolerance) {
+        std::fprintf(stderr,
+                     "FAIL: fp32_refine did not serve at fp64 accuracy "
+                     "(fp32=%d backward=%.2e)\n",
+                     int(fr.stats.fp32), fr.stats.backward_error);
+        return 1;
+      }
+      std::vector<real_t> ones(static_cast<std::size_t>(a->ncols()), 1.0);
+      std::vector<real_t> b(ones.size());
+      a->multiply(ones, b);
+      const SolveResult sr = svc.solve("mp", fr.factor, b);
+      double err = 0;
+      for (const real_t v : sr.x) err = std::max(err, std::abs(v - 1.0));
+      std::printf("  fp32+refine: backward error %.2e, %d refinement "
+                  "sweeps, solve err %.2e (half the factor bytes)\n",
+                  fr.stats.backward_error, fr.stats.refine_iterations, err);
+      if (!sr.ok() || err > 1e-8) {
+        std::fprintf(stderr, "FAIL: fp32-served solve inaccurate\n");
+        return 1;
+      }
+      std::vector<real_t> huge(a->values().begin(), a->values().end());
+      for (auto& v : huge) v *= 1e200;  // overflows float: gate must trip
+      const FactorizeResult fb =
+          svc.factorize("mp", with_vals(huge), Factorization::LLT);
+      std::printf("  quality gate: fallback=%d fp32=%d on a float-range "
+                  "overflow\n",
+                  int(fb.stats.precision_fallback), int(fb.stats.fp32));
+      if (!fb.ok() || !fb.stats.precision_fallback || fb.stats.fp32) {
+        std::fprintf(stderr, "FAIL: fp64 fallback was not exercised\n");
+        return 1;
+      }
+    }
+
+    // (c) weighted QoS: gold (weight 4) and bronze (weight 1) flood one
+    // worker; the completion sequence during saturation must split 4:1.
+    {
+      ServiceOptions opts;
+      opts.num_workers = 1;
+      opts.queue_capacity = 4096;
+      opts.max_batch = 1;  // one job per pop: completion order IS the schedule
+      opts.tenants["gold"].weight = 4.0;
+      opts.tenants["bronze"].weight = 1.0;
+      SolveService svc(opts);
+      const FactorizeResult fg =
+          svc.factorize("gold", a, Factorization::LLT);
+      const FactorizeResult fb =
+          svc.factorize("bronze", a, Factorization::LLT);
+      if (!fg.ok() || !fb.ok()) {
+        std::fprintf(stderr, "qos warmup failed\n");
+        return 1;
+      }
+      const int per_tenant = smoke ? 200 : 600;
+      const std::vector<real_t> b(static_cast<std::size_t>(a->ncols()), 1.0);
+      std::vector<service::Ticket<SolveResult>> gold, bronze;
+      gold.reserve(static_cast<std::size_t>(per_tenant));
+      bronze.reserve(static_cast<std::size_t>(per_tenant));
+      for (int i = 0; i < per_tenant; ++i) {
+        gold.push_back(svc.submit_solve(
+            service::RequestOptions{.tenant = "gold"}, fg.factor, b));
+        bronze.push_back(svc.submit_solve(
+            service::RequestOptions{.tenant = "bronze"}, fb.factor, b));
+      }
+      // (tenant, completion ordinal) pairs, schedule order.
+      std::vector<std::pair<std::uint64_t, bool>> seq;  // (seq, is_gold)
+      for (auto& t : gold) {
+        const SolveResult r = t.get();
+        if (r.ok()) seq.emplace_back(r.stats.completion_seq, true);
+      }
+      for (auto& t : bronze) {
+        const SolveResult r = t.get();
+        if (r.ok()) seq.emplace_back(r.stats.completion_seq, false);
+      }
+      std::sort(seq.begin(), seq.end());
+      // Saturation holds until gold drains at pop ~1.25*per_tenant; skip
+      // the submission-time transient and measure the middle window.
+      const std::size_t lo = static_cast<std::size_t>(per_tenant) / 5;
+      const std::size_t hi = static_cast<std::size_t>(per_tenant);
+      std::size_t gold_n = 0, window = 0;
+      for (std::size_t i = lo; i < hi && i < seq.size(); ++i) {
+        gold_n += seq[i].second ? 1u : 0u;
+        ++window;
+      }
+      const double share = window > 0 ? double(gold_n) / double(window) : 0;
+      const auto tstats = svc.stats().tenants;
+      std::printf("  qos: gold share %.1f%% over %zu saturated pops "
+                  "(target 80%%); served gold=%llu bronze=%llu\n",
+                  100.0 * share, window,
+                  static_cast<unsigned long long>(
+                      tstats.at("gold").completed),
+                  static_cast<unsigned long long>(
+                      tstats.at("bronze").completed));
+      if (share < 0.72 || share > 0.88) {
+        std::fprintf(stderr, "FAIL: 4:1 weighted shares off by more than "
+                     "10%% under saturation\n");
+        return 1;
+      }
     }
   }
   return 0;

@@ -19,17 +19,73 @@ CscMatrix<real32_t> cast_to_float(const CscMatrix<real_t>& a) {
 
 }  // namespace
 
+void MixedPrecisionSolver::adopt_analysis(
+    std::shared_ptr<const Analysis> analysis, std::uint64_t digest) {
+  SPX_CHECK_ARG(analysis != nullptr, "adopt_analysis(): null analysis");
+  adopted_ = std::move(analysis);
+  adopted_digest_ = digest;
+  factors_.reset();
+}
+
 void MixedPrecisionSolver::factorize(const CscMatrix<real_t>& a,
                                      Factorization kind) {
   SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
-  analysis_ = analyze(a, options_);
+  const std::uint64_t digest = spx::pattern_digest(a);
+  if (adopted_ != nullptr && adopted_digest_ == digest) {
+    analysis_ = adopted_;
+  } else {
+    analysis_ = std::make_shared<const Analysis>(analyze(a, options_));
+  }
+  pattern_digest_ = digest;
+  factors_.reset();
   a_ = std::make_unique<CscMatrix<real_t>>(a);
   const CscMatrix<real32_t> af =
       permute_symmetric(cast_to_float(a), analysis_->perm);
   factors_ =
       std::make_unique<FactorData<real32_t>>(analysis_->structure, kind);
   factors_->initialize(af);
-  factorize_sequential(*factors_);
+  try {
+    factorize_sequential(*factors_);
+  } catch (...) {
+    factors_.reset();  // like Solver: failure leaves "not factorized"
+    throw;
+  }
+}
+
+void MixedPrecisionSolver::refactorize(const CscMatrix<real_t>& a) {
+  SPX_CHECK_ARG(factorized(),
+                "refactorize() before factorize(): the fast path reuses "
+                "the allocated float factors; run factorize() first");
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
+  SPX_CHECK_ARG(spx::pattern_digest(a) == pattern_digest_,
+                "refactorize(): matrix pattern differs from the "
+                "factorized pattern");
+  const std::span<const real32_t> l = factors_->lvalues();
+  const std::span<const real32_t> u = factors_->uvalues();
+  const std::span<const real32_t> d = factors_->dvalues();
+  refactor_backup_.resize(l.size() + u.size() + d.size());
+  std::copy(l.begin(), l.end(), refactor_backup_.begin());
+  std::copy(u.begin(), u.end(), refactor_backup_.begin() + l.size());
+  std::copy(d.begin(), d.end(),
+            refactor_backup_.begin() + l.size() + u.size());
+  auto prev_a = std::move(a_);
+  a_ = std::make_unique<CscMatrix<real_t>>(a);
+  const CscMatrix<real32_t> af =
+      permute_symmetric(cast_to_float(a), analysis_->perm);
+  factors_->reset();
+  factors_->initialize(af);
+  try {
+    factorize_sequential(*factors_);
+  } catch (...) {
+    factors_->restore_values(
+        std::span<const real32_t>(refactor_backup_.data(), l.size()),
+        std::span<const real32_t>(refactor_backup_.data() + l.size(),
+                                  u.size()),
+        std::span<const real32_t>(
+            refactor_backup_.data() + l.size() + u.size(), d.size()));
+    a_ = std::move(prev_a);
+    throw;
+  }
 }
 
 MixedSolveReport MixedPrecisionSolver::solve(std::span<const real_t> b,
@@ -84,6 +140,30 @@ MixedSolveReport MixedPrecisionSolver::solve(std::span<const real_t> b,
     }
   }
   return report;
+}
+
+MixedSolveReport MixedPrecisionSolver::solve_multi(std::span<real_t> b,
+                                                   index_t nrhs, double tol,
+                                                   int max_iter) const {
+  SPX_CHECK_ARG(factorized(), "factorize() has not run");
+  const index_t n = analysis_->perm.size();
+  SPX_CHECK_ARG(static_cast<index_t>(b.size()) == n * nrhs,
+                "rhs block size mismatch");
+  MixedSolveReport worst;
+  worst.converged = true;
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::span<real_t> col(b.data() + std::size_t(c) * n,
+                                static_cast<std::size_t>(n));
+    const MixedSolveReport r =
+        solve(std::span<const real_t>(col.data(), col.size()),
+              std::span<real_t>(x), tol, max_iter);
+    std::copy(x.begin(), x.end(), col.begin());
+    worst.iterations = std::max(worst.iterations, r.iterations);
+    worst.residual = std::max(worst.residual, r.residual);
+    worst.converged = worst.converged && r.converged;
+  }
+  return worst;
 }
 
 }  // namespace spx

@@ -8,10 +8,14 @@
 // double accuracy in a handful of sweeps, the classic
 // Langou/Buttari-style mixed-precision scheme production solvers
 // (including PaStiX) offer.
+//
+// The solve service's PrecisionPolicy::Fp32Refine path drives this class
+// with a shared analysis (adopt_analysis) and the refactorize() fast path,
+// mirroring Solver's lifecycle; solve() reports whether refinement reached
+// the target so callers can gate an automatic fp64 fallback.
 #pragma once
 
 #include <memory>
-#include <optional>
 
 #include "core/analysis.hpp"
 #include "core/codelets.hpp"
@@ -31,16 +35,39 @@ class MixedPrecisionSolver {
   explicit MixedPrecisionSolver(AnalysisOptions options)
       : options_(std::move(options)) {}
 
-  /// Analyzes the double-precision matrix and factorizes its float cast.
-  /// Keeps a reference copy of `a` internally for refinement residuals.
+  /// Adopts an analysis shared with other solvers (the service's
+  /// pattern-keyed cache); factorize() then skips its private analyze.
+  /// `digest` must be the pattern_digest() of the analyzed matrix.
+  void adopt_analysis(std::shared_ptr<const Analysis> analysis,
+                      std::uint64_t digest);
+
+  /// Factorizes the float cast of `a` (analyzing its pattern first unless
+  /// a matching analysis was adopted).  Keeps a reference copy of `a`
+  /// internally for refinement residuals.
   void factorize(const CscMatrix<real_t>& a, Factorization kind);
+
+  /// Numeric-only re-factorization mirroring Solver::refactorize(): casts
+  /// the new values down and reruns the float sweep against the live
+  /// FactorData allocation.  Throws InvalidArgument before the first
+  /// factorize() or on a pattern mismatch; on numeric failure the
+  /// previous float factors (and reference matrix) roll back intact.
+  void refactorize(const CscMatrix<real_t>& a);
 
   /// Solves A x = b to (near) double accuracy via refinement; `x` is
   /// output-only.  Throws when factorize() has not run.
   MixedSolveReport solve(std::span<const real_t> b, std::span<real_t> x,
                          double tol = 1e-12, int max_iter = 30) const;
 
+  /// In-place multi-RHS refinement solve: `b` holds nrhs column-major
+  /// right-hand sides and is overwritten with the solutions.  The report
+  /// carries the worst column's figures (converged only if every column
+  /// converged).
+  MixedSolveReport solve_multi(std::span<real_t> b, index_t nrhs,
+                               double tol = 1e-12, int max_iter = 30) const;
+
   bool factorized() const { return factors_ != nullptr; }
+  /// Digest of the factorized pattern (0 before factorize()).
+  std::uint64_t pattern_digest() const { return pattern_digest_; }
   /// Bytes of the single-precision factors (half of a double run).
   std::size_t factor_bytes() const {
     return factors_ ? factors_->bytes() : 0;
@@ -48,9 +75,14 @@ class MixedPrecisionSolver {
 
  private:
   AnalysisOptions options_;
-  std::optional<Analysis> analysis_;
+  std::shared_ptr<const Analysis> analysis_;
+  std::shared_ptr<const Analysis> adopted_;  ///< from adopt_analysis()
+  std::uint64_t adopted_digest_ = 0;
+  std::uint64_t pattern_digest_ = 0;
   std::unique_ptr<FactorData<real32_t>> factors_;
   std::unique_ptr<CscMatrix<real_t>> a_;
+  /// Rollback snapshot (L then U then D) reused across refactorize().
+  mutable std::vector<real32_t> refactor_backup_;
 };
 
 }  // namespace spx

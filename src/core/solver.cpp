@@ -52,14 +52,6 @@ void Solver<T>::load_perf_model() {
 }
 
 template <typename T>
-FaultInjector* Solver<T>::effective_fault() const {
-  SPX_SUPPRESS_DEPRECATED_BEGIN
-  return options_.instr.fault != nullptr ? options_.instr.fault
-                                         : options_.fault;
-  SPX_SUPPRESS_DEPRECATED_END
-}
-
-template <typename T>
 void Solver<T>::analyze(const CscMatrix<T>& a) {
   obs::ScopedSpan span;
   SPX_OBS(span = obs::ScopedSpan(options_.instr.tracer, "solver.analyze",
@@ -105,7 +97,7 @@ void Solver<T>::restore_factors(Factorization kind, std::span<const T> l,
   factors_.reset();
   refine_matrix_.reset();
   auto factors = std::make_unique<FactorData<T>>(analysis_->structure, kind,
-                                                 effective_fault());
+                                                 options_.instr.fault);
   factors->restore_values(l, u, d);
   factors->set_pivot_policy(quality.threshold, quality.anorm);
   factors->set_quality(quality);
@@ -148,7 +140,7 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
   refine_matrix_.reset();
   const CscMatrix<T> ap = permute_symmetric(a, analysis_->perm);
   factors_ = std::make_unique<FactorData<T>>(analysis_->structure, kind,
-                                             effective_fault());
+                                             options_.instr.fault);
   factors_->initialize(ap);
   // Static-pivot floor, scaled by ||A|| = max |a_ij| of the input.
   double anorm = 0.0;
@@ -208,6 +200,97 @@ void Solver<T>::factorize(const CscMatrix<T>& a, Factorization kind) {
 }
 
 template <typename T>
+void Solver<T>::refactorize(const CscMatrix<T>& a) {
+  SPX_CHECK_ARG(factorized(),
+                "refactorize() before factorize(): the fast path reuses "
+                "the allocated factors; run factorize(a, kind) first");
+  SPX_CHECK_ARG(a.nrows() == a.ncols(), "square matrix required");
+  SPX_CHECK_ARG(analysis_->perm.size() == a.ncols() &&
+                    spx::pattern_digest(a) == pattern_digest_,
+                "refactorize(): matrix pattern differs from the factorized "
+                "pattern; refactorize ingests new values only -- call "
+                "analyze(a) + factorize(a, kind) for a new pattern");
+  obs::ScopedSpan span;
+  SPX_OBS(span = obs::ScopedSpan(options_.instr.tracer, "solver.refactorize",
+                                 "service-", options_.instr.parent));
+  Timer wall;
+  // Snapshot the live numeric state so a failed refactorize rolls back to
+  // the previous factors -- still consistent, still servable -- instead of
+  // factorize()'s "analyzed, not factorized".  The backup buffer is a
+  // member sized once; steady-state refactorization performs no factor
+  // (re)allocation.
+  const std::span<const T> l = factors_->lvalues();
+  const std::span<const T> u = factors_->uvalues();
+  const std::span<const T> d = factors_->dvalues();
+  refactor_backup_.resize(l.size() + u.size() + d.size());
+  std::copy(l.begin(), l.end(), refactor_backup_.begin());
+  std::copy(u.begin(), u.end(), refactor_backup_.begin() + l.size());
+  std::copy(d.begin(), d.end(),
+            refactor_backup_.begin() + l.size() + u.size());
+  const FactorQuality prev_quality = factors_->quality();
+  std::unique_ptr<CscMatrix<T>> prev_refine = std::move(refine_matrix_);
+
+  const CscMatrix<T> ap = permute_symmetric(a, analysis_->perm);
+  factors_->reset();
+  factors_->initialize(ap);
+  double anorm = 0.0;
+  for (const T& v : ap.values()) {
+    anorm = std::max(anorm, static_cast<double>(magnitude<T>(v)));
+  }
+  factors_->set_pivot_policy(
+      options_.pivot_threshold > 0 ? options_.pivot_threshold * anorm : 0.0,
+      anorm);
+  try {
+    factorize_numeric(span.context());
+  } catch (...) {
+    factors_->restore_values(
+        std::span<const T>(refactor_backup_.data(), l.size()),
+        std::span<const T>(refactor_backup_.data() + l.size(), u.size()),
+        std::span<const T>(refactor_backup_.data() + l.size() + u.size(),
+                           d.size()));
+    factors_->set_pivot_policy(prev_quality.threshold, prev_quality.anorm);
+    factors_->set_quality(prev_quality);
+    refine_matrix_ = std::move(prev_refine);
+    stats_.quality = prev_quality;
+    SPX_OBS(obs::registry_or_global(options_.instr.metrics)
+                .counter("spx_solver_refactorize_failures_total",
+                         "Re-factorizations that threw and rolled back to "
+                         "the previous factors",
+                         {{"runtime", to_string(options_.runtime)}})
+                .inc());
+    throw;
+  }
+  stats_.quality = factors_->quality();
+  if (stats_.quality.degraded()) {
+    refine_matrix_ = std::make_unique<CscMatrix<T>>(a);
+  }
+  stats_.gflops = analysis_->structure.total_flops(kind_) /
+                  std::max(1e-12, stats_.makespan) / 1e9;
+  stats_.kernel_isa =
+      kernels::to_string(kernels::Dispatch::instance().active());
+  stats_.kernel_blas = kernels::Dispatch::instance().blas_active();
+  SPX_OBS({
+    obs::MetricsRegistry& reg =
+        obs::registry_or_global(options_.instr.metrics);
+    reg.counter("spx_solver_refactorizes_total",
+                "Numeric-only re-factorizations (analysis + allocation "
+                "reused)",
+                {{"runtime", to_string(options_.runtime)}})
+        .inc();
+    reg.histogram("spx_solver_refactorize_seconds",
+                  obs::Histogram::duration_bounds(),
+                  "Numeric re-factorization wall time",
+                  {{"runtime", to_string(options_.runtime)}})
+        .observe(wall.elapsed());
+    if (stats_.quality.degraded()) {
+      reg.counter("spx_solver_degraded_factorizes_total",
+                  "Factorizations completed with perturbed pivots")
+          .inc();
+    }
+  });
+}
+
+template <typename T>
 void Solver<T>::factorize_numeric(obs::SpanContext parent) {
   const Factorization kind = kind_;
   Timer wall;
@@ -229,7 +312,6 @@ void Solver<T>::factorize_numeric(obs::SpanContext parent) {
     // per-task spans) parent under this factorize's span.
     dopts.instr = options_.instr;
     dopts.instr.parent = parent.valid() ? parent : options_.instr.parent;
-    dopts.instr.fault = effective_fault();
     // Cost oracle: calibrated model when configured and loadable, flop
     // proportionality otherwise.  The calibrated path also attaches the
     // model-error probe and (optionally) the online-refinement observer.

@@ -10,10 +10,14 @@
 //
 // The analyze step (ordering + symbolic factorization) is reusable across
 // factorizations of matrices with the same pattern -- static pivoting
-// makes the structure value-independent (paper §III).  The lifecycle is
-// strict and misuse fails loudly: factorize() throws before analyze() or
-// when the matrix pattern differs from the analyzed one, solve() throws
-// before factorize(), and re-analyzing invalidates the current factors.
+// makes the structure value-independent (paper §III).  When the values
+// drift but the pattern holds (time stepping, Newton loops),
+// refactorize() reruns only the numeric sweep against the live FactorData
+// allocation.  The lifecycle is strict and misuse fails loudly:
+// factorize() throws before analyze() or when the matrix pattern differs
+// from the analyzed one, refactorize() throws before the first
+// factorize(), solve() throws before factorize(), and re-analyzing
+// invalidates the current factors.
 // The analysis itself is held as shared immutable state
 // (std::shared_ptr<const Analysis>) so many solvers -- e.g. concurrent
 // requests in the solve service (src/service/) -- can factorize different
@@ -94,9 +98,6 @@ struct SolverOptions {
   /// FactorData as AllocationHook.  Set once -- e.g. via OptionsBuilder
   /// (service/options_builder.hpp) -- instead of per layer.
   obs::InstrumentationOptions instr;
-  /// Deprecated alias of `instr.fault`.  Honored when `instr.fault` is
-  /// unset.
-  [[deprecated("set instr.fault instead")]] FaultInjector* fault = nullptr;
 };
 
 /// What a solve did beyond plain substitution.  `degraded` mirrors the
@@ -136,6 +137,18 @@ class Solver {
   /// solver rolls back to "analyzed, not factorized": factorize() can be
   /// retried (e.g. with different options) without re-analyzing.
   void factorize(const CscMatrix<T>& a, Factorization kind);
+
+  /// Numeric-only re-factorization: ingests the new values of `a` (whose
+  /// pattern must be the factorized one) while reusing the cached analysis
+  /// AND the already-allocated FactorData -- no re-analyze, no re-alloc.
+  /// This is the time-stepping / Newton-loop fast path: the symbolic side
+  /// is value-independent under static pivoting, so only the numeric sweep
+  /// reruns.  Throws InvalidArgument before the first factorize() (the
+  /// fast path has nothing to reuse) and on a pattern-digest mismatch.
+  /// On numeric failure the PREVIOUS factors are rolled back intact --
+  /// unlike factorize(), a failed refactorize leaves the solver still
+  /// factorized and servable with the old values.
+  void refactorize(const CscMatrix<T>& a);
 
   /// In-place solve of A x = b using the current factors.  When the
   /// factorization was perturbed, iterative refinement runs automatically
@@ -199,8 +212,6 @@ class Solver {
 
  private:
   void load_perf_model();
-  /// The fault harness in effect: instr.fault, or the deprecated alias.
-  FaultInjector* effective_fault() const;
   /// Runs the scheduler/driver (or the sequential loop) on factors_,
   /// parenting driver spans under `parent` (the factorize span).
   void factorize_numeric(obs::SpanContext parent);
@@ -224,6 +235,10 @@ class Solver {
   /// Input matrix retained by a *degraded* factorize() so solve() can
   /// refine without asking the caller to keep A around (null otherwise).
   std::unique_ptr<CscMatrix<T>> refine_matrix_;
+  /// Value snapshot (L then U then D) taken at the top of refactorize();
+  /// sized on first use, reused after -- the rollback that keeps a failed
+  /// refactorize servable costs no steady-state allocation.
+  std::vector<T> refactor_backup_;
 };
 
 extern template class Solver<real_t>;

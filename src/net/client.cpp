@@ -196,7 +196,7 @@ Resp handle_error_frame(const FrameParser::Frame& frame,
   if (net_error_out != nullptr) {
     *net_error_out = err.code;
     Resp r;
-    r.status = 3;  // service::RequestStatus::Failed
+    r.status = 1;  // service::RequestStatus::Failed
     r.error = err.message;
     return r;
   }
@@ -255,6 +255,31 @@ SolveResponseFrame BlockingClient::solve(const std::string& tenant,
                         to_string(frame.header.type));
   }
   return decode_solve_response(frame.payload);
+}
+
+FactorizeResponseFrame BlockingClient::refactorize(
+    const std::string& tenant, std::uint64_t pattern_digest,
+    std::uint64_t factor_id, const std::vector<real_t>& values,
+    WireTrace trace, NetError* net_error_out) {
+  if (net_error_out != nullptr) *net_error_out = NetError{};
+  RefactorizeRequestFrame req;
+  req.pattern_digest = pattern_digest;
+  req.trace = trace;
+  req.factor_id = factor_id;
+  req.tenant = tenant;
+  req.deadline_s = deadline_s_;
+  req.values = values;
+  const std::uint64_t corr = next_corr_++;
+  const auto frame =
+      call_prepared(encode_refactorize_request(corr, req), corr);
+  if (frame.header.type == FrameType::Error) {
+    return handle_error_frame<FactorizeResponseFrame>(frame, net_error_out);
+  }
+  if (frame.header.type != FrameType::RefactorizeResponse) {
+    throw ProtocolError(std::string("unexpected response type: ") +
+                        to_string(frame.header.type));
+  }
+  return decode_refactorize_response(frame.payload);
 }
 
 bool BlockingClient::ping() {

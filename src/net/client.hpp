@@ -70,6 +70,15 @@ class BlockingClient {
                            const std::vector<real_t>& rhs,
                            WireTrace trace = {},
                            NetError* net_error_out = nullptr);
+  /// Remote numeric-only refactorize of a resident factor (v3 opcode):
+  /// `values` are the nnz new values in the factorized pattern's storage
+  /// order, digest-checked server-side.
+  FactorizeResponseFrame refactorize(const std::string& tenant,
+                                     std::uint64_t pattern_digest,
+                                     std::uint64_t factor_id,
+                                     const std::vector<real_t>& values,
+                                     WireTrace trace = {},
+                                     NetError* net_error_out = nullptr);
   bool ping();
 
  private:

@@ -169,7 +169,8 @@ void FrontServer::on_client_frame(Connection& conn,
     return;
   }
   if (header.type != FrameType::FactorizeRequest &&
-      header.type != FrameType::SolveRequest) {
+      header.type != FrameType::SolveRequest &&
+      header.type != FrameType::RefactorizeRequest) {
     conn.send(encode_error(
         header.corr_id, NetError::UnsupportedType,
         std::string("front does not handle ") + to_string(header.type)));

@@ -205,6 +205,10 @@ const char* to_string(FrameType t) {
       return "ping";
     case FrameType::Pong:
       return "pong";
+    case FrameType::RefactorizeRequest:
+      return "refactorize_request";
+    case FrameType::RefactorizeResponse:
+      return "refactorize_response";
   }
   return "?";
 }
@@ -279,8 +283,24 @@ std::vector<std::uint8_t> encode_solve_request(std::uint64_t corr_id,
   return out;
 }
 
-std::vector<std::uint8_t> encode_factorize_response(
-    std::uint64_t corr_id, const FactorizeResponseFrame& f) {
+std::vector<std::uint8_t> encode_refactorize_request(
+    std::uint64_t corr_id, const RefactorizeRequestFrame& f) {
+  std::vector<std::uint8_t> out;
+  begin_frame(out);
+  WireWriter w(out);
+  w.u64(f.pattern_digest);
+  write_trace(w, f.trace);
+  w.u64(f.factor_id);
+  w.str16(f.tenant);
+  w.f64(f.deadline_s);
+  w.u32(static_cast<std::uint32_t>(f.values.size()));
+  w.array(std::span<const real_t>(f.values));
+  end_frame(out, FrameType::RefactorizeRequest, corr_id);
+  return out;
+}
+
+static std::vector<std::uint8_t> encode_factorize_response_as(
+    FrameType type, std::uint64_t corr_id, const FactorizeResponseFrame& f) {
   std::vector<std::uint8_t> out;
   begin_frame(out);
   WireWriter w(out);
@@ -291,8 +311,20 @@ std::vector<std::uint8_t> encode_factorize_response(
   w.str16(f.shard);
   w.str32(f.error);
   w.str32(f.stats_json);
-  end_frame(out, FrameType::FactorizeResponse, corr_id);
+  end_frame(out, type, corr_id);
   return out;
+}
+
+std::vector<std::uint8_t> encode_factorize_response(
+    std::uint64_t corr_id, const FactorizeResponseFrame& f) {
+  return encode_factorize_response_as(FrameType::FactorizeResponse, corr_id,
+                                      f);
+}
+
+std::vector<std::uint8_t> encode_refactorize_response(
+    std::uint64_t corr_id, const FactorizeResponseFrame& f) {
+  return encode_factorize_response_as(FrameType::RefactorizeResponse, corr_id,
+                                      f);
 }
 
 std::vector<std::uint8_t> encode_solve_response(
@@ -445,6 +477,21 @@ SolveRequestFrame decode_solve_request(
   return f;
 }
 
+RefactorizeRequestFrame decode_refactorize_request(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  RefactorizeRequestFrame f;
+  f.pattern_digest = r.u64();
+  f.trace = read_trace(r);
+  f.factor_id = r.u64();
+  f.tenant = r.str16();
+  f.deadline_s = r.f64();
+  const std::uint32_t n = r.u32();
+  f.values = r.array<real_t>(n);
+  r.expect_end();
+  return f;
+}
+
 FactorizeResponseFrame decode_factorize_response(
     std::span<const std::uint8_t> payload) {
   WireReader r(payload);
@@ -458,6 +505,11 @@ FactorizeResponseFrame decode_factorize_response(
   f.stats_json = r.str32();
   r.expect_end();
   return f;
+}
+
+FactorizeResponseFrame decode_refactorize_response(
+    std::span<const std::uint8_t> payload) {
+  return decode_factorize_response(payload);  // shared body layout
 }
 
 SolveResponseFrame decode_solve_response(
@@ -497,7 +549,8 @@ std::uint64_t peek_pattern_digest(std::span<const std::uint8_t> payload) {
 
 double peek_deadline(FrameType type, std::span<const std::uint8_t> payload) {
   if (type != FrameType::FactorizeRequest &&
-      type != FrameType::SolveRequest) {
+      type != FrameType::SolveRequest &&
+      type != FrameType::RefactorizeRequest) {
     return 0.0;
   }
   try {
@@ -507,7 +560,7 @@ double peek_deadline(FrameType type, std::span<const std::uint8_t> payload) {
     if (type == FrameType::FactorizeRequest) {
       r.u8();  // factorization kind
     } else {
-      r.u64();  // factor id
+      r.u64();  // factor id (solve and refactorize share the prefix)
     }
     r.str16();  // tenant
     const double deadline = r.f64();

@@ -51,7 +51,10 @@ inline constexpr std::uint32_t kMagic = 0x57585053u;
 /// Protocol version; a peer speaking a different version gets an Error
 /// frame with code VersionMismatch and the connection is closed.
 /// v2 added the optional per-frame CRC32C trailer (kFlagChecksum).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v3 added the refactorize opcodes (RefactorizeRequest/Response) -- a
+/// v2 peer cannot express them, so the version gate is the skew defense
+/// (tests/test_net.cpp exercises both directions).
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Frame header size on the wire.
 inline constexpr std::size_t kHeaderBytes = 20;
 /// Default ceiling on payload size; larger length fields are rejected
@@ -75,6 +78,8 @@ enum class FrameType : std::uint8_t {
   Error = 5,
   Ping = 6,
   Pong = 7,
+  RefactorizeRequest = 8,   ///< v3: numeric-only refresh of a live factor
+  RefactorizeResponse = 9,  ///< v3: same body layout as FactorizeResponse
 };
 
 const char* to_string(FrameType t);
@@ -134,6 +139,20 @@ struct SolveRequestFrame {
   std::vector<real_t> rhs;
 };
 
+/// Numeric-only re-factorization of a resident factor: new values for the
+/// pattern the factor was built from.  The prefix layout (digest, trace,
+/// factor id, tenant, deadline) deliberately matches SolveRequestFrame,
+/// so peek_deadline and the routing path treat both alike.  The shard
+/// verifies `pattern_digest` against the factor before ingesting.
+struct RefactorizeRequestFrame {
+  std::uint64_t pattern_digest = 0;  ///< routes to the factor's shard
+  WireTrace trace;
+  std::uint64_t factor_id = 0;  ///< from a FactorizeResponse
+  std::string tenant;
+  double deadline_s = 0;
+  std::vector<real_t> values;  ///< nnz new values, CSC storage order
+};
+
 struct FactorizeResponseFrame {
   std::uint8_t status = 0;  ///< service::RequestStatus
   std::uint8_t code = 0;    ///< service::ErrorCode
@@ -167,7 +186,13 @@ std::vector<std::uint8_t> encode_factorize_request(
     const CscMatrix<real_t>& a);
 std::vector<std::uint8_t> encode_solve_request(std::uint64_t corr_id,
                                                const SolveRequestFrame& f);
+std::vector<std::uint8_t> encode_refactorize_request(
+    std::uint64_t corr_id, const RefactorizeRequestFrame& f);
 std::vector<std::uint8_t> encode_factorize_response(
+    std::uint64_t corr_id, const FactorizeResponseFrame& f);
+/// Same body layout as FactorizeResponse under the RefactorizeResponse
+/// frame type (a refactorize outcome IS a factorize outcome).
+std::vector<std::uint8_t> encode_refactorize_response(
     std::uint64_t corr_id, const FactorizeResponseFrame& f);
 std::vector<std::uint8_t> encode_solve_response(
     std::uint64_t corr_id, const SolveResponseFrame& f);
@@ -201,7 +226,11 @@ FrameHeader decode_header(std::span<const std::uint8_t> bytes);
 FactorizeRequestFrame decode_factorize_request(
     std::span<const std::uint8_t> payload);
 SolveRequestFrame decode_solve_request(std::span<const std::uint8_t> payload);
+RefactorizeRequestFrame decode_refactorize_request(
+    std::span<const std::uint8_t> payload);
 FactorizeResponseFrame decode_factorize_response(
+    std::span<const std::uint8_t> payload);
+FactorizeResponseFrame decode_refactorize_response(
     std::span<const std::uint8_t> payload);
 SolveResponseFrame decode_solve_response(
     std::span<const std::uint8_t> payload);

@@ -155,6 +155,10 @@ void ShardServer::on_frame(Connection& conn, const FrameHeader& header,
       SPX_OBS(rpc_dispatched_->inc());
       handle_solve(conn, header.corr_id, payload);
       return;
+    case FrameType::RefactorizeRequest:
+      SPX_OBS(rpc_dispatched_->inc());
+      handle_refactorize(conn, header.corr_id, payload);
+      return;
     default:
       SPX_OBS(rpc_errors_->inc());
       conn.send(encode_error(
@@ -229,7 +233,10 @@ void ShardServer::handle_factorize(Connection& conn, std::uint64_t corr,
     out.degraded = res.stats.degraded;
     if (res.ok()) {
       out.factor_id = register_factor(res.factor);
-      if (store_ != nullptr) {
+      // fp32 factors stay memory-only: the snapshot format carries fp64
+      // factor values, and the float path needs its reference matrix for
+      // refinement, so they are neither warm-indexed nor persisted.
+      if (store_ != nullptr && !res.factor->fp32()) {
         warm_[wkey] = out.factor_id;
         warm_count_.store(warm_.size(), std::memory_order_release);
         if (!res.stats.degraded) {
@@ -246,11 +253,13 @@ void ShardServer::handle_factorize(Connection& conn, std::uint64_t corr,
     // shard (e.g. after an injected fault or a transient overload).
     dedup_finish(key, encode_factorize_response(corr, out), res.ok());
   };
-  const obs::SpanContext trace =
-      dispatch.active() ? dispatch.context() : wire_parent;
-  *ticket = service_->submit_factorize(
-      req.tenant, req.matrix, req.kind, req.deadline_s, trace,
-      [this, finalize] { loop_.post(finalize); });
+  service::RequestOptions ropts;
+  ropts.tenant = req.tenant;
+  ropts.deadline_s = req.deadline_s;
+  ropts.trace = dispatch.active() ? dispatch.context() : wire_parent;
+  ropts.on_complete = [this, finalize] { loop_.post(finalize); };
+  *ticket =
+      service_->submit_factorize(std::move(ropts), req.matrix, req.kind);
 }
 
 void ShardServer::handle_solve(Connection& conn, std::uint64_t corr,
@@ -300,14 +309,124 @@ void ShardServer::handle_solve(Connection& conn, std::uint64_t corr,
     out.x = res.x;
     dedup_finish(key, encode_solve_response(corr, out), res.ok());
   };
-  const obs::SpanContext trace =
-      dispatch.active() ? dispatch.context() : wire_parent;
+  service::RequestOptions ropts;
+  ropts.tenant = req.tenant;
+  ropts.deadline_s = req.deadline_s;
+  ropts.trace = dispatch.active() ? dispatch.context() : wire_parent;
+  ropts.on_complete = [this, finalize] { loop_.post(finalize); };
   try {
-    *ticket = service_->submit_solve(
-        req.tenant, std::move(factor), std::move(req.rhs), req.deadline_s,
-        trace, [this, finalize] { loop_.post(finalize); });
+    *ticket = service_->submit_solve(std::move(ropts), std::move(factor),
+                                     std::move(req.rhs));
   } catch (const InvalidArgument& e) {
     // rhs size / factor mismatch: a caller bug, answered (not a drop).
+    SPX_OBS(rpc_errors_->inc());
+    dedup_finish(key, encode_error(corr, NetError::Malformed, e.what()),
+                 false);
+  }
+}
+
+void ShardServer::handle_refactorize(Connection& conn, std::uint64_t corr,
+                                     std::span<const std::uint8_t> payload) {
+  if (draining()) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::Draining, "shard draining"));
+    return;
+  }
+  RefactorizeRequestFrame req;
+  try {
+    req = decode_refactorize_request(payload);
+  } catch (const ProtocolError& e) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send_error_and_close(corr, NetError::Malformed, e.what());
+    return;
+  }
+  service::FactorHandle factor = find_factor(req.factor_id);
+  if (factor == nullptr) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::UnknownFactor,
+                           "factor " + std::to_string(req.factor_id) +
+                               " is not resident on this shard"));
+    return;
+  }
+  if (!factor->refactorizable()) {
+    // A snapshot-restored factor has no retained matrix to ingest values
+    // into; the client's recovery action is the same as for an evicted
+    // factor: submit a full factorize.
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(corr, NetError::UnknownFactor,
+                           "factor " + std::to_string(req.factor_id) +
+                               " cannot ingest values (restored from a "
+                               "snapshot); submit a full factorize"));
+    return;
+  }
+  // Value ingestion is digest-checked: new values for a *different*
+  // pattern are a caller bug, not a refactorize.
+  if (factor->solver().pattern_digest() != req.pattern_digest) {
+    SPX_OBS(rpc_errors_->inc());
+    conn.send(encode_error(
+        corr, NetError::Malformed,
+        "pattern digest does not match factor " +
+            std::to_string(req.factor_id) +
+            "; refactorize ingests new values for the factorized pattern"));
+    return;
+  }
+  const std::uint64_t vhash = persist::value_hash(req.values);
+  const std::uint64_t fp = fingerprint(
+      req.factor_id, vhash,
+      static_cast<std::uint64_t>(FrameType::RefactorizeRequest), req.tenant);
+  if (dedup_admit(conn, corr, fp)) return;
+  const DedupKey key{corr, fp};
+  const obs::SpanContext wire_parent{req.trace.trace_id,
+                                     req.trace.parent_span};
+  obs::ScopedSpan dispatch;
+  SPX_OBS(dispatch = obs::ScopedSpan(tracer_, "rpc.dispatch", "net-",
+                                     wire_parent, 0,
+                                     static_cast<std::int64_t>(corr)));
+  auto ticket = std::make_shared<service::Ticket<FactorizeResult>>();
+  const std::uint64_t factor_id = req.factor_id;
+  const WarmKey wkey{req.pattern_digest, vhash,
+                     static_cast<std::uint8_t>(factor->kind())};
+  auto finalize = [this, ticket, corr, key, wkey, factor_id] {
+    const FactorizeResult res = ticket->get();
+    FactorizeResponseFrame out;
+    out.status = static_cast<std::uint8_t>(res.status);
+    out.code = static_cast<std::uint8_t>(res.code);
+    out.degraded = res.stats.degraded;
+    if (res.ok()) {
+      out.factor_id = factor_id;  // same handle, refreshed values
+      if (store_ != nullptr) {
+        // The old values are gone, so every warm entry pointing at this
+        // factor is stale; replace them with the ingested identity.
+        for (auto it = warm_.begin(); it != warm_.end();) {
+          it = it->second == factor_id ? warm_.erase(it) : std::next(it);
+        }
+        if (!res.factor->fp32()) {
+          warm_[wkey] = factor_id;
+          if (!res.stats.degraded) {
+            persist_factor(wkey.digest, wkey.vhash,
+                           static_cast<Factorization>(wkey.kind), factor_id,
+                           *res.factor);
+          }
+        }
+        warm_count_.store(warm_.size(), std::memory_order_release);
+      }
+    }
+    out.shard = options_.name;
+    out.error = res.error;
+    out.stats_json = res.stats.to_json().dump();
+    dedup_finish(key, encode_refactorize_response(corr, out), res.ok());
+  };
+  service::RequestOptions ropts;
+  ropts.tenant = req.tenant;
+  ropts.deadline_s = req.deadline_s;
+  ropts.trace = dispatch.active() ? dispatch.context() : wire_parent;
+  ropts.on_complete = [this, finalize] { loop_.post(finalize); };
+  try {
+    *ticket = service_->submit_refactorize(std::move(ropts),
+                                           std::move(factor),
+                                           std::move(req.values));
+  } catch (const InvalidArgument& e) {
+    // Value-count mismatch: a caller bug, answered (not a drop).
     SPX_OBS(rpc_errors_->inc());
     dedup_finish(key, encode_error(corr, NetError::Malformed, e.what()),
                  false);

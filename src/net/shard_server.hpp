@@ -136,6 +136,8 @@ class ShardServer {
                         std::span<const std::uint8_t> payload);
   void handle_solve(Connection& conn, std::uint64_t corr,
                     std::span<const std::uint8_t> payload);
+  void handle_refactorize(Connection& conn, std::uint64_t corr,
+                          std::span<const std::uint8_t> payload);
   /// Registers a completed factor, evicting LRU beyond max_factors.
   std::uint64_t register_factor(service::FactorHandle factor);
   /// Replay path: registers under a persisted id (no-op on collision).

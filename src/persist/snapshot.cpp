@@ -267,6 +267,7 @@ std::vector<std::uint8_t> encode_snapshot(const FactorSnapshot& snap) {
     w.u64(snap.pattern_digest);
     w.u64(snap.value_hash);
     w.u8(static_cast<std::uint8_t>(snap.kind));
+    w.u8(snap.precision);
     w.u64(snap.factor_id);
     write_analysis(w, *snap.analysis);
     write_quality(w, snap.quality);
@@ -318,6 +319,12 @@ FactorSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
     throw SnapshotError("unknown factorization kind in snapshot");
   }
   snap.kind = static_cast<Factorization>(kind);
+  snap.precision = r.u8();
+  if (snap.precision != 0) {
+    throw SnapshotError("unknown snapshot precision " +
+                        std::to_string(int(snap.precision)) +
+                        " (only fp64 snapshots are supported)");
+  }
   snap.factor_id = r.u64();
   Analysis an = read_analysis(r);
   snap.quality = read_quality(r);

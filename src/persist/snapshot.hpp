@@ -40,7 +40,8 @@ class SnapshotError : public std::runtime_error {
 /// Snapshot file magic: the bytes 'S' 'P' 'X' 'S' in order.
 inline constexpr std::uint32_t kSnapshotMagic = 0x53585053u;
 /// Bumped on any layout change; a mismatch rejects the file (cold start).
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2 added a precision byte after the factorization kind.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 /// Fixed prefix before the body: magic + version + length + crc.
 inline constexpr std::size_t kSnapshotHeaderBytes = 20;
 
@@ -49,6 +50,12 @@ struct FactorSnapshot {
   std::uint64_t pattern_digest = 0;  ///< routing/cache key of the pattern
   std::uint64_t value_hash = 0;      ///< FNV-1a over the matrix value bytes
   Factorization kind = Factorization::LLT;
+  /// Storage precision of the value arrays below.  Only 0 (fp64) is
+  /// written today: fp32 factors are memory-only because iterative
+  /// refinement needs the reference matrix, which snapshots don't carry.
+  /// The byte is in the format so a future fp32 layout bumps data, not
+  /// framing; loaders reject values they don't understand.
+  std::uint8_t precision = 0;
   std::uint64_t factor_id = 0;  ///< shard-assigned id (stable across restart)
   std::shared_ptr<const Analysis> analysis;
   FactorQuality quality;

@@ -119,14 +119,8 @@ class RealRun {
         registry_(obs::registry_or_global(options.instr.metrics)),
         metrics_(registry_),
         tracer_(options.instr.tracer) {
-    // Honor the deprecated trace/fault aliases when the layered field is
-    // unset (one-release compatibility; see RealDriverOptions).
-    SPX_SUPPRESS_DEPRECATED_BEGIN
-    trace_ = options.instr.trace != nullptr ? options.instr.trace
-                                            : options.trace;
-    fault_ = options.instr.fault != nullptr ? options.instr.fault
-                                            : options.fault;
-    SPX_SUPPRESS_DEPRECATED_END
+    trace_ = options.instr.trace;
+    fault_ = options.instr.fault;
     panel_locks_ = std::make_unique<std::mutex[]>(
         static_cast<std::size_t>(f.structure().num_panels()));
     if (options_.hetero.enabled()) {

@@ -55,12 +55,6 @@ struct RealDriverOptions {
   /// in `hetero.devices`, matching the Machine's GPU count.  Empty =
   /// classic unified-memory driver, no staging machinery at all.
   HeteroOptions hetero;
-  /// Deprecated alias of `instr.trace` (wall-clock trace sink).  Honored
-  /// when `instr.trace` is unset.
-  [[deprecated("set instr.trace instead")]] TraceRecorder* trace = nullptr;
-  /// Deprecated alias of `instr.fault`.  Honored when `instr.fault` is
-  /// unset.
-  [[deprecated("set instr.fault instead")]] FaultInjector* fault = nullptr;
 };
 
 /// Factorizes `f` in place under `scheduler`; spawns one thread per

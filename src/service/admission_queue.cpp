@@ -1,18 +1,53 @@
 #include "service/admission_queue.hpp"
 
+#include <algorithm>
+
 namespace spx::service {
 
 AdmissionQueue::AdmissionQueue(std::size_t per_tenant_capacity,
-                               obs::MetricsRegistry* registry)
-    : capacity_(per_tenant_capacity == 0 ? 1 : per_tenant_capacity) {
-  obs::MetricsRegistry& reg = obs::registry_or_global(registry);
-  m_admitted_ = &reg.counter("spx_admission_admitted_total",
-                             "Requests accepted into a tenant queue");
-  m_rejected_ = &reg.counter(
+                               obs::MetricsRegistry* registry,
+                               std::map<std::string, TenantConfig> tenants)
+    : capacity_(per_tenant_capacity == 0 ? 1 : per_tenant_capacity),
+      registry_(&obs::registry_or_global(registry)),
+      config_(std::move(tenants)) {
+  m_admitted_ = &registry_->counter("spx_admission_admitted_total",
+                                    "Requests accepted into a tenant queue");
+  m_rejected_ = &registry_->counter(
       "spx_admission_rejected_total",
       "Requests bounced at admission (tenant queue full or shutdown)");
-  m_depth_ =
-      &reg.gauge("spx_admission_queue_depth", "Requests currently queued");
+  m_depth_ = &registry_->gauge("spx_admission_queue_depth",
+                               "Requests currently queued");
+}
+
+AdmissionQueue::Tenant& AdmissionQueue::tenant_locked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  tenant_order_.push_back(name);
+  Tenant& t = tenants_[name];
+  t.capacity = capacity_;
+  if (const auto cfg = config_.find(name); cfg != config_.end()) {
+    if (cfg->second.weight > 0) t.weight = cfg->second.weight;
+    if (cfg->second.queue_capacity > 0) {
+      t.capacity = cfg->second.queue_capacity;
+    }
+  }
+  SPX_OBS({
+    const obs::Labels labels(1, {"tenant", name});
+    t.m_admitted =
+        &registry_->counter("spx_service_tenant_admitted_total",
+                            "Requests this tenant got admitted", labels);
+    t.m_rejected = &registry_->counter(
+        "spx_service_tenant_rejected_total",
+        "Requests this tenant had bounced at admission", labels);
+    t.m_served = &registry_->counter(
+        "spx_service_tenant_served_total",
+        "Queue slots the weighted rotation granted this tenant", labels);
+    t.m_depth =
+        &registry_->gauge("spx_service_tenant_queue_depth",
+                          "Requests this tenant has queued", labels);
+  });
+  return t;
 }
 
 bool AdmissionQueue::try_push(std::shared_ptr<JobBase> job) {
@@ -22,21 +57,32 @@ bool AdmissionQueue::try_push(std::shared_ptr<JobBase> job) {
       SPX_OBS(m_rejected_->inc());
       return false;
     }
-    auto it = queues_.find(job->tenant);
-    if (it == queues_.end()) {
-      tenant_order_.push_back(job->tenant);
-      it = queues_.emplace(job->tenant, std::deque<std::shared_ptr<JobBase>>())
-               .first;
-    }
-    if (it->second.size() >= capacity_) {  // backpressure
-      SPX_OBS(m_rejected_->inc());
+    Tenant& t = tenant_locked(job->tenant);
+    if (t.q.size() >= t.capacity) {  // backpressure
+      SPX_OBS({
+        m_rejected_->inc();
+        t.m_rejected->inc();
+      });
       return false;
     }
-    it->second.push_back(std::move(job));
+    if (job->has_deadline()) {
+      // EDF within the tenant: after every queued job with an earlier or
+      // equal deadline, before deadline-free jobs (which stay FIFO).
+      const auto pos = std::lower_bound(
+          t.q.begin(), t.q.end(), job->deadline,
+          [](const std::shared_ptr<JobBase>& j, Clock::time_point d) {
+            return j->has_deadline() && j->deadline <= d;
+          });
+      t.q.insert(pos, std::move(job));
+    } else {
+      t.q.push_back(std::move(job));
+    }
     ++depth_;
     SPX_OBS({
       m_admitted_->inc();
+      t.m_admitted->inc();
       m_depth_->set(static_cast<double>(depth_));
+      t.m_depth->set(static_cast<double>(t.q.size()));
     });
   }
   cv_.notify_one();
@@ -44,19 +90,32 @@ bool AdmissionQueue::try_push(std::shared_ptr<JobBase> job) {
 }
 
 std::shared_ptr<JobBase> AdmissionQueue::pop_locked() {
-  const std::size_t tenants = tenant_order_.size();
-  for (std::size_t i = 0; i < tenants; ++i) {
-    const std::size_t t = (rr_ + i) % tenants;
-    auto& q = queues_[tenant_order_[t]];
-    if (q.empty()) continue;
-    std::shared_ptr<JobBase> job = std::move(q.front());
-    q.pop_front();
-    --depth_;
-    SPX_OBS(m_depth_->set(static_cast<double>(depth_)));
-    rr_ = (t + 1) % tenants;  // next rotation starts after this tenant
-    return job;
+  // Smooth weighted round-robin over tenants with pending work: each
+  // candidate accumulates its weight, the largest accumulator wins and
+  // pays back the round's total.  Equal weights reproduce plain
+  // round-robin; a tenant that drains resets its accumulator so a later
+  // burst starts from a clean slate.
+  double total = 0.0;
+  Tenant* best = nullptr;
+  for (const std::string& name : tenant_order_) {
+    Tenant& t = tenants_[name];
+    if (t.q.empty()) continue;
+    total += t.weight;
+    t.wrr_current += t.weight;
+    if (best == nullptr || t.wrr_current > best->wrr_current) best = &t;
   }
-  return nullptr;
+  if (best == nullptr) return nullptr;
+  best->wrr_current -= total;
+  std::shared_ptr<JobBase> job = std::move(best->q.front());
+  best->q.pop_front();
+  if (best->q.empty()) best->wrr_current = 0.0;
+  --depth_;
+  SPX_OBS({
+    m_depth_->set(static_cast<double>(depth_));
+    best->m_served->inc();
+    best->m_depth->set(static_cast<double>(best->q.size()));
+  });
+  return job;
 }
 
 std::shared_ptr<JobBase> AdmissionQueue::pop() {
@@ -84,6 +143,14 @@ void AdmissionQueue::shutdown() {
 std::size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return depth_;
+}
+
+double AdmissionQueue::tenant_weight(const std::string& tenant) const {
+  if (const auto cfg = config_.find(tenant);
+      cfg != config_.end() && cfg->second.weight > 0) {
+    return cfg->second.weight;
+  }
+  return 1.0;
 }
 
 }  // namespace spx::service

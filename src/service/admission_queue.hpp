@@ -1,15 +1,22 @@
-// Bounded multi-tenant admission queue with round-robin fairness.
+// Bounded multi-tenant admission queue with weighted fair scheduling.
 //
-// Each tenant gets its own FIFO of at most `per_tenant_capacity` requests;
-// a submit beyond that bound is rejected immediately (backpressure --
-// callers get a Rejected result instead of the queue growing without
-// limit).  Workers pop in round-robin order across tenants with pending
-// work, so a tenant flooding its queue delays only itself: every other
-// tenant still gets one slot per rotation (no starvation).
+// Each tenant gets its own bounded queue; a submit beyond the bound is
+// rejected immediately (backpressure -- callers get a Rejected result
+// instead of the queue growing without limit).  Workers pop under smooth
+// weighted round-robin across tenants with pending work (the nginx
+// algorithm: every candidate accumulates its weight, the largest
+// accumulator wins and pays back the total), so a weight-4 tenant gets
+// four slots for every slot of a weight-1 tenant and nobody starves --
+// with the default weight of 1 for every tenant this degenerates to the
+// plain round-robin the service always had.  Within one tenant's queue
+// ordering is deadline-aware: jobs with a deadline run earliest-deadline-
+// first ahead of deadline-free jobs, which keep FIFO order (EDF within
+// the weight class).
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,18 +29,21 @@ namespace spx::service {
 
 class AdmissionQueue {
  public:
-  /// `registry` receives the spx_admission_* series (null = the
-  /// process-global registry).
+  /// `registry` receives the spx_admission_* and spx_service_tenant_*
+  /// series (null = the process-global registry).  `tenants` carries the
+  /// per-tenant weight / capacity overrides; tenants not listed get
+  /// weight 1 and `per_tenant_capacity`.
   explicit AdmissionQueue(std::size_t per_tenant_capacity,
-                          obs::MetricsRegistry* registry = nullptr);
+                          obs::MetricsRegistry* registry = nullptr,
+                          std::map<std::string, TenantConfig> tenants = {});
 
-  /// Admits `job` to its tenant's queue.  Returns false (caller completes
-  /// the job as Rejected) when that queue is full or the queue is shut
-  /// down.
+  /// Admits `job` to its tenant's queue (EDF position when it carries a
+  /// deadline).  Returns false (caller completes the job as Rejected)
+  /// when that queue is full or the queue is shut down.
   bool try_push(std::shared_ptr<JobBase> job);
 
-  /// Blocks for the next job, rotating fairly across tenants; returns
-  /// null once the queue is shut down AND drained by pop() callers.
+  /// Blocks for the next job under weighted fair rotation; returns null
+  /// once the queue is shut down AND drained by pop() callers.
   std::shared_ptr<JobBase> pop();
 
   /// Non-blocking pop (shutdown drain); null when empty.
@@ -45,20 +55,36 @@ class AdmissionQueue {
 
   std::size_t depth() const;
 
+  /// The effective weight of `tenant` (configured, or the default 1).
+  double tenant_weight(const std::string& tenant) const;
+
  private:
+  struct Tenant {
+    std::deque<std::shared_ptr<JobBase>> q;
+    double weight = 1.0;
+    double wrr_current = 0.0;  ///< smooth-WRR accumulator
+    std::size_t capacity = 1;
+    obs::Counter* m_admitted = nullptr;  ///< spx_service_tenant_admitted_total
+    obs::Counter* m_rejected = nullptr;  ///< spx_service_tenant_rejected_total
+    obs::Counter* m_served = nullptr;    ///< spx_service_tenant_served_total
+    obs::Gauge* m_depth = nullptr;       ///< spx_service_tenant_queue_depth
+  };
+
   std::shared_ptr<JobBase> pop_locked();
+  Tenant& tenant_locked(const std::string& name);
 
   const std::size_t capacity_;
+  obs::MetricsRegistry* registry_;
+  const std::map<std::string, TenantConfig> config_;
   obs::Counter* m_admitted_;  ///< spx_admission_admitted_total
   obs::Counter* m_rejected_;  ///< spx_admission_rejected_total (full/shutdown)
   obs::Gauge* m_depth_;       ///< spx_admission_queue_depth
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  /// Tenants in first-seen order; the round-robin cursor walks this.
+  /// Tenants in first-seen order; ties in the weighted rotation break
+  /// toward the earliest-seen tenant, keeping pops deterministic.
   std::vector<std::string> tenant_order_;
-  std::unordered_map<std::string, std::deque<std::shared_ptr<JobBase>>>
-      queues_;
-  std::size_t rr_ = 0;
+  std::unordered_map<std::string, Tenant> tenants_;
   std::size_t depth_ = 0;
   bool shutdown_ = false;
 };

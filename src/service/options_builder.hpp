@@ -13,10 +13,10 @@
 //
 // Before this builder the same knobs lived in three places --
 // RealDriverOptions::{trace,fault}, SolverOptions::fault, and the service
-// config -- and had to be re-plumbed at every layer boundary.  Those
-// duplicated fields survive one release as [[deprecated]] aliases; the
-// builder (and the InstrumentationOptions struct it fills) is the
-// supported path.
+// config -- and had to be re-plumbed at every layer boundary.  The
+// [[deprecated]] aliases that bridged one release are gone; the builder
+// (and the InstrumentationOptions struct it fills, reachable directly as
+// `options.instr`) is the only path.
 #pragma once
 
 #include "core/solver.hpp"
@@ -112,6 +112,25 @@ class OptionsBuilder {
   }
   OptionsBuilder& retry_backoff(double seconds) {
     service_.retry_backoff_s = seconds;
+    return *this;
+  }
+  /// Service-wide default precision policy (per-tenant and per-request
+  /// settings override it; see docs/SERVICE.md "Precision policy").
+  OptionsBuilder& precision(service::PrecisionPolicy policy) {
+    service_.precision = policy;
+    return *this;
+  }
+  /// Convergence target for fp32+refinement serving; tripping it falls
+  /// back to a full fp64 factorization.
+  OptionsBuilder& mixed_tolerance(double tol) {
+    service_.mixed_tolerance = tol;
+    return *this;
+  }
+  /// Declares (or replaces) a tenant's QoS configuration: scheduling
+  /// weight, queue capacity, and optional precision override.
+  OptionsBuilder& tenant(const std::string& name,
+                         service::TenantConfig config) {
+    service_.tenants[name] = config;
     return *this;
   }
 

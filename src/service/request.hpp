@@ -16,7 +16,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "obs/obs.hpp"
@@ -26,7 +28,7 @@ namespace spx::service {
 
 using Clock = std::chrono::steady_clock;
 
-enum class JobKind { Factorize, Solve };
+enum class JobKind { Factorize, Refactorize, Solve };
 
 /// Service-wide counters, updated lock-free from workers and cancelling
 /// callers; SolveService::stats() snapshots them.
@@ -44,6 +46,7 @@ struct SharedCounters {
   std::atomic<std::uint64_t> cancelled{0};
   std::atomic<std::uint64_t> expired{0};
   std::atomic<std::uint64_t> factorizes{0};
+  std::atomic<std::uint64_t> refactorizes{0};
   std::atomic<std::uint64_t> solves{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batched_rhs{0};
@@ -61,6 +64,7 @@ struct SharedCounters {
   obs::Counter* m_cancelled = nullptr;
   obs::Counter* m_expired = nullptr;
   obs::Counter* m_factorizes = nullptr;
+  obs::Counter* m_refactorizes = nullptr;
   obs::Counter* m_solves = nullptr;
   obs::Counter* m_batches = nullptr;
   obs::Counter* m_batched_rhs = nullptr;
@@ -81,12 +85,25 @@ struct SharedCounters {
   void note_completed() { bump(completed, m_completed); }
   void note_failed() { bump(failed, m_failed); }
   void note_factorize() { bump(factorizes, m_factorizes); }
+  void note_refactorize() { bump(refactorizes, m_refactorizes); }
   void note_solve() { bump(solves, m_solves); }
   void note_batch(std::uint64_t rhs) {
     bump(batches, m_batches);
     bump(batched_rhs, m_batched_rhs, rhs);
   }
   void note_retry() { bump(retries, m_retries); }
+
+  // ---- per-tenant slices -------------------------------------------
+  // Guarded by one mutex: tenant bumps happen once per request event,
+  // never on the per-task hot path.  Each slice mirrors into the
+  // spx_service_tenant_* labeled series when a registry was resolved.
+  void note_tenant_submitted(const std::string& tenant);
+  void note_tenant_rejected(const std::string& tenant);
+  /// Records a Done request: what kind it was and how it was served.
+  void note_tenant_done(const std::string& tenant, JobKind kind, bool fp32,
+                        bool fp64_fallback);
+  void set_tenant_weight(const std::string& tenant, double weight);
+  std::map<std::string, TenantStats> tenant_snapshot() const;
 
   void count_code(ErrorCode c) {
     const auto i = static_cast<std::size_t>(c);
@@ -110,6 +127,22 @@ struct SharedCounters {
         break;
     }
   }
+
+ private:
+  struct TenantCell {
+    TenantStats stats;
+    obs::Counter* m_submitted = nullptr;
+    obs::Counter* m_completed = nullptr;
+    obs::Counter* m_fp32_served = nullptr;
+    obs::Counter* m_fp64_fallbacks = nullptr;
+  };
+  /// Finds or creates the tenant's slice, binding its labeled series on
+  /// first sight when a registry was resolved.  Caller holds the mutex.
+  TenantCell& tenant_cell_locked(const std::string& tenant);
+
+  mutable std::mutex tenants_mutex_;
+  std::map<std::string, TenantCell> tenants_;
+  obs::MetricsRegistry* tenant_registry_ = nullptr;
 };
 
 struct JobBase {

@@ -67,6 +67,18 @@ const char* to_string(CacheOutcome c) {
   return "?";
 }
 
+const char* to_string(PrecisionPolicy p) {
+  switch (p) {
+    case PrecisionPolicy::Fp64:
+      return "fp64";
+    case PrecisionPolicy::Fp32Refine:
+      return "fp32_refine";
+    case PrecisionPolicy::Auto:
+      return "auto";
+  }
+  return "?";
+}
+
 void RequestStats::export_json(obs::JsonWriter& w) const {
   w.field("id", id).field("tenant", tenant).field("queue_wait_s",
                                                   queue_wait_s);
@@ -81,6 +93,14 @@ void RequestStats::export_json(obs::JsonWriter& w) const {
   if (attempts > 0) w.field("attempts", attempts);
   if (degraded) {
     w.field("degraded", true).field("backward_error", backward_error);
+  }
+  if (precision != PrecisionPolicy::Fp64 || fp32 || precision_fallback) {
+    w.field("precision", to_string(precision)).field("fp32", fp32);
+    if (precision_fallback) w.field("precision_fallback", true);
+    if (refine_iterations > 0) {
+      w.field("refine_iterations", refine_iterations)
+          .field("backward_error", backward_error);
+    }
   }
   w.field("completion_seq", completion_seq);
   if (run.makespan > 0) w.object("run", run);
@@ -97,6 +117,18 @@ void AnalysisCacheStats::export_json(obs::JsonWriter& w) const {
 }
 
 json::Value AnalysisCacheStats::to_json() const { return obs::to_json(*this); }
+
+void TenantStats::export_json(obs::JsonWriter& w) const {
+  w.field("submitted", submitted)
+      .field("completed", completed)
+      .field("rejected", rejected)
+      .field("factorizes", factorizes)
+      .field("refactorizes", refactorizes)
+      .field("solves", solves)
+      .field("fp32_served", fp32_served)
+      .field("fp64_fallbacks", fp64_fallbacks)
+      .field("weight", weight);
+}
 
 const char* ServiceStats::health() const {
   const std::uint64_t hard_failures =
@@ -117,6 +149,7 @@ void ServiceStats::export_json(obs::JsonWriter& w) const {
       .field("cancelled", cancelled)
       .field("expired", expired)
       .field("factorizes", factorizes)
+      .field("refactorizes", refactorizes)
       .field("solves", solves)
       .field("batches", batches)
       .field("batched_rhs", batched_rhs)
@@ -129,7 +162,10 @@ void ServiceStats::export_json(obs::JsonWriter& w) const {
                 }
               })
       .field("health", health())
-      .object("cache", cache);
+      .object("cache", cache)
+      .object("tenants", [&](obs::JsonWriter& t) {
+        for (const auto& [name, ts] : tenants) t.object(name, ts);
+      });
 }
 
 json::Value ServiceStats::to_json() const { return obs::to_json(*this); }

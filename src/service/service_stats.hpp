@@ -8,6 +8,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "common/json.hpp"
@@ -57,6 +58,39 @@ enum class CacheOutcome {
 
 const char* to_string(CacheOutcome c);
 
+/// Numeric precision policy of the serving path, resolved per request
+/// from the request override, the tenant's TenantConfig, then the
+/// service-wide default (docs/SERVICE.md "Precision policy").
+enum class PrecisionPolicy {
+  Fp64,        ///< factor and solve in double -- the classic path
+  Fp32Refine,  ///< factor in float, iteratively refine solves to fp64
+  Auto         ///< Fp32Refine, but skip fp32 for patterns that already
+               ///< tripped the fallback gate (adaptive)
+};
+
+const char* to_string(PrecisionPolicy p);
+
+/// Per-tenant QoS + serving configuration (ServiceOptions::tenants).
+/// Tenants absent from that map get the defaults below, which reproduce
+/// the historical behavior exactly: equal round-robin shares, the
+/// service-wide queue bound, and the service-wide precision policy.
+struct TenantConfig {
+  /// Weighted share of worker pops under contention: the admission queue
+  /// runs smooth weighted round-robin across tenants with pending work,
+  /// so a weight-4 tenant gets 4 slots for every slot of a weight-1
+  /// tenant.  1.0 = plain round-robin.
+  double weight = 1.0;
+  /// Per-tenant admission bound; 0 = ServiceOptions::queue_capacity.
+  std::size_t queue_capacity = 0;
+  /// Default precision policy for this tenant's factorizations (a
+  /// RequestOptions::precision override still wins).  Unset = the
+  /// service-wide ServiceOptions::precision.
+  PrecisionPolicy precision = PrecisionPolicy::Fp64;
+  /// True when `precision` was set explicitly (distinguishes "tenant
+  /// wants fp64" from "tenant has no opinion").
+  bool precision_set = false;
+};
+
 /// Per-request statistics, attached to every result the service returns.
 struct RequestStats : obs::Exportable {
   std::uint64_t id = 0;
@@ -70,7 +104,15 @@ struct RequestStats : obs::Exportable {
   ErrorCode code = ErrorCode::None;  ///< structured outcome classification
   int attempts = 0;         ///< execution attempts (factorize retry loop)
   bool degraded = false;    ///< static pivoting perturbed this request
-  double backward_error = 0;  ///< residual after refinement (degraded only)
+  /// Max-norm relative residual after refinement; populated when the
+  /// request degraded (static pivoting) or the fp32 path probed quality.
+  double backward_error = 0;
+  PrecisionPolicy precision = PrecisionPolicy::Fp64;  ///< policy in effect
+  bool fp32 = false;  ///< served by the float-factor + fp64-refine path
+  /// The fp32 quality/backward-error gate tripped and the service
+  /// re-factorized in fp64 automatically (Fp32Refine/Auto policies).
+  bool precision_fallback = false;
+  int refine_iterations = 0;  ///< mixed-precision refinement sweeps
   /// Global completion order (1-based): request k was the k-th to reach a
   /// terminal status.  Lets callers audit fairness across tenants.
   std::uint64_t completion_seq = 0;
@@ -92,6 +134,23 @@ struct AnalysisCacheStats : obs::Exportable {
   json::Value to_json() const;  ///< shim over the Exportable path
 };
 
+/// Per-tenant slice of the service counters, keyed by tenant name in
+/// ServiceStats::tenants and mirrored by the spx_service_tenant_*
+/// metric family.
+struct TenantStats : obs::Exportable {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< finished with status Done
+  std::uint64_t rejected = 0;   ///< bounced at admission
+  std::uint64_t factorizes = 0;
+  std::uint64_t refactorizes = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t fp32_served = 0;     ///< requests the fp32 path served
+  std::uint64_t fp64_fallbacks = 0;  ///< fp32 gate trips -> fp64 refactor
+  double weight = 1.0;               ///< configured QoS weight
+
+  void export_json(obs::JsonWriter& w) const override;
+};
+
 /// Service-wide counters (a snapshot of SolveService::stats()).
 struct ServiceStats : obs::Exportable {
   std::uint64_t submitted = 0;
@@ -101,6 +160,7 @@ struct ServiceStats : obs::Exportable {
   std::uint64_t cancelled = 0;
   std::uint64_t expired = 0;
   std::uint64_t factorizes = 0;   ///< factorize requests completed Done
+  std::uint64_t refactorizes = 0;  ///< refactorize requests completed Done
   std::uint64_t solves = 0;       ///< solve requests completed Done
   std::uint64_t batches = 0;      ///< coalesced solve_multi calls issued
   std::uint64_t batched_rhs = 0;  ///< total RHS columns across batches
@@ -111,6 +171,8 @@ struct ServiceStats : obs::Exportable {
   /// every terminal request.
   std::array<std::uint64_t, kErrorCodeCount> errors{};
   AnalysisCacheStats cache;
+  /// Per-tenant slices (every tenant ever seen by this service).
+  std::map<std::string, TenantStats> tenants;
 
   std::uint64_t error_count(ErrorCode c) const {
     return errors[static_cast<std::size_t>(c)];

@@ -25,6 +25,8 @@ void SharedCounters::resolve_metrics(obs::MetricsRegistry& reg) {
   m_expired = c("spx_service_expired_total", "Requests Expired");
   m_factorizes =
       c("spx_service_factorizes_total", "Factorize requests completed Done");
+  m_refactorizes = c("spx_service_refactorizes_total",
+                     "Refactorize requests completed Done");
   m_solves = c("spx_service_solves_total", "Solve requests completed Done");
   m_batches =
       c("spx_service_batches_total", "Coalesced solve_multi calls issued");
@@ -37,10 +39,104 @@ void SharedCounters::resolve_metrics(obs::MetricsRegistry& reg) {
         "spx_service_errors_total", "Terminal outcomes per error code",
         {{"code", to_string(static_cast<ErrorCode>(i))}});
   }
+  tenant_registry_ = &reg;
+}
+
+SharedCounters::TenantCell& SharedCounters::tenant_cell_locked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantCell& cell = tenants_[tenant];
+  SPX_OBS(if (tenant_registry_ != nullptr) {
+    const obs::Labels labels(1, {"tenant", tenant});
+    cell.m_submitted = &tenant_registry_->counter(
+        "spx_service_tenant_submitted_total",
+        "Requests this tenant submitted", labels);
+    cell.m_completed = &tenant_registry_->counter(
+        "spx_service_tenant_completed_total",
+        "Requests this tenant completed Done", labels);
+    cell.m_fp32_served = &tenant_registry_->counter(
+        "spx_service_tenant_fp32_served_total",
+        "Requests the fp32+refine path served for this tenant", labels);
+    cell.m_fp64_fallbacks = &tenant_registry_->counter(
+        "spx_service_tenant_fp64_fallbacks_total",
+        "fp32 gate trips re-factorized in fp64 for this tenant", labels);
+  });
+  return cell;
+}
+
+void SharedCounters::note_tenant_submitted(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  TenantCell& cell = tenant_cell_locked(tenant);
+  ++cell.stats.submitted;
+  SPX_OBS(if (cell.m_submitted != nullptr) cell.m_submitted->inc());
+}
+
+void SharedCounters::note_tenant_rejected(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  // The registry side of rejections is the admission queue's
+  // spx_service_tenant_rejected_total; here only the stats slice counts.
+  ++tenant_cell_locked(tenant).stats.rejected;
+}
+
+void SharedCounters::note_tenant_done(const std::string& tenant, JobKind kind,
+                                      bool fp32, bool fp64_fallback) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  TenantCell& cell = tenant_cell_locked(tenant);
+  ++cell.stats.completed;
+  SPX_OBS(if (cell.m_completed != nullptr) cell.m_completed->inc());
+  switch (kind) {
+    case JobKind::Factorize:
+      ++cell.stats.factorizes;
+      break;
+    case JobKind::Refactorize:
+      ++cell.stats.refactorizes;
+      break;
+    case JobKind::Solve:
+      ++cell.stats.solves;
+      break;
+  }
+  if (fp32) {
+    ++cell.stats.fp32_served;
+    SPX_OBS(if (cell.m_fp32_served != nullptr) cell.m_fp32_served->inc());
+  }
+  if (fp64_fallback) {
+    ++cell.stats.fp64_fallbacks;
+    SPX_OBS(
+        if (cell.m_fp64_fallbacks != nullptr) cell.m_fp64_fallbacks->inc());
+  }
+}
+
+void SharedCounters::set_tenant_weight(const std::string& tenant,
+                                       double weight) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  tenant_cell_locked(tenant).stats.weight = weight;
+}
+
+std::map<std::string, TenantStats> SharedCounters::tenant_snapshot() const {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  std::map<std::string, TenantStats> out;
+  for (const auto& [name, cell] : tenants_) out.emplace(name, cell.stats);
+  return out;
 }
 
 void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
   counters->count_unrun(status);
+  if (status == RequestStatus::Rejected) counters->note_tenant_rejected(tenant);
+  stats.code = code_for_unrun(status);
+  stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
+  FactorizeResult r;
+  r.status = status;
+  r.code = stats.code;
+  r.error = std::move(error);
+  r.stats = stats;
+  promise.set_value(std::move(r));
+  notify_complete();
+}
+
+void RefactorizeJob::complete_unrun(RequestStatus status, std::string error) {
+  counters->count_unrun(status);
+  if (status == RequestStatus::Rejected) counters->note_tenant_rejected(tenant);
   stats.code = code_for_unrun(status);
   stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
   FactorizeResult r;
@@ -54,6 +150,7 @@ void FactorizeJob::complete_unrun(RequestStatus status, std::string error) {
 
 void SolveJob::complete_unrun(RequestStatus status, std::string error) {
   counters->count_unrun(status);
+  if (status == RequestStatus::Rejected) counters->note_tenant_rejected(tenant);
   stats.code = code_for_unrun(status);
   stats.completion_seq = 1 + counters->completion_seq.fetch_add(1);
   SolveResult r;
@@ -68,13 +165,19 @@ void SolveJob::complete_unrun(RequestStatus status, std::string error) {
 SolveService::SolveService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_bytes, options_.solver.instr.metrics),
-      queue_(options_.queue_capacity, options_.solver.instr.metrics),
+      queue_(options_.queue_capacity, options_.solver.instr.metrics,
+             options_.tenants),
       counters_(std::make_shared<SharedCounters>()),
       tracer_(options_.solver.instr.tracer) {
   SPX_CHECK_ARG(options_.num_workers >= 0, "num_workers must be >= 0");
   SPX_CHECK_ARG(options_.max_batch >= 1, "max_batch must be >= 1");
   counters_->resolve_metrics(
       obs::registry_or_global(options_.solver.instr.metrics));
+  // Seed the stats slices of configured tenants so their weights show up
+  // before any traffic arrives.
+  for (const auto& [name, cfg] : options_.tenants) {
+    counters_->set_tenant_weight(name, cfg.weight > 0 ? cfg.weight : 1.0);
+  }
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -90,6 +193,29 @@ SolveService::~SolveService() {
       job->complete_unrun(RequestStatus::Failed, "service shutdown");
     }
   }
+}
+
+PrecisionPolicy SolveService::effective_policy(
+    const std::string& tenant,
+    const std::optional<PrecisionPolicy>& override_) const {
+  if (override_.has_value()) return *override_;
+  if (const auto it = options_.tenants.find(tenant);
+      it != options_.tenants.end() && it->second.precision_set) {
+    return it->second.precision;
+  }
+  return options_.precision;
+}
+
+bool SolveService::want_fp32(PrecisionPolicy policy, std::uint64_t digest) {
+  if (policy == PrecisionPolicy::Fp64) return false;
+  if (policy == PrecisionPolicy::Fp32Refine) return true;
+  std::lock_guard<std::mutex> lock(fp32_mutex_);
+  return fp32_fallback_digests_.count(digest) == 0;
+}
+
+void SolveService::note_fp32_fallback(std::uint64_t digest) {
+  std::lock_guard<std::mutex> lock(fp32_mutex_);
+  fp32_fallback_digests_.insert(digest);
 }
 
 template <typename Result, typename Job>
@@ -114,6 +240,7 @@ Ticket<Result> SolveService::admit(std::shared_ptr<Job> job,
     job->trace_enqueued = tracer_->now();
   });
   counters_->note_submitted();
+  counters_->note_tenant_submitted(job->tenant);
   // Chain the drain accounting through on_complete: every terminal path
   // fulfills the promise then notify_complete(), so inflight_ reaches 0
   // exactly when every admitted request has a result.
@@ -143,36 +270,55 @@ Ticket<Result> SolveService::admit(std::shared_ptr<Job> job,
 }
 
 Ticket<FactorizeResult> SolveService::submit_factorize(
-    std::string tenant, std::shared_ptr<const CscMatrix<real_t>> a,
-    Factorization kind, double deadline_s, obs::SpanContext trace,
-    std::function<void()> on_complete) {
+    RequestOptions req, std::shared_ptr<const CscMatrix<real_t>> a,
+    Factorization kind) {
   SPX_CHECK_ARG(a != nullptr, "submit_factorize(): null matrix");
   SPX_CHECK_ARG(a->nrows() == a->ncols(), "square matrix required");
   auto job = std::make_shared<FactorizeJob>();
-  job->tenant = std::move(tenant);
+  job->tenant = std::move(req.tenant);
   job->matrix = std::move(a);
   job->fkind = kind;
-  job->trace_ctx = trace;
-  job->on_complete = std::move(on_complete);
-  return admit<FactorizeResult>(std::move(job), deadline_s);
+  job->policy = effective_policy(job->tenant, req.precision);
+  job->trace_ctx = req.trace;
+  job->on_complete = std::move(req.on_complete);
+  return admit<FactorizeResult>(std::move(job), req.deadline_s);
 }
 
-Ticket<SolveResult> SolveService::submit_solve(std::string tenant,
+Ticket<FactorizeResult> SolveService::submit_refactorize(
+    RequestOptions req, FactorHandle factor, std::vector<real_t> values) {
+  SPX_CHECK_ARG(factor != nullptr, "submit_refactorize(): null factor handle");
+  SPX_CHECK_ARG(factor->refactorizable(),
+                "submit_refactorize(): factor has no retained matrix "
+                "(restored from a snapshot); submit a full factorize "
+                "instead");
+  SPX_CHECK_ARG(values.size() == factor->matrix_->values().size(),
+                "submit_refactorize(): values size differs from the "
+                "factor's nnz");
+  auto job = std::make_shared<RefactorizeJob>();
+  job->tenant = std::move(req.tenant);
+  job->factor = std::move(factor);
+  job->values = std::move(values);
+  job->trace_ctx = req.trace;
+  job->on_complete = std::move(req.on_complete);
+  return admit<FactorizeResult>(std::move(job), req.deadline_s);
+}
+
+Ticket<SolveResult> SolveService::submit_solve(RequestOptions req,
                                                FactorHandle factor,
-                                               std::vector<real_t> rhs,
-                                               double deadline_s,
-                                               obs::SpanContext trace,
-                                               std::function<void()> on_complete) {
+                                               std::vector<real_t> rhs) {
   SPX_CHECK_ARG(factor != nullptr, "submit_solve(): null factor handle");
-  SPX_CHECK_ARG(static_cast<index_t>(rhs.size()) == factor->n(),
-                "submit_solve(): rhs size differs from the factor's n");
+  SPX_CHECK_ARG(req.nrhs >= 1, "submit_solve(): nrhs must be >= 1");
+  SPX_CHECK_ARG(static_cast<index_t>(rhs.size()) ==
+                    factor->n() * req.nrhs,
+                "submit_solve(): rhs size differs from n * nrhs");
   auto job = std::make_shared<SolveJob>();
-  job->tenant = std::move(tenant);
+  job->tenant = std::move(req.tenant);
   job->factor = std::move(factor);
   job->rhs = std::move(rhs);
-  job->trace_ctx = trace;
-  job->on_complete = std::move(on_complete);
-  Ticket<SolveResult> ticket = admit<SolveResult>(job, deadline_s);
+  job->nrhs = req.nrhs;
+  job->trace_ctx = req.trace;
+  job->on_complete = std::move(req.on_complete);
+  Ticket<SolveResult> ticket = admit<SolveResult>(job, req.deadline_s);
   // Register for batching only after surviving admission.  A worker may
   // pop and even finish the job before this append runs; the entry is
   // weak and claimed, so the next drain simply prunes it.
@@ -208,6 +354,12 @@ void SolveService::worker_loop() {
         run_factorize(fj);
         break;
       }
+      case JobKind::Refactorize: {
+        auto rj = std::static_pointer_cast<RefactorizeJob>(job);
+        rj->stats.queue_wait_s = seconds_between(rj->enqueued, now);
+        run_refactorize(rj);
+        break;
+      }
       case JobKind::Solve: {
         auto sj = std::static_pointer_cast<SolveJob>(job);
         sj->stats.queue_wait_s = seconds_between(sj->enqueued, now);
@@ -227,6 +379,38 @@ bool SolveService::spend_retry(const std::string& tenant) {
   return true;
 }
 
+bool SolveService::try_fp32_factorize(Factor& factor,
+                                      const CscMatrix<real_t>& a,
+                                      Factorization kind, RequestStats& st) {
+  try {
+    auto mixed =
+        std::make_unique<MixedPrecisionSolver>(options_.solver.analysis);
+    mixed->adopt_analysis(factor.solver_.analysis_shared(),
+                          factor.solver_.pattern_digest());
+    mixed->factorize(a, kind);
+    // Quality gate: solve A x = A*1 and require refinement to reach the
+    // target backward error.  A float factor that cannot reproduce the
+    // ones vector will not serve real solves either, so the caller
+    // re-factorizes in fp64 instead of shipping a doomed factor.
+    const auto n = static_cast<std::size_t>(a.ncols());
+    std::vector<real_t> ones(n, 1.0);
+    std::vector<real_t> b(n);
+    std::vector<real_t> x(n);
+    a.multiply(ones, b);
+    const MixedSolveReport probe =
+        mixed->solve(b, x, options_.mixed_tolerance, options_.mixed_max_iter);
+    st.refine_iterations = probe.iterations;
+    st.backward_error = probe.residual;
+    if (!probe.converged) return false;
+    factor.mixed_ = std::move(mixed);
+    return true;
+  } catch (const NumericalError&) {
+    // Breakdown in float (e.g. a pivot that underflows to zero): the
+    // same matrix can still factor fine in double.
+    return false;
+  }
+}
+
 void SolveService::factorize_attempt(FactorizeJob& job,
                                      const SolverOptions& sopts,
                                      FactorizeResult& res) {
@@ -242,22 +426,40 @@ void SolveService::factorize_attempt(FactorizeJob& job,
       },
       &st.cache);
   auto factor = std::make_shared<Factor>();
+  factor->policy_ = job.policy;
+  factor->fkind_ = job.fkind;
+  factor->matrix_ = job.matrix;
   factor->solver_ = Solver<real_t>(sopts);
   factor->solver_.adopt_analysis(std::move(analysis), key.digest);
+  st.precision = job.policy;
   Timer tf;
-  factor->solver_.factorize(*job.matrix, job.fkind);
-  st.factorize_s = tf.elapsed();
-  st.run = factor->solver_.last_factorization_stats();
-  const FactorQuality& q = st.run.quality;
-  if (q.degraded() && q.pivot_growth() > options_.max_pivot_growth) {
-    // Perturbation technically succeeded but the factors are too wild for
-    // refinement to repair; classify as numerical failure (retryable: a
-    // larger epsilon shrinks the 1/eps growth).
-    throw NumericalError("pivot growth " + std::to_string(q.pivot_growth()) +
-                         " exceeds the serviceable limit");
+  bool fp32 = false;
+  if (want_fp32(job.policy, key.digest)) {
+    fp32 = try_fp32_factorize(*factor, *job.matrix, job.fkind, st);
+    if (!fp32) {
+      st.precision_fallback = true;
+      note_fp32_fallback(key.digest);
+    }
   }
-  st.degraded = q.degraded();
-  res.code = q.degraded() ? ErrorCode::NumericalDegraded : ErrorCode::None;
+  if (!fp32) {
+    factor->solver_.factorize(*job.matrix, job.fkind);
+    st.run = factor->solver_.last_factorization_stats();
+    const FactorQuality& q = st.run.quality;
+    if (q.degraded() && q.pivot_growth() > options_.max_pivot_growth) {
+      // Perturbation technically succeeded but the factors are too wild
+      // for refinement to repair; classify as numerical failure
+      // (retryable: a larger epsilon shrinks the 1/eps growth).
+      throw NumericalError("pivot growth " +
+                           std::to_string(q.pivot_growth()) +
+                           " exceeds the serviceable limit");
+    }
+    st.degraded = q.degraded();
+    res.code = q.degraded() ? ErrorCode::NumericalDegraded : ErrorCode::None;
+  } else {
+    res.code = ErrorCode::None;
+  }
+  st.factorize_s = tf.elapsed();
+  st.fp32 = fp32;
   res.factor = std::move(factor);
 }
 
@@ -286,6 +488,8 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
       counters_->note_factorize();
       counters_->note_completed();
       counters_->count_code(res.code);
+      counters_->note_tenant_done(job->tenant, JobKind::Factorize, st.fp32,
+                                  st.precision_fallback);
       break;
     } catch (const InjectedFault& e) {
       code = ErrorCode::InjectedFault;
@@ -336,6 +540,110 @@ void SolveService::run_factorize(const std::shared_ptr<FactorizeJob>& job) {
   job->notify_complete();
 }
 
+void SolveService::run_refactorize(
+    const std::shared_ptr<RefactorizeJob>& job) {
+  FactorizeResult res;
+  RequestStats& st = job->stats;
+  obs::ScopedSpan req_span;
+  SPX_OBS(req_span = obs::ScopedSpan(tracer_, "service.refactorize",
+                                     "service-", job->trace_ctx, 0,
+                                     static_cast<std::int64_t>(job->id)));
+  st.attempts = 1;
+  Factor& f = *job->factor;
+  st.precision = f.policy_;
+  ErrorCode code = ErrorCode::Internal;
+  std::string error;
+  try {
+    // Exclusive against concurrent solves: the numeric values of the live
+    // factor are swapped in place.
+    std::unique_lock<std::shared_mutex> wlock(f.rw_);
+    const std::shared_ptr<const CscMatrix<real_t>> prev = f.matrix_;
+    auto m = std::make_shared<const CscMatrix<real_t>>(
+        prev->nrows(), prev->ncols(),
+        std::vector<size_type>(prev->colptr().begin(), prev->colptr().end()),
+        std::vector<index_t>(prev->rowind().begin(), prev->rowind().end()),
+        std::move(job->values));
+    Timer tf;
+    bool fallback = false;
+    if (f.mixed_ != nullptr) {
+      f.mixed_->refactorize(*m);
+      // Re-run the probe gate against the new values; drifting matrices
+      // can leave the fp32 regime mid-stream.
+      const auto n = static_cast<std::size_t>(m->ncols());
+      std::vector<real_t> ones(n, 1.0);
+      std::vector<real_t> b(n);
+      std::vector<real_t> x(n);
+      m->multiply(ones, b);
+      const MixedSolveReport probe = f.mixed_->solve(
+          b, x, options_.mixed_tolerance, options_.mixed_max_iter);
+      st.refine_iterations = probe.iterations;
+      st.backward_error = probe.residual;
+      if (probe.converged) {
+        st.fp32 = true;
+      } else {
+        // Gate trip: promote the factor to fp64 before dropping the float
+        // path.  If the fp64 factorization fails, restore the float
+        // factors from the retained previous matrix so the factor keeps
+        // serving the old values.
+        try {
+          f.solver_.factorize(*m, f.fkind_);
+        } catch (...) {
+          f.mixed_->refactorize(*prev);
+          throw;
+        }
+        f.mixed_.reset();
+        fallback = true;
+        st.precision_fallback = true;
+        note_fp32_fallback(f.solver_.pattern_digest());
+        st.run = f.solver_.last_factorization_stats();
+        st.degraded = st.run.quality.degraded();
+      }
+    } else {
+      // Solver::refactorize rolls back to the previous factor on any
+      // failure, so a throw below leaves the factor servable.
+      f.solver_.refactorize(*m);
+      st.run = f.solver_.last_factorization_stats();
+      st.degraded = st.run.quality.degraded();
+    }
+    st.factorize_s = tf.elapsed();
+    f.matrix_ = std::move(m);
+    res.status = RequestStatus::Done;
+    res.code =
+        st.degraded ? ErrorCode::NumericalDegraded : ErrorCode::None;
+    res.factor = job->factor;
+    st.code = res.code;
+    counters_->note_refactorize();
+    counters_->note_completed();
+    counters_->count_code(res.code);
+    counters_->note_tenant_done(job->tenant, JobKind::Refactorize, st.fp32,
+                                fallback);
+  } catch (const InjectedFault& e) {
+    code = ErrorCode::InjectedFault;
+    error = e.what();
+  } catch (const NumericalError& e) {
+    code = ErrorCode::NumericalFailed;
+    error = e.what();
+  } catch (const std::bad_alloc&) {
+    code = ErrorCode::OutOfMemory;
+    error = "factor allocation failed";
+  } catch (const std::exception& e) {
+    code = ErrorCode::Internal;
+    error = e.what();
+  }
+  if (res.status != RequestStatus::Done) {
+    res.status = RequestStatus::Failed;
+    res.code = code;
+    res.error = std::move(error);
+    st.code = code;
+    counters_->note_failed();
+    counters_->count_code(code);
+  }
+  st.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
+  res.stats = st;
+  job->promise.set_value(std::move(res));
+  job->notify_complete();
+}
+
 void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
   // Linger so that same-factor solves submitted moments later coalesce
   // into this batch instead of paying their own traversal.
@@ -346,6 +654,7 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
   Factor& factor = *first->factor;
   std::vector<std::shared_ptr<SolveJob>> batch;
   batch.push_back(first);
+  index_t cols = first->nrhs;
   {
     std::lock_guard<std::mutex> lock(factor.pending_mutex_);
     auto& pending = factor.pending_;
@@ -355,12 +664,12 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
       if (job == nullptr || job->claimed.load(std::memory_order_acquire)) {
         continue;  // prune: done elsewhere, cancelled, or expired weak ref
       }
-      if (static_cast<index_t>(batch.size()) >= options_.max_batch ||
-          !job->try_claim()) {
+      if (cols + job->nrhs > options_.max_batch || !job->try_claim()) {
         pending[kept++] = pending[i];  // keep for a later batch
         continue;
       }
       job->stats.queue_wait_s = seconds_between(job->enqueued, Clock::now());
+      cols += job->nrhs;
       batch.push_back(std::move(job));
     }
     pending.resize(kept);
@@ -383,7 +692,8 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
   if (runnable.empty()) return;
 
   const index_t n = factor.n();
-  const auto k = static_cast<index_t>(runnable.size());
+  index_t k = 0;  // total RHS columns across the runnable batch
+  for (const std::shared_ptr<SolveJob>& job : runnable) k += job->nrhs;
   obs::ScopedSpan batch_span;
   SPX_OBS(batch_span = obs::ScopedSpan(
               tracer_, "service.solve.batch", "service-", first->trace_ctx,
@@ -392,30 +702,56 @@ void SolveService::run_solve_batch(const std::shared_ptr<SolveJob>& first) {
     Timer ts;
     std::vector<real_t> block(static_cast<std::size_t>(n) *
                               static_cast<std::size_t>(k));
-    for (index_t c = 0; c < k; ++c) {
-      std::copy(runnable[c]->rhs.begin(), runnable[c]->rhs.end(),
-                block.begin() + static_cast<std::size_t>(c) * n);
+    std::size_t off = 0;
+    for (const std::shared_ptr<SolveJob>& job : runnable) {
+      std::copy(job->rhs.begin(), job->rhs.end(), block.begin() + off);
+      off += job->rhs.size();
     }
-    const SolveReport report = factor.solver_.solve_multi(block, k);
+    bool fp32 = false;
+    bool degraded = false;
+    double backward_error = 0;
+    int refine_iterations = 0;
+    {
+      // Shared against refactorize, which swaps values exclusively.
+      std::shared_lock<std::shared_mutex> rlock(factor.rw_);
+      if (factor.mixed_ != nullptr) {
+        fp32 = true;
+        const MixedSolveReport rep = factor.mixed_->solve_multi(
+            block, k, options_.mixed_tolerance, options_.mixed_max_iter);
+        degraded = !rep.converged;
+        backward_error = rep.residual;
+        refine_iterations = rep.iterations;
+      } else {
+        const SolveReport rep = factor.solver_.solve_multi(block, k);
+        degraded = rep.degraded;
+        backward_error = rep.backward_error;
+      }
+    }
     const double solve_s = ts.elapsed();
-    const ErrorCode code = report.degraded ? ErrorCode::NumericalDegraded
-                                           : ErrorCode::None;
+    const ErrorCode code =
+        degraded ? ErrorCode::NumericalDegraded : ErrorCode::None;
     counters_->note_batch(static_cast<std::uint64_t>(k));
-    for (index_t c = 0; c < k; ++c) {
-      SolveJob& job = *runnable[c];
+    off = 0;
+    for (const std::shared_ptr<SolveJob>& jp : runnable) {
+      SolveJob& job = *jp;
       SolveResult r;
       r.status = RequestStatus::Done;
       r.code = code;
-      const auto* col = block.data() + static_cast<std::size_t>(c) * n;
-      r.x.assign(col, col + n);
+      const auto* col = block.data() + off;
+      r.x.assign(col, col + job.rhs.size());
+      off += job.rhs.size();
       job.stats.solve_s = solve_s;
       job.stats.batched_rhs = k;
       job.stats.code = code;
-      job.stats.degraded = report.degraded;
-      job.stats.backward_error = report.backward_error;
+      job.stats.degraded = degraded;
+      job.stats.backward_error = backward_error;
+      job.stats.fp32 = fp32;
+      job.stats.refine_iterations = refine_iterations;
+      job.stats.precision = factor.policy_;
       counters_->note_solve();
       counters_->note_completed();
       counters_->count_code(code);
+      counters_->note_tenant_done(job.tenant, JobKind::Solve, fp32, false);
       job.stats.completion_seq = 1 + counters_->completion_seq.fetch_add(1);
       r.stats = job.stats;
       job.promise.set_value(std::move(r));
@@ -482,6 +818,7 @@ ServiceStats SolveService::stats() const {
   s.cancelled = counters_->cancelled.load();
   s.expired = counters_->expired.load();
   s.factorizes = counters_->factorizes.load();
+  s.refactorizes = counters_->refactorizes.load();
   s.solves = counters_->solves.load();
   s.batches = counters_->batches.load();
   s.batched_rhs = counters_->batched_rhs.load();
@@ -491,6 +828,7 @@ ServiceStats SolveService::stats() const {
   }
   s.queue_depth = queue_.depth();
   s.cache = cache_.stats();
+  s.tenants = counters_->tenant_snapshot();
   return s;
 }
 

@@ -3,31 +3,46 @@
 // traffic against a library built for one caller at a time).
 //
 // Request path:
-//   submit_factorize(tenant, A, kind)  ->  Ticket<FactorizeResult>
-//     admission queue (bounded per tenant, reject-on-full)
+//   submit_factorize(req, A, kind)     ->  Ticket<FactorizeResult>
+//     admission queue (bounded per tenant, weighted shares + EDF within
+//     the tenant, reject-on-full)
 //     -> worker: pattern-keyed analysis cache (hit shares the symbolic
 //        factorization; miss computes once, coalescing concurrent misses)
 //     -> Solver::adopt_analysis + factorize on the worker's runtime
+//        (or MixedPrecisionSolver when the precision policy picks fp32)
 //     -> FactorHandle, shareable across solve requests and threads
-//   submit_solve(tenant, factor, b)    ->  Ticket<SolveResult>
+//   submit_refactorize(req, factor, v) ->  Ticket<FactorizeResult>
+//     numeric-only fast path: the factor's symbolic analysis and value
+//     allocation are reused; only the values are ingested (digest-checked
+//     against the retained pattern).  A failed refactorize rolls back and
+//     the previous factor keeps serving.
+//   submit_solve(req, factor, b)       ->  Ticket<SolveResult>
 //     solve requests against one factor that arrive within the batching
 //     window are coalesced into a single solve_multi call (GEMM-shaped
 //     panel updates instead of per-RHS GEMVs).
 //
+// All submits take one RequestOptions struct (tenant, deadline,
+// precision, nrhs, trace, on_complete); the old positional submit_*
+// signatures remain as deprecated forwarding shims for one release.
 // Every ticket supports cancel(); deadlines expire requests that waited
 // too long; every result carries RequestStats (queue wait, cache outcome,
-// factorize/solve wall time, scheduler RunStats) exportable as JSON.
-// Several factorizations of different matrices are in flight concurrently
-// -- one per worker -- and completed factors serve concurrent read-only
-// solves from any number of threads.
+// factorize/solve wall time, precision served, scheduler RunStats)
+// exportable as JSON.  Per-tenant QoS (weights, queue bounds, precision
+// defaults) comes from ServiceOptions::tenants; per-tenant counters show
+// up in ServiceStats::tenants and the spx_service_tenant_* series.
 #pragma once
 
 #include <condition_variable>
 #include <future>
+#include <map>
+#include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "core/mixed.hpp"
 #include "core/solver.hpp"
 #include "service/admission_queue.hpp"
 #include "service/analysis_cache.hpp"
@@ -38,7 +53,8 @@ struct ServiceOptions {
   /// Executor threads; each runs one request at a time.  0 is allowed
   /// (nothing executes until destruction -- used by cancellation tests).
   int num_workers = 2;
-  /// Per-tenant admission bound; submits beyond it are Rejected.
+  /// Per-tenant admission bound; submits beyond it are Rejected.  A
+  /// TenantConfig::queue_capacity overrides it for that tenant.
   std::size_t queue_capacity = 64;
   /// Byte budget of the pattern-keyed analysis cache (0 disables it).
   std::size_t cache_bytes = 256ull << 20;
@@ -70,22 +86,78 @@ struct ServiceOptions {
   /// A degraded factorization whose pivot growth exceeds this is treated
   /// as numerical failure (refinement cannot repair it) and retried.
   double max_pivot_growth = 1e10;
+  /// Service-wide default precision policy; a TenantConfig or a
+  /// RequestOptions::precision override wins, in that order of
+  /// increasing priority.
+  PrecisionPolicy precision = PrecisionPolicy::Fp64;
+  /// Refinement target of the fp32 path -- also its fallback gate: a
+  /// factorization whose probe solve cannot refine to this backward
+  /// error is re-factorized in fp64 automatically.
+  double mixed_tolerance = 1e-10;
+  /// Refinement sweep cap of the fp32 path.
+  int mixed_max_iter = 30;
+  /// Per-tenant QoS + serving config (weight, queue bound, precision);
+  /// tenants not listed get the defaults (weight 1, queue_capacity,
+  /// `precision` above).
+  std::map<std::string, TenantConfig> tenants;
 
   ServiceOptions() { solver.runtime = RuntimeKind::Sequential; }
 };
 
+/// Options of one submitted request -- the single submission surface of
+/// every submit_* call (docs/SERVICE.md "Request options").
+struct RequestOptions {
+  std::string tenant;
+  /// > 0: the request expires if still queued this many seconds from
+  /// submission.
+  double deadline_s = 0;
+  /// Per-request precision override (factorize requests only); unset =
+  /// the tenant's TenantConfig, then ServiceOptions::precision.
+  std::optional<PrecisionPolicy> precision;
+  /// Column count of a multi-RHS solve: the rhs vector carries nrhs
+  /// column-major right-hand sides of length n.  Ignored by factorize
+  /// and refactorize requests.
+  index_t nrhs = 1;
+  /// A valid context parents the request's spans under a caller-provided
+  /// (e.g. wire-carried) trace instead of a fresh one.
+  obs::SpanContext trace;
+  /// Fired exactly once, right after the result promise is fulfilled
+  /// (any terminal status, any thread; must not throw).
+  std::function<void()> on_complete;
+};
+
 struct SolveJob;
 
-/// A completed numeric factorization held by the service.  Immutable
-/// after construction; safe to share across threads for read-only solves.
+/// A completed numeric factorization held by the service.  Solves share
+/// it read-only from any number of threads; refactorize requests take
+/// the write side of its lock and swap the numeric values in place.
 class Factor {
  public:
   const Solver<real_t>& solver() const { return solver_; }
   index_t n() const { return solver_.analysis().perm.size(); }
+  /// True when the float-factor + fp64-refine path serves this factor.
+  bool fp32() const { return mixed_ != nullptr; }
+  /// The precision policy the factorize request resolved to.
+  PrecisionPolicy precision() const { return policy_; }
+  Factorization kind() const { return fkind_; }
+  /// True when refactorize can ingest new values (the input matrix was
+  /// retained; snapshot-restored factors were not).
+  bool refactorizable() const { return matrix_ != nullptr; }
 
  private:
   friend class SolveService;
   Solver<real_t> solver_;
+  /// Float factors + fp64 refinement (policy Fp32Refine/Auto when the
+  /// quality gate held); null = classic fp64 path.
+  std::unique_ptr<MixedPrecisionSolver> mixed_;
+  PrecisionPolicy policy_ = PrecisionPolicy::Fp64;
+  Factorization fkind_ = Factorization::LLT;
+  /// The factorized matrix, retained so refactorize can rebuild it from
+  /// ingested values (and the fp32 path can compute residuals).
+  std::shared_ptr<const CscMatrix<real_t>> matrix_;
+  /// Solves hold this shared; refactorize holds it exclusive while it
+  /// swaps the numeric values.
+  mutable std::shared_mutex rw_;
   /// Solve requests awaiting batching (weak: the admission queue and
   /// tickets own the jobs; stale entries are pruned lazily, and weak
   /// pointers break the Factor -> job -> Factor ownership cycle).
@@ -122,6 +194,16 @@ struct FactorizeJob : JobBase {
   FactorizeJob() : JobBase(JobKind::Factorize) {}
   std::shared_ptr<const CscMatrix<real_t>> matrix;
   Factorization fkind = Factorization::LLT;
+  PrecisionPolicy policy = PrecisionPolicy::Fp64;  ///< resolved at submit
+  RequestStats stats;
+  std::promise<FactorizeResult> promise;
+  void complete_unrun(RequestStatus status, std::string error) override;
+};
+
+struct RefactorizeJob : JobBase {
+  RefactorizeJob() : JobBase(JobKind::Refactorize) {}
+  FactorHandle factor;
+  std::vector<real_t> values;  ///< new numeric values, length nnz(A)
   RequestStats stats;
   std::promise<FactorizeResult> promise;
   void complete_unrun(RequestStatus status, std::string error) override;
@@ -130,7 +212,8 @@ struct FactorizeJob : JobBase {
 struct SolveJob : JobBase {
   SolveJob() : JobBase(JobKind::Solve) {}
   FactorHandle factor;
-  std::vector<real_t> rhs;
+  std::vector<real_t> rhs;  ///< nrhs column-major RHS of length n
+  index_t nrhs = 1;
   RequestStats stats;
   std::promise<SolveResult> promise;
   void complete_unrun(RequestStatus status, std::string error) override;
@@ -177,46 +260,108 @@ class SolveService {
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
-  /// Admits an analyze+factorize of `a` for `tenant`.  `deadline_s` > 0
-  /// expires the request if it is still queued that many seconds from
-  /// now.  The matrix is shared, not copied; callers must not mutate it
-  /// until the ticket resolves.  A valid `trace` parents the request's
-  /// spans under a caller-provided (e.g. wire-carried) trace instead of a
-  /// fresh one; `on_complete` fires once, right after the result promise
-  /// is fulfilled (any terminal status, any thread; must not throw).
+  /// Admits an analyze+factorize of `a` under `req` (tenant, deadline,
+  /// precision override, trace, completion hook).  The matrix is shared,
+  /// not copied; callers must not mutate it until the ticket resolves.
   Ticket<FactorizeResult> submit_factorize(
-      std::string tenant, std::shared_ptr<const CscMatrix<real_t>> a,
-      Factorization kind, double deadline_s = 0, obs::SpanContext trace = {},
-      std::function<void()> on_complete = {});
+      RequestOptions req, std::shared_ptr<const CscMatrix<real_t>> a,
+      Factorization kind);
 
-  /// Admits a solve of `factor` x = rhs.  Throws InvalidArgument on a
-  /// null factor or an rhs whose size is not the factor's n (caller bug,
-  /// not load); overload and deadline produce Rejected/Expired results.
-  Ticket<SolveResult> submit_solve(std::string tenant, FactorHandle factor,
-                                   std::vector<real_t> rhs,
-                                   double deadline_s = 0,
-                                   obs::SpanContext trace = {},
-                                   std::function<void()> on_complete = {});
+  /// Admits a numeric-only re-factorization of `factor` with `values`
+  /// (nnz doubles in the retained matrix's storage order).  Reuses the
+  /// factor's analysis and allocation; a failure rolls back and the
+  /// previous factor keeps serving.  Throws InvalidArgument on a null or
+  /// non-refactorizable factor or a value-count mismatch (caller bug,
+  /// not load).
+  Ticket<FactorizeResult> submit_refactorize(RequestOptions req,
+                                             FactorHandle factor,
+                                             std::vector<real_t> values);
+
+  /// Admits a solve of `factor` x = rhs (req.nrhs column-major RHS of
+  /// length n).  Throws InvalidArgument on a null factor or an rhs whose
+  /// size is not n * nrhs (caller bug, not load); overload and deadline
+  /// produce Rejected/Expired results.
+  Ticket<SolveResult> submit_solve(RequestOptions req, FactorHandle factor,
+                                   std::vector<real_t> rhs);
+
+  // ---- deprecated positional shims (one release) -------------------
+  [[deprecated("pass a RequestOptions instead")]] Ticket<FactorizeResult>
+  submit_factorize(std::string tenant,
+                   std::shared_ptr<const CscMatrix<real_t>> a,
+                   Factorization kind, double deadline_s = 0,
+                   obs::SpanContext trace = {},
+                   std::function<void()> on_complete = {}) {
+    RequestOptions req;
+    req.tenant = std::move(tenant);
+    req.deadline_s = deadline_s;
+    req.trace = trace;
+    req.on_complete = std::move(on_complete);
+    return submit_factorize(std::move(req), std::move(a), kind);
+  }
+  [[deprecated("pass a RequestOptions instead")]] Ticket<SolveResult>
+  submit_solve(std::string tenant, FactorHandle factor,
+               std::vector<real_t> rhs, double deadline_s = 0,
+               obs::SpanContext trace = {},
+               std::function<void()> on_complete = {}) {
+    RequestOptions req;
+    req.tenant = std::move(tenant);
+    req.deadline_s = deadline_s;
+    req.trace = trace;
+    req.on_complete = std::move(on_complete);
+    return submit_solve(std::move(req), std::move(factor), std::move(rhs));
+  }
 
   /// Blocking conveniences (submit + get).
   FactorizeResult factorize(const std::string& tenant,
                             std::shared_ptr<const CscMatrix<real_t>> a,
                             Factorization kind) {
-    return submit_factorize(tenant, std::move(a), kind).get();
+    RequestOptions req;
+    req.tenant = tenant;
+    return submit_factorize(std::move(req), std::move(a), kind).get();
+  }
+  FactorizeResult factorize(RequestOptions req,
+                            std::shared_ptr<const CscMatrix<real_t>> a,
+                            Factorization kind) {
+    return submit_factorize(std::move(req), std::move(a), kind).get();
+  }
+  FactorizeResult refactorize(const std::string& tenant, FactorHandle factor,
+                              std::vector<real_t> values) {
+    RequestOptions req;
+    req.tenant = tenant;
+    return submit_refactorize(std::move(req), std::move(factor),
+                              std::move(values))
+        .get();
   }
   SolveResult solve(const std::string& tenant, FactorHandle factor,
                     std::vector<real_t> rhs) {
-    return submit_solve(tenant, std::move(factor), std::move(rhs)).get();
+    RequestOptions req;
+    req.tenant = tenant;
+    return submit_solve(std::move(req), std::move(factor), std::move(rhs))
+        .get();
+  }
+  SolveResult solve(RequestOptions req, FactorHandle factor,
+                    std::vector<real_t> rhs) {
+    return submit_solve(std::move(req), std::move(factor), std::move(rhs))
+        .get();
   }
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
+
+  /// The precision policy a factorize under (`tenant`, `override_`)
+  /// resolves to: request override, then TenantConfig, then the
+  /// service-wide default.
+  PrecisionPolicy effective_policy(
+      const std::string& tenant,
+      const std::optional<PrecisionPolicy>& override_ = {}) const;
 
   /// Wraps an externally restored solver (snapshot replay) in a
   /// FactorHandle servable by submit_solve, bypassing the request path.
   /// The solver must be factorized; its analysis is also seeded into the
   /// pattern cache so later factorizes of the same pattern skip the
   /// symbolic phase.  Throws InvalidArgument on an unfactorized solver.
+  /// Restored factors are fp64 and not refactorizable (no retained
+  /// matrix).
   FactorHandle adopt_factor(Solver<real_t> solver);
 
   /// The pattern-keyed analysis cache (snapshot replay seeds it).
@@ -240,12 +385,21 @@ class SolveService {
   Ticket<Result> admit(std::shared_ptr<Job> job, double deadline_s);
   void worker_loop();
   void run_factorize(const std::shared_ptr<FactorizeJob>& job);
+  void run_refactorize(const std::shared_ptr<RefactorizeJob>& job);
   void run_solve_batch(const std::shared_ptr<SolveJob>& first);
   /// One factorize attempt; throws on failure.  Fills stats/result.
   void factorize_attempt(FactorizeJob& job, const SolverOptions& sopts,
                          FactorizeResult& res);
+  /// fp32 factorization + probe gate; true when the mixed path took the
+  /// factor (false = caller factorizes fp64 and records a fallback).
+  bool try_fp32_factorize(Factor& factor, const CscMatrix<real_t>& a,
+                          Factorization kind, RequestStats& st);
   /// Consumes one unit of `tenant`'s retry budget; false when exhausted.
   bool spend_retry(const std::string& tenant);
+  /// Whether the policy wants an fp32 attempt for this pattern (Auto
+  /// consults the fallback memory; Fp32Refine always tries).
+  bool want_fp32(PrecisionPolicy policy, std::uint64_t digest);
+  void note_fp32_fallback(std::uint64_t digest);
 
   ServiceOptions options_;
   AnalysisCache cache_;
@@ -255,6 +409,10 @@ class SolveService {
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex retry_mutex_;
   std::unordered_map<std::string, std::uint64_t> retry_spent_;
+  /// Pattern digests whose fp32 attempt tripped the gate; Auto skips
+  /// them on later factorizes instead of paying the doomed attempt.
+  std::mutex fp32_mutex_;
+  std::unordered_set<std::uint64_t> fp32_fallback_digests_;
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> inflight_{0};
   std::mutex drain_mutex_;

@@ -6,12 +6,14 @@
 //      truncate, delay, corrupt, abort) against an in-process shard with
 //      frame checksums on.  Gates: every run terminates (watchdog), a
 //      corrupted frame is never decoded as a request, every response the
-//      client *acked* (saw status Done for) stays servable afterwards,
+//      client *acked* (saw status Done for) stays servable afterwards --
+//      including acked refactorizes, which must serve the NEW values --
 //      and the shard survives to serve a clean client.
 //
 //   B. Process chaos -- spx_shard x2 (each with a persist dir) behind
-//      spx_front, SIGKILLed and restarted under mixed traffic across a
-//      seed sweep.  Gates: zero lost acknowledged requests, the victim's
+//      spx_front, SIGKILLed and restarted under mixed traffic (factorize,
+//      refactorize, solve) across a seed sweep.  Gates: zero lost
+//      acknowledged requests, the victim's
 //      circuit breaker is observed opening and re-closing via /metrics,
 //      the restarted shard replays its snapshots (/readyz reports warm
 //      entries) and serves repeats warm (spx_shard_warm_hits_total > 0,
@@ -30,6 +32,7 @@
 #include <atomic>
 #include <functional>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -108,6 +111,27 @@ void wire_chaos_seed(net::ShardServer& shard,
     }
   }
 
+  // Refactorize traffic in the same storm: push doubled values at every
+  // acked factor through the faulted connection.  An acked refresh is a
+  // promise the NEW values are live behind the old handle.
+  std::vector<std::pair<std::size_t, std::uint64_t>> refreshed;
+  for (const auto& [mi, factor_id] : acked) {
+    std::vector<real_t> doubled(mats[mi].values().begin(),
+                                mats[mi].values().end());
+    for (auto& v : doubled) v *= 2.0;
+    try {
+      const auto rr = c.refactorize("chaos", pattern_digest(mats[mi]),
+                                    factor_id, doubled);
+      if (rr.status == 0) refreshed.emplace_back(mi, factor_id);
+    } catch (const std::exception&) {
+      try {
+        c.connect("127.0.0.1", shard.port(), 0.5);
+        c.set_checksum(true);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+
   // Every acknowledged factorize must still be servable: acked work is
   // durable against whatever the wire did around it.
   net::BlockingClient clean;
@@ -118,6 +142,25 @@ void wire_chaos_seed(net::ShardServer& shard,
     check(sr.status == 0, "wire", seed,
           "acked factor " + std::to_string(factor_id) +
               " no longer solvable: " + sr.error);
+  }
+  // Acked refreshes serve the doubled operator: 2A x = 2A·1 -> x = 1.
+  for (const auto& [mi, factor_id] : refreshed) {
+    std::vector<real_t> b(static_cast<std::size_t>(mats[mi].ncols()));
+    mats[mi].multiply(ones_rhs(mats[mi]), b);
+    for (auto& v : b) v *= 2.0;
+    const auto sr =
+        clean.solve("chaos", pattern_digest(mats[mi]), factor_id, b);
+    check(sr.status == 0, "wire", seed,
+          "acked refactorize " + std::to_string(factor_id) +
+              " no longer solvable: " + sr.error);
+    for (const real_t v : sr.x) {
+      if (std::abs(v - 1.0) > 1e-6) {
+        check(false, "wire", seed,
+              "acked refactorize " + std::to_string(factor_id) +
+                  " does not serve the refreshed values");
+        break;
+      }
+    }
   }
   // And the shard itself took no damage.
   const auto fr = clean.factorize("chaos", mats[seed % mats.size()],
@@ -226,9 +269,10 @@ bool http_ready(std::uint16_t http_port, const char* path,
 }
 
 struct TrafficStats {
-  std::uint64_t acked = 0;    ///< responses seen with status Done
-  std::uint64_t retried = 0;  ///< retryable bounces absorbed
-  std::uint64_t lost = 0;     ///< acked work that later failed hard
+  std::uint64_t acked = 0;      ///< responses seen with status Done
+  std::uint64_t retried = 0;    ///< retryable bounces absorbed
+  std::uint64_t refreshed = 0;  ///< refactorizes acked with status Done
+  std::uint64_t lost = 0;       ///< acked work that later failed hard
 };
 
 /// One client thread of factorize+solve rounds through the front,
@@ -289,6 +333,21 @@ void traffic_run(std::uint16_t front_port, const std::string& tenant,
           continue;
         }
         solved = true;
+        // One same-values refactorize rides every solved round.  Under
+        // kill/restart chaos it must ack, bounce retryable (including
+        // UnknownFactor: snapshot-restored factors cannot ingest values;
+        // the documented recovery is a fresh factorize), or reconnect --
+        // never fail hard on a factor the system acked.
+        std::vector<real_t> vals(a->values().begin(), a->values().end());
+        const auto rr = c.refactorize(tenant, digest, factor_id,
+                                      std::move(vals), {}, &err);
+        if (err == net::NetError{} && rr.status == 0) {
+          ++out->refreshed;
+        } else if (err != net::NetError{} && !net::retryable(err)) {
+          ++out->lost;
+        } else {
+          ++out->retried;
+        }
       } catch (const std::exception&) {
         ++out->retried;
         try {
@@ -429,6 +488,7 @@ int process_chaos(bool smoke, const fs::path& tmp) {
     for (const TrafficStats& s : stats) {
       totals.acked += s.acked;
       totals.retried += s.retried;
+      totals.refreshed += s.refreshed;
       totals.lost += s.lost;
     }
   }
@@ -436,6 +496,8 @@ int process_chaos(bool smoke, const fs::path& tmp) {
   check(totals.lost == 0, "proc", 0,
         std::to_string(totals.lost) + " acknowledged requests lost");
   check(totals.acked > 0, "proc", 0, "no traffic was acked (vacuous run)");
+  check(totals.refreshed > 0, "proc", 0,
+        "no refactorize was acked (opcode never exercised)");
 
   // Hit-rate recovery: repeats of the same inputs are served from the
   // restored warm index instead of re-factorized from cold.  A cold
@@ -448,9 +510,10 @@ int process_chaos(bool smoke, const fs::path& tmp) {
   check(warm_hits > 0, "proc", 0,
         "restarted shards served no warm hits (hit rate did not recover)");
 
-  std::printf("chaos proc: %d kill/restart cycles, acked %llu, retried "
-              "%llu, lost %llu, warm hits %.0f\n",
+  std::printf("chaos proc: %d kill/restart cycles, acked %llu, refreshed "
+              "%llu, retried %llu, lost %llu, warm hits %.0f\n",
               kill_cycles, static_cast<unsigned long long>(totals.acked),
+              static_cast<unsigned long long>(totals.refreshed),
               static_cast<unsigned long long>(totals.retried),
               static_cast<unsigned long long>(totals.lost), warm_hits);
 

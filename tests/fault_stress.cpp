@@ -6,10 +6,16 @@
 // error surfaces when the fault is fatal, and the solver is left
 // re-analyzable (the next factorize on the same solver succeeds).
 //
+// A second row arms the fault mid-refactorize instead: a torn-down
+// numeric-only refresh must roll back so the PREVIOUS factor keeps
+// serving -- the contract the wire RefactorizeRequest opcode relies on.
+//
 // Registered in ctest as `FaultStress` running `--smoke` (~a few seconds);
 // the full sweep (no flag) is the soak configuration for hunting races.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -87,6 +93,78 @@ void run_one(const CscMatrix<real_t>& a, std::uint64_t seed,
   }
 }
 
+/// Mid-refactorize fault row.  The seed factorize runs disarmed, the
+/// fault is rearmed just before the numeric-only refresh.  With
+/// pivot_threshold == 0 every armed action is deterministic: a fault
+/// that fires throws (rollback -> the OLD values keep serving), a fault
+/// that does not fire or only stalls completes (the NEW values serve).
+void run_one_refactorize(const CscMatrix<real_t>& a, std::uint64_t seed,
+                         FaultAction action, RuntimeKind rt,
+                         std::uint64_t ntasks) {
+  FaultInjector fault;  // disarmed through the seed factorize
+  SolverOptions opts;
+  opts.runtime = rt;
+  opts.num_threads = 4;
+  opts.pivot_threshold = 0;  // corrupted pivots throw, never perturb
+  opts.instr.fault = &fault;
+  Solver<real_t> solver(opts);
+  solver.analyze(a);
+  solver.factorize(a, Factorization::LLT);
+
+  const auto n = static_cast<std::size_t>(a.ncols());
+  const std::vector<real_t> ones(n, 1.0);
+  std::vector<real_t> b_old(n), b_new(n);
+  a.multiply(ones, b_old);
+  std::vector<real_t> doubled(a.values().begin(), a.values().end());
+  for (auto& v : doubled) v *= 2.0;
+  const CscMatrix<real_t> a2(
+      a.nrows(), a.ncols(),
+      std::vector<size_type>(a.colptr().begin(), a.colptr().end()),
+      std::vector<index_t>(a.rowind().begin(), a.rowind().end()),
+      std::move(doubled));
+  a2.multiply(ones, b_new);
+
+  fault.rearm(FaultPlan::seeded(action, seed, ntasks, 0.001));
+  bool threw = false;
+  try {
+    solver.refactorize(a2);
+  } catch (const InjectedFault&) {
+    threw = true;
+  } catch (const NumericalError&) {
+    threw = true;  // corrupt-pivot under pivot_threshold == 0
+  } catch (const std::bad_alloc&) {
+    threw = true;
+  }
+  check(solver.factorized(), "refactorize failure lost the factors", seed,
+        action, rt);
+  try {
+    std::vector<real_t> x = threw ? b_old : b_new;
+    solver.solve(x);
+    double err = 0;
+    for (const real_t v : x) err = std::max(err, std::abs(v - 1.0));
+    check(err < 1e-6,
+          threw ? "rollback did not keep the previous factor serving"
+                : "clean refactorize served wrong values",
+          seed, action, rt);
+  } catch (const std::exception& e) {
+    check(false, e.what(), seed, action, rt);
+  }
+  // Liveness part 2: the rolled-back solver still takes a later clean
+  // refactorize and serves the refreshed values.
+  fault.rearm(FaultPlan{});
+  try {
+    solver.refactorize(a2);
+    std::vector<real_t> x = b_new;
+    solver.solve(x);
+    double err = 0;
+    for (const real_t v : x) err = std::max(err, std::abs(v - 1.0));
+    check(err < 1e-6, "post-rollback refactorize serves wrong values",
+          seed, action, rt);
+  } catch (const std::exception& e) {
+    check(false, e.what(), seed, action, rt);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +207,13 @@ int main(int argc, char** argv) {
       }
       run_one(a, seed, action, rt, ntasks);
       ++runs;
+      // The refactorize rollback row: skip the actions that cannot fire
+      // there (no factor allocation happens, no staging is re-planned).
+      if (action != FaultAction::AllocFail &&
+          action != FaultAction::StallTransfer) {
+        run_one_refactorize(a, seed, action, runtimes[seed % 3], ntasks);
+        ++runs;
+      }
     }
   }
   done.store(true);

@@ -79,6 +79,63 @@ TEST(MixedPrecision, ThrowsWithoutFactorize) {
   MixedPrecisionSolver solver;
   std::vector<real_t> b(4, 1.0), x(4);
   EXPECT_THROW(solver.solve(b, x), InvalidArgument);
+  const auto a = gen::grid2d_laplacian(6, 6);
+  EXPECT_THROW(solver.refactorize(a), InvalidArgument);
+}
+
+TEST(MixedPrecision, AdoptedAnalysisSkipsTheSymbolicPhase) {
+  const auto a = gen::grid2d_laplacian(12, 12);
+  const auto an = std::make_shared<const Analysis>(analyze(a));
+  MixedPrecisionSolver solver;
+  solver.adopt_analysis(an, pattern_digest(a));
+  solver.factorize(a, Factorization::LLT);
+  EXPECT_TRUE(solver.factorized());
+  EXPECT_EQ(solver.pattern_digest(), pattern_digest(a));
+  std::vector<real_t> b(a.ncols(), 1.0), x(a.ncols());
+  EXPECT_TRUE(solver.solve(b, x, 1e-11).converged);
+}
+
+TEST(MixedPrecision, RefactorizeIngestsNewValues) {
+  const auto a = gen::grid2d_laplacian(12, 12);
+  MixedPrecisionSolver solver;
+  solver.factorize(a, Factorization::LLT);
+  // Scale by 2: the same right-hand side must now solve to x/2.
+  std::vector<real_t> vals(a.values().begin(), a.values().end());
+  for (auto& v : vals) v *= 2.0;
+  const CscMatrix<real_t> a2(
+      a.nrows(), a.ncols(),
+      std::vector<size_type>(a.colptr().begin(), a.colptr().end()),
+      std::vector<index_t>(a.rowind().begin(), a.rowind().end()),
+      std::move(vals));
+  solver.refactorize(a2);
+  std::vector<real_t> ones(a.ncols(), 1.0), b(a.ncols()), x(a.ncols());
+  a.multiply(ones, b);  // b of the ORIGINAL matrix
+  const MixedSolveReport rep = solver.solve(b, x, 1e-12);
+  EXPECT_TRUE(rep.converged);
+  for (index_t i = 0; i < a.ncols(); ++i) EXPECT_NEAR(x[i], 0.5, 1e-10);
+}
+
+TEST(MixedPrecision, SolveMultiRefinesEveryColumn) {
+  const auto a = gen::grid2d_laplacian(12, 12);
+  MixedPrecisionSolver solver;
+  solver.factorize(a, Factorization::LLT);
+  const auto n = static_cast<std::size_t>(a.ncols());
+  const index_t nrhs = 3;
+  Rng rng(503);
+  std::vector<real_t> xstar(n * nrhs);
+  for (auto& v : xstar) v = rng.uniform(-1, 1);
+  std::vector<real_t> block(n * nrhs);
+  for (index_t c = 0; c < nrhs; ++c) {
+    a.multiply(
+        std::span<const real_t>(xstar.data() + std::size_t(c) * n, n),
+        std::span<real_t>(block.data() + std::size_t(c) * n, n));
+  }
+  const MixedSolveReport rep = solver.solve_multi(block, nrhs, 1e-12);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_LE(rep.residual, 1e-12);  // the report carries the WORST column
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_NEAR(block[i], xstar[i], 1e-10);
+  }
 }
 
 }  // namespace

@@ -6,8 +6,14 @@
 // end-to-end front + shards path with graceful drain.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +48,7 @@ using net::FrontServer;
 using net::FrontServerOptions;
 using net::NetError;
 using net::ProtocolError;
+using net::RefactorizeRequestFrame;
 using net::ShardRing;
 using net::ShardServer;
 using net::ShardServerOptions;
@@ -199,6 +206,56 @@ TEST(Protocol, SolveAndResponseRoundTrips) {
   EXPECT_EQ(ed.message, "try later");
   EXPECT_TRUE(net::retryable(ed.code));
   EXPECT_FALSE(net::retryable(NetError::Malformed));
+}
+
+TEST(Protocol, RefactorizeRoundTrips) {
+  RefactorizeRequestFrame r;
+  r.pattern_digest = 0xfeedfacecafef00dull;
+  r.trace = {11, 13};
+  r.factor_id = 41;
+  r.tenant = "tenant-β";
+  r.deadline_s = 0.25;
+  r.values = {1.0, -2.5, 3.75, 0.0625};
+  const auto rb = encode_refactorize_request(21, r);
+  const FrameHeader h = net::decode_header(
+      std::span<const std::uint8_t>(rb).first(net::kHeaderBytes));
+  EXPECT_EQ(h.version, net::kProtocolVersion);  // the v3 opcode
+  EXPECT_EQ(h.type, FrameType::RefactorizeRequest);
+  EXPECT_EQ(h.corr_id, 21u);
+  const auto payload =
+      std::span<const std::uint8_t>(rb).subspan(net::kHeaderBytes);
+  // The prefix layout deliberately matches SolveRequestFrame, so the
+  // routing peek works on both alike.
+  EXPECT_EQ(net::peek_pattern_digest(payload), r.pattern_digest);
+  const RefactorizeRequestFrame d = net::decode_refactorize_request(payload);
+  EXPECT_EQ(d.pattern_digest, r.pattern_digest);
+  EXPECT_EQ(d.trace.trace_id, 11u);
+  EXPECT_EQ(d.trace.parent_span, 13u);
+  EXPECT_EQ(d.factor_id, 41u);
+  EXPECT_EQ(d.tenant, r.tenant);
+  EXPECT_DOUBLE_EQ(d.deadline_s, 0.25);
+  EXPECT_EQ(d.values, r.values);
+  EXPECT_THROW(
+      net::decode_refactorize_request(payload.first(payload.size() - 5)),
+      ProtocolError);
+
+  // The response reuses the FactorizeResponse body under its own type: a
+  // refactorize outcome IS a factorize outcome.
+  FactorizeResponseFrame resp;
+  resp.status = 0;
+  resp.factor_id = 41;
+  resp.shard = "s3";
+  resp.stats_json = "{\"refactorize\":true}";
+  const auto eb = encode_refactorize_response(22, resp);
+  EXPECT_EQ(net::decode_header(
+                std::span<const std::uint8_t>(eb).first(net::kHeaderBytes))
+                .type,
+            FrameType::RefactorizeResponse);
+  const FactorizeResponseFrame dd = net::decode_refactorize_response(
+      std::span<const std::uint8_t>(eb).subspan(net::kHeaderBytes));
+  EXPECT_EQ(dd.factor_id, 41u);
+  EXPECT_EQ(dd.shard, "s3");
+  EXPECT_EQ(dd.stats_json, resp.stats_json);
 }
 
 // ---------- hostile input ----------------------------------------------
@@ -366,6 +423,156 @@ TEST(ShardServerTest, VersionMismatchIsAnsweredThenClosed) {
   EXPECT_EQ(net::decode_error(resp->payload).code,
             NetError::VersionMismatch);
   EXPECT_FALSE(client.recv_frame().has_value());  // server closed
+}
+
+TEST(ShardServerTest, RefactorizeOverTheWire) {
+  ShardServer shard(shard_opts("s1"));
+  BlockingClient client;
+  client.connect("127.0.0.1", shard.port());
+
+  const auto a = shared(gen::grid2d_laplacian(8, 8));
+  const std::uint64_t digest = pattern_digest(*a);
+  const FactorizeResponseFrame fr =
+      client.factorize("t", *a, Factorization::LLT);
+  ASSERT_EQ(fr.status, static_cast<std::uint8_t>(RequestStatus::Done))
+      << fr.error;
+
+  // Push doubled values through the v3 opcode: the resident handle stays,
+  // the numbers change.
+  std::vector<real_t> doubled(a->values().begin(), a->values().end());
+  for (auto& v : doubled) v *= 2.0;
+  const FactorizeResponseFrame rr =
+      client.refactorize("t", digest, fr.factor_id, doubled);
+  ASSERT_EQ(rr.status, static_cast<std::uint8_t>(RequestStatus::Done))
+      << rr.error;
+  EXPECT_EQ(rr.factor_id, fr.factor_id);
+  EXPECT_EQ(rr.shard, "s1");
+
+  // A right-hand side assembled from the ORIGINAL values now solves to
+  // x = 1/2 everywhere: proof the new values are live behind the old id.
+  const std::vector<real_t> ones(static_cast<std::size_t>(a->nrows()), 1.0);
+  const SolveResponseFrame sr =
+      client.solve("t", digest, fr.factor_id, rhs_for(*a, ones));
+  ASSERT_EQ(sr.status, static_cast<std::uint8_t>(RequestStatus::Done))
+      << sr.error;
+  ASSERT_EQ(sr.x.size(), ones.size());
+  for (const real_t v : sr.x) EXPECT_NEAR(v, 0.5, 1e-8);
+
+  // A lying digest is answered Malformed: values must never be ingested
+  // into a factor built from another pattern.
+  NetError err{};
+  client.refactorize("t", digest ^ 1, fr.factor_id, doubled, {}, &err);
+  EXPECT_EQ(err, NetError::Malformed);
+
+  // So is a value count that does not match the pattern.
+  err = NetError{};
+  client.refactorize("t", digest, fr.factor_id, std::vector<real_t>(3, 1.0),
+                     {}, &err);
+  EXPECT_EQ(err, NetError::Malformed);
+
+  // An unknown factor id gets the retryable UnknownFactor; the client's
+  // recovery is the same as for an evicted factor: a full factorize.
+  err = NetError{};
+  client.refactorize("t", digest, 999999, doubled, {}, &err);
+  EXPECT_EQ(err, NetError::UnknownFactor);
+  EXPECT_TRUE(net::retryable(err));
+
+  // None of the refusals cost us the connection.
+  EXPECT_TRUE(client.ping());
+}
+
+/// Reads exactly `n` bytes; false on EOF or error (test peer plumbing).
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, buf + off, n - off);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+TEST(ShardServerTest, RefactorizeVersionSkewIsRejectedBothWays) {
+  // Old client -> new shard: a v2 peer cannot express the refactorize
+  // opcode, and any frame it does send is stopped at the version gate
+  // before dispatch ever looks at the opcode.
+  {
+    ShardServer shard(shard_opts("s1"));
+    BlockingClient old_peer;
+    old_peer.connect("127.0.0.1", shard.port());
+    FrameHeader h;
+    h.version = 2;  // the last pre-refactorize protocol version
+    h.type = FrameType::Ping;
+    h.corr_id = 21;
+    old_peer.send_raw(net::encode_raw_frame(h, {}));
+    const auto resp = old_peer.recv_frame();
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(resp->header.type, FrameType::Error);
+    EXPECT_EQ(net::decode_error(resp->payload).code,
+              NetError::VersionMismatch);
+    EXPECT_FALSE(old_peer.recv_frame().has_value());  // closed
+  }
+
+  // New client -> old shard: emulate the v2-era dispatch, which answers
+  // any unknown-version frame with Error(VersionMismatch) stamped with
+  // ITS version and closes.  The typed refactorize() must surface the
+  // code instead of hanging or mis-decoding.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  std::thread old_shard([lfd] {
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) return;
+    std::vector<std::uint8_t> head(net::kHeaderBytes);
+    if (read_exact(conn, head.data(), head.size())) {
+      const FrameHeader got = net::decode_header(head);
+      std::vector<std::uint8_t> body(got.length);
+      if (got.length == 0 || read_exact(conn, body.data(), body.size())) {
+        auto reply = encode_error(got.corr_id, NetError::VersionMismatch,
+                                  "peer speaks protocol version 3, this "
+                                  "shard speaks 2");
+        reply[4] = 2;  // header offset 4 is the version byte
+        write_all(conn, reply);
+      }
+    }
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  });
+
+  BlockingClient fresh;
+  fresh.connect("127.0.0.1", port);
+  NetError err{};
+  const FactorizeResponseFrame r =
+      fresh.refactorize("t", 0x1234, 7, {1.0, 2.0}, {}, &err);
+  old_shard.join();
+  ::close(lfd);
+  EXPECT_EQ(err, NetError::VersionMismatch);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(RequestStatus::Failed));
+  // Skew needs an operator (upgrade the shard), not a blind retry.
+  EXPECT_FALSE(net::retryable(err));
 }
 
 TEST(ShardServerTest, MalformedAndOversizedFramesAreSurvivable) {

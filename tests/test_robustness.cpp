@@ -20,6 +20,7 @@ namespace k = kernels;
 
 using service::ErrorCode;
 using service::FactorizeResult;
+using service::RequestOptions;
 using service::RequestStatus;
 using service::ServiceOptions;
 using service::SolveResult;
@@ -266,11 +267,7 @@ TEST(FaultInjection, StallFaultDelaysButCompletes) {
   SolverOptions opts;
   opts.runtime = RuntimeKind::Parsec;
   opts.num_threads = 3;
-  // Deliberately exercises the deprecated alias: it must keep working
-  // (and warn) for one release while callers migrate to instr.fault.
-  SPX_SUPPRESS_DEPRECATED_BEGIN
-  opts.fault = &fault;
-  SPX_SUPPRESS_DEPRECATED_END
+  opts.instr.fault = &fault;
   Solver<real_t> solver(opts);
   solver.analyze(a);
   ASSERT_NO_THROW(solver.factorize(a, Factorization::LLT));
@@ -424,9 +421,12 @@ TEST(ServiceResilience, UnrunTerminalsMapToStructuredCodes) {
   sopts.queue_capacity = 1;
   auto svc = std::make_unique<SolveService>(sopts);
   const auto a = shared(gen::grid2d_laplacian(6, 6));
-  auto t1 = svc->submit_factorize("t", a, Factorization::LLT);
-  auto t2 = svc->submit_factorize("t", a, Factorization::LLT);  // rejected
-  auto t3 = svc->submit_factorize("u", a, Factorization::LLT);
+  auto t1 = svc->submit_factorize(RequestOptions{.tenant = "t"}, a,
+                                  Factorization::LLT);
+  auto t2 = svc->submit_factorize(RequestOptions{.tenant = "t"}, a,
+                                  Factorization::LLT);  // rejected
+  auto t3 = svc->submit_factorize(RequestOptions{.tenant = "u"}, a,
+                                  Factorization::LLT);
   EXPECT_TRUE(t3.cancel());
   const FactorizeResult r2 = t2.get();
   EXPECT_EQ(r2.status, RequestStatus::Rejected);

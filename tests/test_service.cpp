@@ -20,15 +20,25 @@ using service::CacheOutcome;
 using service::FactorHandle;
 using service::FactorizeResult;
 using service::PatternKey;
+using service::PrecisionPolicy;
+using service::RequestOptions;
 using service::RequestStatus;
 using service::ServiceOptions;
 using service::ServiceStats;
 using service::SolveResult;
 using service::SolveService;
+using service::TenantConfig;
 using service::Ticket;
 
 std::shared_ptr<const CscMatrix<real_t>> shared(CscMatrix<real_t> a) {
   return std::make_shared<const CscMatrix<real_t>>(std::move(a));
+}
+
+RequestOptions req(std::string tenant, double deadline_s = 0) {
+  RequestOptions r;
+  r.tenant = std::move(tenant);
+  r.deadline_s = deadline_s;
+  return r;
 }
 
 std::vector<real_t> rhs_for(const CscMatrix<real_t>& a,
@@ -234,7 +244,7 @@ TEST(SolveService, ConcurrentFactorizationsOfDifferentMatrices) {
   tickets.reserve(mats.size());
   for (const auto& m : mats) {
     tickets.push_back(
-        svc.submit_factorize("t", shared(m), Factorization::LLT));
+        svc.submit_factorize(req("t"), shared(m), Factorization::LLT));
   }
   for (std::size_t i = 0; i < tickets.size(); ++i) {
     const FactorizeResult fr = tickets[i].get();
@@ -261,7 +271,7 @@ TEST(SolveService, BoundedQueueRejectsBeyondCapacity) {
     SolveService svc(opts);
     for (int i = 0; i < 8; ++i) {
       tickets.push_back(
-          svc.submit_factorize("t", a, Factorization::LLT));
+          svc.submit_factorize(req("t"), a, Factorization::LLT));
     }
     // Rejections complete immediately, before the service shuts down.
     int rejected = 0;
@@ -291,10 +301,10 @@ TEST(SolveService, QueueBoundIsPerTenant) {
   SolveService svc(opts);
   const auto a = shared(gen::grid2d_laplacian(6, 6));
   // Tenant "a" fills its bound; tenant "b" is still admitted.
-  EXPECT_TRUE(svc.submit_factorize("a", a, Factorization::LLT).valid());
-  EXPECT_TRUE(svc.submit_factorize("a", a, Factorization::LLT).valid());
-  auto rej = svc.submit_factorize("a", a, Factorization::LLT);
-  auto ok = svc.submit_factorize("b", a, Factorization::LLT);
+  EXPECT_TRUE(svc.submit_factorize(req("a"), a, Factorization::LLT).valid());
+  EXPECT_TRUE(svc.submit_factorize(req("a"), a, Factorization::LLT).valid());
+  auto rej = svc.submit_factorize(req("a"), a, Factorization::LLT);
+  auto ok = svc.submit_factorize(req("b"), a, Factorization::LLT);
   EXPECT_EQ(rej.get().status, RequestStatus::Rejected);
   EXPECT_EQ(svc.stats().rejected, 1u);
   EXPECT_EQ(svc.stats().queue_depth, 3u);
@@ -306,7 +316,7 @@ TEST(SolveService, CancelBeforeExecution) {
   opts.num_workers = 0;  // the job can never start
   SolveService svc(opts);
   auto ticket = svc.submit_factorize(
-      "t", shared(gen::grid2d_laplacian(6, 6)), Factorization::LLT);
+      req("t"), shared(gen::grid2d_laplacian(6, 6)), Factorization::LLT);
   EXPECT_TRUE(ticket.cancel());
   const FactorizeResult fr = ticket.get();
   EXPECT_EQ(fr.status, RequestStatus::Cancelled);
@@ -322,9 +332,9 @@ TEST(SolveService, DeadlineExpiresWhileQueued) {
   const auto small = shared(gen::grid2d_laplacian(6, 6));
   // The worker is busy with the big factorize; the second request's
   // microscopic deadline passes while it waits in the queue.
-  auto slow = svc.submit_factorize("t", big, Factorization::LLT);
-  auto doomed =
-      svc.submit_factorize("t", small, Factorization::LLT, /*deadline_s=*/1e-9);
+  auto slow = svc.submit_factorize(req("t"), big, Factorization::LLT);
+  auto doomed = svc.submit_factorize(req("t", /*deadline_s=*/1e-9), small,
+                                     Factorization::LLT);
   EXPECT_TRUE(slow.get().ok());
   const FactorizeResult fr = doomed.get();
   EXPECT_EQ(fr.status, RequestStatus::Expired);
@@ -354,7 +364,8 @@ TEST(SolveService, BatchingWindowCoalescesSameFactorSolves) {
   }
   std::vector<Ticket<SolveResult>> tickets;
   for (int c = 0; c < kRhs; ++c) {
-    tickets.push_back(svc.submit_solve("t", fr.factor, bs[std::size_t(c)]));
+    tickets.push_back(
+        svc.submit_solve(req("t"), fr.factor, bs[std::size_t(c)]));
   }
   index_t max_batched = 0;
   for (int c = 0; c < kRhs; ++c) {
@@ -380,8 +391,13 @@ TEST(SolveService, SolveValidatesArguments) {
   const FactorizeResult fr =
       svc.factorize("t", shared(a), Factorization::LLT);
   ASSERT_TRUE(fr.ok());
-  EXPECT_THROW(svc.submit_solve("t", nullptr, {}), InvalidArgument);
-  EXPECT_THROW(svc.submit_solve("t", fr.factor, std::vector<real_t>(3)),
+  EXPECT_THROW(svc.submit_solve(req("t"), nullptr, {}), InvalidArgument);
+  EXPECT_THROW(svc.submit_solve(req("t"), fr.factor, std::vector<real_t>(3)),
+               InvalidArgument);
+  RequestOptions zero_rhs = req("t");
+  zero_rhs.nrhs = 0;
+  EXPECT_THROW(svc.submit_solve(std::move(zero_rhs), fr.factor,
+                                std::vector<real_t>{}),
                InvalidArgument);
 }
 
@@ -414,6 +430,286 @@ TEST(SolveService, RequestAndServiceStatsRoundTripThroughJson) {
   EXPECT_EQ(sv.at("cache").at("misses").as_number(), 1.0);
 }
 
+// ---------- refactorize fast path --------------------------------------
+
+TEST(SolveService, RefactorizeServesNewValuesThroughTheSameHandle) {
+  const auto a = gen::grid2d_laplacian(12, 12);
+  SolveService svc;
+  const FactorizeResult fr = svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok()) << fr.error;
+  ASSERT_TRUE(fr.factor->refactorizable());
+  std::vector<real_t> ones(static_cast<std::size_t>(a.ncols()), 1.0);
+  const std::vector<real_t> b = rhs_for(a, ones);
+
+  // Scale the values by 2: the same b must now solve to x = 1/2.
+  std::vector<real_t> scaled(a.values().begin(), a.values().end());
+  for (auto& v : scaled) v *= 2.0;
+  const FactorizeResult rr = svc.refactorize("t", fr.factor, scaled);
+  ASSERT_TRUE(rr.ok()) << rr.error;
+  EXPECT_EQ(rr.factor, fr.factor);  // the handle keeps serving
+  EXPECT_GT(rr.stats.factorize_s, 0.0);
+  EXPECT_EQ(rr.stats.analyze_s, 0.0);  // no symbolic work on the fast path
+
+  const SolveResult sr = svc.solve("t", fr.factor, b);
+  ASSERT_TRUE(sr.ok()) << sr.error;
+  for (const real_t v : sr.x) EXPECT_NEAR(v, 0.5, 1e-9);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.factorizes, 1u);
+  EXPECT_EQ(st.refactorizes, 1u);
+  EXPECT_EQ(st.cache.misses, 1u);  // refactorize never re-analyzes
+}
+
+TEST(SolveService, RefactorizeValidatesArguments) {
+  const auto a = gen::grid2d_laplacian(8, 8);
+  SolveService svc;
+  const FactorizeResult fr = svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok());
+  EXPECT_THROW(svc.submit_refactorize(req("t"), nullptr, {}),
+               InvalidArgument);
+  EXPECT_THROW(
+      svc.submit_refactorize(req("t"), fr.factor, std::vector<real_t>(3)),
+      InvalidArgument);
+}
+
+TEST(SolveService, SnapshotRestoredFactorIsNotRefactorizable) {
+  // adopt_factor has no input matrix to retain, so the numeric fast path
+  // must refuse instead of ingesting values against a missing pattern.
+  const auto a = gen::grid2d_laplacian(8, 8);
+  SolveService svc;
+  Solver<real_t> solo;
+  solo.analyze(a);
+  solo.factorize(a, Factorization::LLT);
+  const FactorHandle restored = svc.adopt_factor(std::move(solo));
+  EXPECT_FALSE(restored->refactorizable());
+  std::vector<real_t> vals(a.values().begin(), a.values().end());
+  EXPECT_THROW(svc.submit_refactorize(req("t"), restored, std::move(vals)),
+               InvalidArgument);
+}
+
+// ---------- precision policy -------------------------------------------
+
+TEST(SolveService, Fp32RefinePolicyServesFloatFactorsAtFp64Accuracy) {
+  ServiceOptions opts;
+  opts.precision = PrecisionPolicy::Fp32Refine;
+  SolveService svc(opts);
+  const auto a = gen::grid2d_laplacian(12, 12);
+  std::vector<real_t> xstar(static_cast<std::size_t>(a.ncols()));
+  Rng rng(7);
+  for (auto& v : xstar) v = rng.uniform(-1, 1);
+  const std::vector<real_t> b = rhs_for(a, xstar);
+
+  const FactorizeResult fr = svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok()) << fr.error;
+  EXPECT_TRUE(fr.stats.fp32);
+  EXPECT_TRUE(fr.factor->fp32());
+  EXPECT_EQ(fr.factor->precision(), PrecisionPolicy::Fp32Refine);
+  EXPECT_FALSE(fr.stats.precision_fallback);
+  EXPECT_LE(fr.stats.backward_error, opts.mixed_tolerance);
+
+  const SolveResult sr = svc.solve("t", fr.factor, b);
+  ASSERT_TRUE(sr.ok()) << sr.error;
+  EXPECT_TRUE(sr.stats.fp32);
+  EXPECT_GE(sr.stats.refine_iterations, 1);
+  for (std::size_t i = 0; i < sr.x.size(); ++i) {
+    EXPECT_NEAR(sr.x[i], xstar[i], 1e-8);
+  }
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.tenants.at("t").fp32_served, 2u);  // factorize + solve
+  EXPECT_EQ(st.tenants.at("t").fp64_fallbacks, 0u);
+}
+
+TEST(SolveService, Fp32GateTripFallsBackToFp64) {
+  // Values far beyond float range overflow the fp32 factorization; the
+  // probe gate trips and the service silently re-factorizes in double.
+  auto a = gen::grid2d_laplacian(10, 10);
+  for (auto& v : a.values_mut()) v *= 1e200;
+  ServiceOptions opts;
+  opts.precision = PrecisionPolicy::Fp32Refine;
+  SolveService svc(opts);
+  const FactorizeResult fr = svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok()) << fr.error;
+  EXPECT_FALSE(fr.stats.fp32);
+  EXPECT_TRUE(fr.stats.precision_fallback);
+  EXPECT_FALSE(fr.factor->fp32());
+
+  std::vector<real_t> ones(static_cast<std::size_t>(a.ncols()), 1.0);
+  const SolveResult sr = svc.solve("t", fr.factor, rhs_for(a, ones));
+  ASSERT_TRUE(sr.ok()) << sr.error;
+  for (const real_t v : sr.x) EXPECT_NEAR(v, 1.0, 1e-9);
+  EXPECT_EQ(svc.stats().tenants.at("t").fp64_fallbacks, 1u);
+}
+
+TEST(SolveService, AutoPolicySkipsFp32AfterAFallback) {
+  auto a = gen::grid2d_laplacian(10, 10);
+  for (auto& v : a.values_mut()) v *= 1e200;
+  ServiceOptions opts;
+  opts.precision = PrecisionPolicy::Auto;
+  SolveService svc(opts);
+  const FactorizeResult first =
+      svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_TRUE(first.stats.precision_fallback);  // paid the doomed attempt
+  const FactorizeResult second =
+      svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(second.ok()) << second.error;
+  // The digest is remembered: no second fp32 attempt, no fallback event.
+  EXPECT_FALSE(second.stats.fp32);
+  EXPECT_FALSE(second.stats.precision_fallback);
+}
+
+TEST(SolveService, PrecisionResolvesRequestOverTenantOverService) {
+  ServiceOptions opts;
+  opts.precision = PrecisionPolicy::Fp64;
+  TenantConfig mixed;
+  mixed.precision = PrecisionPolicy::Fp32Refine;
+  mixed.precision_set = true;
+  opts.tenants["mixed"] = mixed;
+  SolveService svc(opts);
+  EXPECT_EQ(svc.effective_policy("mixed"), PrecisionPolicy::Fp32Refine);
+  EXPECT_EQ(svc.effective_policy("other"), PrecisionPolicy::Fp64);
+  EXPECT_EQ(svc.effective_policy("mixed", PrecisionPolicy::Fp64),
+            PrecisionPolicy::Fp64);
+
+  // A per-request override beats both lower layers end to end.
+  const auto a = gen::grid2d_laplacian(10, 10);
+  RequestOptions r = req("other");
+  r.precision = PrecisionPolicy::Fp32Refine;
+  const FactorizeResult fr =
+      svc.factorize(std::move(r), shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok()) << fr.error;
+  EXPECT_TRUE(fr.stats.fp32);
+  EXPECT_EQ(fr.stats.precision, PrecisionPolicy::Fp32Refine);
+}
+
+// ---------- request options surface ------------------------------------
+
+TEST(SolveService, MultiRhsSolveThroughRequestOptions) {
+  const auto a = gen::grid2d_laplacian(10, 10);
+  SolveService svc;
+  const FactorizeResult fr = svc.factorize("t", shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok());
+  const auto n = static_cast<std::size_t>(a.ncols());
+  std::vector<real_t> ones(n, 1.0);
+  std::vector<real_t> ramp(n);
+  for (std::size_t i = 0; i < n; ++i) ramp[i] = 0.01 * double(i);
+  std::vector<real_t> stacked = rhs_for(a, ones);
+  const std::vector<real_t> b2 = rhs_for(a, ramp);
+  stacked.insert(stacked.end(), b2.begin(), b2.end());
+
+  RequestOptions r = req("t");
+  r.nrhs = 2;
+  const SolveResult sr = svc.solve(std::move(r), fr.factor, std::move(stacked));
+  ASSERT_TRUE(sr.ok()) << sr.error;
+  ASSERT_EQ(sr.x.size(), 2 * n);
+  EXPECT_EQ(sr.stats.batched_rhs, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sr.x[i], 1.0, 1e-9);
+    EXPECT_NEAR(sr.x[n + i], ramp[i], 1e-9);
+  }
+}
+
+TEST(SolveService, DeprecatedPositionalSubmitsStillForward) {
+  SolveService svc;
+  const auto a = shared(gen::grid2d_laplacian(8, 8));
+  SPX_SUPPRESS_DEPRECATED_BEGIN
+  auto ft = svc.submit_factorize(std::string("t"), a, Factorization::LLT);
+  const FactorizeResult fr = ft.get();
+  ASSERT_TRUE(fr.ok()) << fr.error;
+  std::vector<real_t> b(static_cast<std::size_t>(a->ncols()), 1.0);
+  auto st = svc.submit_solve(std::string("t"), fr.factor, std::move(b));
+  EXPECT_TRUE(st.get().ok());
+  SPX_SUPPRESS_DEPRECATED_END
+}
+
+// ---------- per-tenant QoS ---------------------------------------------
+
+struct QueueProbeJob : service::JobBase {
+  QueueProbeJob() : JobBase(service::JobKind::Solve) {}
+  void complete_unrun(RequestStatus, std::string) override {}
+};
+
+std::shared_ptr<QueueProbeJob> probe(std::string tenant,
+                                     double deadline_s = 0) {
+  auto j = std::make_shared<QueueProbeJob>();
+  j->tenant = std::move(tenant);
+  if (deadline_s > 0) {
+    j->deadline = service::Clock::now() +
+                  std::chrono::duration_cast<service::Clock::duration>(
+                      std::chrono::duration<double>(deadline_s));
+  }
+  return j;
+}
+
+TEST(AdmissionQueue, EdfOrdersDeadlinesAheadOfFifoWithinOneTenant) {
+  service::AdmissionQueue q(16);
+  const auto fifo1 = probe("t");
+  const auto late = probe("t", 30.0);
+  const auto early = probe("t", 10.0);
+  const auto mid = probe("t", 20.0);
+  const auto fifo2 = probe("t");
+  for (const auto& j : {fifo1, late, early, mid, fifo2}) {
+    ASSERT_TRUE(q.try_push(j));
+  }
+  // Deadline-carrying jobs pop earliest-deadline-first, ahead of the
+  // deadline-free jobs, which keep their FIFO order.
+  EXPECT_EQ(q.try_pop(), early);
+  EXPECT_EQ(q.try_pop(), mid);
+  EXPECT_EQ(q.try_pop(), late);
+  EXPECT_EQ(q.try_pop(), fifo1);
+  EXPECT_EQ(q.try_pop(), fifo2);
+  EXPECT_EQ(q.try_pop(), nullptr);
+}
+
+TEST(AdmissionQueue, WeightedSharesInterleaveFourToOne) {
+  std::map<std::string, TenantConfig> tenants;
+  tenants["heavy"].weight = 4.0;
+  service::AdmissionQueue q(16, nullptr, std::move(tenants));
+  EXPECT_EQ(q.tenant_weight("heavy"), 4.0);
+  EXPECT_EQ(q.tenant_weight("light"), 1.0);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push(probe("heavy")));
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(q.try_push(probe("light")));
+  std::vector<int> light_pos;
+  for (int i = 0; i < 10; ++i) {
+    const auto j = q.try_pop();
+    ASSERT_NE(j, nullptr);
+    if (j->tenant == "light") light_pos.push_back(i);
+  }
+  // Smooth WRR at 4:1 yields H H L H H H H L H H -- the light tenant gets
+  // every fifth slot instead of waiting behind the heavy backlog.
+  ASSERT_EQ(light_pos.size(), 2u);
+  EXPECT_EQ(light_pos[0], 2);
+  EXPECT_EQ(light_pos[1], 7);
+}
+
+TEST(SolveService, PerTenantStatsSlices) {
+  ServiceOptions opts;
+  opts.tenants["gold"].weight = 4.0;
+  SolveService svc(opts);
+  const auto a = gen::grid2d_laplacian(8, 8);
+  const FactorizeResult fr =
+      svc.factorize("gold", shared(a), Factorization::LLT);
+  ASSERT_TRUE(fr.ok());
+  const std::vector<real_t> b(static_cast<std::size_t>(a.ncols()), 1.0);
+  ASSERT_TRUE(svc.solve("gold", fr.factor, b).ok());
+  ASSERT_TRUE(svc.solve("silver", fr.factor, b).ok());
+
+  const ServiceStats st = svc.stats();
+  const service::TenantStats& gold = st.tenants.at("gold");
+  EXPECT_EQ(gold.submitted, 2u);
+  EXPECT_EQ(gold.completed, 2u);
+  EXPECT_EQ(gold.factorizes, 1u);
+  EXPECT_EQ(gold.solves, 1u);
+  EXPECT_EQ(gold.weight, 4.0);
+  const service::TenantStats& silver = st.tenants.at("silver");
+  EXPECT_EQ(silver.submitted, 1u);
+  EXPECT_EQ(silver.solves, 1u);
+  EXPECT_EQ(silver.weight, 1.0);
+  // The slices surface in the stats JSON too.
+  const json::Value sv = json::Value::parse(st.to_json().dump());
+  EXPECT_EQ(sv.at("tenants").at("gold").at("weight").as_number(), 4.0);
+}
+
 // ---------- fairness + stress (runs under SPX_SANITIZE=thread) ----------
 
 TEST(ServiceStress, NoTenantStarvedAcrossMixedRequests) {
@@ -440,11 +736,11 @@ TEST(ServiceStress, NoTenantStarvedAcrossMixedRequests) {
   // Fill the flood tenant's queue first, then interleave the light
   // tenants; round-robin must still serve them promptly.
   for (int i = 0; i < kFlood; ++i) {
-    flood.push_back(svc.submit_solve("flood", fr.factor, b));
+    flood.push_back(svc.submit_solve(req("flood"), fr.factor, b));
   }
   for (int i = 0; i < kLight; ++i) {
     for (const char* tenant : {"light-1", "light-2", "light-3"}) {
-      light.push_back(svc.submit_solve(tenant, fr.factor, b));
+      light.push_back(svc.submit_solve(req(tenant), fr.factor, b));
     }
   }
   std::uint64_t light_max_seq = 0;

@@ -2,6 +2,8 @@
 // handling, refinement, and cross-kind coverage.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "core/sequential.hpp"
 #include "core/solver.hpp"
 #include "mat/generators.hpp"
@@ -131,6 +133,118 @@ TEST(MultiRhs, SolverRejectsBadBlockSize) {
   solver.factorize(a, Factorization::LLT);
   std::vector<real_t> b(a.ncols() * 2 + 1);
   EXPECT_THROW(solver.solve_multi(b, 2), InvalidArgument);
+}
+
+// ---------- numeric-only re-factorization -------------------------------
+
+/// Same pattern as `a`, values transformed by `f(row, col, v)`.
+CscMatrix<real_t> with_values(
+    const CscMatrix<real_t>& a,
+    const std::function<real_t(index_t, index_t, real_t)>& f) {
+  std::vector<real_t> vals(a.values().begin(), a.values().end());
+  for (index_t c = 0; c < a.ncols(); ++c) {
+    for (size_type k = a.colptr()[static_cast<std::size_t>(c)];
+         k < a.colptr()[static_cast<std::size_t>(c) + 1]; ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      vals[ki] = f(a.rowind()[ki], c, vals[ki]);
+    }
+  }
+  return CscMatrix<real_t>(
+      a.nrows(), a.ncols(),
+      std::vector<size_type>(a.colptr().begin(), a.colptr().end()),
+      std::vector<index_t>(a.rowind().begin(), a.rowind().end()),
+      std::move(vals));
+}
+
+TEST(Refactorize, ThrowsBeforeFirstFactorize) {
+  Solver<real_t> solver;
+  const auto a = gen::grid2d_laplacian(6, 6);
+  // The fast path reuses the allocated factors: without them it must
+  // refuse loudly, not fall back to a silent full factorize.
+  EXPECT_THROW(solver.refactorize(a), InvalidArgument);
+  solver.analyze(a);
+  EXPECT_THROW(solver.refactorize(a), InvalidArgument);  // analyzed only
+  solver.factorize(a, Factorization::LLT);
+  ASSERT_NO_THROW(solver.refactorize(a));
+}
+
+TEST(Refactorize, RejectsADifferentPattern) {
+  const auto a = gen::grid2d_laplacian(8, 8);   // n = 64
+  const auto c = gen::grid3d_laplacian(4, 4, 4);  // n = 64, other pattern
+  Solver<real_t> solver;
+  solver.analyze(a);
+  solver.factorize(a, Factorization::LLT);
+  EXPECT_THROW(solver.refactorize(c), InvalidArgument);
+  EXPECT_THROW(solver.refactorize(gen::grid2d_laplacian(8, 9)),
+               InvalidArgument);
+  EXPECT_TRUE(solver.factorized());  // the refusal changed nothing
+}
+
+TEST(Refactorize, MatchesAFreshFactorizeAcrossValueDrift) {
+  const auto a = gen::grid2d_laplacian(12, 12);
+  Solver<real_t> fast;
+  fast.analyze(a);
+  fast.factorize(a, Factorization::LLT);
+  const auto n = static_cast<std::size_t>(a.ncols());
+  Rng rng(500);
+  std::vector<real_t> xstar(n);
+  for (auto& v : xstar) v = rng.uniform(-1, 1);
+  for (int step = 1; step <= 3; ++step) {
+    // SPD-preserving drift: strengthen the diagonal step by step.
+    const real_t bump = 1.0 + 0.25 * step;
+    const CscMatrix<real_t> anew = with_values(
+        a, [&](index_t r, index_t c, real_t v) {
+          return r == c ? v * bump : v;
+        });
+    fast.refactorize(anew);
+
+    Solver<real_t> fresh;
+    fresh.analyze(anew);
+    fresh.factorize(anew, Factorization::LLT);
+    std::vector<real_t> b(n);
+    anew.multiply(xstar, b);
+    std::vector<real_t> x_fast = b, x_fresh = b;
+    fast.solve(x_fast);
+    fresh.solve(x_fresh);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x_fast[i], xstar[i], 1e-9);
+      EXPECT_NEAR(x_fast[i], x_fresh[i], 1e-11);
+    }
+  }
+}
+
+TEST(Refactorize, FailureRollsBackToThePreviousServableFactor) {
+  SolverOptions opts;
+  opts.pivot_threshold = 0;  // no static perturbation: breakdown throws
+  Solver<real_t> solver(opts);
+  const auto a = gen::grid2d_laplacian(10, 10);
+  solver.analyze(a);
+  solver.factorize(a, Factorization::LLT);
+  const auto n = static_cast<std::size_t>(a.ncols());
+  std::vector<real_t> ones(n, 1.0);
+  std::vector<real_t> b(n);
+  a.multiply(ones, b);
+
+  // A negated diagonal is indefinite: the LL^T sweep hits a negative
+  // pivot and throws.  Unlike factorize(), the solver must remain
+  // factorized with the PREVIOUS values afterwards.
+  const CscMatrix<real_t> bad = with_values(
+      a, [](index_t r, index_t c, real_t v) { return r == c ? -v : v; });
+  EXPECT_THROW(solver.refactorize(bad), NumericalError);
+  ASSERT_TRUE(solver.factorized());
+  std::vector<real_t> x = b;
+  solver.solve(x);
+  for (const real_t v : x) EXPECT_NEAR(v, 1.0, 1e-9);
+
+  // And the rolled-back solver still accepts a later good refactorize.
+  const CscMatrix<real_t> good = with_values(
+      a, [](index_t r, index_t c, real_t v) { return r == c ? 2 * v : v; });
+  ASSERT_NO_THROW(solver.refactorize(good));
+  std::vector<real_t> bg(n);
+  good.multiply(ones, bg);
+  std::vector<real_t> xg = bg;
+  solver.solve(xg);
+  for (const real_t v : xg) EXPECT_NEAR(v, 1.0, 1e-9);
 }
 
 TEST(Refinement, RecoversFromPerturbedFactors) {
